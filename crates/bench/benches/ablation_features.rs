@@ -1,0 +1,27 @@
+//! Ablation A1: which terms of the Eq. 8 feature vector carry the job
+//! model's accuracy. Expected shape: dropping `D_med` hurts most (it is the
+//! shuffle volume), the join term matters mainly for Join-heavy test error,
+//! and a `D_in`-only model trails everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::ablation::feature_ablation;
+use sapred_core::training::split_train_test;
+
+fn bench(c: &mut Criterion) {
+    let trained = train(600, 83);
+    let (train_set, test_set) = split_train_test(&trained.runs);
+    let report = feature_ablation(&train_set, &test_set);
+    println!("\n{report}\n");
+
+    c.bench_function("ablation_a1/feature_ablation_all_variants", |b| {
+        b.iter(|| feature_ablation(&train_set, &test_set).rows.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

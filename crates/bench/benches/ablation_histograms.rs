@@ -1,0 +1,26 @@
+//! Ablation A2: equi-width histogram resolution versus join-cardinality
+//! estimation error under Zipf key skew (the regime Eq. 5's per-bucket
+//! piece-wise-uniform estimate is designed for). Expected shape: error
+//! falls as buckets grow, then flattens.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_core::experiments::ablation::histogram_ablation;
+
+fn bench(c: &mut Criterion) {
+    for alpha in [0.8, 1.2] {
+        let report = histogram_ablation(&[1, 4, 16, 64, 256], 2.0, alpha, 89);
+        println!("\n{report}");
+    }
+    println!();
+
+    c.bench_function("ablation_a2/histogram_sweep_small", |b| {
+        b.iter(|| histogram_ablation(&[1, 64], 0.5, 1.2, 89).rows.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation A5: map-join conversion (the paper's map-side-join minor
+//! operator, Hive's `auto.convert.join`). Folding small dimension joins
+//! into the map phase removes whole MapReduce jobs from the DAG; the bench
+//! compares job counts and idle-cluster response times with and without
+//! conversion, and checks semantic equivalence of the plans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_core::experiments::ablation::map_join_ablation;
+use sapred_core::framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let fw = Framework::new();
+    for scale in [10.0, 50.0] {
+        let report = map_join_ablation(scale, 512.0 * 1024.0 * 1024.0, &fw, 67);
+        println!("\nscale {scale} GB:\n{report}");
+    }
+    println!();
+
+    c.bench_function("ablation_a5/map_join_compare_small", |b| {
+        b.iter(|| map_join_ablation(1.0, 512.0 * 1024.0 * 1024.0, &fw, 67).rows.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

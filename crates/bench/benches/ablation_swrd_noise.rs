@@ -1,0 +1,37 @@
+//! Ablation A3: SWRD's sensitivity to prediction quality. Smallest-WRD-
+//! first only needs the *ranking* of query demands to be roughly right, so
+//! it should degrade gracefully: oracle ≈ trained models, and even heavily
+//! degraded predictions should beat prediction-free scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::ablation::swrd_noise;
+use sapred_core::experiments::scheduling::prepare_workload;
+use sapred_workload::mixes::facebook_mix;
+
+fn bench(c: &mut Criterion) {
+    let mut trained = train(300, 97);
+    let prepared = prepare_workload(
+        &facebook_mix(),
+        &mut trained.pool,
+        &trained.fw,
+        Some(&trained.predictor),
+        3.0,
+        1.0,
+        97,
+    );
+    let report = swrd_noise(&prepared.queries, &trained.fw, &[0.25, 0.5, 1.0, 2.0], 97);
+    println!("\n{report}\n");
+
+    let fw = trained.fw;
+    c.bench_function("ablation_a3/swrd_noise_one_sigma", |b| {
+        b.iter(|| swrd_noise(&prepared.queries, &fw, &[0.5], 97).rows.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figs. 1–2: the motivation experiment. QA/QC (TPC-H Q14, 10 GB, 2 jobs)
+//! and QB (Q17, 100 GB, 4 jobs) submitted back-to-back under HCS show
+//! resource thrashing that stalls the small queries ~3×; SWRD removes it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::motivation::motivation;
+use sapred_workload::pool::DbPool;
+
+fn bench(c: &mut Criterion) {
+    // Train a predictor (for the SWRD column) on a modest population.
+    let trained = train(200, 12);
+    let mut pool = DbPool::new(2018);
+    let report = motivation(&mut pool, &trained.fw, Some(&trained.predictor), 10.0, 100.0);
+    println!("\n{report}");
+    println!(
+        "small-query (QA/QC) HCS slowdown: {:.2}x (paper: ~3x)\n",
+        report.small_query_slowdown()
+    );
+
+    let fw = trained.fw;
+    c.bench_function("fig1_2/motivation_mixed_hcs", |b| {
+        b.iter(|| {
+            let mut p = DbPool::new(2018);
+            motivation(&mut p, &fw, None, 2.0, 20.0).small_query_slowdown()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 7: query response-time prediction. The paper composes task-model
+//! predictions along the DAG critical path and reports ≈8.3% average error
+//! on 100 GB TPC-H queries measured on an idle cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::query_time::query_prediction;
+use sapred_core::framework::QuerySemantics;
+use sapred_core::training::split_train_test;
+
+fn bench(c: &mut Criterion) {
+    let trained = train(600, 77);
+    let (_, test_set) = split_train_test(&trained.runs);
+    // The paper's Fig. 7 uses the 100 GB queries.
+    let report = query_prediction(&test_set, &trained.predictor, |r| r.scale_gb >= 100.0);
+    println!("\n{report}");
+    let pts: Vec<(f64, f64)> = report.points.iter().map(|p| (p.actual, p.predicted)).collect();
+    println!("Fig. 7: predicted vs actual query response (seconds):");
+    println!("{}", sapred_core::report::scatter_plot(&pts, 64, 20));
+
+    let predictor = trained.predictor.clone();
+    let sample = trained
+        .runs
+        .iter()
+        .find(|r| r.scale_gb >= 100.0)
+        .expect("a 100 GB run exists");
+    let semantics =
+        QuerySemantics { dag: sample.dag.clone(), estimates: sample.estimates.clone() };
+    c.bench_function("fig7/predict_one_query_response", |b| {
+        b.iter(|| predictor.query_seconds(&semantics))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

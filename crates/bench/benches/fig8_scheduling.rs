@@ -1,0 +1,52 @@
+//! Fig. 8: average query response times of the Bing and Facebook mixes
+//! (Table 2) under HCS, HFS, query-FIFO and SWRD at full paper scale
+//! (1–150 GB inputs, Poisson arrivals, 9×12 containers).
+//!
+//! Paper shape to reproduce: SWRD wins on both mixes; HCS and HFS swap
+//! order between the mixes (SWRD −72.8%/−40.2% vs HCS/HFS on Bing,
+//! −27.4%/−43.9% on Facebook).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_cluster::sched::Hcs;
+use sapred_cluster::sim::Simulator;
+use sapred_core::experiments::scheduling::{prepare_workload, run_schedulers};
+use sapred_workload::mixes::{bing_mix, facebook_mix};
+
+fn bench(c: &mut Criterion) {
+    let mut trained = train(300, 79);
+    for (mix, gap) in [(bing_mix(), 8.0), (facebook_mix(), 3.0)] {
+        let prepared = prepare_workload(
+            &mix,
+            &mut trained.pool,
+            &trained.fw,
+            Some(&trained.predictor),
+            gap,
+            1.0,
+            79,
+        );
+        let report = run_schedulers(&prepared, &trained.fw, true);
+        println!("\n{report}");
+    }
+
+    let prepared = prepare_workload(
+        &facebook_mix(),
+        &mut trained.pool,
+        &trained.fw,
+        Some(&trained.predictor),
+        3.0,
+        1.0,
+        79,
+    );
+    let fw = trained.fw;
+    c.bench_function("fig8/simulate_facebook_mix_hcs", |b| {
+        b.iter(|| Simulator::new(fw.cluster, fw.cost, Hcs).run(&prepared.queries).makespan)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

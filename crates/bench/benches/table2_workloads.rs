@@ -1,0 +1,54 @@
+//! Table 2: the Bing and Facebook workload compositions, regenerated
+//! exactly, plus the Poisson-arrival workload instantiation they feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_core::report::text_table;
+use sapred_workload::mixes::{bing_mix, facebook_mix, generate_mix_workload};
+use sapred_workload::pool::DbPool;
+
+fn bench(c: &mut Criterion) {
+    let bing = bing_mix();
+    let fb = facebook_mix();
+    let labels = ["1-10 GB", "20 GB", "50 GB", "100 GB", ">100 GB"];
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            vec![
+                (i + 1).to_string(),
+                l.to_string(),
+                bing.bins[i].count.to_string(),
+                fb.bins[i].count.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\nTable 2: composition of Bing and Facebook workloads\n{}",
+        text_table(&["Bin", "Input Size", "Bing", "Facebook"], &rows)
+    );
+
+    // Show a concrete instantiation summary (arrivals + scales).
+    let mut pool = DbPool::new(2);
+    let w = generate_mix_workload(&fb, &mut pool, 20.0, 10.0, 2);
+    let total_jobs: usize = w.iter().map(|q| q.dag.len()).sum();
+    println!(
+        "facebook instantiation: {} queries, {} jobs, horizon {:.0}s\n",
+        w.len(),
+        total_jobs,
+        w.last().map(|q| q.arrival).unwrap_or(0.0)
+    );
+
+    c.bench_function("table2/generate_facebook_workload_div10", |b| {
+        b.iter(|| {
+            let mut p = DbPool::new(2);
+            generate_mix_workload(&facebook_mix(), &mut p, 20.0, 10.0, 2).len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

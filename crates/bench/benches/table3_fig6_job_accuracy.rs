@@ -1,0 +1,48 @@
+//! Table 3 + Fig. 6: job execution-time model accuracy. The paper trains
+//! Eq. 8 on ~1,000 TPC-H/TPC-DS queries (1–100 GB, 3:1 split, plus
+//! 150–400 GB scale-out queries in the test set) and reports per-operator
+//! R² (Groupby 96.75%, Join 92.71%, Extract 84.64%) and a 13.98% test-set
+//! average error; Fig. 6 scatters predicted against actual job times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::accuracy::job_accuracy;
+use sapred_core::training::{fit_models, job_samples, split_train_test};
+
+fn bench(c: &mut Criterion) {
+    let trained = train(1000, 71);
+    let (train_set, test_set) = split_train_test(&trained.runs);
+    println!(
+        "\npopulation: {} queries -> {} jobs ({} train / {} test queries)",
+        trained.runs.len(),
+        trained.runs.iter().map(|r| r.job_stats.len()).sum::<usize>(),
+        train_set.len(),
+        test_set.len()
+    );
+    let report = job_accuracy(&train_set, &test_set, &trained.predictor.models);
+    println!("\n{report}");
+
+    // Fig. 6: the predicted-vs-actual scatter with the perfect-prediction
+    // diagonal (x = actual job time, y = predicted).
+    println!("Fig. 6: predicted vs actual job time, test set (seconds):");
+    println!("{}", sapred_core::report::scatter_plot(&report.scatter, 64, 20));
+
+    let fw = trained.fw;
+    c.bench_function("table3/fit_job_model", |b| {
+        let samples: Vec<_> = job_samples(train_set.iter().copied())
+            .into_iter()
+            .map(|s| (s.features, s.measured))
+            .collect();
+        b.iter(|| sapred_predict::model::JobTimeModel::fit(&samples).unwrap())
+    });
+    c.bench_function("table3/train_full_pipeline_models", |b| {
+        b.iter(|| fit_models(&train_set, &fw))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Tables 4 and 5: map- and reduce-task time model accuracy (Eq. 9) on the
+//! training set. Paper shape: reduce-task models fit better than map-task
+//! models (overall R² 90.68% vs 87.05%), with Join the weakest operator on
+//! the map side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapred_bench::train;
+use sapred_core::experiments::accuracy::{map_task_accuracy, reduce_task_accuracy};
+use sapred_core::training::{map_task_samples, split_train_test};
+use sapred_predict::model::TaskTimeModel;
+
+fn bench(c: &mut Criterion) {
+    let trained = train(1000, 73);
+    let (train_set, _) = split_train_test(&trained.runs);
+    let map_report = map_task_accuracy(&train_set, &trained.predictor.models, &trained.fw);
+    let reduce_report = reduce_task_accuracy(&train_set, &trained.predictor.models, &trained.fw);
+    println!("\n{map_report}");
+    println!("\n{reduce_report}\n");
+
+    c.bench_function("table4_5/fit_map_task_model", |b| {
+        let samples: Vec<_> = map_task_samples(train_set.iter().copied(), &trained.fw)
+            .into_iter()
+            .map(|s| (s.features, s.measured))
+            .collect();
+        b.iter(|| TaskTimeModel::fit(&samples).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

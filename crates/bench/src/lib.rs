@@ -1,0 +1,48 @@
+//! Shared setup helpers for the benchmark harness. Every bench target
+//! regenerates one table or figure of the paper (see DESIGN.md §5) by
+//! printing the reproduced rows during setup, then times a representative
+//! kernel under Criterion.
+
+use sapred_core::framework::{Framework, Predictor};
+use sapred_core::training::{fit_models, run_population, split_train_test, QueryRun};
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+/// The paper's testbed configuration (9 nodes × 12 containers, 256 MB
+/// blocks, 1 GB per reducer).
+pub fn paper_framework() -> Framework {
+    Framework::new()
+}
+
+/// A training population at the paper's scales (1–100 GB + 150–400 GB
+/// scale-out). `n_queries = 1000` matches §5.1.
+pub fn paper_population(n_queries: usize, seed: u64) -> PopulationConfig {
+    PopulationConfig {
+        n_queries,
+        scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+        scale_out_gb: vec![150.0, 200.0, 400.0],
+        seed,
+    }
+}
+
+/// Everything the accuracy/prediction benches need: the executed runs, the
+/// train/test split indices and a fitted predictor.
+pub struct Trained {
+    pub fw: Framework,
+    pub pool: DbPool,
+    pub runs: Vec<QueryRun>,
+    pub predictor: Predictor,
+}
+
+/// Run the population and fit models (the full §5.1 pipeline).
+pub fn train(n_queries: usize, seed: u64) -> Trained {
+    let fw = paper_framework();
+    let config = paper_population(n_queries, seed);
+    let mut pool = DbPool::new(seed);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train_set, _) = split_train_test(&runs);
+    let models = fit_models(&train_set, &fw);
+    let predictor = Predictor::new(models, fw);
+    Trained { fw, pool, runs, predictor }
+}

@@ -1,0 +1,252 @@
+//! Ground-truth task cost model.
+//!
+//! This is the simulator's stand-in for real hardware: task durations are a
+//! nonlinear function of the task's byte footprint with operator-dependent
+//! CPU factors and multiplicative log-normal noise. The prediction layer
+//! fits the paper's *linear* models (Eqs. 8–9) against durations produced
+//! here — it never sees these coefficients — so prediction error has the
+//! same three sources as on the paper's testbed: selectivity-estimation
+//! error, model mismatch and run-to-run variance.
+
+use crate::job::{TaskKind, TaskSpec};
+use rand::Rng;
+use sapred_plan::dag::JobCategory;
+use sapred_relation::dist::lognormal_factor;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Cost-model coefficients. Defaults approximate the paper's testbed
+/// (SATA disks ~100 MB/s, 1 GB task heaps, Hadoop v1 task overheads).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed startup+teardown per task (JVM spawn, heartbeat) in seconds.
+    pub task_base: f64,
+    /// HDFS read throughput per task, bytes/s.
+    pub read_rate: f64,
+    /// Map-side CPU processing throughput, bytes/s.
+    pub map_cpu_rate: f64,
+    /// Materialization (spill/write) throughput, bytes/s.
+    pub write_rate: f64,
+    /// Shuffle (network fetch) throughput per reduce task, bytes/s.
+    pub shuffle_rate: f64,
+    /// Reduce-side CPU throughput, bytes/s.
+    pub reduce_cpu_rate: f64,
+    /// Coefficient of the super-linear merge-sort term in reduces.
+    pub sort_coeff: f64,
+    /// Extra join CPU per output byte (cartesian growth surcharge).
+    pub join_out_surcharge: f64,
+    /// Sigma of the log-normal noise factor.
+    pub noise_sigma: f64,
+    /// Cluster-load contention: tasks slow down as containers fill because
+    /// co-located tasks share each node's disks and NICs (the paper's
+    /// testbed runs 12 containers against two SATA drives). A task launched
+    /// at utilization `u` runs `1 + contention_coeff·u` times slower.
+    pub contention_coeff: f64,
+    /// Probability that a task is a straggler (slow outlier), as observed
+    /// in production Hadoop; used by robustness experiments (0 = off).
+    pub straggler_prob: f64,
+    /// Multiplicative slowdown of straggler tasks.
+    pub straggler_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            task_base: 2.0,
+            read_rate: 90.0 * MB,
+            map_cpu_rate: 140.0 * MB,
+            write_rate: 70.0 * MB,
+            shuffle_rate: 55.0 * MB,
+            reduce_cpu_rate: 120.0 * MB,
+            sort_coeff: 0.08,
+            join_out_surcharge: 1.0 / (60.0 * MB),
+            noise_sigma: 0.08,
+            contention_coeff: 2.0,
+            straggler_prob: 0.0,
+            straggler_factor: 5.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Operator-dependent map CPU factor: combiners and join-side tagging
+    /// cost extra cycles per byte.
+    fn map_op_factor(&self, cat: JobCategory) -> f64 {
+        match cat {
+            JobCategory::Extract => 1.0,
+            JobCategory::Groupby => 1.25,
+            JobCategory::Join => 1.1,
+        }
+    }
+
+    /// Operator-dependent reduce CPU factor.
+    fn reduce_op_factor(&self, cat: JobCategory) -> f64 {
+        match cat {
+            JobCategory::Extract => 1.0,
+            JobCategory::Groupby => 1.15,
+            JobCategory::Join => 1.35,
+        }
+    }
+
+    /// Noise-free duration of one task, in seconds.
+    pub fn mean_duration(&self, t: &TaskSpec) -> f64 {
+        match t.kind {
+            TaskKind::Map => {
+                self.task_base
+                    + t.bytes_in / self.read_rate
+                    + t.bytes_in * self.map_op_factor(t.category) / self.map_cpu_rate
+                    + t.bytes_out / self.write_rate
+            }
+            TaskKind::Reduce => {
+                // Merge-sort cost grows mildly super-linearly with the
+                // shuffled volume.
+                let sort = 1.0 + self.sort_coeff * (1.0 + t.bytes_in / (256.0 * MB)).log2();
+                let join_extra = if t.category == JobCategory::Join {
+                    // Skew-sensitive surcharge: balanced joins (P→0.5) hit
+                    // the cartesian-growth path hardest, mirroring the
+                    // P(1−P) term the paper adds for joins.
+                    4.0 * t.p * (1.0 - t.p) * t.bytes_out * self.join_out_surcharge
+                } else {
+                    0.0
+                };
+                self.task_base
+                    + t.bytes_in / self.shuffle_rate
+                    + t.bytes_in * sort * self.reduce_op_factor(t.category) / self.reduce_cpu_rate
+                    + t.bytes_out / self.write_rate
+                    + join_extra
+            }
+        }
+    }
+
+    /// Noise-free duration at cluster utilization `load` (fraction of
+    /// containers busy when the task launches, in `[0, 1]`).
+    pub fn mean_duration_loaded(&self, t: &TaskSpec, load: f64) -> f64 {
+        self.mean_duration(t) * (1.0 + self.contention_coeff * load.clamp(0.0, 1.0))
+    }
+
+    /// Sampled duration with log-normal noise (no contention).
+    pub fn duration<R: Rng + ?Sized>(&self, t: &TaskSpec, rng: &mut R) -> f64 {
+        self.mean_duration(t) * lognormal_factor(rng, self.noise_sigma)
+    }
+
+    /// Sampled duration with contention, noise and optional stragglers.
+    pub fn duration_loaded<R: Rng + ?Sized>(&self, t: &TaskSpec, load: f64, rng: &mut R) -> f64 {
+        let mut d = self.mean_duration_loaded(t, load) * lognormal_factor(rng, self.noise_sigma);
+        if self.straggler_prob > 0.0 && rng.gen_bool(self.straggler_prob.clamp(0.0, 1.0)) {
+            d *= self.straggler_factor;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec(kind: TaskKind, cat: JobCategory, bytes_in: f64, bytes_out: f64) -> TaskSpec {
+        TaskSpec { bytes_in, bytes_out, category: cat, kind, p: 0.5 }
+    }
+
+    #[test]
+    fn duration_grows_with_bytes() {
+        let m = CostModel::default();
+        let small = m.mean_duration(&spec(TaskKind::Map, JobCategory::Extract, 64.0 * MB, MB));
+        let big = m.mean_duration(&spec(TaskKind::Map, JobCategory::Extract, 256.0 * MB, MB));
+        assert!(big > 2.0 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn block_sized_map_is_plausible() {
+        // A 256 MB extract map should take seconds-to-tens-of-seconds, like
+        // a real Hadoop task on SATA disks.
+        let m = CostModel::default();
+        let d = m.mean_duration(&spec(TaskKind::Map, JobCategory::Extract, 256.0 * MB, 64.0 * MB));
+        assert!((4.0..40.0).contains(&d), "duration {d}");
+    }
+
+    #[test]
+    fn join_reduce_costs_more_than_extract() {
+        let m = CostModel::default();
+        let j = m.mean_duration(&spec(TaskKind::Reduce, JobCategory::Join, 128.0 * MB, 128.0 * MB));
+        let e =
+            m.mean_duration(&spec(TaskKind::Reduce, JobCategory::Extract, 128.0 * MB, 128.0 * MB));
+        assert!(j > e);
+    }
+
+    #[test]
+    fn balanced_join_skew_surcharge_peaks() {
+        let m = CostModel::default();
+        let mut balanced = spec(TaskKind::Reduce, JobCategory::Join, 64.0 * MB, 256.0 * MB);
+        balanced.p = 0.5;
+        let mut skewed = balanced;
+        skewed.p = 0.99;
+        assert!(m.mean_duration(&balanced) > m.mean_duration(&skewed));
+    }
+
+    #[test]
+    fn noise_is_multiplicative_and_positive() {
+        let m = CostModel::default();
+        let t = spec(TaskKind::Map, JobCategory::Extract, 256.0 * MB, MB);
+        let mean = m.mean_duration(&t);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = 0.0;
+        for _ in 0..2000 {
+            let d = m.duration(&t, &mut rng);
+            assert!(d > 0.0);
+            acc += d;
+        }
+        let sampled_mean = acc / 2000.0;
+        assert!((sampled_mean - mean).abs() / mean < 0.05, "{sampled_mean} vs {mean}");
+    }
+
+    #[test]
+    fn zero_byte_task_still_pays_base() {
+        let m = CostModel::default();
+        let d = m.mean_duration(&spec(TaskKind::Map, JobCategory::Extract, 0.0, 0.0));
+        assert_eq!(d, m.task_base);
+    }
+
+    #[test]
+    fn contention_slows_tasks_linearly_in_load() {
+        let m = CostModel::default();
+        let t = spec(TaskKind::Map, JobCategory::Extract, 256.0 * MB, 64.0 * MB);
+        let idle = m.mean_duration_loaded(&t, 0.0);
+        let half = m.mean_duration_loaded(&t, 0.5);
+        let full = m.mean_duration_loaded(&t, 1.0);
+        assert_eq!(idle, m.mean_duration(&t));
+        assert!((half - idle * (1.0 + 0.5 * m.contention_coeff)).abs() < 1e-9);
+        assert!((full - idle * (1.0 + m.contention_coeff)).abs() < 1e-9);
+        // Load outside [0,1] is clamped.
+        assert_eq!(m.mean_duration_loaded(&t, 2.0), full);
+    }
+
+    #[test]
+    fn stragglers_fatten_the_tail() {
+        let mut m =
+            CostModel { straggler_prob: 0.1, straggler_factor: 8.0, ..Default::default() };
+        let t = spec(TaskKind::Map, JobCategory::Extract, 128.0 * MB, MB);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = m.mean_duration(&t);
+        let n = 5000;
+        let slow = (0..n)
+            .filter(|_| m.duration_loaded(&t, 0.0, &mut rng) > 4.0 * mean)
+            .count();
+        // ~10% of tasks are stragglers at 8x.
+        let frac = slow as f64 / n as f64;
+        assert!((0.06..0.14).contains(&frac), "straggler fraction {frac}");
+        // With stragglers off, nothing exceeds 4x the mean at sigma 8%.
+        m.straggler_prob = 0.0;
+        assert!((0..n).all(|_| m.duration_loaded(&t, 0.0, &mut rng) < 4.0 * mean));
+    }
+
+    #[test]
+    fn sort_term_superlinear() {
+        let m = CostModel::default();
+        let r1 = m.mean_duration(&spec(TaskKind::Reduce, JobCategory::Extract, 256.0 * MB, 0.0));
+        let r2 = m.mean_duration(&spec(TaskKind::Reduce, JobCategory::Extract, 1024.0 * MB, 0.0));
+        // 4x the bytes should cost more than 4x the per-byte portion.
+        assert!(r2 - m.task_base > 4.0 * (r1 - m.task_base), "{r2} vs {r1}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulation-side job and query descriptions.
+
+use sapred_plan::dag::JobCategory;
+
+/// Map or reduce task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// Map task (reads an input split).
+    Map,
+    /// Reduce task (shuffles, sorts and reduces map output).
+    Reduce,
+}
+
+/// One task's workload, in modeled bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Bytes this task reads.
+    pub bytes_in: f64,
+    /// Bytes this task writes.
+    pub bytes_out: f64,
+    /// Operator category of the owning job.
+    pub category: JobCategory,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Join skew ratio of the parent job (0.5 for non-joins); feeds the
+    /// ground-truth join surcharge.
+    pub p: f64,
+}
+
+/// Predicted per-task times for one job, attached by the prediction layer
+/// (the *percolated* information SWRD uses). Times are seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobPrediction {
+    /// Predicted average map-task seconds.
+    pub map_task_time: f64,
+    /// Predicted average reduce-task seconds.
+    pub reduce_task_time: f64,
+}
+
+/// One MapReduce job of a query, as submitted to the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Index within the owning query's DAG.
+    pub id: usize,
+    /// Jobs of the same query that must finish before this one is submitted.
+    pub deps: Vec<usize>,
+    /// Operator category (drives the ground-truth cost model).
+    pub category: JobCategory,
+    /// One spec per map task.
+    pub maps: Vec<TaskSpec>,
+    /// One spec per reduce task (empty for map-only jobs).
+    pub reduces: Vec<TaskSpec>,
+    /// Predicted task times (zeros when prediction is disabled).
+    pub prediction: JobPrediction,
+}
+
+impl SimJob {
+    /// Total ground-truth-agnostic workload proxy: bytes touched.
+    pub fn total_bytes(&self) -> f64 {
+        self.maps.iter().chain(&self.reduces).map(|t| t.bytes_in + t.bytes_out).sum()
+    }
+}
+
+/// A query: a DAG of jobs plus its arrival time.
+#[derive(Debug, Clone)]
+pub struct SimQuery {
+    /// Query name, for reporting.
+    pub name: String,
+    /// Submission time in simulation seconds.
+    pub arrival: f64,
+    /// The query's jobs in topological order.
+    pub jobs: Vec<SimJob>,
+}
+
+impl SimQuery {
+    /// Validate DAG invariants (dense ids, backward deps only).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.id != i {
+                return Err(format!("job id {} at position {i}", j.id));
+            }
+            for &d in &j.deps {
+                if d >= i {
+                    return Err(format!("job {i} depends on non-earlier job {d}"));
+                }
+            }
+            if j.maps.is_empty() {
+                return Err(format!("job {i} has no map tasks"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Remaining WRD (Eq. 10) at submission time: all tasks pending.
+    pub fn initial_wrd(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| {
+                j.prediction.map_task_time * j.maps.len() as f64
+                    + j.prediction.reduce_task_time * j.reduces.len() as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(bytes: f64, kind: TaskKind) -> TaskSpec {
+        TaskSpec {
+            bytes_in: bytes,
+            bytes_out: bytes / 2.0,
+            category: JobCategory::Extract,
+            kind,
+            p: 0.5,
+        }
+    }
+
+    fn query() -> SimQuery {
+        SimQuery {
+            name: "q".into(),
+            arrival: 0.0,
+            jobs: vec![
+                SimJob {
+                    id: 0,
+                    deps: vec![],
+                    category: JobCategory::Extract,
+                    maps: vec![task(100.0, TaskKind::Map); 4],
+                    reduces: vec![task(50.0, TaskKind::Reduce); 2],
+                    prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 3.0 },
+                },
+                SimJob {
+                    id: 1,
+                    deps: vec![0],
+                    category: JobCategory::Extract,
+                    maps: vec![task(10.0, TaskKind::Map)],
+                    reduces: vec![],
+                    prediction: JobPrediction { map_task_time: 1.0, reduce_task_time: 0.0 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_dag() {
+        assert!(query().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_dep() {
+        let mut q = query();
+        q.jobs[0].deps.push(1);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn initial_wrd_sums() {
+        let q = query();
+        assert_eq!(q.initial_wrd(), 2.0 * 4.0 + 3.0 * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn total_bytes() {
+        let q = query();
+        assert_eq!(q.jobs[0].total_bytes(), 4.0 * 150.0 + 2.0 * 75.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Schedulers: job-level FIFO / Capacity / Fair, and the paper's
+//! query-level SWRD (Smallest Weighted Resource Demand first, §4.3).
+//!
+//! The engine calls [`Scheduler::pick`] once per free container with the
+//! current set of runnable jobs; the scheduler returns which job should
+//! receive the container. A job never has pending maps and pending reduces
+//! at the same time (reduces unlock when the map phase completes), so the
+//! choice of task kind is implied.
+
+use crate::job::TaskKind;
+
+/// A scheduler's view of one runnable job (has at least one pending task).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnableJob {
+    /// Owning query's index.
+    pub query: usize,
+    /// Job id within the query's DAG.
+    pub job: usize,
+    /// When Hive submitted this job to the cluster.
+    pub submit_time: f64,
+    /// When the owning query arrived.
+    pub arrival: f64,
+    /// Map tasks not yet dispatched.
+    pub pending_maps: usize,
+    /// Reduce tasks not yet dispatched (0 until the map phase ends).
+    pub pending_reduces: usize,
+    /// Currently running tasks of this job.
+    pub running: usize,
+    /// Remaining Weighted Resource Demand of the owning *query* (Eq. 10),
+    /// from percolated predictions. Zero when prediction is disabled.
+    pub query_wrd: f64,
+    /// Remaining critical-path time of the owning query (predicted job
+    /// processing times along the unfinished DAG), used by [`Srt`].
+    pub query_time: f64,
+    /// Total running tasks of the owning query (all jobs), used by
+    /// [`HcsQueues`] for per-queue share accounting.
+    pub query_running: usize,
+}
+
+impl RunnableJob {
+    /// The task kind this job would run next.
+    pub fn next_kind(&self) -> TaskKind {
+        if self.pending_reduces > 0 {
+            TaskKind::Reduce
+        } else {
+            TaskKind::Map
+        }
+    }
+}
+
+/// The engine's ask: which runnable job gets the next free container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskChoice {
+    /// Chosen query index.
+    pub query: usize,
+    /// Chosen job id within the query.
+    pub job: usize,
+    /// Task kind to launch (implied by the job's phase).
+    pub kind: TaskKind,
+}
+
+/// Scheduling policy.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &'static str;
+    /// Choose a job for the next free container, or `None` to leave it idle.
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice>;
+}
+
+fn choice(j: &RunnableJob) -> TaskChoice {
+    TaskChoice { query: j.query, job: j.job, kind: j.next_kind() }
+}
+
+/// Query-arrival FIFO: containers go to the earliest-arrived query's jobs
+/// first (job submit order within a query). A simple query-aware baseline —
+/// it avoids cross-query interleaving but ignores resource demand.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        runnable
+            .iter()
+            .min_by(|a, b| {
+                (a.arrival, a.query, a.submit_time, a.job)
+                    .partial_cmp(&(b.arrival, b.query, b.submit_time, b.job))
+                    .expect("no NaN times")
+            })
+            .map(choice)
+    }
+}
+
+/// Hadoop Capacity Scheduler (single queue, the paper's configuration):
+/// jobs are served strictly in *job submission* order with greedy backfill.
+/// Because a DAG's downstream jobs are submitted only when their parents
+/// finish, jobs of later queries routinely overtake them — the resource
+/// thrashing of paper §2.1 (Figs. 1–2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hcs;
+
+impl Scheduler for Hcs {
+    fn name(&self) -> &'static str {
+        "HCS"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        runnable
+            .iter()
+            .min_by(|a, b| {
+                (a.submit_time, a.query, a.job)
+                    .partial_cmp(&(b.submit_time, b.query, b.job))
+                    .expect("no NaN times")
+            })
+            .map(choice)
+    }
+}
+
+/// Hadoop Fair Scheduler: every active job gets an equal share of
+/// containers; each free container goes to the runnable job with the fewest
+/// running tasks. Resources are divided thinly across all jobs (§2.1).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hfs;
+
+impl Scheduler for Hfs {
+    fn name(&self) -> &'static str {
+        "HFS"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        runnable
+            .iter()
+            .min_by(|a, b| {
+                (a.running, a.submit_time, a.query, a.job)
+                    .partial_cmp(&(b.running, b.submit_time, b.query, b.job))
+                    .expect("no NaN times")
+            })
+            .map(choice)
+    }
+}
+
+/// The paper's case-study scheduler (§4.3): queries are ranked by their
+/// remaining Weighted Resource Demand; all containers go to the
+/// smallest-WRD query first (job submit order within the query). Requires
+/// the percolated per-task time predictions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Swrd;
+
+impl Scheduler for Swrd {
+    fn name(&self) -> &'static str {
+        "SWRD"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        runnable
+            .iter()
+            .min_by(|a, b| {
+                (a.query_wrd, a.arrival, a.query, a.submit_time, a.job)
+                    .partial_cmp(&(b.query_wrd, b.arrival, b.query, b.submit_time, b.job))
+                    .expect("no NaN wrd")
+            })
+            .map(choice)
+    }
+}
+
+/// The multi-queue Hadoop Capacity Scheduler: queries are hashed onto
+/// queues, each queue has a guaranteed share of the container pool, and
+/// free containers go to the most under-served queue (lowest
+/// running-to-capacity ratio) with FIFO job order inside the queue. With a
+/// single queue this degenerates to [`Hcs`]. The paper's testbed uses the
+/// default single-queue configuration; this variant exists to show the
+/// thrashing of §2.1 is not an artifact of that choice.
+#[derive(Debug, Clone)]
+pub struct HcsQueues {
+    capacities: Vec<f64>,
+}
+
+impl HcsQueues {
+    /// Create with one guaranteed share per queue.
+    ///
+    /// # Panics
+    /// Panics if `capacities` is empty or has non-positive entries.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        assert!(!capacities.is_empty(), "need at least one queue");
+        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        Self { capacities }
+    }
+
+    fn queue_of(&self, query: usize) -> usize {
+        query % self.capacities.len()
+    }
+}
+
+impl Scheduler for HcsQueues {
+    fn name(&self) -> &'static str {
+        "HCS-queues"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        // Running tasks per queue (each query counted once).
+        let n = self.capacities.len();
+        let mut running = vec![0usize; n];
+        let mut counted: Vec<usize> = Vec::new();
+        for r in runnable {
+            if !counted.contains(&r.query) {
+                counted.push(r.query);
+                running[self.queue_of(r.query)] += r.query_running;
+            }
+        }
+        // Most under-served queue that has pending work.
+        let best_queue = (0..n)
+            .filter(|&q| runnable.iter().any(|r| self.queue_of(r.query) == q))
+            .min_by(|&a, &b| {
+                let ra = running[a] as f64 / self.capacities[a];
+                let rb = running[b] as f64 / self.capacities[b];
+                ra.partial_cmp(&rb).expect("no NaN").then(a.cmp(&b))
+            })?;
+        runnable
+            .iter()
+            .filter(|r| self.queue_of(r.query) == best_queue)
+            .min_by(|a, b| {
+                (a.submit_time, a.query, a.job)
+                    .partial_cmp(&(b.submit_time, b.query, b.job))
+                    .expect("no NaN times")
+            })
+            .map(choice)
+    }
+}
+
+/// Smallest-Remaining-Time-first at the query level: like SWRD but ranking
+/// queries by their predicted remaining *critical-path time* instead of
+/// their Weighted Resource Demand. The paper argues (§4.3) that temporal
+/// demand alone is not enough — a query's WRD also captures how many
+/// containers it will occupy; the A4 ablation compares the two directly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Srt;
+
+impl Scheduler for Srt {
+    fn name(&self) -> &'static str {
+        "SRT"
+    }
+
+    fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
+        runnable
+            .iter()
+            .min_by(|a, b| {
+                (a.query_time, a.arrival, a.query, a.submit_time, a.job)
+                    .partial_cmp(&(b.query_time, b.arrival, b.query, b.submit_time, b.job))
+                    .expect("no NaN time")
+            })
+            .map(choice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(query: usize, job_id: usize, submit: f64, arrival: f64) -> RunnableJob {
+        RunnableJob {
+            query,
+            job: job_id,
+            submit_time: submit,
+            arrival,
+            pending_maps: 3,
+            pending_reduces: 0,
+            running: 0,
+            query_wrd: 100.0,
+            query_time: 50.0,
+            query_running: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_prefers_oldest_query() {
+        let mut s = Fifo;
+        // Query 1 arrived later but its job was submitted earlier.
+        let r = vec![job(0, 1, 10.0, 0.0), job(1, 0, 5.0, 2.0)];
+        let c = s.pick(&r).unwrap();
+        assert_eq!(c.query, 0);
+    }
+
+    #[test]
+    fn hcs_prefers_earliest_submitted_job() {
+        let mut s = Hcs;
+        let r = vec![job(0, 1, 10.0, 0.0), job(1, 0, 5.0, 2.0)];
+        let c = s.pick(&r).unwrap();
+        assert_eq!(c.query, 1, "HCS follows job submit order, not query arrival");
+    }
+
+    #[test]
+    fn hfs_balances_running_counts() {
+        let mut s = Hfs;
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.running = 5;
+        let b = job(1, 0, 1.0, 1.0);
+        let c = s.pick(&[a, b]).unwrap();
+        assert_eq!(c.query, 1);
+    }
+
+    #[test]
+    fn swrd_prefers_smallest_demand() {
+        let mut s = Swrd;
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.query_wrd = 500.0;
+        let mut b = job(1, 0, 1.0, 1.0);
+        b.query_wrd = 50.0;
+        let c = s.pick(&[a, b]).unwrap();
+        assert_eq!(c.query, 1);
+    }
+
+    #[test]
+    fn hcs_queues_serves_the_underserved_queue() {
+        // Two queues, equal capacity. Query 0 (queue 0) already has 10
+        // running tasks; query 1 (queue 1) has none: queue 1 wins even
+        // though query 0's job was submitted earlier.
+        let mut s = HcsQueues::new(vec![0.5, 0.5]);
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.query_running = 10;
+        let b = job(1, 0, 5.0, 5.0);
+        let c = s.pick(&[a, b]).unwrap();
+        assert_eq!(c.query, 1);
+        // With capacities 10:1, queue 0 is under-served even at 8 running.
+        let mut s = HcsQueues::new(vec![10.0, 1.0]);
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.query_running = 8;
+        let mut b = job(1, 0, 5.0, 5.0);
+        b.query_running = 1;
+        let c = s.pick(&[a, b]).unwrap();
+        assert_eq!(c.query, 0);
+    }
+
+    #[test]
+    fn hcs_queues_single_queue_matches_hcs() {
+        let r = vec![job(0, 1, 10.0, 0.0), job(1, 0, 5.0, 2.0)];
+        let a = HcsQueues::new(vec![1.0]).pick(&r).unwrap();
+        let b = Hcs.pick(&r).unwrap();
+        assert_eq!((a.query, a.job), (b.query, b.job));
+    }
+
+    #[test]
+    fn srt_prefers_smallest_remaining_time() {
+        let mut s = Srt;
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.query_time = 500.0;
+        a.query_wrd = 1.0; // would win under SWRD
+        let mut b = job(1, 0, 1.0, 1.0);
+        b.query_time = 5.0;
+        b.query_wrd = 1000.0;
+        let c = s.pick(&[a, b]).unwrap();
+        assert_eq!(c.query, 1);
+    }
+
+    #[test]
+    fn reduce_kind_when_reduces_pending() {
+        let mut s = Fifo;
+        let mut a = job(0, 0, 0.0, 0.0);
+        a.pending_maps = 0;
+        a.pending_reduces = 2;
+        let c = s.pick(&[a]).unwrap();
+        assert_eq!(c.kind, TaskKind::Reduce);
+    }
+
+    #[test]
+    fn empty_runnable_gives_none() {
+        assert!(Fifo.pick(&[]).is_none());
+        assert!(Hcs.pick(&[]).is_none());
+        assert!(Hfs.pick(&[]).is_none());
+        assert!(Swrd.pick(&[]).is_none());
+        assert!(Srt.pick(&[]).is_none());
+        assert!(HcsQueues::new(vec![1.0]).pick(&[]).is_none());
+    }
+}

@@ -1,0 +1,621 @@
+//! The discrete-event simulation engine.
+
+use crate::cost::CostModel;
+use crate::job::{SimQuery, TaskKind, TaskSpec};
+use crate::sched::{RunnableJob, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sapred_plan::dag::JobCategory;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cluster configuration (defaults mirror the paper's testbed: 9 nodes ×
+/// 12 containers, 1 GB per reducer, small job-submission overhead).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Task slots per node (the paper configures 12).
+    pub containers_per_node: usize,
+    /// Hive's `bytes.per.reducer`: reduce-task count = ⌈D_med / this⌉.
+    pub bytes_per_reducer: f64,
+    /// Upper bound on reduce tasks per job.
+    pub max_reducers: usize,
+    /// Delay between a dependency finishing and the dependent job's
+    /// submission (JobTracker round-trips).
+    pub submit_overhead: f64,
+    /// RNG seed for task-duration sampling.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 9,
+            containers_per_node: 12,
+            bytes_per_reducer: 1024.0 * 1024.0 * 1024.0,
+            max_reducers: 108,
+            submit_overhead: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total container slots in the cluster.
+    pub fn total_containers(&self) -> usize {
+        self.nodes * self.containers_per_node
+    }
+}
+
+/// Per-query outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStat {
+    /// Query name.
+    pub name: String,
+    /// When the query arrived.
+    pub arrival: f64,
+    /// First task launch of any of its jobs.
+    pub start: f64,
+    /// When its last job finished.
+    pub finish: f64,
+}
+
+impl QueryStat {
+    /// Response time = completion − arrival (what Fig. 8 reports).
+    pub fn response(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Execution stall: time between arrival and first task.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+}
+
+/// Per-job outcome, including the measured average task times the training
+/// harness uses as ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStat {
+    /// Owning query's index.
+    pub query: usize,
+    /// Job id within the query's DAG.
+    pub job: usize,
+    /// Operator category.
+    pub category: JobCategory,
+    /// When Hive submitted the job (dependencies satisfied).
+    pub submit: f64,
+    /// First task launch.
+    pub start: f64,
+    /// Last task completion.
+    pub finish: f64,
+    /// Map task count.
+    pub n_maps: usize,
+    /// Reduce task count.
+    pub n_reduces: usize,
+    /// Measured average map-task seconds.
+    pub map_task_avg: f64,
+    /// Measured average reduce-task seconds (0 for map-only jobs).
+    pub reduce_task_avg: f64,
+}
+
+impl JobStat {
+    /// Measured job execution time (start of first task → last task done).
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Full simulation outcome.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Per-query outcomes, in submission order.
+    pub queries: Vec<QueryStat>,
+    /// Per-job outcomes.
+    pub jobs: Vec<JobStat>,
+    /// Time of the last event.
+    pub makespan: f64,
+}
+
+impl SimReport {
+    /// Mean query response time (Fig. 8's metric).
+    pub fn mean_response(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(QueryStat::response).sum::<f64>() / self.queries.len() as f64
+    }
+}
+
+/// Totally ordered f64 for the event heap (no NaNs by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A query arrives: submit its root jobs.
+    Arrival { q: usize },
+    /// A job becomes visible to the scheduler.
+    Submit { q: usize, j: usize },
+    /// A task finishes. Duration is carried via the task bookkeeping.
+    TaskDone { q: usize, j: usize, kind: TaskKind, duration_ms: u64 },
+}
+
+#[derive(Debug, Clone, Default)]
+struct JobState {
+    submitted: bool,
+    submit_time: f64,
+    started: Option<f64>,
+    finished: Option<f64>,
+    pending_maps: usize,
+    running_maps: usize,
+    done_maps: usize,
+    pending_reduces: usize,
+    running_reduces: usize,
+    done_reduces: usize,
+    next_map: usize,
+    next_reduce: usize,
+    map_time_sum: f64,
+    reduce_time_sum: f64,
+    reduces_unlocked: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct QueryState {
+    jobs_done: usize,
+    started: Option<f64>,
+    finished: Option<f64>,
+}
+
+/// The simulator: owns the cluster config, cost model and scheduler.
+pub struct Simulator<S: Scheduler> {
+    /// Cluster topology and Hadoop-parameter configuration.
+    pub config: ClusterConfig,
+    /// Ground-truth task cost model.
+    pub cost: CostModel,
+    /// The scheduling policy under test.
+    pub scheduler: S,
+}
+
+impl<S: Scheduler> Simulator<S> {
+    /// Assemble a simulator.
+    pub fn new(config: ClusterConfig, cost: CostModel, scheduler: S) -> Self {
+        Self { config, cost, scheduler }
+    }
+
+    /// Run all queries to completion and report.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run(&mut self, queries: &[SimQuery]) -> SimReport {
+        for q in queries {
+            if let Err(e) = q.validate() {
+                panic!("invalid query {}: {e}", q.name);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, t: f64, e: Event, seq: &mut u64| {
+            heap.push(Reverse((Time(t), *seq, e)));
+            *seq += 1;
+        };
+
+        let mut jobs: Vec<Vec<JobState>> =
+            queries.iter().map(|q| vec![JobState::default(); q.jobs.len()]).collect();
+        let mut qstate: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        for (i, q) in queries.iter().enumerate() {
+            push(&mut heap, q.arrival, Event::Arrival { q: i }, &mut seq);
+        }
+
+        let mut free = self.config.total_containers();
+        let mut now = 0.0f64;
+        let mut done_queries = 0usize;
+
+        while let Some(Reverse((Time(t), _, event))) = heap.pop() {
+            debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
+            now = t;
+            match event {
+                Event::Arrival { q } => {
+                    for job in &queries[q].jobs {
+                        if job.deps.is_empty() {
+                            push(&mut heap, now, Event::Submit { q, j: job.id }, &mut seq);
+                        }
+                    }
+                }
+                Event::Submit { q, j } => {
+                    let js = &mut jobs[q][j];
+                    js.submitted = true;
+                    js.submit_time = now;
+                    js.pending_maps = queries[q].jobs[j].maps.len();
+                    js.reduces_unlocked = queries[q].jobs[j].reduces.is_empty();
+                }
+                Event::TaskDone { q, j, kind, duration_ms } => {
+                    free += 1;
+                    let duration = duration_ms as f64 / 1e3;
+                    let js = &mut jobs[q][j];
+                    match kind {
+                        TaskKind::Map => {
+                            js.running_maps -= 1;
+                            js.done_maps += 1;
+                            js.map_time_sum += duration;
+                            if js.done_maps == queries[q].jobs[j].maps.len()
+                                && !queries[q].jobs[j].reduces.is_empty()
+                            {
+                                js.pending_reduces = queries[q].jobs[j].reduces.len();
+                                js.reduces_unlocked = true;
+                            }
+                        }
+                        TaskKind::Reduce => {
+                            js.running_reduces -= 1;
+                            js.done_reduces += 1;
+                            js.reduce_time_sum += duration;
+                        }
+                    }
+                    let job_done = js.done_maps == queries[q].jobs[j].maps.len()
+                        && js.done_reduces == queries[q].jobs[j].reduces.len();
+                    if job_done && js.finished.is_none() {
+                        js.finished = Some(now);
+                        qstate[q].jobs_done += 1;
+                        // Submit dependents whose parents are all finished.
+                        for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&j)) {
+                            let ready = dep
+                                .deps
+                                .iter()
+                                .all(|&p| jobs[q][p].finished.is_some());
+                            if ready && !jobs[q][dep.id].submitted {
+                                push(
+                                    &mut heap,
+                                    now + self.config.submit_overhead,
+                                    Event::Submit { q, j: dep.id },
+                                    &mut seq,
+                                );
+                            }
+                        }
+                        if qstate[q].jobs_done == queries[q].jobs.len() {
+                            qstate[q].finished = Some(now);
+                            done_queries += 1;
+                        }
+                    }
+                }
+            }
+
+            // Dispatch free containers.
+            while free > 0 {
+                let runnable = collect_runnable(queries, &jobs, self.config.total_containers());
+                let Some(c) = self.scheduler.pick(&runnable) else { break };
+                let js = &mut jobs[c.query][c.job];
+                let spec: TaskSpec = match c.kind {
+                    TaskKind::Map => {
+                        debug_assert!(js.pending_maps > 0);
+                        js.pending_maps -= 1;
+                        js.running_maps += 1;
+                        let s = queries[c.query].jobs[c.job].maps[js.next_map];
+                        js.next_map += 1;
+                        s
+                    }
+                    TaskKind::Reduce => {
+                        debug_assert!(js.pending_reduces > 0 && js.reduces_unlocked);
+                        js.pending_reduces -= 1;
+                        js.running_reduces += 1;
+                        let s = queries[c.query].jobs[c.job].reduces[js.next_reduce];
+                        js.next_reduce += 1;
+                        s
+                    }
+                };
+                if js.started.is_none() {
+                    js.started = Some(now);
+                }
+                if qstate[c.query].started.is_none() {
+                    qstate[c.query].started = Some(now);
+                }
+                free -= 1;
+                let load = 1.0 - free as f64 / self.config.total_containers() as f64;
+                let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
+                push(
+                    &mut heap,
+                    now + duration,
+                    Event::TaskDone {
+                        q: c.query,
+                        j: c.job,
+                        kind: c.kind,
+                        duration_ms: (duration * 1e3).round() as u64,
+                    },
+                    &mut seq,
+                );
+            }
+        }
+
+        assert_eq!(done_queries, queries.len(), "simulation ended with unfinished queries");
+        assert_eq!(free, self.config.total_containers(), "containers leaked");
+
+        let mut report = SimReport { makespan: now, ..Default::default() };
+        for (qi, q) in queries.iter().enumerate() {
+            let qs = &qstate[qi];
+            report.queries.push(QueryStat {
+                name: q.name.clone(),
+                arrival: q.arrival,
+                start: qs.started.expect("query started"),
+                finish: qs.finished.expect("query finished"),
+            });
+            for job in &q.jobs {
+                let js = &jobs[qi][job.id];
+                let n_maps = job.maps.len();
+                let n_reduces = job.reduces.len();
+                report.jobs.push(JobStat {
+                    query: qi,
+                    job: job.id,
+                    category: job.category,
+                    submit: js.submit_time,
+                    start: js.started.expect("job started"),
+                    finish: js.finished.expect("job finished"),
+                    n_maps,
+                    n_reduces,
+                    map_task_avg: if n_maps > 0 { js.map_time_sum / n_maps as f64 } else { 0.0 },
+                    reduce_task_avg: if n_reduces > 0 {
+                        js.reduce_time_sum / n_reduces as f64
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+        report
+    }
+}
+
+fn collect_runnable(
+    queries: &[SimQuery],
+    jobs: &[Vec<JobState>],
+    containers: usize,
+) -> Vec<RunnableJob> {
+    let mut out = Vec::new();
+    let c = containers.max(1) as f64;
+    for (qi, q) in queries.iter().enumerate() {
+        // Remaining WRD over all unfinished jobs (Eq. 10), from percolated
+        // per-task time predictions.
+        let wrd: f64 = q
+            .jobs
+            .iter()
+            .filter(|j| jobs[qi][j.id].finished.is_none())
+            .map(|j| {
+                let js = &jobs[qi][j.id];
+                j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
+                    + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64
+            })
+            .sum();
+        // Total running tasks of this query (for queue-share accounting).
+        let query_running: usize = q
+            .jobs
+            .iter()
+            .map(|j| jobs[qi][j.id].running_maps + jobs[qi][j.id].running_reduces)
+            .sum();
+        // Remaining critical-path time (jobs are topologically ordered, so
+        // one forward pass suffices): each unfinished job contributes its
+        // predicted remaining processing time spread over the containers.
+        let mut acc = vec![0.0f64; q.jobs.len()];
+        let mut crit = 0.0f64;
+        for j in &q.jobs {
+            let js = &jobs[qi][j.id];
+            let own = if js.finished.is_some() {
+                0.0
+            } else {
+                (j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
+                    + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64)
+                    / c
+            };
+            let dep_max = j.deps.iter().map(|&d| acc[d]).fold(0.0, f64::max);
+            acc[j.id] = dep_max + own;
+            crit = crit.max(acc[j.id]);
+        }
+        for j in &q.jobs {
+            let js = &jobs[qi][j.id];
+            if !js.submitted || js.finished.is_some() {
+                continue;
+            }
+            let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+            if js.pending_maps == 0 && pending_reduces == 0 {
+                continue;
+            }
+            out.push(RunnableJob {
+                query: qi,
+                job: j.id,
+                submit_time: js.submit_time,
+                arrival: q.arrival,
+                pending_maps: js.pending_maps,
+                pending_reduces,
+                running: js.running_maps + js.running_reduces,
+                query_wrd: wrd,
+                query_time: crit,
+                query_running,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobPrediction, SimJob};
+    use crate::sched::{Fifo, Hcs, Swrd};
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    fn task(kind: TaskKind, bytes: f64) -> TaskSpec {
+        TaskSpec {
+            bytes_in: bytes,
+            bytes_out: bytes / 2.0,
+            category: JobCategory::Extract,
+            kind,
+            p: 0.5,
+        }
+    }
+
+    fn simple_query(name: &str, arrival: f64, n_maps: usize, n_reduces: usize) -> SimQuery {
+        SimQuery {
+            name: name.into(),
+            arrival,
+            jobs: vec![SimJob {
+                id: 0,
+                deps: vec![],
+                category: JobCategory::Extract,
+                maps: vec![task(TaskKind::Map, 256.0 * MB); n_maps],
+                reduces: vec![task(TaskKind::Reduce, 128.0 * MB); n_reduces],
+                prediction: JobPrediction { map_task_time: 5.0, reduce_task_time: 5.0 },
+            }],
+        }
+    }
+
+    fn chained_query(name: &str, arrival: f64, jobs: usize, maps_per_job: usize) -> SimQuery {
+        SimQuery {
+            name: name.into(),
+            arrival,
+            jobs: (0..jobs)
+                .map(|i| SimJob {
+                    id: i,
+                    deps: if i == 0 { vec![] } else { vec![i - 1] },
+                    category: JobCategory::Extract,
+                    maps: vec![task(TaskKind::Map, 256.0 * MB); maps_per_job],
+                    reduces: vec![task(TaskKind::Reduce, 64.0 * MB); 2],
+                    prediction: JobPrediction { map_task_time: 6.0, reduce_task_time: 3.0 },
+                })
+                .collect(),
+        }
+    }
+
+    fn sim<S: Scheduler>(s: S) -> Simulator<S> {
+        Simulator::new(ClusterConfig::default(), CostModel::default(), s)
+    }
+
+    #[test]
+    fn single_query_completes() {
+        let r = sim(Fifo).run(&[simple_query("q", 0.0, 8, 2)]);
+        assert_eq!(r.queries.len(), 1);
+        assert!(r.queries[0].finish > 0.0);
+        assert!(r.queries[0].response() > 0.0);
+        assert_eq!(r.jobs.len(), 1);
+        assert!(r.jobs[0].map_task_avg > 0.0);
+        assert!(r.jobs[0].reduce_task_avg > 0.0);
+    }
+
+    #[test]
+    fn reduces_start_after_maps() {
+        // One container: tasks strictly serialize; with 2 maps and 1 reduce
+        // the job takes roughly 3 task times.
+        let config = ClusterConfig { nodes: 1, containers_per_node: 1, ..Default::default() };
+        let mut s = Simulator::new(config, CostModel::default(), Fifo);
+        let r = s.run(&[simple_query("q", 0.0, 2, 1)]);
+        let j = &r.jobs[0];
+        // Duration must cover both map tasks before the reduce could start.
+        assert!(j.duration() >= 2.0 * j.map_task_avg * 0.9);
+    }
+
+    #[test]
+    fn dag_dependencies_respected() {
+        let r = sim(Fifo).run(&[chained_query("q", 0.0, 3, 4)]);
+        assert_eq!(r.jobs.len(), 3);
+        for w in r.jobs.windows(2) {
+            // Chained: job i+1 starts only after job i finishes.
+            assert!(w[1].start >= w[0].finish, "{:?}", r.jobs);
+        }
+    }
+
+    #[test]
+    fn more_containers_help_parallel_job() {
+        let mk = |containers: usize| {
+            let config = ClusterConfig {
+                nodes: 1,
+                containers_per_node: containers,
+                ..Default::default()
+            };
+            Simulator::new(config, CostModel::default(), Fifo)
+                .run(&[simple_query("q", 0.0, 32, 4)])
+                .queries[0]
+                .response()
+        };
+        assert!(mk(32) < 0.5 * mk(2), "{} vs {}", mk(32), mk(2));
+    }
+
+    #[test]
+    fn hcs_interleaves_but_fifo_does_not() {
+        // Big query A (2 chained jobs that saturate the cluster) and a
+        // small query B arriving mid-execution. B's job is *submitted*
+        // before A's second job (which waits on A's first), so under HCS
+        // (job submit order) B overtakes A-J2, while query-arrival FIFO
+        // keeps B behind everything A runs.
+        let config = ClusterConfig { submit_overhead: 0.0, ..Default::default() };
+        let queries = vec![
+            chained_query("big", 0.0, 2, 1200),
+            simple_query("small", 30.0, 300, 8),
+        ];
+        let hcs = Simulator::new(config, CostModel::default(), Hcs).run(&queries);
+        let fifo = Simulator::new(config, CostModel::default(), Fifo).run(&queries);
+        let small_hcs = hcs.queries[1].response();
+        let small_fifo = fifo.queries[1].response();
+        assert!(
+            small_hcs < 0.8 * small_fifo,
+            "hcs {small_hcs} fifo {small_fifo}"
+        );
+    }
+
+    #[test]
+    fn swrd_prioritizes_small_queries() {
+        // One huge query and three small ones arriving together.
+        let queries = vec![
+            chained_query("huge", 0.0, 4, 200),
+            simple_query("s1", 0.5, 4, 2),
+            simple_query("s2", 0.6, 4, 2),
+            simple_query("s3", 0.7, 4, 2),
+        ];
+        let swrd = sim(Swrd).run(&queries);
+        let hcs = sim(Hcs).run(&queries);
+        let mean_small = |r: &SimReport| {
+            r.queries[1..].iter().map(QueryStat::response).sum::<f64>() / 3.0
+        };
+        assert!(
+            mean_small(&swrd) < mean_small(&hcs),
+            "swrd {} hcs {}",
+            mean_small(&swrd),
+            mean_small(&hcs)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let queries = vec![chained_query("q", 0.0, 2, 8), simple_query("r", 3.0, 4, 2)];
+        let a = sim(Fifo).run(&queries);
+        let b = sim(Fifo).run(&queries);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(
+            a.queries.iter().map(QueryStat::response).collect::<Vec<_>>(),
+            b.queries.iter().map(QueryStat::response).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn makespan_bounds_all_finishes() {
+        let r = sim(Hcs).run(&[
+            chained_query("a", 0.0, 2, 10),
+            simple_query("b", 5.0, 6, 2),
+        ]);
+        for q in &r.queries {
+            assert!(q.finish <= r.makespan + 1e-9);
+            assert!(q.start >= q.arrival);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Ablations beyond the paper's tables, probing the design choices
+//! DESIGN.md calls out:
+//!
+//! * **A1 — feature ablation**: which terms of Eq. 8 carry the accuracy;
+//! * **A2 — histogram resolution**: equi-width bucket count versus
+//!   join-cardinality estimation error under key skew (Eq. 5);
+//! * **A3 — SWRD noise sensitivity**: how robust smallest-WRD-first is to
+//!   prediction error (oracle vs trained vs artificially degraded).
+
+use crate::framework::Framework;
+use crate::report::{pct, secs, text_table};
+use crate::training::{job_samples, QueryRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sapred_cluster::job::{JobPrediction, SimQuery};
+use sapred_cluster::sched::Swrd;
+use sapred_cluster::sim::Simulator;
+use sapred_cluster::build::build_sim_query;
+use sapred_cluster::sched::Fifo;
+use sapred_plan::compile::{compile, compile_with, PlannerConfig};
+use sapred_plan::ground_truth::execute_dag;
+use sapred_predict::linalg::LinearModel;
+use sapred_predict::metrics::{avg_rel_error, r_squared};
+use sapred_query::{analyze, parse};
+use sapred_relation::dist::lognormal_factor;
+use sapred_relation::gen::{generate, GenConfig, KeyDist};
+use sapred_relation::stats::HistogramKind;
+use sapred_selectivity::estimate::{estimate_dag, EstimatorConfig};
+
+// ---------------------------------------------------------------------------
+// A1: feature ablation of the job model (Eq. 8).
+// ---------------------------------------------------------------------------
+
+/// A named subset of the Eq. 8 feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// All four features (the paper's model).
+    Full,
+    /// Drop `D_med`.
+    NoDMed,
+    /// Drop `D_out`.
+    NoDOut,
+    /// Drop the join term `O·P(1−P)·D_med`.
+    NoJoinTerm,
+    /// `D_in` only (a naive size-proportional model).
+    DInOnly,
+}
+
+impl FeatureSet {
+    /// Every subset, full model first.
+    pub fn all() -> [FeatureSet; 5] {
+        [
+            FeatureSet::Full,
+            FeatureSet::NoDMed,
+            FeatureSet::NoDOut,
+            FeatureSet::NoJoinTerm,
+            FeatureSet::DInOnly,
+        ]
+    }
+
+    /// Human-readable label for the report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureSet::Full => "full (Eq. 8)",
+            FeatureSet::NoDMed => "w/o D_med",
+            FeatureSet::NoDOut => "w/o D_out",
+            FeatureSet::NoJoinTerm => "w/o join term",
+            FeatureSet::DInOnly => "D_in only",
+        }
+    }
+
+    fn mask(&self, v: &[f64]) -> Vec<f64> {
+        match self {
+            FeatureSet::Full => v.to_vec(),
+            FeatureSet::NoDMed => vec![v[0], v[2], v[3]],
+            FeatureSet::NoDOut => vec![v[0], v[1], v[3]],
+            FeatureSet::NoJoinTerm => vec![v[0], v[1], v[2]],
+            FeatureSet::DInOnly => vec![v[0]],
+        }
+    }
+}
+
+/// One feature-ablation outcome.
+#[derive(Debug, Clone)]
+pub struct FeatureAblationRow {
+    /// Feature-subset label.
+    pub label: &'static str,
+    /// R² on the training set.
+    pub train_r2: f64,
+    /// Average relative error on the test set.
+    pub test_avg_err: f64,
+}
+
+/// A1 report.
+#[derive(Debug, Clone)]
+pub struct FeatureAblationReport {
+    /// One row per feature subset.
+    pub rows: Vec<FeatureAblationRow>,
+}
+
+impl std::fmt::Display for FeatureAblationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![r.label.to_string(), pct(r.train_r2), pct(r.test_avg_err)])
+            .collect();
+        write!(
+            f,
+            "Ablation A1: Eq. 8 feature subsets\n{}",
+            text_table(&["features", "train R-squared", "test avg error"], &rows)
+        )
+    }
+}
+
+/// Fit and evaluate every feature subset.
+pub fn feature_ablation(train: &[&QueryRun], test: &[&QueryRun]) -> FeatureAblationReport {
+    let train_samples = job_samples(train.iter().copied());
+    let test_samples = job_samples(test.iter().copied());
+    let mut rows = Vec::new();
+    for set in FeatureSet::all() {
+        let xs: Vec<Vec<f64>> =
+            train_samples.iter().map(|s| set.mask(&s.features.vector())).collect();
+        let ys: Vec<f64> = train_samples.iter().map(|s| s.measured).collect();
+        // Same weighting as the production JobTimeModel, so the rows are
+        // comparable with Table 3.
+        let ws: Vec<f64> = ys.iter().map(|y| 1.0 / y.max(1.0).powf(1.5)).collect();
+        let model =
+            LinearModel::fit_weighted(&xs, &ys, Some(&ws), 1e-9).expect("ablation fit");
+        let train_pred: Vec<f64> = xs.iter().map(|x| model.predict(x).max(0.0)).collect();
+        let test_pred: Vec<f64> = test_samples
+            .iter()
+            .map(|s| model.predict(&set.mask(&s.features.vector())).max(0.0))
+            .collect();
+        let test_actual: Vec<f64> = test_samples.iter().map(|s| s.measured).collect();
+        rows.push(FeatureAblationRow {
+            label: set.label(),
+            train_r2: r_squared(&train_pred, &ys),
+            test_avg_err: avg_rel_error(&test_pred, &test_actual),
+        });
+    }
+    FeatureAblationReport { rows }
+}
+
+// ---------------------------------------------------------------------------
+// A2: histogram resolution vs join-cardinality error under skew.
+// ---------------------------------------------------------------------------
+
+/// One bucket-count outcome.
+#[derive(Debug, Clone)]
+pub struct HistogramAblationRow {
+    /// Histogram bucket count.
+    pub buckets: usize,
+    /// Mean relative error of estimated join output tuples, equi-width.
+    pub join_err: f64,
+    /// Same with equi-depth histograms at the same bucket count.
+    pub join_err_equi_depth: f64,
+}
+
+/// A2 report.
+#[derive(Debug, Clone)]
+pub struct HistogramAblationReport {
+    /// Zipf exponent of the generated key skew.
+    pub alpha: f64,
+    /// One row per bucket count.
+    pub rows: Vec<HistogramAblationRow>,
+}
+
+impl std::fmt::Display for HistogramAblationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![r.buckets.to_string(), pct(r.join_err), pct(r.join_err_equi_depth)]
+            })
+            .collect();
+        write!(
+            f,
+            "Ablation A2: histogram resolution vs join size error (Zipf alpha = {})\n{}",
+            self.alpha,
+            text_table(&["buckets", "equi-width err", "equi-depth err"], &rows)
+        )
+    }
+}
+
+/// Sweep histogram resolution on a Zipf-skewed database and measure the
+/// error of the Eq. 5 estimate on a set of join queries.
+pub fn histogram_ablation(
+    bucket_counts: &[usize],
+    scale_gb: f64,
+    alpha: f64,
+    seed: u64,
+) -> HistogramAblationReport {
+    // Both sides draw their part keys from the same Zipf distribution, so
+    // hot keys are correlated across the two relations: the global uniform
+    // assumption (1 bucket) badly underestimates the join, while finer
+    // buckets isolate the hot keys (the regime Eq. 5 is designed for).
+    let queries = [
+        "SELECT sum(l_quantity) FROM lineitem l JOIN partsupp ps ON l.l_partkey = ps.ps_partkey",
+        "SELECT sum(l_quantity) FROM lineitem l JOIN partsupp ps ON l.l_partkey = ps.ps_partkey \
+         WHERE ps_availqty < 5000",
+        "SELECT count(*) FROM lineitem l JOIN partsupp ps ON l.l_partkey = ps.ps_partkey \
+         WHERE l_quantity < 25",
+    ];
+    let mut rows = Vec::new();
+    for &buckets in bucket_counts {
+        let err_for = |kind: HistogramKind| -> f64 {
+            let db = generate(
+                GenConfig::new(scale_gb)
+                    .with_seed(seed)
+                    .with_key_dist(KeyDist::Zipf(alpha))
+                    .with_buckets(buckets)
+                    .with_hist_kind(kind),
+            );
+            let config = EstimatorConfig::default();
+            let mut errs = Vec::new();
+            for sql in queries {
+                let analyzed = analyze(&parse(sql).unwrap(), db.catalog(), &db).unwrap();
+                let dag = compile("join", &analyzed);
+                let est = estimate_dag(&dag, db.catalog(), &config);
+                let act = execute_dag(&dag, &db, config.block_size);
+                // First job is the join in all three shapes.
+                let (e, a) = (est[0].tuples_out, act[0].tuples_out);
+                if a > 0.0 {
+                    errs.push((e - a).abs() / a);
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len().max(1) as f64
+        };
+        rows.push(HistogramAblationRow {
+            buckets,
+            join_err: err_for(HistogramKind::EquiWidth),
+            join_err_equi_depth: err_for(HistogramKind::EquiDepth),
+        });
+    }
+    HistogramAblationReport { alpha, rows }
+}
+
+// ---------------------------------------------------------------------------
+// A3: SWRD sensitivity to prediction quality.
+// ---------------------------------------------------------------------------
+
+/// One prediction-quality variant.
+#[derive(Debug, Clone)]
+pub struct SwrdNoiseRow {
+    /// Prediction-quality variant.
+    pub label: String,
+    /// Mean query response under SWRD with these predictions.
+    pub mean_response: f64,
+}
+
+/// A3 report.
+#[derive(Debug, Clone)]
+pub struct SwrdNoiseReport {
+    /// One row per prediction variant.
+    pub rows: Vec<SwrdNoiseRow>,
+}
+
+impl std::fmt::Display for SwrdNoiseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![r.label.clone(), secs(r.mean_response)])
+            .collect();
+        write!(
+            f,
+            "Ablation A3: SWRD vs prediction quality\n{}",
+            text_table(&["predictions", "mean response"], &rows)
+        )
+    }
+}
+
+/// Re-run SWRD over the same prepared workload with prediction variants:
+/// the trained predictor's numbers (as prepared), an oracle (noise-free
+/// ground-truth mean task times), and log-normally degraded predictions.
+pub fn swrd_noise(
+    prepared_queries: &[SimQuery],
+    fw: &Framework,
+    degradation_sigmas: &[f64],
+    seed: u64,
+) -> SwrdNoiseReport {
+    let mut rows = Vec::new();
+
+    // As prepared (trained predictor).
+    rows.push(SwrdNoiseRow {
+        label: "trained models".to_string(),
+        mean_response: run_swrd(prepared_queries.to_vec(), fw),
+    });
+
+    // Oracle: replace predictions with the cost model's noise-free means.
+    let mut oracle = prepared_queries.to_vec();
+    for q in &mut oracle {
+        for j in &mut q.jobs {
+            let map_time = j.maps.first().map(|t| fw.cost.mean_duration(t)).unwrap_or(0.0);
+            let reduce_time = j.reduces.first().map(|t| fw.cost.mean_duration(t)).unwrap_or(0.0);
+            j.prediction = JobPrediction { map_task_time: map_time, reduce_task_time: reduce_time };
+        }
+    }
+    rows.push(SwrdNoiseRow {
+        label: "oracle".to_string(),
+        mean_response: run_swrd(oracle.clone(), fw),
+    });
+
+    // Degraded: multiply oracle predictions by log-normal noise.
+    for &sigma in degradation_sigmas {
+        let mut rng = StdRng::seed_from_u64(seed ^ sigma.to_bits());
+        let mut noisy = oracle.clone();
+        for q in &mut noisy {
+            for j in &mut q.jobs {
+                j.prediction.map_task_time *= lognormal_factor(&mut rng, sigma);
+                j.prediction.reduce_task_time *= lognormal_factor(&mut rng, sigma);
+            }
+        }
+        rows.push(SwrdNoiseRow {
+            label: format!("oracle x lognormal(sigma={sigma})"),
+            mean_response: run_swrd(noisy, fw),
+        });
+    }
+    SwrdNoiseReport { rows }
+}
+
+fn run_swrd(queries: Vec<SimQuery>, fw: &Framework) -> f64 {
+    Simulator::new(fw.cluster, fw.cost, Swrd).run(&queries).mean_response()
+}
+
+// ---------------------------------------------------------------------------
+// A5: map-join conversion (the paper's map-side-join minor operator).
+// ---------------------------------------------------------------------------
+
+/// One query's outcome with and without map-join conversion.
+#[derive(Debug, Clone)]
+pub struct MapJoinRow {
+    /// Query name.
+    pub name: String,
+    /// DAG length without conversion.
+    pub jobs_reduce_join: usize,
+    /// DAG length with conversion.
+    pub jobs_map_join: usize,
+    /// Idle-cluster response without conversion (seconds).
+    pub response_reduce_join: f64,
+    /// Idle-cluster response with conversion (seconds).
+    pub response_map_join: f64,
+    /// Sink-output tuples must agree between the two plans (semantic
+    /// equivalence check).
+    pub outputs_agree: bool,
+}
+
+/// A5 report.
+#[derive(Debug, Clone)]
+pub struct MapJoinReport {
+    /// Map-join conversion threshold in modeled bytes.
+    pub threshold: f64,
+    /// One row per query.
+    pub rows: Vec<MapJoinRow>,
+}
+
+impl std::fmt::Display for MapJoinReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{} -> {}", r.jobs_reduce_join, r.jobs_map_join),
+                    secs(r.response_reduce_join),
+                    secs(r.response_map_join),
+                    pct(1.0 - r.response_map_join / r.response_reduce_join.max(1e-9)),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Ablation A5: map-join conversion (threshold {:.0} MB)
+{}",
+            self.threshold / (1024.0 * 1024.0),
+            text_table(&["query", "jobs", "reduce-join", "map-join", "saved"], &rows)
+        )
+    }
+}
+
+/// Compile a set of dimension-join queries with and without map-join
+/// conversion, run both plans alone on the simulator and compare.
+pub fn map_join_ablation(scale_gb: f64, threshold: f64, fw: &Framework, seed: u64) -> MapJoinReport {
+    let db = generate(GenConfig::new(scale_gb).with_seed(seed));
+    let queries = [
+        (
+            "q11_important_stock",
+            "SELECT ps_partkey, sum(ps_supplycost*ps_availqty)              FROM nation n JOIN supplier s ON              s.s_nationkey=n.n_nationkey AND n.n_name<>'CHINA'              JOIN partsupp ps ON ps.ps_suppkey=s.s_suppkey GROUP BY ps_partkey",
+        ),
+        (
+            "q5_local_supplier",
+            "SELECT n_name, sum(o_totalprice) FROM nation n              JOIN customer c ON c.c_nationkey = n.n_nationkey              JOIN orders o ON o.o_custkey = c.c_custkey GROUP BY n_name",
+        ),
+        (
+            "supplier_nation_scan",
+            "SELECT s_name, n_name FROM supplier s              JOIN nation n ON s.s_nationkey = n.n_nationkey",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, sql) in queries {
+        let analyzed =
+            analyze(&parse(sql).unwrap(), db.catalog(), &db).expect("valid query");
+        let plain = compile(name, &analyzed);
+        let converted = compile_with(
+            name,
+            &analyzed,
+            db.catalog(),
+            &PlannerConfig { map_join_threshold: threshold },
+        );
+        let run = |dag: &sapred_plan::QueryDag| -> (f64, f64) {
+            let actuals = execute_dag(dag, &db, fw.est_config.block_size);
+            let q = build_sim_query(name, 0.0, dag, &actuals, &[], &fw.cluster);
+            let r = Simulator::new(fw.cluster, fw.cost, Fifo).run(std::slice::from_ref(&q));
+            (r.queries[0].response(), actuals.last().map(|a| a.tuples_out).unwrap_or(0.0))
+        };
+        let (resp_plain, out_plain) = run(&plain);
+        let (resp_conv, out_conv) = run(&converted);
+        rows.push(MapJoinRow {
+            name: name.to_string(),
+            jobs_reduce_join: plain.len(),
+            jobs_map_join: converted.len(),
+            response_reduce_join: resp_plain,
+            response_map_join: resp_conv,
+            outputs_agree: (out_plain - out_conv).abs() < 1e-6,
+        });
+    }
+    MapJoinReport { threshold, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Predictor;
+    use crate::training::{fit_models, run_population, split_train_test};
+    use sapred_workload::pool::DbPool;
+    use sapred_workload::population::{generate_population, PopulationConfig};
+
+    fn runs() -> (Vec<QueryRun>, Framework) {
+        let fw = Framework::new();
+        let config = PopulationConfig {
+            n_queries: 48,
+            scales_gb: vec![0.5, 1.0],
+            scale_out_gb: vec![],
+            seed: 53,
+        };
+        let mut pool = DbPool::new(53);
+        let pop = generate_population(&config, &mut pool);
+        (run_population(&pop, &mut pool, &fw), fw)
+    }
+
+    #[test]
+    fn full_features_beat_din_only() {
+        let (all, _) = runs();
+        let (train, test) = split_train_test(&all);
+        let report = feature_ablation(&train, &test);
+        assert_eq!(report.rows.len(), 5);
+        let full = &report.rows[0];
+        let din = report.rows.iter().find(|r| r.label == "D_in only").unwrap();
+        assert!(
+            full.train_r2 >= din.train_r2,
+            "full {} vs din {}",
+            full.train_r2,
+            din.train_r2
+        );
+        assert!(format!("{report}").contains("Eq. 8"));
+    }
+
+    #[test]
+    fn finer_histograms_reduce_join_error_under_skew() {
+        let report = histogram_ablation(&[1, 64], 0.5, 1.2, 61);
+        assert_eq!(report.rows.len(), 2);
+        let coarse = report.rows[0].join_err;
+        let fine = report.rows[1].join_err;
+        assert!(fine < coarse, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn map_join_speeds_up_dimension_joins() {
+        let fw = Framework::new();
+        let report = map_join_ablation(2.0, 512.0 * 1024.0 * 1024.0, &fw, 67);
+        assert_eq!(report.rows.len(), 3);
+        for r in &report.rows {
+            // Semantic equivalence: both plans produce the same result size.
+            assert!(r.outputs_agree, "{}: outputs diverge", r.name);
+            // Conversion can only shorten the DAG.
+            assert!(r.jobs_map_join <= r.jobs_reduce_join, "{}", r.name);
+        }
+        // At least one query actually got shorter and faster.
+        assert!(report.rows.iter().any(|r| r.jobs_map_join < r.jobs_reduce_join));
+        assert!(
+            report.rows.iter().any(|r| r.response_map_join < r.response_reduce_join),
+            "{report}"
+        );
+        assert!(format!("{report}").contains("map-join"));
+    }
+
+    #[test]
+    fn swrd_noise_report_shape() {
+        let (all, fw) = runs();
+        let (train, _) = split_train_test(&all);
+        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let mut pool = DbPool::new(53);
+        let prepared = crate::experiments::scheduling::prepare_workload(
+            &sapred_workload::mixes::facebook_mix(),
+            &mut pool,
+            &fw,
+            Some(&predictor),
+            2.0,
+            100.0,
+            53,
+        );
+        let report = swrd_noise(&prepared.queries, &fw, &[1.0], 53);
+        assert_eq!(report.rows.len(), 3);
+        for r in &report.rows {
+            assert!(r.mean_response > 0.0);
+        }
+        assert!(format!("{report}").contains("SWRD"));
+    }
+}

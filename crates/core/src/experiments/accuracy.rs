@@ -1,0 +1,209 @@
+//! Model accuracy experiments: paper Table 3 + Fig. 6 (job execution time)
+//! and Tables 4–5 (map / reduce task time).
+
+use crate::framework::Framework;
+use crate::report::{pct, text_table};
+use crate::training::{
+    job_samples, map_task_samples, reduce_task_samples, QueryRun, TrainedModels,
+};
+use sapred_plan::dag::JobCategory;
+use sapred_predict::metrics::{avg_rel_error, r_squared};
+
+/// One row of an accuracy table: a sample subset with its R² and average
+/// relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Subset label (operator type or split name).
+    pub label: String,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Average relative error.
+    pub avg_err: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+fn row_for(label: &str, pred: &[f64], actual: &[f64]) -> AccuracyRow {
+    AccuracyRow {
+        label: label.to_string(),
+        r2: r_squared(pred, actual),
+        avg_err: avg_rel_error(pred, actual),
+        n: actual.len(),
+    }
+}
+
+const CATEGORIES: [(JobCategory, &str); 3] = [
+    (JobCategory::Groupby, "Groupby"),
+    (JobCategory::Join, "Join"),
+    (JobCategory::Extract, "Extract"),
+];
+
+/// Table 3 + Fig. 6: job-time model accuracy.
+#[derive(Debug, Clone)]
+pub struct JobAccuracyReport {
+    /// Per-operator rows on the training set (paper Table 3 rows 1–3).
+    pub per_category: Vec<AccuracyRow>,
+    /// Test-set average error (paper Table 3 "TestSet" row: 13.98%).
+    pub test: AccuracyRow,
+    /// (actual, predicted) pairs of the test set — Fig. 6's scatter.
+    pub scatter: Vec<(f64, f64)>,
+}
+
+/// Evaluate the fitted job model (Table 3 + Fig. 6).
+pub fn job_accuracy(
+    train: &[&QueryRun],
+    test: &[&QueryRun],
+    models: &TrainedModels,
+) -> JobAccuracyReport {
+    let mut per_category = Vec::new();
+    let train_samples = job_samples(train.iter().copied());
+    for (cat, label) in CATEGORIES {
+        let subset: Vec<_> = train_samples.iter().filter(|s| s.category == cat).collect();
+        let pred: Vec<f64> = subset.iter().map(|s| models.job.predict(&s.features)).collect();
+        let actual: Vec<f64> = subset.iter().map(|s| s.measured).collect();
+        per_category.push(row_for(label, &pred, &actual));
+    }
+    let test_samples = job_samples(test.iter().copied());
+    let pred: Vec<f64> = test_samples.iter().map(|s| models.job.predict(&s.features)).collect();
+    let actual: Vec<f64> = test_samples.iter().map(|s| s.measured).collect();
+    let scatter = actual.iter().copied().zip(pred.iter().copied()).collect();
+    JobAccuracyReport { per_category, test: row_for("TestSet", &pred, &actual), scatter }
+}
+
+impl std::fmt::Display for JobAccuracyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut rows: Vec<Vec<String>> = self
+            .per_category
+            .iter()
+            .map(|r| vec![r.label.clone(), pct(r.r2), pct(r.avg_err), r.n.to_string()])
+            .collect();
+        rows.push(vec![
+            "TestSet".to_string(),
+            "N/A".to_string(),
+            pct(self.test.avg_err),
+            self.test.n.to_string(),
+        ]);
+        write!(
+            f,
+            "Table 3: job time prediction accuracy\n{}",
+            text_table(&["Types", "R-squared", "Avg Error", "N"], &rows)
+        )
+    }
+}
+
+/// Tables 4–5: task-time model accuracy (training set, as in the paper).
+#[derive(Debug, Clone)]
+pub struct TaskAccuracyReport {
+    /// "map" or "reduce".
+    pub kind: &'static str,
+    /// Per-operator rows (training set).
+    pub per_category: Vec<AccuracyRow>,
+    /// All operators pooled (the paper's "Together" row).
+    pub together: AccuracyRow,
+}
+
+/// Table 4: map-task model accuracy.
+pub fn map_task_accuracy(
+    train: &[&QueryRun],
+    models: &TrainedModels,
+    fw: &Framework,
+) -> TaskAccuracyReport {
+    let samples = map_task_samples(train.iter().copied(), fw);
+    task_accuracy_over("map", samples, |f| models.map_task.predict(f))
+}
+
+/// Table 5: reduce-task model accuracy.
+pub fn reduce_task_accuracy(
+    train: &[&QueryRun],
+    models: &TrainedModels,
+    fw: &Framework,
+) -> TaskAccuracyReport {
+    let samples = reduce_task_samples(train.iter().copied(), fw);
+    task_accuracy_over("reduce", samples, |f| models.reduce_task.predict(f))
+}
+
+fn task_accuracy_over(
+    kind: &'static str,
+    samples: Vec<crate::training::TaskSample>,
+    predict: impl Fn(&sapred_predict::features::TaskFeatures) -> f64,
+) -> TaskAccuracyReport {
+    let mut per_category = Vec::new();
+    for (cat, label) in CATEGORIES {
+        let subset: Vec<_> = samples.iter().filter(|s| s.category == cat).collect();
+        let pred: Vec<f64> = subset.iter().map(|s| predict(&s.features)).collect();
+        let actual: Vec<f64> = subset.iter().map(|s| s.measured).collect();
+        per_category.push(row_for(label, &pred, &actual));
+    }
+    let pred: Vec<f64> = samples.iter().map(|s| predict(&s.features)).collect();
+    let actual: Vec<f64> = samples.iter().map(|s| s.measured).collect();
+    let together = row_for("Together", &pred, &actual);
+    TaskAccuracyReport { kind, per_category, together }
+}
+
+impl std::fmt::Display for TaskAccuracyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut rows: Vec<Vec<String>> = self
+            .per_category
+            .iter()
+            .map(|r| vec![r.label.clone(), pct(r.r2), pct(r.avg_err), r.n.to_string()])
+            .collect();
+        rows.push(vec![
+            self.together.label.clone(),
+            pct(self.together.r2),
+            pct(self.together.avg_err),
+            self.together.n.to_string(),
+        ]);
+        write!(
+            f,
+            "Table {}: {} task time prediction accuracy (training set)\n{}",
+            if self.kind == "map" { 4 } else { 5 },
+            self.kind,
+            text_table(&["Types", "R-squared", "Avg Error", "N"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{fit_models, run_population, split_train_test};
+    use sapred_workload::pool::DbPool;
+    use sapred_workload::population::{generate_population, PopulationConfig};
+
+    #[test]
+    fn accuracy_reports_have_expected_shape() {
+        let fw = Framework::new();
+        let config = PopulationConfig {
+            n_queries: 60,
+            scales_gb: vec![0.5, 1.0, 2.0],
+            scale_out_gb: vec![4.0],
+            seed: 29,
+        };
+        let mut pool = DbPool::new(29);
+        let pop = generate_population(&config, &mut pool);
+        let runs = run_population(&pop, &mut pool, &fw);
+        let (train, test) = split_train_test(&runs);
+        let models = fit_models(&train, &fw);
+
+        let job = job_accuracy(&train, &test, &models);
+        assert_eq!(job.per_category.len(), 3);
+        assert!(!job.scatter.is_empty());
+        assert!(job.test.avg_err < 0.6, "test err {}", job.test.avg_err);
+        for row in &job.per_category {
+            assert!(row.n > 0, "category {} empty", row.label);
+            assert!(row.r2 > 0.3, "category {} R² {}", row.label, row.r2);
+        }
+        // Rendering works.
+        let text = format!("{job}");
+        assert!(text.contains("Groupby") && text.contains("TestSet"));
+
+        let map = map_task_accuracy(&train, &models, &fw);
+        let reduce = reduce_task_accuracy(&train, &models, &fw);
+        assert!(map.together.n > 0);
+        assert!(reduce.together.n > 0);
+        assert!(map.together.r2 > 0.3, "map R² {}", map.together.r2);
+        assert!(reduce.together.r2 > 0.3, "reduce R² {}", reduce.together.r2);
+        assert!(format!("{map}").contains("Table 4"));
+        assert!(format!("{reduce}").contains("Table 5"));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! The semantics-aware query prediction framework (the paper's primary
+//! contribution), assembled from the substrate crates:
+//!
+//! * [`framework`] — cross-layer percolation: query text → DAG + estimates
+//!   ([`Framework::percolate_sql`]), and the prediction API
+//!   ([`Predictor`]) producing job times (Eq. 8), task times (Eq. 9),
+//!   query times (§5.4) and WRD (Eq. 10);
+//! * [`training`] — the training harness of §5.1: run a query population
+//!   on the simulated cluster, collect measured job/task times, fit the
+//!   multivariate models with a 3:1 train/test split;
+//! * [`experiments`] — one runner per table/figure of the paper's
+//!   evaluation (motivation Figs. 1–2, accuracy Tables 3–5 + Fig. 6,
+//!   query prediction Fig. 7, scheduling Fig. 8) plus ablations;
+//! * [`progress`] — online progress/ETA estimation from the dynamic WRD
+//!   (remaining task counts), ParaTimer-style;
+//! * [`report`] — plain-text table rendering for the bench harness.
+
+pub mod experiments;
+pub mod framework;
+pub mod progress;
+pub mod report;
+pub mod training;
+
+pub use framework::{Framework, Predictor, QuerySemantics};
+pub use training::{fit_models, run_population, split_train_test, QueryRun, TrainedModels};

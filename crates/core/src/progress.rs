@@ -1,0 +1,215 @@
+//! Online progress and ETA estimation for a running query.
+//!
+//! The paper's WRD (Eq. 10) is *dynamic*: `N_Mi`/`N_Ri` are the **remaining**
+//! task counts, so a query's weighted resource demand shrinks as it
+//! executes — that is what lets SWRD re-rank queries mid-flight. This module
+//! exposes the same machinery as a user-facing progress indicator (in the
+//! spirit of ParaTimer [Morton et al.], the closest prior work the paper
+//! compares against): given how many tasks of each job have completed,
+//! report the fraction of work done and the estimated time to completion.
+
+use crate::framework::{Predictor, QuerySemantics};
+use sapred_predict::wrd::{job_time_waves, JobResource};
+
+/// Completion state of one job of a running query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobProgress {
+    /// Completed map tasks.
+    pub maps_done: usize,
+    /// Completed reduce tasks.
+    pub reduces_done: usize,
+}
+
+/// Progress estimator bound to one query's percolated semantics.
+#[derive(Debug, Clone)]
+pub struct ProgressEstimator<'a> {
+    predictor: &'a Predictor,
+    semantics: &'a QuerySemantics,
+    /// Per-job (map_time, n_maps, reduce_time, n_reduces) predictions,
+    /// frozen at construction.
+    resources: Vec<JobResource>,
+}
+
+impl<'a> ProgressEstimator<'a> {
+    /// Freeze per-job predictions for this query.
+    pub fn new(predictor: &'a Predictor, semantics: &'a QuerySemantics) -> Self {
+        let resources = semantics
+            .dag
+            .jobs()
+            .iter()
+            .zip(&semantics.estimates)
+            .map(|(job, est)| predictor.job_resource(est, job.kind.has_reduce()))
+            .collect();
+        Self { predictor, semantics, resources }
+    }
+
+    /// Total predicted WRD of the query at submission (container-seconds).
+    pub fn total_wrd(&self) -> f64 {
+        self.resources.iter().map(JobResource::wrd).sum()
+    }
+
+    fn remaining_resource(&self, job: usize, progress: &JobProgress) -> JobResource {
+        let r = self.resources[job];
+        JobResource {
+            map_time: r.map_time,
+            maps_remaining: r.maps_remaining.saturating_sub(progress.maps_done),
+            reduce_time: r.reduce_time,
+            reduces_remaining: r.reduces_remaining.saturating_sub(progress.reduces_done),
+        }
+    }
+
+    /// Fraction of the query's WRD already completed, in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `progress.len()` differs from the DAG's job count.
+    pub fn fraction_done(&self, progress: &[JobProgress]) -> f64 {
+        assert_eq!(progress.len(), self.resources.len(), "one JobProgress per job");
+        let total = self.total_wrd();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let remaining: f64 = progress
+            .iter()
+            .enumerate()
+            .map(|(j, p)| self.remaining_resource(j, p).wrd())
+            .sum();
+        (1.0 - remaining / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated seconds to completion: the critical path of the remaining
+    /// work, wave-modeled over the cluster's containers (§5.4).
+    ///
+    /// # Panics
+    /// Panics if `progress.len()` differs from the DAG's job count.
+    pub fn remaining_seconds(&self, progress: &[JobProgress]) -> f64 {
+        assert_eq!(progress.len(), self.resources.len(), "one JobProgress per job");
+        let containers = self.predictor.framework.cluster.total_containers();
+        let weights: Vec<f64> = progress
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let rem = self.remaining_resource(j, p);
+                if rem.maps_remaining == 0 && rem.reduces_remaining == 0 {
+                    0.0
+                } else {
+                    job_time_waves(&rem, containers, 0.0)
+                }
+            })
+            .collect();
+        self.semantics.dag.critical_path(&weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use crate::training::{fit_models, run_population, split_train_test};
+    use sapred_workload::pool::DbPool;
+    use sapred_workload::population::{generate_population, PopulationConfig};
+
+    fn setup() -> (Framework, Predictor, QuerySemantics) {
+        let fw = Framework::new();
+        let config = PopulationConfig {
+            n_queries: 60,
+            scales_gb: vec![1.0, 2.0],
+            scale_out_gb: vec![],
+            seed: 43,
+        };
+        let mut pool = DbPool::new(43);
+        let pop = generate_population(&config, &mut pool);
+        let runs = run_population(&pop, &mut pool, &fw);
+        let (train, _) = split_train_test(&runs);
+        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let db = pool.get(5.0).clone();
+        let semantics = fw
+            .percolate_sql(
+                "progress",
+                "SELECT l_partkey, sum(l_extendedprice) FROM lineitem l \
+                 JOIN part p ON l.l_partkey = p.p_partkey \
+                 GROUP BY l_partkey ORDER BY l_partkey",
+                &db,
+            )
+            .unwrap();
+        (fw, predictor, semantics)
+    }
+
+    fn full_progress(est: &ProgressEstimator, upto: usize) -> Vec<JobProgress> {
+        // Jobs 0..upto fully done, the rest untouched.
+        est.resources
+            .iter()
+            .enumerate()
+            .map(|(j, r)| {
+                if j < upto {
+                    JobProgress { maps_done: r.maps_remaining, reduces_done: r.reduces_remaining }
+                } else {
+                    JobProgress::default()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn progress_starts_at_zero_and_ends_at_one() {
+        let (_, predictor, semantics) = setup();
+        let est = ProgressEstimator::new(&predictor, &semantics);
+        let none = full_progress(&est, 0);
+        let all = full_progress(&est, semantics.dag.len());
+        assert_eq!(est.fraction_done(&none), 0.0);
+        assert_eq!(est.fraction_done(&all), 1.0);
+        assert!(est.remaining_seconds(&all) < 1e-9);
+        assert!(est.remaining_seconds(&none) > 0.0);
+    }
+
+    #[test]
+    fn progress_is_monotone_in_completed_jobs() {
+        let (_, predictor, semantics) = setup();
+        let est = ProgressEstimator::new(&predictor, &semantics);
+        let mut last_frac = -1.0;
+        let mut last_eta = f64::INFINITY;
+        for k in 0..=semantics.dag.len() {
+            let p = full_progress(&est, k);
+            let frac = est.fraction_done(&p);
+            let eta = est.remaining_seconds(&p);
+            assert!(frac >= last_frac, "fraction regressed at job {k}");
+            assert!(eta <= last_eta + 1e-9, "ETA grew at job {k}");
+            last_frac = frac;
+            last_eta = eta;
+        }
+    }
+
+    #[test]
+    fn initial_eta_matches_query_prediction() {
+        let (_, predictor, semantics) = setup();
+        let est = ProgressEstimator::new(&predictor, &semantics);
+        let eta0 = est.remaining_seconds(&full_progress(&est, 0));
+        let predicted = predictor.query_seconds(&semantics);
+        // remaining_seconds omits per-job submission overheads; otherwise
+        // the two critical paths coincide.
+        let overheads =
+            semantics.dag.depth() as f64 * predictor.framework.cluster.submit_overhead;
+        assert!(
+            (eta0 - (predicted - overheads)).abs() < 1.0,
+            "eta {eta0} vs predicted {predicted} (overheads {overheads})"
+        );
+    }
+
+    #[test]
+    fn partial_map_progress_counts() {
+        let (_, predictor, semantics) = setup();
+        let est = ProgressEstimator::new(&predictor, &semantics);
+        let mut p = full_progress(&est, 0);
+        // Half of job 0's maps done.
+        p[0].maps_done = est.resources[0].maps_remaining / 2;
+        let frac = est.fraction_done(&p);
+        assert!(frac > 0.0 && frac < 1.0, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one JobProgress per job")]
+    fn wrong_arity_panics() {
+        let (_, predictor, semantics) = setup();
+        let est = ProgressEstimator::new(&predictor, &semantics);
+        est.fraction_done(&[]);
+    }
+}

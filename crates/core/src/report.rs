@@ -1,0 +1,149 @@
+//! Minimal plain-text table rendering for experiment reports.
+
+/// Render a left-aligned text table with a header row.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(0)));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format seconds with one decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}s")
+}
+
+/// Render an ASCII scatter plot of `(x, y)` points with a `y = x` diagonal
+/// (the "perfect prediction" line of the paper's Figs. 6–7). Both axes
+/// share the same range so the diagonal is meaningful.
+pub fn scatter_plot(points: &[(f64, f64)], cols: usize, rows: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no points)
+");
+    }
+    let max = points
+        .iter()
+        .flat_map(|&(x, y)| [x, y])
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut grid = vec![vec![' '; cols]; rows];
+    // Diagonal first so points overwrite it.
+    for c in 0..cols {
+        let r = rows - 1 - (c * (rows - 1)) / cols.max(1);
+        grid[r][c.min(cols - 1)] = '.';
+    }
+    for &(x, y) in points {
+        let c = (((x / max) * (cols - 1) as f64).round() as usize).min(cols - 1);
+        let r = rows - 1 - (((y / max) * (rows - 1) as f64).round() as usize).min(rows - 1);
+        grid[r][c] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max:>8.0} |")
+        } else if i == rows - 1 {
+            format!("{:>8.0} |", 0.0)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("          {}
+", "-".repeat(cols)));
+    out.push_str(&format!("          0{:>width$.0}
+", max, width = cols - 1));
+    out
+}
+
+/// Render a horizontal ASCII bar chart (the paper's Figs. 2 and 8).
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let n = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {} {}
+",
+            "#".repeat(n.max(if *value > 0.0 { 1 } else { 0 })),
+            secs(*value)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = text_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(secs(4.26), "4.3s");
+    }
+
+    #[test]
+    fn scatter_plot_marks_points_and_diagonal() {
+        let p = scatter_plot(&[(10.0, 10.0), (50.0, 25.0), (100.0, 100.0)], 40, 12);
+        assert!(p.contains('*'));
+        assert!(p.contains('.'));
+        assert!(p.lines().count() >= 12);
+        assert_eq!(scatter_plot(&[], 10, 5), "(no points)
+");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart(
+            &[("HCS".to_string(), 100.0), ("SWRD".to_string(), 25.0)],
+            40,
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(hashes(lines[0]), 40);
+        assert_eq!(hashes(lines[1]), 10);
+    }
+}

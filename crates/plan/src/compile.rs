@@ -1,0 +1,377 @@
+//! Compile an [`AnalyzedQuery`] into a [`QueryDag`], Hive-0.10 style:
+//! one Join job per equi-join (left-deep), one Groupby job for the
+//! aggregation, one Extract job for order-by/limit, or a single map-only
+//! Extract job for pure filter/project queries.
+//!
+//! [`compile_with`] additionally supports *map-join conversion*
+//! (`hive.auto.convert.join`, off by default in the paper's Hive 0.10):
+//! joins whose build side is below a size threshold fold into the
+//! consuming job's map phase as [`BroadcastJoin`] minor operators,
+//! shortening the DAG.
+
+use crate::dag::{BroadcastJoin, InputSrc, JobKind, MrJob, QueryDag, TableInput};
+use sapred_query::analyze::AnalyzedQuery;
+use sapred_relation::stats::Catalog;
+
+/// Planner options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannerConfig {
+    /// Joins whose build-side table is at most this many modeled bytes are
+    /// converted to map-side joins. `0.0` (the default) disables
+    /// conversion, matching Hive 0.10's default configuration.
+    pub map_join_threshold: f64,
+}
+
+/// Compile with Hive 0.10 defaults (no map-join conversion).
+pub fn compile(name: impl Into<String>, query: &AnalyzedQuery) -> QueryDag {
+    compile_inner(name, query, None, &PlannerConfig::default())
+}
+
+/// Compile with explicit planner options; `catalog` provides the table
+/// sizes map-join conversion decides on.
+pub fn compile_with(
+    name: impl Into<String>,
+    query: &AnalyzedQuery,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+) -> QueryDag {
+    compile_inner(name, query, Some(catalog), config)
+}
+
+fn compile_inner(
+    name: impl Into<String>,
+    query: &AnalyzedQuery,
+    catalog: Option<&Catalog>,
+    config: &PlannerConfig,
+) -> QueryDag {
+    let mut jobs: Vec<MrJob> = Vec::new();
+    let scan_input = |i: usize| -> TableInput {
+        let s = &query.scans[i];
+        TableInput {
+            table: s.table.clone(),
+            predicate: s.predicate.clone(),
+            projection: s.projection.clone(),
+        }
+    };
+    let table_bytes = |t: &TableInput| -> f64 {
+        catalog.and_then(|c| c.get(&t.table)).map_or(f64::INFINITY, |s| s.modeled_bytes())
+    };
+
+    // Left-deep join chain. The accumulated stream starts as scan 0 and
+    // absorbs one scan per join; small build sides become pending
+    // broadcast joins that attach to the next emitted job.
+    let mut stream: Option<InputSrc> = None;
+    let mut pending: Vec<BroadcastJoin> = Vec::new();
+    let push_job = |jobs: &mut Vec<MrJob>, kind: JobKind, pending: &mut Vec<BroadcastJoin>| {
+        let id = jobs.len();
+        jobs.push(MrJob { id, kind, broadcasts: std::mem::take(pending) });
+        id
+    };
+
+    for j in &query.joins {
+        // The stream starts as the first join's left scan and then absorbs
+        // one table per join (reduce-side or broadcast).
+        if stream.is_none() {
+            stream = Some(InputSrc::Table(scan_input(j.left_scan)));
+        }
+        let right = scan_input(j.right_scan);
+        if config.map_join_threshold > 0.0 && table_bytes(&right) <= config.map_join_threshold {
+            // Minor operator: broadcast the small table into the map phase
+            // of whatever shuffle job comes next.
+            pending.push(BroadcastJoin {
+                table: right,
+                stream_key: j.left_col.clone(),
+                table_key: j.right_col.clone(),
+            });
+            continue;
+        }
+        // If the stream itself is still a bare small table (no broadcasts
+        // pending), flip sides: broadcast the stream table and let the big
+        // right table become the stream.
+        if pending.is_empty() {
+            if let Some(InputSrc::Table(t)) = &stream {
+                if config.map_join_threshold > 0.0
+                    && table_bytes(t) <= config.map_join_threshold
+                {
+                    pending.push(BroadcastJoin {
+                        table: t.clone(),
+                        stream_key: j.right_col.clone(),
+                        table_key: j.left_col.clone(),
+                    });
+                    stream = Some(InputSrc::Table(right));
+                    continue;
+                }
+            }
+        }
+        let left = stream.take().expect("stream seeded above");
+        let id = push_job(
+            &mut jobs,
+            JobKind::Join {
+                left,
+                right: InputSrc::Table(right),
+                left_key: j.left_col.clone(),
+                right_key: j.right_col.clone(),
+            },
+            &mut pending,
+        );
+        stream = Some(InputSrc::Job(id));
+    }
+
+    // Aggregation job. `SELECT DISTINCT` without aggregates is a group-by
+    // on the selected columns (how Hive compiles it).
+    let group_keys = if !query.group_by.is_empty() || !query.aggs.is_empty() {
+        Some(query.group_by.clone())
+    } else if query.distinct {
+        let mut keys = query.select_cols.clone();
+        keys.dedup();
+        Some(keys)
+    } else {
+        None
+    };
+    if let Some(keys) = group_keys {
+        let input = stream.take().unwrap_or_else(|| InputSrc::Table(scan_input(0)));
+        let id = push_job(
+            &mut jobs,
+            JobKind::Groupby { input, keys, n_aggs: query.aggs.len() },
+            &mut pending,
+        );
+        stream = Some(InputSrc::Job(id));
+    }
+
+    // Sort / limit job.
+    if !query.order_by.is_empty() {
+        let input = stream.take().unwrap_or_else(|| InputSrc::Table(scan_input(0)));
+        let id = push_job(
+            &mut jobs,
+            JobKind::Sort {
+                input,
+                keys: query.order_by.iter().map(|(c, _)| c.clone()).collect(),
+                limit: query.limit,
+            },
+            &mut pending,
+        );
+        stream = Some(InputSrc::Job(id));
+    } else if query.limit.is_some() && stream.is_some() {
+        // LIMIT without ORDER BY on a multi-job query: a trailing Extract
+        // job that truncates (Hive emits a small fetch job).
+        let input = stream.take().expect("checked");
+        let id = push_job(
+            &mut jobs,
+            JobKind::Sort { input, keys: vec![], limit: query.limit },
+            &mut pending,
+        );
+        stream = Some(InputSrc::Job(id));
+    }
+
+    if stream.is_none() {
+        // Pure filter/project (possibly with only map-joins): one map-only
+        // job carrying any pending broadcasts.
+        push_job(
+            &mut jobs,
+            JobKind::MapOnly { input: InputSrc::Table(scan_input(0)) },
+            &mut pending,
+        );
+    } else if !pending.is_empty() {
+        // Broadcasts left over after the last shuffle job (e.g. a trailing
+        // map-join): a map-only epilogue job applies them.
+        let input = stream.take().expect("checked");
+        push_job(&mut jobs, JobKind::MapOnly { input }, &mut pending);
+    }
+
+    QueryDag::new(name, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::JobCategory;
+    use sapred_query::{analyze, parse};
+    use sapred_relation::gen::{generate, Database, GenConfig};
+
+    fn db() -> Database {
+        generate(GenConfig::new(0.1).with_seed(5))
+    }
+
+    fn dag(sql: &str) -> QueryDag {
+        let db = db();
+        let a = analyze(&parse(sql).unwrap(), db.catalog(), &db).unwrap();
+        compile("q", &a)
+    }
+
+    fn dag_mapjoin(sql: &str, threshold: f64) -> QueryDag {
+        let db = db();
+        let a = analyze(&parse(sql).unwrap(), db.catalog(), &db).unwrap();
+        compile_with("q", &a, db.catalog(), &PlannerConfig { map_join_threshold: threshold })
+    }
+
+    #[test]
+    fn q11_compiles_to_two_joins_and_groupby() {
+        let d = dag(
+            "SELECT ps_partkey, sum(ps_supplycost*ps_availqty) \
+             FROM nation n JOIN supplier s ON \
+             s.s_nationkey=n.n_nationkey AND n.n_name<>'CHINA' \
+             JOIN partsupp ps ON ps.ps_suppkey=s.s_suppkey \
+             GROUP BY ps_partkey;",
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.job(0).category(), JobCategory::Join);
+        assert_eq!(d.job(1).category(), JobCategory::Join);
+        assert_eq!(d.job(2).category(), JobCategory::Groupby);
+        // Job 1's left side is job 0, right side scans partsupp.
+        match &d.job(1).kind {
+            JobKind::Join { left: InputSrc::Job(0), right: InputSrc::Table(t), .. } => {
+                assert_eq!(t.table, "partsupp");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.depth(), 3);
+    }
+
+    #[test]
+    fn groupby_then_sort() {
+        let d = dag(
+            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate >= 100 GROUP BY l_partkey ORDER BY l_partkey LIMIT 20",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.job(0).category(), JobCategory::Groupby);
+        match &d.job(1).kind {
+            JobKind::Sort { input: InputSrc::Job(0), limit: Some(20), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_filter_is_map_only() {
+        let d = dag("SELECT l_partkey FROM lineitem WHERE l_quantity > 40");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.job(0).category(), JobCategory::Extract);
+        assert!(!d.job(0).kind.has_reduce());
+    }
+
+    #[test]
+    fn global_aggregate_has_empty_keys() {
+        let d = dag("SELECT count(*) FROM orders WHERE o_totalprice > 100000");
+        assert_eq!(d.len(), 1);
+        match &d.job(0).kind {
+            JobKind::Groupby { keys, n_aggs: 1, .. } => assert!(keys.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_only_is_single_sort() {
+        let d = dag("SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.job(0).category(), JobCategory::Extract);
+        assert!(d.job(0).kind.has_reduce());
+    }
+
+    #[test]
+    fn select_distinct_becomes_groupby() {
+        let d = dag("SELECT DISTINCT l_partkey, l_suppkey FROM lineitem WHERE l_quantity < 10");
+        assert_eq!(d.len(), 1);
+        match &d.job(0).kind {
+            JobKind::Groupby { keys, n_aggs: 0, .. } => {
+                assert_eq!(keys, &["l_partkey".to_string(), "l_suppkey".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_lowers_to_disjunction() {
+        let d =
+            dag("SELECT c_custkey FROM customer WHERE c_mktsegment IN ('BUILDING', 'MACHINERY')");
+        match &d.job(0).kind {
+            JobKind::MapOnly { input: InputSrc::Table(t) } => {
+                // Two equality alternatives on the same column.
+                assert_eq!(t.predicate.columns(), vec!["c_mktsegment"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_then_aggregate_like_q14() {
+        let d = dag(
+            "SELECT sum(l_extendedprice*l_discount) FROM lineitem l \
+             JOIN part p ON l.l_partkey = p.p_partkey \
+             WHERE l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.job(0).category(), JobCategory::Join);
+        assert_eq!(d.job(1).category(), JobCategory::Groupby);
+    }
+
+    #[test]
+    fn map_join_conversion_shortens_q11() {
+        let sql = "SELECT ps_partkey, sum(ps_supplycost*ps_availqty) \
+                   FROM nation n JOIN supplier s ON \
+                   s.s_nationkey=n.n_nationkey AND n.n_name<>'CHINA' \
+                   JOIN partsupp ps ON ps.ps_suppkey=s.s_suppkey \
+                   GROUP BY ps_partkey;";
+        // Without conversion: Join, Join, Groupby.
+        assert_eq!(dag(sql).len(), 3);
+        // nation (25 rows) fits any reasonable threshold; the tiny-scale
+        // supplier table does too, so both joins fold into the map phase of
+        // the group-by job: a single-job DAG with two broadcasts.
+        let d = dag_mapjoin(sql, 1e9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d.job(0).category(), JobCategory::Groupby);
+        assert_eq!(d.job(0).broadcasts.len(), 2);
+        // Broadcast tables still appear in the DAG's table inventory.
+        assert!(d.tables().contains(&"nation"));
+        assert!(d.tables().contains(&"supplier"));
+    }
+
+    #[test]
+    fn map_join_threshold_respected() {
+        let sql = "SELECT sum(l_extendedprice) FROM lineitem l \
+                   JOIN part p ON l.l_partkey = p.p_partkey";
+        // part is far larger than 1 KB: no conversion.
+        let d = dag_mapjoin(sql, 1024.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.job(0).category(), JobCategory::Join);
+        assert!(d.job(0).broadcasts.is_empty());
+    }
+
+    #[test]
+    fn partial_conversion_chain_keeps_stream_coherent() {
+        // nation joins customer (small -> broadcast), then orders (big ->
+        // reduce join). The reduce join's stream must still be nation with
+        // the customer broadcast attached — this exact shape once panicked
+        // in ground truth.
+        let db = generate(GenConfig::new(10.0).with_seed(5));
+        let sql = "SELECT n_name, sum(o_totalprice) FROM nation n                    JOIN customer c ON c.c_nationkey = n.n_nationkey                    JOIN orders o ON o.o_custkey = c.c_custkey GROUP BY n_name";
+        let a = analyze(&parse(sql).unwrap(), db.catalog(), &db).unwrap();
+        // Threshold between customer (~90 MB at 10 GB) and orders (~900 MB).
+        let d = compile_with(
+            "q5ish",
+            &a,
+            db.catalog(),
+            &PlannerConfig { map_join_threshold: 300.0 * 1024.0 * 1024.0 },
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d.job(0).category(), JobCategory::Join);
+        assert_eq!(d.job(0).broadcasts.len(), 1);
+        assert_eq!(d.job(0).broadcasts[0].table.table, "customer");
+        // Ground truth must execute cleanly and produce nation-sized groups.
+        let actuals = crate::ground_truth::execute_dag(&d, &db, 256.0 * 1024.0 * 1024.0);
+        assert!(actuals[1].tuples_out <= 25.0);
+        assert!(actuals[1].tuples_out > 0.0);
+    }
+
+    #[test]
+    fn trailing_map_join_gets_epilogue_job() {
+        // A join-only query (no group/sort) whose join converts: the
+        // broadcast must still be applied somewhere — a map-only epilogue.
+        let sql = "SELECT s_name, n_name FROM supplier s \
+                   JOIN nation n ON s.s_nationkey = n.n_nationkey";
+        let d = dag_mapjoin(sql, 1e9);
+        assert_eq!(d.len(), 1);
+        assert!(!d.job(0).kind.has_reduce());
+        assert_eq!(d.job(0).broadcasts.len(), 1);
+        assert_eq!(d.job(0).broadcasts[0].table.table, "nation");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Physical planning: compile analyzed queries into DAGs of MapReduce jobs,
+//! and execute those DAGs exactly against generated data for ground truth.
+//!
+//! This crate models the Hive-side half of the paper's *cross-layer
+//! semantics percolation* (§2.2, Fig. 3): instead of submitting opaque jobs,
+//! the compiler attaches to every job its operator category (Extract /
+//! Groupby / Join, §3.1), the predicates and projections pushed to each
+//! input table, the join/group keys, and the dependency edges of the DAG.
+//! That [`QueryDag`] object is exactly what flows to the selectivity
+//! estimator, the time predictor and — percolated through the job
+//! submission path — the cluster scheduler.
+//!
+//! Following Hive v0.10 (the paper's version, where automatic map-join
+//! conversion was off by default), every equi-join compiles to its own
+//! MapReduce Join job, group-bys to Groupby jobs, and sorts/limits to
+//! Extract jobs.
+
+pub mod builder;
+pub mod compile;
+pub mod dag;
+pub mod ground_truth;
+
+pub use builder::DagBuilder;
+pub use compile::compile;
+pub use dag::{InputSrc, JobCategory, JobKind, MrJob, QueryDag, TableInput};
+pub use ground_truth::{execute_dag, JobActual};

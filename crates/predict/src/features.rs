@@ -1,0 +1,171 @@
+//! Model input features (paper Table 1 and Eq. 9).
+
+use sapred_plan::dag::JobCategory;
+use sapred_selectivity::estimate::JobEstimate;
+
+/// Features of one job for the execution-time model (Eq. 8):
+/// `ET = θ₀ + θ₁·D_in + θ₂·D_med + θ₃·D_out + θ₄·O·P(1−P)·D_med`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFeatures {
+    /// Input bytes (`D_In`).
+    pub d_in: f64,
+    /// Intermediate (map-output) bytes (`D_Med`).
+    pub d_med: f64,
+    /// Output bytes (`D_Out`).
+    pub d_out: f64,
+    /// Operator type `O`: 1 for Join, 0 for others (Table 1).
+    pub is_join: bool,
+    /// Join skew ratio `P` (Eq. 7); ignored when `is_join` is false.
+    pub p: f64,
+}
+
+impl JobFeatures {
+    /// Build features from a selectivity estimate.
+    pub fn from_estimate(e: &JobEstimate) -> Self {
+        Self {
+            d_in: e.d_in,
+            d_med: e.d_med,
+            d_out: e.d_out,
+            is_join: e.category == JobCategory::Join,
+            p: e.p_ratio.unwrap_or(0.5),
+        }
+    }
+
+    /// The raw feature vector fed to the linear model.
+    pub fn vector(&self) -> Vec<f64> {
+        let o = if self.is_join { 1.0 } else { 0.0 };
+        vec![self.d_in, self.d_med, self.d_out, o * self.p * (1.0 - self.p) * self.d_med]
+    }
+}
+
+/// Features of one task for the task-time model (§4.2: "based on the task
+/// type, the operator type, job scale, the per-task input size and output
+/// size"):
+/// `ET_i = κ₀ + κ₁·TD_in + κ₂·TD_out + κ₃·O·P(1−P)·TD_in + κ₄·scale·TD_in`.
+///
+/// `scale` is the job's cluster-saturation fraction (how much of the
+/// container pool the job's own wave occupies): co-located tasks share
+/// disks/NICs, so tasks of saturating jobs run slower per byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskFeatures {
+    /// Per-task input bytes.
+    pub td_in: f64,
+    /// Per-task output bytes (`IS × TD_in` for maps, `FS × TD_in`-shaped for
+    /// reduces, per §4.2).
+    pub td_out: f64,
+    /// Operator type `O` (1 for Join).
+    pub is_join: bool,
+    /// Join skew ratio `P` (0.5 for non-joins).
+    pub p: f64,
+    /// Job scale: `min(tasks, containers) / containers ∈ (0, 1]`.
+    pub saturation: f64,
+}
+
+impl TaskFeatures {
+    /// Per-map-task features derived from a job estimate: each of the `n`
+    /// map splits reads `D_in / n` and writes `IS ×` that.
+    pub fn map_task(e: &JobEstimate, containers: usize) -> Self {
+        let n = e.n_maps.max(1) as f64;
+        let td_in = e.d_in / n;
+        let c = containers.max(1) as f64;
+        Self {
+            td_in,
+            td_out: e.is * td_in,
+            is_join: e.category == JobCategory::Join,
+            p: e.p_ratio.unwrap_or(0.5),
+            saturation: n.min(c) / c,
+        }
+    }
+
+    /// Per-reduce-task features: `n_reduces` reducers share `D_med` and emit
+    /// `D_out`.
+    pub fn reduce_task(e: &JobEstimate, n_reduces: usize, containers: usize) -> Self {
+        let n = n_reduces.max(1) as f64;
+        let c = containers.max(1) as f64;
+        Self {
+            td_in: e.d_med / n,
+            td_out: e.d_out / n,
+            is_join: e.category == JobCategory::Join,
+            p: e.p_ratio.unwrap_or(0.5),
+            saturation: n.min(c) / c,
+        }
+    }
+
+    /// The raw feature vector fed to the linear model.
+    pub fn vector(&self) -> Vec<f64> {
+        let o = if self.is_join { 1.0 } else { 0.0 };
+        vec![
+            self.td_in,
+            self.td_out,
+            o * self.p * (1.0 - self.p) * self.td_in,
+            self.saturation * self.td_in,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(cat: JobCategory, p: Option<f64>) -> JobEstimate {
+        JobEstimate {
+            category: cat,
+            d_in: 1000.0,
+            d_med: 500.0,
+            d_out: 100.0,
+            tuples_in: 10.0,
+            tuples_med: 5.0,
+            tuples_out: 1.0,
+            is: 0.5,
+            fs: 0.1,
+            p_ratio: p,
+            n_maps: 4,
+        }
+    }
+
+    #[test]
+    fn join_feature_activates_skew_term() {
+        let j = JobFeatures::from_estimate(&est(JobCategory::Join, Some(0.75)));
+        let v = j.vector();
+        assert_eq!(v.len(), 4);
+        assert!((v[3] - 0.75 * 0.25 * 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_join_zeroes_skew_term() {
+        let g = JobFeatures::from_estimate(&est(JobCategory::Groupby, None));
+        assert_eq!(g.vector()[3], 0.0);
+    }
+
+    #[test]
+    fn map_task_features_split_input() {
+        let t = TaskFeatures::map_task(&est(JobCategory::Extract, None), 108);
+        assert_eq!(t.td_in, 250.0);
+        assert_eq!(t.td_out, 125.0);
+        assert_eq!(t.vector()[2], 0.0);
+        // 4 maps on 108 containers: low saturation.
+        assert!((t.saturation - 4.0 / 108.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_task_features() {
+        let t = TaskFeatures::reduce_task(&est(JobCategory::Join, Some(0.5)), 2, 108);
+        assert_eq!(t.td_in, 250.0);
+        assert_eq!(t.td_out, 50.0);
+        assert!((t.vector()[2] - 0.25 * 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_reducers_clamped() {
+        let t = TaskFeatures::reduce_task(&est(JobCategory::Groupby, None), 0, 108);
+        assert_eq!(t.td_in, 500.0);
+    }
+
+    #[test]
+    fn saturation_capped_at_one() {
+        let mut e = est(JobCategory::Extract, None);
+        e.n_maps = 500;
+        let t = TaskFeatures::map_task(&e, 108);
+        assert_eq!(t.saturation, 1.0);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Multivariate time prediction (paper §4): feature extraction, ordinary
+//! least squares fitting, the job- and task-level execution-time models
+//! (Eqs. 8 and 9), query-level composition, accuracy metrics (R², average
+//! relative error) and the Weighted Resource Demand metric (Eq. 10) that
+//! drives SWRD scheduling.
+//!
+//! The linear algebra is self-contained: the normal equations of the
+//! (standardized) design matrix are solved with Gaussian elimination and a
+//! small ridge term for numerical safety — no external solver.
+
+pub mod features;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+pub mod wrd;
+
+pub use features::{JobFeatures, TaskFeatures};
+pub use linalg::LinearModel;
+pub use metrics::{avg_rel_error, r_squared};
+pub use model::{JobTimeModel, TaskTimeModel};
+pub use wrd::{job_time_waves, query_wrd, JobResource};

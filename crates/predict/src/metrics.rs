@@ -1,0 +1,79 @@
+//! Accuracy metrics used throughout the evaluation: the coefficient of
+//! determination (R², "R-squared accuracy" in the paper's tables) and the
+//! average relative error ("Avg Error").
+
+/// Coefficient of determination of `predicted` against `actual`:
+/// `1 − SS_res / SS_tot`. Returns 0 for degenerate inputs (empty, or
+/// zero-variance actuals with nonzero residuals).
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean of `|pred − actual| / actual` over samples with `actual > 0`.
+pub fn avg_rel_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if *a > 0.0 {
+            total += (p - a).abs() / a;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r_squared(&a, &a), 1.0);
+        assert_eq!(avg_rel_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_gives_zero_r2() {
+        let actual = vec![1.0, 2.0, 3.0];
+        let pred = vec![2.0, 2.0, 2.0];
+        assert!(r_squared(&pred, &actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_simple() {
+        let actual = vec![100.0, 200.0];
+        let pred = vec![110.0, 180.0];
+        assert!((avg_rel_error(&pred, &actual) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_actuals_skipped() {
+        let actual = vec![0.0, 100.0];
+        let pred = vec![5.0, 150.0];
+        assert!((avg_rel_error(&pred, &actual) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(r_squared(&[], &[]), 0.0);
+        assert_eq!(r_squared(&[1.0], &[1.0]), 1.0);
+        assert_eq!(r_squared(&[2.0], &[1.0]), 0.0);
+        assert_eq!(avg_rel_error(&[], &[]), 0.0);
+    }
+}

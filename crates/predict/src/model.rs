@@ -1,0 +1,138 @@
+//! The paper's two execution-time models: job-level (Eq. 8) and task-level
+//! (Eq. 9, separate map and reduce instances).
+
+use crate::features::{JobFeatures, TaskFeatures};
+use crate::linalg::{FitError, LinearModel};
+
+/// Job execution-time model (Eq. 8), fitted on
+/// `(features, measured seconds)` samples collected from training runs.
+#[derive(Debug, Clone)]
+pub struct JobTimeModel {
+    model: LinearModel,
+}
+
+impl JobTimeModel {
+    /// Fit with `1/y²` weights: job times span three orders of magnitude
+    /// with multiplicative noise, so weighted least squares minimizes the
+    /// relative error the paper's tables report.
+    pub fn fit(samples: &[(JobFeatures, f64)]) -> Result<Self, FitError> {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.vector()).collect();
+        let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
+        let ws: Vec<f64> = ys.iter().map(|y| 1.0 / y.max(1.0).powf(1.5)).collect();
+        Ok(Self { model: LinearModel::fit_weighted(&xs, &ys, Some(&ws), 1e-9)? })
+    }
+
+    /// Predicted job execution time in seconds (clamped non-negative).
+    pub fn predict(&self, f: &JobFeatures) -> f64 {
+        self.model.predict(&f.vector()).max(0.0)
+    }
+
+    /// The underlying linear model (for inspection).
+    pub fn inner(&self) -> &LinearModel {
+        &self.model
+    }
+}
+
+/// Task execution-time model (Eq. 9). The paper builds these per task type;
+/// one instance predicts map-task times, another reduce-task times.
+#[derive(Debug, Clone)]
+pub struct TaskTimeModel {
+    model: LinearModel,
+}
+
+impl TaskTimeModel {
+    /// Fit with `1/y²` weights (see [`JobTimeModel::fit`]).
+    pub fn fit(samples: &[(TaskFeatures, f64)]) -> Result<Self, FitError> {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.vector()).collect();
+        let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
+        let ws: Vec<f64> = ys.iter().map(|y| 1.0 / y.max(0.5).powi(2)).collect();
+        Ok(Self { model: LinearModel::fit_weighted(&xs, &ys, Some(&ws), 1e-9)? })
+    }
+
+    /// Predicted average task time in seconds (clamped non-negative).
+    pub fn predict(&self, f: &TaskFeatures) -> f64 {
+        self.model.predict(&f.vector()).max(0.0)
+    }
+
+    /// The underlying linear model (for inspection).
+    pub fn inner(&self) -> &LinearModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synth_job(rng: &mut StdRng) -> (JobFeatures, f64) {
+        let d_in = rng.gen_range(1e9..1e11);
+        let is = rng.gen_range(0.05..1.0);
+        let fs = rng.gen_range(0.01..0.9);
+        let is_join: bool = rng.gen_bool(0.4);
+        let p = rng.gen_range(0.5..1.0);
+        let f = JobFeatures { d_in, d_med: is * d_in, d_out: fs * is * d_in, is_join, p };
+        // Ground truth resembling the simulator: linear plus join surcharge.
+        let o = if is_join { 1.0 } else { 0.0 };
+        let y = 20.0
+            + 4e-9 * f.d_in
+            + 9e-9 * f.d_med
+            + 2e-9 * f.d_out
+            + o * 30e-9 * p * (1.0 - p) * f.d_med;
+        (f, y)
+    }
+
+    #[test]
+    fn job_model_fits_linear_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples: Vec<_> = (0..500).map(|_| synth_job(&mut rng)).collect();
+        let m = JobTimeModel::fit(&samples).unwrap();
+        for (f, y) in samples.iter().take(50) {
+            let p = m.predict(f);
+            assert!((p - y).abs() / y < 0.01, "pred {p} actual {y}");
+        }
+    }
+
+    #[test]
+    fn job_model_never_negative() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples: Vec<_> = (0..100).map(|_| synth_job(&mut rng)).collect();
+        let m = JobTimeModel::fit(&samples).unwrap();
+        let tiny = JobFeatures { d_in: 0.0, d_med: 0.0, d_out: 0.0, is_join: false, p: 0.5 };
+        assert!(m.predict(&tiny) >= 0.0);
+    }
+
+    #[test]
+    fn task_model_fits() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let samples: Vec<(TaskFeatures, f64)> = (0..400)
+            .map(|_| {
+                let td_in = rng.gen_range(1e7..3e8);
+                let td_out = td_in * rng.gen_range(0.1..1.0);
+                let is_join = rng.gen_bool(0.5);
+                let p = rng.gen_range(0.5..1.0);
+                let sat = rng.gen_range(0.05..1.0);
+                let f = TaskFeatures { td_in, td_out, is_join, p, saturation: sat };
+                let o = if is_join { 1.0 } else { 0.0 };
+                let y = 2.0
+                    + 5e-8 * td_in
+                    + 2e-8 * td_out
+                    + o * 1e-7 * p * (1.0 - p) * td_in
+                    + sat * 4e-8 * td_in;
+                (f, y)
+            })
+            .collect();
+        let m = TaskTimeModel::fit(&samples).unwrap();
+        for (f, y) in samples.iter().take(40) {
+            assert!((m.predict(f) - y).abs() / y < 0.01);
+        }
+    }
+
+    #[test]
+    fn underdetermined_fit_errors() {
+        let samples =
+            vec![(JobFeatures { d_in: 1.0, d_med: 1.0, d_out: 1.0, is_join: false, p: 0.5 }, 1.0)];
+        assert!(JobTimeModel::fit(&samples).is_err());
+    }
+}

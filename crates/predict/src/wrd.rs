@@ -1,0 +1,88 @@
+//! Weighted Resource Demand (paper Eq. 10) and wave-based job time
+//! composition (§4.3, §5.4).
+
+/// Predicted resource footprint of one job: average task times and the
+/// *remaining* task counts (both shrink as the job executes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResource {
+    /// Predicted map task time `MT_i` (seconds).
+    pub map_time: f64,
+    /// Remaining map tasks `N_Mi`.
+    pub maps_remaining: usize,
+    /// Predicted reduce task time `RT_i` (seconds).
+    pub reduce_time: f64,
+    /// Remaining reduce tasks `N_Ri`.
+    pub reduces_remaining: usize,
+}
+
+impl JobResource {
+    /// This job's contribution to the query WRD.
+    pub fn wrd(&self) -> f64 {
+        self.map_time * self.maps_remaining as f64
+            + self.reduce_time * self.reduces_remaining as f64
+    }
+}
+
+/// `WRD = Σᵢ MT_i·N_Mi + RT_i·N_Ri` over the query's (remaining) jobs.
+pub fn query_wrd(jobs: &[JobResource]) -> f64 {
+    jobs.iter().map(JobResource::wrd).sum()
+}
+
+/// Wave-model job execution time on a cluster with `containers` slots:
+/// map waves then reduce waves, plus a fixed per-job scheduling overhead.
+/// This is the paper's approximation "WRD divided by the number of available
+/// containers plus scheduling overheads" refined to whole waves.
+pub fn job_time_waves(job: &JobResource, containers: usize, overhead: f64) -> f64 {
+    let c = containers.max(1) as f64;
+    let map_waves = (job.maps_remaining as f64 / c).ceil();
+    let reduce_waves = (job.reduces_remaining as f64 / c).ceil();
+    map_waves * job.map_time + reduce_waves * job.reduce_time + overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrd_sums_jobs() {
+        let jobs = vec![
+            JobResource { map_time: 10.0, maps_remaining: 4, reduce_time: 20.0, reduces_remaining: 2 },
+            JobResource { map_time: 5.0, maps_remaining: 10, reduce_time: 0.0, reduces_remaining: 0 },
+        ];
+        assert_eq!(query_wrd(&jobs), 10.0 * 4.0 + 20.0 * 2.0 + 5.0 * 10.0);
+    }
+
+    #[test]
+    fn wrd_shrinks_as_tasks_finish() {
+        let before =
+            JobResource { map_time: 10.0, maps_remaining: 8, reduce_time: 5.0, reduces_remaining: 4 };
+        let after =
+            JobResource { map_time: 10.0, maps_remaining: 2, reduce_time: 5.0, reduces_remaining: 4 };
+        assert!(after.wrd() < before.wrd());
+    }
+
+    #[test]
+    fn wave_model_single_wave() {
+        let j = JobResource { map_time: 10.0, maps_remaining: 6, reduce_time: 4.0, reduces_remaining: 2 };
+        // 6 maps and 2 reduces fit in 8 containers: one wave each.
+        assert_eq!(job_time_waves(&j, 8, 1.0), 10.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn wave_model_multiple_waves() {
+        let j = JobResource { map_time: 10.0, maps_remaining: 20, reduce_time: 4.0, reduces_remaining: 3 };
+        // 20 maps over 8 containers = 3 waves; 3 reduces = 1 wave.
+        assert_eq!(job_time_waves(&j, 8, 0.0), 30.0 + 4.0);
+    }
+
+    #[test]
+    fn zero_containers_clamped() {
+        let j = JobResource { map_time: 1.0, maps_remaining: 2, reduce_time: 1.0, reduces_remaining: 0 };
+        assert!(job_time_waves(&j, 0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn empty_query_has_zero_wrd() {
+        assert_eq!(query_wrd(&[]), 0.0);
+    }
+}

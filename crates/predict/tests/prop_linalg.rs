@@ -1,0 +1,65 @@
+//! Property tests for the least-squares solver and metrics.
+
+use proptest::prelude::*;
+use sapred_predict::linalg::LinearModel;
+use sapred_predict::metrics::r_squared;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ols_recovers_random_linear_models(
+        intercept in -100.0f64..100.0,
+        slopes in prop::collection::vec(-10.0f64..10.0, 1..4),
+        n in 20usize..100,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random design matrix from the seed.
+        let k = slopes.len();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 200.0 - 100.0
+        };
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..k).map(|_| next()).collect()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| intercept + x.iter().zip(&slopes).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        // Degenerate designs (a feature with ~no variance) are excluded.
+        prop_assume!(
+            (0..k).all(|j| {
+                let mean = xs.iter().map(|x| x[j]).sum::<f64>() / n as f64;
+                xs.iter().map(|x| (x[j] - mean).powi(2)).sum::<f64>() / n as f64 > 1.0
+            })
+        );
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        let pred: Vec<f64> = xs.iter().map(|x| m.predict(x)).collect();
+        let r2 = r_squared(&pred, &ys);
+        prop_assert!(r2 > 0.999, "r2 = {r2}");
+    }
+
+    #[test]
+    fn fitted_predictions_maximize_r_squared_vs_mean(
+        ys in prop::collection::vec(0.0f64..1000.0, 10..60),
+    ) {
+        // Fitting y on an informative feature can never be worse than the
+        // mean predictor (R² >= 0) up to ridge epsilon.
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        let pred: Vec<f64> = xs.iter().map(|x| m.predict(x)).collect();
+        prop_assert!(r_squared(&pred, &ys) >= -1e-6);
+    }
+
+    #[test]
+    fn residuals_are_centered(
+        ys in prop::collection::vec(-500.0f64..500.0, 10..50),
+    ) {
+        // OLS with an intercept has zero-mean residuals.
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![(i * i % 17) as f64]).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        let mean_resid: f64 =
+            xs.iter().zip(&ys).map(|(x, y)| y - m.predict(x)).sum::<f64>() / ys.len() as f64;
+        prop_assert!(mean_resid.abs() < 1e-3, "mean residual {mean_resid}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Abstract syntax tree of the HiveQL subset.
+
+pub use sapred_relation::expr::CmpOp;
+
+/// A possibly-qualified column reference (`alias.column` or `column`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table alias qualifying the column, when written as `alias.column`.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColRef {
+    /// An unqualified column reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        Self { qualifier: None, name: name.into() }
+    }
+
+    /// A reference qualified by a table binding (`q.name`).
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        Self { qualifier: Some(q.into()), name: name.into() }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (single-quoted in query text).
+    Str(String),
+}
+
+/// Scalar expression in the SELECT list or inside an aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Col(ColRef),
+    /// A numeric constant.
+    Num(f64),
+    /// `+ - * /`
+
+    BinOp {
+        /// One of `+ - * /`.
+        op: char,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// All column references in the expression.
+    pub fn columns(&self) -> Vec<&ColRef> {
+        let mut v = Vec::new();
+        self.collect(&mut v);
+        v
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a ColRef>) {
+        match self {
+            Expr::Col(c) => out.push(c),
+            Expr::Num(_) => {}
+            Expr::BinOp { lhs, rhs, .. } => {
+                lhs.collect(out);
+                rhs.collect(out);
+            }
+        }
+    }
+}
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `sum(expr)`.
+    Sum,
+    /// `count(expr)` / `count(*)`.
+    Count,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain expression with an optional alias.
+    Expr {
+        /// The selected expression.
+        expr: Expr,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+    /// `agg(expr)` or `count(*)` (arg = None).
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument expression (`None` = `count(*)`).
+        arg: Option<Expr>,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// Syntactic predicate (columns unresolved, literals unlowered).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstPred {
+    /// `col op literal`.
+    Cmp {
+        /// Compared column.
+        col: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        lit: Literal,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested column.
+        col: ColRef,
+        /// Lower bound (inclusive).
+        lo: Literal,
+        /// Upper bound (inclusive).
+        hi: Literal,
+    },
+    /// `col IN (v1, v2, …)` — lowered to a disjunction of equalities.
+    InList {
+        /// Tested column.
+        col: ColRef,
+        /// Accepted values.
+        items: Vec<Literal>,
+    },
+    /// Conjunction.
+    And(Box<AstPred>, Box<AstPred>),
+    /// Disjunction.
+    Or(Box<AstPred>, Box<AstPred>),
+}
+
+impl AstPred {
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn conjuncts(&self) -> Vec<&AstPred> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a AstPred, out: &mut Vec<&'a AstPred>) {
+            match p {
+                AstPred::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// All column references in the predicate.
+    pub fn columns(&self) -> Vec<&ColRef> {
+        match self {
+            AstPred::Cmp { col, .. }
+            | AstPred::Between { col, .. }
+            | AstPred::InList { col, .. } => vec![col],
+            AstPred::And(a, b) | AstPred::Or(a, b) => {
+                let mut v = a.columns();
+                v.extend(b.columns());
+                v
+            }
+        }
+    }
+}
+
+/// A condition in an ON clause: either an equi-join or a residual predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnCond {
+    /// `left = right` between two tables' columns.
+    Equi {
+        /// Column on one side.
+        left: ColRef,
+        /// Column on the other side.
+        right: ColRef,
+    },
+    /// A single-table predicate written inside the ON clause.
+    Residual(AstPred),
+}
+
+/// A table reference with its optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name as written in the query.
+    pub table: String,
+    /// Optional alias (`FROM nation n` or `FROM nation AS n`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is addressed by in the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined (right-side) table.
+    pub table: TableRef,
+    /// ON-clause conditions: at least one equi-join plus residuals.
+    pub conds: Vec<OnCond>,
+}
+
+/// A full parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`: deduplicate the selected rows (compiles to a
+    /// group-by on the selected columns when no aggregates are present).
+    pub distinct: bool,
+    /// SELECT-list items in order.
+    pub select: Vec<SelectItem>,
+    /// The leading FROM table.
+    pub from: TableRef,
+    /// JOIN clauses in query order (left-deep).
+    pub joins: Vec<JoinClause>,
+    /// The WHERE predicate, if any.
+    pub where_pred: Option<AstPred>,
+    /// GROUP BY keys, possibly empty.
+    pub group_by: Vec<ColRef>,
+    /// (column, descending)
+    pub order_by: Vec<(ColRef, bool)>,
+    /// LIMIT row count, if any.
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let p = AstPred::And(
+            Box::new(AstPred::Cmp {
+                col: ColRef::bare("a"),
+                op: CmpOp::Eq,
+                lit: Literal::Num(1.0),
+            }),
+            Box::new(AstPred::Or(
+                Box::new(AstPred::Cmp {
+                    col: ColRef::bare("b"),
+                    op: CmpOp::Lt,
+                    lit: Literal::Num(2.0),
+                }),
+                Box::new(AstPred::Cmp {
+                    col: ColRef::bare("c"),
+                    op: CmpOp::Gt,
+                    lit: Literal::Num(3.0),
+                }),
+            )),
+        );
+        let cs = p.conjuncts();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(p.columns().len(), 3);
+    }
+
+    #[test]
+    fn expr_columns() {
+        let e = Expr::BinOp {
+            op: '*',
+            lhs: Box::new(Expr::Col(ColRef::bare("x"))),
+            rhs: Box::new(Expr::BinOp {
+                op: '+',
+                lhs: Box::new(Expr::Col(ColRef::qualified("t", "y"))),
+                rhs: Box::new(Expr::Num(1.0)),
+            }),
+        };
+        let cols = e.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[1].qualifier.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef { table: "nation".into(), alias: Some("n".into()) };
+        assert_eq!(t.binding(), "n");
+        let t = TableRef { table: "nation".into(), alias: None };
+        assert_eq!(t.binding(), "nation");
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type shared by the lexer, parser and analyzer.
+
+use std::fmt;
+
+/// Anything that can go wrong while compiling query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with a human-readable description.
+    Parse {
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic error (unknown table/column, ambiguity, unsupported shape).
+    Semantic {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl QueryError {
+    /// A parse error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        QueryError::Parse { message: message.into() }
+    }
+
+    /// A semantic error.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        QueryError::Semantic { message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+            QueryError::Semantic { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,202 @@
+//! Hand-written lexer for the HiveQL subset.
+
+use crate::error::QueryError;
+
+/// Lexical token. Keywords are recognized later (identifiers are kept as
+/// spelled so `sum` works both as a keyword and as a column name prefix).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (lowercased; Hive identifiers are case-insensitive).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// Punctuation / operator: one of `( ) , . * + - / = < > <= >= <>`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Case-insensitive keyword test for identifier tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input`, returning tokens plus their byte offsets.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if !bytes[i].is_ascii() {
+            return Err(QueryError::Lex {
+                offset: i,
+                message: "non-ASCII character in query text".to_string(),
+            });
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments `-- ...`
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            // Identifiers are case-insensitive (Hive lowercases them).
+            out.push((Token::Ident(input[start..i].to_ascii_lowercase()), start));
+        } else if c.is_ascii_digit() {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    || bytes[i] == b'E'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && matches!(bytes.get(i - 1), Some(b'e') | Some(b'E'))))
+            {
+                i += 1;
+            }
+            let text = &input[start..i];
+            let n: f64 = text.parse().map_err(|_| QueryError::Lex {
+                offset: start,
+                message: format!("bad number literal `{text}`"),
+            })?;
+            out.push((Token::Num(n), start));
+        } else if c == '\'' {
+            i += 1;
+            let sstart = i;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(QueryError::Lex {
+                    offset: start,
+                    message: "unterminated string literal".to_string(),
+                });
+            }
+            out.push((Token::Str(input[sstart..i].to_string()), start));
+            i += 1; // closing quote
+        } else {
+            let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+            let sym: &'static str = match two {
+                "<=" => "<=",
+                ">=" => ">=",
+                "<>" => "<>",
+                "!=" => "<>",
+                _ => match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    ';' => ";",
+                    _ => {
+                        return Err(QueryError::Lex {
+                            offset: i,
+                            message: format!("unexpected character `{c}`"),
+                        })
+                    }
+                },
+            };
+            i += sym.len().max(1);
+            if sym == "<>" && two == "!=" {
+                // "!=" consumed two bytes but maps to "<>".
+            }
+            out.push((Token::Sym(sym), start));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        assert_eq!(
+            toks("select x, 3.5 from 't'"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("x".into()),
+                Token::Sym(","),
+                Token::Num(3.5),
+                Token::Ident("from".into()),
+                Token::Str("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            toks("a <= b >= c <> d != e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym("<="),
+                Token::Ident("b".into()),
+                Token::Sym(">="),
+                Token::Ident("c".into()),
+                Token::Sym("<>"),
+                Token::Ident("d".into()),
+                Token::Sym("<>"),
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a -- comment\n b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn qualified_names() {
+        assert_eq!(
+            toks("s.s_suppkey"),
+            vec![Token::Ident("s".into()), Token::Sym("."), Token::Ident("s_suppkey".into())]
+        );
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        assert_eq!(toks("1e3"), vec![Token::Num(1000.0)]);
+        assert_eq!(toks("2.5e-2"), vec![Token::Num(0.025)]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'abc"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(matches!(tokenize("a ยง b"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = Token::Ident("SeLeCt".into());
+        assert!(t.is_kw("select"));
+        assert!(!t.is_kw("from"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Recursive-descent parser for the HiveQL subset.
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Token};
+
+/// Parse one query.
+pub fn parse(sql: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_sym(";").ok(); // optional trailing semicolon
+    if !p.at_end() {
+        return Err(QueryError::parse(format!("trailing input at token {:?}", p.peek())));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), QueryError> {
+        match self.peek() {
+            Some(Token::Sym(x)) if *x == s => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(QueryError::parse(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    fn try_sym(&mut self, s: &str) -> bool {
+        self.eat_sym(s).is_ok()
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let select = self.select_list()?;
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("join") || (self.eat_kw("inner") && self.eat_kw("join")) {
+            joins.push(self.join_clause()?);
+        }
+        let where_pred = if self.eat_kw("where") { Some(self.pred()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.colref()?);
+                if !self.try_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let c = self.colref()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((c, desc));
+                if !self.try_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Some(Token::Num(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+                other => {
+                    return Err(QueryError::parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query { distinct, select, from, joins, where_pred, group_by, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, QueryError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.try_sym(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        // Aggregate?
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(func) = AggFunc::from_name(name) {
+                // Lookahead for '(' to distinguish a column named e.g. `count`.
+                if matches!(self.tokens.get(self.pos + 1), Some((Token::Sym("("), _))) {
+                    self.pos += 2; // name + '('
+                    let arg = if matches!(self.peek(), Some(Token::Sym("*"))) {
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.eat_sym(")")?;
+                    let alias = self.opt_alias()?;
+                    return Ok(SelectItem::Agg { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.opt_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn opt_alias(&mut self) -> Result<Option<String>, QueryError> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, QueryError> {
+        let table = self.ident()?;
+        // Optional alias: `AS alias` or a bare identifier that is not a
+        // clause keyword.
+        if self.eat_kw("as") {
+            return Ok(TableRef { table, alias: Some(self.ident()?) });
+        }
+        if let Some(Token::Ident(next)) = self.peek() {
+            const CLAUSES: [&str; 8] =
+                ["join", "inner", "where", "group", "order", "limit", "on", "select"];
+            if !CLAUSES.iter().any(|k| next.eq_ignore_ascii_case(k)) {
+                let alias = self.ident()?;
+                return Ok(TableRef { table, alias: Some(alias) });
+            }
+        }
+        Ok(TableRef { table, alias: None })
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause, QueryError> {
+        let table = self.table_ref()?;
+        self.expect_kw("on")?;
+        let mut conds = vec![self.on_cond()?];
+        while self.eat_kw("and") {
+            conds.push(self.on_cond()?);
+        }
+        Ok(JoinClause { table, conds })
+    }
+
+    /// One ON condition: `col = col` (equi-join) or a residual predicate.
+    fn on_cond(&mut self) -> Result<OnCond, QueryError> {
+        let col = self.colref()?;
+        let op = self.cmp_op()?;
+        // Right-hand side: column ⇒ equi-join (only for `=`), else literal.
+        if let Some(Token::Ident(_)) = self.peek() {
+            let right = self.colref()?;
+            if op != CmpOp::Eq {
+                return Err(QueryError::parse(
+                    "only equality joins are supported between columns".to_string(),
+                ));
+            }
+            return Ok(OnCond::Equi { left: col, right });
+        }
+        let lit = self.literal()?;
+        Ok(OnCond::Residual(AstPred::Cmp { col, op, lit }))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        match self.bump() {
+            Some(Token::Sym("=")) => Ok(CmpOp::Eq),
+            Some(Token::Sym("<>")) => Ok(CmpOp::Ne),
+            Some(Token::Sym("<")) => Ok(CmpOp::Lt),
+            Some(Token::Sym("<=")) => Ok(CmpOp::Le),
+            Some(Token::Sym(">")) => Ok(CmpOp::Gt),
+            Some(Token::Sym(">=")) => Ok(CmpOp::Ge),
+            other => Err(QueryError::parse(format!("expected comparison, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, QueryError> {
+        match self.bump() {
+            Some(Token::Num(n)) => Ok(Literal::Num(n)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Sym("-")) => match self.bump() {
+                Some(Token::Num(n)) => Ok(Literal::Num(-n)),
+                other => Err(QueryError::parse(format!("expected number after `-`, found {other:?}"))),
+            },
+            other => Err(QueryError::parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, QueryError> {
+        let first = self.ident()?;
+        if self.try_sym(".") {
+            let name = self.ident()?;
+            Ok(ColRef::qualified(first, name))
+        } else {
+            Ok(ColRef::bare(first))
+        }
+    }
+
+    // Predicate grammar: or_pred := and_pred (OR and_pred)*
+    fn pred(&mut self) -> Result<AstPred, QueryError> {
+        let mut lhs = self.and_pred()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_pred()?;
+            lhs = AstPred::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_pred(&mut self) -> Result<AstPred, QueryError> {
+        let mut lhs = self.atom_pred()?;
+        while self.eat_kw("and") {
+            let rhs = self.atom_pred()?;
+            lhs = AstPred::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom_pred(&mut self) -> Result<AstPred, QueryError> {
+        if self.try_sym("(") {
+            let p = self.pred()?;
+            self.eat_sym(")")?;
+            return Ok(p);
+        }
+        let col = self.colref()?;
+        if self.eat_kw("between") {
+            let lo = self.literal()?;
+            self.expect_kw("and")?;
+            let hi = self.literal()?;
+            return Ok(AstPred::Between { col, lo, hi });
+        }
+        if self.eat_kw("in") {
+            self.eat_sym("(")?;
+            let mut items = vec![self.literal()?];
+            while self.try_sym(",") {
+                items.push(self.literal()?);
+            }
+            self.eat_sym(")")?;
+            if items.is_empty() {
+                return Err(QueryError::parse("empty IN list"));
+            }
+            return Ok(AstPred::InList { col, items });
+        }
+        let op = self.cmp_op()?;
+        let lit = self.literal()?;
+        Ok(AstPred::Cmp { col, op, lit })
+    }
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => '+',
+                Some(Token::Sym("-")) => '-',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::BinOp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => '*',
+                Some(Token::Sym("/")) => '/',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::BinOp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, QueryError> {
+        match self.peek() {
+            Some(Token::Num(_)) => {
+                if let Some(Token::Num(n)) = self.bump() {
+                    Ok(Expr::Num(n))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => Ok(Expr::Col(self.colref()?)),
+            other => Err(QueryError::parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT l_quantity FROM lineitem").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from.table, "lineitem");
+        assert!(q.joins.is_empty());
+        assert!(q.where_pred.is_none());
+    }
+
+    #[test]
+    fn where_group_order_limit() {
+        let q = parse(
+            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate >= 100 AND l_shipdate < 130 \
+             GROUP BY l_partkey ORDER BY l_partkey DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by, vec![(ColRef::bare("l_partkey"), true)]);
+        assert_eq!(q.limit, Some(10));
+        let conj = q.where_pred.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conj, 2);
+    }
+
+    #[test]
+    fn paper_q11_parses() {
+        let q = parse(
+            "SELECT ps_partkey, sum(ps_supplycost*ps_availqty) \
+             FROM nation n JOIN supplier s ON \
+             s.s_nationkey=n.n_nationkey AND n.n_name<>'CHINA' \
+             JOIN partsupp ps ON ps.ps_suppkey=s.s_suppkey \
+             GROUP BY ps_partkey;",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.from.binding(), "n");
+        match &q.joins[0].conds[..] {
+            [OnCond::Equi { left, right }, OnCond::Residual(_)] => {
+                assert_eq!(left.qualifier.as_deref(), Some("s"));
+                assert_eq!(right.name, "n_nationkey");
+            }
+            other => panic!("unexpected conds {other:?}"),
+        }
+        match &q.select[1] {
+            SelectItem::Agg { func: AggFunc::Sum, arg: Some(Expr::BinOp { op: '*', .. }), .. } => {}
+            other => panic!("unexpected select item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_strings() {
+        let q = parse(
+            "SELECT c_custkey FROM customer WHERE c_acctbal BETWEEN 0 AND 100 \
+             OR c_mktsegment = 'BUILDING'",
+        )
+        .unwrap();
+        match q.where_pred.unwrap() {
+            AstPred::Or(a, b) => {
+                assert!(matches!(*a, AstPred::Between { .. }));
+                assert!(matches!(*b, AstPred::Cmp { lit: Literal::Str(_), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("SELECT count(*) FROM orders").unwrap();
+        assert!(matches!(q.select[0], SelectItem::Agg { func: AggFunc::Count, arg: None, .. }));
+    }
+
+    #[test]
+    fn negative_literal() {
+        let q = parse("SELECT s_suppkey FROM supplier WHERE s_acctbal > -100").unwrap();
+        match q.where_pred.unwrap() {
+            AstPred::Cmp { lit: Literal::Num(n), .. } => assert_eq!(n, -100.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT a FROM t blah blah").is_err() || parse("SELECT a FROM t 42").is_err());
+    }
+
+    #[test]
+    fn non_equality_column_join_rejected() {
+        let r = parse("SELECT a FROM t JOIN u ON t.a < u.b");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn alias_without_as() {
+        let q = parse("SELECT n.n_name FROM nation n WHERE n.n_regionkey = 1").unwrap();
+        assert_eq!(q.from.alias.as_deref(), Some("n"));
+    }
+
+    #[test]
+    fn in_list_parses() {
+        let q = parse("SELECT n_name FROM nation WHERE n_regionkey IN (1, 2, 4)").unwrap();
+        match q.where_pred.unwrap() {
+            AstPred::InList { items, .. } => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("SELECT a FROM t WHERE b IN ()").is_err());
+    }
+
+    #[test]
+    fn select_distinct_parses() {
+        let q = parse("SELECT DISTINCT l_partkey, l_suppkey FROM lineitem").unwrap();
+        assert!(q.distinct);
+        let q = parse("SELECT l_partkey FROM lineitem").unwrap();
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn limit_must_be_integer() {
+        assert!(parse("SELECT a FROM t LIMIT 2.5").is_err());
+    }
+}

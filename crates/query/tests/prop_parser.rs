@@ -1,0 +1,88 @@
+//! Property tests for the SQL front end: randomly composed queries within
+//! the supported grammar always parse and analyze; malformed inputs error
+//! without panicking.
+
+use proptest::prelude::*;
+use sapred_query::{analyze, parse};
+use sapred_relation::gen::{generate, Database, GenConfig};
+
+fn db() -> Database {
+    generate(GenConfig::new(0.05).with_seed(1))
+}
+
+/// Columns of lineitem usable in numeric predicates.
+const NUM_COLS: [&str; 4] = ["l_quantity", "l_shipdate", "l_extendedprice", "l_discount"];
+const KEY_COLS: [&str; 3] = ["l_orderkey", "l_partkey", "l_suppkey"];
+const OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+
+fn pred_strategy() -> impl Strategy<Value = String> {
+    let atom = (0..NUM_COLS.len(), 0..OPS.len(), -100.0f64..3000.0).prop_map(|(c, o, v)| {
+        format!("{} {} {:.2}", NUM_COLS[c], OPS[o], v)
+    });
+    let between = (0..NUM_COLS.len(), 0.0f64..1000.0, 0.0f64..1000.0)
+        .prop_map(|(c, a, b)| format!("{} BETWEEN {:.1} AND {:.1}", NUM_COLS[c], a, a + b));
+    let leaf = prop_oneof![atom, between];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), prop::sample::select(vec!["AND", "OR"]), inner)
+            .prop_map(|(a, conj, b)| format!("({a} {conj} {b})"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_filters_compile(pred in pred_strategy(), limit in prop::option::of(1u64..100000)) {
+        let db = db();
+        let limit_clause = limit.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
+        let sql = format!("SELECT l_orderkey, l_quantity FROM lineitem WHERE {pred}{limit_clause}");
+        let q = parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let a = analyze(&q, db.catalog(), &db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        prop_assert_eq!(a.scans.len(), 1);
+        prop_assert_eq!(a.limit, limit);
+    }
+
+    #[test]
+    fn random_groupbys_compile(
+        key in 0..KEY_COLS.len(),
+        agg_col in 0..NUM_COLS.len(),
+        pred in pred_strategy(),
+    ) {
+        let db = db();
+        let sql = format!(
+            "SELECT {k}, sum({a}), count(*) FROM lineitem WHERE {pred} GROUP BY {k}",
+            k = KEY_COLS[key],
+            a = NUM_COLS[agg_col]
+        );
+        let a = analyze(&parse(&sql).unwrap(), db.catalog(), &db).unwrap();
+        prop_assert_eq!(a.group_by.len(), 1);
+        prop_assert_eq!(a.aggs.len(), 2);
+        // Group key must be in the scan projection; predicate columns only
+        // if they are also selected.
+        prop_assert!(a.scans[0].projection.contains(&KEY_COLS[key].to_string()));
+    }
+
+    #[test]
+    fn whitespace_and_case_are_insignificant(extra_ws in 1usize..5) {
+        let db = db();
+        let ws = " ".repeat(extra_ws);
+        let sql =
+            format!("select{ws}L_ORDERKEY{ws}FROM{ws}lineitem{ws}WhErE{ws}l_quantity{ws}>{ws}10");
+        let a = analyze(&parse(&sql).unwrap(), db.catalog(), &db).unwrap();
+        prop_assert_eq!(a.scans[0].table.as_str(), "lineitem");
+    }
+
+    #[test]
+    fn garbage_never_panics(junk in "[ -~]{0,80}") {
+        // Arbitrary printable ASCII: parsing may fail but must not panic.
+        let _ = parse(&junk);
+    }
+
+    #[test]
+    fn truncated_queries_error_cleanly(cut in 0usize..60) {
+        let sql = "SELECT l_orderkey FROM lineitem WHERE l_quantity > 10 ORDER BY l_orderkey";
+        let truncated = &sql[..cut.min(sql.len())];
+        // Prefixes of a valid query are either valid or clean errors.
+        let _ = parse(truncated);
+    }
+}

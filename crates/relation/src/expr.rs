@@ -1,0 +1,234 @@
+//! Predicate expressions shared by the executor (exact evaluation) and the
+//! selectivity estimator (histogram evaluation).
+//!
+//! A predicate here is what the paper's §3.1.1 calls a *predicate clause*:
+//! comparisons of a column against constants, combined with AND/OR. String
+//! literals are lowered to dictionary codes before reaching this layer.
+
+use crate::table::Table;
+
+/// Comparison operator of a simple predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    #[inline]
+    /// Apply the comparison to two values.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate over a single table's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (no WHERE clause).
+    True,
+    /// `column op constant`.
+    Cmp {
+        /// Compared column.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant (string literals already lowered to codes).
+        value: f64,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested column.
+        column: String,
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Conjunction of two predicates.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction of two predicates.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column op value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: f64) -> Self {
+        Predicate::Cmp { column: column.into(), op, value }
+    }
+
+    /// `column BETWEEN lo AND hi`.
+    pub fn between(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Predicate::Between { column: column.into(), lo, hi }
+    }
+
+    /// Conjoin with `other`, collapsing `True` operands.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjoin with `other`.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate the predicate against row `i` of `table`.
+    pub fn eval(&self, table: &Table, i: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { column, op, value } => {
+                let col = table
+                    .column(column)
+                    .unwrap_or_else(|| panic!("unknown column {column} in {}", table.name()));
+                op.eval(col.get_f64(i), *value)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = table
+                    .column(column)
+                    .unwrap_or_else(|| panic!("unknown column {column} in {}", table.name()));
+                let v = col.get_f64(i);
+                *lo <= v && v <= *hi
+            }
+            Predicate::And(a, b) => a.eval(table, i) && b.eval(table, i),
+            Predicate::Or(a, b) => a.eval(table, i) || b.eval(table, i),
+        }
+    }
+
+    /// All column names referenced by this predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { column, .. } | Predicate::Between { column, .. } => {
+                out.push(column.as_str());
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Whether this predicate is trivially true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Predicate::True)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::Between { column, lo, hi } => {
+                write!(f, "{column} between {lo} and {hi}")
+            }
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, Schema};
+    use crate::table::Column;
+
+    fn t() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Float),
+        ]);
+        Table::new(
+            "t",
+            schema,
+            vec![Column::Int(vec![1, 5, 9]), Column::Float(vec![0.1, 0.5, 0.9])],
+        )
+    }
+
+    #[test]
+    fn cmp_eval() {
+        let t = t();
+        let p = Predicate::cmp("a", CmpOp::Ge, 5.0);
+        assert!(!p.eval(&t, 0));
+        assert!(p.eval(&t, 1));
+        assert!(p.eval(&t, 2));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = t();
+        let p = Predicate::between("b", 0.1, 0.5);
+        assert!(p.eval(&t, 0));
+        assert!(p.eval(&t, 1));
+        assert!(!p.eval(&t, 2));
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let t = t();
+        let p = Predicate::cmp("a", CmpOp::Gt, 2.0).and(Predicate::cmp("b", CmpOp::Lt, 0.9));
+        assert!(!p.eval(&t, 0));
+        assert!(p.eval(&t, 1));
+        assert!(!p.eval(&t, 2));
+        let q = Predicate::cmp("a", CmpOp::Eq, 1.0).or(Predicate::cmp("a", CmpOp::Eq, 9.0));
+        assert!(q.eval(&t, 0));
+        assert!(!q.eval(&t, 1));
+        assert!(q.eval(&t, 2));
+    }
+
+    #[test]
+    fn and_with_true_collapses() {
+        let p = Predicate::True.and(Predicate::cmp("a", CmpOp::Eq, 1.0));
+        assert_eq!(p, Predicate::cmp("a", CmpOp::Eq, 1.0));
+    }
+
+    #[test]
+    fn columns_are_deduped() {
+        let p = Predicate::cmp("a", CmpOp::Gt, 1.0)
+            .and(Predicate::cmp("b", CmpOp::Lt, 2.0).or(Predicate::cmp("a", CmpOp::Eq, 3.0)));
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+}

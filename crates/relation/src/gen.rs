@@ -1,0 +1,583 @@
+//! TPC-H-shaped synthetic database generator.
+//!
+//! The paper trains and evaluates on TPC-H / TPC-DS data between 1 GB and
+//! 400 GB. We generate the eight TPC-H tables with the standard row-count
+//! ratios, down-scaled by [`crate::SCALE_DOWN`], and with *controllable key
+//! distributions* (uniform / Zipf-skewed foreign keys, clustered / random row
+//! layout) so that every selectivity-estimation code path of §3 — including
+//! the clustered-vs-random `S_comb` cases of Eq. 2 and the skewed-join
+//! buckets of Eq. 5 — is exercised by real data.
+
+use crate::dist::Zipf;
+use crate::schema::{ColumnDef, DataType, Schema};
+use crate::stats::{Catalog, HistogramKind, TableStats, DEFAULT_BUCKETS};
+use crate::table::{Column, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Distribution of foreign-key columns in the fact tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Keys drawn uniformly from the referenced domain.
+    Uniform,
+    /// Keys drawn Zipf(alpha); hot keys concentrate join/groupby mass.
+    Zipf(f64),
+}
+
+/// Physical row order of the fact tables, which determines how effective a
+/// map-side combiner is (paper Eq. 2: clustered vs randomly distributed
+/// group-by keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Rows sorted by their primary grouping key: a combiner sees each key in
+    /// one map split only.
+    Clustered,
+    /// Rows in random order: every map split sees (almost) every hot key.
+    Random,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Nominal scale factor in "paper gigabytes" (fractional allowed).
+    pub scale_gb: f64,
+    /// RNG seed: same seed, same database.
+    pub seed: u64,
+    /// Distribution of fact-table foreign keys.
+    pub key_dist: KeyDist,
+    /// Physical row order of the fact tables.
+    pub layout: Layout,
+    /// Histogram buckets used when gathering catalog statistics.
+    pub buckets: usize,
+    /// Histogram family gathered into the catalog.
+    pub hist_kind: HistogramKind,
+}
+
+impl GenConfig {
+    /// Defaults: uniform keys, random layout, 64 equi-width buckets.
+    pub fn new(scale_gb: f64) -> Self {
+        Self {
+            scale_gb,
+            seed: 42,
+            key_dist: KeyDist::Uniform,
+            layout: Layout::Random,
+            buckets: DEFAULT_BUCKETS,
+            hist_kind: HistogramKind::EquiWidth,
+        }
+    }
+
+    /// Set the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the foreign-key distribution.
+    pub fn with_key_dist(mut self, d: KeyDist) -> Self {
+        self.key_dist = d;
+        self
+    }
+
+    /// Set the fact-table row layout.
+    pub fn with_layout(mut self, l: Layout) -> Self {
+        self.layout = l;
+        self
+    }
+
+    /// Set the histogram bucket count gathered into the catalog.
+    pub fn with_buckets(mut self, b: usize) -> Self {
+        self.buckets = b;
+        self
+    }
+
+    /// Set the histogram family gathered into the catalog.
+    pub fn with_hist_kind(mut self, k: HistogramKind) -> Self {
+        self.hist_kind = k;
+        self
+    }
+}
+
+/// A generated database instance: materialized tables plus gathered catalog.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The configuration this instance was generated with.
+    pub config: GenConfig,
+    tables: HashMap<String, Table>,
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Look up a materialized table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// The gathered metastore statistics.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Date domain: days since 1992-01-01, seven years.
+pub const DATE_MIN: i64 = 0;
+/// Last representable day (end of 1998).
+pub const DATE_MAX: i64 = 7 * 365;
+
+/// Convert `YYYY-MM-DD` within 1992..=1998 into our day encoding (approximate
+/// 30.4-day months are fine: predicate constants and data use the same map).
+pub fn encode_date(y: i64, m: i64, d: i64) -> i64 {
+    ((y - 1992) * 365 + (m - 1) * 304 / 10 + (d - 1)).clamp(DATE_MIN, DATE_MAX)
+}
+
+const SEGMENTS: [&str; 5] = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
+const STATUSES: [&str; 3] = ["F", "O", "P"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+fn dict_of(names: &[&str]) -> HashMap<String, i64> {
+    names.iter().enumerate().map(|(i, n)| (n.to_string(), i as i64)).collect()
+}
+
+/// Per-table row counts for a given nominal scale (already down-scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCounts {
+    /// `supplier` rows.
+    pub supplier: usize,
+    /// `customer` rows.
+    pub customer: usize,
+    /// `part` rows.
+    pub part: usize,
+    /// `partsupp` rows.
+    pub partsupp: usize,
+    /// `orders` rows.
+    pub orders: usize,
+    /// `lineitem` rows (the dominant fact table).
+    pub lineitem: usize,
+}
+
+/// TPC-H row-count ratios at 1/[`crate::SCALE_DOWN`] scale with small-table
+/// floors so tiny scale factors still produce meaningful joins.
+pub fn row_counts(scale_gb: f64) -> RowCounts {
+    let s = scale_gb.max(0.01);
+    RowCounts {
+        supplier: ((10.0 * s).round() as usize).max(25),
+        customer: ((150.0 * s).round() as usize).max(100),
+        part: ((200.0 * s).round() as usize).max(100),
+        partsupp: ((800.0 * s).round() as usize).max(400),
+        orders: ((1500.0 * s).round() as usize).max(500),
+        lineitem: ((6000.0 * s).round() as usize).max(2000),
+    }
+}
+
+/// Generate a full database instance.
+pub fn generate(config: GenConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rc = row_counts(config.scale_gb);
+    let mut tables = HashMap::new();
+
+    tables.insert("region".to_string(), gen_region());
+    tables.insert("nation".to_string(), gen_nation(&mut rng));
+    tables.insert("supplier".to_string(), gen_supplier(rc.supplier, &mut rng));
+    tables.insert("customer".to_string(), gen_customer(rc.customer, &mut rng));
+    tables.insert("part".to_string(), gen_part(rc.part, &mut rng));
+    tables.insert(
+        "partsupp".to_string(),
+        gen_partsupp(rc.partsupp, rc.part, rc.supplier, config.key_dist, &mut rng),
+    );
+    tables.insert("orders".to_string(), gen_orders(rc.orders, rc.customer, &mut rng));
+    tables.insert(
+        "lineitem".to_string(),
+        gen_lineitem(rc.lineitem, rc.orders, rc.part, rc.supplier, &config, &mut rng),
+    );
+
+    let mut catalog = Catalog::new();
+    for t in tables.values() {
+        catalog.insert(TableStats::gather_kind(t, config.buckets, config.hist_kind));
+    }
+    Database { config, tables, catalog }
+}
+
+fn fk_sampler(dist: KeyDist, n: usize) -> Box<dyn FnMut(&mut StdRng) -> i64> {
+    match dist {
+        KeyDist::Uniform => Box::new(move |rng: &mut StdRng| rng.gen_range(0..n as i64)),
+        KeyDist::Zipf(a) => {
+            let z = Zipf::new(n as u64, a);
+            Box::new(move |rng: &mut StdRng| (z.sample(rng) - 1) as i64)
+        }
+    }
+}
+
+fn gen_region() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("r_regionkey", DataType::Int),
+        ColumnDef::new("r_name", DataType::Str { avg_width: 12 }),
+    ]);
+    let mut t = Table::new(
+        "region",
+        schema,
+        vec![Column::Int((0..5).collect()), Column::Int((0..5).collect())],
+    );
+    t.set_dict("r_name", dict_of(&REGIONS));
+    t
+}
+
+fn gen_nation(rng: &mut StdRng) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("n_nationkey", DataType::Int),
+        ColumnDef::new("n_name", DataType::Str { avg_width: 14 }),
+        ColumnDef::new("n_regionkey", DataType::Int),
+    ]);
+    let regions: Vec<i64> = (0..25).map(|_| rng.gen_range(0..5)).collect();
+    let mut t = Table::new(
+        "nation",
+        schema,
+        vec![Column::Int((0..25).collect()), Column::Int((0..25).collect()), Column::Int(regions)],
+    );
+    t.set_dict("n_name", dict_of(&NATIONS));
+    t
+}
+
+fn gen_supplier(n: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("s_suppkey", DataType::Int),
+        ColumnDef::new("s_name", DataType::Str { avg_width: 18 }),
+        ColumnDef::new("s_nationkey", DataType::Int),
+        ColumnDef::new("s_acctbal", DataType::Float),
+    ]);
+    Table::new(
+        "supplier",
+        schema,
+        vec![
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..25)).collect()),
+            Column::Float((0..n).map(|_| rng.gen_range(-999.0..9999.0)).collect()),
+        ],
+    )
+}
+
+fn gen_customer(n: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("c_custkey", DataType::Int),
+        ColumnDef::new("c_name", DataType::Str { avg_width: 18 }),
+        ColumnDef::new("c_nationkey", DataType::Int),
+        ColumnDef::new("c_acctbal", DataType::Float),
+        ColumnDef::new("c_mktsegment", DataType::Str { avg_width: 10 }),
+    ]);
+    let mut t = Table::new(
+        "customer",
+        schema,
+        vec![
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..25)).collect()),
+            Column::Float((0..n).map(|_| rng.gen_range(-999.0..9999.0)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..SEGMENTS.len() as i64)).collect()),
+        ],
+    );
+    t.set_dict("c_mktsegment", dict_of(&SEGMENTS));
+    t
+}
+
+fn gen_part(n: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("p_partkey", DataType::Int),
+        ColumnDef::new("p_name", DataType::Str { avg_width: 32 }),
+        ColumnDef::new("p_brand", DataType::Str { avg_width: 10 }),
+        ColumnDef::new("p_type", DataType::Str { avg_width: 20 }),
+        ColumnDef::new("p_size", DataType::Int),
+        ColumnDef::new("p_container", DataType::Str { avg_width: 10 }),
+        ColumnDef::new("p_retailprice", DataType::Float),
+    ]);
+    let brands: Vec<String> =
+        (1..=5).flat_map(|a| (1..=5).map(move |b| format!("Brand#{a}{b}"))).collect();
+    let brand_refs: Vec<&str> = brands.iter().map(String::as_str).collect();
+    let containers: Vec<String> = ["SM", "MED", "LG", "JUMBO", "WRAP"]
+        .iter()
+        .flat_map(|s| {
+            ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+                .iter()
+                .map(move |c| format!("{s} {c}"))
+        })
+        .collect();
+    let container_refs: Vec<&str> = containers.iter().map(String::as_str).collect();
+    let types: Vec<String> = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+        .iter()
+        .flat_map(|a| {
+            ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"].iter().flat_map(move |b| {
+                ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+                    .iter()
+                    .map(move |c| format!("{a} {b} {c}"))
+            })
+        })
+        .collect();
+    let type_refs: Vec<&str> = types.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "part",
+        schema,
+        vec![
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..brand_refs.len() as i64)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..type_refs.len() as i64)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(1..51)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..container_refs.len() as i64)).collect()),
+            Column::Float((0..n).map(|_| rng.gen_range(900.0..2100.0)).collect()),
+        ],
+    );
+    t.set_dict("p_brand", dict_of(&brand_refs));
+    t.set_dict("p_container", dict_of(&container_refs));
+    t.set_dict("p_type", dict_of(&type_refs));
+    t
+}
+
+fn gen_partsupp(
+    n: usize,
+    parts: usize,
+    suppliers: usize,
+    dist: KeyDist,
+    rng: &mut StdRng,
+) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("ps_partkey", DataType::Int),
+        ColumnDef::new("ps_suppkey", DataType::Int),
+        ColumnDef::new("ps_availqty", DataType::Int),
+        ColumnDef::new("ps_supplycost", DataType::Float),
+    ]);
+    let mut part_fk = fk_sampler(dist, parts);
+    // Every part gets at least one supplier row where possible so
+    // referential-integrity-style joins behave like TPC-H.
+    let mut pk: Vec<i64> = (0..n).map(|i| {
+        if i < parts { i as i64 } else { part_fk(rng) }
+    }).collect();
+    // Shuffle so clustering is not accidental.
+    for i in (1..pk.len()).rev() {
+        pk.swap(i, rng.gen_range(0..=i));
+    }
+    Table::new(
+        "partsupp",
+        schema,
+        vec![
+            Column::Int(pk),
+            Column::Int((0..n).map(|_| rng.gen_range(0..suppliers as i64)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(1..10_000)).collect()),
+            Column::Float((0..n).map(|_| rng.gen_range(1.0..1000.0)).collect()),
+        ],
+    )
+}
+
+fn gen_orders(n: usize, customers: usize, rng: &mut StdRng) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("o_orderkey", DataType::Int),
+        ColumnDef::new("o_custkey", DataType::Int),
+        ColumnDef::new("o_orderstatus", DataType::Str { avg_width: 4 }),
+        ColumnDef::new("o_totalprice", DataType::Float),
+        ColumnDef::new("o_orderdate", DataType::Int),
+        ColumnDef::new("o_orderpriority", DataType::Str { avg_width: 12 }),
+    ]);
+    let mut t = Table::new(
+        "orders",
+        schema,
+        vec![
+            Column::Int((0..n as i64).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..customers as i64)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..STATUSES.len() as i64)).collect()),
+            Column::Float((0..n).map(|_| rng.gen_range(1000.0..500_000.0)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(DATE_MIN..=DATE_MAX)).collect()),
+            Column::Int((0..n).map(|_| rng.gen_range(0..PRIORITIES.len() as i64)).collect()),
+        ],
+    );
+    t.set_dict("o_orderstatus", dict_of(&STATUSES));
+    t.set_dict("o_orderpriority", dict_of(&PRIORITIES));
+    t
+}
+
+fn gen_lineitem(
+    n: usize,
+    orders: usize,
+    parts: usize,
+    suppliers: usize,
+    config: &GenConfig,
+    rng: &mut StdRng,
+) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("l_orderkey", DataType::Int),
+        ColumnDef::new("l_partkey", DataType::Int),
+        ColumnDef::new("l_suppkey", DataType::Int),
+        ColumnDef::new("l_quantity", DataType::Int),
+        ColumnDef::new("l_extendedprice", DataType::Float),
+        ColumnDef::new("l_discount", DataType::Float),
+        ColumnDef::new("l_tax", DataType::Float),
+        ColumnDef::new("l_returnflag", DataType::Str { avg_width: 2 }),
+        ColumnDef::new("l_linestatus", DataType::Str { avg_width: 2 }),
+        ColumnDef::new("l_shipdate", DataType::Int),
+        ColumnDef::new("l_receiptdate", DataType::Int),
+        ColumnDef::new("l_shipmode", DataType::Str { avg_width: 8 }),
+    ]);
+    let mut part_fk = fk_sampler(config.key_dist, parts);
+    // (orderkey, partkey, suppkey, qty, price, discount, tax, flag, status,
+    // shipdate, receiptdate, shipmode)
+    type LineitemRow = (i64, i64, i64, i64, f64, f64, f64, i64, i64, i64, i64, i64);
+    let mut rows: Vec<LineitemRow> = (0..n)
+        .map(|_| {
+            let ship = rng.gen_range(DATE_MIN..=DATE_MAX);
+            (
+                rng.gen_range(0..orders as i64),
+                part_fk(rng),
+                rng.gen_range(0..suppliers as i64),
+                rng.gen_range(1..51),
+                rng.gen_range(900.0..105_000.0),
+                rng.gen_range(0.0..0.11),
+                rng.gen_range(0.0..0.09),
+                rng.gen_range(0..RETURNFLAGS.len() as i64),
+                rng.gen_range(0..2),
+                ship,
+                (ship + rng.gen_range(1..31)).min(DATE_MAX),
+                rng.gen_range(0..SHIPMODES.len() as i64),
+            )
+        })
+        .collect();
+    if config.layout == Layout::Clustered {
+        // Clustered on l_partkey: each key's tuples are contiguous, so a
+        // map-side combiner sees each group inside one split (Eq. 2 case 1).
+        rows.sort_by_key(|r| r.1);
+    }
+    let mut t = Table::new(
+        "lineitem",
+        schema,
+        vec![
+            Column::Int(rows.iter().map(|r| r.0).collect()),
+            Column::Int(rows.iter().map(|r| r.1).collect()),
+            Column::Int(rows.iter().map(|r| r.2).collect()),
+            Column::Int(rows.iter().map(|r| r.3).collect()),
+            Column::Float(rows.iter().map(|r| r.4).collect()),
+            Column::Float(rows.iter().map(|r| r.5).collect()),
+            Column::Float(rows.iter().map(|r| r.6).collect()),
+            Column::Int(rows.iter().map(|r| r.7).collect()),
+            Column::Int(rows.iter().map(|r| r.8).collect()),
+            Column::Int(rows.iter().map(|r| r.9).collect()),
+            Column::Int(rows.iter().map(|r| r.10).collect()),
+            Column::Int(rows.iter().map(|r| r.11).collect()),
+        ],
+    );
+    t.set_dict("l_returnflag", dict_of(&RETURNFLAGS));
+    t.set_dict("l_linestatus", dict_of(&["F", "O"]));
+    t.set_dict("l_shipmode", dict_of(&SHIPMODES));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Predicate};
+
+    #[test]
+    fn generates_all_eight_tables() {
+        let db = generate(GenConfig::new(1.0));
+        assert_eq!(
+            db.table_names(),
+            vec!["customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"]
+        );
+        assert_eq!(db.catalog().len(), 8);
+    }
+
+    #[test]
+    fn row_counts_scale_linearly() {
+        let a = row_counts(10.0);
+        let b = row_counts(100.0);
+        assert_eq!(a.lineitem, 60_000);
+        assert_eq!(b.lineitem, 600_000);
+        assert_eq!(b.orders, 10 * a.orders);
+    }
+
+    #[test]
+    fn small_scale_has_floors() {
+        let rc = row_counts(0.05);
+        assert!(rc.lineitem >= 2000);
+        assert!(rc.supplier >= 25);
+    }
+
+    #[test]
+    fn foreign_keys_reference_valid_domains() {
+        let db = generate(GenConfig::new(0.5).with_seed(9));
+        let li = db.table("lineitem").unwrap();
+        let orders = db.table("orders").unwrap().rows() as i64;
+        let ok = li.column("l_orderkey").unwrap().as_int().unwrap();
+        assert!(ok.iter().all(|&k| (0..orders).contains(&k)));
+        let parts = db.table("part").unwrap().rows() as i64;
+        let pk = li.column("l_partkey").unwrap().as_int().unwrap();
+        assert!(pk.iter().all(|&k| (0..parts).contains(&k)));
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed() {
+        let uni = generate(GenConfig::new(1.0).with_key_dist(KeyDist::Uniform));
+        let skew = generate(GenConfig::new(1.0).with_key_dist(KeyDist::Zipf(1.2)));
+        let hot = |db: &Database| {
+            let li = db.table("lineitem").unwrap();
+            let pk = li.column("l_partkey").unwrap().as_int().unwrap();
+            pk.iter().filter(|&&k| k < 5).count() as f64 / pk.len() as f64
+        };
+        assert!(hot(&skew) > 5.0 * hot(&uni), "skew {} uni {}", hot(&skew), hot(&uni));
+    }
+
+    #[test]
+    fn clustered_layout_sorts_partkey() {
+        let db = generate(GenConfig::new(0.5).with_layout(Layout::Clustered));
+        let pk = db.table("lineitem").unwrap().column("l_partkey").unwrap().as_int().unwrap();
+        assert!(pk.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dictionary_predicates_select_rows() {
+        let db = generate(GenConfig::new(0.2).with_seed(3));
+        let nation = db.table("nation").unwrap();
+        let code = nation.dict_code("n_name", "CHINA");
+        assert!(code >= 0);
+        let p = Predicate::cmp("n_name", CmpOp::Ne, code as f64);
+        let kept = (0..nation.rows()).filter(|&i| p.eval(nation, i)).count();
+        assert_eq!(kept, 24); // 24 of 25 nations survive n_name <> 'CHINA'.
+    }
+
+    #[test]
+    fn date_encoding_monotone() {
+        assert!(encode_date(1994, 3, 1) > encode_date(1994, 2, 1));
+        assert!(encode_date(1995, 1, 1) > encode_date(1994, 12, 31));
+        assert_eq!(encode_date(1992, 1, 1), 0);
+    }
+
+    #[test]
+    fn catalog_stats_match_tables() {
+        let db = generate(GenConfig::new(0.3));
+        for name in db.table_names() {
+            let t = db.table(name).unwrap();
+            let s = db.catalog().get(name).unwrap();
+            assert_eq!(s.rows(), t.rows() as f64, "table {name}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(GenConfig::new(0.2).with_seed(77));
+        let b = generate(GenConfig::new(0.2).with_seed(77));
+        let ka = a.table("lineitem").unwrap().column("l_partkey").unwrap().as_int().unwrap();
+        let kb = b.table("lineitem").unwrap().column("l_partkey").unwrap().as_int().unwrap();
+        assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,547 @@
+//! Equi-width histograms with per-bucket tuple and distinct counts.
+//!
+//! The paper (§3.1.1) builds *off-line equi-width histograms* on filterable
+//! attributes, assuming a piece-wise uniform distribution of values inside
+//! each bucket [Piatetsky-Shapiro & Connell '84]. The same structure also
+//! carries per-bucket distinct counts so the per-bucket join-size formula
+//! (paper Eq. 5, after Bell et al. '89) can be evaluated directly.
+
+use crate::expr::{CmpOp, Predicate};
+use crate::table::Column;
+use std::collections::HashSet;
+
+/// One histogram bucket: `[lo, hi)` (the last bucket is closed on both ends).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the last bucket).
+    pub hi: f64,
+    /// Number of tuples whose value falls in the bucket.
+    pub count: f64,
+    /// Number of distinct values observed in the bucket.
+    pub distinct: f64,
+}
+
+/// An equi-width histogram over a numeric column.
+///
+/// ```
+/// use sapred_relation::histogram::Histogram;
+/// use sapred_relation::table::Column;
+/// use sapred_relation::expr::CmpOp;
+///
+/// let col = Column::Int((0..100).collect());
+/// let h = Histogram::build(&col, 0.0, 100.0, 10);
+/// let s = h.selectivity_cmp(CmpOp::Lt, 25.0);
+/// assert!((s - 0.25).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    width: f64,
+    buckets: Vec<Bucket>,
+    total: f64,
+}
+
+impl Histogram {
+    /// Build a histogram over `[min, max]` with `n` equal-width buckets.
+    /// Values outside the domain are clamped into the edge buckets (they can
+    /// arise when a shared join-key domain is wider than one table's range).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `min > max`.
+    pub fn build(column: &Column, min: f64, max: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        assert!(min <= max, "invalid domain [{min}, {max}]");
+        let width = if max > min { (max - min) / n as f64 } else { 1.0 };
+        let mut counts = vec![0u64; n];
+        let mut distinct: Vec<HashSet<i64>> = vec![HashSet::new(); n];
+        let rows = column.len();
+        for i in 0..rows {
+            let v = column.get_f64(i);
+            let b = Self::bucket_index_for(v, min, width, n);
+            counts[b] += 1;
+            // Distinct tracking uses the bit pattern of the value so float
+            // columns are handled exactly as well.
+            distinct[b].insert(column.get_f64(i).to_bits() as i64);
+        }
+        let buckets = (0..n)
+            .map(|b| Bucket {
+                lo: min + b as f64 * width,
+                hi: min + (b + 1) as f64 * width,
+                count: counts[b] as f64,
+                distinct: distinct[b].len() as f64,
+            })
+            .collect();
+        Self { min, max, width, buckets, total: rows as f64 }
+    }
+
+    /// Build an equi-*depth* histogram: bucket boundaries at value
+    /// quantiles, so each bucket holds ≈ the same number of tuples. Under
+    /// heavy skew this resolves the hot keys that equi-width bucketing
+    /// smears (the classic alternative of Piatetsky-Shapiro & Connell).
+    /// Duplicate quantile boundaries are merged, so the result may have
+    /// fewer than `n` buckets.
+    pub fn build_equi_depth(column: &Column, n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        let rows = column.len();
+        if rows == 0 {
+            return Self::build(column, 0.0, 0.0, 1);
+        }
+        let mut sorted: Vec<f64> = (0..rows).map(|i| column.get_f64(i)).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let (min, max) = (sorted[0], sorted[rows - 1]);
+        // Quantile boundaries, kept strictly increasing: when a heavy value
+        // spans several quantiles, advance to the next distinct value so
+        // the hot value gets isolated in its own bucket instead of being
+        // smeared (this is what makes equi-depth effective under skew).
+        let mut bounds: Vec<f64> = vec![min];
+        for q in 1..n {
+            let last = *bounds.last().expect("non-empty");
+            let candidate = sorted[q * rows / n];
+            let v = if candidate > last {
+                candidate
+            } else {
+                // Smallest value strictly greater than the last boundary.
+                let idx = sorted.partition_point(|&x| x <= last);
+                if idx >= rows {
+                    break;
+                }
+                sorted[idx]
+            };
+            if v > *bounds.last().expect("non-empty") {
+                bounds.push(v);
+            }
+        }
+        let top = max + 1e-9; // half-open buckets must cover the maximum
+        if top > *bounds.last().expect("non-empty") {
+            bounds.push(top);
+        } else {
+            bounds.push(*bounds.last().unwrap() + 1e-9);
+        }
+        let mut buckets: Vec<Bucket> = bounds
+            .windows(2)
+            .map(|w| Bucket { lo: w[0], hi: w[1], count: 0.0, distinct: 0.0 })
+            .collect();
+        // Fill counts/distincts from the sorted values in one pass.
+        let mut b = 0usize;
+        let mut prev: Option<f64> = None;
+        for &v in &sorted {
+            while b + 1 < buckets.len() && v >= buckets[b].hi {
+                b += 1;
+                prev = None;
+            }
+            buckets[b].count += 1.0;
+            if prev != Some(v) {
+                buckets[b].distinct += 1.0;
+                prev = Some(v);
+            }
+        }
+        let width = (max - min).max(1e-9) / buckets.len() as f64;
+        Self { min, max, width, buckets, total: rows as f64 }
+    }
+
+    /// Build with the domain taken from the column itself.
+    pub fn from_column(column: &Column, n: usize) -> Self {
+        let rows = column.len();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..rows {
+            let v = column.get_f64(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if rows == 0 {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        Self::build(column, lo, hi, n)
+    }
+
+    #[inline]
+    fn bucket_index_for(v: f64, min: f64, width: f64, n: usize) -> usize {
+        let raw = ((v - min) / width).floor();
+        (raw.max(0.0) as usize).min(n - 1)
+    }
+
+    /// Index of the bucket containing `v`, valid for both equi-width and
+    /// equi-depth (variable-width) bucketing.
+    fn bucket_of(&self, v: f64) -> usize {
+        match self.buckets.binary_search_by(|b| b.lo.partial_cmp(&v).expect("no NaN")) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => (i - 1).min(self.buckets.len() - 1),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The buckets in domain order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total tuple mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// `(min, max)` of the covered value domain.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Total distinct-count estimate (sum of per-bucket distincts; exact when
+    /// buckets partition the value space, which equi-width bucketing ensures).
+    pub fn distinct_total(&self) -> f64 {
+        self.buckets.iter().map(|b| b.distinct).sum()
+    }
+
+    /// Estimated fraction of tuples satisfying `value op constant`, the
+    /// paper's `S_pred` for a single comparison, under the piece-wise uniform
+    /// assumption.
+    pub fn selectivity_cmp(&self, op: CmpOp, value: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        let sel = match op {
+            CmpOp::Lt => self.mass_below(value, false),
+            CmpOp::Le => self.mass_below(value, true),
+            CmpOp::Gt => self.total - self.mass_below(value, true),
+            CmpOp::Ge => self.total - self.mass_below(value, false),
+            CmpOp::Eq => self.mass_eq(value),
+            CmpOp::Ne => self.total - self.mass_eq(value),
+        };
+        (sel / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of tuples in `[lo, hi]` (inclusive BETWEEN).
+    pub fn selectivity_between(&self, lo: f64, hi: f64) -> f64 {
+        if self.total == 0.0 || hi < lo {
+            return 0.0;
+        }
+        let mass = self.mass_below(hi, true) - self.mass_below(lo, false);
+        (mass / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Tuples with value strictly below `v` (or `<= v` when `inclusive`),
+    /// interpolating linearly inside the straddled bucket.
+    fn mass_below(&self, v: f64, inclusive: bool) -> f64 {
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if v >= b.hi {
+                acc += b.count;
+            } else if v > b.lo || (inclusive && v == b.lo) {
+                let frac = ((v - b.lo) / (b.hi - b.lo)).clamp(0.0, 1.0);
+                let mut m = b.count * frac;
+                if inclusive && b.distinct > 0.0 {
+                    // Include the equality mass of `v` itself.
+                    m += b.count / b.distinct * 0.5_f64.min(1.0 / b.distinct);
+                    m = m.min(b.count);
+                }
+                acc += m;
+                break;
+            } else {
+                break;
+            }
+        }
+        acc.min(self.total)
+    }
+
+    /// Estimated number of tuples equal to `v`: bucket count spread uniformly
+    /// over the bucket's distinct values.
+    fn mass_eq(&self, v: f64) -> f64 {
+        if v < self.min || v > self.max {
+            return 0.0;
+        }
+        let b = &self.buckets[self.bucket_of(v)];
+        if b.distinct == 0.0 {
+            0.0
+        } else {
+            b.count / b.distinct
+        }
+    }
+
+    /// Estimated `S_pred` for a full predicate tree over *this column*
+    /// (conjuncts/disjuncts over other columns must be combined by the caller
+    /// under the independence assumption).
+    pub fn selectivity_pred(&self, pred: &Predicate) -> f64 {
+        match pred {
+            Predicate::True => 1.0,
+            Predicate::Cmp { op, value, .. } => self.selectivity_cmp(*op, *value),
+            Predicate::Between { lo, hi, .. } => self.selectivity_between(*lo, *hi),
+            Predicate::And(a, b) => self.selectivity_pred(a) * self.selectivity_pred(b),
+            Predicate::Or(a, b) => {
+                let (sa, sb) = (self.selectivity_pred(a), self.selectivity_pred(b));
+                (sa + sb - sa * sb).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Return a copy whose per-bucket counts are scaled by the estimated
+    /// selectivity of `pred` *within each bucket*. This implements the
+    /// "updated piece-wise distribution" propagation the paper borrows from
+    /// Bell et al. for chained joins on unshared keys (§3.1.2).
+    pub fn filtered(&self, pred: &Predicate) -> Histogram {
+        let mut out = self.clone();
+        let mut new_total = 0.0;
+        for b in &mut out.buckets {
+            // Evaluate the predicate selectivity restricted to this bucket by
+            // building a single-bucket view.
+            let view = Histogram {
+                min: b.lo,
+                max: b.hi,
+                width: b.hi - b.lo,
+                buckets: vec![*b],
+                total: b.count,
+            };
+            let s = view.selectivity_pred(pred);
+            b.count *= s;
+            b.distinct = b.distinct.min(b.count).max(if b.count > 0.0 { 1.0 } else { 0.0 });
+            // Distinct values thin out slower than tuples; keep at least the
+            // uniform expectation.
+            new_total += b.count;
+        }
+        out.total = new_total;
+        out
+    }
+
+    /// Overwrite one bucket's count and distinct (used when constructing
+    /// derived histograms such as join outputs); the running total is kept
+    /// consistent.
+    pub fn set_bucket(&mut self, i: usize, count: f64, distinct: f64) {
+        assert!(count >= 0.0 && distinct >= 0.0);
+        let b = &mut self.buckets[i];
+        self.total += count - b.count;
+        b.count = count;
+        b.distinct = distinct;
+    }
+
+    /// Return a copy where each bucket's tuple count is replaced by its
+    /// distinct count: the histogram of a relation that keeps exactly one
+    /// tuple per distinct value (a group-by output keyed on this column).
+    pub fn distinct_as_count(&self) -> Histogram {
+        let mut out = self.clone();
+        for b in &mut out.buckets {
+            b.count = b.distinct;
+        }
+        out.total = out.buckets.iter().map(|b| b.count).sum();
+        out
+    }
+
+    /// Return a copy with every bucket's tuple count scaled by `factor`
+    /// (distinct counts are capped by the scaled counts). Used to propagate a
+    /// histogram through an operator that thins or fans out tuples uniformly
+    /// (e.g. a filter on another column, or a join fan-out).
+    pub fn scaled(&self, factor: f64) -> Histogram {
+        assert!(factor >= 0.0 && factor.is_finite());
+        let mut out = self.clone();
+        for b in &mut out.buckets {
+            b.count *= factor;
+            if factor < 1.0 {
+                b.distinct = b.distinct.min(b.count).max(if b.count > 0.0 { 1.0 } else { 0.0 });
+            }
+        }
+        out.total *= factor;
+        out
+    }
+
+    /// Rebucket this histogram onto an explicit common domain, preserving
+    /// total mass (needed to align two join sides, paper Eq. 5).
+    pub fn rebucket(&self, min: f64, max: f64, n: usize) -> Histogram {
+        assert!(n > 0 && min <= max);
+        let width = if max > min { (max - min) / n as f64 } else { 1.0 };
+        let mut buckets: Vec<Bucket> = (0..n)
+            .map(|b| Bucket {
+                lo: min + b as f64 * width,
+                hi: min + (b + 1) as f64 * width,
+                count: 0.0,
+                distinct: 0.0,
+            })
+            .collect();
+        for src in &self.buckets {
+            if src.count == 0.0 {
+                continue;
+            }
+            // Spread the source bucket's mass uniformly over its extent and
+            // deposit it into overlapping destination buckets.
+            let src_w = (src.hi - src.lo).max(f64::MIN_POSITIVE);
+            for dst in &mut buckets {
+                let lo = src.lo.max(dst.lo);
+                let hi = src.hi.min(dst.hi);
+                if hi > lo {
+                    let frac = (hi - lo) / src_w;
+                    dst.count += src.count * frac;
+                    dst.distinct += src.distinct * frac;
+                }
+            }
+        }
+        Histogram { min, max, width, buckets, total: self.total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist() -> Histogram {
+        // Values 0..=99, one tuple each.
+        let col = Column::Int((0..100).collect());
+        Histogram::build(&col, 0.0, 100.0, 10)
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let h = uniform_hist();
+        let total: f64 = h.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(total, 100.0);
+        assert_eq!(h.total(), 100.0);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let h = uniform_hist();
+        let s = h.selectivity_cmp(CmpOp::Lt, 50.0);
+        assert!((s - 0.5).abs() < 0.02, "s = {s}");
+        let s = h.selectivity_cmp(CmpOp::Ge, 75.0);
+        assert!((s - 0.25).abs() < 0.03, "s = {s}");
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let h = uniform_hist();
+        let s = h.selectivity_cmp(CmpOp::Eq, 42.0);
+        assert!((s - 0.01).abs() < 1e-9, "s = {s}");
+        let s = h.selectivity_cmp(CmpOp::Ne, 42.0);
+        assert!((s - 0.99).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn between_selectivity() {
+        let h = uniform_hist();
+        let s = h.selectivity_between(20.0, 40.0);
+        assert!((s - 0.2).abs() < 0.03, "s = {s}");
+        assert_eq!(h.selectivity_between(40.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_eq_is_zero() {
+        let h = uniform_hist();
+        assert_eq!(h.selectivity_cmp(CmpOp::Eq, 1000.0), 0.0);
+        assert_eq!(h.selectivity_cmp(CmpOp::Eq, -5.0), 0.0);
+    }
+
+    #[test]
+    fn skewed_distinct_counts() {
+        // 90 copies of value 1 plus 0..=9 once each.
+        let mut vals = vec![1i64; 90];
+        vals.extend(0..10);
+        let col = Column::Int(vals);
+        let h = Histogram::build(&col, 0.0, 10.0, 1);
+        assert_eq!(h.buckets()[0].distinct, 10.0);
+        assert_eq!(h.total(), 100.0);
+        // Equality on the hot key is estimated at count/distinct = 10 tuples,
+        // an underestimate that is the known cost of equi-width histograms.
+        let s = h.selectivity_cmp(CmpOp::Eq, 1.0);
+        assert!((s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pred_tree_independence() {
+        let h = uniform_hist();
+        let p = Predicate::cmp("x", CmpOp::Lt, 50.0).and(Predicate::cmp("x", CmpOp::Ge, 0.0));
+        let s = h.selectivity_pred(&p);
+        assert!((s - 0.5).abs() < 0.03, "s = {s}");
+        let p = Predicate::cmp("x", CmpOp::Lt, 10.0).or(Predicate::cmp("x", CmpOp::Ge, 90.0));
+        let s = h.selectivity_pred(&p);
+        assert!((s - 0.2).abs() < 0.05, "s = {s}");
+    }
+
+    #[test]
+    fn filtered_histogram_scales_mass() {
+        let h = uniform_hist();
+        let f = h.filtered(&Predicate::cmp("x", CmpOp::Lt, 30.0));
+        assert!((f.total() - 30.0).abs() < 3.0, "total = {}", f.total());
+        // Buckets above the cut are empty.
+        assert!(f.buckets()[5].count < 1e-9);
+    }
+
+    #[test]
+    fn rebucket_preserves_mass() {
+        let h = uniform_hist();
+        let r = h.rebucket(0.0, 100.0, 4);
+        let total: f64 = r.buckets().iter().map(|b| b.count).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        assert_eq!(r.num_buckets(), 4);
+        assert!((r.buckets()[0].count - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_column_autodomain() {
+        let col = Column::Float(vec![2.0, 4.0, 6.0, 8.0]);
+        let h = Histogram::from_column(&col, 2);
+        assert_eq!(h.domain(), (2.0, 8.0));
+        assert_eq!(h.total(), 4.0);
+    }
+
+    #[test]
+    fn equi_depth_balances_counts() {
+        // Zipf-ish data: value v repeated (100 - v) times.
+        let vals: Vec<i64> =
+            (0..100).flat_map(|v| std::iter::repeat_n(v, 100 - v as usize)).collect();
+        let h = Histogram::build_equi_depth(&Column::Int(vals.clone()), 10);
+        let total: f64 = h.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(total, vals.len() as f64);
+        // Every bucket holds within 2x of the ideal share.
+        let ideal = vals.len() as f64 / h.num_buckets() as f64;
+        for b in h.buckets() {
+            assert!(b.count < 2.5 * ideal, "bucket {b:?} ideal {ideal}");
+        }
+        // Buckets tile the domain in order.
+        for w in h.buckets().windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equi_depth_hot_key_equality_is_sharper() {
+        // 900 copies of 0 plus 1..=99 once each: equi-depth isolates the
+        // hot key in its own buckets, so Eq-selectivity on it is accurate.
+        let mut vals = vec![0i64; 900];
+        vals.extend(1..100);
+        let col = Column::Int(vals);
+        let width = Histogram::build(&col, 0.0, 100.0, 10);
+        let depth = Histogram::build_equi_depth(&col, 10);
+        let exact = 0.9;
+        let e_width = (width.selectivity_cmp(CmpOp::Eq, 0.0) - exact).abs();
+        let e_depth = (depth.selectivity_cmp(CmpOp::Eq, 0.0) - exact).abs();
+        assert!(e_depth < e_width, "depth err {e_depth} width err {e_width}");
+    }
+
+    #[test]
+    fn equi_depth_range_selectivity_sane() {
+        let vals: Vec<i64> = (0..1000).collect();
+        let h = Histogram::build_equi_depth(&Column::Int(vals), 16);
+        let s = h.selectivity_cmp(CmpOp::Lt, 250.0);
+        assert!((s - 0.25).abs() < 0.05, "s = {s}");
+    }
+
+    #[test]
+    fn equi_depth_single_value_column() {
+        let h = Histogram::build_equi_depth(&Column::Int(vec![7; 50]), 8);
+        assert_eq!(h.total(), 50.0);
+        let s = h.selectivity_cmp(CmpOp::Eq, 7.0);
+        assert!(s > 0.9, "s = {s}");
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::Int(vec![]);
+        let h = Histogram::from_column(&col, 4);
+        assert_eq!(h.total(), 0.0);
+        assert_eq!(h.selectivity_cmp(CmpOp::Lt, 1.0), 0.0);
+    }
+}

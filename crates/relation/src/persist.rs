@@ -1,0 +1,84 @@
+//! Catalog persistence: save/load the metastore statistics (schemas, row
+//! counts, distinct counts, histograms) as JSON.
+//!
+//! The paper's estimator reads *off-line* statistics: "equi-width
+//! histograms are built on tables' attributes … and stored on HDFS"
+//! (§3.1.1). This module plays the HDFS role — a deployment gathers
+//! statistics once ([`crate::stats::TableStats::gather`]) and ships the
+//! serialized catalog to wherever prediction runs; the estimator never
+//! needs the data itself.
+
+use crate::stats::Catalog;
+use std::io;
+use std::path::Path;
+
+/// Serialize a catalog to pretty JSON.
+pub fn catalog_to_json(catalog: &Catalog) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(catalog)
+}
+
+/// Deserialize a catalog from JSON.
+pub fn catalog_from_json(json: &str) -> serde_json::Result<Catalog> {
+    serde_json::from_str(json)
+}
+
+/// Save a catalog to a JSON file.
+pub fn save_catalog(catalog: &Catalog, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = catalog_to_json(catalog).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Load a catalog from a JSON file.
+pub fn load_catalog(path: impl AsRef<Path>) -> io::Result<Catalog> {
+    let json = std::fs::read_to_string(path)?;
+    catalog_from_json(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn catalog_roundtrips_through_json() {
+        let db = generate(GenConfig::new(0.2).with_seed(13));
+        let json = catalog_to_json(db.catalog()).unwrap();
+        let restored = catalog_from_json(&json).unwrap();
+        assert_eq!(restored.len(), db.catalog().len());
+        for table in db.catalog().tables() {
+            let r = restored.get(table.name()).expect("table survives");
+            assert_eq!(r.rows(), table.rows());
+            assert_eq!(r.tuple_width(), table.tuple_width());
+            // Histogram estimates agree exactly after the round trip.
+            for col in ["l_shipdate", "l_quantity"] {
+                if let (Some(a), Some(b)) = (table.histogram(col), r.histogram(col)) {
+                    for v in [0.0, 100.0, 1000.0] {
+                        assert_eq!(
+                            a.selectivity_cmp(CmpOp::Lt, v),
+                            b.selectivity_cmp(CmpOp::Lt, v)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = generate(GenConfig::new(0.05).with_seed(3));
+        let dir = std::env::temp_dir().join("sapred_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save_catalog(db.catalog(), &path).unwrap();
+        let loaded = load_catalog(&path).unwrap();
+        assert_eq!(loaded.len(), db.catalog().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(catalog_from_json("{not json").is_err());
+        assert!(load_catalog("/nonexistent/path/catalog.json").is_err());
+    }
+}

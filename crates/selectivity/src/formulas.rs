@@ -1,0 +1,164 @@
+//! The closed-form selectivity formulas of paper §3 and §4.1, as pure
+//! functions so each equation is independently testable and usable.
+
+use sapred_relation::histogram::Histogram;
+
+/// Combine selectivity `S_comb` (Eq. 2 and its random-layout variant).
+///
+/// * `s_pred` — predicate selectivity of the job's input filter;
+/// * `d_keys` — product of distinct counts of the group-by keys (`T.d_xy`);
+/// * `rows` — tuples in the input table (`|T|`);
+/// * `n_maps` — number of map tasks (only used for random layouts);
+/// * `clustered` — whether group keys are clustered in file order.
+///
+/// Clustered: `S_comb = min(S_pred, d_xy / |T|)`.
+/// Random:    `S_comb = min(S_pred, d_xy / (|T| / N_maps))`.
+pub fn s_comb(s_pred: f64, d_keys: f64, rows: f64, n_maps: usize, clustered: bool) -> f64 {
+    if rows <= 0.0 {
+        return 0.0;
+    }
+    let ratio = if clustered {
+        d_keys / rows
+    } else {
+        d_keys / (rows / n_maps.max(1) as f64)
+    };
+    s_pred.min(ratio).clamp(0.0, 1.0)
+}
+
+/// Per-bucket equi-join size (Eq. 5): `Σ |T1_i|·|T2_i| / max(d1_i, d2_i)`
+/// over aligned equi-width buckets, assuming piece-wise uniformity.
+///
+/// The histograms are rebucketed onto their common domain first, so callers
+/// may pass histograms built independently on each side.
+///
+/// Returns `(estimated output tuples, joint key histogram)` where the joint
+/// histogram has per-bucket `count = join size` and
+/// `distinct = min(d1, d2)` — the propagation rule below Eq. 5.
+pub fn join_size_bucketed(left: &Histogram, right: &Histogram) -> (f64, Histogram) {
+    let (lmin, lmax) = left.domain();
+    let (rmin, rmax) = right.domain();
+    let (min, max) = (lmin.min(rmin), lmax.max(rmax));
+    let n = left.num_buckets().max(right.num_buckets());
+    let l = left.rebucket(min, max, n);
+    let r = right.rebucket(min, max, n);
+    let mut joint = l.clone();
+    let mut total = 0.0;
+    // Compute per-bucket sizes, then write them into the joint histogram.
+    let sizes: Vec<(f64, f64)> = l
+        .buckets()
+        .iter()
+        .zip(r.buckets())
+        .map(|(a, b)| {
+            let dmax = a.distinct.max(b.distinct);
+            if dmax <= 0.0 {
+                (0.0, 0.0)
+            } else {
+                (a.count * b.count / dmax, a.distinct.min(b.distinct))
+            }
+        })
+        .collect();
+    for (i, (count, distinct)) in sizes.iter().enumerate() {
+        total += count;
+        joint.set_bucket(i, *count, *distinct);
+    }
+    (total, joint)
+}
+
+/// Natural-join chain approximation (Eq. 6): selectivities accumulate along
+/// the branches, so
+/// `|T1.p1 ⋈ … ⋈ Tn.pn| ≈ Πᵢ S_pred_i × max(|T1|, …, |Tn|)`.
+pub fn natural_chain_size(s_preds: &[f64], sizes: &[f64]) -> f64 {
+    assert_eq!(s_preds.len(), sizes.len());
+    assert!(!sizes.is_empty());
+    let sel: f64 = s_preds.iter().product();
+    sel * sizes.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Join skew ratio `P` (Eq. 7): the larger filtered side's share of the
+/// total filtered input tuples. Always in `(0, 1)`; `P(1-P) ∈ (0, ¼]`.
+pub fn p_ratio(filtered_left: f64, filtered_right: f64) -> f64 {
+    let (l, r) = (filtered_left.max(1e-9), filtered_right.max(1e-9));
+    l.max(r) / (l + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapred_relation::table::Column;
+
+    #[test]
+    fn s_comb_clustered_vs_random() {
+        // 1000 rows, 50 distinct keys, no filter, 10 maps.
+        let c = s_comb(1.0, 50.0, 1000.0, 10, true);
+        let r = s_comb(1.0, 50.0, 1000.0, 10, false);
+        assert!((c - 0.05).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert!(r > c);
+    }
+
+    #[test]
+    fn s_comb_capped_by_s_pred() {
+        // Very selective filter: combining can't output more than survives.
+        assert_eq!(s_comb(0.01, 900.0, 1000.0, 4, true), 0.01);
+    }
+
+    #[test]
+    fn s_comb_degenerate() {
+        assert_eq!(s_comb(1.0, 10.0, 0.0, 4, true), 0.0);
+        assert!(s_comb(1.0, 1e9, 10.0, 4, false) <= 1.0);
+    }
+
+    #[test]
+    fn join_uniform_matches_closed_form() {
+        // Two uniform columns over 0..100, 1000 and 500 tuples.
+        let l = Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 10);
+        let r = Histogram::build(&Column::Int((0..500).map(|i| i % 100).collect()), 0.0, 100.0, 10);
+        let (est, joint) = join_size_bucketed(&l, &r);
+        // Closed form: 1000 * 500 / max(100, 100) = 5000.
+        assert!((est - 5000.0).abs() / 5000.0 < 0.05, "est {est}");
+        assert!((joint.total() - est).abs() < 1e-6);
+        // Propagated distinct = min(d1, d2) per bucket = 100 total.
+        assert!((joint.distinct_total() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn join_disjoint_domains_is_zero() {
+        let l = Histogram::build(&Column::Int((0..100).collect()), 0.0, 100.0, 8);
+        let r = Histogram::build(&Column::Int((200..300).collect()), 200.0, 300.0, 8);
+        let (est, _) = join_size_bucketed(&l, &r);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn join_skew_beats_uniform_assumption() {
+        // Skewed left side: 900 tuples on key 0, 100 spread over 1..=99.
+        let mut vals = vec![0i64; 900];
+        vals.extend((1..100).map(|i| i as i64));
+        let l = Histogram::build(&Column::Int(vals), 0.0, 100.0, 50);
+        let r = Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 50);
+        let (bucketed, _) = join_size_bucketed(&l, &r);
+        // Exact: 900 tuples of key 0 × 10 matches + 99 × 10 = 9990.
+        // Uniform closed form would give 999*1000/100 ≈ 9990 only by luck of
+        // d=100; with the hot bucket isolated, the bucketed estimate must be
+        // well above a naive |T1|·|T2|/ (d1·d2 scaled) style underestimate.
+        assert!(bucketed > 5000.0, "bucketed {bucketed}");
+    }
+
+    #[test]
+    fn natural_chain_eq6() {
+        let est = natural_chain_size(&[0.5, 0.96, 1.0], &[1000.0, 25.0, 800_000.0]);
+        assert!((est - 0.5 * 0.96 * 800_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_ratio_bounds() {
+        let p = p_ratio(100.0, 300.0);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert!(p_ratio(1.0, 1.0) == 0.5);
+        // P(1-P) peaks at 1/4 for balanced joins, approaches 0 when skewed.
+        let balanced = p_ratio(500.0, 500.0);
+        assert!((balanced * (1.0 - balanced) - 0.25).abs() < 1e-12);
+        let skewed = p_ratio(1.0, 1e9);
+        assert!(skewed * (1.0 - skewed) < 1e-6);
+    }
+}

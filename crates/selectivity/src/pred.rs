@@ -1,0 +1,139 @@
+//! Predicate selectivity `S_pred` over table statistics.
+//!
+//! Single-column comparisons are answered by the column's equi-width
+//! histogram (piece-wise uniform, §3.1.1). Predicates over several columns
+//! combine under the attribute-independence assumption: conjunction
+//! multiplies, disjunction uses inclusion–exclusion.
+
+use sapred_relation::expr::Predicate;
+use sapred_relation::stats::TableStats;
+
+/// Estimated fraction of `stats`'s tuples satisfying `pred`.
+pub fn pred_selectivity(stats: &TableStats, pred: &Predicate) -> f64 {
+    match pred {
+        Predicate::True => 1.0,
+        Predicate::Cmp { column, op, value } => match stats.histogram(column) {
+            Some(h) => h.selectivity_cmp(*op, *value),
+            None => default_cmp_selectivity(*op),
+        },
+        Predicate::Between { column, lo, hi } => match stats.histogram(column) {
+            Some(h) => h.selectivity_between(*lo, *hi),
+            None => 0.25,
+        },
+        Predicate::And(a, b) => pred_selectivity(stats, a) * pred_selectivity(stats, b),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (pred_selectivity(stats, a), pred_selectivity(stats, b));
+            (sa + sb - sa * sb).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Textbook fallbacks when no histogram exists (System R defaults).
+fn default_cmp_selectivity(op: sapred_relation::expr::CmpOp) -> f64 {
+    use sapred_relation::expr::CmpOp::*;
+    match op {
+        Eq => 0.01,
+        Ne => 0.99,
+        Lt | Le | Gt | Ge => 1.0 / 3.0,
+    }
+}
+
+/// Split `pred` into (top-level conjuncts per single column, residual
+/// multi-column conjuncts). Used to decide which histogram a conjunct can be
+/// pushed into versus applied as a uniform scale.
+pub fn split_conjuncts(pred: &Predicate) -> (Vec<(&str, Predicate)>, Vec<Predicate>) {
+    let mut per_column: Vec<(&str, Predicate)> = Vec::new();
+    let mut residual = Vec::new();
+    fn walk<'a>(
+        p: &'a Predicate,
+        per_column: &mut Vec<(&'a str, Predicate)>,
+        residual: &mut Vec<Predicate>,
+    ) {
+        match p {
+            Predicate::True => {}
+            Predicate::And(a, b) => {
+                walk(a, per_column, residual);
+                walk(b, per_column, residual);
+            }
+            other => {
+                let cols = other.columns();
+                if cols.len() == 1 {
+                    // Safe: `cols[0]` borrows from `other` which lives as
+                    // long as `p`.
+                    let col: &str = cols[0];
+                    per_column.push((col, other.clone()));
+                } else {
+                    residual.push(other.clone());
+                }
+            }
+        }
+    }
+    walk(pred, &mut per_column, &mut residual);
+    (per_column, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapred_relation::expr::CmpOp;
+    use sapred_relation::schema::{ColumnDef, DataType, Schema};
+    use sapred_relation::stats::TableStats;
+    use sapred_relation::table::{Column, Table};
+
+    fn stats() -> TableStats {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ]);
+        let t = Table::new(
+            "t",
+            schema,
+            vec![
+                Column::Int((0..1000).collect()),
+                Column::Int((0..1000).map(|i| i % 10).collect()),
+            ],
+        );
+        TableStats::gather(&t, 16)
+    }
+
+    #[test]
+    fn single_column_range() {
+        let s = stats();
+        let p = Predicate::cmp("a", CmpOp::Lt, 250.0);
+        let est = pred_selectivity(&s, &p);
+        assert!((est - 0.25).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let s = stats();
+        let p = Predicate::cmp("a", CmpOp::Lt, 500.0).and(Predicate::cmp("b", CmpOp::Eq, 3.0));
+        let est = pred_selectivity(&s, &p);
+        assert!((est - 0.5 * 0.1).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn disjunction_inclusion_exclusion() {
+        let s = stats();
+        let p = Predicate::cmp("a", CmpOp::Lt, 500.0).or(Predicate::cmp("a", CmpOp::Ge, 500.0));
+        let est = pred_selectivity(&s, &p);
+        assert!(est > 0.7 && est <= 1.0, "est {est}");
+    }
+
+    #[test]
+    fn true_is_one() {
+        assert_eq!(pred_selectivity(&stats(), &Predicate::True), 1.0);
+    }
+
+    #[test]
+    fn split_separates_columns() {
+        let p = Predicate::cmp("a", CmpOp::Lt, 1.0)
+            .and(Predicate::cmp("b", CmpOp::Gt, 2.0))
+            .and(Predicate::cmp("a", CmpOp::Gt, 0.0).or(Predicate::cmp("b", CmpOp::Eq, 5.0)));
+        let (per_col, residual) = split_conjuncts(&p);
+        assert_eq!(per_col.len(), 2);
+        assert_eq!(residual.len(), 1);
+        assert_eq!(per_col[0].0, "a");
+        assert_eq!(per_col[1].0, "b");
+    }
+}

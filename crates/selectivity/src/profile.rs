@@ -1,0 +1,119 @@
+//! Estimated profiles of intermediate relations, propagated job-to-job.
+
+use sapred_relation::histogram::Histogram;
+
+/// Estimated statistics of one column of an intermediate relation.
+#[derive(Debug, Clone)]
+pub struct ColProfile {
+    /// Average serialized width in bytes.
+    pub width: f64,
+    /// Estimated distinct values (capped by the relation's tuple count).
+    pub distinct: f64,
+    /// Propagated histogram, when one can be maintained.
+    pub histogram: Option<Histogram>,
+}
+
+/// Estimated statistics of an intermediate relation: the estimator's
+/// analogue of the metastore's [`TableStats`](sapred_relation::TableStats),
+/// but for data that never materializes.
+#[derive(Debug, Clone, Default)]
+pub struct RelProfile {
+    /// Estimated tuple count.
+    pub tuples: f64,
+    columns: Vec<(String, ColProfile)>,
+}
+
+impl RelProfile {
+    /// A profile with no columns yet.
+    pub fn new(tuples: f64) -> Self {
+        Self { tuples, columns: Vec::new() }
+    }
+
+    /// Add a column; colliding names get a `__r` suffix applied by callers
+    /// (mirroring the ground-truth executor's self-join renaming).
+    pub fn push(&mut self, name: impl Into<String>, col: ColProfile) {
+        let name = name.into();
+        debug_assert!(
+            self.columns.iter().all(|(n, _)| *n != name),
+            "duplicate column {name} in RelProfile"
+        );
+        self.columns.push((name, col));
+    }
+
+    /// Column profile by name.
+    pub fn column(&self, name: &str) -> Option<&ColProfile> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Iterate over `(name, profile)` pairs in insertion order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &ColProfile)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Whether a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|(n, _)| n == name)
+    }
+
+    /// Average tuple width: sum of column widths.
+    pub fn width(&self) -> f64 {
+        self.columns.iter().map(|(_, c)| c.width).sum()
+    }
+
+    /// Modeled bytes of the full relation.
+    pub fn bytes(&self) -> f64 {
+        sapred_relation::modeled_bytes(self.tuples * self.width())
+    }
+
+    /// Product of distinct counts over `keys`, capped at the tuple count
+    /// (`T.d_xy` of Eq. 2 for intermediate relations). Empty keys give 1
+    /// (the single global group).
+    pub fn distinct_product(&self, keys: &[String]) -> f64 {
+        if keys.is_empty() {
+            return 1.0;
+        }
+        let product: f64 = keys
+            .iter()
+            .map(|k| self.column(k).map_or(1.0, |c| c.distinct.max(1.0)))
+            .product();
+        product.min(self.tuples.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> RelProfile {
+        let mut p = RelProfile::new(1000.0);
+        p.push("k", ColProfile { width: 8.0, distinct: 100.0, histogram: None });
+        p.push("v", ColProfile { width: 8.0, distinct: 900.0, histogram: None });
+        p.push("s", ColProfile { width: 16.0, distinct: 5.0, histogram: None });
+        p
+    }
+
+    #[test]
+    fn width_and_bytes() {
+        let p = profile();
+        assert_eq!(p.width(), 32.0);
+        assert_eq!(p.bytes(), sapred_relation::modeled_bytes(32_000.0));
+    }
+
+    #[test]
+    fn distinct_product_caps() {
+        let p = profile();
+        assert_eq!(p.distinct_product(&["k".into()]), 100.0);
+        assert_eq!(p.distinct_product(&["k".into(), "s".into()]), 500.0);
+        // 100 * 900 = 90_000 > tuples ⇒ capped at 1000.
+        assert_eq!(p.distinct_product(&["k".into(), "v".into()]), 1000.0);
+        assert_eq!(p.distinct_product(&[]), 1.0);
+    }
+
+    #[test]
+    fn lookup() {
+        let p = profile();
+        assert!(p.contains("v"));
+        assert!(!p.contains("z"));
+        assert_eq!(p.column("s").unwrap().width, 16.0);
+    }
+}

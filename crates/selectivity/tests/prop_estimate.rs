@@ -1,0 +1,76 @@
+//! Property tests: the estimator stays finite, non-negative and
+//! monotone-ish on randomized predicates over generated data.
+
+use proptest::prelude::*;
+use sapred_plan::compile::compile;
+use sapred_query::{analyze, parse};
+use sapred_relation::gen::{generate, Database, GenConfig};
+use sapred_selectivity::estimate::{estimate_dag, EstimatorConfig};
+
+fn db() -> Database {
+    generate(GenConfig::new(0.1).with_seed(8))
+}
+
+fn estimate_first(sql: &str, db: &Database) -> sapred_selectivity::estimate::JobEstimate {
+    let a = analyze(&parse(sql).unwrap(), db.catalog(), db).unwrap();
+    let dag = compile("q", &a);
+    estimate_dag(&dag, db.catalog(), &EstimatorConfig::default())
+        .into_iter()
+        .next()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn estimates_stay_sane_under_random_filters(
+        qty in -10.0f64..70.0,
+        date in -100.0f64..3000.0,
+    ) {
+        let db = db();
+        let sql = format!(
+            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+             WHERE l_quantity < {qty} AND l_shipdate >= {date} GROUP BY l_partkey"
+        );
+        let e = estimate_first(&sql, &db);
+        prop_assert!(e.d_in > 0.0 && e.d_in.is_finite());
+        prop_assert!(e.d_med >= 0.0 && e.d_med.is_finite());
+        prop_assert!(e.d_out >= 0.0 && e.d_out.is_finite());
+        prop_assert!(e.is >= 0.0 && e.is <= 1.5, "IS = {}", e.is);
+        prop_assert!(e.tuples_out <= e.tuples_in.max(1.0));
+    }
+
+    #[test]
+    fn tighter_filters_never_increase_estimates(
+        lo in 0.0f64..40.0,
+        delta in 0.0f64..20.0,
+    ) {
+        let db = db();
+        let loose = estimate_first(
+            &format!("SELECT l_partkey FROM lineitem WHERE l_quantity < {}", lo + delta),
+            &db,
+        );
+        let tight = estimate_first(
+            &format!("SELECT l_partkey FROM lineitem WHERE l_quantity < {lo}"),
+            &db,
+        );
+        prop_assert!(tight.d_med <= loose.d_med + 1e-6);
+        prop_assert!(tight.tuples_med <= loose.tuples_med + 1e-6);
+    }
+
+    #[test]
+    fn join_skew_ratio_always_valid(size in 1.0f64..50.0) {
+        let db = db();
+        let e = estimate_first(
+            &format!(
+                "SELECT l_quantity, p_size FROM lineitem l \
+                 JOIN part p ON l.l_partkey = p.p_partkey WHERE p_size < {size}"
+            ),
+            &db,
+        );
+        let p = e.p_ratio.unwrap();
+        prop_assert!((0.5..=1.0).contains(&p), "P = {p}");
+        prop_assert!(p * (1.0 - p) <= 0.25 + 1e-12);
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! Workload generation: parameterized TPC-H / TPC-DS-style query templates,
+//! the training population (paper §5.1: ~1,000 queries over 1–100 GB, plus
+//! 150–400 GB scale-out queries), and the Bing / Facebook production mixes
+//! of paper Table 2 with Poisson arrivals.
+
+pub mod mixes;
+pub mod pool;
+pub mod population;
+pub mod templates;
+
+pub use mixes::{bing_mix, facebook_mix, generate_mix_workload, MixBin, MixSpec, WorkloadQuery};
+pub use pool::DbPool;
+pub use population::{generate_population, PopQuery, PopulationConfig};
+pub use templates::Template;

@@ -1,0 +1,103 @@
+//! A pool of generated database instances, one per nominal scale, shared by
+//! all queries of that scale (regenerating 100 GB of synthetic TPC-H per
+//! query would dominate every experiment's runtime).
+
+use sapred_relation::gen::{generate, Database, GenConfig, KeyDist, Layout};
+use std::collections::BTreeMap;
+
+/// Lazily generated database instances keyed by nominal scale (GB ×10 to
+/// allow fractional scales as map keys).
+#[derive(Debug, Default)]
+pub struct DbPool {
+    seed: u64,
+    key_dist: Option<KeyDist>,
+    layout: Option<Layout>,
+    dbs: BTreeMap<u64, Database>,
+}
+
+impl DbPool {
+    /// An empty pool; instances derive their seeds from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, key_dist: None, layout: None, dbs: BTreeMap::new() }
+    }
+
+    /// Override the key distribution for all generated instances.
+    pub fn with_key_dist(mut self, d: KeyDist) -> Self {
+        self.key_dist = Some(d);
+        self
+    }
+
+    /// Override the row layout for all generated instances.
+    pub fn with_layout(mut self, l: Layout) -> Self {
+        self.layout = Some(l);
+        self
+    }
+
+    fn key(scale_gb: f64) -> u64 {
+        (scale_gb * 10.0).round() as u64
+    }
+
+    /// Get (generating on first use) the instance for `scale_gb`.
+    pub fn get(&mut self, scale_gb: f64) -> &Database {
+        let key = Self::key(scale_gb);
+        let (seed, kd, layout) = (self.seed, self.key_dist, self.layout);
+        self.dbs.entry(key).or_insert_with(|| {
+            let mut config = GenConfig::new(scale_gb).with_seed(seed ^ key);
+            if let Some(d) = kd {
+                config = config.with_key_dist(d);
+            }
+            if let Some(l) = layout {
+                config = config.with_layout(l);
+            }
+            generate(config)
+        })
+    }
+
+    /// Read an already-generated instance without taking `&mut self`
+    /// (useful after pre-warming, e.g. for parallel training workers).
+    pub fn peek(&self, scale_gb: f64) -> Option<&Database> {
+        self.dbs.get(&Self::key(scale_gb))
+    }
+
+    /// Number of instances generated so far.
+    pub fn len(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// Whether no instance has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.dbs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_cached() {
+        let mut pool = DbPool::new(3);
+        let rows_a = pool.get(0.5).table("lineitem").unwrap().rows();
+        let rows_b = pool.get(0.5).table("lineitem").unwrap().rows();
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(pool.len(), 1);
+        pool.get(1.0);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn fractional_scales_distinct() {
+        let mut pool = DbPool::new(3);
+        pool.get(0.1);
+        pool.get(0.2);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn scales_affect_size() {
+        let mut pool = DbPool::new(9);
+        let small = pool.get(1.0).table("lineitem").unwrap().rows();
+        let large = pool.get(5.0).table("lineitem").unwrap().rows();
+        assert!(large > 4 * small);
+    }
+}

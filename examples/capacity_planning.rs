@@ -1,0 +1,85 @@
+//! Capacity planning with the prediction framework: a downstream use the
+//! paper's introduction motivates (latency-sensitive analytics needs
+//! predictable turnaround).
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [deadline_seconds]
+//! ```
+//!
+//! Given a reporting query over 50 GB and a deadline (default 120 s), sweep
+//! cluster sizes with the trained predictor — no simulation in the loop —
+//! pick the smallest cluster whose *predicted* response meets the deadline,
+//! then validate that choice against the full simulator.
+
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::plan::ground_truth::execute_dag;
+use sapred_cluster::build::build_sim_query;
+use sapred_cluster::sched::Fifo;
+use sapred_cluster::sim::Simulator;
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+fn main() {
+    let deadline: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("deadline must be seconds"))
+        .unwrap_or(120.0);
+
+    let fw = Framework::new();
+    println!("training the predictor (160 queries)...");
+    let config = PopulationConfig {
+        n_queries: 160,
+        scales_gb: vec![1.0, 5.0, 10.0, 20.0, 50.0],
+        scale_out_gb: vec![],
+        seed: 31,
+    };
+    let mut pool = DbPool::new(31);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+
+    let sql = "SELECT l_partkey, l_suppkey, sum(l_quantity), sum(l_extendedprice) \
+               FROM lineitem WHERE l_shipdate >= '1993-01-01' \
+               GROUP BY l_partkey, l_suppkey ORDER BY l_partkey";
+    let db = pool.get(50.0).clone();
+
+    println!("\nquery:\n  {sql}\n50 GB input, deadline {deadline}s\n");
+    println!("{:<24}{:<22}meets deadline", "cluster", "predicted response");
+    let mut chosen: Option<(usize, Framework, Predictor)> = None;
+    for nodes in [3usize, 6, 9, 12, 18, 24] {
+        let mut variant = fw;
+        variant.cluster.nodes = nodes;
+        // Retarget the predictor's wave model at this cluster size (task
+        // models are cluster-size independent — that is the point of §4.2).
+        let predictor = Predictor::new(fit_models(&train, &fw), variant);
+        let semantics = variant.percolate_sql("planning", sql, &db).expect("valid query");
+        let predicted = predictor.query_seconds(&semantics);
+        let ok = predicted <= deadline;
+        println!(
+            "{:<24}{:<22}{}",
+            format!("{nodes} nodes x 12"),
+            format!("{predicted:.1}s"),
+            if ok { "yes" } else { "no" }
+        );
+        if ok && chosen.is_none() {
+            chosen = Some((nodes, variant, predictor));
+        }
+    }
+
+    match chosen {
+        Some((nodes, variant, _)) => {
+            println!("\nsmallest predicted-feasible cluster: {nodes} nodes. validating...");
+            let semantics = variant.percolate_sql("planning", sql, &db).expect("valid");
+            let actuals = execute_dag(&semantics.dag, &db, variant.est_config.block_size);
+            let q = build_sim_query("planning", 0.0, &semantics.dag, &actuals, &[], &variant.cluster);
+            let r = Simulator::new(variant.cluster, variant.cost, Fifo).run(&[q]);
+            let measured = r.queries[0].response();
+            println!(
+                "simulated response on {nodes} nodes: {measured:.1}s ({} the {deadline}s deadline)",
+                if measured <= deadline * 1.1 { "meets" } else { "MISSES" }
+            );
+        }
+        None => println!("\nno cluster size in the sweep meets the deadline"),
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's motivation experiment (Figs. 1–2) as a runnable demo.
+//!
+//! ```text
+//! cargo run --release --example motivation
+//! ```
+//!
+//! QA and QC are TPC-H Q14 instances (2-job DAGs, 10 GB input); QB is a
+//! TPC-H Q17 instance (4-job DAG, 100 GB input). Submitted back-to-back
+//! under the Hadoop Capacity Scheduler, QB's root jobs — already queued
+//! when QA-J2/QC-J2 get submitted — capture the containers and stall the
+//! small queries several times beyond their alone runtimes. SWRD, fed by
+//! the percolated predictions, restores them.
+
+use sapred::core::experiments::motivation::motivation;
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+fn main() {
+    let fw = Framework::new();
+
+    println!("training a predictor for the SWRD column (150 queries)...");
+    let config = PopulationConfig {
+        n_queries: 150,
+        scales_gb: vec![1.0, 5.0, 10.0, 20.0],
+        scale_out_gb: vec![],
+        seed: 12,
+    };
+    let mut pool = DbPool::new(12);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+
+    let mut pool = DbPool::new(2018);
+    let report = motivation(&mut pool, &fw, Some(&predictor), 10.0, 100.0);
+    println!("\n{report}");
+    println!(
+        "small-query (QA/QC) slowdown under HCS: {:.2}x  (paper reports ~3x)",
+        report.small_query_slowdown()
+    );
+    if let (Some(swrd_a), Some(swrd_c)) = (report.rows[0].swrd, report.rows[2].swrd) {
+        println!(
+            "under SWRD the same queries finish in {:.1}s / {:.1}s (alone: {:.1}s / {:.1}s)",
+            swrd_a, swrd_c, report.rows[0].alone, report.rows[2].alone
+        );
+    }
+}

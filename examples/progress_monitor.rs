@@ -1,0 +1,84 @@
+//! Progress/ETA monitoring for a running query — the user-facing side of
+//! the paper's *dynamic* WRD (Eq. 10's remaining task counts), in the
+//! spirit of the ParaTimer progress indicator the paper cites.
+//!
+//! ```text
+//! cargo run --release --example progress_monitor
+//! ```
+//!
+//! Trains the models, compiles a three-job query over 20 GB, then replays
+//! its execution job phase by job phase, printing the percent-done and ETA
+//! the framework would report at each point, next to the simulator's
+//! actual remaining time.
+
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::progress::{JobProgress, ProgressEstimator};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::plan::ground_truth::execute_dag;
+use sapred_cluster::build::build_sim_query;
+use sapred_cluster::sched::Fifo;
+use sapred_cluster::sim::Simulator;
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+fn main() {
+    let fw = Framework::new();
+    println!("training the predictor (150 queries)...");
+    let config = PopulationConfig {
+        n_queries: 150,
+        scales_gb: vec![1.0, 5.0, 10.0, 20.0],
+        scale_out_gb: vec![],
+        seed: 43,
+    };
+    let mut pool = DbPool::new(43);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+
+    let sql = "SELECT l_partkey, sum(l_extendedprice) FROM lineitem l \
+               JOIN part p ON l.l_partkey = p.p_partkey \
+               WHERE l_shipdate < '1996-01-01' \
+               GROUP BY l_partkey ORDER BY l_partkey";
+    println!("\nquery (20 GB):\n  {sql}\n");
+    let db = pool.get(20.0).clone();
+    let semantics = fw.percolate_sql("monitored", sql, &db).expect("valid query");
+    let estimator = ProgressEstimator::new(&predictor, &semantics);
+
+    // Run the query once to get the real per-job timeline.
+    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    let sim_q = build_sim_query("monitored", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
+    let report = Simulator::new(fw.cluster, fw.cost, Fifo).run(std::slice::from_ref(&sim_q));
+    let finish = report.queries[0].finish;
+    let mut job_stats = report.jobs.clone();
+    job_stats.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+
+    println!(
+        "{:<26}{:>10}{:>12}{:>16}",
+        "checkpoint", "done", "ETA (est)", "actual remaining"
+    );
+    let mut progress = vec![JobProgress::default(); semantics.dag.len()];
+    let frac = estimator.fraction_done(&progress);
+    println!(
+        "{:<26}{:>9.0}%{:>11.1}s{:>15.1}s",
+        "submitted",
+        100.0 * frac,
+        estimator.remaining_seconds(&progress),
+        finish
+    );
+    for stat in &job_stats {
+        // Mark this job complete.
+        progress[stat.job] = JobProgress {
+            maps_done: usize::MAX / 2, // saturating_sub clamps to zero remaining
+            reduces_done: usize::MAX / 2,
+        };
+        let frac = estimator.fraction_done(&progress);
+        println!(
+            "{:<26}{:>9.0}%{:>11.1}s{:>15.1}s",
+            format!("J{} ({}) finished", stat.job, stat.category),
+            100.0 * frac,
+            estimator.remaining_seconds(&progress),
+            finish - stat.finish
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Quickstart: the full semantics-aware prediction pipeline on one query.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. generate a synthetic TPC-H database (10 "paper-GB"),
+//! 2. percolate a HiveQL query: parse → analyze → compile to a MapReduce
+//!    DAG → estimate per-job selectivities (IS/FS) and data sizes,
+//! 3. compare the estimates against exact ground-truth execution,
+//! 4. train the multivariate time models on a small population,
+//! 5. predict the query's job times, WRD and response time, and
+//! 6. run it on the simulated 9×12-container cluster to check.
+
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::plan::ground_truth::execute_dag;
+use sapred_cluster::build::build_sim_query;
+use sapred_cluster::sched::Fifo;
+use sapred_cluster::sim::Simulator;
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+fn main() {
+    let fw = Framework::new();
+
+    // A 10 GB (nominal) TPC-H instance, generated on the fly.
+    let mut pool = DbPool::new(7);
+    let sql = "SELECT l_partkey, sum(l_extendedprice*l_discount) \
+               FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey \
+               WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+               GROUP BY l_partkey";
+    println!("query:\n  {sql}\n");
+
+    // --- Cross-layer percolation: text -> DAG + estimates -------------
+    let db = pool.get(10.0).clone();
+    let semantics = fw.percolate_sql("quickstart", sql, &db).expect("valid query");
+    println!("compiled DAG ({} jobs):", semantics.dag.len());
+    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    for (job, (est, act)) in
+        semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))
+    {
+        println!(
+            "  J{} {:<8} IS est {:.3} / actual {:.3}   FS est {:.4} / actual {:.4}   \
+             D_in {:.2} GB, {} maps",
+            job.id,
+            job.category().to_string(),
+            est.is,
+            act.is_ratio(),
+            est.fs,
+            act.fs_ratio(),
+            est.d_in / 1e9,
+            est.n_maps,
+        );
+    }
+
+    // --- Train the multivariate models (paper section 4) ----------------
+    println!("\ntraining the time models on a 120-query population...");
+    let config = PopulationConfig {
+        n_queries: 120,
+        scales_gb: vec![1.0, 2.0, 5.0, 10.0],
+        scale_out_gb: vec![],
+        seed: 7,
+    };
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+
+    // --- Predict ---------------------------------------------------------
+    println!("\npredictions:");
+    for (job, est) in semantics.dag.jobs().iter().zip(&semantics.estimates) {
+        let p = predictor.job_prediction(est, job.kind.has_reduce());
+        println!(
+            "  J{}: job time {:.1}s (Eq. 8) | map task {:.1}s, reduce task {:.1}s (Eq. 9)",
+            job.id,
+            predictor.job_seconds(est),
+            p.map_task_time,
+            p.reduce_task_time
+        );
+    }
+    println!("  query WRD (Eq. 10): {:.0} container-seconds", predictor.query_wrd(&semantics));
+    let predicted = predictor.query_seconds(&semantics);
+
+    // --- Verify on the simulated cluster ---------------------------------
+    let sim_query =
+        build_sim_query("quickstart", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
+    let report = Simulator::new(fw.cluster, fw.cost, Fifo).run(&[sim_query]);
+    let actual = report.queries[0].response();
+    println!(
+        "\npredicted response: {predicted:.1}s | simulated response: {actual:.1}s \
+         | error {:.1}%",
+        100.0 * (predicted - actual).abs() / actual
+    );
+}

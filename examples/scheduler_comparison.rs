@@ -1,0 +1,44 @@
+//! Mini Fig. 8: run the Facebook production mix (Table 2 composition)
+//! under all four schedulers and compare average query response times.
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison [mean_gap_seconds]
+//! ```
+//!
+//! The optional argument sets the Poisson mean inter-arrival gap (default
+//! 3 s: a contended cluster). Larger gaps reduce contention and shrink the
+//! differences between policies — try 30 to see them converge.
+
+use sapred::core::experiments::scheduling::{prepare_workload, run_schedulers};
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred_workload::mixes::facebook_mix;
+use sapred_workload::pool::DbPool;
+use sapred_workload::population::{generate_population, PopulationConfig};
+
+fn main() {
+    let gap: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("gap must be a number of seconds"))
+        .unwrap_or(3.0);
+
+    let fw = Framework::new();
+    println!("training the predictor (200 queries)...");
+    let config = PopulationConfig {
+        n_queries: 200,
+        scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
+        scale_out_gb: vec![],
+        seed: 5,
+    };
+    let mut pool = DbPool::new(5);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+
+    println!("preparing the Facebook mix (100 queries, mean gap {gap}s)...");
+    let prepared =
+        prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), gap, 1.0, 5);
+    let report = run_schedulers(&prepared, &fw, true);
+    println!("\n{report}");
+}

@@ -1,0 +1,244 @@
+//! `sapred` — command-line driver for the semantics-aware query prediction
+//! framework.
+//!
+//! ```text
+//! sapred explain    --sql "SELECT ..." [--scale GB]        # DAG + estimates vs ground truth
+//! sapred gather     --scale GB --out catalog.json          # export metastore statistics
+//! sapred train      [--queries N] [--seed S]               # fit models, print Tables 3-5
+//! sapred predict    --sql "SELECT ..." [--scale GB]        # train + predict one query
+//! sapred simulate   --mix bing|facebook [--gap S] [--divisor D]   # Fig. 8
+//! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
+//! ```
+
+use sapred::core::experiments::motivation::motivation;
+use sapred::core::experiments::scheduling::{prepare_workload, run_schedulers};
+use sapred::core::experiments::accuracy::{
+    job_accuracy, map_task_accuracy, reduce_task_accuracy,
+};
+use sapred::core::framework::{Framework, Predictor};
+use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::plan::ground_truth::execute_dag;
+use sapred::relation::gen::{generate, GenConfig};
+use sapred::relation::persist::save_catalog;
+use sapred::workload::mixes::{bing_mix, facebook_mix};
+use sapred::workload::pool::DbPool;
+use sapred::workload::population::{generate_population, PopulationConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "explain" => cmd_explain(&flags),
+        "gather" => cmd_gather(&flags),
+        "train" => cmd_train(&flags),
+        "predict" => cmd_predict(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "motivation" => cmd_motivation(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "sapred — semantics-aware query prediction for MapReduce
+
+USAGE:
+  sapred explain    --sql <QUERY> [--scale <GB>] [--seed <N>]
+  sapred gather     --scale <GB> --out <FILE> [--seed <N>]
+  sapred train      [--queries <N>] [--seed <N>]
+  sapred predict    --sql <QUERY> [--scale <GB>] [--queries <N>]
+  sapred simulate   --mix <bing|facebook> [--gap <SECONDS>] [--divisor <D>] [--queries <N>]
+  sapred motivation [--small <GB>] [--big <GB>]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{key}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+    }
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("--{name} is required"))
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let sql = required(flags, "sql")?;
+    let scale = flag_f64(flags, "scale", 10.0)?;
+    let seed = flag_usize(flags, "seed", 42)? as u64;
+    let fw = Framework::new();
+    println!("generating a {scale} GB TPC-H instance (seed {seed})...");
+    let db = generate(GenConfig::new(scale).with_seed(seed));
+    let semantics = fw.percolate_sql("cli", sql, &db).map_err(|e| e.to_string())?;
+    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    println!("\n{} job(s):", semantics.dag.len());
+    for (job, (est, act)) in
+        semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))
+    {
+        let deps = job.deps();
+        let deps = if deps.is_empty() {
+            "-".to_string()
+        } else {
+            deps.iter().map(|d| format!("J{d}")).collect::<Vec<_>>().join(",")
+        };
+        println!(
+            "  J{} {:<8} deps {:<6} D_in {:>8.3} GB | IS est {:.3} act {:.3} | \
+             FS est {:.4} act {:.4} | {} maps{}",
+            job.id,
+            job.category().to_string(),
+            deps,
+            est.d_in / 1e9,
+            est.is,
+            act.is_ratio(),
+            est.fs,
+            act.fs_ratio(),
+            est.n_maps,
+            if job.broadcasts.is_empty() {
+                String::new()
+            } else {
+                format!(" | {} map-join(s)", job.broadcasts.len())
+            },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gather(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = flag_f64(flags, "scale", 1.0)?;
+    let out = required(flags, "out")?;
+    let seed = flag_usize(flags, "seed", 42)? as u64;
+    let db = generate(GenConfig::new(scale).with_seed(seed));
+    save_catalog(db.catalog(), out).map_err(|e| e.to_string())?;
+    println!("wrote statistics for {} tables to {out}", db.catalog().len());
+    Ok(())
+}
+
+fn train_predictor(n_queries: usize, seed: u64) -> (Framework, Predictor, DbPool) {
+    let fw = Framework::new();
+    let config = PopulationConfig {
+        n_queries,
+        scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
+        scale_out_gb: vec![],
+        seed,
+    };
+    let mut pool = DbPool::new(seed);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, _) = split_train_test(&runs);
+    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+    (fw, predictor, pool)
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = flag_usize(flags, "queries", 400)?;
+    let seed = flag_usize(flags, "seed", 71)? as u64;
+    let fw = Framework::new();
+    let config = PopulationConfig {
+        n_queries: n,
+        scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+        scale_out_gb: vec![150.0, 200.0],
+        seed,
+    };
+    println!("running {n} training queries on the simulated cluster...");
+    let mut pool = DbPool::new(seed);
+    let pop = generate_population(&config, &mut pool);
+    let runs = run_population(&pop, &mut pool, &fw);
+    let (train, test) = split_train_test(&runs);
+    let models = fit_models(&train, &fw);
+    println!("\n{}", job_accuracy(&train, &test, &models));
+    println!("\n{}", map_task_accuracy(&train, &models, &fw));
+    println!("\n{}", reduce_task_accuracy(&train, &models, &fw));
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let sql = required(flags, "sql")?;
+    let scale = flag_f64(flags, "scale", 10.0)?;
+    let n = flag_usize(flags, "queries", 150)?;
+    println!("training on {n} queries...");
+    let (fw, predictor, mut pool) = train_predictor(n, 7);
+    let db = pool.get(scale).clone();
+    let semantics = fw.percolate_sql("cli", sql, &db).map_err(|e| e.to_string())?;
+    for (job, est) in semantics.dag.jobs().iter().zip(&semantics.estimates) {
+        let p = predictor.job_prediction(est, job.kind.has_reduce());
+        println!(
+            "J{} {:<8} job {:>7.1}s | map task {:>5.1}s | reduce task {:>5.1}s",
+            job.id,
+            job.category().to_string(),
+            predictor.job_seconds(est),
+            p.map_task_time,
+            p.reduce_task_time
+        );
+    }
+    println!("query WRD: {:.0} container-seconds", predictor.query_wrd(&semantics));
+    println!("predicted response (idle cluster): {:.1}s", predictor.query_seconds(&semantics));
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix = match required(flags, "mix")? {
+        "bing" => bing_mix(),
+        "facebook" => facebook_mix(),
+        other => return Err(format!("unknown mix `{other}` (expected bing|facebook)")),
+    };
+    let gap = flag_f64(flags, "gap", if mix.name == "bing" { 8.0 } else { 3.0 })?;
+    let divisor = flag_f64(flags, "divisor", 1.0)?;
+    let n = flag_usize(flags, "queries", 200)?;
+    println!("training on {n} queries...");
+    let (fw, predictor, mut pool) = train_predictor(n, 79);
+    println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
+    let prepared = prepare_workload(&mix, &mut pool, &fw, Some(&predictor), gap, divisor, 79);
+    println!("\n{}", run_schedulers(&prepared, &fw, true));
+    Ok(())
+}
+
+fn cmd_motivation(flags: &HashMap<String, String>) -> Result<(), String> {
+    let small = flag_f64(flags, "small", 10.0)?;
+    let big = flag_f64(flags, "big", 100.0)?;
+    let fw = Framework::new();
+    let mut pool = DbPool::new(2018);
+    let report = motivation(&mut pool, &fw, None, small, big);
+    println!("{report}");
+    println!("small-query slowdown under HCS: {:.2}x", report.small_query_slowdown());
+    Ok(())
+}

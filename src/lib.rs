@@ -1,0 +1,14 @@
+//! Umbrella crate for the semantics-aware query prediction reproduction.
+//!
+//! Re-exports every subsystem crate under one roof so examples and
+//! integration tests can `use sapred::...`. See the README for an overview
+//! and `DESIGN.md` for the system inventory.
+
+pub use sapred_cluster as cluster;
+pub use sapred_core as core;
+pub use sapred_plan as plan;
+pub use sapred_predict as predict;
+pub use sapred_query as query;
+pub use sapred_relation as relation;
+pub use sapred_selectivity as selectivity;
+pub use sapred_workload as workload;
