@@ -19,13 +19,8 @@ fn bench(c: &mut Criterion) {
     println!("{}", sapred_core::report::scatter_plot(&pts, 64, 20));
 
     let predictor = trained.predictor.clone();
-    let sample = trained
-        .runs
-        .iter()
-        .find(|r| r.scale_gb >= 100.0)
-        .expect("a 100 GB run exists");
-    let semantics =
-        QuerySemantics { dag: sample.dag.clone(), estimates: sample.estimates.clone() };
+    let sample = trained.runs.iter().find(|r| r.scale_gb >= 100.0).expect("a 100 GB run exists");
+    let semantics = QuerySemantics { dag: sample.dag.clone(), estimates: sample.estimates.clone() };
     c.bench_function("fig7/predict_one_query_response", |b| {
         b.iter(|| predictor.query_seconds(&semantics))
     });

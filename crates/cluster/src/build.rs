@@ -125,12 +125,7 @@ mod tests {
     #[test]
     fn predictions_attach_by_job_id() {
         let db = generate(GenConfig::new(1.0).with_seed(4));
-        let a = analyze(
-            &parse("SELECT count(*) FROM orders").unwrap(),
-            db.catalog(),
-            &db,
-        )
-        .unwrap();
+        let a = analyze(&parse("SELECT count(*) FROM orders").unwrap(), db.catalog(), &db).unwrap();
         let dag = compile("q", &a);
         let actuals = execute_dag(&dag, &db, 256.0 * 1024.0 * 1024.0);
         let preds = vec![JobPrediction { map_task_time: 7.0, reduce_task_time: 3.0 }];

@@ -224,15 +224,12 @@ mod tests {
 
     #[test]
     fn stragglers_fatten_the_tail() {
-        let mut m =
-            CostModel { straggler_prob: 0.1, straggler_factor: 8.0, ..Default::default() };
+        let mut m = CostModel { straggler_prob: 0.1, straggler_factor: 8.0, ..Default::default() };
         let t = spec(TaskKind::Map, JobCategory::Extract, 128.0 * MB, MB);
         let mut rng = StdRng::seed_from_u64(11);
         let mean = m.mean_duration(&t);
         let n = 5000;
-        let slow = (0..n)
-            .filter(|_| m.duration_loaded(&t, 0.0, &mut rng) > 4.0 * mean)
-            .count();
+        let slow = (0..n).filter(|_| m.duration_loaded(&t, 0.0, &mut rng) > 4.0 * mean).count();
         // ~10% of tasks are stragglers at 8x.
         let frac = slow as f64 / n as f64;
         assert!((0.06..0.14).contains(&frac), "straggler fraction {frac}");

@@ -65,6 +65,16 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
     /// Choose a job for the next free container, or `None` to leave it idle.
     fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice>;
+    /// The policy's primary ranking score for `job` — **lower wins** for
+    /// every built-in policy. Recorded in observability decision events
+    /// ([`sapred_obs::Event::Decision`]) so traces show *why* a candidate
+    /// won. Ties are broken by secondary keys inside [`Scheduler::pick`];
+    /// the score only captures the leading key (e.g. the owning query's WRD
+    /// for [`Swrd`]). Defaults to `0.0` for score-free policies.
+    fn score(&self, job: &RunnableJob) -> f64 {
+        let _ = job;
+        0.0
+    }
 }
 
 fn choice(j: &RunnableJob) -> TaskChoice {
@@ -92,6 +102,10 @@ impl Scheduler for Fifo {
             })
             .map(choice)
     }
+
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.arrival
+    }
 }
 
 /// Hadoop Capacity Scheduler (single queue, the paper's configuration):
@@ -117,6 +131,10 @@ impl Scheduler for Hcs {
             })
             .map(choice)
     }
+
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.submit_time
+    }
 }
 
 /// Hadoop Fair Scheduler: every active job gets an equal share of
@@ -139,6 +157,10 @@ impl Scheduler for Hfs {
                     .expect("no NaN times")
             })
             .map(choice)
+    }
+
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.running as f64
     }
 }
 
@@ -163,6 +185,10 @@ impl Scheduler for Swrd {
                     .expect("no NaN wrd")
             })
             .map(choice)
+    }
+
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.query_wrd
     }
 }
 
@@ -214,10 +240,10 @@ impl Scheduler for HcsQueues {
         let best_queue = (0..n)
             .filter(|&q| runnable.iter().any(|r| self.queue_of(r.query) == q))
             .min_by(|&a, &b| {
-                let ra = running[a] as f64 / self.capacities[a];
-                let rb = running[b] as f64 / self.capacities[b];
-                ra.partial_cmp(&rb).expect("no NaN").then(a.cmp(&b))
-            })?;
+            let ra = running[a] as f64 / self.capacities[a];
+            let rb = running[b] as f64 / self.capacities[b];
+            ra.partial_cmp(&rb).expect("no NaN").then(a.cmp(&b))
+        })?;
         runnable
             .iter()
             .filter(|r| self.queue_of(r.query) == best_queue)
@@ -227,6 +253,12 @@ impl Scheduler for HcsQueues {
                     .expect("no NaN times")
             })
             .map(choice)
+    }
+
+    // Queue-relative ranking has no single scalar; the within-queue FIFO
+    // key is still the most informative per-candidate number.
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.submit_time
     }
 }
 
@@ -252,6 +284,10 @@ impl Scheduler for Srt {
                     .expect("no NaN time")
             })
             .map(choice)
+    }
+
+    fn score(&self, job: &RunnableJob) -> f64 {
+        job.query_time
     }
 }
 
@@ -362,6 +398,46 @@ mod tests {
         a.pending_reduces = 2;
         let c = s.pick(&[a]).unwrap();
         assert_eq!(c.kind, TaskKind::Reduce);
+    }
+
+    #[test]
+    fn scores_expose_each_policy_primary_key() {
+        let mut a = job(0, 0, 3.0, 1.0);
+        a.running = 4;
+        a.query_wrd = 77.0;
+        a.query_time = 9.0;
+        assert_eq!(Fifo.score(&a), 1.0);
+        assert_eq!(Hcs.score(&a), 3.0);
+        assert_eq!(Hfs.score(&a), 4.0);
+        assert_eq!(Swrd.score(&a), 77.0);
+        assert_eq!(Srt.score(&a), 9.0);
+        assert_eq!(HcsQueues::new(vec![1.0]).score(&a), 3.0);
+    }
+
+    #[test]
+    fn picked_candidate_has_minimal_score() {
+        // For every score-driven policy, the picked job's score is the
+        // minimum over the runnable set (ties broken by secondary keys).
+        let mut r = vec![job(0, 0, 3.0, 1.0), job(1, 0, 1.0, 2.0), job(2, 0, 2.0, 0.5)];
+        r[0].query_wrd = 30.0;
+        r[1].query_wrd = 10.0;
+        r[2].query_wrd = 20.0;
+        r[0].query_time = 8.0;
+        r[1].query_time = 12.0;
+        r[2].query_time = 4.0;
+        r[1].running = 6;
+
+        fn check<S: Scheduler>(mut s: S, r: &[RunnableJob]) {
+            let c = s.pick(r).unwrap();
+            let chosen = r.iter().find(|j| (j.query, j.job) == (c.query, c.job)).unwrap();
+            let min = r.iter().map(|j| s.score(j)).fold(f64::INFINITY, f64::min);
+            assert!(s.score(chosen) <= min, "{}: {} > {min}", s.name(), s.score(chosen));
+        }
+        check(Fifo, &r);
+        check(Hcs, &r);
+        check(Hfs, &r);
+        check(Swrd, &r);
+        check(Srt, &r);
     }
 
     #[test]

@@ -5,9 +5,17 @@ use crate::job::{SimQuery, TaskKind, TaskSpec};
 use crate::sched::{RunnableJob, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sapred_obs::{Candidate, Event as ObsEvent, EventSink, NullSink, TaskPhase};
 use sapred_plan::dag::JobCategory;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+fn phase_of(kind: TaskKind) -> TaskPhase {
+    match kind {
+        TaskKind::Map => TaskPhase::Map,
+        TaskKind::Reduce => TaskPhase::Reduce,
+    }
+}
 
 /// Cluster configuration (defaults mirror the paper's testbed: 9 nodes ×
 /// 12 containers, 1 GB per reducer, small job-submission overhead).
@@ -45,6 +53,16 @@ impl ClusterConfig {
     /// Total container slots in the cluster.
     pub fn total_containers(&self) -> usize {
         self.nodes * self.containers_per_node
+    }
+
+    /// Node index of a flat container-slot id.
+    pub fn node_of(&self, slot: usize) -> usize {
+        slot / self.containers_per_node.max(1)
+    }
+
+    /// Within-node slot index of a flat container-slot id.
+    pub fn slot_of(&self, slot: usize) -> usize {
+        slot % self.containers_per_node.max(1)
     }
 }
 
@@ -125,6 +143,27 @@ impl SimReport {
         }
         self.queries.iter().map(QueryStat::response).sum::<f64>() / self.queries.len() as f64
     }
+
+    /// Query response-time percentile, `p` in `[0, 1]` (e.g. `0.95` for
+    /// p95), linearly interpolated between order statistics. `0.0` with no
+    /// queries.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.queries.iter().map(QueryStat::response).collect();
+        v.sort_by(f64::total_cmp);
+        let rank = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        v[lo] + (rank - lo as f64) * (v[hi] - v[lo])
+    }
+
+    /// Total tasks (map + reduce) across all jobs — the number of task-start
+    /// and task-finish events a traced run emits.
+    pub fn total_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.n_maps + j.n_reduces).sum()
+    }
 }
 
 /// Totally ordered f64 for the event heap (no NaNs by construction).
@@ -151,8 +190,9 @@ enum Event {
     Arrival { q: usize },
     /// A job becomes visible to the scheduler.
     Submit { q: usize, j: usize },
-    /// A task finishes. Duration is carried via the task bookkeeping.
-    TaskDone { q: usize, j: usize, kind: TaskKind, duration_ms: u64 },
+    /// A task finishes, releasing container slot `slot`. Duration is
+    /// carried via the task bookkeeping.
+    TaskDone { q: usize, j: usize, kind: TaskKind, duration_ms: u64, slot: usize },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -199,9 +239,26 @@ impl<S: Scheduler> Simulator<S> {
 
     /// Run all queries to completion and report.
     ///
+    /// Equivalent to [`Simulator::run_with`] with a [`NullSink`]: the
+    /// tracing path compiles away entirely.
+    ///
     /// # Panics
     /// Panics if any query fails validation.
     pub fn run(&mut self, queries: &[SimQuery]) -> SimReport {
+        self.run_with(queries, &mut NullSink)
+    }
+
+    /// Run all queries to completion, emitting every discrete event —
+    /// query/job lifecycle, per-task placement on node·slot, and scheduler
+    /// decision records — to `sink`.
+    ///
+    /// Decision records carry the full candidate list with each candidate's
+    /// policy score ([`Scheduler::score`]); their construction is skipped
+    /// when `sink.enabled()` is false, so a [`NullSink`] run pays nothing.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run_with<K: EventSink>(&mut self, queries: &[SimQuery], sink: &mut K) -> SimReport {
         for q in queries {
             if let Err(e) = q.validate() {
                 panic!("invalid query {}: {e}", q.name);
@@ -222,7 +279,11 @@ impl<S: Scheduler> Simulator<S> {
             push(&mut heap, q.arrival, Event::Arrival { q: i }, &mut seq);
         }
 
-        let mut free = self.config.total_containers();
+        // Min-heap of free container-slot ids: tasks land on the
+        // lowest-numbered free slot, giving stable node/slot placement for
+        // the trace exporters.
+        let mut free_slots: BinaryHeap<Reverse<usize>> =
+            (0..self.config.total_containers()).map(Reverse).collect();
         let mut now = 0.0f64;
         let mut done_queries = 0usize;
 
@@ -231,6 +292,11 @@ impl<S: Scheduler> Simulator<S> {
             now = t;
             match event {
                 Event::Arrival { q } => {
+                    sink.emit(&ObsEvent::QueryArrive {
+                        t: now,
+                        query: q,
+                        name: queries[q].name.clone(),
+                    });
                     for job in &queries[q].jobs {
                         if job.deps.is_empty() {
                             push(&mut heap, now, Event::Submit { q, j: job.id }, &mut seq);
@@ -243,10 +309,25 @@ impl<S: Scheduler> Simulator<S> {
                     js.submit_time = now;
                     js.pending_maps = queries[q].jobs[j].maps.len();
                     js.reduces_unlocked = queries[q].jobs[j].reduces.is_empty();
+                    sink.emit(&ObsEvent::JobSubmit {
+                        t: now,
+                        query: q,
+                        job: j,
+                        category: queries[q].jobs[j].category,
+                    });
                 }
-                Event::TaskDone { q, j, kind, duration_ms } => {
-                    free += 1;
+                Event::TaskDone { q, j, kind, duration_ms, slot } => {
+                    free_slots.push(Reverse(slot));
                     let duration = duration_ms as f64 / 1e3;
+                    sink.emit(&ObsEvent::TaskFinish {
+                        t: now,
+                        query: q,
+                        job: j,
+                        phase: phase_of(kind),
+                        node: self.config.node_of(slot),
+                        slot: self.config.slot_of(slot),
+                        duration,
+                    });
                     let js = &mut jobs[q][j];
                     match kind {
                         TaskKind::Map => {
@@ -271,12 +352,15 @@ impl<S: Scheduler> Simulator<S> {
                     if job_done && js.finished.is_none() {
                         js.finished = Some(now);
                         qstate[q].jobs_done += 1;
+                        sink.emit(&ObsEvent::JobFinish {
+                            t: now,
+                            query: q,
+                            job: j,
+                            category: queries[q].jobs[j].category,
+                        });
                         // Submit dependents whose parents are all finished.
                         for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&j)) {
-                            let ready = dep
-                                .deps
-                                .iter()
-                                .all(|&p| jobs[q][p].finished.is_some());
+                            let ready = dep.deps.iter().all(|&p| jobs[q][p].finished.is_some());
                             if ready && !jobs[q][dep.id].submitted {
                                 push(
                                     &mut heap,
@@ -289,15 +373,38 @@ impl<S: Scheduler> Simulator<S> {
                         if qstate[q].jobs_done == queries[q].jobs.len() {
                             qstate[q].finished = Some(now);
                             done_queries += 1;
+                            sink.emit(&ObsEvent::QueryFinish { t: now, query: q });
                         }
                     }
                 }
             }
 
             // Dispatch free containers.
-            while free > 0 {
+            while !free_slots.is_empty() {
                 let runnable = collect_runnable(queries, &jobs, self.config.total_containers());
                 let Some(c) = self.scheduler.pick(&runnable) else { break };
+                if sink.enabled() {
+                    // Decision-record construction (candidate scoring) is
+                    // skipped entirely for disabled sinks.
+                    let candidates = runnable
+                        .iter()
+                        .map(|r| Candidate {
+                            query: r.query,
+                            job: r.job,
+                            score: self.scheduler.score(r),
+                        })
+                        .collect();
+                    sink.emit(&ObsEvent::Decision {
+                        t: now,
+                        policy: self.scheduler.name(),
+                        candidates,
+                        chosen_query: c.query,
+                        chosen_job: c.job,
+                        phase: phase_of(c.kind),
+                        queue_depth: runnable.len(),
+                        free_containers: free_slots.len(),
+                    });
+                }
                 let js = &mut jobs[c.query][c.job];
                 let spec: TaskSpec = match c.kind {
                     TaskKind::Map => {
@@ -319,12 +426,22 @@ impl<S: Scheduler> Simulator<S> {
                 };
                 if js.started.is_none() {
                     js.started = Some(now);
+                    sink.emit(&ObsEvent::JobStart { t: now, query: c.query, job: c.job });
                 }
                 if qstate[c.query].started.is_none() {
                     qstate[c.query].started = Some(now);
+                    sink.emit(&ObsEvent::QueryStart { t: now, query: c.query });
                 }
-                free -= 1;
-                let load = 1.0 - free as f64 / self.config.total_containers() as f64;
+                let Reverse(slot) = free_slots.pop().expect("checked non-empty");
+                sink.emit(&ObsEvent::TaskStart {
+                    t: now,
+                    query: c.query,
+                    job: c.job,
+                    phase: phase_of(c.kind),
+                    node: self.config.node_of(slot),
+                    slot: self.config.slot_of(slot),
+                });
+                let load = 1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
                 let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
                 push(
                     &mut heap,
@@ -334,6 +451,7 @@ impl<S: Scheduler> Simulator<S> {
                         j: c.job,
                         kind: c.kind,
                         duration_ms: (duration * 1e3).round() as u64,
+                        slot,
                     },
                     &mut seq,
                 );
@@ -341,7 +459,7 @@ impl<S: Scheduler> Simulator<S> {
         }
 
         assert_eq!(done_queries, queries.len(), "simulation ended with unfinished queries");
-        assert_eq!(free, self.config.total_containers(), "containers leaked");
+        assert_eq!(free_slots.len(), self.config.total_containers(), "containers leaked");
 
         let mut report = SimReport { makespan: now, ..Default::default() };
         for (qi, q) in queries.iter().enumerate() {
@@ -538,11 +656,8 @@ mod tests {
     #[test]
     fn more_containers_help_parallel_job() {
         let mk = |containers: usize| {
-            let config = ClusterConfig {
-                nodes: 1,
-                containers_per_node: containers,
-                ..Default::default()
-            };
+            let config =
+                ClusterConfig { nodes: 1, containers_per_node: containers, ..Default::default() };
             Simulator::new(config, CostModel::default(), Fifo)
                 .run(&[simple_query("q", 0.0, 32, 4)])
                 .queries[0]
@@ -559,18 +674,12 @@ mod tests {
         // (job submit order) B overtakes A-J2, while query-arrival FIFO
         // keeps B behind everything A runs.
         let config = ClusterConfig { submit_overhead: 0.0, ..Default::default() };
-        let queries = vec![
-            chained_query("big", 0.0, 2, 1200),
-            simple_query("small", 30.0, 300, 8),
-        ];
+        let queries = vec![chained_query("big", 0.0, 2, 1200), simple_query("small", 30.0, 300, 8)];
         let hcs = Simulator::new(config, CostModel::default(), Hcs).run(&queries);
         let fifo = Simulator::new(config, CostModel::default(), Fifo).run(&queries);
         let small_hcs = hcs.queries[1].response();
         let small_fifo = fifo.queries[1].response();
-        assert!(
-            small_hcs < 0.8 * small_fifo,
-            "hcs {small_hcs} fifo {small_fifo}"
-        );
+        assert!(small_hcs < 0.8 * small_fifo, "hcs {small_hcs} fifo {small_fifo}");
     }
 
     #[test]
@@ -584,9 +693,8 @@ mod tests {
         ];
         let swrd = sim(Swrd).run(&queries);
         let hcs = sim(Hcs).run(&queries);
-        let mean_small = |r: &SimReport| {
-            r.queries[1..].iter().map(QueryStat::response).sum::<f64>() / 3.0
-        };
+        let mean_small =
+            |r: &SimReport| r.queries[1..].iter().map(QueryStat::response).sum::<f64>() / 3.0;
         assert!(
             mean_small(&swrd) < mean_small(&hcs),
             "swrd {} hcs {}",
@@ -608,11 +716,98 @@ mod tests {
     }
 
     #[test]
+    fn percentile_interpolates_response_times() {
+        let mut r = SimReport::default();
+        assert_eq!(r.percentile(0.5), 0.0);
+        for resp in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            r.queries.push(QueryStat { name: "q".into(), arrival: 0.0, start: 0.0, finish: resp });
+        }
+        assert_eq!(r.percentile(0.0), 10.0);
+        assert_eq!(r.percentile(0.5), 30.0);
+        assert_eq!(r.percentile(1.0), 50.0);
+        // p75 sits halfway between the 3rd and 4th order statistics.
+        assert!((r.percentile(0.75) - 40.0).abs() < 1e-9);
+        assert!((r.percentile(0.95) - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_stream_is_consistent_with_report() {
+        use sapred_obs::{Event as Ob, RecordingSink};
+        let queries = vec![chained_query("a", 0.0, 2, 6), simple_query("b", 2.0, 5, 3)];
+        let mut rec = RecordingSink::new();
+        let report = sim(Fifo).run_with(&queries, &mut rec);
+
+        let count = |pred: &dyn Fn(&Ob) -> bool| rec.events.iter().filter(|e| pred(e)).count();
+        // Task starts and finishes both match the report's task totals.
+        assert_eq!(count(&|e| matches!(e, Ob::TaskStart { .. })), report.total_tasks());
+        assert_eq!(count(&|e| matches!(e, Ob::TaskFinish { .. })), report.total_tasks());
+        // One lifecycle pair per query and per job; one decision per task.
+        assert_eq!(count(&|e| matches!(e, Ob::QueryArrive { .. })), queries.len());
+        assert_eq!(count(&|e| matches!(e, Ob::QueryStart { .. })), queries.len());
+        assert_eq!(count(&|e| matches!(e, Ob::QueryFinish { .. })), queries.len());
+        assert_eq!(count(&|e| matches!(e, Ob::JobSubmit { .. })), report.jobs.len());
+        assert_eq!(count(&|e| matches!(e, Ob::JobStart { .. })), report.jobs.len());
+        assert_eq!(count(&|e| matches!(e, Ob::JobFinish { .. })), report.jobs.len());
+        assert_eq!(count(&|e| matches!(e, Ob::Decision { .. })), report.total_tasks());
+        // Events are emitted in non-decreasing simulated time.
+        for w in rec.events.windows(2) {
+            assert!(w[1].time() >= w[0].time() - 1e-9);
+        }
+        // Placement stays within the cluster topology.
+        let config = ClusterConfig::default();
+        for e in &rec.events {
+            if let Ob::TaskStart { node, slot, .. } = e {
+                assert!(*node < config.nodes);
+                assert!(*slot < config.containers_per_node);
+            }
+        }
+    }
+
+    #[test]
+    fn null_sink_run_matches_traced_run() {
+        use sapred_obs::RecordingSink;
+        let queries = vec![chained_query("a", 0.0, 2, 8), simple_query("b", 3.0, 4, 2)];
+        let plain = sim(Swrd).run(&queries);
+        let mut rec = RecordingSink::new();
+        let traced = sim(Swrd).run_with(&queries, &mut rec);
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.queries, traced.queries);
+        assert_eq!(plain.jobs, traced.jobs);
+        assert!(!rec.events.is_empty());
+    }
+
+    #[test]
+    fn swrd_decisions_choose_minimal_wrd_candidate() {
+        use sapred_obs::{Event as Ob, RecordingSink};
+        let queries = vec![
+            chained_query("huge", 0.0, 3, 60),
+            simple_query("s1", 0.5, 4, 2),
+            simple_query("s2", 0.6, 4, 2),
+        ];
+        let mut rec = RecordingSink::new();
+        sim(Swrd).run_with(&queries, &mut rec);
+        let mut decisions = 0;
+        for e in &rec.events {
+            if let Ob::Decision { policy, candidates, chosen_query, chosen_job, .. } = e {
+                assert_eq!(*policy, "SWRD");
+                decisions += 1;
+                let chosen = candidates
+                    .iter()
+                    .find(|c| (c.query, c.job) == (*chosen_query, *chosen_job))
+                    .expect("chosen job must be among the candidates");
+                let min = candidates.iter().map(|c| c.score).fold(f64::INFINITY, f64::min);
+                // SWRD == smallest WRD first: the winner's score (its
+                // query's WRD) is minimal over the candidate set.
+                assert!(chosen.score <= min + 1e-9, "chosen WRD {} > min {min}", chosen.score);
+            }
+        }
+        assert!(decisions > 0);
+    }
+
+    #[test]
     fn makespan_bounds_all_finishes() {
-        let r = sim(Hcs).run(&[
-            chained_query("a", 0.0, 2, 10),
-            simple_query("b", 5.0, 6, 2),
-        ]);
+        let r = sim(Hcs).run(&[chained_query("a", 0.0, 2, 10), simple_query("b", 5.0, 6, 2)]);
         for q in &r.queries {
             assert!(q.finish <= r.makespan + 1e-9);
             assert!(q.start >= q.arrival);

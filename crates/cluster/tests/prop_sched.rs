@@ -53,8 +53,7 @@ fn check<S: Scheduler>(mut s: S, runnable: &[RunnableJob]) -> Result<(), TestCas
                 .iter()
                 .find(|r| r.query == c.query && r.job == c.job)
                 .expect("choice must reference a runnable job");
-            let expected =
-                if j.pending_reduces > 0 { TaskKind::Reduce } else { TaskKind::Map };
+            let expected = if j.pending_reduces > 0 { TaskKind::Reduce } else { TaskKind::Map };
             prop_assert_eq!(c.kind, expected);
         }
     }

@@ -12,11 +12,11 @@ use crate::report::{pct, secs, text_table};
 use crate::training::{job_samples, QueryRun};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sapred_cluster::build::build_sim_query;
 use sapred_cluster::job::{JobPrediction, SimQuery};
+use sapred_cluster::sched::Fifo;
 use sapred_cluster::sched::Swrd;
 use sapred_cluster::sim::Simulator;
-use sapred_cluster::build::build_sim_query;
-use sapred_cluster::sched::Fifo;
 use sapred_plan::compile::{compile, compile_with, PlannerConfig};
 use sapred_plan::ground_truth::execute_dag;
 use sapred_predict::linalg::LinearModel;
@@ -125,8 +125,7 @@ pub fn feature_ablation(train: &[&QueryRun], test: &[&QueryRun]) -> FeatureAblat
         // Same weighting as the production JobTimeModel, so the rows are
         // comparable with Table 3.
         let ws: Vec<f64> = ys.iter().map(|y| 1.0 / y.max(1.0).powf(1.5)).collect();
-        let model =
-            LinearModel::fit_weighted(&xs, &ys, Some(&ws), 1e-9).expect("ablation fit");
+        let model = LinearModel::fit_weighted(&xs, &ys, Some(&ws), 1e-9).expect("ablation fit");
         let train_pred: Vec<f64> = xs.iter().map(|x| model.predict(x).max(0.0)).collect();
         let test_pred: Vec<f64> = test_samples
             .iter()
@@ -171,9 +170,7 @@ impl std::fmt::Display for HistogramAblationReport {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                vec![r.buckets.to_string(), pct(r.join_err), pct(r.join_err_equi_depth)]
-            })
+            .map(|r| vec![r.buckets.to_string(), pct(r.join_err), pct(r.join_err_equi_depth)])
             .collect();
         write!(
             f,
@@ -259,11 +256,8 @@ pub struct SwrdNoiseReport {
 
 impl std::fmt::Display for SwrdNoiseReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| vec![r.label.clone(), secs(r.mean_response)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|r| vec![r.label.clone(), secs(r.mean_response)]).collect();
         write!(
             f,
             "Ablation A3: SWRD vs prediction quality\n{}",
@@ -383,7 +377,12 @@ impl std::fmt::Display for MapJoinReport {
 
 /// Compile a set of dimension-join queries with and without map-join
 /// conversion, run both plans alone on the simulator and compare.
-pub fn map_join_ablation(scale_gb: f64, threshold: f64, fw: &Framework, seed: u64) -> MapJoinReport {
+pub fn map_join_ablation(
+    scale_gb: f64,
+    threshold: f64,
+    fw: &Framework,
+    seed: u64,
+) -> MapJoinReport {
     let db = generate(GenConfig::new(scale_gb).with_seed(seed));
     let queries = [
         (
@@ -401,8 +400,7 @@ pub fn map_join_ablation(scale_gb: f64, threshold: f64, fw: &Framework, seed: u6
     ];
     let mut rows = Vec::new();
     for (name, sql) in queries {
-        let analyzed =
-            analyze(&parse(sql).unwrap(), db.catalog(), &db).expect("valid query");
+        let analyzed = analyze(&parse(sql).unwrap(), db.catalog(), &db).expect("valid query");
         let plain = compile(name, &analyzed);
         let converted = compile_with(
             name,
@@ -459,12 +457,7 @@ mod tests {
         assert_eq!(report.rows.len(), 5);
         let full = &report.rows[0];
         let din = report.rows.iter().find(|r| r.label == "D_in only").unwrap();
-        assert!(
-            full.train_r2 >= din.train_r2,
-            "full {} vs din {}",
-            full.train_r2,
-            din.train_r2
-        );
+        assert!(full.train_r2 >= din.train_r2, "full {} vs din {}", full.train_r2, din.train_r2);
         assert!(format!("{report}").contains("Eq. 8"));
     }
 

@@ -6,6 +6,8 @@
 
 use crate::framework::{Framework, Predictor};
 use crate::report::{bar_chart, secs, text_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sapred_cluster::build::build_sim_query;
 use sapred_cluster::job::SimQuery;
 use sapred_cluster::sched::{Hcs, Scheduler, Swrd};
@@ -14,8 +16,6 @@ use sapred_plan::ground_truth::execute_dag;
 use sapred_selectivity::estimate::estimate_dag;
 use sapred_workload::pool::DbPool;
 use sapred_workload::templates::Template;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One query's outcomes across the three runs.
 #[derive(Debug, Clone)]

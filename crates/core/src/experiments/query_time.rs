@@ -39,8 +39,7 @@ pub fn query_prediction(
 ) -> QueryPredictionReport {
     let mut points = Vec::new();
     for run in runs.iter().filter(|r| scale_filter(r)) {
-        let semantics =
-            QuerySemantics { dag: run.dag.clone(), estimates: run.estimates.clone() };
+        let semantics = QuerySemantics { dag: run.dag.clone(), estimates: run.estimates.clone() };
         points.push(QueryPoint {
             name: run.name.clone(),
             scale_gb: run.scale_gb,

@@ -25,6 +25,12 @@ pub struct SchedulerOutcome {
     pub small_mean: f64,
     /// Mean over the rest.
     pub large_mean: f64,
+    /// Median query response time (seconds).
+    pub p50: f64,
+    /// 95th-percentile query response time (seconds).
+    pub p95: f64,
+    /// 99th-percentile query response time (seconds).
+    pub p99: f64,
 }
 
 /// Fig. 8 for one workload mix.
@@ -62,6 +68,9 @@ impl std::fmt::Display for SchedulingReport {
                     secs(o.mean_response),
                     secs(o.small_mean),
                     secs(o.large_mean),
+                    secs(o.p50),
+                    secs(o.p95),
+                    secs(o.p99),
                 ]
             })
             .collect();
@@ -69,7 +78,10 @@ impl std::fmt::Display for SchedulingReport {
             f,
             "Fig. 8 ({} workload): average query response time\n{}",
             self.mix,
-            text_table(&["scheduler", "mean response", "small (<=10GB)", "large"], &rows)
+            text_table(
+                &["scheduler", "mean response", "small (<=10GB)", "large", "p50", "p95", "p99"],
+                &rows
+            )
         )?;
         let bars: Vec<(String, f64)> =
             self.outcomes.iter().map(|o| (o.scheduler.clone(), o.mean_response)).collect();
@@ -212,6 +224,9 @@ fn run_one_scheduler<S: Scheduler>(
         mean_response: report.mean_response(),
         small_mean: mean(&small),
         large_mean: mean(&large),
+        p50: report.percentile(0.50),
+        p95: report.percentile(0.95),
+        p99: report.percentile(0.99),
     }
 }
 
@@ -244,15 +259,8 @@ mod tests {
         let predictor = Predictor::new(fit_models(&train, &fw), fw);
 
         // Facebook mix at 1/50 scale with tight arrivals (contention).
-        let prepared = prepare_workload(
-            &facebook_mix(),
-            &mut pool,
-            &fw,
-            Some(&predictor),
-            1.0,
-            10.0,
-            41,
-        );
+        let prepared =
+            prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), 1.0, 10.0, 41);
         let report = run_schedulers(&prepared, &fw, true);
         assert_eq!(report.outcomes.len(), 5);
         let swrd = report.outcome("SWRD").unwrap().mean_response;
@@ -262,6 +270,15 @@ mod tests {
         // scaled-down setup shows the same ordering with clear margins.
         assert!(swrd < 0.6 * hcs, "SWRD {swrd} vs HCS {hcs}");
         assert!(swrd < 0.8 * hfs, "SWRD {swrd} vs HFS {hfs}");
+        for o in &report.outcomes {
+            assert!(
+                o.p50 <= o.p95 && o.p95 <= o.p99,
+                "{}: tail percentiles unordered",
+                o.scheduler
+            );
+            assert!(o.p99 > 0.0);
+        }
         assert!(format!("{report}").contains("SWRD vs HCS"));
+        assert!(format!("{report}").contains("p95"));
     }
 }

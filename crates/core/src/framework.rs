@@ -2,9 +2,9 @@
 //! prediction API built on the trained models.
 
 use crate::training::TrainedModels;
+use sapred_cluster::cost::CostModel;
 use sapred_cluster::job::JobPrediction;
 use sapred_cluster::sim::ClusterConfig;
-use sapred_cluster::cost::CostModel;
 use sapred_plan::compile::compile;
 use sapred_plan::dag::QueryDag;
 use sapred_predict::features::{JobFeatures, TaskFeatures};
@@ -123,13 +123,10 @@ impl Predictor {
     /// numbers the SWRD scheduler consumes.
     pub fn job_prediction(&self, est: &JobEstimate, has_reduce: bool) -> JobPrediction {
         let containers = self.framework.cluster.total_containers();
-        let map_task_time =
-            self.models.map_task.predict(&TaskFeatures::map_task(est, containers));
+        let map_task_time = self.models.map_task.predict(&TaskFeatures::map_task(est, containers));
         let reduce_task_time = if has_reduce {
             let n = self.framework.estimated_reducers(est, true);
-            self.models
-                .reduce_task
-                .predict(&TaskFeatures::reduce_task(est, n, containers))
+            self.models.reduce_task.predict(&TaskFeatures::reduce_task(est, n, containers))
         } else {
             0.0
         };

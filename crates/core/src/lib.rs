@@ -14,12 +14,15 @@
 //!   query prediction Fig. 7, scheduling Fig. 8) plus ablations;
 //! * [`progress`] — online progress/ETA estimation from the dynamic WRD
 //!   (remaining task counts), ParaTimer-style;
+//! * [`telemetry`] — bridges model evaluations and simulator outcomes into
+//!   `sapred-obs` prediction-error event streams (drift tracking);
 //! * [`report`] — plain-text table rendering for the bench harness.
 
 pub mod experiments;
 pub mod framework;
 pub mod progress;
 pub mod report;
+pub mod telemetry;
 pub mod training;
 
 pub use framework::{Framework, Predictor, QuerySemantics};

@@ -68,12 +68,29 @@ impl<'a> ProgressEstimator<'a> {
         if total <= 0.0 {
             return 1.0;
         }
-        let remaining: f64 = progress
-            .iter()
-            .enumerate()
-            .map(|(j, p)| self.remaining_resource(j, p).wrd())
-            .sum();
+        let remaining: f64 =
+            progress.iter().enumerate().map(|(j, p)| self.remaining_resource(j, p).wrd()).sum();
         (1.0 - remaining / total).clamp(0.0, 1.0)
+    }
+
+    /// Package the current progress as an emittable [`sapred_obs::Event::Eta`]
+    /// snapshot, tagging it with the observer's `query` index and timestamp
+    /// `t` (simulated or wall seconds).
+    ///
+    /// # Panics
+    /// Panics if `progress.len()` differs from the DAG's job count.
+    pub fn snapshot_event(
+        &self,
+        query: usize,
+        t: f64,
+        progress: &[JobProgress],
+    ) -> sapred_obs::Event {
+        sapred_obs::Event::Eta {
+            t,
+            query,
+            fraction: self.fraction_done(progress),
+            eta: self.remaining_seconds(progress),
+        }
     }
 
     /// Estimated seconds to completion: the critical path of the remaining
@@ -186,8 +203,7 @@ mod tests {
         let predicted = predictor.query_seconds(&semantics);
         // remaining_seconds omits per-job submission overheads; otherwise
         // the two critical paths coincide.
-        let overheads =
-            semantics.dag.depth() as f64 * predictor.framework.cluster.submit_overhead;
+        let overheads = semantics.dag.depth() as f64 * predictor.framework.cluster.submit_overhead;
         assert!(
             (eta0 - (predicted - overheads)).abs() < 1.0,
             "eta {eta0} vs predicted {predicted} (overheads {overheads})"

@@ -13,7 +13,11 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let render_row = |cells: &[String]| -> String {
         let mut line = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(0)));
+            line.push_str(&format!(
+                "{:<width$}  ",
+                cell,
+                width = widths.get(i).copied().unwrap_or(0)
+            ));
         }
         line.trim_end().to_string()
     };
@@ -44,14 +48,12 @@ pub fn secs(x: f64) -> String {
 /// share the same range so the diagonal is meaningful.
 pub fn scatter_plot(points: &[(f64, f64)], cols: usize, rows: usize) -> String {
     if points.is_empty() {
-        return String::from("(no points)
-");
+        return String::from(
+            "(no points)
+",
+        );
     }
-    let max = points
-        .iter()
-        .flat_map(|&(x, y)| [x, y])
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max = points.iter().flat_map(|&(x, y)| [x, y]).fold(0.0f64, f64::max).max(1e-9);
     let mut grid = vec![vec![' '; cols]; rows];
     // Diagonal first so points overwrite it.
     for c in 0..cols {
@@ -76,10 +78,17 @@ pub fn scatter_plot(points: &[(f64, f64)], cols: usize, rows: usize) -> String {
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("          {}
-", "-".repeat(cols)));
-    out.push_str(&format!("          0{:>width$.0}
-", max, width = cols - 1));
+    out.push_str(&format!(
+        "          {}
+",
+        "-".repeat(cols)
+    ));
+    out.push_str(&format!(
+        "          0{:>width$.0}
+",
+        max,
+        width = cols - 1
+    ));
     out
 }
 
@@ -108,10 +117,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = text_table(
             &["name", "value"],
-            &[
-                vec!["alpha".into(), "1".into()],
-                vec!["b".into(), "12345".into()],
-            ],
+            &[vec!["alpha".into(), "1".into()], vec!["b".into(), "12345".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -131,16 +137,16 @@ mod tests {
         assert!(p.contains('*'));
         assert!(p.contains('.'));
         assert!(p.lines().count() >= 12);
-        assert_eq!(scatter_plot(&[], 10, 5), "(no points)
-");
+        assert_eq!(
+            scatter_plot(&[], 10, 5),
+            "(no points)
+"
+        );
     }
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let c = bar_chart(
-            &[("HCS".to_string(), 100.0), ("SWRD".to_string(), 25.0)],
-            40,
-        );
+        let c = bar_chart(&[("HCS".to_string(), 100.0), ("SWRD".to_string(), 25.0)], 40);
         let lines: Vec<&str> = c.lines().collect();
         let hashes = |s: &str| s.chars().filter(|&ch| ch == '#').count();
         assert_eq!(hashes(lines[0]), 40);

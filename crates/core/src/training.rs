@@ -191,11 +191,7 @@ pub fn reduce_task_samples<'a>(
                 let n = fw.estimated_reducers(est, true);
                 out.push(TaskSample {
                     category: est.category,
-                    features: TaskFeatures::reduce_task(
-                        est,
-                        n,
-                        fw.cluster.total_containers(),
-                    ),
+                    features: TaskFeatures::reduce_task(est, n, fw.cluster.total_containers()),
                     measured: stat.reduce_task_avg,
                 });
             }
@@ -206,10 +202,8 @@ pub fn reduce_task_samples<'a>(
 
 /// Fit all three models on the training runs.
 pub fn fit_models(train: &[&QueryRun], fw: &Framework) -> TrainedModels {
-    let jobs: Vec<(JobFeatures, f64)> = job_samples(train.iter().copied())
-        .into_iter()
-        .map(|s| (s.features, s.measured))
-        .collect();
+    let jobs: Vec<(JobFeatures, f64)> =
+        job_samples(train.iter().copied()).into_iter().map(|s| (s.features, s.measured)).collect();
     let maps: Vec<(TaskFeatures, f64)> = map_task_samples(train.iter().copied(), fw)
         .into_iter()
         .map(|s| (s.features, s.measured))
@@ -274,12 +268,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let fw = Framework::new();
-        let config = PopulationConfig {
-            n_queries: 6,
-            scales_gb: vec![0.5],
-            scale_out_gb: vec![],
-            seed: 23,
-        };
+        let config =
+            PopulationConfig { n_queries: 6, scales_gb: vec![0.5], scale_out_gb: vec![], seed: 23 };
         let mut pool_a = DbPool::new(23);
         let pop_a = generate_population(&config, &mut pool_a);
         let a = run_population(&pop_a, &mut pool_a, &fw);

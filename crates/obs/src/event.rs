@@ -1,0 +1,404 @@
+//! The simulator event vocabulary.
+//!
+//! One [`Event`] is emitted for every state transition the discrete-event
+//! simulator makes: query lifecycle, job lifecycle, per-task placement on a
+//! node/container slot, scheduler decision records, progress (ETA) snapshots,
+//! and prediction-error observations. Sinks ([`crate::sink::EventSink`])
+//! consume the stream; [`Event::to_json`] renders one event as a JSON object
+//! for the JSONL exporter.
+
+use crate::json::{array, Obj};
+use sapred_plan::JobCategory;
+
+/// Which phase a simulated task belongs to.
+///
+/// Mirrors the cluster crate's task kind without depending on it (the cluster
+/// crate depends on this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskPhase {
+    /// Map phase task.
+    Map,
+    /// Reduce phase task.
+    Reduce,
+}
+
+impl TaskPhase {
+    /// Lower-case label used in JSON output and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskPhase::Map => "map",
+            TaskPhase::Reduce => "reduce",
+        }
+    }
+}
+
+/// Which predicted quantity a [`Event::PredictionError`] observation is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantity {
+    /// Average map-task execution time (seconds).
+    MapTask,
+    /// Average reduce-task execution time (seconds).
+    ReduceTask,
+    /// Whole-job execution time (seconds).
+    Job,
+    /// Whole-query response time (seconds).
+    Query,
+}
+
+impl Quantity {
+    /// Stable label used in JSON output and drift-report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quantity::MapTask => "map_task",
+            Quantity::ReduceTask => "reduce_task",
+            Quantity::Job => "job",
+            Quantity::Query => "query",
+        }
+    }
+}
+
+/// One candidate considered by a scheduler when picking the next task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Query index of the candidate job.
+    pub query: usize,
+    /// Job index within the query.
+    pub job: usize,
+    /// The policy's score for this candidate (e.g. WRD for SWRD); lower wins
+    /// for every built-in policy.
+    pub score: f64,
+}
+
+/// A discrete simulator event, stamped with simulated time `t` (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A query arrived at the cluster.
+    QueryArrive {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Human-readable query name.
+        name: String,
+    },
+    /// First task of a query started running.
+    QueryStart {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+    },
+    /// Last job of a query finished.
+    QueryFinish {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+    },
+    /// A job's dependencies cleared; it joined the runnable pool.
+    JobSubmit {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Semantic category of the job.
+        category: JobCategory,
+    },
+    /// A job's first task started running.
+    JobStart {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+    },
+    /// A job's last task completed.
+    JobFinish {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Semantic category of the job.
+        category: JobCategory,
+    },
+    /// A task was placed on a container slot and started running.
+    TaskStart {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Cluster node index the task runs on.
+        node: usize,
+        /// Container slot index within the node.
+        slot: usize,
+    },
+    /// A task finished and released its container slot.
+    TaskFinish {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Cluster node index the task ran on.
+        node: usize,
+        /// Container slot index within the node.
+        slot: usize,
+        /// Task duration in seconds.
+        duration: f64,
+    },
+    /// A scheduler decision: which runnable job got the free container, and
+    /// what every candidate scored under the active policy.
+    Decision {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Scheduler policy name (e.g. `"swrd"`).
+        policy: &'static str,
+        /// Every runnable job considered, with its policy score.
+        candidates: Vec<Candidate>,
+        /// Query index of the chosen job.
+        chosen_query: usize,
+        /// Job index of the chosen job.
+        chosen_job: usize,
+        /// Phase of the task that was dispatched.
+        phase: TaskPhase,
+        /// Number of runnable jobs at decision time.
+        queue_depth: usize,
+        /// Free container count at decision time (before this dispatch).
+        free_containers: usize,
+    },
+    /// A progress / ETA snapshot for an in-flight query.
+    Eta {
+        /// Simulated (or wall) time in seconds.
+        t: f64,
+        /// Query index.
+        query: usize,
+        /// Fraction of total WRD completed, in `[0, 1]`.
+        fraction: f64,
+        /// Estimated remaining seconds.
+        eta: f64,
+    },
+    /// A predicted-vs-actual observation for one quantity.
+    PredictionError {
+        /// Simulated time in seconds (or 0 for offline evaluations).
+        t: f64,
+        /// Query index, if the observation is tied to a query.
+        query: usize,
+        /// Job index, if tied to a job (0 for query-level observations).
+        job: usize,
+        /// Semantic category of the job (queries use their dominant job's
+        /// category).
+        category: JobCategory,
+        /// Which quantity was predicted.
+        quantity: Quantity,
+        /// Predicted value (seconds).
+        predicted: f64,
+        /// Actual value (seconds).
+        actual: f64,
+    },
+}
+
+impl Event {
+    /// Simulated timestamp of this event, in seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::QueryArrive { t, .. }
+            | Event::QueryStart { t, .. }
+            | Event::QueryFinish { t, .. }
+            | Event::JobSubmit { t, .. }
+            | Event::JobStart { t, .. }
+            | Event::JobFinish { t, .. }
+            | Event::TaskStart { t, .. }
+            | Event::TaskFinish { t, .. }
+            | Event::Decision { t, .. }
+            | Event::Eta { t, .. }
+            | Event::PredictionError { t, .. } => *t,
+        }
+    }
+
+    /// Stable type tag used as the `"event"` field in JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::QueryArrive { .. } => "query_arrive",
+            Event::QueryStart { .. } => "query_start",
+            Event::QueryFinish { .. } => "query_finish",
+            Event::JobSubmit { .. } => "job_submit",
+            Event::JobStart { .. } => "job_start",
+            Event::JobFinish { .. } => "job_finish",
+            Event::TaskStart { .. } => "task_start",
+            Event::TaskFinish { .. } => "task_finish",
+            Event::Decision { .. } => "decision",
+            Event::Eta { .. } => "eta",
+            Event::PredictionError { .. } => "prediction_error",
+        }
+    }
+
+    /// Render this event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let base = Obj::new().str("event", self.kind()).num("t", self.time());
+        match self {
+            Event::QueryArrive { query, name, .. } => {
+                base.int("query", *query as u64).str("name", name).finish()
+            }
+            Event::QueryStart { query, .. } | Event::QueryFinish { query, .. } => {
+                base.int("query", *query as u64).finish()
+            }
+            Event::JobSubmit { query, job, category, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("category", &category.to_string())
+                .finish(),
+            Event::JobStart { query, job, .. } => {
+                base.int("query", *query as u64).int("job", *job as u64).finish()
+            }
+            Event::JobFinish { query, job, category, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("category", &category.to_string())
+                .finish(),
+            Event::TaskStart { query, job, phase, node, slot, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("phase", phase.label())
+                .int("node", *node as u64)
+                .int("slot", *slot as u64)
+                .finish(),
+            Event::TaskFinish { query, job, phase, node, slot, duration, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("phase", phase.label())
+                .int("node", *node as u64)
+                .int("slot", *slot as u64)
+                .num("duration", *duration)
+                .finish(),
+            Event::Decision {
+                policy,
+                candidates,
+                chosen_query,
+                chosen_job,
+                phase,
+                queue_depth,
+                free_containers,
+                ..
+            } => {
+                let cands = array(candidates.iter().map(|c| {
+                    Obj::new()
+                        .int("query", c.query as u64)
+                        .int("job", c.job as u64)
+                        .num("score", c.score)
+                        .finish()
+                }));
+                base.str("policy", policy)
+                    .int("chosen_query", *chosen_query as u64)
+                    .int("chosen_job", *chosen_job as u64)
+                    .str("phase", phase.label())
+                    .int("queue_depth", *queue_depth as u64)
+                    .int("free_containers", *free_containers as u64)
+                    .raw("candidates", &cands)
+                    .finish()
+            }
+            Event::Eta { query, fraction, eta, .. } => base
+                .int("query", *query as u64)
+                .num("fraction", *fraction)
+                .num("eta", *eta)
+                .finish(),
+            Event::PredictionError {
+                query, job, category, quantity, predicted, actual, ..
+            } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("category", &category.to_string())
+                .str("quantity", quantity.label())
+                .num("predicted", *predicted)
+                .num("actual", *actual)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::QueryArrive { t: 0.0, query: 0, name: "q\"uote".into() },
+            Event::QueryStart { t: 1.0, query: 0 },
+            Event::JobSubmit { t: 1.0, query: 0, job: 0, category: JobCategory::Extract },
+            Event::JobStart { t: 1.5, query: 0, job: 0 },
+            Event::TaskStart { t: 1.5, query: 0, job: 0, phase: TaskPhase::Map, node: 2, slot: 7 },
+            Event::TaskFinish {
+                t: 3.5,
+                query: 0,
+                job: 0,
+                phase: TaskPhase::Map,
+                node: 2,
+                slot: 7,
+                duration: 2.0,
+            },
+            Event::Decision {
+                t: 1.5,
+                policy: "swrd",
+                candidates: vec![
+                    Candidate { query: 0, job: 0, score: 12.5 },
+                    Candidate { query: 1, job: 0, score: 40.0 },
+                ],
+                chosen_query: 0,
+                chosen_job: 0,
+                phase: TaskPhase::Map,
+                queue_depth: 2,
+                free_containers: 9,
+            },
+            Event::JobFinish { t: 4.0, query: 0, job: 0, category: JobCategory::Extract },
+            Event::QueryFinish { t: 4.0, query: 0 },
+            Event::Eta { t: 2.0, query: 0, fraction: 0.5, eta: 2.0 },
+            Event::PredictionError {
+                t: 4.0,
+                query: 0,
+                job: 0,
+                category: JobCategory::Join,
+                quantity: Quantity::Job,
+                predicted: 3.0,
+                actual: 2.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_renders_valid_json() {
+        for ev in sample_events() {
+            let doc = ev.to_json();
+            validate(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+            assert!(doc.contains(&format!("\"event\":\"{}\"", ev.kind())));
+        }
+    }
+
+    #[test]
+    fn time_accessor_matches_variant_field() {
+        for ev in sample_events() {
+            assert!(ev.time() >= 0.0);
+        }
+        assert_eq!(Event::QueryStart { t: 7.25, query: 3 }.time(), 7.25);
+    }
+
+    #[test]
+    fn decision_json_carries_candidate_scores() {
+        let ev = &sample_events()[6];
+        let doc = ev.to_json();
+        assert!(doc.contains("\"score\":12.5"));
+        assert!(doc.contains("\"score\":40"));
+        assert!(doc.contains("\"queue_depth\":2"));
+    }
+}

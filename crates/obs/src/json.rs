@@ -1,0 +1,351 @@
+//! Dependency-free JSON emission and validation.
+//!
+//! The exporters ([`crate::sink::JsonlSink`], [`crate::trace::ChromeTraceSink`],
+//! [`crate::metrics::MetricsRegistry::to_json`]) render a fixed schema, so a
+//! tiny escaping writer keeps this crate — and therefore the simulator's hot
+//! path — free of external dependencies. [`validate`] is a strict
+//! recursive-descent parser used by tests to assert exporter output is
+//! well-formed JSON.
+
+/// Escape `s` and wrap it in double quotes.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot express otherwise).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` for f64 never emits an exponent, so the output is
+        // always a valid JSON number.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder: `Obj::new().str("a", "x").num("b", 1.0).finish()`.
+#[derive(Debug, Clone)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&quoted(k));
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(&quoted(v));
+        self
+    }
+
+    /// Add a float field.
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&num(v));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return its JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render an iterator of pre-rendered JSON values as a JSON array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Validate that `s` is one well-formed JSON document.
+///
+/// # Errors
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek().ok_or_else(|| self.err("unterminated escape"))? {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                        b'u' => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            let start = p.i;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.i += 1;
+            }
+            if p.i == start {
+                Err(p.err("expected digit"))
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trip_is_valid() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — ünïcode";
+        let doc = Obj::new().str("k", nasty).finish();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let inner = array(vec![num(1.5), "null".into(), quoted("x")]);
+        let doc = Obj::new()
+            .str("s", "v")
+            .num("f", -2.25)
+            .num("nan", f64::NAN)
+            .int("i", 42)
+            .raw("arr", &inner)
+            .finish();
+        validate(&doc).unwrap();
+        assert!(doc.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn validator_accepts_good_and_rejects_bad() {
+        for good in [
+            "{}",
+            "[]",
+            "  {\"a\": [1, 2.5, -3e-2, {\"b\": null}, true, false, \"\\u00e9\"]} ",
+            "\"lone string\"",
+            "-0.5",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "01abc",
+            "\"unterminated",
+            "{} extra",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_object_and_nested() {
+        validate(&Obj::new().finish()).unwrap();
+        let nested = Obj::new().raw("o", &Obj::new().int("x", 1).finish()).finish();
+        assert_eq!(nested, "{\"o\":{\"x\":1}}");
+        validate(&nested).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Chrome `trace_event` exporter.
+//!
+//! [`ChromeTraceSink`] turns the event stream into a JSON document loadable
+//! by `chrome://tracing` / Perfetto. Layout:
+//!
+//! - **pid 1 "cluster"** — one thread track per container slot
+//!   (`tid = node * 1000 + slot`), holding complete (`ph:"X"`) spans for
+//!   every task placed on that slot.
+//! - **pid 2 "queries"** — one thread track per query, holding a span for the
+//!   whole query (arrival → finish) and one per job (first task start →
+//!   finish).
+//! - **pid 1, tid 999999 "scheduler"** — instant (`ph:"i"`) events for
+//!   scheduler decisions, with candidate scores in `args`.
+//!
+//! Timestamps are microseconds (`ts = t * 1e6`), as the format requires.
+
+use crate::event::{Event, TaskPhase};
+use crate::json::{array, quoted, Obj};
+use crate::sink::EventSink;
+use std::collections::HashMap;
+use std::io::Write;
+
+const CLUSTER_PID: u64 = 1;
+const QUERY_PID: u64 = 2;
+const SCHED_TID: u64 = 999_999;
+
+/// Accumulates Chrome trace events in memory; call [`ChromeTraceSink::write`]
+/// after the run.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    // Pre-rendered trace-event JSON objects.
+    spans: Vec<String>,
+    // (node, slot) slots that appeared, for thread metadata.
+    slots_seen: HashMap<(usize, usize), ()>,
+    // query index -> (name, arrival time)
+    query_open: HashMap<usize, (String, f64)>,
+    // (query, job) -> first task start time
+    job_open: HashMap<(usize, usize), f64>,
+    queries_seen: Vec<usize>,
+}
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn slot_tid(node: usize, slot: usize) -> u64 {
+    node as u64 * 1000 + slot as u64
+}
+
+fn complete(name: &str, pid: u64, tid: u64, start: f64, end: f64, args: Option<String>) -> String {
+    let mut o = Obj::new()
+        .str("name", name)
+        .str("ph", "X")
+        .num("ts", us(start))
+        .num("dur", us((end - start).max(0.0)))
+        .int("pid", pid)
+        .int("tid", tid);
+    if let Some(a) = args {
+        o = o.raw("args", &a);
+    }
+    o.finish()
+}
+
+impl ChromeTraceSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of span/instant records collected so far (metadata excluded).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    fn metadata(&self) -> Vec<String> {
+        let meta = |name: &str, pid: u64, tid: Option<u64>, value: &str| {
+            let mut o = Obj::new()
+                .str("name", name)
+                .str("ph", "M")
+                .int("pid", pid)
+                .raw("args", &Obj::new().str("name", value).finish());
+            if let Some(tid) = tid {
+                o = o.int("tid", tid);
+            }
+            o.finish()
+        };
+        let mut out = vec![
+            meta("process_name", CLUSTER_PID, None, "cluster"),
+            meta("process_name", QUERY_PID, None, "queries"),
+            meta("thread_name", CLUSTER_PID, Some(SCHED_TID), "scheduler"),
+        ];
+        let mut slots: Vec<_> = self.slots_seen.keys().copied().collect();
+        slots.sort_unstable();
+        for (node, slot) in slots {
+            out.push(meta(
+                "thread_name",
+                CLUSTER_PID,
+                Some(slot_tid(node, slot)),
+                &format!("node{node} slot{slot}"),
+            ));
+        }
+        let mut queries = self.queries_seen.clone();
+        queries.sort_unstable();
+        queries.dedup();
+        for q in queries {
+            out.push(meta("thread_name", QUERY_PID, Some(q as u64), &format!("query {q}")));
+        }
+        out
+    }
+
+    /// Serialize the collected trace as a Chrome `trace_event` JSON document.
+    ///
+    /// # Errors
+    /// Propagates writer IO errors.
+    pub fn write<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut events = self.metadata();
+        events.extend(self.spans.iter().cloned());
+        let doc =
+            Obj::new().str("displayTimeUnit", "ms").raw("traceEvents", &array(events)).finish();
+        w.write_all(doc.as_bytes())?;
+        w.flush()
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn emit(&mut self, event: &Event) {
+        match event {
+            Event::QueryArrive { t, query, name } => {
+                self.query_open.insert(*query, (name.clone(), *t));
+                self.queries_seen.push(*query);
+            }
+            Event::QueryFinish { t, query } => {
+                if let Some((name, arrival)) = self.query_open.remove(query) {
+                    self.spans.push(complete(
+                        &format!("query {query}: {name}"),
+                        QUERY_PID,
+                        *query as u64,
+                        arrival,
+                        *t,
+                        None,
+                    ));
+                }
+            }
+            Event::JobStart { t, query, job } => {
+                self.job_open.insert((*query, *job), *t);
+            }
+            Event::JobFinish { t, query, job, category } => {
+                if let Some(start) = self.job_open.remove(&(*query, *job)) {
+                    self.spans.push(complete(
+                        &format!("job {query}.{job} [{category}]"),
+                        QUERY_PID,
+                        *query as u64,
+                        start,
+                        *t,
+                        None,
+                    ));
+                }
+            }
+            Event::TaskFinish { t, query, job, phase, node, slot, duration } => {
+                self.slots_seen.insert((*node, *slot), ());
+                let label = match phase {
+                    TaskPhase::Map => "map",
+                    TaskPhase::Reduce => "reduce",
+                };
+                self.spans.push(complete(
+                    &format!("{label} {query}.{job}"),
+                    CLUSTER_PID,
+                    slot_tid(*node, *slot),
+                    t - duration,
+                    *t,
+                    None,
+                ));
+            }
+            Event::Decision { t, policy, candidates, chosen_query, chosen_job, .. } => {
+                let scores = array(candidates.iter().map(|c| {
+                    Obj::new()
+                        .int("query", c.query as u64)
+                        .int("job", c.job as u64)
+                        .num("score", c.score)
+                        .finish()
+                }));
+                let args = Obj::new()
+                    .raw("policy", &quoted(policy))
+                    .int("chosen_query", *chosen_query as u64)
+                    .int("chosen_job", *chosen_job as u64)
+                    .raw("candidates", &scores)
+                    .finish();
+                self.spans.push(
+                    Obj::new()
+                        .str("name", &format!("pick {chosen_query}.{chosen_job}"))
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .num("ts", us(*t))
+                        .int("pid", CLUSTER_PID)
+                        .int("tid", SCHED_TID)
+                        .raw("args", &args)
+                        .finish(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Candidate;
+    use crate::json::validate;
+    use sapred_plan::JobCategory;
+
+    #[test]
+    fn trace_document_is_valid_json_with_expected_tracks() {
+        let mut sink = ChromeTraceSink::new();
+        let events = [
+            Event::QueryArrive { t: 0.0, query: 0, name: "q0".into() },
+            Event::JobStart { t: 0.5, query: 0, job: 0 },
+            Event::Decision {
+                t: 0.5,
+                policy: "swrd",
+                candidates: vec![Candidate { query: 0, job: 0, score: 3.0 }],
+                chosen_query: 0,
+                chosen_job: 0,
+                phase: TaskPhase::Map,
+                queue_depth: 1,
+                free_containers: 4,
+            },
+            Event::TaskStart { t: 0.5, query: 0, job: 0, phase: TaskPhase::Map, node: 1, slot: 2 },
+            Event::TaskFinish {
+                t: 2.5,
+                query: 0,
+                job: 0,
+                phase: TaskPhase::Map,
+                node: 1,
+                slot: 2,
+                duration: 2.0,
+            },
+            Event::JobFinish { t: 2.5, query: 0, job: 0, category: JobCategory::Extract },
+            Event::QueryFinish { t: 2.5, query: 0 },
+        ];
+        for ev in &events {
+            sink.emit(ev);
+        }
+        // task span + decision instant + job span + query span
+        assert_eq!(sink.span_count(), 4);
+
+        let mut buf = Vec::new();
+        sink.write(&mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("node1 slot2"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"M\""));
+        // Task span: started at 0.5 s → ts 500000 µs, dur 2 s → 2000000 µs.
+        assert!(doc.contains("\"ts\":500000"), "{doc}");
+        assert!(doc.contains("\"dur\":2000000"), "{doc}");
+    }
+
+    #[test]
+    fn unfinished_spans_are_dropped_not_corrupted() {
+        let mut sink = ChromeTraceSink::new();
+        sink.emit(&Event::QueryArrive { t: 0.0, query: 3, name: "open".into() });
+        sink.emit(&Event::JobStart { t: 0.1, query: 3, job: 0 });
+        let mut buf = Vec::new();
+        sink.write(&mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        validate(&doc).unwrap();
+        assert_eq!(sink.span_count(), 0);
+        // The query still gets its thread-name metadata.
+        assert!(doc.contains("query 3"));
+    }
+}

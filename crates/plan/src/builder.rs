@@ -87,11 +87,7 @@ impl DagBuilder {
         keys: impl IntoIterator<Item = impl Into<String>>,
         limit: Option<u64>,
     ) -> usize {
-        self.push(JobKind::Sort {
-            input,
-            keys: keys.into_iter().map(Into::into).collect(),
-            limit,
-        })
+        self.push(JobKind::Sort { input, keys: keys.into_iter().map(Into::into).collect(), limit })
     }
 
     /// Add a map-only filter/project job.
@@ -132,8 +128,11 @@ mod tests {
             ),
             DagBuilder::table(
                 "part",
-                Predicate::cmp("p_brand", CmpOp::Eq, 3.0)
-                    .and(Predicate::cmp("p_container", CmpOp::Eq, 7.0)),
+                Predicate::cmp("p_brand", CmpOp::Eq, 3.0).and(Predicate::cmp(
+                    "p_container",
+                    CmpOp::Eq,
+                    7.0,
+                )),
                 ["p_partkey"],
             ),
             "l_partkey",

@@ -90,9 +90,7 @@ fn compile_inner(
         // right table become the stream.
         if pending.is_empty() {
             if let Some(InputSrc::Table(t)) = &stream {
-                if config.map_join_threshold > 0.0
-                    && table_bytes(t) <= config.map_join_threshold
-                {
+                if config.map_join_threshold > 0.0 && table_bytes(t) <= config.map_join_threshold {
                     pending.push(BroadcastJoin {
                         table: t.clone(),
                         stream_key: j.right_col.clone(),
@@ -206,13 +204,11 @@ mod tests {
 
     #[test]
     fn q11_compiles_to_two_joins_and_groupby() {
-        let d = dag(
-            "SELECT ps_partkey, sum(ps_supplycost*ps_availqty) \
+        let d = dag("SELECT ps_partkey, sum(ps_supplycost*ps_availqty) \
              FROM nation n JOIN supplier s ON \
              s.s_nationkey=n.n_nationkey AND n.n_name<>'CHINA' \
              JOIN partsupp ps ON ps.ps_suppkey=s.s_suppkey \
-             GROUP BY ps_partkey;",
-        );
+             GROUP BY ps_partkey;");
         assert_eq!(d.len(), 3);
         assert_eq!(d.job(0).category(), JobCategory::Join);
         assert_eq!(d.job(1).category(), JobCategory::Join);
@@ -229,10 +225,8 @@ mod tests {
 
     #[test]
     fn groupby_then_sort() {
-        let d = dag(
-            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
-             WHERE l_shipdate >= 100 GROUP BY l_partkey ORDER BY l_partkey LIMIT 20",
-        );
+        let d = dag("SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate >= 100 GROUP BY l_partkey ORDER BY l_partkey LIMIT 20");
         assert_eq!(d.len(), 2);
         assert_eq!(d.job(0).category(), JobCategory::Groupby);
         match &d.job(1).kind {
@@ -294,11 +288,9 @@ mod tests {
 
     #[test]
     fn join_then_aggregate_like_q14() {
-        let d = dag(
-            "SELECT sum(l_extendedprice*l_discount) FROM lineitem l \
+        let d = dag("SELECT sum(l_extendedprice*l_discount) FROM lineitem l \
              JOIN part p ON l.l_partkey = p.p_partkey \
-             WHERE l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'",
-        );
+             WHERE l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'");
         assert_eq!(d.len(), 2);
         assert_eq!(d.job(0).category(), JobCategory::Join);
         assert_eq!(d.job(1).category(), JobCategory::Groupby);

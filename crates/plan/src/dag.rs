@@ -111,7 +111,9 @@ impl JobKind {
     pub fn inputs(&self) -> Vec<&InputSrc> {
         match self {
             JobKind::Join { left, right, .. } => vec![left, right],
-            JobKind::Groupby { input, .. } | JobKind::Sort { input, .. } | JobKind::MapOnly { input } => {
+            JobKind::Groupby { input, .. }
+            | JobKind::Sort { input, .. }
+            | JobKind::MapOnly { input } => {
                 vec![input]
             }
         }
@@ -242,9 +244,7 @@ impl QueryDag {
                 InputSrc::Job(_) => None,
             })
             .chain(
-                self.jobs
-                    .iter()
-                    .flat_map(|j| j.broadcasts.iter().map(|b| b.table.table.as_str())),
+                self.jobs.iter().flat_map(|j| j.broadcasts.iter().map(|b| b.table.table.as_str())),
             )
             .collect();
         out.sort_unstable();
@@ -306,11 +306,7 @@ mod tests {
                 ),
                 MrJob::new(
                     1,
-                    JobKind::Groupby {
-                        input: InputSrc::Job(0),
-                        keys: vec!["g".into()],
-                        n_aggs: 1,
-                    },
+                    JobKind::Groupby { input: InputSrc::Job(0), keys: vec!["g".into()], n_aggs: 1 },
                 ),
                 MrJob::new(2, JobKind::MapOnly { input: scan("c") }),
                 MrJob::new(
@@ -378,11 +374,7 @@ mod tests {
             vec![
                 MrJob::new(
                     0,
-                    JobKind::Groupby {
-                        input: InputSrc::Job(1),
-                        keys: vec![],
-                        n_aggs: 0,
-                    },
+                    JobKind::Groupby { input: InputSrc::Job(1), keys: vec![], n_aggs: 0 },
                 ),
                 MrJob::new(1, JobKind::MapOnly { input: scan("a") }),
             ],

@@ -88,9 +88,8 @@ fn resolve_input(
 ) -> (f64, f64, Rel) {
     match input {
         InputSrc::Table(t) => {
-            let table = db
-                .table(&t.table)
-                .unwrap_or_else(|| panic!("table {} not in database", t.table));
+            let table =
+                db.table(&t.table).unwrap_or_else(|| panic!("table {} not in database", t.table));
             let rel = Rel::from_table(table, &t.predicate, &t.projection);
             (table.modeled_bytes(), table.rows() as f64, rel)
         }
@@ -105,11 +104,7 @@ fn splits_for(d_in: f64, block_size: f64) -> usize {
 /// Apply map-side (broadcast) joins to a job's primary input relation.
 /// Returns the joined relation plus the extra bytes/tuples read from the
 /// broadcast tables (shipped once via the distributed cache).
-fn apply_broadcasts(
-    mut rel: Rel,
-    broadcasts: &[BroadcastJoin],
-    db: &Database,
-) -> (Rel, f64, f64) {
+fn apply_broadcasts(mut rel: Rel, broadcasts: &[BroadcastJoin], db: &Database) -> (Rel, f64, f64) {
     let mut extra_bytes = 0.0;
     let mut extra_tuples = 0.0;
     for b in broadcasts {
@@ -120,12 +115,8 @@ fn apply_broadcasts(
         extra_bytes += table.modeled_bytes();
         extra_tuples += table.rows() as f64;
         let mut tkey = b.table_key.clone();
-        let collisions: Vec<String> = small
-            .names()
-            .iter()
-            .filter(|n| rel.names().contains(n))
-            .cloned()
-            .collect();
+        let collisions: Vec<String> =
+            small.names().iter().filter(|n| rel.names().contains(n)).cloned().collect();
         for c in collisions {
             let renamed = format!("{c}__b");
             small.rename_column(&c, renamed.clone());
@@ -155,12 +146,8 @@ fn execute_job(
             // Disambiguate duplicated column names (self-joins): the right
             // side's colliding columns get a `__r` suffix.
             let mut rkey = right_key.clone();
-            let collisions: Vec<String> = rrel
-                .names()
-                .iter()
-                .filter(|n| lrel.names().contains(n))
-                .cloned()
-                .collect();
+            let collisions: Vec<String> =
+                rrel.names().iter().filter(|n| lrel.names().contains(n)).cloned().collect();
             for c in collisions {
                 let renamed = format!("{c}__r");
                 rrel.rename_column(&c, renamed.clone());
@@ -326,9 +313,8 @@ mod tests {
 
     #[test]
     fn groupby_counts_groups() {
-        let (_, a, db) = run(
-            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem GROUP BY l_partkey",
-        );
+        let (_, a, db) =
+            run("SELECT l_partkey, sum(l_extendedprice) FROM lineitem GROUP BY l_partkey");
         let j = &a[0];
         let parts = db.table("part").unwrap().rows() as f64;
         // Group count can't exceed the part-key domain.
@@ -341,10 +327,8 @@ mod tests {
 
     #[test]
     fn chained_jobs_propagate_sizes() {
-        let (dag, a, _) = run(
-            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
-             WHERE l_shipdate < 500 GROUP BY l_partkey ORDER BY l_partkey",
-        );
+        let (dag, a, _) = run("SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+             WHERE l_shipdate < 500 GROUP BY l_partkey ORDER BY l_partkey");
         assert_eq!(dag.len(), 2);
         // The sort job's input bytes are exactly the group-by output bytes.
         assert_eq!(a[1].d_in, a[0].d_out);

@@ -157,9 +157,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN")
-        })?;
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN"))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -198,9 +197,7 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relation() {
         // y = 3 + 2 x₁ - 0.5 x₂
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, (i * i % 17) as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - 0.5 * x[1]).collect();
         let m = LinearModel::fit(&xs, &ys).unwrap();
         for (x, &y) in xs.iter().zip(&ys) {
@@ -216,11 +213,9 @@ mod tests {
     fn robust_to_huge_feature_scales() {
         // Features in the 1e9..1e12 range (byte sizes).
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<Vec<f64>> = (0..200)
-            .map(|_| vec![rng.gen_range(1e9..1e12), rng.gen_range(0.0..1.0)])
-            .collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 10.0 + 3e-9 * x[0] + 40.0 * x[1]).collect();
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.gen_range(1e9..1e12), rng.gen_range(0.0..1.0)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 + 3e-9 * x[0] + 40.0 * x[1]).collect();
         let m = LinearModel::fit(&xs, &ys).unwrap();
         for (x, &y) in xs.iter().zip(&ys) {
             assert!((m.predict(x) - y).abs() / y < 1e-4);
@@ -255,10 +250,7 @@ mod tests {
     fn noise_fit_is_unbiased() {
         let mut rng = StdRng::seed_from_u64(9);
         let xs: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.gen_range(0.0..100.0)]).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|x| 1.0 + 0.7 * x[0] + rng.gen_range(-1.0..1.0))
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.7 * x[0] + rng.gen_range(-1.0..1.0)).collect();
         let m = LinearModel::fit(&xs, &ys).unwrap();
         let raw = m.raw_coefficients();
         assert!((raw[1] - 0.7).abs() < 0.02, "slope {}", raw[1]);

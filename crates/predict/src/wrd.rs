@@ -46,38 +46,71 @@ mod tests {
     #[test]
     fn wrd_sums_jobs() {
         let jobs = vec![
-            JobResource { map_time: 10.0, maps_remaining: 4, reduce_time: 20.0, reduces_remaining: 2 },
-            JobResource { map_time: 5.0, maps_remaining: 10, reduce_time: 0.0, reduces_remaining: 0 },
+            JobResource {
+                map_time: 10.0,
+                maps_remaining: 4,
+                reduce_time: 20.0,
+                reduces_remaining: 2,
+            },
+            JobResource {
+                map_time: 5.0,
+                maps_remaining: 10,
+                reduce_time: 0.0,
+                reduces_remaining: 0,
+            },
         ];
         assert_eq!(query_wrd(&jobs), 10.0 * 4.0 + 20.0 * 2.0 + 5.0 * 10.0);
     }
 
     #[test]
     fn wrd_shrinks_as_tasks_finish() {
-        let before =
-            JobResource { map_time: 10.0, maps_remaining: 8, reduce_time: 5.0, reduces_remaining: 4 };
-        let after =
-            JobResource { map_time: 10.0, maps_remaining: 2, reduce_time: 5.0, reduces_remaining: 4 };
+        let before = JobResource {
+            map_time: 10.0,
+            maps_remaining: 8,
+            reduce_time: 5.0,
+            reduces_remaining: 4,
+        };
+        let after = JobResource {
+            map_time: 10.0,
+            maps_remaining: 2,
+            reduce_time: 5.0,
+            reduces_remaining: 4,
+        };
         assert!(after.wrd() < before.wrd());
     }
 
     #[test]
     fn wave_model_single_wave() {
-        let j = JobResource { map_time: 10.0, maps_remaining: 6, reduce_time: 4.0, reduces_remaining: 2 };
+        let j = JobResource {
+            map_time: 10.0,
+            maps_remaining: 6,
+            reduce_time: 4.0,
+            reduces_remaining: 2,
+        };
         // 6 maps and 2 reduces fit in 8 containers: one wave each.
         assert_eq!(job_time_waves(&j, 8, 1.0), 10.0 + 4.0 + 1.0);
     }
 
     #[test]
     fn wave_model_multiple_waves() {
-        let j = JobResource { map_time: 10.0, maps_remaining: 20, reduce_time: 4.0, reduces_remaining: 3 };
+        let j = JobResource {
+            map_time: 10.0,
+            maps_remaining: 20,
+            reduce_time: 4.0,
+            reduces_remaining: 3,
+        };
         // 20 maps over 8 containers = 3 waves; 3 reduces = 1 wave.
         assert_eq!(job_time_waves(&j, 8, 0.0), 30.0 + 4.0);
     }
 
     #[test]
     fn zero_containers_clamped() {
-        let j = JobResource { map_time: 1.0, maps_remaining: 2, reduce_time: 1.0, reduces_remaining: 0 };
+        let j = JobResource {
+            map_time: 1.0,
+            maps_remaining: 2,
+            reduce_time: 1.0,
+            reduces_remaining: 0,
+        };
         assert!(job_time_waves(&j, 0, 0.0).is_finite());
     }
 

@@ -166,9 +166,11 @@ pub fn analyze(
                 OnCond::Residual(p) => a.push_predicate(p)?,
             }
         }
-        joins.push(equi.ok_or_else(|| {
-            QueryError::semantic(format!("join {i} has no equi-join condition"))
-        })?);
+        joins.push(
+            equi.ok_or_else(|| {
+                QueryError::semantic(format!("join {i} has no equi-join condition"))
+            })?,
+        );
     }
 
     if let Some(p) = &q.where_pred {
@@ -501,8 +503,9 @@ mod tests {
         // l_partkey vs ps_partkey are distinct, but joining part twice would
         // duplicate bindings; use an actually ambiguous case: joining
         // lineitem with itself is rejected on duplicate binding first.
-        let err = compile("SELECT l_quantity FROM lineitem JOIN lineitem ON l_orderkey = l_orderkey")
-            .unwrap_err();
+        let err =
+            compile("SELECT l_quantity FROM lineitem JOIN lineitem ON l_orderkey = l_orderkey")
+                .unwrap_err();
         assert!(matches!(err, QueryError::Semantic { .. }));
     }
 
@@ -531,10 +534,9 @@ mod tests {
 
     #[test]
     fn unqualified_unique_columns_resolve_across_tables() {
-        let a = compile(
-            "SELECT s_name, n_name FROM supplier JOIN nation ON s_nationkey = n_nationkey",
-        )
-        .unwrap();
+        let a =
+            compile("SELECT s_name, n_name FROM supplier JOIN nation ON s_nationkey = n_nationkey")
+                .unwrap();
         assert_eq!(a.joins[0].left_scan, 0);
         assert_eq!(a.joins[0].left_col, "s_nationkey");
         assert!(a.scans[1].projection.contains(&"n_name".to_string()));

@@ -49,7 +49,6 @@ pub enum Expr {
     /// A numeric constant.
     Num(f64),
     /// `+ - * /`
-
     BinOp {
         /// One of `+ - * /`.
         op: char,

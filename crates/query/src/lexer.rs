@@ -58,7 +58,9 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, QueryError> {
             out.push((Token::Ident(input[start..i].to_ascii_lowercase()), start));
         } else if c.is_ascii_digit() {
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                && ((bytes[i] as char).is_ascii_digit()
+                    || bytes[i] == b'.'
+                    || bytes[i] == b'e'
                     || bytes[i] == b'E'
                     || ((bytes[i] == b'+' || bytes[i] == b'-')
                         && matches!(bytes.get(i - 1), Some(b'e') | Some(b'E'))))
@@ -166,7 +168,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a -- comment\n b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

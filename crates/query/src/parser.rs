@@ -233,7 +233,9 @@ impl Parser {
             Some(Token::Str(s)) => Ok(Literal::Str(s)),
             Some(Token::Sym("-")) => match self.bump() {
                 Some(Token::Num(n)) => Ok(Literal::Num(-n)),
-                other => Err(QueryError::parse(format!("expected number after `-`, found {other:?}"))),
+                other => {
+                    Err(QueryError::parse(format!("expected number after `-`, found {other:?}")))
+                }
             },
             other => Err(QueryError::parse(format!("expected literal, found {other:?}"))),
         }
@@ -397,7 +399,9 @@ mod tests {
             other => panic!("unexpected conds {other:?}"),
         }
         match &q.select[1] {
-            SelectItem::Agg { func: AggFunc::Sum, arg: Some(Expr::BinOp { op: '*', .. }), .. } => {}
+            SelectItem::Agg {
+                func: AggFunc::Sum, arg: Some(Expr::BinOp { op: '*', .. }), ..
+            } => {}
             other => panic!("unexpected select item {other:?}"),
         }
     }
@@ -435,7 +439,9 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        assert!(parse("SELECT a FROM t blah blah").is_err() || parse("SELECT a FROM t 42").is_err());
+        assert!(
+            parse("SELECT a FROM t blah blah").is_err() || parse("SELECT a FROM t 42").is_err()
+        );
     }
 
     #[test]

@@ -16,9 +16,8 @@ const KEY_COLS: [&str; 3] = ["l_orderkey", "l_partkey", "l_suppkey"];
 const OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
 
 fn pred_strategy() -> impl Strategy<Value = String> {
-    let atom = (0..NUM_COLS.len(), 0..OPS.len(), -100.0f64..3000.0).prop_map(|(c, o, v)| {
-        format!("{} {} {:.2}", NUM_COLS[c], OPS[o], v)
-    });
+    let atom = (0..NUM_COLS.len(), 0..OPS.len(), -100.0f64..3000.0)
+        .prop_map(|(c, o, v)| format!("{} {} {:.2}", NUM_COLS[c], OPS[o], v));
     let between = (0..NUM_COLS.len(), 0.0f64..1000.0, 0.0f64..1000.0)
         .prop_map(|(c, a, b)| format!("{} BETWEEN {:.1} AND {:.1}", NUM_COLS[c], a, a + b));
     let leaf = prop_oneof![atom, between];

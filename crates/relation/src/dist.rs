@@ -49,10 +49,7 @@ impl Zipf {
     /// Draw one value in `1..=n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in table"))
-        {
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in table")) {
             Ok(i) | Err(i) => (i as u64 + 1).min(self.n()),
         }
     }
@@ -163,10 +160,7 @@ mod tests {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!(
-                (mean - lambda).abs() < 0.1 * lambda + 0.1,
-                "lambda {lambda} mean {mean}"
-            );
+            assert!((mean - lambda).abs() < 0.1 * lambda + 0.1, "lambda {lambda} mean {mean}");
         }
     }
 

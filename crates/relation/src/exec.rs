@@ -175,7 +175,8 @@ impl Rel {
         let idx: Vec<usize> = keys.iter().map(|k| self.col_index(k)).collect();
         let mut seen: HashSet<Vec<i64>> = HashSet::new();
         for i in 0..self.rows {
-            let key: Vec<i64> = idx.iter().map(|&c| self.cols[c].get_f64(i).to_bits() as i64).collect();
+            let key: Vec<i64> =
+                idx.iter().map(|&c| self.cols[c].get_f64(i).to_bits() as i64).collect();
             seen.insert(key);
         }
         seen.len()
@@ -189,7 +190,8 @@ impl Rel {
         let mut seen: HashSet<Vec<i64>> = HashSet::new();
         let mut rows_kept: Vec<usize> = Vec::new();
         for i in 0..self.rows {
-            let key: Vec<i64> = idx.iter().map(|&c| self.cols[c].get_f64(i).to_bits() as i64).collect();
+            let key: Vec<i64> =
+                idx.iter().map(|&c| self.cols[c].get_f64(i).to_bits() as i64).collect();
             if seen.insert(key) {
                 rows_kept.push(i);
             }
@@ -320,7 +322,8 @@ mod tests {
     #[test]
     fn filter_and_project() {
         let t = base_table();
-        let r = Rel::from_table(&t, &Predicate::cmp("v", CmpOp::Gt, 3.0), &["k".into(), "g".into()]);
+        let r =
+            Rel::from_table(&t, &Predicate::cmp("v", CmpOp::Gt, 3.0), &["k".into(), "g".into()]);
         assert_eq!(r.rows(), 3);
         assert_eq!(r.names(), &["k".to_string(), "g".to_string()]);
         assert_eq!(r.tuple_width(), 16.0);

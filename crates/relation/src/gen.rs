@@ -144,9 +144,30 @@ const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
 const STATUSES: [&str; 3] = ["F", "O", "P"];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
@@ -363,9 +384,8 @@ fn gen_partsupp(
     let mut part_fk = fk_sampler(dist, parts);
     // Every part gets at least one supplier row where possible so
     // referential-integrity-style joins behave like TPC-H.
-    let mut pk: Vec<i64> = (0..n).map(|i| {
-        if i < parts { i as i64 } else { part_fk(rng) }
-    }).collect();
+    let mut pk: Vec<i64> =
+        (0..n).map(|i| if i < parts { i as i64 } else { part_fk(rng) }).collect();
     // Shuffle so clustering is not accidental.
     for i in (1..pk.len()).rev() {
         pk.swap(i, rng.gen_range(0..=i));
@@ -492,7 +512,10 @@ mod tests {
         let db = generate(GenConfig::new(1.0));
         assert_eq!(
             db.table_names(),
-            vec!["customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"]
+            vec![
+                "customer", "lineitem", "nation", "orders", "part", "partsupp", "region",
+                "supplier"
+            ]
         );
         assert_eq!(db.catalog().len(), 8);
     }

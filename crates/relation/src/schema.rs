@@ -66,7 +66,7 @@ pub struct Schema {
 
 impl Schema {
     /// Build a schema.
-    /// 
+    ///
     /// # Panics
     /// Panics on duplicate column names.
     pub fn new(columns: Vec<ColumnDef>) -> Self {
@@ -157,9 +157,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column")]
     fn duplicate_names_rejected() {
-        Schema::new(vec![
-            ColumnDef::new("k", DataType::Int),
-            ColumnDef::new("k", DataType::Int),
-        ]);
+        Schema::new(vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("k", DataType::Int)]);
     }
 }

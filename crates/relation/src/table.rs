@@ -134,11 +134,7 @@ impl Table {
     /// Unknown literals resolve to a code that matches no row (`i64::MIN`),
     /// mirroring a predicate that selects nothing.
     pub fn dict_code(&self, column: &str, literal: &str) -> i64 {
-        self.dicts
-            .get(column)
-            .and_then(|d| d.get(literal))
-            .copied()
-            .unwrap_or(i64::MIN)
+        self.dicts.get(column).and_then(|d| d.get(literal)).copied().unwrap_or(i64::MIN)
     }
 
     /// Physical bytes of the materialized rows (average widths × rows).

@@ -34,14 +34,12 @@ pub struct JobEstimate {
     /// Modeled input/intermediate/output bytes.
     pub d_in: f64,
 
-
     /// Modeled intermediate (map-output) bytes.
     pub d_med: f64,
     /// Modeled output bytes.
     pub d_out: f64,
     /// Physical tuple counts.
     pub tuples_in: f64,
-
 
     /// Estimated intermediate tuples (post-filter / post-combine).
     pub tuples_med: f64,
@@ -112,10 +110,8 @@ fn resolve(
             } else {
                 t.projection.clone()
             };
-            let proj_width: f64 = projection
-                .iter()
-                .map(|c| stats.column(c).map_or(8.0, |s| s.width))
-                .sum();
+            let proj_width: f64 =
+                projection.iter().map(|c| stats.column(c).map_or(8.0, |s| s.width)).sum();
             let s_proj = (proj_width / stats.tuple_width()).clamp(0.0, 1.0);
             let tuples = stats.rows() * s_pred;
 
@@ -143,7 +139,13 @@ fn resolve(
                 };
                 profile.push(name.clone(), ColProfile { width, distinct, histogram });
             }
-            Input { raw_bytes: stats.modeled_bytes(), raw_tuples: stats.rows(), s_pred, s_proj, profile }
+            Input {
+                raw_bytes: stats.modeled_bytes(),
+                raw_tuples: stats.rows(),
+                s_pred,
+                s_proj,
+                profile,
+            }
         }
     }
 }
@@ -217,12 +219,7 @@ fn apply_broadcasts(
         return input;
     }
     for b in broadcasts {
-        let side = resolve(
-            &InputSrc::Table(b.table.clone()),
-            catalog,
-            profiles,
-            estimates,
-        );
+        let side = resolve(&InputSrc::Table(b.table.clone()), catalog, profiles, estimates);
         let (_, joined) =
             join_profiles(&input.profile, &side.profile, &b.stream_key, &b.table_key, "__b");
         input.raw_bytes += side.raw_bytes;
@@ -297,10 +294,8 @@ fn estimate_job(
             // Eq. 2 (clustered / random variants).
             let sc = s_comb(i.s_pred, d_keys, i.raw_tuples, n_maps, config.clustered_keys);
             let combined = sc * i.raw_tuples;
-            let key_width: f64 = keys
-                .iter()
-                .map(|k| i.profile.column(k).map_or(8.0, |c| c.width))
-                .sum();
+            let key_width: f64 =
+                keys.iter().map(|k| i.profile.column(k).map_or(8.0, |c| c.width)).sum();
             let out_width = key_width + 8.0 * *n_aggs as f64;
             let d_med = modeled_bytes(combined * out_width);
             // |Out| = min(T.d_keys, |T| × S_pred)  (§3.1.2, generalized).
@@ -319,7 +314,10 @@ fn estimate_job(
                         },
                     );
                 } else {
-                    out.push(k.clone(), ColProfile { width: 8.0, distinct: tuples_out, histogram: None });
+                    out.push(
+                        k.clone(),
+                        ColProfile { width: 8.0, distinct: tuples_out, histogram: None },
+                    );
                 }
             }
             for a in 0..*n_aggs {
@@ -487,10 +485,14 @@ mod tests {
     #[test]
     fn map_only_extract_is() {
         let db = db();
-        let (est, act) =
-            setup("SELECT l_partkey FROM lineitem WHERE l_quantity > 40", &db);
+        let (est, act) = setup("SELECT l_partkey FROM lineitem WHERE l_quantity > 40", &db);
         // IS = S_pred × S_proj should track the exact ratio closely.
-        assert!(rel_err(est[0].is, act[0].is_ratio()) < 0.1, "{} vs {}", est[0].is, act[0].is_ratio());
+        assert!(
+            rel_err(est[0].is, act[0].is_ratio()) < 0.1,
+            "{} vs {}",
+            est[0].is,
+            act[0].is_ratio()
+        );
         assert_eq!(est[0].d_out, est[0].d_med);
         assert_eq!(est[0].fs, est[0].is);
     }
@@ -532,10 +534,8 @@ mod tests {
     #[test]
     fn groupby_cardinality_and_combine() {
         let db = db();
-        let (est, act) = setup(
-            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem GROUP BY l_partkey",
-            &db,
-        );
+        let (est, act) =
+            setup("SELECT l_partkey, sum(l_extendedprice) FROM lineitem GROUP BY l_partkey", &db);
         assert!(
             rel_err(est[0].tuples_out, act[0].tuples_out) < 0.15,
             "est {} act {}",
@@ -625,10 +625,8 @@ mod tests {
     #[test]
     fn sort_limit_final_selectivity() {
         let db = db();
-        let (est, act) = setup(
-            "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 5000",
-            &db,
-        );
+        let (est, act) =
+            setup("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 5000", &db);
         assert_eq!(est[0].tuples_out, act[0].tuples_out);
         assert!(est[0].fs < est[0].is);
     }

@@ -17,11 +17,7 @@ pub fn s_comb(s_pred: f64, d_keys: f64, rows: f64, n_maps: usize, clustered: boo
     if rows <= 0.0 {
         return 0.0;
     }
-    let ratio = if clustered {
-        d_keys / rows
-    } else {
-        d_keys / (rows / n_maps.max(1) as f64)
-    };
+    let ratio = if clustered { d_keys / rows } else { d_keys / (rows / n_maps.max(1) as f64) };
     s_pred.min(ratio).clamp(0.0, 1.0)
 }
 
@@ -111,7 +107,8 @@ mod tests {
     #[test]
     fn join_uniform_matches_closed_form() {
         // Two uniform columns over 0..100, 1000 and 500 tuples.
-        let l = Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 10);
+        let l =
+            Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 10);
         let r = Histogram::build(&Column::Int((0..500).map(|i| i % 100).collect()), 0.0, 100.0, 10);
         let (est, joint) = join_size_bucketed(&l, &r);
         // Closed form: 1000 * 500 / max(100, 100) = 5000.
@@ -135,7 +132,8 @@ mod tests {
         let mut vals = vec![0i64; 900];
         vals.extend((1..100).map(|i| i as i64));
         let l = Histogram::build(&Column::Int(vals), 0.0, 100.0, 50);
-        let r = Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 50);
+        let r =
+            Histogram::build(&Column::Int((0..1000).map(|i| i % 100).collect()), 0.0, 100.0, 50);
         let (bucketed, _) = join_size_bucketed(&l, &r);
         // Exact: 900 tuples of key 0 × 10 matches + 99 × 10 = 9990.
         // Uniform closed form would give 999*1000/100 ≈ 9990 only by luck of

@@ -72,10 +72,8 @@ impl RelProfile {
         if keys.is_empty() {
             return 1.0;
         }
-        let product: f64 = keys
-            .iter()
-            .map(|k| self.column(k).map_or(1.0, |c| c.distinct.max(1.0)))
-            .product();
+        let product: f64 =
+            keys.iter().map(|k| self.column(k).map_or(1.0, |c| c.distinct.max(1.0))).product();
         product.min(self.tuples.max(1.0))
     }
 }

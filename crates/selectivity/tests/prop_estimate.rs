@@ -14,10 +14,7 @@ fn db() -> Database {
 fn estimate_first(sql: &str, db: &Database) -> sapred_selectivity::estimate::JobEstimate {
     let a = analyze(&parse(sql).unwrap(), db.catalog(), db).unwrap();
     let dag = compile("q", &a);
-    estimate_dag(&dag, db.catalog(), &EstimatorConfig::default())
-        .into_iter()
-        .next()
-        .unwrap()
+    estimate_dag(&dag, db.catalog(), &EstimatorConfig::default()).into_iter().next().unwrap()
 }
 
 proptest! {

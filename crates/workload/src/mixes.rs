@@ -15,7 +15,6 @@ pub struct MixBin {
     /// Inclusive scale band in nominal GB.
     pub min_gb: f64,
 
-
     /// Inclusive upper edge of the band.
     pub max_gb: f64,
     /// Queries drawn from this bin.
@@ -234,9 +233,7 @@ mod tests {
         let mut pool = DbPool::new(9);
         let fb = generate_mix_workload(&facebook_mix(), &mut pool, 5.0, 200.0, 9);
         let bing = generate_mix_workload(&bing_mix(), &mut pool, 5.0, 200.0, 9);
-        let mean = |w: &[WorkloadQuery]| {
-            w.iter().map(|q| q.input_gb).sum::<f64>() / w.len() as f64
-        };
+        let mean = |w: &[WorkloadQuery]| w.iter().map(|q| q.input_gb).sum::<f64>() / w.len() as f64;
         assert!(mean(&fb) < 0.5 * mean(&bing), "fb {} bing {}", mean(&fb), mean(&bing));
     }
 
@@ -259,10 +256,8 @@ mod tests {
 
     #[test]
     fn large_bins_reach_their_input_targets() {
-        let mix = MixSpec {
-            name: "large",
-            bins: vec![MixBin { min_gb: 20.0, max_gb: 20.0, count: 6 }],
-        };
+        let mix =
+            MixSpec { name: "large", bins: vec![MixBin { min_gb: 20.0, max_gb: 20.0, count: 6 }] };
         let mut pool = DbPool::new(31);
         // Divisor 10: 2 GB input targets.
         let w = generate_mix_workload(&mix, &mut pool, 10.0, 10.0, 31);
@@ -280,10 +275,8 @@ mod tests {
 
     #[test]
     fn poisson_gaps_average_to_mean() {
-        let mix = MixSpec {
-            name: "gaps",
-            bins: vec![MixBin { min_gb: 1.0, max_gb: 1.0, count: 60 }],
-        };
+        let mix =
+            MixSpec { name: "gaps", bins: vec![MixBin { min_gb: 1.0, max_gb: 1.0, count: 60 }] };
         let mut pool = DbPool::new(11);
         let w = generate_mix_workload(&mix, &mut pool, 7.0, 10.0, 11);
         let mean_gap = w.last().unwrap().arrival / w.len() as f64;

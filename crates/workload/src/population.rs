@@ -116,12 +116,8 @@ mod tests {
         // Paper: ~1,000 queries → 5,647 jobs ≈ 5.6 jobs/query. Our template
         // mix is lighter (more single-job shapes) but must average several
         // jobs per query.
-        let config = PopulationConfig {
-            n_queries: 40,
-            scales_gb: vec![0.2],
-            scale_out_gb: vec![],
-            seed: 6,
-        };
+        let config =
+            PopulationConfig { n_queries: 40, scales_gb: vec![0.2], scale_out_gb: vec![], seed: 6 };
         let mut pool = DbPool::new(6);
         let pop = generate_population(&config, &mut pool);
         let jobs: usize = pop.iter().map(|p| p.dag.len()).sum();
@@ -131,12 +127,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let config = PopulationConfig {
-            n_queries: 10,
-            scales_gb: vec![0.2],
-            scale_out_gb: vec![],
-            seed: 8,
-        };
+        let config =
+            PopulationConfig { n_queries: 10, scales_gb: vec![0.2], scale_out_gb: vec![], seed: 8 };
         let a = generate_population(&config, &mut DbPool::new(8));
         let b = generate_population(&config, &mut DbPool::new(8));
         let names = |p: &[PopQuery]| p.iter().map(|q| q.dag.name.clone()).collect::<Vec<_>>();

@@ -274,9 +274,7 @@ impl Template {
             }
             DsPartSizes => {
                 let size = rng.gen_range(10..40);
-                format!(
-                    "SELECT p_size, count(*) FROM part WHERE p_size <= {size} GROUP BY p_size"
-                )
+                format!("SELECT p_size, count(*) FROM part WHERE p_size <= {size} GROUP BY p_size")
             }
             DsSupplierBalance => {
                 let lo = rng.gen_range(-500..4000);
@@ -325,8 +323,11 @@ fn q17_dag(db: &Database, rng: &mut StdRng) -> QueryDag {
         ),
         DagBuilder::table(
             "part",
-            Predicate::cmp("p_brand", CmpOp::Eq, brand_code)
-                .and(Predicate::cmp("p_container", CmpOp::Eq, container_code)),
+            Predicate::cmp("p_brand", CmpOp::Eq, brand_code).and(Predicate::cmp(
+                "p_container",
+                CmpOp::Eq,
+                container_code,
+            )),
             ["p_partkey"],
         ),
         "l_partkey",

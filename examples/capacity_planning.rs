@@ -72,7 +72,8 @@ fn main() {
             println!("\nsmallest predicted-feasible cluster: {nodes} nodes. validating...");
             let semantics = variant.percolate_sql("planning", sql, &db).expect("valid");
             let actuals = execute_dag(&semantics.dag, &db, variant.est_config.block_size);
-            let q = build_sim_query("planning", 0.0, &semantics.dag, &actuals, &[], &variant.cluster);
+            let q =
+                build_sim_query("planning", 0.0, &semantics.dag, &actuals, &[], &variant.cluster);
             let r = Simulator::new(variant.cluster, variant.cost, Fifo).run(&[q]);
             let measured = r.queries[0].response();
             println!(

@@ -33,9 +33,7 @@ fn main() {
         .order_by(["p_brand"]);
 
     println!("Pig dataflow over a 10 GB instance:\n");
-    let semantics = fw
-        .percolate_pig("pig_demo", &script, db.catalog())
-        .expect("valid script");
+    let semantics = fw.percolate_pig("pig_demo", &script, db.catalog()).expect("valid script");
     let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
     for (job, (est, act)) in
         semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))

@@ -9,11 +9,15 @@
 //! Trains the models, compiles a three-job query over 20 GB, then replays
 //! its execution job phase by job phase, printing the percent-done and ETA
 //! the framework would report at each point, next to the simulator's
-//! actual remaining time.
+//! actual remaining time. The run is also traced: every simulator event plus
+//! one ETA snapshot per checkpoint goes to `progress_events.jsonl`, and a
+//! drift tracker summarizes how far the predictions were off.
 
 use sapred::core::framework::{Framework, Predictor};
 use sapred::core::progress::{JobProgress, ProgressEstimator};
+use sapred::core::telemetry::record_sim_outcomes;
 use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::obs::{DriftTracker, EventSink, JsonlSink, Quantity, Tee};
 use sapred::plan::ground_truth::execute_dag;
 use sapred_cluster::build::build_sim_query;
 use sapred_cluster::sched::Fifo;
@@ -45,18 +49,27 @@ fn main() {
     let semantics = fw.percolate_sql("monitored", sql, &db).expect("valid query");
     let estimator = ProgressEstimator::new(&predictor, &semantics);
 
-    // Run the query once to get the real per-job timeline.
+    // Run the query once to get the real per-job timeline, tracing every
+    // event to JSONL and feeding a prediction-drift tracker.
     let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
-    let sim_q = build_sim_query("monitored", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
-    let report = Simulator::new(fw.cluster, fw.cost, Fifo).run(std::slice::from_ref(&sim_q));
+    let predictions: Vec<_> = semantics
+        .dag
+        .jobs()
+        .iter()
+        .zip(&semantics.estimates)
+        .map(|(job, est)| predictor.job_prediction(est, job.kind.has_reduce()))
+        .collect();
+    let sim_q =
+        build_sim_query("monitored", 0.0, &semantics.dag, &actuals, &predictions, &fw.cluster);
+    let events = std::fs::File::create("progress_events.jsonl").expect("create events file");
+    let mut sink = Tee::new(JsonlSink::new(std::io::BufWriter::new(events)), DriftTracker::new());
+    let report =
+        Simulator::new(fw.cluster, fw.cost, Fifo).run_with(std::slice::from_ref(&sim_q), &mut sink);
     let finish = report.queries[0].finish;
     let mut job_stats = report.jobs.clone();
     job_stats.sort_by(|a, b| a.finish.total_cmp(&b.finish));
 
-    println!(
-        "{:<26}{:>10}{:>12}{:>16}",
-        "checkpoint", "done", "ETA (est)", "actual remaining"
-    );
+    println!("{:<26}{:>10}{:>12}{:>16}", "checkpoint", "done", "ETA (est)", "actual remaining");
     let mut progress = vec![JobProgress::default(); semantics.dag.len()];
     let frac = estimator.fraction_done(&progress);
     println!(
@@ -72,6 +85,7 @@ fn main() {
             maps_done: usize::MAX / 2, // saturating_sub clamps to zero remaining
             reduces_done: usize::MAX / 2,
         };
+        sink.emit(&estimator.snapshot_event(0, stat.finish, &progress));
         let frac = estimator.fraction_done(&progress);
         println!(
             "{:<26}{:>9.0}%{:>11.1}s{:>15.1}s",
@@ -81,4 +95,32 @@ fn main() {
             finish - stat.finish
         );
     }
+
+    // Score the predictions against what the simulator measured.
+    record_sim_outcomes(std::slice::from_ref(&sim_q), &report, &fw.cluster, &mut sink);
+    let Tee { a: jsonl, b: drift } = sink;
+    let lines = jsonl.lines();
+    jsonl.finish().expect("flush events file");
+
+    let map = drift.aggregate(Quantity::MapTask);
+    let job = drift.aggregate(Quantity::Job);
+    let query = drift.aggregate(Quantity::Query);
+    println!("\nprediction drift vs simulated truth:");
+    println!(
+        "  tasks : map MARE {:>5.1}%  reduce MARE {:>5.1}%",
+        100.0 * map.mare(),
+        100.0 * drift.aggregate(Quantity::ReduceTask).mare()
+    );
+    println!(
+        "  jobs  : MARE {:>5.1}%  bias {:>+5.1}%  ({} jobs)",
+        100.0 * job.mare(),
+        100.0 * job.mean_signed(),
+        job.n
+    );
+    println!(
+        "  query : signed error {:>+5.1}% of the {:.1}s response",
+        100.0 * query.mean_signed(),
+        report.queries[0].response()
+    );
+    println!("\nwrote {lines} events to progress_events.jsonl");
 }

@@ -83,8 +83,7 @@ fn main() {
     let predicted = predictor.query_seconds(&semantics);
 
     // --- Verify on the simulated cluster ---------------------------------
-    let sim_query =
-        build_sim_query("quickstart", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
+    let sim_query = build_sim_query("quickstart", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
     let report = Simulator::new(fw.cluster, fw.cost, Fifo).run(&[sim_query]);
     let actual = report.queries[0].response();
     println!(

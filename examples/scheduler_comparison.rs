@@ -37,8 +37,7 @@ fn main() {
     let predictor = Predictor::new(fit_models(&train, &fw), fw);
 
     println!("preparing the Facebook mix (100 queries, mean gap {gap}s)...");
-    let prepared =
-        prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), gap, 1.0, 5);
+    let prepared = prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), gap, 1.0, 5);
     let report = run_schedulers(&prepared, &fw, true);
     println!("\n{report}");
 }

@@ -7,20 +7,24 @@
 //! sapred train      [--queries N] [--seed S]               # fit models, print Tables 3-5
 //! sapred predict    --sql "SELECT ..." [--scale GB]        # train + predict one query
 //! sapred simulate   --mix bing|facebook [--gap S] [--divisor D]   # Fig. 8
+//! sapred trace      bing|facebook [--out trace.json] [--events events.jsonl] [--metrics metrics.json]
 //! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
 //! ```
 
+use sapred::cluster::job::SimQuery;
+use sapred::cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Srt, Swrd};
+use sapred::cluster::sim::{SimReport, Simulator};
+use sapred::core::experiments::accuracy::{job_accuracy, map_task_accuracy, reduce_task_accuracy};
 use sapred::core::experiments::motivation::motivation;
 use sapred::core::experiments::scheduling::{prepare_workload, run_schedulers};
-use sapred::core::experiments::accuracy::{
-    job_accuracy, map_task_accuracy, reduce_task_accuracy,
-};
 use sapred::core::framework::{Framework, Predictor};
+use sapred::core::telemetry::record_sim_outcomes;
 use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, Tee};
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::gen::{generate, GenConfig};
 use sapred::relation::persist::save_catalog;
-use sapred::workload::mixes::{bing_mix, facebook_mix};
+use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
 use sapred::workload::pool::DbPool;
 use sapred::workload::population::{generate_population, PopulationConfig};
 use std::collections::HashMap;
@@ -32,25 +36,26 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+    // `trace` takes its workload positionally, so it parses its own args.
+    let result = if command == "trace" {
+        cmd_trace(&args[1..])
+    } else {
+        match parse_flags(&args[1..]) {
+            Ok(flags) => match command.as_str() {
+                "explain" => cmd_explain(&flags),
+                "gather" => cmd_gather(&flags),
+                "train" => cmd_train(&flags),
+                "predict" => cmd_predict(&flags),
+                "simulate" => cmd_simulate(&flags),
+                "motivation" => cmd_motivation(&flags),
+                "help" | "--help" | "-h" => {
+                    println!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(format!("unknown command `{other}`")),
+            },
+            Err(e) => Err(e),
         }
-    };
-    let result = match command.as_str() {
-        "explain" => cmd_explain(&flags),
-        "gather" => cmd_gather(&flags),
-        "train" => cmd_train(&flags),
-        "predict" => cmd_predict(&flags),
-        "simulate" => cmd_simulate(&flags),
-        "motivation" => cmd_motivation(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -69,6 +74,9 @@ USAGE:
   sapred train      [--queries <N>] [--seed <N>]
   sapred predict    --sql <QUERY> [--scale <GB>] [--queries <N>]
   sapred simulate   --mix <bing|facebook> [--gap <SECONDS>] [--divisor <D>] [--queries <N>]
+  sapred trace      <bing|facebook> [--sched <swrd|hcs|hfs|fifo|srt>] [--out <trace.json>]
+                    [--events <events.jsonl>] [--metrics <metrics.json>]
+                    [--gap <SECONDS>] [--divisor <D>] [--queries <N>] [--seed <N>]
   sapred motivation [--small <GB>] [--big <GB>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -91,7 +99,11 @@ fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result
     }
 }
 
-fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got `{v}`")),
@@ -215,12 +227,16 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_mix(name: &str) -> Result<MixSpec, String> {
+    match name {
+        "bing" => Ok(bing_mix()),
+        "facebook" => Ok(facebook_mix()),
+        other => Err(format!("unknown mix `{other}` (expected bing|facebook)")),
+    }
+}
+
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let mix = match required(flags, "mix")? {
-        "bing" => bing_mix(),
-        "facebook" => facebook_mix(),
-        other => return Err(format!("unknown mix `{other}` (expected bing|facebook)")),
-    };
+    let mix = parse_mix(required(flags, "mix")?)?;
     let gap = flag_f64(flags, "gap", if mix.name == "bing" { 8.0 } else { 3.0 })?;
     let divisor = flag_f64(flags, "divisor", 1.0)?;
     let n = flag_usize(flags, "queries", 200)?;
@@ -229,6 +245,84 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
     let prepared = prepare_workload(&mix, &mut pool, &fw, Some(&predictor), gap, divisor, 79);
     println!("\n{}", run_schedulers(&prepared, &fw, true));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    // The workload may be given positionally (`sapred trace bing`) or via
+    // `--mix`, matching `simulate`.
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = parse_flags(rest)?;
+    let mix = match positional {
+        Some(name) => parse_mix(name)?,
+        None => parse_mix(required(&flags, "mix")?)?,
+    };
+    let gap = flag_f64(&flags, "gap", if mix.name == "bing" { 8.0 } else { 3.0 })?;
+    let divisor = flag_f64(&flags, "divisor", 1.0)?;
+    let n = flag_usize(&flags, "queries", 200)?;
+    let seed = flag_usize(&flags, "seed", 79)? as u64;
+    let sched_name = flags.get("sched").map(String::as_str).unwrap_or("swrd");
+    let trace_path = flags.get("out").map(String::as_str).unwrap_or("trace.json");
+    let events_path = flags.get("events").map(String::as_str).unwrap_or("events.jsonl");
+    let metrics_path = flags.get("metrics").map(String::as_str).unwrap_or("metrics.json");
+
+    println!("training on {n} queries...");
+    let (fw, predictor, mut pool) = train_predictor(n, seed);
+    println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
+    let prepared = prepare_workload(&mix, &mut pool, &fw, Some(&predictor), gap, divisor, seed);
+
+    let events_file =
+        std::fs::File::create(events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+    let mut sink = Tee::new(
+        JsonlSink::new(std::io::BufWriter::new(events_file)),
+        Tee::new(ChromeTraceSink::new(), MetricsSink::new(fw.cluster.total_containers())),
+    );
+
+    fn run_one<S: Scheduler, K: EventSink>(
+        fw: &Framework,
+        sched: S,
+        queries: &[SimQuery],
+        sink: &mut K,
+    ) -> SimReport {
+        Simulator::new(fw.cluster, fw.cost, sched).run_with(queries, sink)
+    }
+    println!("tracing {} queries under {}...", prepared.queries.len(), sched_name.to_uppercase());
+    let report = match sched_name {
+        "swrd" => run_one(&fw, Swrd, &prepared.queries, &mut sink),
+        "hcs" => run_one(&fw, Hcs, &prepared.queries, &mut sink),
+        "hfs" => run_one(&fw, Hfs, &prepared.queries, &mut sink),
+        "fifo" => run_one(&fw, Fifo, &prepared.queries, &mut sink),
+        "srt" => run_one(&fw, Srt, &prepared.queries, &mut sink),
+        other => {
+            return Err(format!("unknown scheduler `{other}` (expected swrd|hcs|hfs|fifo|srt)"))
+        }
+    };
+    // Post-hoc prediction-drift telemetry against the simulated truth.
+    record_sim_outcomes(&prepared.queries, &report, &fw.cluster, &mut sink);
+
+    let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
+    let lines = jsonl.lines();
+    jsonl.finish().map_err(|e| format!("write {events_path}: {e}"))?;
+    let trace_file =
+        std::fs::File::create(trace_path).map_err(|e| format!("create {trace_path}: {e}"))?;
+    chrome
+        .write(std::io::BufWriter::new(trace_file))
+        .map_err(|e| format!("write {trace_path}: {e}"))?;
+    std::fs::write(metrics_path, metrics.finish(report.makespan))
+        .map_err(|e| format!("write {metrics_path}: {e}"))?;
+
+    println!("\nmakespan {:.1}s, mean response {:.1}s", report.makespan, report.mean_response());
+    println!("container utilization: {:.1}%", 100.0 * metrics.utilization(report.makespan));
+    println!("\nprediction drift vs simulated truth:\n{}", metrics.drift);
+    println!("wrote {lines} events to {events_path}");
+    println!(
+        "wrote {} trace spans to {trace_path} (chrome://tracing, ui.perfetto.dev)",
+        chrome.span_count()
+    );
+    println!("wrote metrics to {metrics_path}");
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 
 pub use sapred_cluster as cluster;
 pub use sapred_core as core;
+pub use sapred_obs as obs;
 pub use sapred_plan as plan;
 pub use sapred_predict as predict;
 pub use sapred_query as query;

@@ -191,12 +191,8 @@ fn map_join_and_reduce_join_agree_on_results() {
                WHERE s_acctbal > 0 GROUP BY n_name";
     let analyzed = analyze(&parse(sql).unwrap(), db.catalog(), &db).unwrap();
     let plain = compile("plain", &analyzed);
-    let converted = compile_with(
-        "conv",
-        &analyzed,
-        db.catalog(),
-        &PlannerConfig { map_join_threshold: 1e9 },
-    );
+    let converted =
+        compile_with("conv", &analyzed, db.catalog(), &PlannerConfig { map_join_threshold: 1e9 });
     assert!(converted.len() < plain.len());
     let a = execute_dag(&plain, &db, fw.est_config.block_size);
     let b = execute_dag(&converted, &db, fw.est_config.block_size);
@@ -242,9 +238,9 @@ fn pig_and_sql_front_ends_agree() {
 
 #[test]
 fn multi_queue_hcs_isolates_queues() {
-    use sapred_cluster::sched::HcsQueues;
-    use sapred::workload::templates::Template;
     use rand::SeedableRng;
+    use sapred::workload::templates::Template;
+    use sapred_cluster::sched::HcsQueues;
 
     let fw = Framework::new();
     let db = generate(GenConfig::new(20.0).with_seed(5));
@@ -253,34 +249,20 @@ fn multi_queue_hcs_isolates_queues() {
     // queue the big query's earlier-submitted jobs dominate; with two
     // queues the small query is protected by its guaranteed share.
     let mut queries = Vec::new();
-    for (i, (t, arrival)) in [
-        (Template::Q17SmallQuantity, 0.0),
-        (Template::Q14Promo, 1.0),
-    ]
-    .iter()
-    .enumerate()
+    for (i, (t, arrival)) in
+        [(Template::Q17SmallQuantity, 0.0), (Template::Q14Promo, 1.0)].iter().enumerate()
     {
         let dag = t.instantiate(&db, &mut rng).unwrap();
         let actuals = execute_dag(&dag, &db, fw.est_config.block_size);
-        queries.push(build_sim_query(
-            format!("q{i}"),
-            *arrival,
-            &dag,
-            &actuals,
-            &[],
-            &fw.cluster,
-        ));
+        queries.push(build_sim_query(format!("q{i}"), *arrival, &dag, &actuals, &[], &fw.cluster));
     }
     let mut small_cluster = fw;
     small_cluster.cluster.nodes = 2; // 24 containers: the 20 GB Q17 saturates
     let one = Simulator::new(small_cluster.cluster, small_cluster.cost, HcsQueues::new(vec![1.0]))
         .run(&queries);
-    let two = Simulator::new(
-        small_cluster.cluster,
-        small_cluster.cost,
-        HcsQueues::new(vec![0.5, 0.5]),
-    )
-    .run(&queries);
+    let two =
+        Simulator::new(small_cluster.cluster, small_cluster.cost, HcsQueues::new(vec![0.5, 0.5]))
+            .run(&queries);
     let small_one = one.queries[1].response();
     let small_two = two.queries[1].response();
     assert!(

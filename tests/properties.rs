@@ -7,6 +7,9 @@ use sapred::cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred::cluster::sched::Fifo;
 use sapred::cluster::sim::{ClusterConfig, Simulator};
 use sapred::cluster::CostModel;
+use sapred::core::framework::{Framework, Predictor, QuerySemantics};
+use sapred::core::progress::{JobProgress, ProgressEstimator};
+use sapred::core::training::{fit_models, run_population, split_train_test};
 use sapred::plan::dag::JobCategory;
 use sapred::predict::metrics::{avg_rel_error, r_squared};
 use sapred::predict::wrd::{job_time_waves, JobResource};
@@ -14,6 +17,39 @@ use sapred::relation::expr::CmpOp;
 use sapred::relation::histogram::Histogram;
 use sapred::relation::table::Column;
 use sapred::selectivity::formulas::{join_size_bucketed, natural_chain_size, p_ratio, s_comb};
+use sapred::workload::pool::DbPool;
+use sapred::workload::population::{generate_population, PopulationConfig};
+
+/// One trained predictor + a percolated three-job query, built once and
+/// shared across all proptest cases (training is the expensive part).
+fn progress_fixture() -> &'static (Predictor, QuerySemantics) {
+    static FIXTURE: std::sync::OnceLock<(Predictor, QuerySemantics)> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let fw = Framework::new();
+        let config = PopulationConfig {
+            n_queries: 30,
+            scales_gb: vec![0.5, 1.0],
+            scale_out_gb: vec![],
+            seed: 17,
+        };
+        let mut pool = DbPool::new(17);
+        let pop = generate_population(&config, &mut pool);
+        let runs = run_population(&pop, &mut pool, &fw);
+        let (train, _) = split_train_test(&runs);
+        let db = pool.get(1.0).clone();
+        let semantics = fw
+            .percolate_sql(
+                "prop-progress",
+                "SELECT l_partkey, sum(l_extendedprice) FROM lineitem l \
+                 JOIN part p ON l.l_partkey = p.p_partkey \
+                 GROUP BY l_partkey ORDER BY l_partkey",
+                &db,
+            )
+            .expect("valid query");
+        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        (predictor, semantics)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -131,6 +167,40 @@ proptest! {
         let big = job_time_waves(&j, c2, 0.0);
         prop_assert!(big <= small + 1e-9, "more containers can't slow a job down");
         prop_assert!(big >= 0.0);
+    }
+
+    #[test]
+    fn progress_fraction_is_bounded_and_monotone(
+        done in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        bump in any::<prop::sample::Index>(),
+    ) {
+        let (predictor, semantics) = progress_fixture();
+        let est = ProgressEstimator::new(predictor, semantics);
+        let n = semantics.dag.len();
+        let progress: Vec<JobProgress> = (0..n)
+            .map(|j| {
+                let (m, r) = done[j % done.len()];
+                JobProgress { maps_done: m, reduces_done: r }
+            })
+            .collect();
+        let frac = est.fraction_done(&progress);
+        let eta = est.remaining_seconds(&progress);
+        prop_assert!((0.0..=1.0).contains(&frac), "fraction {frac}");
+        prop_assert!(eta >= 0.0, "eta {eta}");
+        // Completing more tasks never lowers the fraction nor raises the ETA.
+        let mut more = progress.clone();
+        let j = bump.index(n);
+        more[j].maps_done += 1;
+        more[j].reduces_done += 1;
+        prop_assert!(est.fraction_done(&more) >= frac - 1e-12);
+        prop_assert!(est.remaining_seconds(&more) <= eta + 1e-9);
+        // Saturating every job completes the query: fraction 1, ETA 0.
+        let full = vec![
+            JobProgress { maps_done: usize::MAX / 2, reduces_done: usize::MAX / 2 };
+            n
+        ];
+        prop_assert!((est.fraction_done(&full) - 1.0).abs() < 1e-12);
+        prop_assert!(est.remaining_seconds(&full) < 1e-9);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Scheduler-independent invariants of the cluster simulation, checked
 //! across all four policies on a shared workload.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sapred::core::framework::Framework;
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::gen::{generate, GenConfig};
@@ -9,8 +11,6 @@ use sapred_cluster::job::SimQuery;
 use sapred_cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Swrd};
 use sapred_cluster::sim::{SimReport, Simulator};
 use sapred_workload::templates::Template;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn workload(fw: &Framework) -> Vec<SimQuery> {
     let db = generate(GenConfig::new(2.0).with_seed(5));
@@ -80,9 +80,8 @@ fn total_work_is_scheduler_independent() {
     // job structure are.
     let fw = Framework::new();
     let queries = workload(&fw);
-    let count_tasks = |r: &SimReport| -> usize {
-        r.jobs.iter().map(|j| j.n_maps + j.n_reduces).sum()
-    };
+    let count_tasks =
+        |r: &SimReport| -> usize { r.jobs.iter().map(|j| j.n_maps + j.n_reduces).sum() };
     let a = count_tasks(&run(&fw, Fifo, &queries));
     let b = count_tasks(&run(&fw, Hcs, &queries));
     let c = count_tasks(&run(&fw, Hfs, &queries));

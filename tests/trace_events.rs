@@ -1,0 +1,103 @@
+//! End-to-end observability pipeline test: a simulated workload traced into
+//! all three exporters at once (JSONL events, Chrome trace, metrics JSON),
+//! checking that the exported artifacts are well-formed and mutually
+//! consistent with the simulator's own report.
+
+use sapred::cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
+use sapred::cluster::sched::Swrd;
+use sapred::cluster::sim::{ClusterConfig, Simulator};
+use sapred::cluster::CostModel;
+use sapred::obs::json::validate;
+use sapred::obs::{ChromeTraceSink, JsonlSink, MetricsSink, Tee};
+use sapred::plan::dag::JobCategory;
+
+/// A small three-query workload with fan-in DAGs, overlapping arrivals and
+/// nonzero predictions (so SWRD has real scores to rank by).
+fn workload() -> Vec<SimQuery> {
+    let task = |mb: f64, kind: TaskKind, category: JobCategory| TaskSpec {
+        bytes_in: mb * 1024.0 * 1024.0,
+        bytes_out: mb * 0.4 * 1024.0 * 1024.0,
+        category,
+        kind,
+        p: 0.6,
+    };
+    let job =
+        |id: usize, deps: Vec<usize>, category: JobCategory, maps: usize, reduces: usize| SimJob {
+            id,
+            deps,
+            category,
+            maps: vec![task(128.0, TaskKind::Map, category); maps],
+            reduces: vec![task(64.0, TaskKind::Reduce, category); reduces],
+            prediction: JobPrediction {
+                map_task_time: 2.0,
+                reduce_task_time: 1.5,
+                ..JobPrediction::default()
+            },
+        };
+    (0..3)
+        .map(|q| SimQuery {
+            name: format!("trace-q{q}"),
+            arrival: q as f64 * 1.5,
+            jobs: vec![
+                job(0, vec![], JobCategory::Extract, 6 + q, 0),
+                job(1, vec![], JobCategory::Groupby, 4, 2),
+                job(2, vec![0, 1], JobCategory::Join, 3, 1 + q),
+            ],
+        })
+        .collect()
+}
+
+#[test]
+fn exported_artifacts_are_valid_and_consistent_with_report() {
+    let queries = workload();
+    let config = ClusterConfig { nodes: 2, containers_per_node: 4, ..ClusterConfig::default() };
+    let mut sink = Tee::new(
+        JsonlSink::new(Vec::new()),
+        Tee::new(ChromeTraceSink::new(), MetricsSink::new(config.total_containers())),
+    );
+    let report = Simulator::new(config, CostModel::default(), Swrd).run_with(&queries, &mut sink);
+    let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
+
+    // JSONL: every line is valid JSON, and task start/finish counts match
+    // the report's task totals exactly.
+    let text = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+    let mut starts = 0usize;
+    let mut finishes = 0usize;
+    for line in &lines {
+        validate(line).unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"));
+        if line.contains("\"event\":\"task_start\"") {
+            starts += 1;
+        }
+        if line.contains("\"event\":\"task_finish\"") {
+            finishes += 1;
+        }
+    }
+    let total: usize = report.total_tasks();
+    assert_eq!(starts, total, "task_start lines vs report task total");
+    assert_eq!(finishes, total, "task_finish lines vs report task total");
+
+    // Chrome trace: a single valid JSON document with one span per task,
+    // one per job, one per query, and one decision instant per dispatch.
+    let mut buf = Vec::new();
+    chrome.write(&mut buf).unwrap();
+    let doc = String::from_utf8(buf).unwrap();
+    validate(&doc).expect("chrome trace is valid JSON");
+    let jobs_done = report.jobs.len();
+    assert_eq!(chrome.span_count(), 2 * total + jobs_done + report.queries.len());
+
+    // Metrics: valid JSON whose counters agree with the same totals.
+    let metrics_json = metrics.finish(report.makespan);
+    validate(&metrics_json).expect("metrics export is valid JSON");
+    assert_eq!(metrics.registry.counter("queries_finished"), queries.len() as u64);
+    assert_eq!(
+        metrics.registry.counter("tasks_started_map")
+            + metrics.registry.counter("tasks_started_reduce"),
+        total as u64
+    );
+    assert_eq!(metrics.registry.counter("jobs_finished"), jobs_done as u64);
+    let util = metrics.utilization(report.makespan);
+    assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    assert!(metrics_json.contains("\"drift\""));
+}
