@@ -1,0 +1,57 @@
+//! One-shot dispatch-throughput comparison, runnable without the
+//! criterion feature:
+//!
+//! ```text
+//! cargo run --release -p sapred-bench --example dispatch_throughput
+//! ```
+//!
+//! Times every scheduler on a 200-query / 10⁵-task workload under both
+//! [`DispatchMode::Incremental`] and [`DispatchMode::Reference`] dispatch,
+//! checks the two makespans agree bit-for-bit, and prints the speedup.
+
+use sapred_bench::dispatch_workload;
+use sapred_cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Srt, Swrd};
+use sapred_cluster::sim::{ClusterConfig, DispatchMode, Simulator};
+use sapred_cluster::{CostModel, SimQuery};
+use std::time::Instant;
+
+fn time_run<S: Scheduler + Clone>(
+    scheduler: S,
+    mode: DispatchMode,
+    queries: &[SimQuery],
+) -> (f64, f64) {
+    let t0 = Instant::now();
+    let report = Simulator::new(ClusterConfig::default(), CostModel::default(), scheduler)
+        .with_dispatch(mode)
+        .run(queries);
+    (t0.elapsed().as_secs_f64(), report.makespan)
+}
+
+fn compare<S: Scheduler + Clone>(scheduler: S, queries: &[SimQuery]) -> f64 {
+    let name = scheduler.name();
+    let (t_inc, m_inc) = time_run(scheduler.clone(), DispatchMode::Incremental, queries);
+    let (t_ref, m_ref) = time_run(scheduler, DispatchMode::Reference, queries);
+    assert_eq!(m_inc.to_bits(), m_ref.to_bits(), "{name}: modes disagree on the schedule");
+    let speedup = t_ref / t_inc;
+    println!(
+        "{name:>6}: incremental {t_inc:>7.3}s  reference {t_ref:>7.3}s  speedup {speedup:>5.1}x"
+    );
+    speedup
+}
+
+fn main() {
+    let queries = dispatch_workload(200, 5, 80, 20);
+    let total: usize =
+        queries.iter().flat_map(|q| &q.jobs).map(|j| j.maps.len() + j.reduces.len()).sum();
+    println!("dispatch workload: {} queries, {total} tasks\n", queries.len());
+
+    let mut worst = f64::INFINITY;
+    worst = worst.min(compare(Fifo, &queries));
+    worst = worst.min(compare(Hcs, &queries));
+    worst = worst.min(compare(Hfs, &queries));
+    worst = worst.min(compare(Swrd, &queries));
+    worst = worst.min(compare(Srt, &queries));
+
+    println!("\nworst speedup: {worst:.1}x (target: >= 5x)");
+    assert!(worst >= 5.0, "incremental dispatch regressed below the 5x target");
+}

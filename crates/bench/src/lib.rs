@@ -3,8 +3,10 @@
 //! printing the reproduced rows during setup, then times a representative
 //! kernel under Criterion.
 
+use sapred_cluster::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred_core::framework::{Framework, Predictor};
 use sapred_core::training::{fit_models, run_population, split_train_test, QueryRun};
+use sapred_plan::dag::JobCategory;
 use sapred_workload::pool::DbPool;
 use sapred_workload::population::{generate_population, PopulationConfig};
 
@@ -32,6 +34,48 @@ pub struct Trained {
     pub pool: DbPool,
     pub runs: Vec<QueryRun>,
     pub predictor: Predictor,
+}
+
+/// A synthetic dispatch-stress workload: `n_queries` chained-DAG queries of
+/// `jobs_per_query` jobs, each with `maps_per_job` map and `reduces_per_job`
+/// reduce tasks, staggered Poisson-ish arrivals and varied per-job
+/// predictions (so SWRD/SRT rank queries non-trivially). Deterministic —
+/// no RNG — so incremental and reference dispatch runs see the exact same
+/// input. 200/5/80/20 gives the 10⁵-task workload the dispatch-throughput
+/// bench and example use.
+pub fn dispatch_workload(
+    n_queries: usize,
+    jobs_per_query: usize,
+    maps_per_job: usize,
+    reduces_per_job: usize,
+) -> Vec<SimQuery> {
+    const MB: f64 = 1024.0 * 1024.0;
+    let task = |kind: TaskKind, bytes: f64| TaskSpec {
+        bytes_in: bytes,
+        bytes_out: bytes / 2.0,
+        category: JobCategory::Extract,
+        kind,
+        p: 0.5,
+    };
+    (0..n_queries)
+        .map(|qi| SimQuery {
+            name: format!("q{qi}"),
+            arrival: qi as f64 * 0.37,
+            jobs: (0..jobs_per_query)
+                .map(|j| SimJob {
+                    id: j,
+                    deps: if j == 0 { vec![] } else { vec![j - 1] },
+                    category: JobCategory::Extract,
+                    maps: vec![task(TaskKind::Map, 256.0 * MB); maps_per_job],
+                    reduces: vec![task(TaskKind::Reduce, 64.0 * MB); reduces_per_job],
+                    prediction: JobPrediction {
+                        map_task_time: 2.0 + ((qi * 7 + j * 3) % 11) as f64 * 0.5,
+                        reduce_task_time: 1.0 + ((qi * 5 + j) % 7) as f64 * 0.5,
+                    },
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Run the population and fit models (the full §5.1 pipeline).

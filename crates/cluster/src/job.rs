@@ -73,8 +73,17 @@ pub struct SimQuery {
 }
 
 impl SimQuery {
-    /// Validate DAG invariants (dense ids, backward deps only).
+    /// Validate DAG invariants (at least one job, dense ids, backward deps
+    /// only, at least one map task per job).
     pub fn validate(&self) -> Result<(), String> {
+        if self.jobs.is_empty() {
+            return Err(format!(
+                "query {:?} has no jobs: a query must contain at least one MapReduce job \
+                 (an empty DAG can never start, so the simulation would deadlock \
+                 waiting for it to finish)",
+                self.name
+            ));
+        }
         for (i, j) in self.jobs.iter().enumerate() {
             if j.id != i {
                 return Err(format!("job id {} at position {i}", j.id));
@@ -145,6 +154,14 @@ mod tests {
     #[test]
     fn validate_accepts_good_dag() {
         assert!(query().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_job_list() {
+        let q = SimQuery { name: "hollow".into(), arrival: 0.0, jobs: vec![] };
+        let err = q.validate().unwrap_err();
+        assert!(err.contains("no jobs"), "unhelpful message: {err}");
+        assert!(err.contains("hollow"), "message should name the query: {err}");
     }
 
     #[test]

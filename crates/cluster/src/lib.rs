@@ -30,4 +30,4 @@ pub use build::build_sim_query;
 pub use cost::CostModel;
 pub use job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 pub use sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
-pub use sim::{ClusterConfig, JobStat, QueryStat, SimReport, Simulator};
+pub use sim::{ClusterConfig, DispatchMode, JobStat, QueryStat, SimReport, Simulator};

@@ -226,13 +226,21 @@ impl Scheduler for HcsQueues {
     }
 
     fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
-        // Running tasks per queue (each query counted once).
+        // Running tasks per queue (each query counted once). The engine
+        // hands us the runnable view sorted by (query, job), so queries are
+        // contiguous; a last-seen check dedupes in O(n) — the set-membership
+        // scan this replaces was O(n²) in the candidate count. A HashSet
+        // guards the (unsorted-caller) general case.
         let n = self.capacities.len();
         let mut running = vec![0usize; n];
-        let mut counted: Vec<usize> = Vec::new();
+        let mut last: Option<usize> = None;
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for r in runnable {
-            if !counted.contains(&r.query) {
-                counted.push(r.query);
+            if last == Some(r.query) {
+                continue;
+            }
+            last = Some(r.query);
+            if seen.insert(r.query) {
                 running[self.queue_of(r.query)] += r.query_running;
             }
         }

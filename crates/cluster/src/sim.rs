@@ -146,9 +146,10 @@ impl SimReport {
 
     /// Query response-time percentile, `p` in `[0, 1]` (e.g. `0.95` for
     /// p95), linearly interpolated between order statistics. `0.0` with no
-    /// queries.
+    /// queries or a NaN `p` (`clamp` would propagate the NaN into the rank
+    /// and index garbage otherwise); out-of-range finite `p` clamps.
     pub fn percentile(&self, p: f64) -> f64 {
-        if self.queries.is_empty() {
+        if self.queries.is_empty() || p.is_nan() {
             return 0.0;
         }
         let mut v: Vec<f64> = self.queries.iter().map(QueryStat::response).collect();
@@ -190,9 +191,12 @@ enum Event {
     Arrival { q: usize },
     /// A job becomes visible to the scheduler.
     Submit { q: usize, j: usize },
-    /// A task finishes, releasing container slot `slot`. Duration is
-    /// carried via the task bookkeeping.
-    TaskDone { q: usize, j: usize, kind: TaskKind, duration_ms: u64, slot: usize },
+    /// A task finishes, releasing container slot `slot`. The exact f64
+    /// duration the heap scheduled is carried as its bit pattern
+    /// ([`f64::to_bits`]) so the recorded stats match the schedule
+    /// bit-for-bit (a rounded-milliseconds payload would put the training
+    /// ground truth up to 0.5 ms off the actual start→finish span).
+    TaskDone { q: usize, j: usize, kind: TaskKind, duration_bits: u64, slot: usize },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -221,6 +225,167 @@ struct QueryState {
     finished: Option<f64>,
 }
 
+/// How the engine derives the scheduler's runnable view on each dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Materialized scheduling state, updated in O(affected jobs) per
+    /// event. The default; asymptotically faster than [`Reference`] and
+    /// proven behavior-identical to it by [`Crosscheck`] runs.
+    ///
+    /// [`Reference`]: DispatchMode::Reference
+    /// [`Crosscheck`]: DispatchMode::Crosscheck
+    #[default]
+    Incremental,
+    /// The from-scratch reference: rebuild the whole runnable view with
+    /// [`collect_runnable`] once per free container — O(Σ jobs) per
+    /// dispatched task. Kept as the executable specification the
+    /// incremental path is checked against, and as the benchmark baseline.
+    Reference,
+    /// Run incrementally but re-derive the reference view after every
+    /// event and before every scheduler pick, panicking on any
+    /// divergence (including f64 score bits). Used by the cross-check
+    /// tests; roughly as slow as [`Reference`](DispatchMode::Reference).
+    Crosscheck,
+}
+
+/// Per-query aggregates the schedulers consume through [`RunnableJob`].
+#[derive(Debug, Clone, Copy, Default)]
+struct QueryAgg {
+    /// Remaining WRD (Eq. 10) over unfinished jobs.
+    wrd: f64,
+    /// Remaining critical-path time over the unfinished DAG.
+    crit: f64,
+    /// Running tasks across all of the query's jobs.
+    running: usize,
+}
+
+/// Materialized scheduling state for the incremental dispatch path: the
+/// runnable-job set (sorted by `(query, job)`, the same order
+/// [`collect_runnable`] produces) plus per-query aggregates. Updated in
+/// O(affected jobs) on each `Submit`/`TaskDone`/dispatch instead of being
+/// recomputed from every job of every query once per free container.
+struct DispatchState {
+    aggs: Vec<QueryAgg>,
+    runnable: Vec<RunnableJob>,
+    /// Scratch for the critical-path pass (avoids a per-event allocation).
+    scratch: Vec<f64>,
+    containers: usize,
+}
+
+impl DispatchState {
+    fn new(n_queries: usize, containers: usize) -> Self {
+        Self {
+            aggs: vec![QueryAgg::default(); n_queries],
+            runnable: Vec::new(),
+            scratch: Vec::new(),
+            containers,
+        }
+    }
+
+    fn position(&self, q: usize, j: usize) -> Result<usize, usize> {
+        self.runnable.binary_search_by_key(&(q, j), |r| (r.query, r.job))
+    }
+
+    /// Recompute query `qi`'s WRD and critical path (O(its jobs)) and push
+    /// the new aggregates into its runnable entries. Called for the one
+    /// query an event touched; `running` is maintained separately because
+    /// it also changes on dispatch, where WRD/crit do not.
+    fn refresh_query(&mut self, queries: &[SimQuery], jobs: &[Vec<JobState>], qi: usize) {
+        let q = &queries[qi];
+        if self.scratch.len() < q.jobs.len() {
+            self.scratch.resize(q.jobs.len(), 0.0);
+        }
+        let (wrd, crit) = query_demand(q, &jobs[qi], self.containers, &mut self.scratch);
+        self.aggs[qi].wrd = wrd;
+        self.aggs[qi].crit = crit;
+        self.sync_entries(qi);
+    }
+
+    /// Copy query `qi`'s aggregates into its runnable entries (contiguous
+    /// in the sorted set).
+    fn sync_entries(&mut self, qi: usize) {
+        let agg = self.aggs[qi];
+        let start = self.runnable.partition_point(|r| r.query < qi);
+        for r in self.runnable[start..].iter_mut().take_while(|r| r.query == qi) {
+            r.query_wrd = agg.wrd;
+            r.query_time = agg.crit;
+            r.query_running = agg.running;
+        }
+    }
+
+    /// A job entered the runnable set (submitted, or its reduces unlocked).
+    fn insert_job(&mut self, queries: &[SimQuery], jobs: &[Vec<JobState>], qi: usize, j: usize) {
+        let js = &jobs[qi][j];
+        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+        if js.pending_maps == 0 && pending_reduces == 0 {
+            return;
+        }
+        let entry = RunnableJob {
+            query: qi,
+            job: j,
+            submit_time: js.submit_time,
+            arrival: queries[qi].arrival,
+            pending_maps: js.pending_maps,
+            pending_reduces,
+            running: js.running_maps + js.running_reduces,
+            query_wrd: self.aggs[qi].wrd,
+            query_time: self.aggs[qi].crit,
+            query_running: self.aggs[qi].running,
+        };
+        match self.position(qi, j) {
+            Ok(_) => unreachable!("job {qi}/{j} already runnable"),
+            Err(at) => self.runnable.insert(at, entry),
+        }
+    }
+
+    /// A task of `(qi, j)` was dispatched: bump running counts and drop the
+    /// job from the set once nothing is left to launch.
+    fn on_dispatch(&mut self, jobs: &[Vec<JobState>], qi: usize, j: usize) {
+        self.aggs[qi].running += 1;
+        self.sync_entries(qi);
+        let at = self.position(qi, j).expect("dispatched job is runnable");
+        let js = &jobs[qi][j];
+        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+        if js.pending_maps == 0 && pending_reduces == 0 {
+            self.runnable.remove(at);
+        } else {
+            let r = &mut self.runnable[at];
+            r.pending_maps = js.pending_maps;
+            r.pending_reduces = pending_reduces;
+            r.running = js.running_maps + js.running_reduces;
+        }
+    }
+
+    /// A task of `(qi, j)` finished: refresh the query's demand, and
+    /// re-admit the job if this completion unlocked its reduce phase.
+    fn on_task_done(&mut self, queries: &[SimQuery], jobs: &[Vec<JobState>], qi: usize, j: usize) {
+        self.aggs[qi].running -= 1;
+        let js = &jobs[qi][j];
+        if let Ok(at) = self.position(qi, j) {
+            // Still runnable (more tasks of the same phase pending).
+            let r = &mut self.runnable[at];
+            r.pending_maps = js.pending_maps;
+            r.pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+            r.running = js.running_maps + js.running_reduces;
+        } else if js.reduces_unlocked && js.pending_reduces > 0 && js.finished.is_none() {
+            // This completion was the last map: the reduce wave unlocks.
+            self.insert_job(queries, jobs, qi, j);
+        }
+        self.refresh_query(queries, jobs, qi);
+    }
+
+    /// Panic unless the materialized set matches the from-scratch
+    /// reference bit-for-bit (f64 fields included — the scores recorded in
+    /// obs decision events must be identical, not merely close).
+    fn crosscheck(&self, queries: &[SimQuery], jobs: &[Vec<JobState>], when: &str) {
+        let reference = collect_runnable(queries, jobs, self.containers);
+        assert_eq!(
+            self.runnable, reference,
+            "incremental dispatch state diverged from collect_runnable ({when})"
+        );
+    }
+}
+
 /// The simulator: owns the cluster config, cost model and scheduler.
 pub struct Simulator<S: Scheduler> {
     /// Cluster topology and Hadoop-parameter configuration.
@@ -229,12 +394,20 @@ pub struct Simulator<S: Scheduler> {
     pub cost: CostModel,
     /// The scheduling policy under test.
     pub scheduler: S,
+    /// How the runnable view is derived (incremental by default).
+    pub dispatch: DispatchMode,
 }
 
 impl<S: Scheduler> Simulator<S> {
-    /// Assemble a simulator.
+    /// Assemble a simulator (incremental dispatch).
     pub fn new(config: ClusterConfig, cost: CostModel, scheduler: S) -> Self {
-        Self { config, cost, scheduler }
+        Self { config, cost, scheduler, dispatch: DispatchMode::default() }
+    }
+
+    /// Same simulator with an explicit [`DispatchMode`].
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     /// Run all queries to completion and report.
@@ -287,6 +460,18 @@ impl<S: Scheduler> Simulator<S> {
         let mut now = 0.0f64;
         let mut done_queries = 0usize;
 
+        // Materialized scheduling state for the incremental dispatch path.
+        // Seed every query's demand aggregates up front (WRD and critical
+        // path depend only on done-task counts, which start at zero, not on
+        // submission) so `Submit` handling stays O(1) per job.
+        let incremental = self.dispatch != DispatchMode::Reference;
+        let mut state = DispatchState::new(queries.len(), self.config.total_containers());
+        if incremental {
+            for qi in 0..queries.len() {
+                state.refresh_query(queries, &jobs, qi);
+            }
+        }
+
         while let Some(Reverse((Time(t), _, event))) = heap.pop() {
             debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
             now = t;
@@ -315,10 +500,13 @@ impl<S: Scheduler> Simulator<S> {
                         job: j,
                         category: queries[q].jobs[j].category,
                     });
+                    if incremental {
+                        state.insert_job(queries, &jobs, q, j);
+                    }
                 }
-                Event::TaskDone { q, j, kind, duration_ms, slot } => {
+                Event::TaskDone { q, j, kind, duration_bits, slot } => {
                     free_slots.push(Reverse(slot));
-                    let duration = duration_ms as f64 / 1e3;
+                    let duration = f64::from_bits(duration_bits);
                     sink.emit(&ObsEvent::TaskFinish {
                         t: now,
                         query: q,
@@ -376,13 +564,33 @@ impl<S: Scheduler> Simulator<S> {
                             sink.emit(&ObsEvent::QueryFinish { t: now, query: q });
                         }
                     }
+                    if incremental {
+                        state.on_task_done(queries, &jobs, q, j);
+                    }
                 }
             }
+            if self.dispatch == DispatchMode::Crosscheck {
+                state.crosscheck(queries, &jobs, "after event");
+            }
 
-            // Dispatch free containers.
+            // Dispatch free containers. Incremental modes read the
+            // maintained runnable view; Reference rebuilds it from scratch
+            // once per free container, exactly as the pre-incremental
+            // engine did.
             while !free_slots.is_empty() {
-                let runnable = collect_runnable(queries, &jobs, self.config.total_containers());
-                let Some(c) = self.scheduler.pick(&runnable) else { break };
+                let rebuilt;
+                let runnable: &[RunnableJob] = match self.dispatch {
+                    DispatchMode::Incremental => &state.runnable,
+                    DispatchMode::Crosscheck => {
+                        state.crosscheck(queries, &jobs, "before pick");
+                        &state.runnable
+                    }
+                    DispatchMode::Reference => {
+                        rebuilt = collect_runnable(queries, &jobs, self.config.total_containers());
+                        &rebuilt
+                    }
+                };
+                let Some(c) = self.scheduler.pick(runnable) else { break };
                 if sink.enabled() {
                     // Decision-record construction (candidate scoring) is
                     // skipped entirely for disabled sinks.
@@ -450,11 +658,14 @@ impl<S: Scheduler> Simulator<S> {
                         q: c.query,
                         j: c.job,
                         kind: c.kind,
-                        duration_ms: (duration * 1e3).round() as u64,
+                        duration_bits: duration.to_bits(),
                         slot,
                     },
                     &mut seq,
                 );
+                if incremental {
+                    state.on_dispatch(&jobs, c.query, c.job);
+                }
             }
         }
 
@@ -496,50 +707,76 @@ impl<S: Scheduler> Simulator<S> {
     }
 }
 
+/// Per-query demand aggregates: remaining WRD (Eq. 10) and remaining
+/// critical-path time over the unfinished DAG.
+///
+/// Shared by the from-scratch reference ([`collect_runnable`]) and the
+/// incremental [`DispatchState`] so both paths perform the identical
+/// floating-point operations in the identical order — scheduler scores
+/// derived from these must match bit-for-bit, not merely approximately.
+///
+/// `acc` is caller-provided scratch of length ≥ `q.jobs.len()`; every slot
+/// that is read is written first (jobs are topologically ordered with
+/// backward deps), so it needs no clearing between calls.
+fn query_demand(
+    q: &SimQuery,
+    qjobs: &[JobState],
+    containers: usize,
+    acc: &mut [f64],
+) -> (f64, f64) {
+    let c = containers.max(1) as f64;
+    // Remaining WRD over all unfinished jobs (Eq. 10), from percolated
+    // per-task time predictions.
+    let wrd: f64 = q
+        .jobs
+        .iter()
+        .filter(|j| qjobs[j.id].finished.is_none())
+        .map(|j| {
+            let js = &qjobs[j.id];
+            j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
+                + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64
+        })
+        .sum();
+    // Remaining critical-path time (jobs are topologically ordered, so
+    // one forward pass suffices): each unfinished job contributes its
+    // predicted remaining processing time spread over the containers.
+    let mut crit = 0.0f64;
+    for j in &q.jobs {
+        let js = &qjobs[j.id];
+        let own = if js.finished.is_some() {
+            0.0
+        } else {
+            (j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
+                + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64)
+                / c
+        };
+        let dep_max = j.deps.iter().map(|&d| acc[d]).fold(0.0, f64::max);
+        acc[j.id] = dep_max + own;
+        crit = crit.max(acc[j.id]);
+    }
+    (wrd, crit)
+}
+
+/// Build the full runnable view from scratch. This is the executable
+/// specification of what schedulers see: O(Σ jobs) per call, called once
+/// per free container under [`DispatchMode::Reference`]. The incremental
+/// path maintains the identical view (same entries, same order, same
+/// aggregate bits) without the rebuild.
 fn collect_runnable(
     queries: &[SimQuery],
     jobs: &[Vec<JobState>],
     containers: usize,
 ) -> Vec<RunnableJob> {
     let mut out = Vec::new();
-    let c = containers.max(1) as f64;
     for (qi, q) in queries.iter().enumerate() {
-        // Remaining WRD over all unfinished jobs (Eq. 10), from percolated
-        // per-task time predictions.
-        let wrd: f64 = q
-            .jobs
-            .iter()
-            .filter(|j| jobs[qi][j.id].finished.is_none())
-            .map(|j| {
-                let js = &jobs[qi][j.id];
-                j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
-                    + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64
-            })
-            .sum();
+        let mut acc = vec![0.0f64; q.jobs.len()];
+        let (wrd, crit) = query_demand(q, &jobs[qi], containers, &mut acc);
         // Total running tasks of this query (for queue-share accounting).
         let query_running: usize = q
             .jobs
             .iter()
             .map(|j| jobs[qi][j.id].running_maps + jobs[qi][j.id].running_reduces)
             .sum();
-        // Remaining critical-path time (jobs are topologically ordered, so
-        // one forward pass suffices): each unfinished job contributes its
-        // predicted remaining processing time spread over the containers.
-        let mut acc = vec![0.0f64; q.jobs.len()];
-        let mut crit = 0.0f64;
-        for j in &q.jobs {
-            let js = &jobs[qi][j.id];
-            let own = if js.finished.is_some() {
-                0.0
-            } else {
-                (j.prediction.map_task_time * (j.maps.len() - js.done_maps) as f64
-                    + j.prediction.reduce_task_time * (j.reduces.len() - js.done_reduces) as f64)
-                    / c
-            };
-            let dep_max = j.deps.iter().map(|&d| acc[d]).fold(0.0, f64::max);
-            acc[j.id] = dep_max + own;
-            crit = crit.max(acc[j.id]);
-        }
         for j in &q.jobs {
             let js = &jobs[qi][j.id];
             if !js.submitted || js.finished.is_some() {
@@ -812,5 +1049,115 @@ mod tests {
             assert!(q.finish <= r.makespan + 1e-9);
             assert!(q.start >= q.arrival);
         }
+    }
+
+    /// A workload that exercises every incremental-state transition: DAG
+    /// chains (reduce unlock + dependent submit), a map-only job, staggered
+    /// arrivals, and enough tasks for containers to stay contended.
+    fn mixed_workload() -> Vec<SimQuery> {
+        vec![
+            chained_query("a", 0.0, 3, 12),
+            simple_query("b", 1.5, 9, 4),
+            chained_query("c", 2.0, 2, 7),
+            simple_query("d", 4.0, 3, 0),
+            simple_query("e", 6.5, 5, 5),
+        ]
+    }
+
+    fn assert_incremental_matches_reference<S: Scheduler + Clone>(s: S) {
+        use sapred_obs::RecordingSink;
+        let queries = mixed_workload();
+        let mut rec_inc = RecordingSink::new();
+        let inc = sim(s.clone()).run_with(&queries, &mut rec_inc);
+        let mut rec_ref = RecordingSink::new();
+        let refr = sim(s).with_dispatch(DispatchMode::Reference).run_with(&queries, &mut rec_ref);
+        // Bit-identical reports: same schedule, same clock, same stats.
+        assert_eq!(inc.makespan.to_bits(), refr.makespan.to_bits());
+        assert_eq!(inc.queries, refr.queries);
+        assert_eq!(inc.jobs, refr.jobs);
+        // Identical event streams — including every Decision record's
+        // candidate list and f64 scores.
+        assert_eq!(rec_inc.events, rec_ref.events);
+    }
+
+    #[test]
+    fn incremental_matches_reference_for_all_schedulers() {
+        use crate::sched::{Hfs, Srt};
+        assert_incremental_matches_reference(Fifo);
+        assert_incremental_matches_reference(Hcs);
+        assert_incremental_matches_reference(Hfs);
+        assert_incremental_matches_reference(Swrd);
+        assert_incremental_matches_reference(Srt);
+        assert_incremental_matches_reference(crate::sched::HcsQueues::new(vec![0.5, 0.5]));
+    }
+
+    #[test]
+    fn crosscheck_mode_verifies_every_event() {
+        // Crosscheck re-derives the reference view after every event and
+        // before every pick and panics on divergence, so completing at all
+        // is the assertion.
+        let queries = mixed_workload();
+        sim(Swrd).with_dispatch(DispatchMode::Crosscheck).run(&queries);
+        sim(crate::sched::HcsQueues::new(vec![0.6, 0.4]))
+            .with_dispatch(DispatchMode::Crosscheck)
+            .run(&queries);
+    }
+
+    #[test]
+    fn report_task_averages_match_traced_durations_exactly() {
+        use sapred_obs::{Event as Ob, RecordingSink};
+        // TaskDone events carry exact f64 duration bits, so the report's
+        // per-job task averages must equal the traced durations with zero
+        // tolerance (the old millisecond rounding skewed them by up to
+        // 0.5 ms per task).
+        let queries = mixed_workload();
+        let mut rec = RecordingSink::new();
+        let report = sim(Hcs).run_with(&queries, &mut rec);
+        for js in &report.jobs {
+            let sum_for = |phase: TaskPhase| -> f64 {
+                rec.events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Ob::TaskFinish { query, job, phase: p, duration, .. }
+                            if (*query, *job, *p) == (js.query, js.job, phase) =>
+                        {
+                            Some(*duration)
+                        }
+                        _ => None,
+                    })
+                    .sum()
+            };
+            if js.n_maps > 0 {
+                let avg = sum_for(TaskPhase::Map) / js.n_maps as f64;
+                assert_eq!(js.map_task_avg.to_bits(), avg.to_bits());
+            }
+            if js.n_reduces > 0 {
+                let avg = sum_for(TaskPhase::Reduce) / js.n_reduces as f64;
+                assert_eq!(js.reduce_task_avg.to_bits(), avg.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_handles_nan_p() {
+        let mut r = SimReport::default();
+        assert_eq!(r.percentile(f64::NAN), 0.0);
+        for resp in [10.0, 20.0, 30.0] {
+            r.queries.push(QueryStat { name: "q".into(), arrival: 0.0, start: 0.0, finish: resp });
+        }
+        // NaN p must not index garbage or propagate: defined as 0.0.
+        assert_eq!(r.percentile(f64::NAN), 0.0);
+        assert_eq!(r.percentile(f64::from_bits(0x7ff8_0000_0000_0001)), 0.0);
+    }
+
+    #[test]
+    fn empty_query_panics_with_descriptive_message() {
+        let result = std::panic::catch_unwind(|| {
+            let hollow = SimQuery { name: "hollow".into(), arrival: 0.0, jobs: vec![] };
+            Simulator::new(ClusterConfig::default(), CostModel::default(), Fifo).run(&[hollow])
+        });
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload is a String");
+        assert!(msg.contains("no jobs"), "unhelpful panic: {msg}");
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the incremental dispatch state: on random DAG
+//! workloads, the materialized runnable view must equal the from-scratch
+//! [`collect_runnable`] reference after every event and before every pick
+//! ([`DispatchMode::Crosscheck`] asserts exactly that inside the engine),
+//! and a full incremental run must produce a bit-identical report to a
+//! reference run — for every scheduler.
+
+use proptest::prelude::*;
+use sapred_cluster::{
+    ClusterConfig, CostModel, DispatchMode, Fifo, Hcs, HcsQueues, Hfs, JobPrediction, Scheduler,
+    SimJob, SimQuery, Simulator, Srt, Swrd, TaskKind, TaskSpec,
+};
+use sapred_plan::dag::JobCategory;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn task(kind: TaskKind, bytes: f64) -> TaskSpec {
+    TaskSpec {
+        bytes_in: bytes,
+        bytes_out: bytes / 2.0,
+        category: JobCategory::Extract,
+        kind,
+        p: 0.5,
+    }
+}
+
+/// One job descriptor: (maps, reduces, map_time, reduce_time, dep selector).
+type JobSpec = (usize, usize, f64, f64, u64);
+
+fn query_strategy() -> impl Strategy<Value = SimQuery> {
+    (
+        prop::collection::vec((1usize..5, 0usize..3, 0.5f64..8.0, 0.5f64..8.0, 0u64..1000), 1..4),
+        0.0f64..10.0,
+    )
+        .prop_map(|(specs, arrival): (Vec<JobSpec>, f64)| {
+            let jobs = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(maps, reduces, map_t, reduce_t, sel))| SimJob {
+                    id: i,
+                    // Roughly a third of non-root jobs are independent
+                    // roots; the rest depend on a pseudo-random earlier job,
+                    // so chains, diamonds and forests all occur.
+                    deps: if i == 0 || sel % 3 == 0 { vec![] } else { vec![sel as usize % i] },
+                    category: JobCategory::Extract,
+                    maps: vec![task(TaskKind::Map, (32.0 + map_t * 16.0) * MB); maps],
+                    reduces: vec![task(TaskKind::Reduce, 32.0 * MB); reduces],
+                    prediction: JobPrediction { map_task_time: map_t, reduce_task_time: reduce_t },
+                })
+                .collect();
+            SimQuery { name: "q".into(), arrival, jobs }
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = Vec<SimQuery>> {
+    prop::collection::vec(query_strategy(), 1..4).prop_map(|mut qs| {
+        for (i, q) in qs.iter_mut().enumerate() {
+            q.name = format!("q{i}");
+        }
+        qs
+    })
+}
+
+/// Small cluster so containers stay contended and the dispatch loop makes
+/// real choices (a cluster larger than the workload never queues anything).
+fn config() -> ClusterConfig {
+    ClusterConfig { nodes: 2, containers_per_node: 3, ..Default::default() }
+}
+
+fn check_one<S: Scheduler + Clone>(s: S, queries: &[SimQuery]) -> Result<(), TestCaseError> {
+    // Crosscheck panics inside the engine the moment the materialized state
+    // diverges from collect_runnable, event by event.
+    let inc = Simulator::new(config(), CostModel::default(), s.clone())
+        .with_dispatch(DispatchMode::Crosscheck)
+        .run(queries);
+    let refr = Simulator::new(config(), CostModel::default(), s)
+        .with_dispatch(DispatchMode::Reference)
+        .run(queries);
+    // And the end-to-end reports agree bit-for-bit.
+    prop_assert_eq!(inc.makespan.to_bits(), refr.makespan.to_bits());
+    prop_assert_eq!(&inc.queries, &refr.queries);
+    prop_assert_eq!(&inc.jobs, &refr.jobs);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_state_matches_reference_for_random_dags(queries in workload_strategy()) {
+        check_one(Fifo, &queries)?;
+        check_one(Hcs, &queries)?;
+        check_one(Hfs, &queries)?;
+        check_one(Swrd, &queries)?;
+        check_one(Srt, &queries)?;
+        check_one(HcsQueues::new(vec![0.6, 0.3, 0.1]), &queries)?;
+    }
+}

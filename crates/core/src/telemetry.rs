@@ -317,7 +317,7 @@ mod tests {
         // of the simulated truth on aggregate.
         let job_mare = drift.aggregate(Quantity::Job).mare();
         assert!(job_mare < 2.0, "job MARE {job_mare}");
-        assert!(drift.aggregate(Quantity::Query).n as u64 > 0);
+        assert!(drift.aggregate(Quantity::Query).n > 0);
     }
 
     #[test]

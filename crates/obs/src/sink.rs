@@ -213,7 +213,7 @@ mod tests {
     fn mut_ref_forwarding_works() {
         let mut rec = RecordingSink::new();
         {
-            let mut as_ref: &mut RecordingSink = &mut rec;
+            let as_ref: &mut RecordingSink = &mut rec;
             assert!(as_ref.enabled());
             as_ref.emit(&ev(1.0));
         }

@@ -28,11 +28,7 @@ fn workload() -> Vec<SimQuery> {
             category,
             maps: vec![task(128.0, TaskKind::Map, category); maps],
             reduces: vec![task(64.0, TaskKind::Reduce, category); reduces],
-            prediction: JobPrediction {
-                map_task_time: 2.0,
-                reduce_task_time: 1.5,
-                ..JobPrediction::default()
-            },
+            prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 1.5 },
         };
     (0..3)
         .map(|q| SimQuery {
