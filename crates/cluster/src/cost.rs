@@ -137,6 +137,24 @@ impl CostModel {
         }
         d
     }
+
+    /// Sample whether a task attempt fails mid-run, and if so at what
+    /// fraction of its nominal duration the failure surfaces (failures are
+    /// detected partway through — a crashed JVM, a lost heartbeat — never
+    /// exactly at the finish line).
+    ///
+    /// Lives beside straggler sampling because both model the same reality
+    /// (production tasks misbehave), but draws from the *fault* RNG stream,
+    /// not the duration-noise stream: with `fail_prob == 0.0` no random
+    /// numbers are consumed at all, keeping fault-free runs bit-identical.
+    pub fn sample_failure<R: Rng + ?Sized>(&self, fail_prob: f64, rng: &mut R) -> Option<f64> {
+        if fail_prob > 0.0 && rng.gen_bool(fail_prob.clamp(0.0, 1.0)) {
+            // Uniform in [0.05, 0.95]: strictly inside the attempt's run.
+            Some(0.05 + 0.9 * rng.gen::<f64>())
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +254,26 @@ mod tests {
         // With stragglers off, nothing exceeds 4x the mean at sigma 8%.
         m.straggler_prob = 0.0;
         assert!((0..n).all(|_| m.duration_loaded(&t, 0.0, &mut rng) < 4.0 * mean));
+    }
+
+    #[test]
+    fn failure_sampling_respects_probability_and_zero_draws_nothing() {
+        let m = CostModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5000;
+        let failures = (0..n).filter_map(|_| m.sample_failure(0.2, &mut rng)).collect::<Vec<_>>();
+        let frac = failures.len() as f64 / n as f64;
+        assert!((0.16..0.24).contains(&frac), "failure fraction {frac}");
+        assert!(failures.iter().all(|f| (0.05..0.95).contains(f)), "fail fractions inside run");
+
+        // fail_prob == 0 must not consume any randomness: the stream is
+        // bit-identical to an untouched RNG.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(m.sample_failure(0.0, &mut a), None);
+        }
+        assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   noise) whose coefficients the prediction layer never sees,
 //! * query DAG semantics: a job is submitted only when its parents finish,
 //!   exactly like Hive's JobListener (paper §2.2),
+//! * an optional seeded fault model ([`fault::FaultPlan`]): transient task
+//!   failures with capped-backoff retries, scheduled node crashes with
+//!   lost-map-output re-execution, node blacklisting, and speculative
+//!   execution — replayed deterministically for any `(workload, plan, seed)`,
 //! * four schedulers: job-level [`sched::Fifo`], [`sched::Hcs`] (capacity),
 //!   [`sched::Hfs`] (fair), and the paper's query-level
 //!   [`sched::Swrd`] (smallest Weighted Resource Demand first, §4.3).
@@ -22,12 +26,14 @@
 
 pub mod build;
 pub mod cost;
+pub mod fault;
 pub mod job;
 pub mod sched;
 pub mod sim;
 
 pub use build::build_sim_query;
 pub use cost::CostModel;
+pub use fault::{FaultPlan, FaultStats, NodeCrash};
 pub use job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 pub use sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
 pub use sim::{ClusterConfig, DispatchMode, JobStat, QueryStat, SimReport, Simulator};

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sapred_cluster::{
-    ClusterConfig, CostModel, DispatchMode, Fifo, Hcs, HcsQueues, Hfs, JobPrediction, Scheduler,
-    SimJob, SimQuery, Simulator, Srt, Swrd, TaskKind, TaskSpec,
+    ClusterConfig, CostModel, DispatchMode, FaultPlan, Fifo, Hcs, HcsQueues, Hfs, JobPrediction,
+    NodeCrash, Scheduler, SimJob, SimQuery, Simulator, Srt, Swrd, TaskKind, TaskSpec,
 };
 use sapred_plan::dag::JobCategory;
 
@@ -67,19 +67,36 @@ fn config() -> ClusterConfig {
     ClusterConfig { nodes: 2, containers_per_node: 3, ..Default::default() }
 }
 
-fn check_one<S: Scheduler + Clone>(s: S, queries: &[SimQuery]) -> Result<(), TestCaseError> {
+fn check_one<S: Scheduler + Clone>(
+    s: S,
+    queries: &[SimQuery],
+    plan: &FaultPlan,
+) -> Result<(), TestCaseError> {
     // Crosscheck panics inside the engine the moment the materialized state
     // diverges from collect_runnable, event by event.
     let inc = Simulator::new(config(), CostModel::default(), s.clone())
         .with_dispatch(DispatchMode::Crosscheck)
+        .with_faults(plan.clone())
         .run(queries);
     let refr = Simulator::new(config(), CostModel::default(), s)
         .with_dispatch(DispatchMode::Reference)
+        .with_faults(plan.clone())
         .run(queries);
     // And the end-to-end reports agree bit-for-bit.
     prop_assert_eq!(inc.makespan.to_bits(), refr.makespan.to_bits());
     prop_assert_eq!(&inc.queries, &refr.queries);
     prop_assert_eq!(&inc.jobs, &refr.jobs);
+    prop_assert_eq!(&inc.faults, &refr.faults);
+    Ok(())
+}
+
+fn check_all(queries: &[SimQuery], plan: &FaultPlan) -> Result<(), TestCaseError> {
+    check_one(Fifo, queries, plan)?;
+    check_one(Hcs, queries, plan)?;
+    check_one(Hfs, queries, plan)?;
+    check_one(Swrd, queries, plan)?;
+    check_one(Srt, queries, plan)?;
+    check_one(HcsQueues::new(vec![0.6, 0.3, 0.1]), queries, plan)?;
     Ok(())
 }
 
@@ -88,11 +105,31 @@ proptest! {
 
     #[test]
     fn incremental_state_matches_reference_for_random_dags(queries in workload_strategy()) {
-        check_one(Fifo, &queries)?;
-        check_one(Hcs, &queries)?;
-        check_one(Hfs, &queries)?;
-        check_one(Swrd, &queries)?;
-        check_one(Srt, &queries)?;
-        check_one(HcsQueues::new(vec![0.6, 0.3, 0.1]), &queries)?;
+        check_all(&queries, &FaultPlan::none())?;
+    }
+
+    #[test]
+    fn incremental_state_matches_reference_under_faults(
+        queries in workload_strategy(),
+        fail_prob in 0.0f64..0.15,
+        crash in prop::option::of((0usize..2, 2.0f64..40.0, 2.0f64..25.0)),
+        speculative in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        // Kills, retries, claw-backs and abandonment all mutate the
+        // dispatch state through resync paths that the fault-free property
+        // never exercises — the materialized view must still match the
+        // reference on every event.
+        let plan = FaultPlan {
+            task_fail_prob: fail_prob,
+            max_attempts: 20,
+            node_crashes: crash
+                .map(|(n, at, d)| vec![NodeCrash::transient(n, at, d)])
+                .unwrap_or_default(),
+            speculative,
+            seed,
+            ..FaultPlan::default()
+        };
+        check_all(&queries, &plan)?;
     }
 }

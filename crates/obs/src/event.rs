@@ -57,6 +57,29 @@ impl Quantity {
     }
 }
 
+/// Why a node stopped accepting tasks.
+///
+/// Lives here (not in the cluster crate) for the same reason as
+/// [`TaskPhase`]: the cluster crate depends on this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DownReason {
+    /// The node crashed per the fault plan's schedule; it may come back.
+    Crash,
+    /// The node accumulated too many task failures and was blacklisted for
+    /// the rest of the run.
+    Blacklist,
+}
+
+impl DownReason {
+    /// Lower-case label used in JSON output and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DownReason::Crash => "crash",
+            DownReason::Blacklist => "blacklist",
+        }
+    }
+}
+
 /// One candidate considered by a scheduler when picking the next task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
@@ -158,6 +181,102 @@ pub enum Event {
         /// Task duration in seconds.
         duration: f64,
     },
+    /// A task attempt failed mid-run (transient fault) and released its slot.
+    TaskFailed {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Cluster node index the attempt ran on.
+        node: usize,
+        /// Container slot index within the node.
+        slot: usize,
+        /// Attempt number for this task (1-based; 1 = first try).
+        attempt: usize,
+        /// Seconds the attempt ran before failing.
+        ran_for: f64,
+        /// Whether a retry was scheduled (false once attempts are
+        /// exhausted or a live clone already covers the task).
+        will_retry: bool,
+        /// When the retry re-enters the runnable set (only meaningful when
+        /// `will_retry`; equals `t` otherwise).
+        retry_at: f64,
+    },
+    /// A running attempt was killed: node crash, speculative race lost, or
+    /// its query was abandoned. Killed attempts never count toward stats.
+    TaskKilled {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Cluster node index the attempt ran on.
+        node: usize,
+        /// Container slot index within the node.
+        slot: usize,
+        /// Whether the killed attempt was a speculative clone.
+        speculative: bool,
+        /// Whether the task immediately re-entered the runnable set (true
+        /// for node-crash victims; false when a partner attempt covers the
+        /// task or the query was abandoned).
+        requeued: bool,
+    },
+    /// A node stopped accepting tasks (crash or blacklist).
+    NodeDown {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Node index.
+        node: usize,
+        /// Crash (may recover) or blacklist (permanent for the run).
+        reason: DownReason,
+        /// Completed map outputs on this node invalidated by the outage
+        /// (always 0 for blacklists: the node's disks stay reachable).
+        lost_maps: usize,
+    },
+    /// A crashed node recovered and resumed accepting tasks.
+    NodeUp {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Node index.
+        node: usize,
+    },
+    /// A straggler attempt was cloned onto another container (speculative
+    /// execution). Followed by the clone's own `TaskStart`.
+    SpeculativeLaunch {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Node the clone was placed on.
+        node: usize,
+        /// Container slot the clone occupies.
+        slot: usize,
+    },
+    /// A node crash invalidated completed map output of one job; the maps
+    /// re-enter the runnable set (the classic MapReduce re-execution rule).
+    MapOutputLost {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Query index within the workload.
+        query: usize,
+        /// Job index within the query.
+        job: usize,
+        /// Node whose local map output was lost.
+        node: usize,
+        /// Number of completed maps of this job that must re-run.
+        maps_lost: usize,
+    },
     /// A scheduler decision: which runnable job got the free container, and
     /// what every candidate scored under the active policy.
     Decision {
@@ -221,6 +340,12 @@ impl Event {
             | Event::JobFinish { t, .. }
             | Event::TaskStart { t, .. }
             | Event::TaskFinish { t, .. }
+            | Event::TaskFailed { t, .. }
+            | Event::TaskKilled { t, .. }
+            | Event::NodeDown { t, .. }
+            | Event::NodeUp { t, .. }
+            | Event::SpeculativeLaunch { t, .. }
+            | Event::MapOutputLost { t, .. }
             | Event::Decision { t, .. }
             | Event::Eta { t, .. }
             | Event::PredictionError { t, .. } => *t,
@@ -238,6 +363,12 @@ impl Event {
             Event::JobFinish { .. } => "job_finish",
             Event::TaskStart { .. } => "task_start",
             Event::TaskFinish { .. } => "task_finish",
+            Event::TaskFailed { .. } => "task_failed",
+            Event::TaskKilled { .. } => "task_killed",
+            Event::NodeDown { .. } => "node_down",
+            Event::NodeUp { .. } => "node_up",
+            Event::SpeculativeLaunch { .. } => "speculative_launch",
+            Event::MapOutputLost { .. } => "map_output_lost",
             Event::Decision { .. } => "decision",
             Event::Eta { .. } => "eta",
             Event::PredictionError { .. } => "prediction_error",
@@ -281,6 +412,56 @@ impl Event {
                 .int("node", *node as u64)
                 .int("slot", *slot as u64)
                 .num("duration", *duration)
+                .finish(),
+            Event::TaskFailed {
+                query,
+                job,
+                phase,
+                node,
+                slot,
+                attempt,
+                ran_for,
+                will_retry,
+                retry_at,
+                ..
+            } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("phase", phase.label())
+                .int("node", *node as u64)
+                .int("slot", *slot as u64)
+                .int("attempt", *attempt as u64)
+                .num("ran_for", *ran_for)
+                .bool("will_retry", *will_retry)
+                .num("retry_at", *retry_at)
+                .finish(),
+            Event::TaskKilled { query, job, phase, node, slot, speculative, requeued, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("phase", phase.label())
+                .int("node", *node as u64)
+                .int("slot", *slot as u64)
+                .bool("speculative", *speculative)
+                .bool("requeued", *requeued)
+                .finish(),
+            Event::NodeDown { node, reason, lost_maps, .. } => base
+                .int("node", *node as u64)
+                .str("reason", reason.label())
+                .int("lost_maps", *lost_maps as u64)
+                .finish(),
+            Event::NodeUp { node, .. } => base.int("node", *node as u64).finish(),
+            Event::SpeculativeLaunch { query, job, phase, node, slot, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .str("phase", phase.label())
+                .int("node", *node as u64)
+                .int("slot", *slot as u64)
+                .finish(),
+            Event::MapOutputLost { query, job, node, maps_lost, .. } => base
+                .int("query", *query as u64)
+                .int("job", *job as u64)
+                .int("node", *node as u64)
+                .int("maps_lost", *maps_lost as u64)
                 .finish(),
             Event::Decision {
                 policy,
@@ -361,6 +542,39 @@ mod tests {
                 queue_depth: 2,
                 free_containers: 9,
             },
+            Event::TaskFailed {
+                t: 2.0,
+                query: 0,
+                job: 0,
+                phase: TaskPhase::Map,
+                node: 2,
+                slot: 7,
+                attempt: 1,
+                ran_for: 0.5,
+                will_retry: true,
+                retry_at: 2.5,
+            },
+            Event::TaskKilled {
+                t: 2.2,
+                query: 0,
+                job: 0,
+                phase: TaskPhase::Reduce,
+                node: 1,
+                slot: 3,
+                speculative: true,
+                requeued: false,
+            },
+            Event::NodeDown { t: 2.5, node: 1, reason: DownReason::Crash, lost_maps: 4 },
+            Event::NodeUp { t: 3.0, node: 1 },
+            Event::SpeculativeLaunch {
+                t: 3.1,
+                query: 0,
+                job: 0,
+                phase: TaskPhase::Map,
+                node: 0,
+                slot: 1,
+            },
+            Event::MapOutputLost { t: 2.5, query: 0, job: 0, node: 1, maps_lost: 4 },
             Event::JobFinish { t: 4.0, query: 0, job: 0, category: JobCategory::Extract },
             Event::QueryFinish { t: 4.0, query: 0 },
             Event::Eta { t: 2.0, query: 0, fraction: 0.5, eta: 2.0 },
@@ -391,6 +605,31 @@ mod tests {
             assert!(ev.time() >= 0.0);
         }
         assert_eq!(Event::QueryStart { t: 7.25, query: 3 }.time(), 7.25);
+    }
+
+    #[test]
+    fn fault_events_render_expected_fields() {
+        let by_kind = |k: &str| {
+            sample_events()
+                .into_iter()
+                .find(|e| e.kind() == k)
+                .unwrap_or_else(|| panic!("no sample for {k}"))
+                .to_json()
+        };
+        let failed = by_kind("task_failed");
+        assert!(failed.contains("\"attempt\":1"));
+        assert!(failed.contains("\"will_retry\":true"));
+        assert!(failed.contains("\"retry_at\":2.5"));
+        let killed = by_kind("task_killed");
+        assert!(killed.contains("\"speculative\":true"));
+        assert!(killed.contains("\"requeued\":false"));
+        let down = by_kind("node_down");
+        assert!(down.contains("\"reason\":\"crash\""));
+        assert!(down.contains("\"lost_maps\":4"));
+        assert_eq!(DownReason::Blacklist.label(), "blacklist");
+        assert!(by_kind("node_up").contains("\"node\":1"));
+        assert!(by_kind("speculative_launch").contains("\"phase\":\"map\""));
+        assert!(by_kind("map_output_lost").contains("\"maps_lost\":4"));
     }
 
     #[test]

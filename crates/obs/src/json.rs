@@ -86,6 +86,13 @@ impl Obj {
         self
     }
 
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Add a pre-rendered JSON value (object, array, …) verbatim.
     pub fn raw(mut self, k: &str, v: &str) -> Self {
         self.key(k);
@@ -308,10 +315,14 @@ mod tests {
             .num("f", -2.25)
             .num("nan", f64::NAN)
             .int("i", 42)
+            .bool("b", true)
+            .bool("nb", false)
             .raw("arr", &inner)
             .finish();
         validate(&doc).unwrap();
         assert!(doc.contains("\"nan\":null"));
+        assert!(doc.contains("\"b\":true"));
+        assert!(doc.contains("\"nb\":false"));
     }
 
     #[test]

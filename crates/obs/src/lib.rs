@@ -39,7 +39,7 @@ pub mod sink;
 pub mod trace;
 
 pub use drift::{DriftStat, DriftTracker};
-pub use event::{Candidate, Event, Quantity, TaskPhase};
+pub use event::{Candidate, DownReason, Event, Quantity, TaskPhase};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSink};
 pub use sink::{EventSink, JsonlSink, NullSink, RecordingSink, Tee};
 pub use trace::ChromeTraceSink;

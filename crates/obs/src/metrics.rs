@@ -303,6 +303,39 @@ impl EventSink for MetricsSink {
                     }
                 }
             }
+            Event::TaskFailed { phase, ran_for, will_retry, .. } => {
+                // A failed attempt releases its container just like a finish,
+                // or the utilization integral would leak busy slots.
+                self.busy = self.busy.saturating_sub(1);
+                self.registry.inc(match phase {
+                    TaskPhase::Map => "tasks_failed_map",
+                    TaskPhase::Reduce => "tasks_failed_reduce",
+                });
+                if *will_retry {
+                    self.registry.inc("retries_scheduled");
+                }
+                self.registry.observe("failed_attempt_seconds", *ran_for);
+            }
+            Event::TaskKilled { speculative, requeued, .. } => {
+                self.busy = self.busy.saturating_sub(1);
+                self.registry.inc("tasks_killed");
+                if *speculative {
+                    self.registry.inc("speculative_losses");
+                }
+                if *requeued {
+                    self.registry.inc("tasks_requeued");
+                }
+            }
+            Event::NodeDown { reason, lost_maps, .. } => {
+                self.registry.inc(match reason {
+                    crate::event::DownReason::Crash => "node_crashes",
+                    crate::event::DownReason::Blacklist => "nodes_blacklisted",
+                });
+                self.registry.add("maps_lost", *lost_maps as u64);
+            }
+            Event::NodeUp { .. } => self.registry.inc("node_recoveries"),
+            Event::SpeculativeLaunch { .. } => self.registry.inc("speculative_launches"),
+            Event::MapOutputLost { .. } => self.registry.inc("map_output_loss_events"),
             Event::Decision { queue_depth, free_containers, .. } => {
                 self.registry.inc("scheduler_decisions");
                 self.registry.observe_with("queue_depth", *queue_depth as f64, || {
@@ -392,6 +425,75 @@ mod tests {
         assert_eq!(sink.registry.counter("tasks_started_map"), 1);
         assert_eq!(sink.registry.counter("tasks_finished_map"), 1);
         assert_eq!(sink.registry.histogram("task_seconds_map").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn fault_events_release_busy_slots_and_count() {
+        use crate::event::DownReason;
+        let mut sink = MetricsSink::new(2);
+        let start = |t: f64, node: usize| Event::TaskStart {
+            t,
+            query: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+            node,
+            slot: 0,
+        };
+        // One attempt fails at t=2, another is killed at t=2: both slots must
+        // be released, so utilization over [0, 4] is (2+2)/(2*4) = 0.5.
+        sink.emit(&start(0.0, 0));
+        sink.emit(&start(0.0, 1));
+        sink.emit(&Event::TaskFailed {
+            t: 2.0,
+            query: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+            node: 0,
+            slot: 0,
+            attempt: 1,
+            ran_for: 2.0,
+            will_retry: true,
+            retry_at: 2.5,
+        });
+        sink.emit(&Event::TaskKilled {
+            t: 2.0,
+            query: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+            node: 1,
+            slot: 0,
+            speculative: true,
+            requeued: false,
+        });
+        sink.emit(&Event::NodeDown { t: 2.0, node: 1, reason: DownReason::Crash, lost_maps: 3 });
+        sink.emit(&Event::NodeDown {
+            t: 2.5,
+            node: 0,
+            reason: DownReason::Blacklist,
+            lost_maps: 0,
+        });
+        sink.emit(&Event::NodeUp { t: 3.0, node: 1 });
+        sink.emit(&Event::SpeculativeLaunch {
+            t: 3.0,
+            query: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+            node: 1,
+            slot: 0,
+        });
+        sink.emit(&Event::MapOutputLost { t: 2.0, query: 0, job: 0, node: 1, maps_lost: 3 });
+        assert!((sink.utilization(4.0) - 0.5).abs() < 1e-12, "{}", sink.utilization(4.0));
+        assert_eq!(sink.registry.counter("tasks_failed_map"), 1);
+        assert_eq!(sink.registry.counter("retries_scheduled"), 1);
+        assert_eq!(sink.registry.counter("tasks_killed"), 1);
+        assert_eq!(sink.registry.counter("speculative_losses"), 1);
+        assert_eq!(sink.registry.counter("node_crashes"), 1);
+        assert_eq!(sink.registry.counter("nodes_blacklisted"), 1);
+        assert_eq!(sink.registry.counter("node_recoveries"), 1);
+        assert_eq!(sink.registry.counter("speculative_launches"), 1);
+        assert_eq!(sink.registry.counter("maps_lost"), 3);
+        assert_eq!(sink.registry.counter("map_output_loss_events"), 1);
+        validate(&sink.finish(4.0)).unwrap();
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct ChromeTraceSink {
     query_open: HashMap<usize, (String, f64)>,
     // (query, job) -> first task start time
     job_open: HashMap<(usize, usize), f64>,
+    // (node, slot) -> start time of the attempt currently occupying it;
+    // lets killed attempts (which never emit TaskFinish) close their spans.
+    task_open: HashMap<(usize, usize), f64>,
     queries_seen: Vec<usize>,
 }
 
@@ -108,6 +111,21 @@ impl ChromeTraceSink {
         out
     }
 
+    // One instant (`ph:"i"`) record on the scheduler track.
+    fn instant(&mut self, name: &str, t: f64, args: String) {
+        self.spans.push(
+            Obj::new()
+                .str("name", name)
+                .str("ph", "i")
+                .str("s", "t")
+                .num("ts", us(t))
+                .int("pid", CLUSTER_PID)
+                .int("tid", SCHED_TID)
+                .raw("args", &args)
+                .finish(),
+        );
+    }
+
     /// Serialize the collected trace as a Chrome `trace_event` JSON document.
     ///
     /// # Errors
@@ -156,8 +174,12 @@ impl EventSink for ChromeTraceSink {
                     ));
                 }
             }
+            Event::TaskStart { t, node, slot, .. } => {
+                self.task_open.insert((*node, *slot), *t);
+            }
             Event::TaskFinish { t, query, job, phase, node, slot, duration } => {
                 self.slots_seen.insert((*node, *slot), ());
+                self.task_open.remove(&(*node, *slot));
                 let label = match phase {
                     TaskPhase::Map => "map",
                     TaskPhase::Reduce => "reduce",
@@ -170,6 +192,70 @@ impl EventSink for ChromeTraceSink {
                     *t,
                     None,
                 ));
+            }
+            Event::TaskFailed { t, query, job, phase, node, slot, attempt, ran_for, .. } => {
+                self.slots_seen.insert((*node, *slot), ());
+                self.task_open.remove(&(*node, *slot));
+                self.spans.push(complete(
+                    &format!("{} {query}.{job} FAILED", phase.label()),
+                    CLUSTER_PID,
+                    slot_tid(*node, *slot),
+                    t - ran_for,
+                    *t,
+                    Some(Obj::new().int("attempt", *attempt as u64).finish()),
+                ));
+            }
+            Event::TaskKilled { t, query, job, phase, node, slot, speculative, .. } => {
+                self.slots_seen.insert((*node, *slot), ());
+                if let Some(start) = self.task_open.remove(&(*node, *slot)) {
+                    self.spans.push(complete(
+                        &format!("{} {query}.{job} KILLED", phase.label()),
+                        CLUSTER_PID,
+                        slot_tid(*node, *slot),
+                        start,
+                        *t,
+                        Some(Obj::new().bool("speculative", *speculative).finish()),
+                    ));
+                }
+            }
+            Event::NodeDown { t, node, reason, lost_maps } => {
+                self.instant(
+                    &format!("node {node} down ({})", reason.label()),
+                    *t,
+                    Obj::new()
+                        .int("node", *node as u64)
+                        .str("reason", reason.label())
+                        .int("lost_maps", *lost_maps as u64)
+                        .finish(),
+                );
+            }
+            Event::NodeUp { t, node } => {
+                self.instant(
+                    &format!("node {node} up"),
+                    *t,
+                    Obj::new().int("node", *node as u64).finish(),
+                );
+            }
+            Event::SpeculativeLaunch { t, query, job, phase, node, slot } => {
+                self.instant(
+                    &format!("speculate {query}.{job}"),
+                    *t,
+                    Obj::new()
+                        .str("phase", phase.label())
+                        .int("node", *node as u64)
+                        .int("slot", *slot as u64)
+                        .finish(),
+                );
+            }
+            Event::MapOutputLost { t, query, job, node, maps_lost } => {
+                self.instant(
+                    &format!("lost maps {query}.{job}"),
+                    *t,
+                    Obj::new()
+                        .int("node", *node as u64)
+                        .int("maps_lost", *maps_lost as u64)
+                        .finish(),
+                );
             }
             Event::Decision { t, policy, candidates, chosen_query, chosen_job, .. } => {
                 let scores = array(candidates.iter().map(|c| {
@@ -255,6 +341,83 @@ mod tests {
         // Task span: started at 0.5 s → ts 500000 µs, dur 2 s → 2000000 µs.
         assert!(doc.contains("\"ts\":500000"), "{doc}");
         assert!(doc.contains("\"dur\":2000000"), "{doc}");
+    }
+
+    #[test]
+    fn fault_events_produce_spans_and_instants() {
+        use crate::event::DownReason;
+        let mut sink = ChromeTraceSink::new();
+        let events = [
+            // A failed attempt: span reconstructed from ran_for.
+            Event::TaskFailed {
+                t: 2.0,
+                query: 0,
+                job: 1,
+                phase: TaskPhase::Map,
+                node: 0,
+                slot: 1,
+                attempt: 2,
+                ran_for: 0.5,
+                will_retry: true,
+                retry_at: 3.0,
+            },
+            // A killed attempt: span closed from its TaskStart.
+            Event::TaskStart { t: 1.0, query: 0, job: 1, phase: TaskPhase::Map, node: 1, slot: 0 },
+            Event::TaskKilled {
+                t: 2.5,
+                query: 0,
+                job: 1,
+                phase: TaskPhase::Map,
+                node: 1,
+                slot: 0,
+                speculative: false,
+                requeued: true,
+            },
+            Event::NodeDown { t: 2.5, node: 1, reason: DownReason::Crash, lost_maps: 2 },
+            Event::MapOutputLost { t: 2.5, query: 0, job: 1, node: 1, maps_lost: 2 },
+            Event::NodeUp { t: 5.5, node: 1 },
+            Event::SpeculativeLaunch {
+                t: 6.0,
+                query: 0,
+                job: 1,
+                phase: TaskPhase::Reduce,
+                node: 0,
+                slot: 2,
+            },
+        ];
+        for ev in &events {
+            sink.emit(ev);
+        }
+        // failed span + killed span + 4 instants
+        assert_eq!(sink.span_count(), 6);
+        let mut buf = Vec::new();
+        sink.write(&mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(doc.contains("map 0.1 FAILED"));
+        // Failed span starts at t - ran_for = 1.5 s → 1500000 µs.
+        assert!(doc.contains("\"ts\":1500000"), "{doc}");
+        assert!(doc.contains("map 0.1 KILLED"));
+        assert!(doc.contains("node 1 down (crash)"));
+        assert!(doc.contains("node 1 up"));
+        assert!(doc.contains("speculate 0.1"));
+        assert!(doc.contains("lost maps 0.1"));
+    }
+
+    #[test]
+    fn kill_without_start_is_dropped_not_corrupted() {
+        let mut sink = ChromeTraceSink::new();
+        sink.emit(&Event::TaskKilled {
+            t: 1.0,
+            query: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+            node: 0,
+            slot: 0,
+            speculative: true,
+            requeued: false,
+        });
+        assert_eq!(sink.span_count(), 0);
     }
 
     #[test]

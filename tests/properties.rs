@@ -3,13 +3,15 @@
 //! simulation sanity under randomized inputs.
 
 use proptest::prelude::*;
+use sapred::cluster::fault::{FaultPlan, NodeCrash};
 use sapred::cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
-use sapred::cluster::sched::Fifo;
-use sapred::cluster::sim::{ClusterConfig, Simulator};
+use sapred::cluster::sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
+use sapred::cluster::sim::{ClusterConfig, DispatchMode, SimReport, Simulator};
 use sapred::cluster::CostModel;
 use sapred::core::framework::{Framework, Predictor, QuerySemantics};
 use sapred::core::progress::{JobProgress, ProgressEstimator};
 use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::obs::JsonlSink;
 use sapred::plan::dag::JobCategory;
 use sapred::predict::metrics::{avg_rel_error, r_squared};
 use sapred::predict::wrd::{job_time_waves, JobResource};
@@ -49,6 +51,40 @@ fn progress_fixture() -> &'static (Predictor, QuerySemantics) {
         let predictor = Predictor::new(fit_models(&train, &fw), fw);
         (predictor, semantics)
     })
+}
+
+/// One fault-injected, dispatch-crosschecked simulation run, traced into a
+/// JSONL sink so the exported event stream can be compared bit-for-bit.
+fn run_faulted_traced<S: Scheduler>(
+    s: S,
+    queries: &[SimQuery],
+    plan: &FaultPlan,
+) -> (SimReport, Vec<u8>) {
+    let config = ClusterConfig { nodes: 2, containers_per_node: 3, ..ClusterConfig::default() };
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = Simulator::new(config, CostModel::default(), s)
+        .with_dispatch(DispatchMode::Crosscheck)
+        .with_faults(plan.clone())
+        .run_with(queries, &mut sink);
+    (report, sink.finish().unwrap())
+}
+
+/// Two runs of the same (workload, plan, scheduler) must be bit-identical:
+/// report, fault stats, and the entire exported event stream.
+fn assert_fault_replay<S: Scheduler + Clone>(
+    s: S,
+    queries: &[SimQuery],
+    plan: &FaultPlan,
+    tag: &str,
+) -> Result<(), TestCaseError> {
+    let (r1, e1) = run_faulted_traced(s.clone(), queries, plan);
+    let (r2, e2) = run_faulted_traced(s, queries, plan);
+    prop_assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits(), "{}: makespan", tag);
+    prop_assert_eq!(&r1.queries, &r2.queries, "{}: query stats", tag);
+    prop_assert_eq!(&r1.jobs, &r2.jobs, "{}: job stats", tag);
+    prop_assert_eq!(&r1.faults, &r2.faults, "{}: fault stats", tag);
+    prop_assert!(e1 == e2, "{}: exported event streams diverge between replays", tag);
+    Ok(())
 }
 
 proptest! {
@@ -239,5 +275,65 @@ proptest! {
         prop_assert!(report.queries[0].response() > 0.0);
         // Chained jobs: the query takes at least n_jobs task-base times.
         prop_assert!(report.queries[0].response() >= n_jobs as f64 * 2.0 * 0.5);
+    }
+
+    #[test]
+    fn fault_replay_is_bit_identical_for_random_plans(
+        specs in prop::collection::vec((1usize..5, 0usize..3, 1.0f64..6.0, 0u64..1000), 1..4),
+        arrivals in prop::collection::vec(0.0f64..10.0, 1..3),
+        fail_prob in 0.0f64..0.12,
+        crash in prop::option::of((0usize..2, 5.0f64..50.0, 5.0f64..30.0)),
+        speculative in any::<bool>(),
+        fault_seed in 0u64..1_000_000,
+    ) {
+        // Random DAG workloads × random fault plans (transient failures,
+        // an optional transient node crash, optional speculation), run
+        // under Crosscheck so the incremental dispatch state is verified
+        // against the reference on every event, and replayed twice: the
+        // reports and the full exported event streams must match
+        // bit-for-bit for every scheduler.
+        let task = |kind: TaskKind, t: f64| TaskSpec {
+            bytes_in: (32.0 + t * 16.0) * 1024.0 * 1024.0,
+            bytes_out: 16.0 * 1024.0 * 1024.0,
+            category: JobCategory::Extract,
+            kind,
+            p: 0.5,
+        };
+        let queries: Vec<SimQuery> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(qi, &arrival)| SimQuery {
+                name: format!("fq{qi}"),
+                arrival,
+                jobs: specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(maps, reduces, t, sel))| SimJob {
+                        id: i,
+                        deps: if i == 0 || sel % 3 == 0 { vec![] } else { vec![sel as usize % i] },
+                        category: JobCategory::Extract,
+                        maps: vec![task(TaskKind::Map, t); maps],
+                        reduces: vec![task(TaskKind::Reduce, t); reduces],
+                        prediction: JobPrediction { map_task_time: t, reduce_task_time: t },
+                    })
+                    .collect(),
+            })
+            .collect();
+        let plan = FaultPlan {
+            task_fail_prob: fail_prob,
+            max_attempts: 20,
+            node_crashes: crash
+                .map(|(n, at, d)| vec![NodeCrash::transient(n, at, d)])
+                .unwrap_or_default(),
+            speculative,
+            seed: fault_seed,
+            ..FaultPlan::default()
+        };
+        assert_fault_replay(Fifo, &queries, &plan, "FIFO")?;
+        assert_fault_replay(Hcs, &queries, &plan, "HCS")?;
+        assert_fault_replay(Hfs, &queries, &plan, "HFS")?;
+        assert_fault_replay(Swrd, &queries, &plan, "SWRD")?;
+        assert_fault_replay(Srt, &queries, &plan, "SRT")?;
+        assert_fault_replay(HcsQueues::new(vec![0.6, 0.4]), &queries, &plan, "HCSQ")?;
     }
 }

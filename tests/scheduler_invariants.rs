@@ -7,6 +7,7 @@ use sapred::core::framework::Framework;
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::gen::{generate, GenConfig};
 use sapred_cluster::build::build_sim_query;
+use sapred_cluster::fault::{FaultPlan, NodeCrash};
 use sapred_cluster::job::SimQuery;
 use sapred_cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Swrd};
 use sapred_cluster::sim::{SimReport, Simulator};
@@ -33,6 +34,70 @@ fn workload(fw: &Framework) -> Vec<SimQuery> {
 
 fn run<S: Scheduler>(fw: &Framework, s: S, queries: &[SimQuery]) -> SimReport {
     Simulator::new(fw.cluster, fw.cost, s).run(queries)
+}
+
+fn run_faulted<S: Scheduler>(
+    fw: &Framework,
+    s: S,
+    queries: &[SimQuery],
+    plan: FaultPlan,
+) -> SimReport {
+    Simulator::new(fw.cluster, fw.cost, s).with_faults(plan).run(queries)
+}
+
+/// A plan that permanently kills one node mid-run and sprinkles transient
+/// task failures, with an attempt budget generous enough that no query is
+/// ever abandoned — so every structural invariant must still hold.
+fn node_loss_plan() -> FaultPlan {
+    FaultPlan {
+        task_fail_prob: 0.03,
+        max_attempts: 16,
+        node_crashes: vec![NodeCrash::permanent(0, 12.0)],
+        ..FaultPlan::default()
+    }
+}
+
+/// Fault-mode invariants on top of [`check_invariants`]: work conservation
+/// (every task of every surviving query completes at least once, and every
+/// attempt is accounted for as exactly one of finished / failed / killed)
+/// and no starvation (no query is abandoned despite the dead node).
+fn check_fault_invariants(report: &SimReport, queries: &[SimQuery], tag: &str) {
+    check_invariants(report, queries, tag);
+    assert!(
+        report.faults.failed_queries.is_empty(),
+        "{tag}: queries starved/abandoned under node loss: {:?}",
+        report.faults.failed_queries
+    );
+    for (qi, stat) in report.queries.iter().enumerate() {
+        assert!(!stat.failed, "{tag}: q{qi} marked failed");
+        assert!(stat.finish.is_finite(), "{tag}: q{qi} never finished");
+    }
+    // Work conservation: re-execution may add completions (lost map
+    // outputs) but can never lose any.
+    for j in &report.jobs {
+        assert!(
+            j.map_completions >= j.n_maps,
+            "{tag}: q{} job {} lost map work ({} completions < {} tasks)",
+            j.query,
+            j.job,
+            j.map_completions,
+            j.n_maps
+        );
+        assert!(
+            j.reduce_completions >= j.n_reduces,
+            "{tag}: q{} job {} lost reduce work",
+            j.query,
+            j.job
+        );
+    }
+    // Attempt accounting closes: every launched attempt ends exactly one
+    // way — success, failure, or kill (speculation loss / node crash).
+    assert_eq!(
+        report.total_attempts(),
+        report.total_completions() + report.faults.task_failures + report.faults.tasks_killed,
+        "{tag}: attempt accounting leak"
+    );
+    assert_eq!(report.faults.node_crashes, 1, "{tag}: crash not recorded");
 }
 
 fn check_invariants(report: &SimReport, queries: &[SimQuery], tag: &str) {
@@ -69,6 +134,41 @@ fn all_schedulers_satisfy_invariants() {
     check_invariants(&run(&fw, Hcs, &queries), &queries, "HCS");
     check_invariants(&run(&fw, Hfs, &queries), &queries, "HFS");
     check_invariants(&run(&fw, Swrd, &queries), &queries, "SWRD");
+}
+
+#[test]
+fn fault_invariants_hold_under_permanent_node_loss() {
+    // Losing a node for good mid-run must not break any scheduler: DAG
+    // ordering, work conservation and attempt accounting all still hold,
+    // and every query completes on the surviving nodes.
+    let fw = Framework::new();
+    let queries = workload(&fw);
+    let p = node_loss_plan;
+    check_fault_invariants(&run_faulted(&fw, Fifo, &queries, p()), &queries, "FIFO+faults");
+    check_fault_invariants(&run_faulted(&fw, Hcs, &queries, p()), &queries, "HCS+faults");
+    check_fault_invariants(&run_faulted(&fw, Hfs, &queries, p()), &queries, "HFS+faults");
+    check_fault_invariants(&run_faulted(&fw, Swrd, &queries, p()), &queries, "SWRD+faults");
+}
+
+#[test]
+fn abandoned_queries_terminate_the_run_cleanly() {
+    // An exhausted attempt budget (every attempt fails, two tries) dooms
+    // every query; abandonment must still drain the run to completion with
+    // a finite finish time per query instead of deadlocking the heap.
+    let fw = Framework::new();
+    let queries: Vec<SimQuery> = workload(&fw).into_iter().take(6).collect();
+    let doomed = FaultPlan { task_fail_prob: 1.0, max_attempts: 2, ..FaultPlan::default() };
+    let rep = run_faulted(&fw, Swrd, &queries, doomed);
+    assert_eq!(rep.faults.failed_queries.len(), queries.len(), "all queries must be abandoned");
+    for stat in &rep.queries {
+        assert!(stat.failed);
+        assert!(stat.finish.is_finite(), "abandonment still produces a finish time");
+    }
+    // Abandonment leaves no poisoned shared state: a fresh failure-free
+    // run of the same workload completes everything.
+    let clean = run_faulted(&fw, Swrd, &queries, FaultPlan::none());
+    assert!(clean.faults.failed_queries.is_empty());
+    assert!(clean.queries.iter().all(|q| !q.failed));
 }
 
 #[test]

@@ -6,7 +6,7 @@
 use sapred::cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred::cluster::sched::Swrd;
 use sapred::cluster::sim::{ClusterConfig, Simulator};
-use sapred::cluster::CostModel;
+use sapred::cluster::{CostModel, FaultPlan, NodeCrash};
 use sapred::obs::json::validate;
 use sapred::obs::{ChromeTraceSink, JsonlSink, MetricsSink, Tee};
 use sapred::plan::dag::JobCategory;
@@ -96,4 +96,121 @@ fn exported_artifacts_are_valid_and_consistent_with_report() {
     let util = metrics.utilization(report.makespan);
     assert!((0.0..=1.0).contains(&util), "utilization {util}");
     assert!(metrics_json.contains("\"drift\""));
+}
+
+/// A map-heavy workload for the fault test: the multi-wave map phases keep
+/// a wide window in which completed map outputs are still needed by pending
+/// reduces, so a mid-run node crash reliably loses some.
+fn fault_workload() -> Vec<SimQuery> {
+    let task = |mb: f64, kind: TaskKind| TaskSpec {
+        bytes_in: mb * 1024.0 * 1024.0,
+        bytes_out: mb * 0.4 * 1024.0 * 1024.0,
+        category: JobCategory::Groupby,
+        kind,
+        p: 0.6,
+    };
+    (0..2)
+        .map(|q| SimQuery {
+            name: format!("fault-q{q}"),
+            arrival: q as f64,
+            jobs: vec![
+                SimJob {
+                    id: 0,
+                    deps: vec![],
+                    category: JobCategory::Groupby,
+                    maps: vec![task(128.0, TaskKind::Map); 18],
+                    reduces: vec![task(64.0, TaskKind::Reduce); 3],
+                    prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 1.5 },
+                },
+                SimJob {
+                    id: 1,
+                    deps: vec![0],
+                    category: JobCategory::Join,
+                    maps: vec![task(96.0, TaskKind::Map); 6],
+                    reduces: vec![task(64.0, TaskKind::Reduce); 2],
+                    prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 1.5 },
+                },
+            ],
+        })
+        .collect()
+}
+
+#[test]
+fn fault_event_kinds_are_pinned_through_every_exporter() {
+    // A deliberately hostile run — transient task failures, one transient
+    // node crash that loses map outputs, and speculation against injected
+    // stragglers — traced into all three exporters. Every fault event kind
+    // must survive the trip and agree with the report's fault stats.
+    let queries = fault_workload();
+    let config = ClusterConfig { nodes: 2, containers_per_node: 4, ..ClusterConfig::default() };
+    let cost = CostModel { straggler_prob: 0.3, straggler_factor: 8.0, ..CostModel::default() };
+    let plan = FaultPlan {
+        task_fail_prob: 0.15,
+        max_attempts: 16,
+        // Keep the crashed node eligible to rejoin so NodeUp is observable.
+        blacklist_after: 1_000,
+        node_crashes: vec![NodeCrash::transient(1, 20.0, 4.0)],
+        speculative: true,
+        spec_fraction: 0.5,
+        ..FaultPlan::default()
+    };
+    let mut sink = Tee::new(
+        JsonlSink::new(Vec::new()),
+        Tee::new(ChromeTraceSink::new(), MetricsSink::new(config.total_containers())),
+    );
+    let report = Simulator::new(config, cost, Swrd).with_faults(plan).run_with(&queries, &mut sink);
+    let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
+    let fr = report.faults.clone();
+    assert!(
+        fr.task_failures > 0 && fr.lost_maps > 0 && fr.speculative_launches > 0,
+        "plan too tame to exercise every fault kind: {fr:?}"
+    );
+    assert!(fr.failed_queries.is_empty(), "generous budget must not abandon queries");
+
+    // JSONL: every line valid, and each fault kind's line count pins the
+    // corresponding report counter exactly.
+    let text = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+    for line in text.lines() {
+        validate(line).unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"));
+    }
+    let count = |kind: &str| {
+        let tag = format!("\"event\":\"{kind}\"");
+        text.lines().filter(|l| l.contains(&tag)).count()
+    };
+    assert_eq!(count("task_start"), report.total_attempts(), "one start per attempt");
+    assert_eq!(count("task_finish"), report.total_completions());
+    assert_eq!(count("task_failed"), fr.task_failures);
+    assert_eq!(count("task_killed"), fr.tasks_killed);
+    assert_eq!(count("speculative_launch"), fr.speculative_launches);
+    assert_eq!(count("node_down"), fr.node_crashes + fr.nodes_blacklisted);
+    assert_eq!(count("node_up"), 1, "the transient node must come back");
+    assert!(count("map_output_lost") >= 1, "the crash must lose at least one map output");
+    // Attempt accounting closes through the exporter too.
+    assert_eq!(
+        count("task_start"),
+        count("task_finish") + count("task_failed") + count("task_killed")
+    );
+
+    // Chrome trace: still a single valid JSON document; at minimum one span
+    // per attempt, per job and per query (fault instants come on top).
+    let mut buf = Vec::new();
+    chrome.write(&mut buf).unwrap();
+    validate(&String::from_utf8(buf).unwrap()).expect("chrome trace is valid JSON under faults");
+    assert!(
+        chrome.span_count() >= report.total_attempts() + report.jobs.len() + report.queries.len()
+    );
+
+    // Metrics: fault counters mirror the report's stats.
+    let metrics_json = metrics.finish(report.makespan);
+    validate(&metrics_json).expect("metrics export is valid JSON under faults");
+    let reg = &metrics.registry;
+    assert_eq!(
+        reg.counter("tasks_failed_map") + reg.counter("tasks_failed_reduce"),
+        fr.task_failures as u64
+    );
+    assert_eq!(reg.counter("tasks_killed"), fr.tasks_killed as u64);
+    assert_eq!(reg.counter("node_crashes"), fr.node_crashes as u64);
+    assert_eq!(reg.counter("node_recoveries"), 1);
+    assert_eq!(reg.counter("speculative_launches"), fr.speculative_launches as u64);
+    assert_eq!(reg.counter("maps_lost"), fr.lost_maps as u64);
 }
