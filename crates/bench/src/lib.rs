@@ -63,8 +63,8 @@ pub fn dispatch_workload(
             arrival: qi as f64 * 0.37,
             jobs: (0..jobs_per_query)
                 .map(|j| SimJob {
-                    id: j,
-                    deps: if j == 0 { vec![] } else { vec![j - 1] },
+                    id: sapred_cluster::JobId(j),
+                    deps: if j == 0 { vec![] } else { vec![sapred_cluster::JobId(j - 1)] },
                     category: JobCategory::Extract,
                     maps: vec![task(TaskKind::Map, 256.0 * MB); maps_per_job],
                     reduces: vec![task(TaskKind::Reduce, 64.0 * MB); reduces_per_job],
@@ -84,9 +84,9 @@ pub fn train(n_queries: usize, seed: u64) -> Trained {
     let config = paper_population(n_queries, seed);
     let mut pool = DbPool::new(seed);
     let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
+    let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
     let (train_set, _) = split_train_test(&runs);
-    let models = fit_models(&train_set, &fw);
+    let models = fit_models(&train_set, &fw).expect("models fit");
     let predictor = Predictor::new(models, fw);
     Trained { fw, pool, runs, predictor }
 }

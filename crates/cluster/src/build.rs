@@ -3,6 +3,7 @@
 
 use crate::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use crate::sim::ClusterConfig;
+use sapred_obs::JobId;
 use sapred_plan::dag::QueryDag;
 use sapred_plan::ground_truth::JobActual;
 
@@ -60,8 +61,8 @@ pub fn build_sim_query(
                 Vec::new()
             };
             SimJob {
-                id: job.id,
-                deps: job.deps(),
+                id: JobId(job.id),
+                deps: job.deps().into_iter().map(sapred_obs::JobId).collect(),
                 category,
                 maps,
                 reduces,

@@ -32,11 +32,13 @@
 //! separate from the task-duration noise stream, so a zero-probability plan
 //! leaves the simulation bit-identical to a fault-free run.
 
+use sapred_obs::{NodeId, QueryId};
+
 /// One scheduled node outage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeCrash {
-    /// Node index to take down.
-    pub node: usize,
+    /// Node to take down.
+    pub node: NodeId,
     /// Simulated time of the crash, seconds.
     pub at: f64,
     /// How long the node stays down, seconds. `f64::INFINITY` = permanent.
@@ -45,13 +47,13 @@ pub struct NodeCrash {
 
 impl NodeCrash {
     /// A crash the node never recovers from.
-    pub fn permanent(node: usize, at: f64) -> Self {
-        Self { node, at, down_for: f64::INFINITY }
+    pub fn permanent(node: impl Into<NodeId>, at: f64) -> Self {
+        Self { node: node.into(), at, down_for: f64::INFINITY }
     }
 
     /// A transient outage of `down_for` seconds.
-    pub fn transient(node: usize, at: f64, down_for: f64) -> Self {
-        Self { node, at, down_for }
+    pub fn transient(node: impl Into<NodeId>, at: f64, down_for: f64) -> Self {
+        Self { node: node.into(), at, down_for }
     }
 }
 
@@ -144,7 +146,7 @@ impl FaultPlan {
         }
         let mut per_node: Vec<Vec<&NodeCrash>> = vec![Vec::new(); nodes];
         for c in &self.node_crashes {
-            if c.node >= nodes {
+            if c.node.index() >= nodes {
                 return Err(format!("crash targets node {} but cluster has {nodes}", c.node));
             }
             if c.at.is_nan() || c.at < 0.0 {
@@ -153,7 +155,7 @@ impl FaultPlan {
             if c.down_for.is_nan() || c.down_for <= 0.0 {
                 return Err(format!("crash down_for {} must be positive", c.down_for));
             }
-            per_node[c.node].push(c);
+            per_node[c.node.index()].push(c);
         }
         for crashes in &mut per_node {
             crashes.sort_by(|a, b| a.at.total_cmp(&b.at));
@@ -206,7 +208,7 @@ pub struct FaultStats {
     pub recovery_latency_max: f64,
     /// Queries abandoned because a task exhausted
     /// [`FaultPlan::max_attempts`], in failure order.
-    pub failed_queries: Vec<usize>,
+    pub failed_queries: Vec<QueryId>,
 }
 
 impl FaultStats {

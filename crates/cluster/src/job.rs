@@ -1,5 +1,6 @@
 //! Simulation-side job and query descriptions.
 
+use sapred_obs::JobId;
 use sapred_plan::dag::JobCategory;
 
 /// Map or reduce task.
@@ -40,10 +41,10 @@ pub struct JobPrediction {
 /// One MapReduce job of a query, as submitted to the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct SimJob {
-    /// Index within the owning query's DAG.
-    pub id: usize,
+    /// Id within the owning query's DAG.
+    pub id: JobId,
     /// Jobs of the same query that must finish before this one is submitted.
-    pub deps: Vec<usize>,
+    pub deps: Vec<JobId>,
     /// Operator category (drives the ground-truth cost model).
     pub category: JobCategory,
     /// One spec per map task.
@@ -85,11 +86,11 @@ impl SimQuery {
             ));
         }
         for (i, j) in self.jobs.iter().enumerate() {
-            if j.id != i {
+            if j.id != JobId(i) {
                 return Err(format!("job id {} at position {i}", j.id));
             }
             for &d in &j.deps {
-                if d >= i {
+                if d >= JobId(i) {
                     return Err(format!("job {i} depends on non-earlier job {d}"));
                 }
             }
@@ -132,7 +133,7 @@ mod tests {
             arrival: 0.0,
             jobs: vec![
                 SimJob {
-                    id: 0,
+                    id: JobId(0),
                     deps: vec![],
                     category: JobCategory::Extract,
                     maps: vec![task(100.0, TaskKind::Map); 4],
@@ -140,8 +141,8 @@ mod tests {
                     prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 3.0 },
                 },
                 SimJob {
-                    id: 1,
-                    deps: vec![0],
+                    id: JobId(1),
+                    deps: vec![JobId(0)],
                     category: JobCategory::Extract,
                     maps: vec![task(10.0, TaskKind::Map)],
                     reduces: vec![],
@@ -167,7 +168,7 @@ mod tests {
     #[test]
     fn validate_rejects_forward_dep() {
         let mut q = query();
-        q.jobs[0].deps.push(1);
+        q.jobs[0].deps.push(JobId(1));
         assert!(q.validate().is_err());
     }
 

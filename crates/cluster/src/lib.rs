@@ -35,5 +35,9 @@ pub use build::build_sim_query;
 pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultStats, NodeCrash};
 pub use job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
+pub use sapred_obs::{JobId, NodeId, QueryId};
 pub use sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
-pub use sim::{ClusterConfig, DispatchMode, JobStat, QueryStat, SimReport, Simulator};
+pub use sim::{
+    ClusterConfig, DemandOracle, DispatchMode, FrozenOracle, JobStat, QueryStat, SimReport,
+    Simulator,
+};

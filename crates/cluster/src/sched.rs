@@ -8,14 +8,15 @@
 //! choice of task kind is implied.
 
 use crate::job::TaskKind;
+use sapred_obs::{JobId, QueryId};
 
 /// A scheduler's view of one runnable job (has at least one pending task).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunnableJob {
-    /// Owning query's index.
-    pub query: usize,
+    /// Owning query's id.
+    pub query: QueryId,
     /// Job id within the query's DAG.
-    pub job: usize,
+    pub job: JobId,
     /// When Hive submitted this job to the cluster.
     pub submit_time: f64,
     /// When the owning query arrived.
@@ -51,10 +52,10 @@ impl RunnableJob {
 /// The engine's ask: which runnable job gets the next free container.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskChoice {
-    /// Chosen query index.
-    pub query: usize,
+    /// Chosen query.
+    pub query: QueryId,
     /// Chosen job id within the query.
-    pub job: usize,
+    pub job: JobId,
     /// Task kind to launch (implied by the job's phase).
     pub kind: TaskKind,
 }
@@ -81,6 +82,16 @@ fn choice(j: &RunnableJob) -> TaskChoice {
     TaskChoice { query: j.query, job: j.job, kind: j.next_kind() }
 }
 
+/// The shared (submit_time, query, job) tie-break chain.
+///
+/// All float keys across the schedulers compare with [`f64::total_cmp`]:
+/// a NaN score (e.g. a corrupted prediction percolating into a query's
+/// WRD) sorts deterministically *after* every real number instead of
+/// panicking the dispatch loop mid-run.
+fn submit_order(a: &RunnableJob, b: &RunnableJob) -> std::cmp::Ordering {
+    a.submit_time.total_cmp(&b.submit_time).then(a.query.cmp(&b.query)).then(a.job.cmp(&b.job))
+}
+
 /// Query-arrival FIFO: containers go to the earliest-arrived query's jobs
 /// first (job submit order within a query). A simple query-aware baseline —
 /// it avoids cross-query interleaving but ignores resource demand.
@@ -96,9 +107,11 @@ impl Scheduler for Fifo {
         runnable
             .iter()
             .min_by(|a, b| {
-                (a.arrival, a.query, a.submit_time, a.job)
-                    .partial_cmp(&(b.arrival, b.query, b.submit_time, b.job))
-                    .expect("no NaN times")
+                a.arrival
+                    .total_cmp(&b.arrival)
+                    .then(a.query.cmp(&b.query))
+                    .then(a.submit_time.total_cmp(&b.submit_time))
+                    .then(a.job.cmp(&b.job))
             })
             .map(choice)
     }
@@ -122,14 +135,7 @@ impl Scheduler for Hcs {
     }
 
     fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
-        runnable
-            .iter()
-            .min_by(|a, b| {
-                (a.submit_time, a.query, a.job)
-                    .partial_cmp(&(b.submit_time, b.query, b.job))
-                    .expect("no NaN times")
-            })
-            .map(choice)
+        runnable.iter().min_by(|a, b| submit_order(a, b)).map(choice)
     }
 
     fn score(&self, job: &RunnableJob) -> f64 {
@@ -151,11 +157,7 @@ impl Scheduler for Hfs {
     fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
         runnable
             .iter()
-            .min_by(|a, b| {
-                (a.running, a.submit_time, a.query, a.job)
-                    .partial_cmp(&(b.running, b.submit_time, b.query, b.job))
-                    .expect("no NaN times")
-            })
+            .min_by(|a, b| a.running.cmp(&b.running).then(submit_order(a, b)))
             .map(choice)
     }
 
@@ -180,9 +182,11 @@ impl Scheduler for Swrd {
         runnable
             .iter()
             .min_by(|a, b| {
-                (a.query_wrd, a.arrival, a.query, a.submit_time, a.job)
-                    .partial_cmp(&(b.query_wrd, b.arrival, b.query, b.submit_time, b.job))
-                    .expect("no NaN wrd")
+                a.query_wrd
+                    .total_cmp(&b.query_wrd)
+                    .then(a.arrival.total_cmp(&b.arrival))
+                    .then(a.query.cmp(&b.query))
+                    .then(submit_order(a, b))
             })
             .map(choice)
     }
@@ -236,30 +240,26 @@ impl Scheduler for HcsQueues {
         let mut last: Option<usize> = None;
         let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for r in runnable {
-            if last == Some(r.query) {
+            if last == Some(r.query.into()) {
                 continue;
             }
-            last = Some(r.query);
-            if seen.insert(r.query) {
-                running[self.queue_of(r.query)] += r.query_running;
+            last = Some(r.query.into());
+            if seen.insert(r.query.into()) {
+                running[self.queue_of(r.query.into())] += r.query_running;
             }
         }
         // Most under-served queue that has pending work.
         let best_queue = (0..n)
-            .filter(|&q| runnable.iter().any(|r| self.queue_of(r.query) == q))
+            .filter(|&q| runnable.iter().any(|r| self.queue_of(r.query.into()) == q))
             .min_by(|&a, &b| {
-            let ra = running[a] as f64 / self.capacities[a];
-            let rb = running[b] as f64 / self.capacities[b];
-            ra.partial_cmp(&rb).expect("no NaN").then(a.cmp(&b))
-        })?;
+                let ra = running[a] as f64 / self.capacities[a];
+                let rb = running[b] as f64 / self.capacities[b];
+                ra.total_cmp(&rb).then(a.cmp(&b))
+            })?;
         runnable
             .iter()
-            .filter(|r| self.queue_of(r.query) == best_queue)
-            .min_by(|a, b| {
-                (a.submit_time, a.query, a.job)
-                    .partial_cmp(&(b.submit_time, b.query, b.job))
-                    .expect("no NaN times")
-            })
+            .filter(|r| self.queue_of(r.query.into()) == best_queue)
+            .min_by(|a, b| submit_order(a, b))
             .map(choice)
     }
 
@@ -287,9 +287,11 @@ impl Scheduler for Srt {
         runnable
             .iter()
             .min_by(|a, b| {
-                (a.query_time, a.arrival, a.query, a.submit_time, a.job)
-                    .partial_cmp(&(b.query_time, b.arrival, b.query, b.submit_time, b.job))
-                    .expect("no NaN time")
+                a.query_time
+                    .total_cmp(&b.query_time)
+                    .then(a.arrival.total_cmp(&b.arrival))
+                    .then(a.query.cmp(&b.query))
+                    .then(submit_order(a, b))
             })
             .map(choice)
     }
@@ -305,8 +307,8 @@ mod tests {
 
     fn job(query: usize, job_id: usize, submit: f64, arrival: f64) -> RunnableJob {
         RunnableJob {
-            query,
-            job: job_id,
+            query: QueryId(query),
+            job: JobId(job_id),
             submit_time: submit,
             arrival,
             pending_maps: 3,
@@ -324,7 +326,7 @@ mod tests {
         // Query 1 arrived later but its job was submitted earlier.
         let r = vec![job(0, 1, 10.0, 0.0), job(1, 0, 5.0, 2.0)];
         let c = s.pick(&r).unwrap();
-        assert_eq!(c.query, 0);
+        assert_eq!(c.query, QueryId(0));
     }
 
     #[test]
@@ -332,7 +334,7 @@ mod tests {
         let mut s = Hcs;
         let r = vec![job(0, 1, 10.0, 0.0), job(1, 0, 5.0, 2.0)];
         let c = s.pick(&r).unwrap();
-        assert_eq!(c.query, 1, "HCS follows job submit order, not query arrival");
+        assert_eq!(c.query, QueryId(1), "HCS follows job submit order, not query arrival");
     }
 
     #[test]
@@ -342,7 +344,7 @@ mod tests {
         a.running = 5;
         let b = job(1, 0, 1.0, 1.0);
         let c = s.pick(&[a, b]).unwrap();
-        assert_eq!(c.query, 1);
+        assert_eq!(c.query, QueryId(1));
     }
 
     #[test]
@@ -353,7 +355,7 @@ mod tests {
         let mut b = job(1, 0, 1.0, 1.0);
         b.query_wrd = 50.0;
         let c = s.pick(&[a, b]).unwrap();
-        assert_eq!(c.query, 1);
+        assert_eq!(c.query, QueryId(1));
     }
 
     #[test]
@@ -366,7 +368,7 @@ mod tests {
         a.query_running = 10;
         let b = job(1, 0, 5.0, 5.0);
         let c = s.pick(&[a, b]).unwrap();
-        assert_eq!(c.query, 1);
+        assert_eq!(c.query, QueryId(1));
         // With capacities 10:1, queue 0 is under-served even at 8 running.
         let mut s = HcsQueues::new(vec![10.0, 1.0]);
         let mut a = job(0, 0, 0.0, 0.0);
@@ -374,7 +376,7 @@ mod tests {
         let mut b = job(1, 0, 5.0, 5.0);
         b.query_running = 1;
         let c = s.pick(&[a, b]).unwrap();
-        assert_eq!(c.query, 0);
+        assert_eq!(c.query, QueryId(0));
     }
 
     #[test]
@@ -395,7 +397,7 @@ mod tests {
         b.query_time = 5.0;
         b.query_wrd = 1000.0;
         let c = s.pick(&[a, b]).unwrap();
-        assert_eq!(c.query, 1);
+        assert_eq!(c.query, QueryId(1));
     }
 
     #[test]
@@ -446,6 +448,42 @@ mod tests {
         check(Hfs, &r);
         check(Swrd, &r);
         check(Srt, &r);
+    }
+
+    #[test]
+    fn nan_scores_cannot_panic_a_pick() {
+        // A NaN in any float key (a corrupted prediction percolating into
+        // WRD, an uninitialized time) must degrade to "sorts last", never
+        // panic the dispatch loop. Exercise every policy with NaN in every
+        // float field of one candidate.
+        let mut poisoned = job(0, 0, f64::NAN, f64::NAN);
+        poisoned.query_wrd = f64::NAN;
+        poisoned.query_time = f64::NAN;
+        let clean = job(1, 0, 2.0, 2.0);
+
+        fn check<S: Scheduler>(mut s: S, r: &[RunnableJob]) {
+            let c = s.pick(r).expect("NaN keys must not panic or empty the pick");
+            assert_eq!(c.query, QueryId(1), "{}: NaN sorts after real keys", s.name());
+        }
+        check(Fifo, &[poisoned, clean]);
+        check(Hcs, &[poisoned, clean]);
+        check(Hfs, &[poisoned, clean]);
+        check(Swrd, &[poisoned, clean]);
+        check(Srt, &[poisoned, clean]);
+        // Single queue: both candidates share it, so the NaN-keyed
+        // within-queue ordering is what decides.
+        check(HcsQueues::new(vec![1.0]), &[poisoned, clean]);
+
+        // All-NaN candidate sets still produce a deterministic pick.
+        let twin = { job(1, 0, f64::NAN, f64::NAN) };
+        let mut twin = twin;
+        twin.query_wrd = f64::NAN;
+        twin.query_time = f64::NAN;
+        for r in [&[poisoned, twin][..], &[twin, poisoned][..]] {
+            assert_eq!(Swrd.pick(r).unwrap().query, QueryId(0));
+            assert_eq!(Srt.pick(r).unwrap().query, QueryId(0));
+            assert_eq!(Fifo.pick(r).unwrap().query, QueryId(0));
+        }
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! The dispatch path: the materialized runnable set, per-query demand
+//! aggregates (WRD / critical path / running counts) derived from live
+//! [`DemandOracle`](super::DemandOracle) predictions, and the
+//! incremental-vs-reference [`DispatchMode`] cross-check machinery.
+
+use crate::job::{JobPrediction, SimQuery};
+use crate::sched::RunnableJob;
+
+use super::state::JobState;
+use sapred_obs::{JobId, QueryId};
+
+/// How the engine derives the scheduler's runnable view on each dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Materialized scheduling state, updated in O(affected jobs) per
+    /// event. The default; asymptotically faster than [`Reference`] and
+    /// proven behavior-identical to it by [`Crosscheck`] runs.
+    ///
+    /// [`Reference`]: DispatchMode::Reference
+    /// [`Crosscheck`]: DispatchMode::Crosscheck
+    #[default]
+    Incremental,
+    /// The from-scratch reference: rebuild the whole runnable view with
+    /// [`collect_runnable`] once per free container — O(Σ jobs) per
+    /// dispatched task. Kept as the executable specification the
+    /// incremental path is checked against, and as the benchmark baseline.
+    Reference,
+    /// Run incrementally but re-derive the reference view after every
+    /// event and before every scheduler pick, panicking on any
+    /// divergence (including f64 score bits). Used by the cross-check
+    /// tests; roughly as slow as [`Reference`](DispatchMode::Reference).
+    Crosscheck,
+}
+
+/// Per-query aggregates the schedulers consume through [`RunnableJob`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct QueryAgg {
+    /// Remaining WRD (Eq. 10) over unfinished jobs.
+    pub(super) wrd: f64,
+    /// Remaining critical-path time over the unfinished DAG.
+    pub(super) crit: f64,
+    /// Running tasks across all of the query's jobs.
+    pub(super) running: usize,
+}
+
+/// Materialized scheduling state for the incremental dispatch path: the
+/// runnable-job set (sorted by `(query, job)`, the same order
+/// [`collect_runnable`] produces) plus per-query aggregates. Updated in
+/// O(affected jobs) on each `Submit`/`TaskDone`/dispatch instead of being
+/// recomputed from every job of every query once per free container.
+pub(super) struct DispatchState {
+    pub(super) aggs: Vec<QueryAgg>,
+    pub(super) runnable: Vec<RunnableJob>,
+    /// Scratch for the critical-path pass (avoids a per-event allocation).
+    pub(super) scratch: Vec<f64>,
+    pub(super) containers: usize,
+}
+
+impl DispatchState {
+    pub(super) fn new(n_queries: usize, containers: usize) -> Self {
+        Self {
+            aggs: vec![QueryAgg::default(); n_queries],
+            runnable: Vec::new(),
+            scratch: Vec::new(),
+            containers,
+        }
+    }
+
+    pub(super) fn position(&self, q: usize, j: usize) -> Result<usize, usize> {
+        self.runnable.binary_search_by_key(&(q, j), |r| (r.query.into(), r.job.into()))
+    }
+
+    /// Recompute query `qi`'s WRD and critical path (O(its jobs)) and push
+    /// the new aggregates into its runnable entries. Called for the one
+    /// query an event touched; `running` is maintained separately because
+    /// it also changes on dispatch, where WRD/crit do not.
+    pub(super) fn refresh_query(
+        &mut self,
+        queries: &[SimQuery],
+        jobs: &[Vec<JobState>],
+        preds: &[Vec<JobPrediction>],
+        qi: usize,
+    ) {
+        let q = &queries[qi];
+        if self.scratch.len() < q.jobs.len() {
+            self.scratch.resize(q.jobs.len(), 0.0);
+        }
+        let (wrd, crit) =
+            query_demand(q, &jobs[qi], &preds[qi], self.containers, &mut self.scratch);
+        self.aggs[qi].wrd = wrd;
+        self.aggs[qi].crit = crit;
+        self.sync_entries(qi);
+    }
+
+    /// Copy query `qi`'s aggregates into its runnable entries (contiguous
+    /// in the sorted set).
+    pub(super) fn sync_entries(&mut self, qi: usize) {
+        let agg = self.aggs[qi];
+        let start = self.runnable.partition_point(|r| r.query < QueryId(qi));
+        for r in self.runnable[start..].iter_mut().take_while(|r| r.query == QueryId(qi)) {
+            r.query_wrd = agg.wrd;
+            r.query_time = agg.crit;
+            r.query_running = agg.running;
+        }
+    }
+
+    /// A job entered the runnable set (submitted, or its reduces unlocked).
+    pub(super) fn insert_job(
+        &mut self,
+        queries: &[SimQuery],
+        jobs: &[Vec<JobState>],
+        qi: usize,
+        j: usize,
+    ) {
+        let js = &jobs[qi][j];
+        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+        if js.pending_maps == 0 && pending_reduces == 0 {
+            return;
+        }
+        let entry = RunnableJob {
+            query: QueryId(qi),
+            job: JobId(j),
+            submit_time: js.submit_time,
+            arrival: queries[qi].arrival,
+            pending_maps: js.pending_maps,
+            pending_reduces,
+            running: js.running_maps + js.running_reduces,
+            query_wrd: self.aggs[qi].wrd,
+            query_time: self.aggs[qi].crit,
+            query_running: self.aggs[qi].running,
+        };
+        match self.position(qi, j) {
+            Ok(_) => unreachable!("job {qi}/{j} already runnable"),
+            Err(at) => self.runnable.insert(at, entry),
+        }
+    }
+
+    /// A task of `(qi, j)` was dispatched: bump running counts and drop the
+    /// job from the set once nothing is left to launch.
+    pub(super) fn on_dispatch(&mut self, jobs: &[Vec<JobState>], qi: usize, j: usize) {
+        self.aggs[qi].running += 1;
+        self.sync_entries(qi);
+        let at = self.position(qi, j).expect("dispatched job is runnable");
+        let js = &jobs[qi][j];
+        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+        if js.pending_maps == 0 && pending_reduces == 0 {
+            self.runnable.remove(at);
+        } else {
+            let r = &mut self.runnable[at];
+            r.pending_maps = js.pending_maps;
+            r.pending_reduces = pending_reduces;
+            r.running = js.running_maps + js.running_reduces;
+        }
+    }
+
+    /// A task of `(qi, j)` finished: refresh the query's demand, and
+    /// re-admit the job if this completion unlocked its reduce phase.
+    pub(super) fn on_task_done(
+        &mut self,
+        queries: &[SimQuery],
+        jobs: &[Vec<JobState>],
+        preds: &[Vec<JobPrediction>],
+        qi: usize,
+        j: usize,
+    ) {
+        self.aggs[qi].running -= 1;
+        let js = &jobs[qi][j];
+        if let Ok(at) = self.position(qi, j) {
+            // Still runnable (more tasks of the same phase pending).
+            let r = &mut self.runnable[at];
+            r.pending_maps = js.pending_maps;
+            r.pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+            r.running = js.running_maps + js.running_reduces;
+        } else if js.reduces_unlocked && js.pending_reduces > 0 && js.finished.is_none() {
+            // This completion was the last map: the reduce wave unlocks.
+            self.insert_job(queries, jobs, qi, j);
+        }
+        self.refresh_query(queries, jobs, preds, qi);
+    }
+
+    /// Rebuild query `qi`'s aggregates and runnable entries wholesale from
+    /// its job states. Fault events (kills, requeues, map claw-backs,
+    /// query abandonment) can flip several of the query's jobs in and out
+    /// of the runnable set at once, which the single-job update paths
+    /// above don't model; this is the O(its jobs) recovery path. Produces
+    /// exactly the entries [`collect_runnable`] would — same order, same
+    /// aggregate bits — so Crosscheck holds under faults too.
+    pub(super) fn resync_query(
+        &mut self,
+        queries: &[SimQuery],
+        jobs: &[Vec<JobState>],
+        preds: &[Vec<JobPrediction>],
+        qi: usize,
+    ) {
+        let q = &queries[qi];
+        if self.scratch.len() < q.jobs.len() {
+            self.scratch.resize(q.jobs.len(), 0.0);
+        }
+        let (wrd, crit) =
+            query_demand(q, &jobs[qi], &preds[qi], self.containers, &mut self.scratch);
+        let running = q
+            .jobs
+            .iter()
+            .map(|j| jobs[qi][j.id.0].running_maps + jobs[qi][j.id.0].running_reduces)
+            .sum();
+        self.aggs[qi] = QueryAgg { wrd, crit, running };
+        let agg = self.aggs[qi];
+        let start = self.runnable.partition_point(|r| r.query < QueryId(qi));
+        let end =
+            start + self.runnable[start..].iter().take_while(|r| r.query == QueryId(qi)).count();
+        let mut entries = Vec::new();
+        for j in &q.jobs {
+            let js = &jobs[qi][j.id.0];
+            if !js.submitted || js.finished.is_some() {
+                continue;
+            }
+            let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+            if js.pending_maps == 0 && pending_reduces == 0 {
+                continue;
+            }
+            entries.push(RunnableJob {
+                query: QueryId(qi),
+                job: j.id,
+                submit_time: js.submit_time,
+                arrival: q.arrival,
+                pending_maps: js.pending_maps,
+                pending_reduces,
+                running: js.running_maps + js.running_reduces,
+                query_wrd: agg.wrd,
+                query_time: agg.crit,
+                query_running: agg.running,
+            });
+        }
+        self.runnable.splice(start..end, entries);
+    }
+
+    /// Drop an abandoned query from the runnable set entirely.
+    pub(super) fn remove_query(&mut self, qi: usize) {
+        let start = self.runnable.partition_point(|r| r.query < QueryId(qi));
+        let end =
+            start + self.runnable[start..].iter().take_while(|r| r.query == QueryId(qi)).count();
+        self.runnable.drain(start..end);
+        self.aggs[qi] = QueryAgg::default();
+    }
+
+    /// Panic unless the materialized set matches the from-scratch
+    /// reference bit-for-bit (f64 fields included — the scores recorded in
+    /// obs decision events must be identical, not merely close).
+    pub(super) fn crosscheck(
+        &self,
+        queries: &[SimQuery],
+        jobs: &[Vec<JobState>],
+        preds: &[Vec<JobPrediction>],
+        when: &str,
+    ) {
+        let reference = collect_runnable(queries, jobs, preds, self.containers);
+        assert_eq!(
+            self.runnable, reference,
+            "incremental dispatch state diverged from collect_runnable ({when})"
+        );
+    }
+}
+
+/// Per-query demand aggregates: remaining WRD (Eq. 10) and remaining
+/// critical-path time over the unfinished DAG.
+///
+/// Shared by the from-scratch reference ([`collect_runnable`]) and the
+/// incremental [`DispatchState`] so both paths perform the identical
+/// floating-point operations in the identical order — scheduler scores
+/// derived from these must match bit-for-bit, not merely approximately.
+///
+/// `acc` is caller-provided scratch of length ≥ `q.jobs.len()`; every slot
+/// that is read is written first (jobs are topologically ordered with
+/// backward deps), so it needs no clearing between calls.
+pub(super) fn query_demand(
+    q: &SimQuery,
+    qjobs: &[JobState],
+    preds: &[JobPrediction],
+    containers: usize,
+    acc: &mut [f64],
+) -> (f64, f64) {
+    let c = containers.max(1) as f64;
+    // Remaining WRD over all unfinished jobs (Eq. 10), from percolated
+    // per-task time predictions.
+    let wrd: f64 = q
+        .jobs
+        .iter()
+        .filter(|j| qjobs[j.id.0].finished.is_none())
+        .map(|j| {
+            let js = &qjobs[j.id.0];
+            preds[j.id.0].map_task_time * (j.maps.len() - js.done_maps) as f64
+                + preds[j.id.0].reduce_task_time * (j.reduces.len() - js.done_reduces) as f64
+        })
+        .sum();
+    // Remaining critical-path time (jobs are topologically ordered, so
+    // one forward pass suffices): each unfinished job contributes its
+    // predicted remaining processing time spread over the containers.
+    let mut crit = 0.0f64;
+    for j in &q.jobs {
+        let js = &qjobs[j.id.0];
+        let own = if js.finished.is_some() {
+            0.0
+        } else {
+            (preds[j.id.0].map_task_time * (j.maps.len() - js.done_maps) as f64
+                + preds[j.id.0].reduce_task_time * (j.reduces.len() - js.done_reduces) as f64)
+                / c
+        };
+        let dep_max = j.deps.iter().map(|&d| acc[d.0]).fold(0.0, f64::max);
+        acc[j.id.0] = dep_max + own;
+        crit = crit.max(acc[j.id.0]);
+    }
+    (wrd, crit)
+}
+
+/// Build the full runnable view from scratch. This is the executable
+/// specification of what schedulers see: O(Σ jobs) per call, called once
+/// per free container under [`DispatchMode::Reference`]. The incremental
+/// path maintains the identical view (same entries, same order, same
+/// aggregate bits) without the rebuild.
+pub(super) fn collect_runnable(
+    queries: &[SimQuery],
+    jobs: &[Vec<JobState>],
+    preds: &[Vec<JobPrediction>],
+    containers: usize,
+) -> Vec<RunnableJob> {
+    let mut out = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let mut acc = vec![0.0f64; q.jobs.len()];
+        let (wrd, crit) = query_demand(q, &jobs[qi], &preds[qi], containers, &mut acc);
+        // Total running tasks of this query (for queue-share accounting).
+        let query_running: usize = q
+            .jobs
+            .iter()
+            .map(|j| jobs[qi][j.id.0].running_maps + jobs[qi][j.id.0].running_reduces)
+            .sum();
+        for j in &q.jobs {
+            let js = &jobs[qi][j.id.0];
+            if !js.submitted || js.finished.is_some() {
+                continue;
+            }
+            let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
+            if js.pending_maps == 0 && pending_reduces == 0 {
+                continue;
+            }
+            out.push(RunnableJob {
+                query: QueryId(qi),
+                job: j.id,
+                submit_time: js.submit_time,
+                arrival: q.arrival,
+                pending_maps: js.pending_maps,
+                pending_reduces,
+                running: js.running_maps + js.running_reduces,
+                query_wrd: wrd,
+                query_time: crit,
+                query_running,
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,870 @@
+//! The event loop: the [`Simulator`] itself, its event heap, and the
+//! per-query / per-job simulation state the other `sim` submodules operate
+//! on.
+
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
+use crate::job::{JobPrediction, SimQuery, TaskKind, TaskSpec};
+use crate::sched::{RunnableJob, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sapred_obs::{Candidate, DownReason, Event as ObsEvent, EventSink, NullSink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::dispatch::{collect_runnable, DispatchMode, DispatchState};
+use super::oracle::{DemandOracle, FrozenOracle};
+use super::recovery::{fail_query, Attempt, FaultState};
+use super::report::{assemble_report, SimReport};
+use super::state::{phase_of, Event, JobState, QueryState, Time};
+use super::ClusterConfig;
+use sapred_obs::{JobId, NodeId, QueryId};
+
+/// The simulator: owns the cluster config, cost model and scheduler.
+pub struct Simulator<S: Scheduler> {
+    /// Cluster topology and Hadoop-parameter configuration.
+    pub config: ClusterConfig,
+    /// Ground-truth task cost model.
+    pub cost: CostModel,
+    /// The scheduling policy under test.
+    pub scheduler: S,
+    /// How the runnable view is derived (incremental by default).
+    pub dispatch: DispatchMode,
+    /// The failure schedule to inject ([`FaultPlan::none`] by default —
+    /// bit-identical to a fault-free run).
+    pub faults: FaultPlan,
+}
+
+impl<S: Scheduler> Simulator<S> {
+    /// Assemble a simulator (incremental dispatch, no faults).
+    pub fn new(config: ClusterConfig, cost: CostModel, scheduler: S) -> Self {
+        Self {
+            config,
+            cost,
+            scheduler,
+            dispatch: DispatchMode::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Same simulator with an explicit [`DispatchMode`].
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Same simulator with a seeded failure schedule injected.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Run all queries to completion and report.
+    ///
+    /// Equivalent to [`Simulator::run_with`] with a [`NullSink`]: the
+    /// tracing path compiles away entirely.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run(&mut self, queries: &[SimQuery]) -> SimReport {
+        self.run_with(queries, &mut NullSink)
+    }
+
+    /// Run all queries to completion, emitting every discrete event —
+    /// query/job lifecycle, per-task placement on node·slot, and scheduler
+    /// decision records — to `sink`.
+    ///
+    /// Decision records carry the full candidate list with each candidate's
+    /// policy score ([`Scheduler::score`]); their construction is skipped
+    /// when `sink.enabled()` is false, so a [`NullSink`] run pays nothing.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run_with<K: EventSink>(&mut self, queries: &[SimQuery], sink: &mut K) -> SimReport {
+        self.run_with_oracle(queries, sink, &mut FrozenOracle)
+    }
+
+    /// Run all queries to completion with a live [`DemandOracle`] supplying
+    /// (and, for recalibrating oracles, revising) per-job demand
+    /// predictions, emitting every discrete event to `sink`.
+    ///
+    /// The oracle is consulted once per job up front, once more at each
+    /// job's submit, and — whenever
+    /// [`observe_job_done`](DemandOracle::observe_job_done) returns `true`
+    /// — re-consulted for every unfinished job, with the scheduler's WRD /
+    /// critical-path aggregates refreshed to match. With the default
+    /// [`FrozenOracle`] this is bit-identical to [`Simulator::run_with`].
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run_with_oracle<K: EventSink>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+    ) -> SimReport {
+        for q in queries {
+            if let Err(e) = q.validate() {
+                panic!("invalid query {}: {e}", q.name);
+            }
+        }
+        if let Err(e) = self.faults.validate(self.config.nodes) {
+            panic!("invalid fault plan: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Separate stream for fault sampling: a zero-probability plan draws
+        // nothing from it, leaving the duration stream — and therefore the
+        // whole simulation — bit-identical to a fault-free run.
+        let mut fault_rng = StdRng::seed_from_u64(self.faults.seed);
+        let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, t: f64, e: Event, seq: &mut u64| {
+            heap.push(Reverse((Time(t), *seq, e)));
+            *seq += 1;
+        };
+
+        let mut jobs: Vec<Vec<JobState>> =
+            queries.iter().map(|q| vec![JobState::default(); q.jobs.len()]).collect();
+        let mut qstate: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        // The live prediction matrix: consulted from the oracle, never read
+        // from the frozen `SimJob` fields. Seeded up front for every job so
+        // the demand aggregates below start from a complete view.
+        let mut preds: Vec<Vec<JobPrediction>> = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| q.jobs.iter().map(|j| oracle.predict(QueryId(qi), j)).collect())
+            .collect();
+        for (i, q) in queries.iter().enumerate() {
+            push(&mut heap, q.arrival, Event::Arrival { q: i }, &mut seq);
+        }
+        let mut fr = FaultState::new(self.config.nodes, self.config.total_containers());
+        for (ci, crash) in self.faults.node_crashes.iter().enumerate() {
+            push(&mut heap, crash.at, Event::NodeDown { crash: ci }, &mut seq);
+        }
+
+        // Min-heap of free container-slot ids: tasks land on the
+        // lowest-numbered free slot, giving stable node/slot placement for
+        // the trace exporters.
+        let mut free_slots: BinaryHeap<Reverse<usize>> =
+            (0..self.config.total_containers()).map(Reverse).collect();
+        let mut now = 0.0f64;
+        let mut done_queries = 0usize;
+
+        // Materialized scheduling state for the incremental dispatch path.
+        // Seed every query's demand aggregates up front (WRD and critical
+        // path depend only on done-task counts, which start at zero, not on
+        // submission) so `Submit` handling stays O(1) per job.
+        let incremental = self.dispatch != DispatchMode::Reference;
+        let mut state = DispatchState::new(queries.len(), self.config.total_containers());
+        if incremental {
+            for qi in 0..queries.len() {
+                state.refresh_query(queries, &jobs, &preds, qi);
+            }
+        }
+
+        while let Some(Reverse((Time(t), _, event))) = heap.pop() {
+            debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
+            now = t;
+            match event {
+                Event::Arrival { q } => {
+                    sink.emit(&ObsEvent::QueryArrive {
+                        t: now,
+                        query: QueryId(q),
+                        name: queries[q].name.clone(),
+                    });
+                    for job in &queries[q].jobs {
+                        if job.deps.is_empty() {
+                            push(&mut heap, now, Event::Submit { q, j: job.id.into() }, &mut seq);
+                        }
+                    }
+                }
+                Event::Submit { q, j } => {
+                    if qstate[q].failed {
+                        // The query was abandoned while this submit was in
+                        // flight; nothing of it may enter the runnable set.
+                        continue;
+                    }
+                    let job = &queries[q].jobs[j];
+                    let js = &mut jobs[q][j];
+                    js.submitted = true;
+                    js.submit_time = now;
+                    js.pending_maps = job.maps.len();
+                    js.reduces_unlocked = job.reduces.is_empty();
+                    js.reduces_initialized = job.reduces.is_empty();
+                    js.map_attempt_no = vec![0; job.maps.len()];
+                    js.reduce_attempt_no = vec![0; job.reduces.len()];
+                    js.map_fail_since = vec![None; job.maps.len()];
+                    js.reduce_fail_since = vec![None; job.reduces.len()];
+                    js.map_node = vec![None; job.maps.len()];
+                    // Submit-time consultation: a live oracle may have
+                    // sharpened its estimate since the run started.
+                    preds[q][j] = oracle.predict(QueryId(q), job);
+                    sink.emit(&ObsEvent::JobSubmit {
+                        t: now,
+                        query: QueryId(q),
+                        job: JobId(j),
+                        category: job.category,
+                    });
+                    if incremental {
+                        state.insert_job(queries, &jobs, q, j);
+                    }
+                }
+                Event::TaskDone { attempt } => {
+                    if !fr.attempts[attempt].alive {
+                        // Stale completion of an attempt killed in the
+                        // meantime (lazy heap invalidation).
+                        continue;
+                    }
+                    let a = fr.attempts[attempt];
+                    fr.attempts[attempt].alive = false;
+                    fr.release_slot(a.slot, &self.config, &mut free_slots);
+                    let mut counted = a.counted;
+                    if fr.partner_alive(attempt) {
+                        // This attempt won the speculative race: kill the
+                        // loser and inherit the running-count
+                        // representation if the loser held it.
+                        let p = a.partner.expect("partner_alive implies partner");
+                        counted |= fr.attempts[p].counted;
+                        fr.attempts[p].counted = false;
+                        fr.kill_attempt(
+                            p,
+                            false,
+                            now,
+                            &self.config,
+                            &mut jobs,
+                            &mut free_slots,
+                            sink,
+                        );
+                        if a.speculative {
+                            fr.stats.speculative_wins += 1;
+                        }
+                    }
+                    debug_assert!(counted, "a finishing task must hold the running count");
+                    let duration = f64::from_bits(a.duration_bits);
+                    sink.emit(&ObsEvent::TaskFinish {
+                        t: now,
+                        query: QueryId(a.q),
+                        job: JobId(a.j),
+                        phase: phase_of(a.kind),
+                        node: NodeId(self.config.node_of(a.slot)),
+                        slot: self.config.slot_of(a.slot),
+                        duration,
+                    });
+                    let (q, j) = (a.q, a.j);
+                    let job = &queries[q].jobs[j];
+                    let js = &mut jobs[q][j];
+                    let recovered_since = match a.kind {
+                        TaskKind::Map => {
+                            js.running_maps -= 1;
+                            js.done_maps += 1;
+                            js.map_time_sum += duration;
+                            js.map_completions += 1;
+                            js.map_node[a.spec_idx] = Some(self.config.node_of(a.slot));
+                            if js.done_maps == job.maps.len() && !job.reduces.is_empty() {
+                                if !js.reduces_initialized {
+                                    js.pending_reduces = job.reduces.len();
+                                    js.reduces_initialized = true;
+                                }
+                                js.reduces_unlocked = true;
+                            }
+                            js.map_fail_since[a.spec_idx].take()
+                        }
+                        TaskKind::Reduce => {
+                            js.running_reduces -= 1;
+                            js.done_reduces += 1;
+                            js.reduce_time_sum += duration;
+                            js.reduce_completions += 1;
+                            js.reduce_fail_since[a.spec_idx].take()
+                        }
+                    };
+                    if let Some(since) = recovered_since {
+                        fr.stats.recovery_count += 1;
+                        let lat = now - since;
+                        fr.stats.recovery_latency_sum += lat;
+                        fr.stats.recovery_latency_max = fr.stats.recovery_latency_max.max(lat);
+                    }
+                    let job_done =
+                        js.done_maps == job.maps.len() && js.done_reduces == job.reduces.len();
+                    if job_done && js.finished.is_none() {
+                        js.finished = Some(now);
+                        qstate[q].jobs_done += 1;
+                        // Feed the completed job's measured task-time means
+                        // back to the oracle. A recalibrating oracle then
+                        // re-prices every unfinished job and the touched
+                        // queries' demand aggregates are refreshed, so WRD
+                        // and critical-path scores adapt mid-run.
+                        let actual = JobPrediction {
+                            map_task_time: if js.map_completions > 0 {
+                                js.map_time_sum / js.map_completions as f64
+                            } else {
+                                0.0
+                            },
+                            reduce_task_time: if js.reduce_completions > 0 {
+                                js.reduce_time_sum / js.reduce_completions as f64
+                            } else {
+                                0.0
+                            },
+                        };
+                        sink.emit(&ObsEvent::JobFinish {
+                            t: now,
+                            query: QueryId(q),
+                            job: JobId(j),
+                            category: job.category,
+                        });
+                        // Submit dependents whose parents are all finished.
+                        for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&JobId(j))) {
+                            let ready = dep.deps.iter().all(|&p| jobs[q][p.0].finished.is_some());
+                            if ready && !jobs[q][dep.id.0].submitted {
+                                push(
+                                    &mut heap,
+                                    now + self.config.submit_overhead,
+                                    Event::Submit { q, j: dep.id.into() },
+                                    &mut seq,
+                                );
+                            }
+                        }
+                        if qstate[q].jobs_done == queries[q].jobs.len() {
+                            qstate[q].finished = Some(now);
+                            done_queries += 1;
+                            sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                        }
+                        if oracle.observe_job_done(QueryId(q), job, actual, now) {
+                            for (qi2, q2) in queries.iter().enumerate() {
+                                if qstate[qi2].failed || qstate[qi2].finished.is_some() {
+                                    continue;
+                                }
+                                let mut changed = false;
+                                for j2 in &q2.jobs {
+                                    if jobs[qi2][j2.id.0].finished.is_some() {
+                                        continue;
+                                    }
+                                    let p = oracle.predict(QueryId(qi2), j2);
+                                    if p != preds[qi2][j2.id.0] {
+                                        preds[qi2][j2.id.0] = p;
+                                        changed = true;
+                                    }
+                                }
+                                // Query `q` refreshes in `on_task_done`
+                                // below; others resync here.
+                                if changed && incremental && qi2 != q {
+                                    state.resync_query(queries, &jobs, &preds, qi2);
+                                }
+                            }
+                        }
+                    }
+                    if incremental {
+                        state.on_task_done(queries, &jobs, &preds, q, j);
+                    }
+                }
+                Event::TaskFailed { attempt } => {
+                    if !fr.attempts[attempt].alive {
+                        continue;
+                    }
+                    let a = fr.attempts[attempt];
+                    fr.attempts[attempt].alive = false;
+                    fr.release_slot(a.slot, &self.config, &mut free_slots);
+                    let node = self.config.node_of(a.slot);
+                    fr.stats.task_failures += 1;
+                    fr.node_failures[node] += 1;
+                    let mut will_retry = false;
+                    let mut retry_at = now;
+                    let mut query_failed = false;
+                    if fr.partner_alive(attempt) {
+                        // A live clone still covers the task: hand it the
+                        // running count; no retry needed.
+                        if a.counted {
+                            let p = a.partner.expect("partner_alive implies partner");
+                            fr.attempts[p].counted = true;
+                        }
+                    } else {
+                        debug_assert!(a.counted);
+                        let js = &mut jobs[a.q][a.j];
+                        match a.kind {
+                            TaskKind::Map => js.running_maps -= 1,
+                            TaskKind::Reduce => js.running_reduces -= 1,
+                        }
+                        let used = match a.kind {
+                            TaskKind::Map => js.map_attempt_no[a.spec_idx],
+                            TaskKind::Reduce => js.reduce_attempt_no[a.spec_idx],
+                        };
+                        if used >= self.faults.max_attempts {
+                            query_failed = true;
+                        } else {
+                            will_retry = true;
+                            retry_at = now + self.faults.backoff(used);
+                            fr.stats.retries_scheduled += 1;
+                            FaultState::start_recovery_clock(&mut jobs, &a, now);
+                        }
+                    }
+                    sink.emit(&ObsEvent::TaskFailed {
+                        t: now,
+                        query: QueryId(a.q),
+                        job: JobId(a.j),
+                        phase: phase_of(a.kind),
+                        node: NodeId(node),
+                        slot: self.config.slot_of(a.slot),
+                        attempt: a.attempt_no,
+                        ran_for: now - a.start,
+                        will_retry,
+                        retry_at,
+                    });
+                    if will_retry {
+                        push(
+                            &mut heap,
+                            retry_at,
+                            Event::Retry { q: a.q, j: a.j, kind: a.kind, spec_idx: a.spec_idx },
+                            &mut seq,
+                        );
+                    }
+                    let mut affected = vec![a.q];
+                    if query_failed {
+                        fail_query(
+                            a.q,
+                            now,
+                            &self.config,
+                            &mut fr,
+                            &mut jobs,
+                            &mut qstate,
+                            &mut free_slots,
+                            sink,
+                        );
+                        done_queries += 1;
+                        if incremental {
+                            state.remove_query(a.q);
+                        }
+                    }
+                    // Blacklist a node that keeps failing tasks — but never
+                    // the last usable one (a flaky node beats no node;
+                    // reset its strike counter instead, mirroring Hadoop's
+                    // cap on simultaneously-blacklisted trackers).
+                    if self.faults.blacklist_after > 0
+                        && fr.node_usable(node)
+                        && fr.node_failures[node] >= self.faults.blacklist_after
+                    {
+                        if fr.usable_nodes() > 1 {
+                            fr.blacklisted[node] = true;
+                            fr.stats.nodes_blacklisted += 1;
+                            sink.emit(&ObsEvent::NodeDown {
+                                t: now,
+                                node: NodeId(node),
+                                reason: DownReason::Blacklist,
+                                lost_maps: 0,
+                            });
+                            affected.extend(fr.kill_node_attempts(
+                                node,
+                                true,
+                                now,
+                                &self.config,
+                                &mut jobs,
+                                &mut free_slots,
+                                sink,
+                            ));
+                            free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node);
+                        } else {
+                            fr.node_failures[node] = 0;
+                        }
+                    }
+                    if incremental {
+                        affected.sort_unstable();
+                        affected.dedup();
+                        for &qi in &affected {
+                            if !qstate[qi].failed {
+                                state.resync_query(queries, &jobs, &preds, qi);
+                            }
+                        }
+                    }
+                }
+                Event::Retry { q, j, kind, spec_idx } => {
+                    if qstate[q].failed {
+                        // Backoff elapsed after the query was abandoned.
+                        continue;
+                    }
+                    let js = &mut jobs[q][j];
+                    match kind {
+                        TaskKind::Map => {
+                            js.pending_maps += 1;
+                            js.retry_maps.push(spec_idx);
+                        }
+                        TaskKind::Reduce => {
+                            js.pending_reduces += 1;
+                            js.retry_reduces.push(spec_idx);
+                        }
+                    }
+                    if incremental {
+                        state.resync_query(queries, &jobs, &preds, q);
+                    }
+                }
+                Event::NodeDown { crash } => {
+                    let nc = self.faults.node_crashes[crash];
+                    let node = nc.node;
+                    // (A crash while the node is already down is idempotent
+                    // here; validate rejects overlapping windows, but
+                    // exactly-adjacent ones pop the second NodeDown before
+                    // the first NodeUp, and the epoch guard sorts that out.)
+                    fr.crashed[node.0] = true;
+                    fr.node_epoch[node.0] += 1;
+                    fr.stats.node_crashes += 1;
+                    // The classic re-execution rule: completed map output
+                    // lives on the node's local disk, so unfinished jobs
+                    // whose reduces still need it must re-run the maps
+                    // that ran here. (Reduce output and map-only job
+                    // output live on replicated HDFS — safe.)
+                    let mut lost_per_job: Vec<(usize, usize, usize)> = Vec::new();
+                    let mut affected: Vec<usize> = Vec::new();
+                    for (qi, q) in queries.iter().enumerate() {
+                        if qstate[qi].failed {
+                            continue;
+                        }
+                        for job in &q.jobs {
+                            let js = &mut jobs[qi][job.id.0];
+                            if !js.submitted || js.finished.is_some() || job.reduces.is_empty() {
+                                continue;
+                            }
+                            let lost: Vec<usize> = (0..job.maps.len())
+                                .filter(|&m| js.map_node[m] == Some(node.into()))
+                                .collect();
+                            if lost.is_empty() {
+                                continue;
+                            }
+                            js.done_maps -= lost.len();
+                            js.pending_maps += lost.len();
+                            for &m in &lost {
+                                js.map_node[m] = None;
+                                js.retry_maps.push(m);
+                                js.map_fail_since[m].get_or_insert(now);
+                            }
+                            if js.reduces_unlocked {
+                                // The reduce wave re-locks until the map
+                                // wave is whole again (running reduces are
+                                // allowed to finish).
+                                js.reduces_unlocked = false;
+                            }
+                            fr.stats.lost_maps += lost.len();
+                            lost_per_job.push((qi, job.id.into(), lost.len()));
+                            affected.push(qi);
+                        }
+                    }
+                    let lost_total: usize = lost_per_job.iter().map(|&(_, _, n)| n).sum();
+                    sink.emit(&ObsEvent::NodeDown {
+                        t: now,
+                        node,
+                        reason: DownReason::Crash,
+                        lost_maps: lost_total,
+                    });
+                    for (qi, j, n) in lost_per_job {
+                        sink.emit(&ObsEvent::MapOutputLost {
+                            t: now,
+                            query: QueryId(qi),
+                            job: JobId(j),
+                            node,
+                            maps_lost: n,
+                        });
+                    }
+                    affected.extend(fr.kill_node_attempts(
+                        node.into(),
+                        true,
+                        now,
+                        &self.config,
+                        &mut jobs,
+                        &mut free_slots,
+                        sink,
+                    ));
+                    free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node.into());
+                    if nc.down_for.is_finite() {
+                        push(
+                            &mut heap,
+                            now + nc.down_for,
+                            Event::NodeUp { node: node.into(), epoch: fr.node_epoch[node.0] },
+                            &mut seq,
+                        );
+                    }
+                    if incremental {
+                        affected.sort_unstable();
+                        affected.dedup();
+                        for &qi in &affected {
+                            state.resync_query(queries, &jobs, &preds, qi);
+                        }
+                    }
+                }
+                Event::NodeUp { node, epoch } => {
+                    if fr.node_epoch[node] != epoch || !fr.crashed[node] {
+                        // A newer crash superseded this recovery.
+                        continue;
+                    }
+                    fr.crashed[node] = false;
+                    if !fr.blacklisted[node] {
+                        sink.emit(&ObsEvent::NodeUp { t: now, node: NodeId(node) });
+                        let base = node * self.config.containers_per_node;
+                        for slot in base..base + self.config.containers_per_node {
+                            if fr.slot_attempt[slot].is_none() {
+                                free_slots.push(Reverse(slot));
+                            }
+                        }
+                    }
+                }
+            }
+            if self.dispatch == DispatchMode::Crosscheck {
+                state.crosscheck(queries, &jobs, &preds, "after event");
+            }
+
+            // Dispatch free containers. Incremental modes read the
+            // maintained runnable view; Reference rebuilds it from scratch
+            // once per free container, exactly as the pre-incremental
+            // engine did.
+            while !free_slots.is_empty() {
+                let rebuilt;
+                let runnable: &[RunnableJob] = match self.dispatch {
+                    DispatchMode::Incremental => &state.runnable,
+                    DispatchMode::Crosscheck => {
+                        state.crosscheck(queries, &jobs, &preds, "before pick");
+                        &state.runnable
+                    }
+                    DispatchMode::Reference => {
+                        rebuilt = collect_runnable(
+                            queries,
+                            &jobs,
+                            &preds,
+                            self.config.total_containers(),
+                        );
+                        &rebuilt
+                    }
+                };
+                let Some(c) = self.scheduler.pick(runnable) else {
+                    // No runnable work for this container. With speculative
+                    // execution on, clone the worst straggler of a
+                    // nearly-done job into the idle slot instead of letting
+                    // it sit; first finisher wins, loser is killed.
+                    if !self.faults.speculative {
+                        break;
+                    }
+                    let mut best: Option<usize> = None;
+                    for (id, a) in fr.attempts.iter().enumerate() {
+                        if !a.alive || a.partner.is_some() || qstate[a.q].failed {
+                            continue;
+                        }
+                        let job = &queries[a.q].jobs[a.j];
+                        let js = &jobs[a.q][a.j];
+                        let total = (job.maps.len() + job.reduces.len()) as f64;
+                        let done = (js.done_maps + js.done_reduces) as f64;
+                        if done / total < self.faults.spec_fraction {
+                            continue;
+                        }
+                        if best.is_none_or(|b| a.sched_end > fr.attempts[b].sched_end) {
+                            best = Some(id);
+                        }
+                    }
+                    let Some(orig_id) = best else { break };
+                    let orig = fr.attempts[orig_id];
+                    // Place the clone off the straggler's node if any other
+                    // node has a free slot (lowest slot id wins for
+                    // determinism), else share the node.
+                    let mut slots: Vec<usize> = free_slots.iter().map(|r| r.0).collect();
+                    slots.sort_unstable();
+                    let orig_node = self.config.node_of(orig.slot);
+                    let slot = slots
+                        .iter()
+                        .copied()
+                        .find(|&s| self.config.node_of(s) != orig_node)
+                        .unwrap_or(slots[0]);
+                    free_slots.retain(|&Reverse(s)| s != slot);
+                    let job = &queries[orig.q].jobs[orig.j];
+                    let spec = match orig.kind {
+                        TaskKind::Map => job.maps[orig.spec_idx],
+                        TaskKind::Reduce => job.reduces[orig.spec_idx],
+                    };
+                    sink.emit(&ObsEvent::SpeculativeLaunch {
+                        t: now,
+                        query: QueryId(orig.q),
+                        job: JobId(orig.j),
+                        phase: phase_of(orig.kind),
+                        node: NodeId(self.config.node_of(slot)),
+                        slot: self.config.slot_of(slot),
+                    });
+                    sink.emit(&ObsEvent::TaskStart {
+                        t: now,
+                        query: QueryId(orig.q),
+                        job: JobId(orig.j),
+                        phase: phase_of(orig.kind),
+                        node: NodeId(self.config.node_of(slot)),
+                        slot: self.config.slot_of(slot),
+                    });
+                    let load =
+                        1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
+                    let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
+                    let fail = self.cost.sample_failure(self.faults.task_fail_prob, &mut fault_rng);
+                    let id = fr.attempts.len();
+                    fr.attempts.push(Attempt {
+                        q: orig.q,
+                        j: orig.j,
+                        kind: orig.kind,
+                        spec_idx: orig.spec_idx,
+                        slot,
+                        start: now,
+                        duration_bits: duration.to_bits(),
+                        sched_end: now + duration,
+                        attempt_no: orig.attempt_no,
+                        speculative: true,
+                        counted: false,
+                        partner: Some(orig_id),
+                        alive: true,
+                    });
+                    fr.attempts[orig_id].partner = Some(id);
+                    fr.slot_attempt[slot] = Some(id);
+                    match orig.kind {
+                        TaskKind::Map => jobs[orig.q][orig.j].map_attempts_total += 1,
+                        TaskKind::Reduce => jobs[orig.q][orig.j].reduce_attempts_total += 1,
+                    }
+                    fr.stats.speculative_launches += 1;
+                    match fail {
+                        Some(frac) => push(
+                            &mut heap,
+                            now + duration * frac,
+                            Event::TaskFailed { attempt: id },
+                            &mut seq,
+                        ),
+                        None => push(
+                            &mut heap,
+                            now + duration,
+                            Event::TaskDone { attempt: id },
+                            &mut seq,
+                        ),
+                    }
+                    // Clones are uncounted: the scheduler's view (pending /
+                    // running / demand) is unchanged, so no state update.
+                    continue;
+                };
+                if sink.enabled() {
+                    // Decision-record construction (candidate scoring) is
+                    // skipped entirely for disabled sinks.
+                    let candidates = runnable
+                        .iter()
+                        .map(|r| Candidate {
+                            query: r.query,
+                            job: r.job,
+                            score: self.scheduler.score(r),
+                        })
+                        .collect();
+                    sink.emit(&ObsEvent::Decision {
+                        t: now,
+                        policy: self.scheduler.name(),
+                        candidates,
+                        chosen_query: c.query,
+                        chosen_job: c.job,
+                        phase: phase_of(c.kind),
+                        queue_depth: runnable.len(),
+                        free_containers: free_slots.len(),
+                    });
+                }
+                let js = &mut jobs[c.query.0][c.job.0];
+                // Retried tasks (failed or clawed back by a crash) relaunch
+                // before fresh spec indices are handed out.
+                let (spec, spec_idx, attempt_no): (TaskSpec, usize, usize) = match c.kind {
+                    TaskKind::Map => {
+                        debug_assert!(js.pending_maps > 0);
+                        js.pending_maps -= 1;
+                        js.running_maps += 1;
+                        let idx = js.retry_maps.pop().unwrap_or_else(|| {
+                            let i = js.next_map;
+                            js.next_map += 1;
+                            i
+                        });
+                        js.map_attempt_no[idx] += 1;
+                        js.map_attempts_total += 1;
+                        (queries[c.query.0].jobs[c.job.0].maps[idx], idx, js.map_attempt_no[idx])
+                    }
+                    TaskKind::Reduce => {
+                        debug_assert!(js.pending_reduces > 0 && js.reduces_unlocked);
+                        js.pending_reduces -= 1;
+                        js.running_reduces += 1;
+                        let idx = js.retry_reduces.pop().unwrap_or_else(|| {
+                            let i = js.next_reduce;
+                            js.next_reduce += 1;
+                            i
+                        });
+                        js.reduce_attempt_no[idx] += 1;
+                        js.reduce_attempts_total += 1;
+                        (
+                            queries[c.query.0].jobs[c.job.0].reduces[idx],
+                            idx,
+                            js.reduce_attempt_no[idx],
+                        )
+                    }
+                };
+                if js.started.is_none() {
+                    js.started = Some(now);
+                    sink.emit(&ObsEvent::JobStart { t: now, query: c.query, job: c.job });
+                }
+                if qstate[c.query.0].started.is_none() {
+                    qstate[c.query.0].started = Some(now);
+                    sink.emit(&ObsEvent::QueryStart { t: now, query: c.query });
+                }
+                let Reverse(slot) = free_slots.pop().expect("checked non-empty");
+                sink.emit(&ObsEvent::TaskStart {
+                    t: now,
+                    query: c.query,
+                    job: c.job,
+                    phase: phase_of(c.kind),
+                    node: NodeId(self.config.node_of(slot)),
+                    slot: self.config.slot_of(slot),
+                });
+                let load = 1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
+                let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
+                // Fault sampling draws from its own stream so a zero-prob
+                // plan consumes no randomness; a doomed attempt dies at a
+                // sampled fraction of its would-be duration.
+                let fail = self.cost.sample_failure(self.faults.task_fail_prob, &mut fault_rng);
+                let id = fr.attempts.len();
+                fr.attempts.push(Attempt {
+                    q: c.query.into(),
+                    j: c.job.into(),
+                    kind: c.kind,
+                    spec_idx,
+                    slot,
+                    start: now,
+                    duration_bits: duration.to_bits(),
+                    sched_end: now + duration,
+                    attempt_no,
+                    speculative: false,
+                    counted: true,
+                    partner: None,
+                    alive: true,
+                });
+                fr.slot_attempt[slot] = Some(id);
+                match fail {
+                    Some(frac) => push(
+                        &mut heap,
+                        now + duration * frac,
+                        Event::TaskFailed { attempt: id },
+                        &mut seq,
+                    ),
+                    None => {
+                        push(&mut heap, now + duration, Event::TaskDone { attempt: id }, &mut seq)
+                    }
+                }
+                if incremental {
+                    state.on_dispatch(&jobs, c.query.into(), c.job.into());
+                }
+            }
+            if done_queries == queries.len() {
+                // Every query is accounted for (finished or abandoned).
+                // Fault-free runs reach this point with an empty heap
+                // anyway; under faults it keeps pending NodeUp/Retry events
+                // from pointlessly extending the run.
+                break;
+            }
+        }
+
+        assert_eq!(
+            done_queries,
+            queries.len(),
+            "simulation deadlocked with unfinished queries (does the fault \
+             plan leave any node usable?)"
+        );
+        let usable_slots = (0..self.config.nodes).filter(|&n| fr.node_usable(n)).count()
+            * self.config.containers_per_node;
+        assert_eq!(free_slots.len(), usable_slots, "containers leaked");
+        debug_assert!(fr.attempts.iter().all(|a| !a.alive), "attempts leaked");
+
+        assemble_report(queries, &qstate, &jobs, &fr.stats, now)
+    }
+}

@@ -1,0 +1,72 @@
+//! The live prediction boundary between the prediction layer and the
+//! engine.
+//!
+//! Historically, per-task time predictions were computed offline and frozen
+//! into each [`SimJob`] when the workload was built; the scheduler's WRD and
+//! critical-path aggregates could never change mid-run. A [`DemandOracle`]
+//! inverts that: the engine *consults* the oracle — once up front for every
+//! job, again when a job is submitted, and again for every unfinished job
+//! after a recalibrating oracle absorbs a completed job's actuals — so an
+//! online predictor can steer the scheduler with progressively better
+//! estimates while queries are still running.
+//!
+//! The default [`FrozenOracle`] reproduces the historical behavior exactly
+//! (it returns the prediction frozen into the job and never recalibrates),
+//! which the golden-bits fixtures pin: attaching the oracle seam costs
+//! nothing and changes nothing until a live oracle is plugged in.
+
+use crate::job::{JobPrediction, SimJob};
+use sapred_obs::QueryId;
+
+/// A live source of per-job demand predictions, consulted by the engine at
+/// run start, at job submit, and (for recalibrating oracles) after every
+/// job completion.
+///
+/// Implementations are object-safe: the engine takes `&mut dyn
+/// DemandOracle` so callers can hold state (fitted models, drift trackers)
+/// without infecting the simulator with extra type parameters.
+pub trait DemandOracle {
+    /// Predicted mean task times for `job` of `query`.
+    ///
+    /// Called once per job before the run starts (seeding the scheduler's
+    /// demand aggregates), once more when the job is submitted, and after
+    /// any job completion for which [`observe_job_done`] returned `true`.
+    ///
+    /// [`observe_job_done`]: DemandOracle::observe_job_done
+    fn predict(&mut self, query: QueryId, job: &SimJob) -> JobPrediction;
+
+    /// Feedback hook: `job` of `query` completed at simulated time `t`
+    /// with measured mean task times `actual` (zeros for phases with no
+    /// completed tasks, e.g. the reduce side of a map-only job).
+    ///
+    /// Return `true` if the observation may change future [`predict`]
+    /// answers: the engine then re-consults the oracle for every
+    /// unfinished job and refreshes the scheduler's WRD / critical-path
+    /// aggregates, so recalibration takes effect mid-run. The default
+    /// implementation ignores the observation and returns `false`, which
+    /// keeps the hot path free of re-prediction sweeps.
+    ///
+    /// [`predict`]: DemandOracle::predict
+    fn observe_job_done(
+        &mut self,
+        query: QueryId,
+        job: &SimJob,
+        actual: JobPrediction,
+        t: f64,
+    ) -> bool {
+        let _ = (query, job, actual, t);
+        false
+    }
+}
+
+/// The default oracle: answers with the prediction frozen into the job at
+/// build time and never recalibrates — bit-identical to the pre-oracle
+/// engine, as the golden fixtures prove.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrozenOracle;
+
+impl DemandOracle for FrozenOracle {
+    fn predict(&mut self, _query: QueryId, job: &SimJob) -> JobPrediction {
+        job.prediction
+    }
+}

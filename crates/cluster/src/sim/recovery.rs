@@ -1,0 +1,242 @@
+//! Fault handling and recovery: in-flight attempt tracking, node
+//! crash/blacklist state, slot reclamation, and query abandonment.
+
+use crate::fault::FaultStats;
+use crate::job::TaskKind;
+use sapred_obs::{Event as ObsEvent, EventSink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::state::{phase_of, JobState, QueryState};
+use super::ClusterConfig;
+use sapred_obs::{JobId, NodeId, QueryId};
+
+/// One task attempt in flight (or finished/killed). The registry grows
+/// monotonically; heap events reference attempts by index and check
+/// `alive` at pop, so killing an attempt never touches the event heap.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Attempt {
+    pub(super) q: usize,
+    pub(super) j: usize,
+    pub(super) kind: TaskKind,
+    /// Task index within the job's map or reduce list.
+    pub(super) spec_idx: usize,
+    /// Flat container-slot id the attempt occupies.
+    pub(super) slot: usize,
+    pub(super) start: f64,
+    /// Exact scheduled duration (bit pattern; see [`Event::TaskDone`]).
+    pub(super) duration_bits: u64,
+    /// When the attempt would finish if it neither fails nor is killed —
+    /// the straggler criterion for speculative execution.
+    pub(super) sched_end: f64,
+    /// Per-spec attempt number at launch (1-based; clones inherit the
+    /// original's).
+    pub(super) attempt_no: usize,
+    /// Whether this is a speculative clone.
+    pub(super) speculative: bool,
+    /// Whether this attempt is the one represented in `JobState`'s
+    /// running counts. Originals start counted, clones uncounted; when a
+    /// counted attempt dies while its partner lives, the partner inherits
+    /// the count (so `JobState` sees the task as continuously running).
+    pub(super) counted: bool,
+    /// The other attempt racing for the same task, if any.
+    pub(super) partner: Option<usize>,
+    pub(super) alive: bool,
+}
+
+/// Mutable fault-and-recovery state for one run: the attempt registry,
+/// per-node health, and the stats that end up in the report.
+pub(super) struct FaultState {
+    pub(super) attempts: Vec<Attempt>,
+    /// Which attempt occupies each flat slot (None = free or parked).
+    pub(super) slot_attempt: Vec<Option<usize>>,
+    pub(super) crashed: Vec<bool>,
+    pub(super) blacklisted: Vec<bool>,
+    /// Task failures per node, for the blacklist threshold.
+    pub(super) node_failures: Vec<usize>,
+    /// Bumped on every crash, so a stale `NodeUp` can be recognized.
+    pub(super) node_epoch: Vec<u64>,
+    pub(super) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(super) fn new(nodes: usize, slots: usize) -> Self {
+        Self {
+            attempts: Vec::new(),
+            slot_attempt: vec![None; slots],
+            crashed: vec![false; nodes],
+            blacklisted: vec![false; nodes],
+            node_failures: vec![0; nodes],
+            node_epoch: vec![0; nodes],
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub(super) fn node_usable(&self, node: usize) -> bool {
+        !self.crashed[node] && !self.blacklisted[node]
+    }
+
+    pub(super) fn usable_nodes(&self) -> usize {
+        (0..self.crashed.len()).filter(|&n| self.node_usable(n)).count()
+    }
+
+    /// Whether `attempt`'s racing partner is still alive.
+    pub(super) fn partner_alive(&self, attempt: usize) -> bool {
+        self.attempts[attempt].partner.is_some_and(|p| self.attempts[p].alive)
+    }
+
+    /// Free `slot`, returning it to the pool only if its node is usable
+    /// (slots on downed nodes stay parked until `NodeUp`).
+    pub(super) fn release_slot(
+        &mut self,
+        slot: usize,
+        cfg: &ClusterConfig,
+        free_slots: &mut BinaryHeap<Reverse<usize>>,
+    ) {
+        self.slot_attempt[slot] = None;
+        if self.node_usable(cfg.node_of(slot)) {
+            free_slots.push(Reverse(slot));
+        }
+    }
+
+    /// Record that the task of (dead) attempt `a` was disrupted now, for
+    /// recovery-latency accounting (first disruption starts the clock).
+    pub(super) fn start_recovery_clock(jobs: &mut [Vec<JobState>], a: &Attempt, now: f64) {
+        let js = &mut jobs[a.q][a.j];
+        let since = match a.kind {
+            TaskKind::Map => &mut js.map_fail_since[a.spec_idx],
+            TaskKind::Reduce => &mut js.reduce_fail_since[a.spec_idx],
+        };
+        since.get_or_insert(now);
+    }
+
+    /// Kill attempt `id`: mark it dead, free its slot, update job counts,
+    /// and emit the `TaskKilled` event. With `requeue`, the task re-enters
+    /// the runnable set immediately (node-crash semantics: the kill is not
+    /// the task's fault, so no backoff and no attempt-budget charge).
+    /// Returns the killed attempt (for the caller's resync bookkeeping).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn kill_attempt<K: EventSink>(
+        &mut self,
+        id: usize,
+        requeue: bool,
+        now: f64,
+        cfg: &ClusterConfig,
+        jobs: &mut [Vec<JobState>],
+        free_slots: &mut BinaryHeap<Reverse<usize>>,
+        sink: &mut K,
+    ) -> Attempt {
+        let a = self.attempts[id];
+        debug_assert!(a.alive, "killing a dead attempt");
+        self.attempts[id].alive = false;
+        self.release_slot(a.slot, cfg, free_slots);
+        self.stats.tasks_killed += 1;
+        let mut requeued = false;
+        if self.partner_alive(id) {
+            // The partner keeps racing; it inherits the running-count
+            // representation if this attempt held it.
+            if a.counted {
+                let p = a.partner.expect("partner_alive implies partner");
+                self.attempts[p].counted = true;
+            }
+        } else if a.counted {
+            let js = &mut jobs[a.q][a.j];
+            match a.kind {
+                TaskKind::Map => js.running_maps -= 1,
+                TaskKind::Reduce => js.running_reduces -= 1,
+            }
+            if requeue {
+                requeued = true;
+                match a.kind {
+                    TaskKind::Map => {
+                        js.pending_maps += 1;
+                        js.retry_maps.push(a.spec_idx);
+                    }
+                    TaskKind::Reduce => {
+                        js.pending_reduces += 1;
+                        js.retry_reduces.push(a.spec_idx);
+                    }
+                }
+                Self::start_recovery_clock(jobs, &a, now);
+            }
+        }
+        sink.emit(&ObsEvent::TaskKilled {
+            t: now,
+            query: QueryId(a.q),
+            job: JobId(a.j),
+            phase: phase_of(a.kind),
+            node: NodeId(cfg.node_of(a.slot)),
+            slot: cfg.slot_of(a.slot),
+            speculative: a.speculative,
+            requeued,
+        });
+        a
+    }
+
+    /// Kill every live attempt running on `node` (which must already be
+    /// marked unusable, so freed slots stay parked). Returns the affected
+    /// query indices for dispatch-state resync.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn kill_node_attempts<K: EventSink>(
+        &mut self,
+        node: usize,
+        requeue: bool,
+        now: f64,
+        cfg: &ClusterConfig,
+        jobs: &mut [Vec<JobState>],
+        free_slots: &mut BinaryHeap<Reverse<usize>>,
+        sink: &mut K,
+    ) -> Vec<usize> {
+        debug_assert!(!self.node_usable(node));
+        let mut affected = Vec::new();
+        for slot in node * cfg.containers_per_node..(node + 1) * cfg.containers_per_node {
+            if let Some(id) = self.slot_attempt[slot] {
+                if self.attempts[id].alive {
+                    let a = self.kill_attempt(id, requeue, now, cfg, jobs, free_slots, sink);
+                    affected.push(a.q);
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        affected
+    }
+}
+
+/// Abandon query `q`: a task exhausted its attempt budget. Kills every
+/// live attempt of the query, zeroes its jobs' pending/running work so it
+/// vanishes from the runnable view, and emits `QueryFinish` (the query
+/// *terminates*, unsuccessfully — its [`QueryStat::failed`] flag records
+/// the distinction). The caller bumps `done_queries` and drops the query
+/// from the dispatch state.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn fail_query<K: EventSink>(
+    q: usize,
+    now: f64,
+    cfg: &ClusterConfig,
+    fr: &mut FaultState,
+    jobs: &mut [Vec<JobState>],
+    qstate: &mut [QueryState],
+    free_slots: &mut BinaryHeap<Reverse<usize>>,
+    sink: &mut K,
+) {
+    qstate[q].failed = true;
+    qstate[q].finished = Some(now);
+    fr.stats.failed_queries.push(QueryId(q));
+    let ids: Vec<usize> =
+        (0..fr.attempts.len()).filter(|&i| fr.attempts[i].alive && fr.attempts[i].q == q).collect();
+    for id in ids {
+        if fr.attempts[id].alive {
+            fr.kill_attempt(id, false, now, cfg, jobs, free_slots, sink);
+        }
+    }
+    for js in jobs[q].iter_mut() {
+        js.pending_maps = 0;
+        js.running_maps = 0;
+        js.pending_reduces = 0;
+        js.running_reduces = 0;
+        js.retry_maps.clear();
+        js.retry_reduces.clear();
+    }
+    sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+}

@@ -1,0 +1,107 @@
+//! Core simulation state: the event heap's ordered time and event types,
+//! and the per-job / per-query bookkeeping every other `sim` submodule
+//! (engine, dispatch, recovery, report) operates on.
+
+use crate::job::TaskKind;
+use sapred_obs::TaskPhase;
+
+pub(super) fn phase_of(kind: TaskKind) -> TaskPhase {
+    match kind {
+        TaskKind::Map => TaskPhase::Map,
+        TaskKind::Reduce => TaskPhase::Reduce,
+    }
+}
+
+/// Totally ordered f64 for the event heap (no NaNs by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) struct Time(pub(super) f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum Event {
+    /// A query arrives: submit its root jobs.
+    Arrival { q: usize },
+    /// A job becomes visible to the scheduler.
+    Submit { q: usize, j: usize },
+    /// Attempt `attempt` (index into the attempt registry) finishes,
+    /// releasing its container slot. The exact f64 duration the heap
+    /// scheduled lives in the registry as its bit pattern
+    /// ([`f64::to_bits`]) so the recorded stats match the schedule
+    /// bit-for-bit. Ignored if the attempt was killed in the meantime
+    /// (lazy invalidation: cheaper than deleting from the event heap).
+    TaskDone { attempt: usize },
+    /// Attempt `attempt` fails mid-run (scheduled at dispatch when the
+    /// fault RNG says this attempt dies). Ignored if already killed.
+    TaskFailed { attempt: usize },
+    /// A failed task's backoff elapsed: re-enter the runnable set.
+    Retry { q: usize, j: usize, kind: TaskKind, spec_idx: usize },
+    /// Scheduled node outage `crash` (index into the plan's crash list)
+    /// takes effect.
+    NodeDown { crash: usize },
+    /// A crashed node recovers. `epoch` guards against stale events.
+    NodeUp { node: usize, epoch: u64 },
+}
+
+#[derive(Debug, Clone, Default)]
+pub(super) struct JobState {
+    pub(super) submitted: bool,
+    pub(super) submit_time: f64,
+    pub(super) started: Option<f64>,
+    pub(super) finished: Option<f64>,
+    pub(super) pending_maps: usize,
+    pub(super) running_maps: usize,
+    pub(super) done_maps: usize,
+    pub(super) pending_reduces: usize,
+    pub(super) running_reduces: usize,
+    pub(super) done_reduces: usize,
+    pub(super) next_map: usize,
+    pub(super) next_reduce: usize,
+    pub(super) map_time_sum: f64,
+    pub(super) reduce_time_sum: f64,
+    pub(super) reduces_unlocked: bool,
+    /// Whether `pending_reduces` has been initialized (exactly once — a
+    /// node crash can re-lock the reduce wave by clawing back completed
+    /// maps, and re-initializing on the second unlock would double-count
+    /// reduces already done or running).
+    pub(super) reduces_initialized: bool,
+    /// Spec indices of failed/lost tasks awaiting relaunch; popped before
+    /// fresh `next_map`/`next_reduce` indices at dispatch.
+    pub(super) retry_maps: Vec<usize>,
+    pub(super) retry_reduces: Vec<usize>,
+    /// Per-spec attempt counts, for the max-attempts budget.
+    pub(super) map_attempt_no: Vec<usize>,
+    pub(super) reduce_attempt_no: Vec<usize>,
+    /// Per-spec first-disruption time, for recovery-latency stats; cleared
+    /// on successful completion.
+    pub(super) map_fail_since: Vec<Option<f64>>,
+    pub(super) reduce_fail_since: Vec<Option<f64>>,
+    /// Node that holds each completed map's output (the winning attempt's
+    /// node), for the lost-map-output rule on node crashes.
+    pub(super) map_node: Vec<Option<usize>>,
+    /// Attempt/completion totals for the report.
+    pub(super) map_attempts_total: usize,
+    pub(super) reduce_attempts_total: usize,
+    pub(super) map_completions: usize,
+    pub(super) reduce_completions: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(super) struct QueryState {
+    pub(super) jobs_done: usize,
+    pub(super) started: Option<f64>,
+    pub(super) finished: Option<f64>,
+    pub(super) failed: bool,
+}

@@ -37,11 +37,15 @@ fn query_strategy() -> impl Strategy<Value = SimQuery> {
                 .iter()
                 .enumerate()
                 .map(|(i, &(maps, reduces, map_t, reduce_t, sel))| SimJob {
-                    id: i,
+                    id: sapred_cluster::JobId(i),
                     // Roughly a third of non-root jobs are independent
                     // roots; the rest depend on a pseudo-random earlier job,
                     // so chains, diamonds and forests all occur.
-                    deps: if i == 0 || sel % 3 == 0 { vec![] } else { vec![sel as usize % i] },
+                    deps: if i == 0 || sel % 3 == 0 {
+                        vec![]
+                    } else {
+                        vec![sapred_cluster::JobId(sel as usize % i)]
+                    },
                     category: JobCategory::Extract,
                     maps: vec![task(TaskKind::Map, (32.0 + map_t * 16.0) * MB); maps],
                     reduces: vec![task(TaskKind::Reduce, 32.0 * MB); reduces],

@@ -19,8 +19,8 @@ fn runnable_strategy() -> impl Strategy<Value = Vec<RunnableJob>> {
         )
             .prop_map(|(query, job, submit, arrival, maps, reduces, running, wrd)| {
                 RunnableJob {
-                    query,
-                    job,
+                    query: sapred_cluster::QueryId(query),
+                    job: sapred_cluster::JobId(job),
                     submit_time: submit,
                     arrival,
                     // Reduces pend only when maps are done: enforce the
@@ -38,8 +38,8 @@ fn runnable_strategy() -> impl Strategy<Value = Vec<RunnableJob>> {
     .prop_map(|mut jobs| {
         // (query, job) must be unique so choices resolve unambiguously.
         for (i, j) in jobs.iter_mut().enumerate() {
-            j.query = i % 5;
-            j.job = i;
+            j.query = sapred_cluster::QueryId(i % 5);
+            j.job = sapred_cluster::JobId(i);
         }
         jobs
     })

@@ -446,7 +446,7 @@ mod tests {
         };
         let mut pool = DbPool::new(53);
         let pop = generate_population(&config, &mut pool);
-        (run_population(&pop, &mut pool, &fw), fw)
+        (run_population(&pop, &mut pool, &fw).expect("population runs"), fw)
     }
 
     #[test]
@@ -494,7 +494,7 @@ mod tests {
     fn swrd_noise_report_shape() {
         let (all, fw) = runs();
         let (train, _) = split_train_test(&all);
-        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let predictor = Predictor::new(fit_models(&train, &fw).expect("models fit"), fw);
         let mut pool = DbPool::new(53);
         let prepared = crate::experiments::scheduling::prepare_workload(
             &sapred_workload::mixes::facebook_mix(),

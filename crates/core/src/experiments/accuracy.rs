@@ -181,9 +181,9 @@ mod tests {
         };
         let mut pool = DbPool::new(29);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, test) = split_train_test(&runs);
-        let models = fit_models(&train, &fw);
+        let models = fit_models(&train, &fw).expect("models fit");
 
         let job = job_accuracy(&train, &test, &models);
         assert_eq!(job.per_category.len(), 3);

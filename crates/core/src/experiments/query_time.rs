@@ -95,9 +95,9 @@ mod tests {
         };
         let mut pool = DbPool::new(37);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, test) = split_train_test(&runs);
-        let models = fit_models(&train, &fw);
+        let models = fit_models(&train, &fw).expect("models fit");
         let predictor = Predictor::new(models, fw);
 
         let report = query_prediction(&test, &predictor, |r| r.scale_gb >= 1.0);

@@ -258,9 +258,9 @@ mod tests {
         };
         let mut pool = DbPool::new(41);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, _) = split_train_test(&runs);
-        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let predictor = Predictor::new(fit_models(&train, &fw).expect("models fit"), fw);
 
         // Facebook mix at 1/50 scale with tight arrivals (contention).
         let prepared =

@@ -16,14 +16,27 @@
 //!   (remaining task counts), ParaTimer-style;
 //! * [`telemetry`] — bridges model evaluations and simulator outcomes into
 //!   `sapred-obs` prediction-error event streams (drift tracking);
+//! * [`pipeline`] — the [`Pipeline`] facade walking a query through the
+//!   staged lifecycle (percolate → train → predict → simulate), the one
+//!   entry point the CLI, examples and integration tests consume;
+//! * [`oracle`] — live [`DemandOracle`](sapred_cluster::DemandOracle)
+//!   implementations, including the drift-corrected
+//!   [`RecalibratingOracle`];
+//! * [`error`] — the unified [`Error`] every fallible stage returns;
 //! * [`report`] — plain-text table rendering for the bench harness.
 
+pub mod error;
 pub mod experiments;
 pub mod framework;
+pub mod oracle;
+pub mod pipeline;
 pub mod progress;
 pub mod report;
 pub mod telemetry;
 pub mod training;
 
+pub use error::Error;
 pub use framework::{Framework, Predictor, QuerySemantics};
+pub use oracle::RecalibratingOracle;
+pub use pipeline::{Pipeline, Training};
 pub use training::{fit_models, run_population, split_train_test, QueryRun, TrainedModels};

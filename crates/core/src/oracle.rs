@@ -1,0 +1,221 @@
+//! Live demand oracles: the prediction layer's side of the simulator's
+//! [`DemandOracle`] seam.
+//!
+//! Two implementations:
+//!
+//! * [`Predictor`] itself — answers with the prediction it percolated into
+//!   each [`SimJob`] at build time and never recalibrates. Functionally the
+//!   simulator's own `FrozenOracle`, but it puts the *predictor* in the
+//!   loop, which is the architectural point: the engine asks the
+//!   prediction layer, not a frozen field.
+//! * [`RecalibratingOracle`] — wraps the percolated predictions with the
+//!   observability layer's [`DriftTracker`]. Every completed job's actual
+//!   mean task times are recorded against what was predicted; once a
+//!   (quantity × operator-category) cell has enough samples, subsequent
+//!   predictions for that cell are divided by `1 + bias` (the cell's mean
+//!   signed relative error), so a systematic over- or under-prediction is
+//!   corrected while queries are still running and the scheduler's WRD
+//!   ranking shifts with it.
+
+use crate::framework::Predictor;
+use sapred_cluster::job::{JobPrediction, SimJob};
+use sapred_cluster::{DemandOracle, QueryId};
+use sapred_obs::{DriftTracker, Quantity};
+
+impl DemandOracle for Predictor {
+    /// The percolated prediction for this job — the same numbers this
+    /// predictor computed from the job's selectivity estimates when the
+    /// workload was built (`build_sim_query` froze them into the job).
+    fn predict(&mut self, _query: QueryId, job: &SimJob) -> JobPrediction {
+        job.prediction
+    }
+}
+
+/// A [`DemandOracle`] that corrects percolated predictions online using
+/// observed prediction drift.
+///
+/// Bias is tracked per (quantity, job category) in a [`DriftTracker`] —
+/// the same accumulator the observability layer uses for post-hoc drift
+/// reports — so a run's mid-flight corrections and its telemetry agree by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct RecalibratingOracle {
+    drift: DriftTracker,
+    min_samples: u64,
+}
+
+impl Default for RecalibratingOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecalibratingOracle {
+    /// Default warm-up: a cell corrects after 3 observed completions.
+    pub fn new() -> Self {
+        Self { drift: DriftTracker::new(), min_samples: 3 }
+    }
+
+    /// Override how many samples a (quantity, category) cell needs before
+    /// its bias estimate is trusted for correction.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// The accumulated drift statistics (for reporting after a run).
+    pub fn drift(&self) -> &DriftTracker {
+        &self.drift
+    }
+
+    fn corrected(&self, quantity: Quantity, job: &SimJob, predicted: f64) -> f64 {
+        let cell = self.drift.cell(quantity, job.category);
+        if cell.n < self.min_samples {
+            return predicted;
+        }
+        let bias = cell.mean_signed();
+        if bias <= -0.99 {
+            // A pathological under-prediction estimate would flip the sign
+            // or explode the correction; leave the prediction alone.
+            return predicted;
+        }
+        predicted / (1.0 + bias)
+    }
+}
+
+impl DemandOracle for RecalibratingOracle {
+    fn predict(&mut self, _query: QueryId, job: &SimJob) -> JobPrediction {
+        JobPrediction {
+            map_task_time: self.corrected(Quantity::MapTask, job, job.prediction.map_task_time),
+            reduce_task_time: self.corrected(
+                Quantity::ReduceTask,
+                job,
+                job.prediction.reduce_task_time,
+            ),
+        }
+    }
+
+    fn observe_job_done(
+        &mut self,
+        query: QueryId,
+        job: &SimJob,
+        actual: JobPrediction,
+        _t: f64,
+    ) -> bool {
+        // Score what we *would have predicted* just before this completion
+        // against what was measured, per phase. Zero actuals (no tasks of
+        // that phase) are skipped by the tracker's sampling rule.
+        let predicted = self.predict(query, job);
+        self.drift.record(
+            Quantity::MapTask,
+            job.category,
+            predicted.map_task_time,
+            actual.map_task_time,
+        );
+        self.drift.record(
+            Quantity::ReduceTask,
+            job.category,
+            predicted.reduce_task_time,
+            actual.reduce_task_time,
+        );
+        // Recalibration can change answers as soon as any cell is warm.
+        self.drift.total_samples() >= self.min_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapred_plan::dag::JobCategory;
+
+    fn job(map_pred: f64) -> SimJob {
+        SimJob {
+            id: sapred_cluster::JobId(0),
+            deps: vec![],
+            category: JobCategory::Extract,
+            maps: vec![],
+            reduces: vec![],
+            prediction: JobPrediction { map_task_time: map_pred, reduce_task_time: map_pred },
+        }
+    }
+
+    #[test]
+    fn cold_oracle_relays_percolated_predictions() {
+        let mut o = RecalibratingOracle::new();
+        let p = o.predict(QueryId(0), &job(8.0));
+        assert_eq!(p.map_task_time, 8.0);
+        assert_eq!(p.reduce_task_time, 8.0);
+    }
+
+    #[test]
+    fn warm_oracle_divides_out_observed_bias() {
+        let mut o = RecalibratingOracle::new().with_min_samples(3);
+        // Predictions run 2x hot: predicted 8.0, actual 4.0, three times.
+        let actual = JobPrediction { map_task_time: 4.0, reduce_task_time: 4.0 };
+        for _ in 0..3 {
+            o.observe_job_done(QueryId(0), &job(8.0), actual, 1.0);
+        }
+        let p = o.predict(QueryId(0), &job(8.0));
+        // Bias +1.0 (100% over) → corrected 8.0 / 2.0 = 4.0.
+        assert!((p.map_task_time - 4.0).abs() < 1e-9, "{}", p.map_task_time);
+    }
+
+    #[test]
+    fn observe_reports_recalibration_only_once_warm() {
+        let mut o = RecalibratingOracle::new().with_min_samples(2);
+        let actual = JobPrediction { map_task_time: 4.0, reduce_task_time: 0.0 };
+        assert!(!o.observe_job_done(QueryId(0), &job(8.0), actual, 1.0));
+        assert!(o.observe_job_done(QueryId(0), &job(8.0), actual, 2.0));
+    }
+
+    #[test]
+    fn predictor_oracle_matches_frozen_semantics() {
+        use crate::framework::Framework;
+        use sapred_predict::features::{JobFeatures, TaskFeatures};
+        use sapred_predict::model::{JobTimeModel, TaskTimeModel};
+        // Fit toy models on synthetic samples: the oracle impl ignores
+        // them and relays the percolated prediction, which is the point.
+        let jf: Vec<(JobFeatures, f64)> = (0..24)
+            .map(|i| {
+                let x = 1.0 + i as f64;
+                (
+                    JobFeatures {
+                        d_in: x * 1e6,
+                        d_med: x * 5e5,
+                        d_out: x * 2e5,
+                        is_join: i % 2 == 0,
+                        p: 0.5,
+                    },
+                    3.0 + x,
+                )
+            })
+            .collect();
+        let tf: Vec<(TaskFeatures, f64)> = (0..24)
+            .map(|i| {
+                let x = 1.0 + i as f64;
+                (
+                    TaskFeatures {
+                        td_in: x * 1e6,
+                        td_out: x * 5e5,
+                        is_join: i % 2 == 0,
+                        p: 0.5,
+                        saturation: 1.0 / x,
+                    },
+                    2.0 + x,
+                )
+            })
+            .collect();
+        let mut p = Predictor::new(
+            crate::training::TrainedModels {
+                job: JobTimeModel::fit(&jf).unwrap(),
+                map_task: TaskTimeModel::fit(&tf).unwrap(),
+                reduce_task: TaskTimeModel::fit(&tf).unwrap(),
+            },
+            Framework::new(),
+        );
+        let j = job(6.0);
+        assert_eq!(DemandOracle::predict(&mut p, QueryId(0), &j), j.prediction);
+        // Default feedback hook: no recalibration.
+        assert!(!p.observe_job_done(QueryId(0), &j, j.prediction, 1.0));
+    }
+}

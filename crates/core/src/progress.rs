@@ -87,7 +87,7 @@ impl<'a> ProgressEstimator<'a> {
     ) -> sapred_obs::Event {
         sapred_obs::Event::Eta {
             t,
-            query,
+            query: sapred_cluster::QueryId(query),
             fraction: self.fraction_done(progress),
             eta: self.remaining_seconds(progress),
         }
@@ -135,9 +135,9 @@ mod tests {
         };
         let mut pool = DbPool::new(43);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, _) = split_train_test(&runs);
-        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let predictor = Predictor::new(fit_models(&train, &fw).expect("models fit"), fw);
         let db = pool.get(5.0).clone();
         let semantics = fw
             .percolate_sql(

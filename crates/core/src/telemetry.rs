@@ -56,8 +56,8 @@ pub fn record_training_runs<K: EventSink>(
         for (job, s) in job_samples(one()).iter().enumerate() {
             sink.emit(&Event::PredictionError {
                 t: 0.0,
-                query: qi,
-                job,
+                query: sapred_cluster::QueryId(qi),
+                job: sapred_cluster::JobId(job),
                 category: s.category,
                 quantity: Quantity::Job,
                 predicted: predictor.models.job.predict(&s.features),
@@ -71,8 +71,8 @@ pub fn record_training_runs<K: EventSink>(
         for (s, (job, _)) in map_task_samples(one(), fw).iter().zip(map_jobs) {
             sink.emit(&Event::PredictionError {
                 t: 0.0,
-                query: qi,
-                job,
+                query: sapred_cluster::QueryId(qi),
+                job: sapred_cluster::JobId(job),
                 category: s.category,
                 quantity: Quantity::MapTask,
                 predicted: predictor.models.map_task.predict(&s.features),
@@ -89,8 +89,8 @@ pub fn record_training_runs<K: EventSink>(
         for (s, (job, _)) in reduce_task_samples(one(), fw).iter().zip(reduce_jobs) {
             sink.emit(&Event::PredictionError {
                 t: 0.0,
-                query: qi,
-                job,
+                query: sapred_cluster::QueryId(qi),
+                job: sapred_cluster::JobId(job),
                 category: s.category,
                 quantity: Quantity::ReduceTask,
                 predicted: predictor.models.reduce_task.predict(&s.features),
@@ -102,8 +102,8 @@ pub fn record_training_runs<K: EventSink>(
         let semantics = QuerySemantics { dag: r.dag.clone(), estimates: r.estimates.clone() };
         sink.emit(&Event::PredictionError {
             t: 0.0,
-            query: qi,
-            job: 0,
+            query: sapred_cluster::QueryId(qi),
+            job: sapred_cluster::JobId(0),
             category: dominant_category(r.estimates.iter().map(|e| e.category)),
             quantity: Quantity::Query,
             predicted: predictor.query_seconds(&semantics),
@@ -133,7 +133,7 @@ pub fn record_sim_outcomes<K: EventSink>(
     let containers = config.total_containers();
     let mut emitted = 0usize;
     for js in &report.jobs {
-        let job = &queries[js.query].jobs[js.job];
+        let job = &queries[js.query.0].jobs[js.job.0];
         sink.emit(&Event::PredictionError {
             t: js.finish,
             query: js.query,
@@ -186,14 +186,14 @@ pub fn record_sim_outcomes<K: EventSink>(
                 reduces_remaining: j.reduces.len(),
             };
             let own = job_time_waves(&resource, containers, config.submit_overhead);
-            let dep = j.deps.iter().map(|&d| acc[d]).fold(0.0, f64::max);
-            acc[j.id] = dep + own;
-            predicted = predicted.max(acc[j.id]);
+            let dep = j.deps.iter().map(|&d| acc[d.0]).fold(0.0, f64::max);
+            acc[j.id.0] = dep + own;
+            predicted = predicted.max(acc[j.id.0]);
         }
         sink.emit(&Event::PredictionError {
             t: stat.finish,
-            query: qi,
-            job: 0,
+            query: sapred_cluster::QueryId(qi),
+            job: sapred_cluster::JobId(0),
             category: dominant_category(q.jobs.iter().map(|j| j.category)),
             quantity: Quantity::Query,
             predicted,
@@ -225,9 +225,9 @@ mod tests {
         };
         let mut pool = DbPool::new(29);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, _) = split_train_test(&runs);
-        let models = fit_models(&train, &fw);
+        let models = fit_models(&train, &fw).expect("models fit");
         let predictor = Predictor::new(models.clone(), fw);
 
         let mut drift = DriftTracker::new();
@@ -299,9 +299,9 @@ mod tests {
         };
         let mut pool = DbPool::new(41);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, _) = split_train_test(&runs);
-        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let predictor = Predictor::new(fit_models(&train, &fw).expect("models fit"), fw);
         let prepared =
             prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), 1.0, 10.0, 41);
 

@@ -4,6 +4,7 @@
 //! split. Ground-truth generation parallelizes across queries with
 //! crossbeam scoped threads.
 
+use crate::error::Error;
 use crate::framework::Framework;
 use sapred_cluster::build::build_sim_query;
 use sapred_cluster::sched::Fifo;
@@ -79,7 +80,19 @@ fn run_one(pop: &PopQuery, db: &sapred_relation::gen::Database, fw: &Framework) 
 
 /// Run the whole population (parallel across queries). The pool is
 /// pre-warmed so workers can share immutable database references.
-pub fn run_population(pop: &[PopQuery], pool: &mut DbPool, fw: &Framework) -> Vec<QueryRun> {
+///
+/// # Errors
+/// [`Error::Training`] if the population is empty or a worker panics
+/// (e.g. an unsatisfiable query template); the panic is contained to its
+/// chunk and reported, not propagated.
+pub fn run_population(
+    pop: &[PopQuery],
+    pool: &mut DbPool,
+    fw: &Framework,
+) -> Result<Vec<QueryRun>, Error> {
+    if pop.is_empty() {
+        return Err(Error::Training("empty query population".into()));
+    }
     for q in pop {
         pool.get(q.scale_gb);
     }
@@ -87,12 +100,10 @@ pub fn run_population(pop: &[PopQuery], pool: &mut DbPool, fw: &Framework) -> Ve
     let mut runs: Vec<Option<QueryRun>> = vec![None; pop.len()];
     let pool_ref = &*pool;
     crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (pop_chunk, out_chunk)) in pop
+        for (pop_chunk, out_chunk) in pop
             .chunks(pop.len().div_ceil(threads).max(1))
             .zip(runs.chunks_mut(pop.len().div_ceil(threads).max(1)))
-            .enumerate()
         {
-            let _ = chunk_idx;
             scope.spawn(move |_| {
                 for (q, slot) in pop_chunk.iter().zip(out_chunk.iter_mut()) {
                     let db = pool_ref.peek(q.scale_gb).expect("pool pre-warmed");
@@ -101,8 +112,13 @@ pub fn run_population(pop: &[PopQuery], pool: &mut DbPool, fw: &Framework) -> Ve
             });
         }
     })
-    .expect("training workers panicked");
-    runs.into_iter().map(|r| r.expect("all slots filled")).collect()
+    .map_err(|_| Error::Training("a population-run worker panicked".into()))?;
+    runs.into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.ok_or_else(|| Error::Training(format!("population query {i} produced no run")))
+        })
+        .collect()
 }
 
 /// 3:1 train/test split by query id; scale-out queries always land in the
@@ -201,7 +217,11 @@ pub fn reduce_task_samples<'a>(
 }
 
 /// Fit all three models on the training runs.
-pub fn fit_models(train: &[&QueryRun], fw: &Framework) -> TrainedModels {
+///
+/// # Errors
+/// [`Error::Fit`] naming the model that failed when a sample set is too
+/// small or the normal matrix is singular.
+pub fn fit_models(train: &[&QueryRun], fw: &Framework) -> Result<TrainedModels, Error> {
     let jobs: Vec<(JobFeatures, f64)> =
         job_samples(train.iter().copied()).into_iter().map(|s| (s.features, s.measured)).collect();
     let maps: Vec<(TaskFeatures, f64)> = map_task_samples(train.iter().copied(), fw)
@@ -212,11 +232,13 @@ pub fn fit_models(train: &[&QueryRun], fw: &Framework) -> TrainedModels {
         .into_iter()
         .map(|s| (s.features, s.measured))
         .collect();
-    TrainedModels {
-        job: JobTimeModel::fit(&jobs).expect("job model fit"),
-        map_task: TaskTimeModel::fit(&maps).expect("map task model fit"),
-        reduce_task: TaskTimeModel::fit(&reduces).expect("reduce task model fit"),
-    }
+    Ok(TrainedModels {
+        job: JobTimeModel::fit(&jobs).map_err(|source| Error::Fit { model: "job", source })?,
+        map_task: TaskTimeModel::fit(&maps)
+            .map_err(|source| Error::Fit { model: "map task", source })?,
+        reduce_task: TaskTimeModel::fit(&reduces)
+            .map_err(|source| Error::Fit { model: "reduce task", source })?,
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +257,7 @@ mod tests {
         };
         let mut pool = DbPool::new(17);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).unwrap();
         (runs, fw, pool)
     }
 
@@ -247,7 +269,7 @@ mod tests {
         assert!(test.iter().any(|r| r.scale_out));
         assert!(train.len() > 2 * test.len());
 
-        let models = fit_models(&train, &fw);
+        let models = fit_models(&train, &fw).unwrap();
 
         // The fitted job model must track measured durations on the train
         // set reasonably well (the paper reports R² of 0.85–0.97).
@@ -272,10 +294,10 @@ mod tests {
             PopulationConfig { n_queries: 6, scales_gb: vec![0.5], scale_out_gb: vec![], seed: 23 };
         let mut pool_a = DbPool::new(23);
         let pop_a = generate_population(&config, &mut pool_a);
-        let a = run_population(&pop_a, &mut pool_a, &fw);
+        let a = run_population(&pop_a, &mut pool_a, &fw).unwrap();
         let mut pool_b = DbPool::new(23);
         let pop_b = generate_population(&config, &mut pool_b);
-        let b = run_population(&pop_b, &mut pool_b, &fw);
+        let b = run_population(&pop_b, &mut pool_b, &fw).unwrap();
         let resp = |rs: &[QueryRun]| rs.iter().map(|r| r.response).collect::<Vec<_>>();
         assert_eq!(resp(&a), resp(&b));
     }
@@ -286,7 +308,7 @@ mod tests {
         for r in &runs {
             assert_eq!(r.estimates.len(), r.job_stats.len());
             for (i, s) in r.job_stats.iter().enumerate() {
-                assert_eq!(s.job, i);
+                assert_eq!(s.job, sapred_cluster::JobId(i));
             }
         }
     }

@@ -189,6 +189,7 @@ impl EventSink for DriftTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::{JobId, QueryId};
     use crate::json::validate;
 
     #[test]
@@ -233,12 +234,12 @@ mod tests {
     #[test]
     fn tracker_consumes_prediction_error_events_only() {
         let mut tr = DriftTracker::new();
-        tr.emit(&Event::QueryStart { t: 0.0, query: 0 });
+        tr.emit(&Event::QueryStart { t: 0.0, query: QueryId(0) });
         assert_eq!(tr.total_samples(), 0);
         tr.emit(&Event::PredictionError {
             t: 1.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             category: JobCategory::Groupby,
             quantity: Quantity::MapTask,
             predicted: 2.0,

@@ -7,6 +7,7 @@
 //! consume the stream; [`Event::to_json`] renders one event as a JSON object
 //! for the JSONL exporter.
 
+use crate::ids::{JobId, NodeId, QueryId};
 use crate::json::{array, Obj};
 use sapred_plan::JobCategory;
 
@@ -84,9 +85,9 @@ impl DownReason {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// Query index of the candidate job.
-    pub query: usize,
+    pub query: QueryId,
     /// Job index within the query.
-    pub job: usize,
+    pub job: JobId,
     /// The policy's score for this candidate (e.g. WRD for SWRD); lower wins
     /// for every built-in policy.
     pub score: f64,
@@ -100,7 +101,7 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Human-readable query name.
         name: String,
     },
@@ -109,23 +110,23 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
     },
     /// Last job of a query finished.
     QueryFinish {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
     },
     /// A job's dependencies cleared; it joined the runnable pool.
     JobSubmit {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Semantic category of the job.
         category: JobCategory,
     },
@@ -134,18 +135,18 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
     },
     /// A job's last task completed.
     JobFinish {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Semantic category of the job.
         category: JobCategory,
     },
@@ -154,13 +155,13 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Map or reduce.
         phase: TaskPhase,
         /// Cluster node index the task runs on.
-        node: usize,
+        node: NodeId,
         /// Container slot index within the node.
         slot: usize,
     },
@@ -169,13 +170,13 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Map or reduce.
         phase: TaskPhase,
         /// Cluster node index the task ran on.
-        node: usize,
+        node: NodeId,
         /// Container slot index within the node.
         slot: usize,
         /// Task duration in seconds.
@@ -186,13 +187,13 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Map or reduce.
         phase: TaskPhase,
         /// Cluster node index the attempt ran on.
-        node: usize,
+        node: NodeId,
         /// Container slot index within the node.
         slot: usize,
         /// Attempt number for this task (1-based; 1 = first try).
@@ -212,13 +213,13 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Map or reduce.
         phase: TaskPhase,
         /// Cluster node index the attempt ran on.
-        node: usize,
+        node: NodeId,
         /// Container slot index within the node.
         slot: usize,
         /// Whether the killed attempt was a speculative clone.
@@ -233,7 +234,7 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Node index.
-        node: usize,
+        node: NodeId,
         /// Crash (may recover) or blacklist (permanent for the run).
         reason: DownReason,
         /// Completed map outputs on this node invalidated by the outage
@@ -245,7 +246,7 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Node index.
-        node: usize,
+        node: NodeId,
     },
     /// A straggler attempt was cloned onto another container (speculative
     /// execution). Followed by the clone's own `TaskStart`.
@@ -253,13 +254,13 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Map or reduce.
         phase: TaskPhase,
         /// Node the clone was placed on.
-        node: usize,
+        node: NodeId,
         /// Container slot the clone occupies.
         slot: usize,
     },
@@ -269,11 +270,11 @@ pub enum Event {
         /// Simulated time in seconds.
         t: f64,
         /// Query index within the workload.
-        query: usize,
+        query: QueryId,
         /// Job index within the query.
-        job: usize,
+        job: JobId,
         /// Node whose local map output was lost.
-        node: usize,
+        node: NodeId,
         /// Number of completed maps of this job that must re-run.
         maps_lost: usize,
     },
@@ -287,9 +288,9 @@ pub enum Event {
         /// Every runnable job considered, with its policy score.
         candidates: Vec<Candidate>,
         /// Query index of the chosen job.
-        chosen_query: usize,
+        chosen_query: QueryId,
         /// Job index of the chosen job.
-        chosen_job: usize,
+        chosen_job: JobId,
         /// Phase of the task that was dispatched.
         phase: TaskPhase,
         /// Number of runnable jobs at decision time.
@@ -302,7 +303,7 @@ pub enum Event {
         /// Simulated (or wall) time in seconds.
         t: f64,
         /// Query index.
-        query: usize,
+        query: QueryId,
         /// Fraction of total WRD completed, in `[0, 1]`.
         fraction: f64,
         /// Estimated remaining seconds.
@@ -313,9 +314,9 @@ pub enum Event {
         /// Simulated time in seconds (or 0 for offline evaluations).
         t: f64,
         /// Query index, if the observation is tied to a query.
-        query: usize,
+        query: QueryId,
         /// Job index, if tied to a job (0 for query-level observations).
-        job: usize,
+        job: JobId,
         /// Semantic category of the job (queries use their dominant job's
         /// category).
         category: JobCategory,
@@ -380,36 +381,36 @@ impl Event {
         let base = Obj::new().str("event", self.kind()).num("t", self.time());
         match self {
             Event::QueryArrive { query, name, .. } => {
-                base.int("query", *query as u64).str("name", name).finish()
+                base.int("query", u64::from(*query)).str("name", name).finish()
             }
             Event::QueryStart { query, .. } | Event::QueryFinish { query, .. } => {
-                base.int("query", *query as u64).finish()
+                base.int("query", u64::from(*query)).finish()
             }
             Event::JobSubmit { query, job, category, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("category", &category.to_string())
                 .finish(),
             Event::JobStart { query, job, .. } => {
-                base.int("query", *query as u64).int("job", *job as u64).finish()
+                base.int("query", u64::from(*query)).int("job", u64::from(*job)).finish()
             }
             Event::JobFinish { query, job, category, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("category", &category.to_string())
                 .finish(),
             Event::TaskStart { query, job, phase, node, slot, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("phase", phase.label())
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .int("slot", *slot as u64)
                 .finish(),
             Event::TaskFinish { query, job, phase, node, slot, duration, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("phase", phase.label())
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .int("slot", *slot as u64)
                 .num("duration", *duration)
                 .finish(),
@@ -425,10 +426,10 @@ impl Event {
                 retry_at,
                 ..
             } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("phase", phase.label())
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .int("slot", *slot as u64)
                 .int("attempt", *attempt as u64)
                 .num("ran_for", *ran_for)
@@ -436,31 +437,31 @@ impl Event {
                 .num("retry_at", *retry_at)
                 .finish(),
             Event::TaskKilled { query, job, phase, node, slot, speculative, requeued, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("phase", phase.label())
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .int("slot", *slot as u64)
                 .bool("speculative", *speculative)
                 .bool("requeued", *requeued)
                 .finish(),
             Event::NodeDown { node, reason, lost_maps, .. } => base
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .str("reason", reason.label())
                 .int("lost_maps", *lost_maps as u64)
                 .finish(),
-            Event::NodeUp { node, .. } => base.int("node", *node as u64).finish(),
+            Event::NodeUp { node, .. } => base.int("node", u64::from(*node)).finish(),
             Event::SpeculativeLaunch { query, job, phase, node, slot, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("phase", phase.label())
-                .int("node", *node as u64)
+                .int("node", u64::from(*node))
                 .int("slot", *slot as u64)
                 .finish(),
             Event::MapOutputLost { query, job, node, maps_lost, .. } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
-                .int("node", *node as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
+                .int("node", u64::from(*node))
                 .int("maps_lost", *maps_lost as u64)
                 .finish(),
             Event::Decision {
@@ -475,14 +476,14 @@ impl Event {
             } => {
                 let cands = array(candidates.iter().map(|c| {
                     Obj::new()
-                        .int("query", c.query as u64)
-                        .int("job", c.job as u64)
+                        .int("query", u64::from(c.query))
+                        .int("job", u64::from(c.job))
                         .num("score", c.score)
                         .finish()
                 }));
                 base.str("policy", policy)
-                    .int("chosen_query", *chosen_query as u64)
-                    .int("chosen_job", *chosen_job as u64)
+                    .int("chosen_query", u64::from(*chosen_query))
+                    .int("chosen_job", u64::from(*chosen_job))
                     .str("phase", phase.label())
                     .int("queue_depth", *queue_depth as u64)
                     .int("free_containers", *free_containers as u64)
@@ -490,15 +491,15 @@ impl Event {
                     .finish()
             }
             Event::Eta { query, fraction, eta, .. } => base
-                .int("query", *query as u64)
+                .int("query", u64::from(*query))
                 .num("fraction", *fraction)
                 .num("eta", *eta)
                 .finish(),
             Event::PredictionError {
                 query, job, category, quantity, predicted, actual, ..
             } => base
-                .int("query", *query as u64)
-                .int("job", *job as u64)
+                .int("query", u64::from(*query))
+                .int("job", u64::from(*job))
                 .str("category", &category.to_string())
                 .str("quantity", quantity.label())
                 .num("predicted", *predicted)
@@ -515,17 +516,29 @@ mod tests {
 
     fn sample_events() -> Vec<Event> {
         vec![
-            Event::QueryArrive { t: 0.0, query: 0, name: "q\"uote".into() },
-            Event::QueryStart { t: 1.0, query: 0 },
-            Event::JobSubmit { t: 1.0, query: 0, job: 0, category: JobCategory::Extract },
-            Event::JobStart { t: 1.5, query: 0, job: 0 },
-            Event::TaskStart { t: 1.5, query: 0, job: 0, phase: TaskPhase::Map, node: 2, slot: 7 },
+            Event::QueryArrive { t: 0.0, query: QueryId(0), name: "q\"uote".into() },
+            Event::QueryStart { t: 1.0, query: QueryId(0) },
+            Event::JobSubmit {
+                t: 1.0,
+                query: QueryId(0),
+                job: JobId(0),
+                category: JobCategory::Extract,
+            },
+            Event::JobStart { t: 1.5, query: QueryId(0), job: JobId(0) },
+            Event::TaskStart {
+                t: 1.5,
+                query: QueryId(0),
+                job: JobId(0),
+                phase: TaskPhase::Map,
+                node: NodeId(2),
+                slot: 7,
+            },
             Event::TaskFinish {
                 t: 3.5,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase: TaskPhase::Map,
-                node: 2,
+                node: NodeId(2),
                 slot: 7,
                 duration: 2.0,
             },
@@ -533,21 +546,21 @@ mod tests {
                 t: 1.5,
                 policy: "swrd",
                 candidates: vec![
-                    Candidate { query: 0, job: 0, score: 12.5 },
-                    Candidate { query: 1, job: 0, score: 40.0 },
+                    Candidate { query: QueryId(0), job: JobId(0), score: 12.5 },
+                    Candidate { query: QueryId(1), job: JobId(0), score: 40.0 },
                 ],
-                chosen_query: 0,
-                chosen_job: 0,
+                chosen_query: QueryId(0),
+                chosen_job: JobId(0),
                 phase: TaskPhase::Map,
                 queue_depth: 2,
                 free_containers: 9,
             },
             Event::TaskFailed {
                 t: 2.0,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase: TaskPhase::Map,
-                node: 2,
+                node: NodeId(2),
                 slot: 7,
                 attempt: 1,
                 ran_for: 0.5,
@@ -556,32 +569,43 @@ mod tests {
             },
             Event::TaskKilled {
                 t: 2.2,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase: TaskPhase::Reduce,
-                node: 1,
+                node: NodeId(1),
                 slot: 3,
                 speculative: true,
                 requeued: false,
             },
-            Event::NodeDown { t: 2.5, node: 1, reason: DownReason::Crash, lost_maps: 4 },
-            Event::NodeUp { t: 3.0, node: 1 },
+            Event::NodeDown { t: 2.5, node: NodeId(1), reason: DownReason::Crash, lost_maps: 4 },
+            Event::NodeUp { t: 3.0, node: NodeId(1) },
             Event::SpeculativeLaunch {
                 t: 3.1,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase: TaskPhase::Map,
-                node: 0,
+                node: NodeId(0),
                 slot: 1,
             },
-            Event::MapOutputLost { t: 2.5, query: 0, job: 0, node: 1, maps_lost: 4 },
-            Event::JobFinish { t: 4.0, query: 0, job: 0, category: JobCategory::Extract },
-            Event::QueryFinish { t: 4.0, query: 0 },
-            Event::Eta { t: 2.0, query: 0, fraction: 0.5, eta: 2.0 },
+            Event::MapOutputLost {
+                t: 2.5,
+                query: QueryId(0),
+                job: JobId(0),
+                node: NodeId(1),
+                maps_lost: 4,
+            },
+            Event::JobFinish {
+                t: 4.0,
+                query: QueryId(0),
+                job: JobId(0),
+                category: JobCategory::Extract,
+            },
+            Event::QueryFinish { t: 4.0, query: QueryId(0) },
+            Event::Eta { t: 2.0, query: QueryId(0), fraction: 0.5, eta: 2.0 },
             Event::PredictionError {
                 t: 4.0,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 category: JobCategory::Join,
                 quantity: Quantity::Job,
                 predicted: 3.0,
@@ -604,7 +628,7 @@ mod tests {
         for ev in sample_events() {
             assert!(ev.time() >= 0.0);
         }
-        assert_eq!(Event::QueryStart { t: 7.25, query: 3 }.time(), 7.25);
+        assert_eq!(Event::QueryStart { t: 7.25, query: QueryId(3) }.time(), 7.25);
     }
 
     #[test]

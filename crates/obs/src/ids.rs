@@ -1,0 +1,99 @@
+//! Typed identifiers shared across the pipeline layers.
+//!
+//! The simulator, the scheduler, the observability stream, and the
+//! prediction layer all refer to the same three kinds of entity: queries,
+//! jobs within a query, and cluster nodes. Carrying them as bare `usize`
+//! made it possible to hand a job index to a node parameter without a
+//! whisper from the compiler; these newtypes make such mix-ups type
+//! errors while staying zero-cost (`repr(transparent)` over `usize`).
+//!
+//! All three serialize and `Display` as their underlying integer, so the
+//! JSONL / Chrome-trace export formats are unchanged byte for byte.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index, for vector addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(v: $name) -> u64 {
+                v.0 as u64
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A query's position in the submitted workload (its arrival-order
+    /// index). Stable for the lifetime of a run.
+    QueryId
+}
+
+id_type! {
+    /// A job's position within its owning query's DAG (the `SimJob::id`
+    /// the planner assigned). Only meaningful alongside a [`QueryId`].
+    JobId
+}
+
+id_type! {
+    /// A physical node of the simulated cluster, `0..ClusterConfig::nodes`.
+    NodeId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_transparent_integers() {
+        let q: QueryId = 7usize.into();
+        assert_eq!(q.index(), 7);
+        assert_eq!(usize::from(q), 7);
+        assert_eq!(u64::from(q), 7);
+        assert_eq!(q.to_string(), "7");
+        assert_eq!(q, QueryId(7));
+        assert!(QueryId(1) < QueryId(2), "ids order by index");
+    }
+
+    #[test]
+    fn distinct_id_kinds_are_distinct_types() {
+        // This is the whole point: a JobId cannot be passed where a
+        // NodeId is expected. (Compile-time property; the assertions
+        // below just keep the test non-empty.)
+        assert_eq!(JobId::default().index(), 0);
+        assert_eq!(NodeId::default().index(), 0);
+    }
+}

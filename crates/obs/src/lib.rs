@@ -33,6 +33,7 @@
 
 pub mod drift;
 pub mod event;
+pub mod ids;
 pub mod json;
 pub mod metrics;
 pub mod sink;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use drift::{DriftStat, DriftTracker};
 pub use event::{Candidate, DownReason, Event, Quantity, TaskPhase};
+pub use ids::{JobId, NodeId, QueryId};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSink};
 pub use sink::{EventSink, JsonlSink, NullSink, RecordingSink, Tee};
 pub use trace::ChromeTraceSink;

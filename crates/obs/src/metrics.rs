@@ -356,6 +356,7 @@ impl EventSink for MetricsSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::{JobId, NodeId, QueryId};
     use crate::json::validate;
     use sapred_plan::JobCategory;
 
@@ -401,13 +402,20 @@ mod tests {
 
     fn task_pair(t0: f64, t1: f64, phase: TaskPhase) -> [Event; 2] {
         [
-            Event::TaskStart { t: t0, query: 0, job: 0, phase, node: 0, slot: 0 },
+            Event::TaskStart {
+                t: t0,
+                query: QueryId(0),
+                job: JobId(0),
+                phase,
+                node: NodeId(0),
+                slot: 0,
+            },
             Event::TaskFinish {
                 t: t1,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase,
-                node: 0,
+                node: NodeId(0),
                 slot: 0,
                 duration: t1 - t0,
             },
@@ -431,24 +439,24 @@ mod tests {
     fn fault_events_release_busy_slots_and_count() {
         use crate::event::DownReason;
         let mut sink = MetricsSink::new(2);
-        let start = |t: f64, node: usize| Event::TaskStart {
+        let start = |t: f64, node: NodeId| Event::TaskStart {
             t,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             phase: TaskPhase::Map,
             node,
             slot: 0,
         };
         // One attempt fails at t=2, another is killed at t=2: both slots must
         // be released, so utilization over [0, 4] is (2+2)/(2*4) = 0.5.
-        sink.emit(&start(0.0, 0));
-        sink.emit(&start(0.0, 1));
+        sink.emit(&start(0.0, NodeId(0)));
+        sink.emit(&start(0.0, NodeId(1)));
         sink.emit(&Event::TaskFailed {
             t: 2.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             phase: TaskPhase::Map,
-            node: 0,
+            node: NodeId(0),
             slot: 0,
             attempt: 1,
             ran_for: 2.0,
@@ -457,31 +465,42 @@ mod tests {
         });
         sink.emit(&Event::TaskKilled {
             t: 2.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             phase: TaskPhase::Map,
-            node: 1,
+            node: NodeId(1),
             slot: 0,
             speculative: true,
             requeued: false,
         });
-        sink.emit(&Event::NodeDown { t: 2.0, node: 1, reason: DownReason::Crash, lost_maps: 3 });
+        sink.emit(&Event::NodeDown {
+            t: 2.0,
+            node: NodeId(1),
+            reason: DownReason::Crash,
+            lost_maps: 3,
+        });
         sink.emit(&Event::NodeDown {
             t: 2.5,
-            node: 0,
+            node: NodeId(0),
             reason: DownReason::Blacklist,
             lost_maps: 0,
         });
-        sink.emit(&Event::NodeUp { t: 3.0, node: 1 });
+        sink.emit(&Event::NodeUp { t: 3.0, node: NodeId(1) });
         sink.emit(&Event::SpeculativeLaunch {
             t: 3.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             phase: TaskPhase::Map,
-            node: 1,
+            node: NodeId(1),
             slot: 0,
         });
-        sink.emit(&Event::MapOutputLost { t: 2.0, query: 0, job: 0, node: 1, maps_lost: 3 });
+        sink.emit(&Event::MapOutputLost {
+            t: 2.0,
+            query: QueryId(0),
+            job: JobId(0),
+            node: NodeId(1),
+            maps_lost: 3,
+        });
         assert!((sink.utilization(4.0) - 0.5).abs() < 1e-12, "{}", sink.utilization(4.0));
         assert_eq!(sink.registry.counter("tasks_failed_map"), 1);
         assert_eq!(sink.registry.counter("retries_scheduled"), 1);
@@ -504,8 +523,8 @@ mod tests {
         }
         sink.emit(&Event::PredictionError {
             t: 2.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             category: JobCategory::Extract,
             quantity: crate::event::Quantity::Job,
             predicted: 2.4,

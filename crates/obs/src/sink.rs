@@ -157,10 +157,11 @@ impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::QueryId;
     use crate::json::validate;
 
     fn ev(t: f64) -> Event {
-        Event::QueryStart { t, query: 1 }
+        Event::QueryStart { t, query: QueryId(1) }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! Timestamps are microseconds (`ts = t * 1e6`), as the format requires.
 
 use crate::event::{Event, TaskPhase};
+use crate::ids::{JobId, NodeId, QueryId};
 use crate::json::{array, quoted, Obj};
 use crate::sink::EventSink;
 use std::collections::HashMap;
@@ -31,23 +32,23 @@ pub struct ChromeTraceSink {
     // Pre-rendered trace-event JSON objects.
     spans: Vec<String>,
     // (node, slot) slots that appeared, for thread metadata.
-    slots_seen: HashMap<(usize, usize), ()>,
+    slots_seen: HashMap<(NodeId, usize), ()>,
     // query index -> (name, arrival time)
-    query_open: HashMap<usize, (String, f64)>,
+    query_open: HashMap<QueryId, (String, f64)>,
     // (query, job) -> first task start time
-    job_open: HashMap<(usize, usize), f64>,
+    job_open: HashMap<(QueryId, JobId), f64>,
     // (node, slot) -> start time of the attempt currently occupying it;
     // lets killed attempts (which never emit TaskFinish) close their spans.
-    task_open: HashMap<(usize, usize), f64>,
-    queries_seen: Vec<usize>,
+    task_open: HashMap<(NodeId, usize), f64>,
+    queries_seen: Vec<QueryId>,
 }
 
 fn us(t: f64) -> f64 {
     t * 1e6
 }
 
-fn slot_tid(node: usize, slot: usize) -> u64 {
-    node as u64 * 1000 + slot as u64
+fn slot_tid(node: NodeId, slot: usize) -> u64 {
+    u64::from(node) * 1000 + slot as u64
 }
 
 fn complete(name: &str, pid: u64, tid: u64, start: f64, end: f64, args: Option<String>) -> String {
@@ -106,7 +107,7 @@ impl ChromeTraceSink {
         queries.sort_unstable();
         queries.dedup();
         for q in queries {
-            out.push(meta("thread_name", QUERY_PID, Some(q as u64), &format!("query {q}")));
+            out.push(meta("thread_name", QUERY_PID, Some(u64::from(q)), &format!("query {q}")));
         }
         out
     }
@@ -152,7 +153,7 @@ impl EventSink for ChromeTraceSink {
                     self.spans.push(complete(
                         &format!("query {query}: {name}"),
                         QUERY_PID,
-                        *query as u64,
+                        u64::from(*query),
                         arrival,
                         *t,
                         None,
@@ -167,7 +168,7 @@ impl EventSink for ChromeTraceSink {
                     self.spans.push(complete(
                         &format!("job {query}.{job} [{category}]"),
                         QUERY_PID,
-                        *query as u64,
+                        u64::from(*query),
                         start,
                         *t,
                         None,
@@ -223,7 +224,7 @@ impl EventSink for ChromeTraceSink {
                     &format!("node {node} down ({})", reason.label()),
                     *t,
                     Obj::new()
-                        .int("node", *node as u64)
+                        .int("node", u64::from(*node))
                         .str("reason", reason.label())
                         .int("lost_maps", *lost_maps as u64)
                         .finish(),
@@ -233,7 +234,7 @@ impl EventSink for ChromeTraceSink {
                 self.instant(
                     &format!("node {node} up"),
                     *t,
-                    Obj::new().int("node", *node as u64).finish(),
+                    Obj::new().int("node", u64::from(*node)).finish(),
                 );
             }
             Event::SpeculativeLaunch { t, query, job, phase, node, slot } => {
@@ -242,7 +243,7 @@ impl EventSink for ChromeTraceSink {
                     *t,
                     Obj::new()
                         .str("phase", phase.label())
-                        .int("node", *node as u64)
+                        .int("node", u64::from(*node))
                         .int("slot", *slot as u64)
                         .finish(),
                 );
@@ -252,7 +253,7 @@ impl EventSink for ChromeTraceSink {
                     &format!("lost maps {query}.{job}"),
                     *t,
                     Obj::new()
-                        .int("node", *node as u64)
+                        .int("node", u64::from(*node))
                         .int("maps_lost", *maps_lost as u64)
                         .finish(),
                 );
@@ -260,15 +261,15 @@ impl EventSink for ChromeTraceSink {
             Event::Decision { t, policy, candidates, chosen_query, chosen_job, .. } => {
                 let scores = array(candidates.iter().map(|c| {
                     Obj::new()
-                        .int("query", c.query as u64)
-                        .int("job", c.job as u64)
+                        .int("query", u64::from(c.query))
+                        .int("job", u64::from(c.job))
                         .num("score", c.score)
                         .finish()
                 }));
                 let args = Obj::new()
                     .raw("policy", &quoted(policy))
-                    .int("chosen_query", *chosen_query as u64)
-                    .int("chosen_job", *chosen_job as u64)
+                    .int("chosen_query", u64::from(*chosen_query))
+                    .int("chosen_job", u64::from(*chosen_job))
                     .raw("candidates", &scores)
                     .finish();
                 self.spans.push(
@@ -299,30 +300,42 @@ mod tests {
     fn trace_document_is_valid_json_with_expected_tracks() {
         let mut sink = ChromeTraceSink::new();
         let events = [
-            Event::QueryArrive { t: 0.0, query: 0, name: "q0".into() },
-            Event::JobStart { t: 0.5, query: 0, job: 0 },
+            Event::QueryArrive { t: 0.0, query: QueryId(0), name: "q0".into() },
+            Event::JobStart { t: 0.5, query: QueryId(0), job: JobId(0) },
             Event::Decision {
                 t: 0.5,
                 policy: "swrd",
-                candidates: vec![Candidate { query: 0, job: 0, score: 3.0 }],
-                chosen_query: 0,
-                chosen_job: 0,
+                candidates: vec![Candidate { query: QueryId(0), job: JobId(0), score: 3.0 }],
+                chosen_query: QueryId(0),
+                chosen_job: JobId(0),
                 phase: TaskPhase::Map,
                 queue_depth: 1,
                 free_containers: 4,
             },
-            Event::TaskStart { t: 0.5, query: 0, job: 0, phase: TaskPhase::Map, node: 1, slot: 2 },
+            Event::TaskStart {
+                t: 0.5,
+                query: QueryId(0),
+                job: JobId(0),
+                phase: TaskPhase::Map,
+                node: NodeId(1),
+                slot: 2,
+            },
             Event::TaskFinish {
                 t: 2.5,
-                query: 0,
-                job: 0,
+                query: QueryId(0),
+                job: JobId(0),
                 phase: TaskPhase::Map,
-                node: 1,
+                node: NodeId(1),
                 slot: 2,
                 duration: 2.0,
             },
-            Event::JobFinish { t: 2.5, query: 0, job: 0, category: JobCategory::Extract },
-            Event::QueryFinish { t: 2.5, query: 0 },
+            Event::JobFinish {
+                t: 2.5,
+                query: QueryId(0),
+                job: JobId(0),
+                category: JobCategory::Extract,
+            },
+            Event::QueryFinish { t: 2.5, query: QueryId(0) },
         ];
         for ev in &events {
             sink.emit(ev);
@@ -351,10 +364,10 @@ mod tests {
             // A failed attempt: span reconstructed from ran_for.
             Event::TaskFailed {
                 t: 2.0,
-                query: 0,
-                job: 1,
+                query: QueryId(0),
+                job: JobId(1),
                 phase: TaskPhase::Map,
-                node: 0,
+                node: NodeId(0),
                 slot: 1,
                 attempt: 2,
                 ran_for: 0.5,
@@ -362,26 +375,39 @@ mod tests {
                 retry_at: 3.0,
             },
             // A killed attempt: span closed from its TaskStart.
-            Event::TaskStart { t: 1.0, query: 0, job: 1, phase: TaskPhase::Map, node: 1, slot: 0 },
+            Event::TaskStart {
+                t: 1.0,
+                query: QueryId(0),
+                job: JobId(1),
+                phase: TaskPhase::Map,
+                node: NodeId(1),
+                slot: 0,
+            },
             Event::TaskKilled {
                 t: 2.5,
-                query: 0,
-                job: 1,
+                query: QueryId(0),
+                job: JobId(1),
                 phase: TaskPhase::Map,
-                node: 1,
+                node: NodeId(1),
                 slot: 0,
                 speculative: false,
                 requeued: true,
             },
-            Event::NodeDown { t: 2.5, node: 1, reason: DownReason::Crash, lost_maps: 2 },
-            Event::MapOutputLost { t: 2.5, query: 0, job: 1, node: 1, maps_lost: 2 },
-            Event::NodeUp { t: 5.5, node: 1 },
+            Event::NodeDown { t: 2.5, node: NodeId(1), reason: DownReason::Crash, lost_maps: 2 },
+            Event::MapOutputLost {
+                t: 2.5,
+                query: QueryId(0),
+                job: JobId(1),
+                node: NodeId(1),
+                maps_lost: 2,
+            },
+            Event::NodeUp { t: 5.5, node: NodeId(1) },
             Event::SpeculativeLaunch {
                 t: 6.0,
-                query: 0,
-                job: 1,
+                query: QueryId(0),
+                job: JobId(1),
                 phase: TaskPhase::Reduce,
-                node: 0,
+                node: NodeId(0),
                 slot: 2,
             },
         ];
@@ -409,10 +435,10 @@ mod tests {
         let mut sink = ChromeTraceSink::new();
         sink.emit(&Event::TaskKilled {
             t: 1.0,
-            query: 0,
-            job: 0,
+            query: QueryId(0),
+            job: JobId(0),
             phase: TaskPhase::Map,
-            node: 0,
+            node: NodeId(0),
             slot: 0,
             speculative: true,
             requeued: false,
@@ -423,8 +449,8 @@ mod tests {
     #[test]
     fn unfinished_spans_are_dropped_not_corrupted() {
         let mut sink = ChromeTraceSink::new();
-        sink.emit(&Event::QueryArrive { t: 0.0, query: 3, name: "open".into() });
-        sink.emit(&Event::JobStart { t: 0.1, query: 3, job: 0 });
+        sink.emit(&Event::QueryArrive { t: 0.0, query: QueryId(3), name: "open".into() });
+        sink.emit(&Event::JobStart { t: 0.1, query: QueryId(3), job: JobId(0) });
         let mut buf = Vec::new();
         sink.write(&mut buf).unwrap();
         let doc = String::from_utf8(buf).unwrap();

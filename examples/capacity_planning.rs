@@ -11,14 +11,10 @@
 //! pick the smallest cluster whose *predicted* response meets the deadline,
 //! then validate that choice against the full simulator.
 
+use sapred::cluster::sched::Fifo;
 use sapred::core::framework::{Framework, Predictor};
-use sapred::core::training::{fit_models, run_population, split_train_test};
-use sapred::plan::ground_truth::execute_dag;
-use sapred_cluster::build::build_sim_query;
-use sapred_cluster::sched::Fifo;
-use sapred_cluster::sim::Simulator;
-use sapred_workload::pool::DbPool;
-use sapred_workload::population::{generate_population, PopulationConfig};
+use sapred::core::Pipeline;
+use sapred::workload::population::PopulationConfig;
 
 fn main() {
     let deadline: f64 = std::env::args()
@@ -26,7 +22,7 @@ fn main() {
         .map(|a| a.parse().expect("deadline must be seconds"))
         .unwrap_or(120.0);
 
-    let fw = Framework::new();
+    let mut pipe = Pipeline::with_seed(31);
     println!("training the predictor (160 queries)...");
     let config = PopulationConfig {
         n_queries: 160,
@@ -34,25 +30,24 @@ fn main() {
         scale_out_gb: vec![],
         seed: 31,
     };
-    let mut pool = DbPool::new(31);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
+    pipe.train(&config).expect("training succeeds");
+    let models = pipe.training().expect("just trained").models.clone();
+    let fw = *pipe.framework();
 
     let sql = "SELECT l_partkey, l_suppkey, sum(l_quantity), sum(l_extendedprice) \
                FROM lineitem WHERE l_shipdate >= '1993-01-01' \
                GROUP BY l_partkey, l_suppkey ORDER BY l_partkey";
-    let db = pool.get(50.0).clone();
+    let db = pipe.database(50.0).clone();
 
     println!("\nquery:\n  {sql}\n50 GB input, deadline {deadline}s\n");
     println!("{:<24}{:<22}meets deadline", "cluster", "predicted response");
-    let mut chosen: Option<(usize, Framework, Predictor)> = None;
+    let mut chosen: Option<(usize, Framework)> = None;
     for nodes in [3usize, 6, 9, 12, 18, 24] {
         let mut variant = fw;
         variant.cluster.nodes = nodes;
         // Retarget the predictor's wave model at this cluster size (task
         // models are cluster-size independent — that is the point of §4.2).
-        let predictor = Predictor::new(fit_models(&train, &fw), variant);
+        let predictor = Predictor::new(models.clone(), variant);
         let semantics = variant.percolate_sql("planning", sql, &db).expect("valid query");
         let predicted = predictor.query_seconds(&semantics);
         let ok = predicted <= deadline;
@@ -63,18 +58,18 @@ fn main() {
             if ok { "yes" } else { "no" }
         );
         if ok && chosen.is_none() {
-            chosen = Some((nodes, variant, predictor));
+            chosen = Some((nodes, variant));
         }
     }
 
     match chosen {
-        Some((nodes, variant, _)) => {
+        Some((nodes, variant)) => {
             println!("\nsmallest predicted-feasible cluster: {nodes} nodes. validating...");
-            let semantics = variant.percolate_sql("planning", sql, &db).expect("valid");
-            let actuals = execute_dag(&semantics.dag, &db, variant.est_config.block_size);
-            let q =
-                build_sim_query("planning", 0.0, &semantics.dag, &actuals, &[], &variant.cluster);
-            let r = Simulator::new(variant.cluster, variant.cost, Fifo).run(&[q]);
+            // Re-point the pipeline at the chosen cluster and simulate.
+            *pipe.framework_mut() = variant;
+            let semantics = pipe.percolate_sql("planning", sql, 50.0).expect("valid");
+            let q = pipe.sim_query("planning", 0.0, &semantics, 50.0);
+            let r = pipe.simulate(Fifo, std::slice::from_ref(&q));
             let measured = r.queries[0].response();
             println!(
                 "simulated response on {nodes} nodes: {measured:.1}s ({} the {deadline}s deadline)",

@@ -22,26 +22,27 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sapred::cluster::{build_sim_query, FaultPlan, NodeCrash, SimQuery, Simulator, Swrd};
-use sapred::core::framework::Framework;
+use sapred::cluster::{build_sim_query, FaultPlan, NodeCrash, SimQuery, Swrd};
+use sapred::core::Pipeline;
 use sapred::plan::ground_truth::execute_dag;
-use sapred::relation::gen::{generate, GenConfig};
 use sapred_workload::templates::Template;
 
-fn workload(fw: &Framework) -> Vec<SimQuery> {
-    let db = generate(GenConfig::new(2.0).with_seed(5));
+fn workload(pipe: &mut Pipeline) -> Vec<SimQuery> {
+    let block_size = pipe.framework().est_config.block_size;
+    let cluster = pipe.framework().cluster;
+    let db = pipe.database(2.0);
     let mut rng = StdRng::seed_from_u64(5);
     let mut out = Vec::new();
     for (i, t) in Template::all().iter().enumerate().take(12) {
-        let dag = t.instantiate(&db, &mut rng).unwrap();
-        let actuals = execute_dag(&dag, &db, fw.est_config.block_size);
+        let dag = t.instantiate(db, &mut rng).unwrap();
+        let actuals = execute_dag(&dag, db, block_size);
         out.push(build_sim_query(
             format!("{}#{i}", t.name()),
             i as f64 * 1.5,
             &dag,
             &actuals,
             &[],
-            &fw.cluster,
+            &cluster,
         ));
     }
     out
@@ -82,13 +83,14 @@ fn main() {
         }
     }
 
-    let fw = Framework::new();
-    let queries = workload(&fw);
+    let mut pipe = Pipeline::with_seed(5);
+    let queries = workload(&mut pipe);
+    let cluster = pipe.framework().cluster;
     println!(
         "failure sweep: {} template queries, SWRD, {} nodes x {} containers{}{}",
         queries.len(),
-        fw.cluster.nodes,
-        fw.cluster.containers_per_node,
+        cluster.nodes,
+        cluster.containers_per_node,
         if crashes.is_empty() { "" } else { ", with node crashes" },
         if speculative { ", speculation on" } else { "" },
     );
@@ -104,7 +106,7 @@ fn main() {
             seed,
             ..FaultPlan::default()
         };
-        let report = Simulator::new(fw.cluster, fw.cost, Swrd).with_faults(plan).run(&queries);
+        let report = pipe.simulate_with_faults(Swrd, plan, &queries);
         let done: Vec<_> = report.queries.iter().filter(|q| !q.failed).collect();
         let avg_resp = done.iter().map(|q| q.response()).sum::<f64>() / done.len().max(1) as f64;
         let fr = &report.faults;

@@ -12,14 +12,11 @@
 //! the percolated predictions, restores them.
 
 use sapred::core::experiments::motivation::motivation;
-use sapred::core::framework::{Framework, Predictor};
-use sapred::core::training::{fit_models, run_population, split_train_test};
-use sapred_workload::pool::DbPool;
-use sapred_workload::population::{generate_population, PopulationConfig};
+use sapred::core::Pipeline;
+use sapred::workload::population::PopulationConfig;
 
 fn main() {
-    let fw = Framework::new();
-
+    let mut pipe = Pipeline::with_seed(12);
     println!("training a predictor for the SWRD column (150 queries)...");
     let config = PopulationConfig {
         n_queries: 150,
@@ -27,14 +24,14 @@ fn main() {
         scale_out_gb: vec![],
         seed: 12,
     };
-    let mut pool = DbPool::new(12);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
-    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+    pipe.train(&config).expect("training succeeds");
+    let fw = *pipe.framework();
+    let predictor = pipe.predictor().expect("just trained");
 
-    let mut pool = DbPool::new(2018);
-    let report = motivation(&mut pool, &fw, Some(&predictor), 10.0, 100.0);
+    // The experiment's databases use their own seed, distinct from the
+    // training pool's, so a second pipeline supplies them.
+    let mut experiment = Pipeline::with_seed(2018);
+    let report = motivation(experiment.pool_mut(), &fw, Some(predictor), 10.0, 100.0);
     println!("\n{report}");
     println!(
         "small-query (QA/QC) slowdown under HCS: {:.2}x  (paper reports ~3x)",

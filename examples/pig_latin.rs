@@ -6,16 +6,14 @@
 //! cargo run --release --example pig_latin
 //! ```
 
-use sapred::core::framework::Framework;
+use sapred::core::Pipeline;
 use sapred::plan::ground_truth::execute_dag;
 use sapred::query::pig::PigScript;
 use sapred::query::AggFunc;
 use sapred::relation::expr::{CmpOp, Predicate};
-use sapred::relation::gen::{generate, GenConfig};
 
 fn main() {
-    let fw = Framework::new();
-    let db = generate(GenConfig::new(10.0).with_seed(7));
+    let mut pipe = Pipeline::with_seed(7);
 
     // Pig Latin:
     //   li = LOAD 'lineitem';
@@ -33,8 +31,9 @@ fn main() {
         .order_by(["p_brand"]);
 
     println!("Pig dataflow over a 10 GB instance:\n");
-    let semantics = fw.percolate_pig("pig_demo", &script, db.catalog()).expect("valid script");
-    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    let semantics = pipe.percolate_pig("pig_demo", &script, 10.0).expect("valid script");
+    let block_size = pipe.framework().est_config.block_size;
+    let actuals = execute_dag(&semantics.dag, pipe.database(10.0), block_size);
     for (job, (est, act)) in
         semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))
     {

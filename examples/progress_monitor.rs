@@ -13,20 +13,15 @@
 //! one ETA snapshot per checkpoint goes to `progress_events.jsonl`, and a
 //! drift tracker summarizes how far the predictions were off.
 
-use sapred::core::framework::{Framework, Predictor};
+use sapred::cluster::sched::Fifo;
 use sapred::core::progress::{JobProgress, ProgressEstimator};
 use sapred::core::telemetry::record_sim_outcomes;
-use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::core::Pipeline;
 use sapred::obs::{DriftTracker, EventSink, JsonlSink, Quantity, Tee};
-use sapred::plan::ground_truth::execute_dag;
-use sapred_cluster::build::build_sim_query;
-use sapred_cluster::sched::Fifo;
-use sapred_cluster::sim::Simulator;
-use sapred_workload::pool::DbPool;
-use sapred_workload::population::{generate_population, PopulationConfig};
+use sapred::workload::population::PopulationConfig;
 
 fn main() {
-    let fw = Framework::new();
+    let mut pipe = Pipeline::with_seed(43);
     println!("training the predictor (150 queries)...");
     let config = PopulationConfig {
         n_queries: 150,
@@ -34,37 +29,25 @@ fn main() {
         scale_out_gb: vec![],
         seed: 43,
     };
-    let mut pool = DbPool::new(43);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
-    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+    pipe.train(&config).expect("training succeeds");
 
     let sql = "SELECT l_partkey, sum(l_extendedprice) FROM lineitem l \
                JOIN part p ON l.l_partkey = p.p_partkey \
                WHERE l_shipdate < '1996-01-01' \
                GROUP BY l_partkey ORDER BY l_partkey";
     println!("\nquery (20 GB):\n  {sql}\n");
-    let db = pool.get(20.0).clone();
-    let semantics = fw.percolate_sql("monitored", sql, &db).expect("valid query");
-    let estimator = ProgressEstimator::new(&predictor, &semantics);
+    let semantics = pipe.percolate_sql("monitored", sql, 20.0).expect("valid query");
+    // Materialize the sim query (mutable borrow) before wiring the
+    // estimator to the predictor (immutable borrow for the rest of main).
+    let sim_q = pipe.sim_query("monitored", 0.0, &semantics, 20.0);
+    let predictor = pipe.predictor().expect("just trained");
+    let estimator = ProgressEstimator::new(predictor, &semantics);
 
     // Run the query once to get the real per-job timeline, tracing every
     // event to JSONL and feeding a prediction-drift tracker.
-    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
-    let predictions: Vec<_> = semantics
-        .dag
-        .jobs()
-        .iter()
-        .zip(&semantics.estimates)
-        .map(|(job, est)| predictor.job_prediction(est, job.kind.has_reduce()))
-        .collect();
-    let sim_q =
-        build_sim_query("monitored", 0.0, &semantics.dag, &actuals, &predictions, &fw.cluster);
     let events = std::fs::File::create("progress_events.jsonl").expect("create events file");
     let mut sink = Tee::new(JsonlSink::new(std::io::BufWriter::new(events)), DriftTracker::new());
-    let report =
-        Simulator::new(fw.cluster, fw.cost, Fifo).run_with(std::slice::from_ref(&sim_q), &mut sink);
+    let report = pipe.simulate_traced(Fifo, std::slice::from_ref(&sim_q), &mut sink);
     let finish = report.queries[0].finish;
     let mut job_stats = report.jobs.clone();
     job_stats.sort_by(|a, b| a.finish.total_cmp(&b.finish));
@@ -81,7 +64,7 @@ fn main() {
     );
     for stat in &job_stats {
         // Mark this job complete.
-        progress[stat.job] = JobProgress {
+        progress[stat.job.0] = JobProgress {
             maps_done: usize::MAX / 2, // saturating_sub clamps to zero remaining
             reduces_done: usize::MAX / 2,
         };
@@ -97,7 +80,12 @@ fn main() {
     }
 
     // Score the predictions against what the simulator measured.
-    record_sim_outcomes(std::slice::from_ref(&sim_q), &report, &fw.cluster, &mut sink);
+    record_sim_outcomes(
+        std::slice::from_ref(&sim_q),
+        &report,
+        &pipe.framework().cluster,
+        &mut sink,
+    );
     let Tee { a: jsonl, b: drift } = sink;
     let lines = jsonl.lines();
     jsonl.finish().expect("flush events file");

@@ -4,39 +4,34 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! 1. generate a synthetic TPC-H database (10 "paper-GB"),
-//! 2. percolate a HiveQL query: parse → analyze → compile to a MapReduce
-//!    DAG → estimate per-job selectivities (IS/FS) and data sizes,
-//! 3. compare the estimates against exact ground-truth execution,
-//! 4. train the multivariate time models on a small population,
-//! 5. predict the query's job times, WRD and response time, and
-//! 6. run it on the simulated 9×12-container cluster to check.
+//! A [`Pipeline`] walks the staged query lifecycle:
+//!
+//! 1. **percolate** a HiveQL query: parse → analyze → compile to a
+//!    MapReduce DAG → estimate per-job selectivities (IS/FS) and sizes,
+//! 2. compare the estimates against exact ground-truth execution,
+//! 3. **train** the multivariate time models on a small population,
+//! 4. **predict** the query's job times, WRD and response time, and
+//! 5. **simulate** it on the 9×12-container cluster to check.
 
-use sapred::core::framework::{Framework, Predictor};
-use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::cluster::sched::Fifo;
+use sapred::core::Pipeline;
 use sapred::plan::ground_truth::execute_dag;
-use sapred_cluster::build::build_sim_query;
-use sapred_cluster::sched::Fifo;
-use sapred_cluster::sim::Simulator;
-use sapred_workload::pool::DbPool;
-use sapred_workload::population::{generate_population, PopulationConfig};
+use sapred::workload::population::PopulationConfig;
 
 fn main() {
-    let fw = Framework::new();
-
     // A 10 GB (nominal) TPC-H instance, generated on the fly.
-    let mut pool = DbPool::new(7);
+    let mut pipe = Pipeline::with_seed(7);
     let sql = "SELECT l_partkey, sum(l_extendedprice*l_discount) \
                FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey \
                WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
                GROUP BY l_partkey";
     println!("query:\n  {sql}\n");
 
-    // --- Cross-layer percolation: text -> DAG + estimates -------------
-    let db = pool.get(10.0).clone();
-    let semantics = fw.percolate_sql("quickstart", sql, &db).expect("valid query");
+    // --- Stage 1: percolation — text -> DAG + estimates ------------------
+    let semantics = pipe.percolate_sql("quickstart", sql, 10.0).expect("valid query");
     println!("compiled DAG ({} jobs):", semantics.dag.len());
-    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    let block_size = pipe.framework().est_config.block_size;
+    let actuals = execute_dag(&semantics.dag, pipe.database(10.0), block_size);
     for (job, (est, act)) in
         semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))
     {
@@ -54,7 +49,7 @@ fn main() {
         );
     }
 
-    // --- Train the multivariate models (paper section 4) ----------------
+    // --- Stage 2: train the multivariate models (paper section 4) --------
     println!("\ntraining the time models on a 120-query population...");
     let config = PopulationConfig {
         n_queries: 120,
@@ -62,12 +57,10 @@ fn main() {
         scale_out_gb: vec![],
         seed: 7,
     };
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
-    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+    pipe.train(&config).expect("training succeeds");
 
-    // --- Predict ---------------------------------------------------------
+    // --- Stage 3: predict ------------------------------------------------
+    let predictor = pipe.predictor().expect("just trained");
     println!("\npredictions:");
     for (job, est) in semantics.dag.jobs().iter().zip(&semantics.estimates) {
         let p = predictor.job_prediction(est, job.kind.has_reduce());
@@ -82,9 +75,9 @@ fn main() {
     println!("  query WRD (Eq. 10): {:.0} container-seconds", predictor.query_wrd(&semantics));
     let predicted = predictor.query_seconds(&semantics);
 
-    // --- Verify on the simulated cluster ---------------------------------
-    let sim_query = build_sim_query("quickstart", 0.0, &semantics.dag, &actuals, &[], &fw.cluster);
-    let report = Simulator::new(fw.cluster, fw.cost, Fifo).run(&[sim_query]);
+    // --- Stage 4: verify on the simulated cluster ------------------------
+    let sim_query = pipe.sim_query("quickstart", 0.0, &semantics, 10.0);
+    let report = pipe.simulate(Fifo, std::slice::from_ref(&sim_query));
     let actual = report.queries[0].response();
     println!(
         "\npredicted response: {predicted:.1}s | simulated response: {actual:.1}s \

@@ -9,12 +9,10 @@
 //! 3 s: a contended cluster). Larger gaps reduce contention and shrink the
 //! differences between policies — try 30 to see them converge.
 
-use sapred::core::experiments::scheduling::{prepare_workload, run_schedulers};
-use sapred::core::framework::{Framework, Predictor};
-use sapred::core::training::{fit_models, run_population, split_train_test};
-use sapred_workload::mixes::facebook_mix;
-use sapred_workload::pool::DbPool;
-use sapred_workload::population::{generate_population, PopulationConfig};
+use sapred::core::experiments::scheduling::run_schedulers;
+use sapred::core::Pipeline;
+use sapred::workload::mixes::facebook_mix;
+use sapred::workload::population::PopulationConfig;
 
 fn main() {
     let gap: f64 = std::env::args()
@@ -22,7 +20,7 @@ fn main() {
         .map(|a| a.parse().expect("gap must be a number of seconds"))
         .unwrap_or(3.0);
 
-    let fw = Framework::new();
+    let mut pipe = Pipeline::with_seed(5);
     println!("training the predictor (200 queries)...");
     let config = PopulationConfig {
         n_queries: 200,
@@ -30,14 +28,10 @@ fn main() {
         scale_out_gb: vec![],
         seed: 5,
     };
-    let mut pool = DbPool::new(5);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
-    let predictor = Predictor::new(fit_models(&train, &fw), fw);
+    pipe.train(&config).expect("training succeeds");
 
     println!("preparing the Facebook mix (100 queries, mean gap {gap}s)...");
-    let prepared = prepare_workload(&facebook_mix(), &mut pool, &fw, Some(&predictor), gap, 1.0, 5);
-    let report = run_schedulers(&prepared, &fw, true);
+    let prepared = pipe.prepare_mix(&facebook_mix(), gap, 1.0, 5);
+    let report = run_schedulers(&prepared, pipe.framework(), true);
     println!("\n{report}");
 }

@@ -1,5 +1,7 @@
 //! `sapred` — command-line driver for the semantics-aware query prediction
-//! framework.
+//! framework. A thin shell over [`sapred::core::Pipeline`]: every command
+//! walks some prefix of the staged lifecycle (percolate → train → predict
+//! → simulate).
 //!
 //! ```text
 //! sapred explain    --sql "SELECT ..." [--scale GB]        # DAG + estimates vs ground truth
@@ -11,22 +13,18 @@
 //! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
 //! ```
 
-use sapred::cluster::job::SimQuery;
 use sapred::cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Srt, Swrd};
-use sapred::cluster::sim::{SimReport, Simulator};
+use sapred::cluster::sim::SimReport;
 use sapred::core::experiments::accuracy::{job_accuracy, map_task_accuracy, reduce_task_accuracy};
 use sapred::core::experiments::motivation::motivation;
-use sapred::core::experiments::scheduling::{prepare_workload, run_schedulers};
-use sapred::core::framework::{Framework, Predictor};
+use sapred::core::experiments::scheduling::{run_schedulers, PreparedWorkload};
 use sapred::core::telemetry::record_sim_outcomes;
-use sapred::core::training::{fit_models, run_population, split_train_test};
+use sapred::core::{Error, Pipeline, RecalibratingOracle};
 use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, Tee};
 use sapred::plan::ground_truth::execute_dag;
-use sapred::relation::gen::{generate, GenConfig};
 use sapred::relation::persist::save_catalog;
 use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
-use sapred::workload::pool::DbPool;
-use sapred::workload::population::{generate_population, PopulationConfig};
+use sapred::workload::population::PopulationConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -52,7 +50,7 @@ fn main() -> ExitCode {
                     println!("{USAGE}");
                     Ok(())
                 }
-                other => Err(format!("unknown command `{other}`")),
+                other => Err(Error::invalid(format!("unknown command `{other}`"))),
             },
             Err(e) => Err(e),
         }
@@ -75,54 +73,57 @@ USAGE:
   sapred predict    --sql <QUERY> [--scale <GB>] [--queries <N>]
   sapred simulate   --mix <bing|facebook> [--gap <SECONDS>] [--divisor <D>] [--queries <N>]
   sapred trace      <bing|facebook> [--sched <swrd|hcs|hfs|fifo|srt>] [--out <trace.json>]
-                    [--events <events.jsonl>] [--metrics <metrics.json>]
+                    [--events <events.jsonl>] [--metrics <metrics.json>] [--oracle <frozen|recalibrating>]
                     [--gap <SECONDS>] [--divisor <D>] [--queries <N>] [--seed <N>]
   sapred motivation [--small <GB>] [--big <GB>]";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Error> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
-            return Err(format!("expected a --flag, found `{key}`"));
+            return Err(Error::invalid(format!("expected a --flag, found `{key}`")));
         };
-        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| Error::invalid(format!("--{name} needs a value")))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
 }
 
-fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, Error> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        Some(v) => {
+            v.parse().map_err(|_| Error::invalid(format!("--{name} expects a number, got `{v}`")))
+        }
     }
 }
 
-fn flag_usize(
-    flags: &HashMap<String, String>,
-    name: &str,
-    default: usize,
-) -> Result<usize, String> {
+fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, Error> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        Some(v) => {
+            v.parse().map_err(|_| Error::invalid(format!("--{name} expects an integer, got `{v}`")))
+        }
     }
 }
 
-fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("--{name} is required"))
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, Error> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| Error::invalid(format!("--{name} is required")))
 }
 
-fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), Error> {
     let sql = required(flags, "sql")?;
     let scale = flag_f64(flags, "scale", 10.0)?;
     let seed = flag_usize(flags, "seed", 42)? as u64;
-    let fw = Framework::new();
+    let mut pipe = Pipeline::with_seed(seed);
     println!("generating a {scale} GB TPC-H instance (seed {seed})...");
-    let db = generate(GenConfig::new(scale).with_seed(seed));
-    let semantics = fw.percolate_sql("cli", sql, &db).map_err(|e| e.to_string())?;
-    let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+    let semantics = pipe.percolate_sql("cli", sql, scale)?;
+    let block_size = pipe.framework().est_config.block_size;
+    let actuals = execute_dag(&semantics.dag, pipe.database(scale), block_size);
     println!("\n{} job(s):", semantics.dag.len());
     for (job, (est, act)) in
         semantics.dag.jobs().iter().zip(semantics.estimates.iter().zip(&actuals))
@@ -155,36 +156,34 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gather(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_gather(flags: &HashMap<String, String>) -> Result<(), Error> {
     let scale = flag_f64(flags, "scale", 1.0)?;
     let out = required(flags, "out")?;
     let seed = flag_usize(flags, "seed", 42)? as u64;
-    let db = generate(GenConfig::new(scale).with_seed(seed));
-    save_catalog(db.catalog(), out).map_err(|e| e.to_string())?;
-    println!("wrote statistics for {} tables to {out}", db.catalog().len());
+    let mut pipe = Pipeline::with_seed(seed);
+    let catalog = pipe.database(scale).catalog();
+    save_catalog(catalog, out).map_err(|e| Error::io(format!("write {out}"), e))?;
+    println!("wrote statistics for {} tables to {out}", catalog.len());
     Ok(())
 }
 
-fn train_predictor(n_queries: usize, seed: u64) -> (Framework, Predictor, DbPool) {
-    let fw = Framework::new();
+/// A pipeline trained on the CLI's standard population.
+fn trained_pipeline(n_queries: usize, seed: u64) -> Result<Pipeline, Error> {
+    let mut pipe = Pipeline::with_seed(seed);
     let config = PopulationConfig {
         n_queries,
         scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
         scale_out_gb: vec![],
         seed,
     };
-    let mut pool = DbPool::new(seed);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, _) = split_train_test(&runs);
-    let predictor = Predictor::new(fit_models(&train, &fw), fw);
-    (fw, predictor, pool)
+    pipe.train(&config)?;
+    Ok(pipe)
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), Error> {
     let n = flag_usize(flags, "queries", 400)?;
     let seed = flag_usize(flags, "seed", 71)? as u64;
-    let fw = Framework::new();
+    let mut pipe = Pipeline::with_seed(seed);
     let config = PopulationConfig {
         n_queries: n,
         scales_gb: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
@@ -192,25 +191,23 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         seed,
     };
     println!("running {n} training queries on the simulated cluster...");
-    let mut pool = DbPool::new(seed);
-    let pop = generate_population(&config, &mut pool);
-    let runs = run_population(&pop, &mut pool, &fw);
-    let (train, test) = split_train_test(&runs);
-    let models = fit_models(&train, &fw);
-    println!("\n{}", job_accuracy(&train, &test, &models));
-    println!("\n{}", map_task_accuracy(&train, &models, &fw));
-    println!("\n{}", reduce_task_accuracy(&train, &models, &fw));
+    let fw = *pipe.framework();
+    let training = pipe.train(&config)?;
+    let (train, test) = training.split();
+    println!("\n{}", job_accuracy(&train, &test, &training.models));
+    println!("\n{}", map_task_accuracy(&train, &training.models, &fw));
+    println!("\n{}", reduce_task_accuracy(&train, &training.models, &fw));
     Ok(())
 }
 
-fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), Error> {
     let sql = required(flags, "sql")?;
     let scale = flag_f64(flags, "scale", 10.0)?;
     let n = flag_usize(flags, "queries", 150)?;
     println!("training on {n} queries...");
-    let (fw, predictor, mut pool) = train_predictor(n, 7);
-    let db = pool.get(scale).clone();
-    let semantics = fw.percolate_sql("cli", sql, &db).map_err(|e| e.to_string())?;
+    let mut pipe = trained_pipeline(n, 7)?;
+    let semantics = pipe.percolate_sql("cli", sql, scale)?;
+    let predictor = pipe.predictor()?;
     for (job, est) in semantics.dag.jobs().iter().zip(&semantics.estimates) {
         let p = predictor.job_prediction(est, job.kind.has_reduce());
         println!(
@@ -227,28 +224,28 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_mix(name: &str) -> Result<MixSpec, String> {
+fn parse_mix(name: &str) -> Result<MixSpec, Error> {
     match name {
         "bing" => Ok(bing_mix()),
         "facebook" => Ok(facebook_mix()),
-        other => Err(format!("unknown mix `{other}` (expected bing|facebook)")),
+        other => Err(Error::invalid(format!("unknown mix `{other}` (expected bing|facebook)"))),
     }
 }
 
-fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), Error> {
     let mix = parse_mix(required(flags, "mix")?)?;
     let gap = flag_f64(flags, "gap", if mix.name == "bing" { 8.0 } else { 3.0 })?;
     let divisor = flag_f64(flags, "divisor", 1.0)?;
     let n = flag_usize(flags, "queries", 200)?;
     println!("training on {n} queries...");
-    let (fw, predictor, mut pool) = train_predictor(n, 79);
+    let mut pipe = trained_pipeline(n, 79)?;
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
-    let prepared = prepare_workload(&mix, &mut pool, &fw, Some(&predictor), gap, divisor, 79);
-    println!("\n{}", run_schedulers(&prepared, &fw, true));
+    let prepared = pipe.prepare_mix(&mix, gap, divisor, 79);
+    println!("\n{}", run_schedulers(&prepared, pipe.framework(), true));
     Ok(())
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<(), Error> {
     // The workload may be given positionally (`sapred trace bing`) or via
     // `--mix`, matching `simulate`.
     let (positional, rest) = match args.first() {
@@ -265,57 +262,81 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let n = flag_usize(&flags, "queries", 200)?;
     let seed = flag_usize(&flags, "seed", 79)? as u64;
     let sched_name = flags.get("sched").map(String::as_str).unwrap_or("swrd");
+    let oracle_name = flags.get("oracle").map(String::as_str).unwrap_or("frozen");
     let trace_path = flags.get("out").map(String::as_str).unwrap_or("trace.json");
     let events_path = flags.get("events").map(String::as_str).unwrap_or("events.jsonl");
     let metrics_path = flags.get("metrics").map(String::as_str).unwrap_or("metrics.json");
 
     println!("training on {n} queries...");
-    let (fw, predictor, mut pool) = train_predictor(n, seed);
+    let mut pipe = trained_pipeline(n, seed)?;
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
-    let prepared = prepare_workload(&mix, &mut pool, &fw, Some(&predictor), gap, divisor, seed);
+    let prepared = pipe.prepare_mix(&mix, gap, divisor, seed);
 
-    let events_file =
-        std::fs::File::create(events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+    let events_file = std::fs::File::create(events_path)
+        .map_err(|e| Error::io(format!("create {events_path}"), e))?;
     let mut sink = Tee::new(
         JsonlSink::new(std::io::BufWriter::new(events_file)),
-        Tee::new(ChromeTraceSink::new(), MetricsSink::new(fw.cluster.total_containers())),
+        Tee::new(
+            ChromeTraceSink::new(),
+            MetricsSink::new(pipe.framework().cluster.total_containers()),
+        ),
     );
 
+    // The online stage: `frozen` replays the percolated predictions;
+    // `recalibrating` lets each completed job's actuals re-rank the rest.
+    let mut recal = match oracle_name {
+        "frozen" => None,
+        "recalibrating" => Some(RecalibratingOracle::new()),
+        other => {
+            return Err(Error::invalid(format!(
+                "unknown oracle `{other}` (expected frozen|recalibrating)"
+            )))
+        }
+    };
     fn run_one<S: Scheduler, K: EventSink>(
-        fw: &Framework,
+        pipe: &Pipeline,
         sched: S,
-        queries: &[SimQuery],
+        prepared: &PreparedWorkload,
         sink: &mut K,
+        recal: &mut Option<RecalibratingOracle>,
     ) -> SimReport {
-        Simulator::new(fw.cluster, fw.cost, sched).run_with(queries, sink)
+        match recal {
+            Some(oracle) => pipe.simulate_online(sched, &prepared.queries, sink, oracle),
+            None => pipe.simulate_traced(sched, &prepared.queries, sink),
+        }
     }
     println!("tracing {} queries under {}...", prepared.queries.len(), sched_name.to_uppercase());
     let report = match sched_name {
-        "swrd" => run_one(&fw, Swrd, &prepared.queries, &mut sink),
-        "hcs" => run_one(&fw, Hcs, &prepared.queries, &mut sink),
-        "hfs" => run_one(&fw, Hfs, &prepared.queries, &mut sink),
-        "fifo" => run_one(&fw, Fifo, &prepared.queries, &mut sink),
-        "srt" => run_one(&fw, Srt, &prepared.queries, &mut sink),
+        "swrd" => run_one(&pipe, Swrd, &prepared, &mut sink, &mut recal),
+        "hcs" => run_one(&pipe, Hcs, &prepared, &mut sink, &mut recal),
+        "hfs" => run_one(&pipe, Hfs, &prepared, &mut sink, &mut recal),
+        "fifo" => run_one(&pipe, Fifo, &prepared, &mut sink, &mut recal),
+        "srt" => run_one(&pipe, Srt, &prepared, &mut sink, &mut recal),
         other => {
-            return Err(format!("unknown scheduler `{other}` (expected swrd|hcs|hfs|fifo|srt)"))
+            return Err(Error::invalid(format!(
+                "unknown scheduler `{other}` (expected swrd|hcs|hfs|fifo|srt)"
+            )))
         }
     };
     // Post-hoc prediction-drift telemetry against the simulated truth.
-    record_sim_outcomes(&prepared.queries, &report, &fw.cluster, &mut sink);
+    record_sim_outcomes(&prepared.queries, &report, &pipe.framework().cluster, &mut sink);
 
     let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
     let lines = jsonl.lines();
-    jsonl.finish().map_err(|e| format!("write {events_path}: {e}"))?;
-    let trace_file =
-        std::fs::File::create(trace_path).map_err(|e| format!("create {trace_path}: {e}"))?;
+    jsonl.finish().map_err(|e| Error::io(format!("write {events_path}"), e))?;
+    let trace_file = std::fs::File::create(trace_path)
+        .map_err(|e| Error::io(format!("create {trace_path}"), e))?;
     chrome
         .write(std::io::BufWriter::new(trace_file))
-        .map_err(|e| format!("write {trace_path}: {e}"))?;
+        .map_err(|e| Error::io(format!("write {trace_path}"), e))?;
     std::fs::write(metrics_path, metrics.finish(report.makespan))
-        .map_err(|e| format!("write {metrics_path}: {e}"))?;
+        .map_err(|e| Error::io(format!("write {metrics_path}"), e))?;
 
     println!("\nmakespan {:.1}s, mean response {:.1}s", report.makespan, report.mean_response());
     println!("container utilization: {:.1}%", 100.0 * metrics.utilization(report.makespan));
+    if let Some(oracle) = &recal {
+        println!("\nmid-run recalibration drift (the oracle's view):\n{}", oracle.drift());
+    }
     println!("\nprediction drift vs simulated truth:\n{}", metrics.drift);
     println!("wrote {lines} events to {events_path}");
     println!(
@@ -326,12 +347,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_motivation(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_motivation(flags: &HashMap<String, String>) -> Result<(), Error> {
     let small = flag_f64(flags, "small", 10.0)?;
     let big = flag_f64(flags, "big", 100.0)?;
-    let fw = Framework::new();
-    let mut pool = DbPool::new(2018);
-    let report = motivation(&mut pool, &fw, None, small, big);
+    let mut pipe = Pipeline::with_seed(2018);
+    let fw = *pipe.framework();
+    let report = motivation(pipe.pool_mut(), &fw, None, small, big);
     println!("{report}");
     println!("small-query slowdown under HCS: {:.2}x", report.small_query_slowdown());
     Ok(())

@@ -237,6 +237,64 @@ fn pig_and_sql_front_ends_agree() {
 }
 
 #[test]
+fn pipeline_facade_drives_the_staged_lifecycle() {
+    use sapred::cluster::sched::Swrd;
+    use sapred::core::{Error, Pipeline, RecalibratingOracle};
+    use sapred::obs::NullSink;
+    use sapred::workload::population::PopulationConfig;
+
+    let mut pipe = Pipeline::with_seed(11);
+    // Stage 3 before stage 2 is an explicit error, not a panic.
+    assert!(matches!(pipe.predictor(), Err(Error::NotTrained)));
+
+    // Stage 1: percolate two query shapes.
+    let join = pipe
+        .percolate_sql(
+            "join",
+            "SELECT l_partkey, sum(l_extendedprice) FROM lineitem l \
+             JOIN part p ON l.l_partkey = p.p_partkey GROUP BY l_partkey",
+            1.0,
+        )
+        .expect("valid query");
+    let scan = pipe.percolate_sql("scan", "SELECT count(*) FROM orders", 1.0).expect("valid query");
+    // Malformed text surfaces through the unified error type.
+    assert!(matches!(pipe.percolate_sql("bad", "SELEKT *", 1.0), Err(Error::Query(_))));
+
+    // Stage 2: train.
+    let config = PopulationConfig {
+        n_queries: 60,
+        scales_gb: vec![0.5, 1.0],
+        scale_out_gb: vec![],
+        seed: 11,
+    };
+    pipe.train(&config).expect("training succeeds");
+    let wrd = pipe.predictor().expect("trained").query_wrd(&join);
+    assert!(wrd > 0.0);
+
+    // Stage 4: simulate, then re-simulate with a live oracle in the loop.
+    let queries =
+        vec![pipe.sim_query("join", 0.0, &join, 1.0), pipe.sim_query("scan", 0.5, &scan, 1.0)];
+    let baseline = pipe.simulate(Swrd, &queries);
+    assert_eq!(baseline.queries.len(), 2);
+
+    // A frozen predictor behind the oracle seam is bit-identical to the
+    // plain run: the seam itself changes nothing.
+    let mut frozen = pipe.predictor().expect("trained").clone();
+    let online = pipe.simulate_online(Swrd, &queries, &mut NullSink, &mut frozen);
+    assert_eq!(online, baseline);
+
+    // A recalibrating oracle completes and accumulates drift samples from
+    // every finished job.
+    let mut oracle = RecalibratingOracle::new();
+    let recal = pipe.simulate_online(Swrd, &queries, &mut NullSink, &mut oracle);
+    assert_eq!(recal.queries.len(), 2);
+    // Every job has a map phase with a positive actual, so each finished
+    // job contributes at least one drift sample.
+    let total_jobs: u64 = queries.iter().map(|q| q.jobs.len() as u64).sum();
+    assert!(oracle.drift().total_samples() >= total_jobs);
+}
+
+#[test]
 fn multi_queue_hcs_isolates_queues() {
     use rand::SeedableRng;
     use sapred::workload::templates::Template;

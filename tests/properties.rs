@@ -36,7 +36,7 @@ fn progress_fixture() -> &'static (Predictor, QuerySemantics) {
         };
         let mut pool = DbPool::new(17);
         let pop = generate_population(&config, &mut pool);
-        let runs = run_population(&pop, &mut pool, &fw);
+        let runs = run_population(&pop, &mut pool, &fw).expect("population runs");
         let (train, _) = split_train_test(&runs);
         let db = pool.get(1.0).clone();
         let semantics = fw
@@ -48,7 +48,7 @@ fn progress_fixture() -> &'static (Predictor, QuerySemantics) {
                 &db,
             )
             .expect("valid query");
-        let predictor = Predictor::new(fit_models(&train, &fw), fw);
+        let predictor = Predictor::new(fit_models(&train, &fw).expect("models fit"), fw);
         (predictor, semantics)
     })
 }
@@ -259,8 +259,8 @@ proptest! {
             arrival,
             jobs: (0..n_jobs)
                 .map(|i| SimJob {
-                    id: i,
-                    deps: if i == 0 { vec![] } else { vec![i - 1] },
+                    id: sapred::cluster::JobId(i),
+                    deps: if i == 0 { vec![] } else { vec![sapred::cluster::JobId(i - 1)] },
                     category: JobCategory::Extract,
                     maps: vec![task(TaskKind::Map); n_maps],
                     reduces: vec![task(TaskKind::Reduce); n_reduces],
@@ -309,8 +309,8 @@ proptest! {
                     .iter()
                     .enumerate()
                     .map(|(i, &(maps, reduces, t, sel))| SimJob {
-                        id: i,
-                        deps: if i == 0 || sel % 3 == 0 { vec![] } else { vec![sel as usize % i] },
+                        id: sapred::cluster::JobId(i),
+                        deps: if i == 0 || sel % 3 == 0 { vec![] } else { vec![sapred::cluster::JobId(sel as usize % i)] },
                         category: JobCategory::Extract,
                         maps: vec![task(TaskKind::Map, t); maps],
                         reduces: vec![task(TaskKind::Reduce, t); reduces],

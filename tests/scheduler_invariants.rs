@@ -110,10 +110,11 @@ fn check_invariants(report: &SimReport, queries: &[SimQuery], tag: &str) {
     // Every job ran, respecting its DAG dependencies.
     #[allow(clippy::needless_range_loop)]
     for q in 0..queries.len() {
-        let jobs: Vec<_> = report.jobs.iter().filter(|j| j.query == q).collect();
+        let jobs: Vec<_> =
+            report.jobs.iter().filter(|j| j.query == sapred_cluster::QueryId(q)).collect();
         assert_eq!(jobs.len(), queries[q].jobs.len(), "{tag}");
         for j in &jobs {
-            for &dep in &queries[q].jobs[j.job].deps {
+            for &dep in &queries[q].jobs[j.job.0].deps {
                 let parent = jobs.iter().find(|p| p.job == dep).unwrap();
                 assert!(
                     j.start >= parent.finish - 1e-9,

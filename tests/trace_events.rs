@@ -6,7 +6,7 @@
 use sapred::cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred::cluster::sched::Swrd;
 use sapred::cluster::sim::{ClusterConfig, Simulator};
-use sapred::cluster::{CostModel, FaultPlan, NodeCrash};
+use sapred::cluster::{CostModel, FaultPlan, JobId, NodeCrash};
 use sapred::obs::json::validate;
 use sapred::obs::{ChromeTraceSink, JsonlSink, MetricsSink, Tee};
 use sapred::plan::dag::JobCategory;
@@ -22,8 +22,8 @@ fn workload() -> Vec<SimQuery> {
         p: 0.6,
     };
     let job =
-        |id: usize, deps: Vec<usize>, category: JobCategory, maps: usize, reduces: usize| SimJob {
-            id,
+        |id: usize, deps: Vec<JobId>, category: JobCategory, maps: usize, reduces: usize| SimJob {
+            id: JobId(id),
             deps,
             category,
             maps: vec![task(128.0, TaskKind::Map, category); maps],
@@ -37,7 +37,7 @@ fn workload() -> Vec<SimQuery> {
             jobs: vec![
                 job(0, vec![], JobCategory::Extract, 6 + q, 0),
                 job(1, vec![], JobCategory::Groupby, 4, 2),
-                job(2, vec![0, 1], JobCategory::Join, 3, 1 + q),
+                job(2, vec![JobId(0), JobId(1)], JobCategory::Join, 3, 1 + q),
             ],
         })
         .collect()
@@ -115,7 +115,7 @@ fn fault_workload() -> Vec<SimQuery> {
             arrival: q as f64,
             jobs: vec![
                 SimJob {
-                    id: 0,
+                    id: JobId(0),
                     deps: vec![],
                     category: JobCategory::Groupby,
                     maps: vec![task(128.0, TaskKind::Map); 18],
@@ -123,8 +123,8 @@ fn fault_workload() -> Vec<SimQuery> {
                     prediction: JobPrediction { map_task_time: 2.0, reduce_task_time: 1.5 },
                 },
                 SimJob {
-                    id: 1,
-                    deps: vec![0],
+                    id: JobId(1),
+                    deps: vec![JobId(0)],
                     category: JobCategory::Join,
                     maps: vec![task(96.0, TaskKind::Map); 6],
                     reduces: vec![task(64.0, TaskKind::Reduce); 2],
