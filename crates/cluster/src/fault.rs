@@ -125,8 +125,10 @@ impl FaultPlan {
     ///
     /// # Errors
     /// Describes the first violated constraint: probabilities outside
-    /// `[0, 1]`, a zero attempt cap, non-positive/NaN backoff, crashes on
-    /// out-of-range nodes, or overlapping crash windows for one node.
+    /// `[0, 1]` (NaN included), a zero attempt cap, non-finite or negative
+    /// backoff (an infinite `backoff_cap` is allowed and means "uncapped"),
+    /// crashes on out-of-range nodes, non-finite or negative crash times,
+    /// or overlapping crash windows for one node.
     pub fn validate(&self, nodes: usize) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.task_fail_prob) {
             return Err(format!("task_fail_prob {} outside [0, 1]", self.task_fail_prob));
@@ -134,12 +136,15 @@ impl FaultPlan {
         if self.max_attempts == 0 {
             return Err("max_attempts must be at least 1".into());
         }
-        if self.backoff_base.is_nan()
-            || self.backoff_base < 0.0
-            || self.backoff_cap.is_nan()
-            || self.backoff_cap < 0.0
-        {
-            return Err("backoff_base and backoff_cap must be non-negative".into());
+        if !self.backoff_base.is_finite() || self.backoff_base < 0.0 {
+            return Err(format!(
+                "backoff_base {} must be finite and non-negative",
+                self.backoff_base
+            ));
+        }
+        // An infinite cap is legal (it means "uncapped"); NaN or negative is not.
+        if self.backoff_cap.is_nan() || self.backoff_cap < 0.0 {
+            return Err(format!("backoff_cap {} must be non-negative", self.backoff_cap));
         }
         if !(0.0..=1.0).contains(&self.spec_fraction) {
             return Err(format!("spec_fraction {} outside [0, 1]", self.spec_fraction));
@@ -149,8 +154,8 @@ impl FaultPlan {
             if c.node.index() >= nodes {
                 return Err(format!("crash targets node {} but cluster has {nodes}", c.node));
             }
-            if c.at.is_nan() || c.at < 0.0 {
-                return Err(format!("crash at {} is before the simulation start", c.at));
+            if !c.at.is_finite() || c.at < 0.0 {
+                return Err(format!("crash at {} must be finite and non-negative", c.at));
             }
             if c.down_for.is_nan() || c.down_for <= 0.0 {
                 return Err(format!("crash down_for {} must be positive", c.down_for));
@@ -268,6 +273,58 @@ mod tests {
         assert!(perm_then_more.validate(4).is_err(), "nothing may follow a permanent crash");
         let no_attempts = FaultPlan { max_attempts: 0, ..Default::default() };
         assert!(no_attempts.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nan_probabilities() {
+        let p = FaultPlan { task_fail_prob: f64::NAN, ..Default::default() };
+        assert!(p.validate(4).unwrap_err().contains("task_fail_prob"));
+        let s = FaultPlan { spec_fraction: f64::NAN, ..Default::default() };
+        assert!(s.validate(4).unwrap_err().contains("spec_fraction"));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_backoff() {
+        let inf_base = FaultPlan { backoff_base: f64::INFINITY, ..Default::default() };
+        assert!(inf_base.validate(4).unwrap_err().contains("backoff_base"));
+        let nan_base = FaultPlan { backoff_base: f64::NAN, ..Default::default() };
+        assert!(nan_base.validate(4).unwrap_err().contains("backoff_base"));
+        let neg_base = FaultPlan { backoff_base: -1.0, ..Default::default() };
+        assert!(neg_base.validate(4).unwrap_err().contains("backoff_base"));
+        let nan_cap = FaultPlan { backoff_cap: f64::NAN, ..Default::default() };
+        assert!(nan_cap.validate(4).unwrap_err().contains("backoff_cap"));
+        let neg_cap = FaultPlan { backoff_cap: -0.5, ..Default::default() };
+        assert!(neg_cap.validate(4).unwrap_err().contains("backoff_cap"));
+        // An infinite cap is the documented "uncapped" spelling.
+        let inf_cap = FaultPlan { backoff_cap: f64::INFINITY, ..Default::default() };
+        assert!(inf_cap.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_crash_times() {
+        let inf_at = FaultPlan {
+            node_crashes: vec![NodeCrash::permanent(0, f64::INFINITY)],
+            ..Default::default()
+        };
+        assert!(inf_at.validate(4).unwrap_err().contains("finite"));
+        let nan_at = FaultPlan {
+            node_crashes: vec![NodeCrash::permanent(0, f64::NAN)],
+            ..Default::default()
+        };
+        assert!(nan_at.validate(4).unwrap_err().contains("finite"));
+        let neg_at =
+            FaultPlan { node_crashes: vec![NodeCrash::permanent(0, -1.0)], ..Default::default() };
+        assert!(neg_at.validate(4).is_err());
+        let nan_down = FaultPlan {
+            node_crashes: vec![NodeCrash::transient(0, 1.0, f64::NAN)],
+            ..Default::default()
+        };
+        assert!(nan_down.validate(4).unwrap_err().contains("down_for"));
+        let zero_down = FaultPlan {
+            node_crashes: vec![NodeCrash::transient(0, 1.0, 0.0)],
+            ..Default::default()
+        };
+        assert!(zero_down.validate(4).unwrap_err().contains("down_for"));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub use job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 pub use sapred_obs::{JobId, NodeId, QueryId};
 pub use sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
 pub use sim::{
-    ClusterConfig, DemandOracle, DispatchMode, FrozenOracle, JobStat, QueryStat, SimReport,
+    AdmissionConfig, AdmissionStats, ClusterConfig, DemandOracle, DispatchMode, FrozenOracle,
+    GuardConfig, GuardedOracle, JobStat, QuarantineRecord, QueryStat, ShedPolicy, SimReport,
     Simulator,
 };

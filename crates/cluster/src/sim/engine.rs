@@ -5,20 +5,56 @@
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
 use crate::job::{JobPrediction, SimQuery, TaskKind, TaskSpec};
-use crate::sched::{RunnableJob, Scheduler};
+use crate::sched::{Fifo, RunnableJob, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sapred_obs::{Candidate, DownReason, Event as ObsEvent, EventSink, NullSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use super::dispatch::{collect_runnable, DispatchMode, DispatchState};
+use super::admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
+use super::dispatch::{collect_runnable, query_demand, DispatchMode, DispatchState};
 use super::oracle::{DemandOracle, FrozenOracle};
 use super::recovery::{fail_query, Attempt, FaultState};
 use super::report::{assemble_report, SimReport};
 use super::state::{phase_of, Event, JobState, QueryState, Time};
 use super::ClusterConfig;
 use sapred_obs::{JobId, NodeId, QueryId};
+
+/// Drain a guarded oracle's quarantine records and surface degraded-mode
+/// transitions as events at the current simulated time. The engine's
+/// fallback-scheduler flag is updated even with a disabled sink (the
+/// transition changes scheduling, not just telemetry). For plain oracles
+/// the trait defaults report full trust and nothing quarantined, so this
+/// is a no-op: no allocation, no emission, no state change.
+fn surface_guard_activity<K: EventSink>(
+    oracle: &mut dyn DemandOracle,
+    sink: &mut K,
+    now: f64,
+    degraded: &mut bool,
+    fallback: &'static str,
+) {
+    for r in oracle.take_quarantines() {
+        sink.emit(&ObsEvent::PredictionQuarantined {
+            t: now,
+            query: r.query,
+            job: r.job,
+            category: r.category,
+            quantity: r.quantity,
+            predicted: r.predicted,
+            substituted: r.substituted,
+        });
+    }
+    let d = oracle.degraded();
+    if d != *degraded {
+        *degraded = d;
+        if d {
+            sink.emit(&ObsEvent::DegradedModeEnter { t: now, trust: oracle.trust(), fallback });
+        } else {
+            sink.emit(&ObsEvent::DegradedModeExit { t: now, trust: oracle.trust() });
+        }
+    }
+}
 
 /// The simulator: owns the cluster config, cost model and scheduler.
 pub struct Simulator<S: Scheduler> {
@@ -33,6 +69,10 @@ pub struct Simulator<S: Scheduler> {
     /// The failure schedule to inject ([`FaultPlan::none`] by default —
     /// bit-identical to a fault-free run).
     pub faults: FaultPlan,
+    /// Admission control: bounded pending queue, shed policy, per-query
+    /// deadlines, and resubmission backoff
+    /// ([`AdmissionConfig::disabled`] by default — provably inert).
+    pub admission: AdmissionConfig,
 }
 
 impl<S: Scheduler> Simulator<S> {
@@ -44,6 +84,7 @@ impl<S: Scheduler> Simulator<S> {
             scheduler,
             dispatch: DispatchMode::default(),
             faults: FaultPlan::none(),
+            admission: AdmissionConfig::disabled(),
         }
     }
 
@@ -56,6 +97,12 @@ impl<S: Scheduler> Simulator<S> {
     /// Same simulator with a seeded failure schedule injected.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Same simulator with admission control configured.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -111,6 +158,9 @@ impl<S: Scheduler> Simulator<S> {
         if let Err(e) = self.faults.validate(self.config.nodes) {
             panic!("invalid fault plan: {e}");
         }
+        if let Err(e) = self.admission.validate() {
+            panic!("invalid admission config: {e}");
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Separate stream for fault sampling: a zero-probability plan draws
         // nothing from it, leaving the duration stream — and therefore the
@@ -150,6 +200,22 @@ impl<S: Scheduler> Simulator<S> {
         let mut now = 0.0f64;
         let mut done_queries = 0usize;
 
+        // Admission bookkeeping. `active` counts currently-admitted queries
+        // in every mode (the flag discipline is uniform); the stats only
+        // move when admission is actually configured, so a disabled config
+        // reports all-default stats.
+        let admission_on = self.admission.is_active();
+        let mut admission_stats = AdmissionStats::default();
+        let mut active = 0usize;
+        // Degraded-mode scheduling: when a guarded oracle loses trust in
+        // its predictions, picks come from this semantics-blind fallback
+        // instead of the configured policy, until trust recovers.
+        let mut fallback = Fifo;
+        let mut degraded = false;
+        // The up-front prediction seeding above may already have tripped
+        // the guardrails (e.g. an oracle emitting NaNs from the start).
+        surface_guard_activity(oracle, sink, 0.0, &mut degraded, fallback.name());
+
         // Materialized scheduling state for the incremental dispatch path.
         // Seed every query's demand aggregates up front (WRD and critical
         // path depend only on done-task counts, which start at zero, not on
@@ -166,21 +232,181 @@ impl<S: Scheduler> Simulator<S> {
             debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
             now = t;
             match event {
-                Event::Arrival { q } => {
-                    sink.emit(&ObsEvent::QueryArrive {
-                        t: now,
-                        query: QueryId(q),
-                        name: queries[q].name.clone(),
-                    });
-                    for job in &queries[q].jobs {
-                        if job.deps.is_empty() {
-                            push(&mut heap, now, Event::Submit { q, j: job.id.into() }, &mut seq);
+                Event::Arrival { q } | Event::Resubmit { q } => {
+                    let first = matches!(event, Event::Arrival { .. });
+                    if first {
+                        sink.emit(&ObsEvent::QueryArrive {
+                            t: now,
+                            query: QueryId(q),
+                            name: queries[q].name.clone(),
+                        });
+                        if self.admission.deadline.is_finite() {
+                            // The deadline anchors at the *original*
+                            // arrival: backoff waits eat into the budget.
+                            push(
+                                &mut heap,
+                                queries[q].arrival + self.admission.deadline,
+                                Event::DeadlineCheck { q },
+                                &mut seq,
+                            );
+                        }
+                    } else if qstate[q].failed || qstate[q].finished.is_some() {
+                        // The deadline killed this query while it waited
+                        // out its resubmission backoff.
+                        continue;
+                    }
+                    // A query's remaining WRD, bitwise identical across
+                    // dispatch modes: the incrementally-maintained aggregate
+                    // where one exists, the from-scratch computation (which
+                    // the aggregate mirrors by construction) under
+                    // Reference dispatch.
+                    let containers = self.config.total_containers();
+                    let wrd_of = |vi: usize,
+                                  jobs: &[Vec<JobState>],
+                                  preds: &[Vec<JobPrediction>],
+                                  state: &DispatchState|
+                     -> f64 {
+                        if incremental {
+                            state.aggs[vi].wrd
+                        } else {
+                            let mut acc = vec![0.0f64; queries[vi].jobs.len()];
+                            query_demand(&queries[vi], &jobs[vi], &preds[vi], containers, &mut acc)
+                                .0
+                        }
+                    };
+                    // Admission decision: `victim` is whoever a full queue
+                    // sheds — the newcomer under RejectNewest, or (under
+                    // ShedLargestWrd) the waiting admitted query with the
+                    // largest remaining WRD if that strictly exceeds the
+                    // newcomer's. First maximum wins; ties keep incumbents.
+                    let mut victim: Option<usize> = None;
+                    if self.admission.queue_cap > 0 && active >= self.admission.queue_cap {
+                        victim = Some(q);
+                        if self.admission.shed_policy == ShedPolicy::ShedLargestWrd {
+                            let mut best = wrd_of(q, &jobs, &preds, &state);
+                            for (vi, vs) in qstate.iter().enumerate() {
+                                // Only waiting queries are evictable: once a
+                                // task has launched, sunk work is protected.
+                                if vs.admitted && vs.started.is_none() {
+                                    let w = wrd_of(vi, &jobs, &preds, &state);
+                                    if w > best {
+                                        best = w;
+                                        victim = Some(vi);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let shed_wrd = victim.map(|v| wrd_of(v, &jobs, &preds, &state));
+                    if victim != Some(q) {
+                        if let Some(v) = victim {
+                            // Evict the incumbent: it launched nothing, so
+                            // resetting its jobs erases it from the
+                            // scheduler's world; its in-flight `Submit`
+                            // events die on the `admitted` guard.
+                            for js in jobs[v].iter_mut() {
+                                *js = JobState::default();
+                            }
+                            qstate[v].admitted = false;
+                            active -= 1;
+                            if incremental {
+                                state.resync_query(queries, &jobs, &preds, v);
+                            }
+                        }
+                        qstate[q].admitted = true;
+                        active += 1;
+                        if admission_on {
+                            admission_stats.max_active = admission_stats.max_active.max(active);
+                        }
+                        for job in &queries[q].jobs {
+                            if job.deps.is_empty() {
+                                push(
+                                    &mut heap,
+                                    now,
+                                    Event::Submit { q, j: job.id.into() },
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
+                    if let Some(v) = victim {
+                        let wrd = shed_wrd.expect("victim implies a shed WRD");
+                        admission_stats.queries_shed += 1;
+                        if qstate[v].resubmits < self.admission.max_resubmits {
+                            // Capped exponential backoff, then retry
+                            // admission. The budget is per query lifetime:
+                            // resubmit counts never reset, so a query
+                            // repeatedly caught in overload terminates.
+                            qstate[v].resubmits += 1;
+                            let delay = self.admission.resubmit_backoff(qstate[v].resubmits);
+                            admission_stats.resubmissions += 1;
+                            sink.emit(&ObsEvent::QueryShed {
+                                t: now,
+                                query: QueryId(v),
+                                policy: self.admission.shed_policy.label(),
+                                wrd,
+                                will_resubmit: true,
+                                resubmit_at: now + delay,
+                            });
+                            push(&mut heap, now + delay, Event::Resubmit { q: v }, &mut seq);
+                        } else {
+                            sink.emit(&ObsEvent::QueryShed {
+                                t: now,
+                                query: QueryId(v),
+                                policy: self.admission.shed_policy.label(),
+                                wrd,
+                                will_resubmit: false,
+                                resubmit_at: now,
+                            });
+                            qstate[v].failed = true;
+                            qstate[v].finished = Some(now);
+                            admission_stats.queries_rejected.push(QueryId(v));
+                            done_queries += 1;
+                            sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(v) });
                         }
                     }
                 }
+                Event::DeadlineCheck { q } => {
+                    if qstate[q].failed || qstate[q].finished.is_some() {
+                        // Met its deadline (or already terminated).
+                        continue;
+                    }
+                    sink.emit(&ObsEvent::DeadlineMissed {
+                        t: now,
+                        query: QueryId(q),
+                        deadline: self.admission.deadline,
+                    });
+                    if qstate[q].admitted {
+                        qstate[q].admitted = false;
+                        active -= 1;
+                        // Kill everything in flight; `fail_query` marks the
+                        // terminal state and emits `QueryFinish`.
+                        fail_query(
+                            q,
+                            now,
+                            &self.config,
+                            &mut fr,
+                            &mut jobs,
+                            &mut qstate,
+                            &mut free_slots,
+                            sink,
+                        );
+                        if incremental {
+                            state.remove_query(q);
+                        }
+                    } else {
+                        // Waiting out a shed backoff: nothing is running.
+                        qstate[q].failed = true;
+                        qstate[q].finished = Some(now);
+                        sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                    }
+                    done_queries += 1;
+                    admission_stats.deadline_misses.push(QueryId(q));
+                }
                 Event::Submit { q, j } => {
-                    if qstate[q].failed {
-                        // The query was abandoned while this submit was in
+                    if qstate[q].failed || !qstate[q].admitted {
+                        // The query was abandoned — or shed from the
+                        // admission queue — while this submit was in
                         // flight; nothing of it may enter the runnable set.
                         continue;
                     }
@@ -325,6 +551,10 @@ impl<S: Scheduler> Simulator<S> {
                         }
                         if qstate[q].jobs_done == queries[q].jobs.len() {
                             qstate[q].finished = Some(now);
+                            if qstate[q].admitted {
+                                qstate[q].admitted = false;
+                                active -= 1;
+                            }
                             done_queries += 1;
                             sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
                         }
@@ -428,6 +658,14 @@ impl<S: Scheduler> Simulator<S> {
                             &mut free_slots,
                             sink,
                         );
+                        // Attempt-budget exhaustion is a *fault* outcome;
+                        // `fail_query` itself is also used for deadline
+                        // kills, which land in admission stats instead.
+                        fr.stats.failed_queries.push(QueryId(a.q));
+                        if qstate[a.q].admitted {
+                            qstate[a.q].admitted = false;
+                            active -= 1;
+                        }
                         done_queries += 1;
                         if incremental {
                             state.remove_query(a.q);
@@ -603,6 +841,10 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
             }
+            // Any oracle consultation this event triggered may have
+            // quarantined predictions or moved the trust score across a
+            // hysteresis threshold; surface that before dispatching.
+            surface_guard_activity(oracle, sink, now, &mut degraded, fallback.name());
             if self.dispatch == DispatchMode::Crosscheck {
                 state.crosscheck(queries, &jobs, &preds, "after event");
             }
@@ -629,7 +871,12 @@ impl<S: Scheduler> Simulator<S> {
                         &rebuilt
                     }
                 };
-                let Some(c) = self.scheduler.pick(runnable) else {
+                // In degraded mode (a guarded oracle's trust collapsed),
+                // semantics-blind FIFO replaces the configured policy until
+                // trust recovers past the exit threshold.
+                let picked =
+                    if degraded { fallback.pick(runnable) } else { self.scheduler.pick(runnable) };
+                let Some(c) = picked else {
                     // No runnable work for this container. With speculative
                     // execution on, clone the worst straggler of a
                     // nearly-done job into the idle slot instead of letting
@@ -741,12 +988,16 @@ impl<S: Scheduler> Simulator<S> {
                         .map(|r| Candidate {
                             query: r.query,
                             job: r.job,
-                            score: self.scheduler.score(r),
+                            score: if degraded {
+                                fallback.score(r)
+                            } else {
+                                self.scheduler.score(r)
+                            },
                         })
                         .collect();
                     sink.emit(&ObsEvent::Decision {
                         t: now,
-                        policy: self.scheduler.name(),
+                        policy: if degraded { "FIFO(degraded)" } else { self.scheduler.name() },
                         candidates,
                         chosen_query: c.query,
                         chosen_job: c.job,
@@ -865,6 +1116,6 @@ impl<S: Scheduler> Simulator<S> {
         assert_eq!(free_slots.len(), usable_slots, "containers leaked");
         debug_assert!(fr.attempts.iter().all(|a| !a.alive), "attempts leaked");
 
-        assemble_report(queries, &qstate, &jobs, &fr.stats, now)
+        assemble_report(queries, &qstate, &jobs, &fr.stats, admission_stats, now)
     }
 }

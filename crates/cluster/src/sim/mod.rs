@@ -1,6 +1,8 @@
 //! The discrete-event simulation engine, decomposed by lifecycle stage:
 //!
 //! * [`engine`](self) — the event loop ([`Simulator`]),
+//! * `admission` — the bounded pending queue, shed policies, per-query
+//!   deadlines, and resubmission backoff ([`AdmissionConfig`]),
 //! * `state` — the event heap's ordered time/event types and the
 //!   per-query/per-job simulation state the other modules operate on,
 //! * `dispatch` — the materialized runnable set and per-query demand
@@ -14,6 +16,7 @@
 //! The public surface is re-exported here, so `sapred_cluster::sim::*`
 //! paths are unchanged by the decomposition.
 
+mod admission;
 mod dispatch;
 mod engine;
 mod oracle;
@@ -23,9 +26,10 @@ mod state;
 #[cfg(test)]
 mod tests;
 
+pub use admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 pub use dispatch::DispatchMode;
 pub use engine::Simulator;
-pub use oracle::{DemandOracle, FrozenOracle};
+pub use oracle::{DemandOracle, FrozenOracle, GuardConfig, GuardedOracle, QuarantineRecord};
 pub use report::{JobStat, QueryStat, SimReport};
 
 /// Cluster configuration (defaults mirror the paper's testbed: 9 nodes ×

@@ -203,12 +203,16 @@ impl FaultState {
     }
 }
 
-/// Abandon query `q`: a task exhausted its attempt budget. Kills every
-/// live attempt of the query, zeroes its jobs' pending/running work so it
-/// vanishes from the runnable view, and emits `QueryFinish` (the query
-/// *terminates*, unsuccessfully — its [`QueryStat::failed`] flag records
-/// the distinction). The caller bumps `done_queries` and drops the query
-/// from the dispatch state.
+/// Terminate query `q` unsuccessfully: kills every live attempt of the
+/// query, zeroes its jobs' pending/running work so it vanishes from the
+/// runnable view, and emits `QueryFinish` (the query *terminates* — its
+/// [`QueryStat::failed`] flag records the distinction). Shared by two
+/// paths: attempt-budget exhaustion (the caller then records the query in
+/// [`FaultStats::failed_queries`]) and admission deadline kills (recorded
+/// in admission stats instead). The caller bumps `done_queries` and drops
+/// the query from the dispatch state.
+///
+/// [`FaultStats::failed_queries`]: crate::fault::FaultStats::failed_queries
 #[allow(clippy::too_many_arguments)]
 pub(super) fn fail_query<K: EventSink>(
     q: usize,
@@ -222,7 +226,6 @@ pub(super) fn fail_query<K: EventSink>(
 ) {
     qstate[q].failed = true;
     qstate[q].finished = Some(now);
-    fr.stats.failed_queries.push(QueryId(q));
     let ids: Vec<usize> =
         (0..fr.attempts.len()).filter(|&i| fr.attempts[i].alive && fr.attempts[i].q == q).collect();
     for id in ids {

@@ -6,6 +6,7 @@ use crate::job::SimQuery;
 use sapred_obs::{JobId, QueryId};
 use sapred_plan::dag::JobCategory;
 
+use super::admission::AdmissionStats;
 use super::state::{JobState, QueryState};
 
 /// Per-query outcome.
@@ -94,6 +95,9 @@ pub struct SimReport {
     pub makespan: f64,
     /// Fault-and-recovery telemetry (all-zero for fault-free runs).
     pub faults: FaultStats,
+    /// Admission-control telemetry (all-default when admission is
+    /// disabled or never intervened).
+    pub admission: AdmissionStats,
 }
 
 impl SimReport {
@@ -152,9 +156,11 @@ pub(super) fn assemble_report(
     qstate: &[QueryState],
     jobs: &[Vec<JobState>],
     faults: &FaultStats,
+    admission: AdmissionStats,
     now: f64,
 ) -> SimReport {
-    let mut report = SimReport { makespan: now, faults: faults.clone(), ..Default::default() };
+    let mut report =
+        SimReport { makespan: now, faults: faults.clone(), admission, ..Default::default() };
     for (qi, q) in queries.iter().enumerate() {
         let qs = &qstate[qi];
         // A failed query was still *terminated* at a definite time; jobs

@@ -53,6 +53,12 @@ pub(super) enum Event {
     NodeDown { crash: usize },
     /// A crashed node recovers. `epoch` guards against stale events.
     NodeUp { node: usize, epoch: u64 },
+    /// Admission deadline check at `arrival + deadline`: kill the query if
+    /// it is still unfinished. Ignored if it already terminated.
+    DeadlineCheck { q: usize },
+    /// A shed query's resubmission backoff elapsed: retry admission.
+    /// Ignored if the query terminated (deadline kill) while waiting.
+    Resubmit { q: usize },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -104,4 +110,11 @@ pub(super) struct QueryState {
     pub(super) started: Option<f64>,
     pub(super) finished: Option<f64>,
     pub(super) failed: bool,
+    /// Whether the query currently holds an admission slot. Set on
+    /// (re-)admission, cleared on eviction and on every terminal
+    /// transition; stale in-flight `Submit` events from an evicted
+    /// admission epoch are neutralized by checking this flag.
+    pub(super) admitted: bool,
+    /// How many times the query has been shed and resubmitted.
+    pub(super) resubmits: usize,
 }

@@ -37,6 +37,6 @@ pub mod training;
 
 pub use error::Error;
 pub use framework::{Framework, Predictor, QuerySemantics};
-pub use oracle::RecalibratingOracle;
+pub use oracle::{GuardedRecalibratingOracle, RecalibratingOracle};
 pub use pipeline::{Pipeline, Training};
 pub use training::{fit_models, run_population, split_train_test, QueryRun, TrainedModels};

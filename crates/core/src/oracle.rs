@@ -19,8 +19,13 @@
 
 use crate::framework::Predictor;
 use sapred_cluster::job::{JobPrediction, SimJob};
-use sapred_cluster::{DemandOracle, QueryId};
+use sapred_cluster::{DemandOracle, GuardConfig, GuardedOracle, QueryId};
 use sapred_obs::{DriftTracker, Quantity};
+
+/// A drift-corrected oracle behind the simulator's prediction guardrails:
+/// sanitization, quarantine accounting, and the trust score that drives
+/// degraded-mode scheduling.
+pub type GuardedRecalibratingOracle = GuardedOracle<RecalibratingOracle>;
 
 impl DemandOracle for Predictor {
     /// The percolated prediction for this job — the same numbers this
@@ -66,6 +71,17 @@ impl RecalibratingOracle {
     /// The accumulated drift statistics (for reporting after a run).
     pub fn drift(&self) -> &DriftTracker {
         &self.drift
+    }
+
+    /// Wrap this oracle in the simulator's prediction guardrails: bad
+    /// values (non-finite, negative, out of trained range) are quarantined
+    /// and substituted before they can reach the scheduler, and a trust
+    /// score drives hysteretic degraded-mode entry/exit.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`GuardConfig::validate`].
+    pub fn guarded(self, config: GuardConfig) -> GuardedRecalibratingOracle {
+        GuardedOracle::with_config(self, config)
     }
 
     fn corrected(&self, quantity: Quantity, job: &SimJob, predicted: f64) -> f64 {
@@ -166,6 +182,29 @@ mod tests {
         let actual = JobPrediction { map_task_time: 4.0, reduce_task_time: 0.0 };
         assert!(!o.observe_job_done(QueryId(0), &job(8.0), actual, 1.0));
         assert!(o.observe_job_done(QueryId(0), &job(8.0), actual, 2.0));
+    }
+
+    #[test]
+    fn guarded_recalibrating_oracle_composes() {
+        // The guard passes a clean recalibrating oracle's answers through
+        // untouched and reports full trust.
+        let mut g = RecalibratingOracle::new().guarded(GuardConfig::default());
+        let j = job(8.0);
+        let p = g.predict(QueryId(0), &j);
+        assert_eq!(p, j.prediction);
+        assert!(!g.degraded());
+        assert_eq!(g.trust(), 1.0);
+        // Warmed on 2x-hot predictions, the corrected values still flow
+        // through the guard (finite, in range — nothing to quarantine),
+        // but the drift it observed discounts trust below 1.
+        let actual = JobPrediction { map_task_time: 4.0, reduce_task_time: 4.0 };
+        for _ in 0..3 {
+            g.observe_job_done(QueryId(0), &j, actual, 1.0);
+        }
+        let p = g.predict(QueryId(0), &j);
+        assert!((p.map_task_time - 4.0).abs() < 1e-9, "{}", p.map_task_time);
+        assert!(g.trust() < 1.0);
+        assert!(g.take_quarantines().is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use sapred_cluster::build::build_sim_query;
 use sapred_cluster::cost::CostModel;
 use sapred_cluster::job::{JobPrediction, SimQuery};
 use sapred_cluster::sched::Scheduler;
-use sapred_cluster::{DemandOracle, FaultPlan, SimReport, Simulator};
+use sapred_cluster::{AdmissionConfig, DemandOracle, FaultPlan, SimReport, Simulator};
 use sapred_obs::EventSink;
 use sapred_plan::ground_truth::execute_dag;
 use sapred_query::pig::PigScript;
@@ -267,6 +267,43 @@ impl Pipeline {
         self.simulator(scheduler).with_faults(plan).run(queries)
     }
 
+    /// Like [`Pipeline::simulate_with_faults`], but a malformed plan
+    /// surfaces as [`Error::Invalid`] *before* the run instead of a panic
+    /// inside the simulator.
+    pub fn try_simulate_with_faults<S: Scheduler>(
+        &self,
+        scheduler: S,
+        plan: FaultPlan,
+        queries: &[SimQuery],
+    ) -> Result<SimReport, Error> {
+        plan.validate(self.framework.cluster.nodes).map_err(Error::invalid)?;
+        Ok(self.simulator(scheduler).with_faults(plan).run(queries))
+    }
+
+    /// The overload-hardened stage: run queries with admission control
+    /// (bounded queue, shed policy, deadlines, resubmission backoff) and a
+    /// live oracle, under an optional fault plan — the full robustness
+    /// layer in one call. Both configurations are validated up front, so a
+    /// bad knob combination surfaces as [`Error::Invalid`] before the run
+    /// starts instead of a panic inside the event loop.
+    pub fn simulate_admitted<S: Scheduler, K: EventSink>(
+        &self,
+        scheduler: S,
+        plan: FaultPlan,
+        admission: AdmissionConfig,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+    ) -> Result<SimReport, Error> {
+        plan.validate(self.framework.cluster.nodes).map_err(Error::invalid)?;
+        admission.validate().map_err(Error::invalid)?;
+        Ok(self
+            .simulator(scheduler)
+            .with_faults(plan)
+            .with_admission(admission)
+            .run_with_oracle(queries, sink, oracle))
+    }
+
     /// The ground-truth cost model (for bespoke simulator setups).
     pub fn cost_model(&self) -> &CostModel {
         &self.framework.cost
@@ -282,6 +319,41 @@ mod tests {
     fn untrained_pipeline_is_explicit_about_it() {
         let p = Pipeline::new();
         assert!(matches!(p.predictor(), Err(Error::NotTrained)));
+    }
+
+    #[test]
+    fn malformed_robustness_configs_surface_as_errors() {
+        let p = Pipeline::new();
+        let bad_plan = FaultPlan { task_fail_prob: 2.0, ..FaultPlan::none() };
+        assert!(matches!(
+            p.try_simulate_with_faults(Fifo, bad_plan.clone(), &[]),
+            Err(Error::Invalid(_))
+        ));
+        let bad_admission =
+            sapred_cluster::AdmissionConfig { deadline: f64::NAN, ..Default::default() };
+        let err = p
+            .simulate_admitted(
+                Fifo,
+                FaultPlan::none(),
+                bad_admission,
+                &[],
+                &mut sapred_obs::NullSink,
+                &mut sapred_cluster::FrozenOracle,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+        // And the fault plan is checked there too.
+        assert!(matches!(
+            p.simulate_admitted(
+                Fifo,
+                bad_plan,
+                sapred_cluster::AdmissionConfig::disabled(),
+                &[],
+                &mut sapred_obs::NullSink,
+                &mut sapred_cluster::FrozenOracle,
+            ),
+            Err(Error::Invalid(_))
+        ));
     }
 
     #[test]

@@ -235,7 +235,11 @@ impl Histogram {
             if v >= b.hi {
                 acc += b.count;
             } else if v > b.lo || (inclusive && v == b.lo) {
-                let frac = ((v - b.lo) / (b.hi - b.lo)).clamp(0.0, 1.0);
+                // A zero-width bucket (a constant column, or a degenerate
+                // persisted histogram) holds a single point value; straddling
+                // it means the whole bucket is below. Guard the 0/0.
+                let width = b.hi - b.lo;
+                let frac = if width > 0.0 { ((v - b.lo) / width).clamp(0.0, 1.0) } else { 1.0 };
                 let mut m = b.count * frac;
                 if inclusive && b.distinct > 0.0 {
                     // Include the equality mass of `v` itself.

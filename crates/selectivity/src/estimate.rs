@@ -112,7 +112,12 @@ fn resolve(
             };
             let proj_width: f64 =
                 projection.iter().map(|c| stats.column(c).map_or(8.0, |s| s.width)).sum();
-            let s_proj = (proj_width / stats.tuple_width()).clamp(0.0, 1.0);
+            // A degenerate schema (zero tuple width) would make this 0/0;
+            // fall back to "projection keeps everything" — the projection
+            // cannot drop bytes a zero-width tuple does not have.
+            let tuple_width = stats.tuple_width();
+            let s_proj =
+                if tuple_width > 0.0 { (proj_width / tuple_width).clamp(0.0, 1.0) } else { 1.0 };
             let tuples = stats.rows() * s_pred;
 
             // Per-column propagation: conjuncts on a column reshape its
@@ -642,11 +647,101 @@ mod tests {
         for q in queries {
             let (est, _) = setup(q, &db);
             for e in est {
-                assert!(e.d_in >= 0.0 && e.d_in.is_finite());
-                assert!(e.d_med >= 0.0 && e.d_med.is_finite());
-                assert!(e.d_out >= 0.0 && e.d_out.is_finite());
-                assert!(e.is >= 0.0 && e.fs >= 0.0, "{q}");
+                assert_all_fields_finite(&e, q);
             }
         }
+    }
+
+    /// Every numeric field of a [`JobEstimate`] must be finite and
+    /// non-negative; NaN here poisons predictions and, downstream, WRD.
+    fn assert_all_fields_finite(e: &JobEstimate, ctx: &str) {
+        for (name, v) in [
+            ("d_in", e.d_in),
+            ("d_med", e.d_med),
+            ("d_out", e.d_out),
+            ("tuples_in", e.tuples_in),
+            ("tuples_med", e.tuples_med),
+            ("tuples_out", e.tuples_out),
+            ("is", e.is),
+            ("fs", e.fs),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{ctx}: {name} = {v}");
+        }
+        if let Some(p) = e.p_ratio {
+            assert!(p.is_finite() && p >= 0.0, "{ctx}: p_ratio = {p}");
+        }
+        assert!(e.n_maps >= 1, "{ctx}: n_maps = {}", e.n_maps);
+    }
+
+    #[test]
+    fn degenerate_tables_yield_finite_estimates() {
+        use sapred_plan::dag::{InputSrc, JobKind, MrJob, QueryDag, TableInput};
+        use sapred_relation::expr::{CmpOp, Predicate};
+        use sapred_relation::schema::{ColumnDef, DataType, Schema};
+        use sapred_relation::stats::{Catalog, TableStats};
+        use sapred_relation::table::{Column, Table};
+
+        // `empty` has zero rows, `konst` a single repeated value (its
+        // histogram is one point), `thin` a zero-width column (so its
+        // tuple width — the S_proj denominator — is zero).
+        let empty = Table::new(
+            "empty",
+            Schema::new(vec![ColumnDef::new("k", DataType::Int)]),
+            vec![Column::Int(vec![])],
+        );
+        let konst = Table::new(
+            "konst",
+            Schema::new(vec![ColumnDef::new("k", DataType::Int)]),
+            vec![Column::Int(vec![7; 100])],
+        );
+        let thin = Table::new(
+            "thin",
+            Schema::new(vec![ColumnDef::new("k", DataType::Str { avg_width: 0 })]),
+            vec![Column::Int(vec![1, 2, 3])],
+        );
+        let mut catalog = Catalog::new();
+        catalog.insert(TableStats::gather(&empty, 8));
+        catalog.insert(TableStats::gather(&konst, 8));
+        catalog.insert(TableStats::gather(&thin, 8));
+
+        let scan = |table: &str| {
+            InputSrc::Table(TableInput {
+                table: table.into(),
+                predicate: Predicate::cmp("k", CmpOp::Le, 7.0),
+                projection: vec!["k".into()],
+            })
+        };
+        let dag = QueryDag::new(
+            "degenerate",
+            vec![
+                MrJob::new(
+                    0,
+                    JobKind::Join {
+                        left: scan("empty"),
+                        right: scan("konst"),
+                        left_key: "k".into(),
+                        right_key: "k".into(),
+                    },
+                ),
+                MrJob::new(
+                    1,
+                    JobKind::Groupby { input: InputSrc::Job(0), keys: vec!["k".into()], n_aggs: 1 },
+                ),
+                MrJob::new(2, JobKind::MapOnly { input: scan("thin") }),
+                MrJob::new(
+                    3,
+                    JobKind::Sort { input: scan("konst"), keys: vec!["k".into()], limit: Some(10) },
+                ),
+            ],
+        );
+        let est = estimate_dag(&dag, &catalog, &EstimatorConfig::default());
+        assert_eq!(est.len(), 4);
+        for e in &est {
+            assert_all_fields_finite(e, "degenerate");
+        }
+        // The empty side forces an empty join.
+        assert_eq!(est[0].tuples_out, 0.0);
+        // Zero tuple width: S_proj falls back to 1, so IS stays finite.
+        assert!(est[2].is.is_finite());
     }
 }

@@ -14,7 +14,9 @@
 //! ```
 
 use sapred::cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Srt, Swrd};
-use sapred::cluster::sim::SimReport;
+use sapred::cluster::{
+    AdmissionConfig, DemandOracle, FaultPlan, FrozenOracle, GuardedOracle, ShedPolicy, SimReport,
+};
 use sapred::core::experiments::accuracy::{job_accuracy, map_task_accuracy, reduce_task_accuracy};
 use sapred::core::experiments::motivation::motivation;
 use sapred::core::experiments::scheduling::{run_schedulers, PreparedWorkload};
@@ -75,6 +77,8 @@ USAGE:
   sapred trace      <bing|facebook> [--sched <swrd|hcs|hfs|fifo|srt>] [--out <trace.json>]
                     [--events <events.jsonl>] [--metrics <metrics.json>] [--oracle <frozen|recalibrating>]
                     [--gap <SECONDS>] [--divisor <D>] [--queries <N>] [--seed <N>]
+                    [--queue-cap <N>] [--deadline <SECONDS>]
+                    [--shed-policy <reject-newest|largest-wrd>] [--guard <on|off>]
   sapred motivation [--small <GB>] [--big <GB>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Error> {
@@ -267,6 +271,31 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     let events_path = flags.get("events").map(String::as_str).unwrap_or("events.jsonl");
     let metrics_path = flags.get("metrics").map(String::as_str).unwrap_or("metrics.json");
 
+    // Overload knobs: a bounded admission queue with a shed policy, per-query
+    // deadlines, and the prediction guardrails. All default to off, in which
+    // case the run is bit-identical to the pre-admission engine.
+    let shed_policy = match flags.get("shed-policy").map(String::as_str).unwrap_or("reject-newest")
+    {
+        "reject-newest" => ShedPolicy::RejectNewest,
+        "largest-wrd" => ShedPolicy::ShedLargestWrd,
+        other => {
+            return Err(Error::invalid(format!(
+                "unknown shed policy `{other}` (expected reject-newest|largest-wrd)"
+            )))
+        }
+    };
+    let admission = AdmissionConfig {
+        queue_cap: flag_usize(&flags, "queue-cap", 0)?,
+        deadline: flag_f64(&flags, "deadline", f64::INFINITY)?,
+        shed_policy,
+        ..AdmissionConfig::default()
+    };
+    let guard = match flags.get("guard").map(String::as_str).unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(Error::invalid(format!("--guard expects on|off, got `{other}`"))),
+    };
+
     println!("training on {n} queries...");
     let mut pipe = trained_pipeline(n, seed)?;
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
@@ -284,40 +313,51 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
 
     // The online stage: `frozen` replays the percolated predictions;
     // `recalibrating` lets each completed job's actuals re-rank the rest.
-    let mut recal = match oracle_name {
-        "frozen" => None,
-        "recalibrating" => Some(RecalibratingOracle::new()),
+    // `--guard on` wraps either one in the prediction guardrails (quarantine
+    // plus trust-driven degraded-mode scheduling).
+    let recalibrating = match oracle_name {
+        "frozen" => false,
+        "recalibrating" => true,
         other => {
             return Err(Error::invalid(format!(
                 "unknown oracle `{other}` (expected frozen|recalibrating)"
             )))
         }
     };
+    let mut frozen = FrozenOracle;
+    let mut guarded_frozen = GuardedOracle::new(FrozenOracle);
+    let mut recal = RecalibratingOracle::new();
+    let mut guarded_recal = GuardedOracle::new(RecalibratingOracle::new());
+    let oracle: &mut dyn DemandOracle = match (recalibrating, guard) {
+        (false, false) => &mut frozen,
+        (false, true) => &mut guarded_frozen,
+        (true, false) => &mut recal,
+        (true, true) => &mut guarded_recal,
+    };
     fn run_one<S: Scheduler, K: EventSink>(
         pipe: &Pipeline,
         sched: S,
         prepared: &PreparedWorkload,
         sink: &mut K,
-        recal: &mut Option<RecalibratingOracle>,
-    ) -> SimReport {
-        match recal {
-            Some(oracle) => pipe.simulate_online(sched, &prepared.queries, sink, oracle),
-            None => pipe.simulate_traced(sched, &prepared.queries, sink),
-        }
+        admission: AdmissionConfig,
+        oracle: &mut dyn DemandOracle,
+    ) -> Result<SimReport, Error> {
+        pipe.simulate_admitted(sched, FaultPlan::none(), admission, &prepared.queries, sink, oracle)
     }
     println!("tracing {} queries under {}...", prepared.queries.len(), sched_name.to_uppercase());
     let report = match sched_name {
-        "swrd" => run_one(&pipe, Swrd, &prepared, &mut sink, &mut recal),
-        "hcs" => run_one(&pipe, Hcs, &prepared, &mut sink, &mut recal),
-        "hfs" => run_one(&pipe, Hfs, &prepared, &mut sink, &mut recal),
-        "fifo" => run_one(&pipe, Fifo, &prepared, &mut sink, &mut recal),
-        "srt" => run_one(&pipe, Srt, &prepared, &mut sink, &mut recal),
+        "swrd" => run_one(&pipe, Swrd, &prepared, &mut sink, admission, &mut *oracle)?,
+        "hcs" => run_one(&pipe, Hcs, &prepared, &mut sink, admission, &mut *oracle)?,
+        "hfs" => run_one(&pipe, Hfs, &prepared, &mut sink, admission, &mut *oracle)?,
+        "fifo" => run_one(&pipe, Fifo, &prepared, &mut sink, admission, &mut *oracle)?,
+        "srt" => run_one(&pipe, Srt, &prepared, &mut sink, admission, &mut *oracle)?,
         other => {
             return Err(Error::invalid(format!(
                 "unknown scheduler `{other}` (expected swrd|hcs|hfs|fifo|srt)"
             )))
         }
     };
+    let (trust, degraded) = (oracle.trust(), oracle.degraded());
     // Post-hoc prediction-drift telemetry against the simulated truth.
     record_sim_outcomes(&prepared.queries, &report, &pipe.framework().cluster, &mut sink);
 
@@ -334,8 +374,27 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
 
     println!("\nmakespan {:.1}s, mean response {:.1}s", report.makespan, report.mean_response());
     println!("container utilization: {:.1}%", 100.0 * metrics.utilization(report.makespan));
-    if let Some(oracle) = &recal {
-        println!("\nmid-run recalibration drift (the oracle's view):\n{}", oracle.drift());
+    if admission.is_active() {
+        let a = &report.admission;
+        println!(
+            "admission: {} shed, {} rejected, {} resubmissions, {} deadline misses \
+             (max {} active)",
+            a.queries_shed,
+            a.queries_rejected.len(),
+            a.resubmissions,
+            a.deadline_misses.len(),
+            a.max_active
+        );
+    }
+    if guard {
+        println!(
+            "prediction guard: trust {trust:.2}{}",
+            if degraded { ", in degraded mode" } else { "" }
+        );
+    }
+    if recalibrating {
+        let drift = if guard { guarded_recal.inner().drift() } else { recal.drift() };
+        println!("\nmid-run recalibration drift (the oracle's view):\n{drift}");
     }
     println!("\nprediction drift vs simulated truth:\n{}", metrics.drift);
     println!("wrote {lines} events to {events_path}");
