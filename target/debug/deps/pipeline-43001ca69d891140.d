@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-43001ca69d891140.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-43001ca69d891140: tests/pipeline.rs
+
+tests/pipeline.rs:

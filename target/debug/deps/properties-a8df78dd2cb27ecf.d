@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a8df78dd2cb27ecf.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a8df78dd2cb27ecf: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c3cd9d9424d1a518.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c3cd9d9424d1a518.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c3cd9d9424d1a518.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapred-18a7e6ff5a234112.d: src/bin/sapred.rs
+
+/root/repo/target/debug/deps/sapred-18a7e6ff5a234112: src/bin/sapred.rs
+
+src/bin/sapred.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sapred-5c41cd1f1a2fde04.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsapred-5c41cd1f1a2fde04.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsapred-5c41cd1f1a2fde04.rmeta: src/lib.rs
+
+src/lib.rs:

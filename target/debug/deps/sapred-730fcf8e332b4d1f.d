@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapred-730fcf8e332b4d1f.d: src/bin/sapred.rs
+
+/root/repo/target/debug/deps/sapred-730fcf8e332b4d1f: src/bin/sapred.rs
+
+src/bin/sapred.rs:

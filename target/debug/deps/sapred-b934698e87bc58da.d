@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapred-b934698e87bc58da.d: src/lib.rs
+
+/root/repo/target/debug/deps/sapred-b934698e87bc58da: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sapred_bench-1f702b49f1b6ed0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsapred_bench-1f702b49f1b6ed0e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsapred_bench-1f702b49f1b6ed0e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sapred_cluster-010dc3faddcdbd7a.d: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+/root/repo/target/debug/deps/libsapred_cluster-010dc3faddcdbd7a.rlib: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+/root/repo/target/debug/deps/libsapred_cluster-010dc3faddcdbd7a.rmeta: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/build.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/sched.rs:
+crates/cluster/src/sim/mod.rs:
+crates/cluster/src/sim/admission.rs:
+crates/cluster/src/sim/dispatch.rs:
+crates/cluster/src/sim/engine.rs:
+crates/cluster/src/sim/oracle.rs:
+crates/cluster/src/sim/recovery.rs:
+crates/cluster/src/sim/report.rs:
+crates/cluster/src/sim/state.rs:

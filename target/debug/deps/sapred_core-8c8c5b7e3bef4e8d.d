@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/sapred_core-8c8c5b7e3bef4e8d.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/accuracy.rs crates/core/src/experiments/motivation.rs crates/core/src/experiments/query_time.rs crates/core/src/experiments/scheduling.rs crates/core/src/framework.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/report.rs crates/core/src/telemetry.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libsapred_core-8c8c5b7e3bef4e8d.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/accuracy.rs crates/core/src/experiments/motivation.rs crates/core/src/experiments/query_time.rs crates/core/src/experiments/scheduling.rs crates/core/src/framework.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/report.rs crates/core/src/telemetry.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libsapred_core-8c8c5b7e3bef4e8d.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/accuracy.rs crates/core/src/experiments/motivation.rs crates/core/src/experiments/query_time.rs crates/core/src/experiments/scheduling.rs crates/core/src/framework.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/progress.rs crates/core/src/report.rs crates/core/src/telemetry.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablation.rs:
+crates/core/src/experiments/accuracy.rs:
+crates/core/src/experiments/motivation.rs:
+crates/core/src/experiments/query_time.rs:
+crates/core/src/experiments/scheduling.rs:
+crates/core/src/framework.rs:
+crates/core/src/oracle.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/progress.rs:
+crates/core/src/report.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/training.rs:

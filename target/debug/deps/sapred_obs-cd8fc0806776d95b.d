@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sapred_obs-cd8fc0806776d95b.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libsapred_obs-cd8fc0806776d95b.rlib: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libsapred_obs-cd8fc0806776d95b.rmeta: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/event.rs:
+crates/obs/src/ids.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sapred_plan-2aeb398c752ec37b.d: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+/root/repo/target/debug/deps/libsapred_plan-2aeb398c752ec37b.rlib: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+/root/repo/target/debug/deps/libsapred_plan-2aeb398c752ec37b.rmeta: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/builder.rs:
+crates/plan/src/compile.rs:
+crates/plan/src/dag.rs:
+crates/plan/src/ground_truth.rs:

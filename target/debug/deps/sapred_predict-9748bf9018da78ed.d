@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sapred_predict-9748bf9018da78ed.d: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+/root/repo/target/debug/deps/libsapred_predict-9748bf9018da78ed.rlib: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+/root/repo/target/debug/deps/libsapred_predict-9748bf9018da78ed.rmeta: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+crates/predict/src/lib.rs:
+crates/predict/src/features.rs:
+crates/predict/src/linalg.rs:
+crates/predict/src/metrics.rs:
+crates/predict/src/model.rs:
+crates/predict/src/wrd.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sapred_query-617dbea4390767d0.d: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+/root/repo/target/debug/deps/libsapred_query-617dbea4390767d0.rlib: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+/root/repo/target/debug/deps/libsapred_query-617dbea4390767d0.rmeta: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+crates/query/src/lib.rs:
+crates/query/src/analyze.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/pig.rs:

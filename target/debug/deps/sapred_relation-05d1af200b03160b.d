@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sapred_relation-05d1af200b03160b.d: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+/root/repo/target/debug/deps/libsapred_relation-05d1af200b03160b.rlib: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+/root/repo/target/debug/deps/libsapred_relation-05d1af200b03160b.rmeta: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/dist.rs:
+crates/relation/src/exec.rs:
+crates/relation/src/expr.rs:
+crates/relation/src/gen.rs:
+crates/relation/src/histogram.rs:
+crates/relation/src/persist.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/stats.rs:
+crates/relation/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sapred_selectivity-87999c9f34fb4149.d: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+/root/repo/target/debug/deps/libsapred_selectivity-87999c9f34fb4149.rlib: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+/root/repo/target/debug/deps/libsapred_selectivity-87999c9f34fb4149.rmeta: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+crates/selectivity/src/lib.rs:
+crates/selectivity/src/estimate.rs:
+crates/selectivity/src/formulas.rs:
+crates/selectivity/src/pred.rs:
+crates/selectivity/src/profile.rs:

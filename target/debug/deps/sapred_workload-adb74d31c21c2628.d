@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sapred_workload-adb74d31c21c2628.d: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+/root/repo/target/debug/deps/libsapred_workload-adb74d31c21c2628.rlib: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+/root/repo/target/debug/deps/libsapred_workload-adb74d31c21c2628.rmeta: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mixes.rs:
+crates/workload/src/pool.rs:
+crates/workload/src/population.rs:
+crates/workload/src/templates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_invariants-bb6fa708782aae2c.d: tests/scheduler_invariants.rs
+
+/root/repo/target/debug/deps/scheduler_invariants-bb6fa708782aae2c: tests/scheduler_invariants.rs
+
+tests/scheduler_invariants.rs:

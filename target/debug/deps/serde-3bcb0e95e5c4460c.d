@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3bcb0e95e5c4460c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3bcb0e95e5c4460c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3bcb0e95e5c4460c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-35bebdaef79ec75f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-35bebdaef79ec75f.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

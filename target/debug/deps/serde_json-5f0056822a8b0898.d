@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-5f0056822a8b0898.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5f0056822a8b0898.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5f0056822a8b0898.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_events-9f90f35f474a6cd1.d: tests/trace_events.rs
+
+/root/repo/target/debug/deps/trace_events-9f90f35f474a6cd1: tests/trace_events.rs
+
+tests/trace_events.rs:

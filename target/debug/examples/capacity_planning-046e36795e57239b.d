@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-046e36795e57239b.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-046e36795e57239b: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_sweep-e8d9456465eb5d57.d: examples/failure_sweep.rs
+
+/root/repo/target/debug/examples/failure_sweep-e8d9456465eb5d57: examples/failure_sweep.rs
+
+examples/failure_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivation-8ce6393435be5df3.d: examples/motivation.rs
+
+/root/repo/target/debug/examples/motivation-8ce6393435be5df3: examples/motivation.rs
+
+examples/motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_sweep-a7a0c879d06dd2c3.d: examples/overload_sweep.rs
+
+/root/repo/target/debug/examples/overload_sweep-a7a0c879d06dd2c3: examples/overload_sweep.rs
+
+examples/overload_sweep.rs:

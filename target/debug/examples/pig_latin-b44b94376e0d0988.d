@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pig_latin-b44b94376e0d0988.d: examples/pig_latin.rs
+
+/root/repo/target/debug/examples/pig_latin-b44b94376e0d0988: examples/pig_latin.rs
+
+examples/pig_latin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/progress_monitor-aaad57d0a2b58343.d: examples/progress_monitor.rs
+
+/root/repo/target/debug/examples/progress_monitor-aaad57d0a2b58343: examples/progress_monitor.rs
+
+examples/progress_monitor.rs:

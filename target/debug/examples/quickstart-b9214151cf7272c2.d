@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b9214151cf7272c2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b9214151cf7272c2: examples/quickstart.rs
+
+examples/quickstart.rs:

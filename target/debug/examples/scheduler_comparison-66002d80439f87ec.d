@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_comparison-66002d80439f87ec.d: examples/scheduler_comparison.rs
+
+/root/repo/target/debug/examples/scheduler_comparison-66002d80439f87ec: examples/scheduler_comparison.rs
+
+examples/scheduler_comparison.rs:

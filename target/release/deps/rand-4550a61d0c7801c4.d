@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4550a61d0c7801c4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4550a61d0c7801c4.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4550a61d0c7801c4.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

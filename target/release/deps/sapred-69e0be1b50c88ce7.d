@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sapred-69e0be1b50c88ce7.d: src/lib.rs
+
+/root/repo/target/release/deps/libsapred-69e0be1b50c88ce7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsapred-69e0be1b50c88ce7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sapred-6d587c4b1946e567.d: src/bin/sapred.rs
+
+/root/repo/target/release/deps/sapred-6d587c4b1946e567: src/bin/sapred.rs
+
+src/bin/sapred.rs:

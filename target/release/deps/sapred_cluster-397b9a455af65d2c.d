@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/sapred_cluster-397b9a455af65d2c.d: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+/root/repo/target/release/deps/libsapred_cluster-397b9a455af65d2c.rlib: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+/root/repo/target/release/deps/libsapred_cluster-397b9a455af65d2c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/build.rs crates/cluster/src/cost.rs crates/cluster/src/fault.rs crates/cluster/src/job.rs crates/cluster/src/sched.rs crates/cluster/src/sim/mod.rs crates/cluster/src/sim/admission.rs crates/cluster/src/sim/dispatch.rs crates/cluster/src/sim/engine.rs crates/cluster/src/sim/oracle.rs crates/cluster/src/sim/recovery.rs crates/cluster/src/sim/report.rs crates/cluster/src/sim/state.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/build.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/sched.rs:
+crates/cluster/src/sim/mod.rs:
+crates/cluster/src/sim/admission.rs:
+crates/cluster/src/sim/dispatch.rs:
+crates/cluster/src/sim/engine.rs:
+crates/cluster/src/sim/oracle.rs:
+crates/cluster/src/sim/recovery.rs:
+crates/cluster/src/sim/report.rs:
+crates/cluster/src/sim/state.rs:

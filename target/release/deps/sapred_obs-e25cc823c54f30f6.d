@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sapred_obs-e25cc823c54f30f6.d: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libsapred_obs-e25cc823c54f30f6.rlib: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libsapred_obs-e25cc823c54f30f6.rmeta: crates/obs/src/lib.rs crates/obs/src/drift.rs crates/obs/src/event.rs crates/obs/src/ids.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/drift.rs:
+crates/obs/src/event.rs:
+crates/obs/src/ids.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sapred_plan-52ca86041114f587.d: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+/root/repo/target/release/deps/libsapred_plan-52ca86041114f587.rlib: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+/root/repo/target/release/deps/libsapred_plan-52ca86041114f587.rmeta: crates/plan/src/lib.rs crates/plan/src/builder.rs crates/plan/src/compile.rs crates/plan/src/dag.rs crates/plan/src/ground_truth.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/builder.rs:
+crates/plan/src/compile.rs:
+crates/plan/src/dag.rs:
+crates/plan/src/ground_truth.rs:

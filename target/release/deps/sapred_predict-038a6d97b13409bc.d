@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sapred_predict-038a6d97b13409bc.d: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+/root/repo/target/release/deps/libsapred_predict-038a6d97b13409bc.rlib: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+/root/repo/target/release/deps/libsapred_predict-038a6d97b13409bc.rmeta: crates/predict/src/lib.rs crates/predict/src/features.rs crates/predict/src/linalg.rs crates/predict/src/metrics.rs crates/predict/src/model.rs crates/predict/src/wrd.rs
+
+crates/predict/src/lib.rs:
+crates/predict/src/features.rs:
+crates/predict/src/linalg.rs:
+crates/predict/src/metrics.rs:
+crates/predict/src/model.rs:
+crates/predict/src/wrd.rs:

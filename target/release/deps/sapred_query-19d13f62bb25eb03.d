@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sapred_query-19d13f62bb25eb03.d: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+/root/repo/target/release/deps/libsapred_query-19d13f62bb25eb03.rlib: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+/root/repo/target/release/deps/libsapred_query-19d13f62bb25eb03.rmeta: crates/query/src/lib.rs crates/query/src/analyze.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/pig.rs
+
+crates/query/src/lib.rs:
+crates/query/src/analyze.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/pig.rs:

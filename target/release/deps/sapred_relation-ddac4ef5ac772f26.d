@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sapred_relation-ddac4ef5ac772f26.d: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+/root/repo/target/release/deps/libsapred_relation-ddac4ef5ac772f26.rlib: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+/root/repo/target/release/deps/libsapred_relation-ddac4ef5ac772f26.rmeta: crates/relation/src/lib.rs crates/relation/src/dist.rs crates/relation/src/exec.rs crates/relation/src/expr.rs crates/relation/src/gen.rs crates/relation/src/histogram.rs crates/relation/src/persist.rs crates/relation/src/schema.rs crates/relation/src/stats.rs crates/relation/src/table.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/dist.rs:
+crates/relation/src/exec.rs:
+crates/relation/src/expr.rs:
+crates/relation/src/gen.rs:
+crates/relation/src/histogram.rs:
+crates/relation/src/persist.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/stats.rs:
+crates/relation/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sapred_selectivity-99d76336ac760d9f.d: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+/root/repo/target/release/deps/libsapred_selectivity-99d76336ac760d9f.rlib: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+/root/repo/target/release/deps/libsapred_selectivity-99d76336ac760d9f.rmeta: crates/selectivity/src/lib.rs crates/selectivity/src/estimate.rs crates/selectivity/src/formulas.rs crates/selectivity/src/pred.rs crates/selectivity/src/profile.rs
+
+crates/selectivity/src/lib.rs:
+crates/selectivity/src/estimate.rs:
+crates/selectivity/src/formulas.rs:
+crates/selectivity/src/pred.rs:
+crates/selectivity/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sapred_workload-172e307cfa5874f6.d: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+/root/repo/target/release/deps/libsapred_workload-172e307cfa5874f6.rlib: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+/root/repo/target/release/deps/libsapred_workload-172e307cfa5874f6.rmeta: crates/workload/src/lib.rs crates/workload/src/mixes.rs crates/workload/src/pool.rs crates/workload/src/population.rs crates/workload/src/templates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/mixes.rs:
+crates/workload/src/pool.rs:
+crates/workload/src/population.rs:
+crates/workload/src/templates.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c8554ec81d0a9e88.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c8554ec81d0a9e88.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c8554ec81d0a9e88.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

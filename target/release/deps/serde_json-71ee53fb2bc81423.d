@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-71ee53fb2bc81423.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-71ee53fb2bc81423.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-71ee53fb2bc81423.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:
