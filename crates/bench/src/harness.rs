@@ -1,0 +1,461 @@
+//! The `sapred bench` harness: a fixed suite of deterministic benchmark
+//! *cells*, each timing one hot path of the system under the span profiler
+//! and hot-path counters of [`sapred_obs::profile`].
+//!
+//! A cell is a [`CellSpec`]: what to run ([`CellKind`]), how many timed
+//! iterations, and the seed that makes the run deterministic. Running a
+//! cell yields a [`CellResult`] carrying three kinds of data:
+//!
+//! * **config** — the canonical JSON of the cell's parameters, so a
+//!   baseline comparison can refuse to compare apples to oranges,
+//! * **counters** — the profiler's hot-path counters, which must be
+//!   bit-identical across iterations (the `deterministic` flag records
+//!   this) and across machines at the same seed; a mismatch against a
+//!   baseline is *determinism drift*, a much stronger signal than a
+//!   timing regression,
+//! * **metrics** — wall-clock percentiles and cell-specific rates
+//!   (events/sec, admission-decision latency percentiles, per-stage
+//!   pipeline seconds), which are compared against a threshold.
+//!
+//! Suites ([`dispatch_suite`], [`pipeline_suite`]) come in full and
+//! `--quick` shapes; quick cells keep the full cells' names but smaller
+//! configs, so a quick-vs-full comparison reports each cell as *skipped*
+//! (config mismatch) rather than producing nonsense deltas.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sapred_cluster::sched::Swrd;
+use sapred_cluster::sim::{AdmissionConfig, DispatchMode, FrozenOracle, Simulator};
+use sapred_cluster::{FaultPlan, NodeCrash};
+use sapred_core::telemetry::record_sim_outcomes_profiled;
+use sapred_core::Pipeline;
+use sapred_obs::json::Obj;
+use sapred_obs::profile::Counter;
+use sapred_obs::{MetricsSink, NullSink, SpanProfiler};
+use sapred_workload::population::PopulationConfig;
+
+use crate::dispatch_workload;
+
+/// What one benchmark cell runs. All variants are deterministic at a fixed
+/// seed: the dispatch workload is RNG-free, fault injection draws from the
+/// plan's own seeded stream, and the pipeline seeds its data generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellKind {
+    /// Drive the dispatch-heavy simulator on the synthetic chained-DAG
+    /// workload (SWRD scheduler). `traced` attaches a
+    /// [`MetricsSink`] so the run also pays full event-emission cost.
+    Dispatch {
+        /// Incremental vs. from-scratch reference dispatch.
+        mode: DispatchMode,
+        /// Queries × jobs × maps × reduces of the synthetic workload.
+        n_queries: usize,
+        /// Jobs per query (chained DAG).
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
+        /// Attach a metrics sink (tracing-on event emission cost).
+        traced: bool,
+    },
+    /// Same workload under a PR 3-style fault plan: random task failures,
+    /// two transient node crashes, speculative execution. The headline
+    /// metric is events/sec through the recovery-heavy event loop.
+    FaultStress {
+        /// Queries × jobs × maps × reduces of the synthetic workload.
+        n_queries: usize,
+        /// Jobs per query.
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
+    },
+    /// Overload the admission layer (tight queue cap + deadline) and
+    /// report admission-decision latency percentiles from the profiler's
+    /// `admission_decision` span samples.
+    AdmissionOverload {
+        /// Queries × jobs × maps × reduces of the synthetic workload.
+        n_queries: usize,
+        /// Jobs per query.
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
+        /// Bounded pending-queue capacity.
+        queue_cap: usize,
+        /// Per-query completion deadline (seconds of sim time).
+        deadline: f64,
+    },
+    /// The full staged lifecycle — percolate → train → predict → simulate
+    /// — on one TPC-H query, reporting per-stage seconds from the
+    /// pipeline's stage spans. `traced` routes the simulation through a
+    /// [`MetricsSink`] and adds the telemetry drift pass.
+    PipelineEndToEnd {
+        /// TPC-H scale (nominal GB) for the benched query.
+        scale_gb: f64,
+        /// Training-population size.
+        train_queries: usize,
+        /// Trace the simulation and run the drift pass.
+        traced: bool,
+    },
+}
+
+/// One benchmark cell: a name (stable across suite shapes — baselines
+/// match by it), the workload, iteration count, and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Stable cell name; baseline comparisons join on it.
+    pub name: &'static str,
+    /// What to run.
+    pub kind: CellKind,
+    /// Timed iterations (all must produce identical counters).
+    pub iters: usize,
+    /// Seed for every stochastic input of the cell.
+    pub seed: u64,
+}
+
+/// The outcome of running one [`CellSpec`].
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell name (copied from the spec).
+    pub name: String,
+    /// Seed the cell ran at.
+    pub seed: u64,
+    /// Iterations run.
+    pub iters: usize,
+    /// Whether every iteration produced identical counters.
+    pub deterministic: bool,
+    /// Canonical JSON object of the cell's configuration.
+    pub config: String,
+    /// Hot-path counters from the first iteration (label → value).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-iteration wall-clock seconds.
+    pub wall_s: Vec<f64>,
+    /// Derived metrics (name → value). Names ending in `_per_s` are
+    /// higher-is-better; all others are lower-is-better seconds.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+fn mode_label(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Incremental => "incremental",
+        DispatchMode::Reference => "reference",
+        DispatchMode::Crosscheck => "crosscheck",
+    }
+}
+
+/// Canonical config JSON for a cell (the comparison join key, after name).
+pub fn config_json(kind: &CellKind) -> String {
+    match *kind {
+        CellKind::Dispatch { mode, n_queries, jobs, maps, reduces, traced } => Obj::new()
+            .str("kind", "dispatch")
+            .str("mode", mode_label(mode))
+            .int("n_queries", n_queries as u64)
+            .int("jobs", jobs as u64)
+            .int("maps", maps as u64)
+            .int("reduces", reduces as u64)
+            .bool("traced", traced)
+            .finish(),
+        CellKind::FaultStress { n_queries, jobs, maps, reduces } => Obj::new()
+            .str("kind", "fault_stress")
+            .int("n_queries", n_queries as u64)
+            .int("jobs", jobs as u64)
+            .int("maps", maps as u64)
+            .int("reduces", reduces as u64)
+            .finish(),
+        CellKind::AdmissionOverload { n_queries, jobs, maps, reduces, queue_cap, deadline } => {
+            Obj::new()
+                .str("kind", "admission_overload")
+                .int("n_queries", n_queries as u64)
+                .int("jobs", jobs as u64)
+                .int("maps", maps as u64)
+                .int("reduces", reduces as u64)
+                .int("queue_cap", queue_cap as u64)
+                .num("deadline", deadline)
+                .finish()
+        }
+        CellKind::PipelineEndToEnd { scale_gb, train_queries, traced } => Obj::new()
+            .str("kind", "pipeline_end_to_end")
+            .num("scale_gb", scale_gb)
+            .int("train_queries", train_queries as u64)
+            .bool("traced", traced)
+            .finish(),
+    }
+}
+
+/// The PR 3-style stress plan used by the `fault_stress` cell.
+fn stress_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        task_fail_prob: 0.05,
+        max_attempts: 6,
+        node_crashes: vec![
+            NodeCrash::transient(1, 40.0, 30.0),
+            NodeCrash::transient(4, 90.0, 25.0),
+        ],
+        speculative: true,
+        spec_fraction: 0.6,
+        seed,
+        ..FaultPlan::default()
+    }
+}
+
+/// One timed iteration of a cell; records into `prof`.
+fn run_once(spec: &CellSpec, prof: &Rc<SpanProfiler>) {
+    let fw = sapred_core::Framework::new();
+    match spec.kind {
+        CellKind::Dispatch { mode, n_queries, jobs, maps, reduces, traced } => {
+            let queries = dispatch_workload(n_queries, jobs, maps, reduces);
+            let mut cluster = fw.cluster;
+            cluster.seed = spec.seed;
+            let mut sim = Simulator::new(cluster, fw.cost, Swrd).with_dispatch(mode);
+            if traced {
+                let mut sink = MetricsSink::new(cluster.total_containers());
+                sim.run_profiled(&queries, &mut sink, &mut FrozenOracle, &**prof);
+            } else {
+                sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
+            }
+        }
+        CellKind::FaultStress { n_queries, jobs, maps, reduces } => {
+            let queries = dispatch_workload(n_queries, jobs, maps, reduces);
+            let mut cluster = fw.cluster;
+            cluster.seed = spec.seed;
+            let mut sim =
+                Simulator::new(cluster, fw.cost, Swrd).with_faults(stress_plan(spec.seed));
+            sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
+        }
+        CellKind::AdmissionOverload { n_queries, jobs, maps, reduces, queue_cap, deadline } => {
+            let queries = dispatch_workload(n_queries, jobs, maps, reduces);
+            let mut cluster = fw.cluster;
+            cluster.seed = spec.seed;
+            let admission = AdmissionConfig { queue_cap, deadline, ..AdmissionConfig::default() };
+            let mut sim = Simulator::new(cluster, fw.cost, Swrd).with_admission(admission);
+            sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
+        }
+        CellKind::PipelineEndToEnd { scale_gb, train_queries, traced } => {
+            let mut pipe = Pipeline::with_seed(spec.seed).with_profiler(Rc::clone(prof));
+            let sql = "SELECT l_partkey, sum(l_extendedprice*l_discount) \
+                       FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey \
+                       WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+                       GROUP BY l_partkey";
+            let semantics = pipe.percolate_sql("bench", sql, scale_gb).expect("valid bench query");
+            let population = PopulationConfig {
+                n_queries: train_queries,
+                scales_gb: vec![0.5, 1.0],
+                scale_out_gb: vec![],
+                seed: spec.seed,
+            };
+            pipe.train(&population).expect("bench training fits");
+            let q = pipe.sim_query("bench", 0.0, &semantics, scale_gb);
+            let queries = std::slice::from_ref(&q);
+            if traced {
+                let mut sink = MetricsSink::new(pipe.framework().cluster.total_containers());
+                let report =
+                    pipe.simulate_profiled(Swrd, queries, &mut sink, &mut FrozenOracle, &**prof);
+                record_sim_outcomes_profiled(
+                    queries,
+                    &report,
+                    &pipe.framework().cluster,
+                    &mut sink,
+                    &**prof,
+                );
+            } else {
+                pipe.simulate_profiled(Swrd, queries, &mut NullSink, &mut FrozenOracle, &**prof);
+            }
+        }
+    }
+}
+
+/// Nearest-rank quantile of a small sample (q in `[0, 1]`).
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Run one cell: `iters` profiled iterations, counters checked for
+/// cross-iteration identity, wall-clock percentiles and cell-specific
+/// metrics derived from the last iteration's profiler.
+pub fn run_cell(spec: &CellSpec) -> CellResult {
+    assert!(spec.iters > 0, "cell {} has zero iterations", spec.name);
+    let mut walls = Vec::with_capacity(spec.iters);
+    let mut first_counters: Option<BTreeMap<String, u64>> = None;
+    let mut deterministic = true;
+    let mut last_prof = None;
+    for _ in 0..spec.iters {
+        let prof = Rc::new(SpanProfiler::new());
+        let start = Instant::now();
+        run_once(spec, &prof);
+        walls.push(start.elapsed().as_secs_f64());
+        let snapshot: BTreeMap<String, u64> =
+            Counter::ALL.iter().map(|&c| (c.label().to_string(), prof.counter(c))).collect();
+        match &first_counters {
+            None => first_counters = Some(snapshot),
+            Some(first) => deterministic &= *first == snapshot,
+        }
+        last_prof = Some(prof);
+    }
+    let prof = last_prof.expect("iters > 0");
+    let counters = first_counters.expect("iters > 0");
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("wall_p50_s".into(), quantile(&walls, 0.50));
+    metrics.insert("wall_p95_s".into(), quantile(&walls, 0.95));
+    metrics.insert("wall_p99_s".into(), quantile(&walls, 0.99));
+    metrics.insert("wall_min_s".into(), walls.iter().cloned().fold(f64::INFINITY, f64::min));
+    // Throughput over the best iteration (least-noise estimate).
+    let best = walls.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+    let events = counters.get(Counter::EventsProcessed.label()).copied().unwrap_or(0);
+    metrics.insert("events_per_s".into(), events as f64 / best);
+    match spec.kind {
+        CellKind::Dispatch { .. } | CellKind::FaultStress { .. } => {
+            let decisions = counters.get(Counter::DispatchDecisions.label()).copied().unwrap_or(0);
+            metrics.insert("dispatch_decisions_per_s".into(), decisions as f64 / best);
+        }
+        CellKind::AdmissionOverload { .. } => {
+            if let Some(stat) = prof.span_stat("admission_decision") {
+                for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    metrics
+                        .insert(format!("admission_{label}_s"), stat.quantile_ns(q) as f64 / 1e9);
+                }
+            }
+        }
+        CellKind::PipelineEndToEnd { .. } => {
+            for stage in ["percolate", "train", "predict", "simulate", "drift_pass"] {
+                if let Some(stat) = prof.span_stat(stage) {
+                    metrics.insert(format!("stage_{stage}_s"), stat.total_ns as f64 / 1e9);
+                }
+            }
+        }
+    }
+
+    CellResult {
+        name: spec.name.to_string(),
+        seed: spec.seed,
+        iters: spec.iters,
+        deterministic: deterministic && prof.balanced(),
+        config: config_json(&spec.kind),
+        counters,
+        wall_s: walls,
+        metrics,
+    }
+}
+
+/// The dispatch suite: incremental vs. reference dispatch throughput,
+/// tracing-on emission cost, fault-recovery throughput, and admission
+/// latency. Full shape uses the 200-query/10⁵-task workload; `quick`
+/// keeps the cell names but shrinks every dimension.
+pub fn dispatch_suite(quick: bool) -> Vec<CellSpec> {
+    let (q, j, m, r, iters) = if quick { (30, 3, 10, 4, 2) } else { (200, 5, 80, 20, 3) };
+    let dispatch = |mode, traced| CellKind::Dispatch {
+        mode,
+        n_queries: q,
+        jobs: j,
+        maps: m,
+        reduces: r,
+        traced,
+    };
+    vec![
+        CellSpec {
+            name: "dispatch_incremental",
+            kind: dispatch(DispatchMode::Incremental, false),
+            iters,
+            seed: 7,
+        },
+        CellSpec {
+            name: "dispatch_reference",
+            kind: dispatch(DispatchMode::Reference, false),
+            iters: 2,
+            seed: 7,
+        },
+        CellSpec {
+            name: "dispatch_traced",
+            kind: dispatch(DispatchMode::Incremental, true),
+            iters: 2,
+            seed: 7,
+        },
+        CellSpec {
+            name: "fault_stress",
+            kind: if quick {
+                CellKind::FaultStress { n_queries: 20, jobs: 3, maps: 10, reduces: 4 }
+            } else {
+                CellKind::FaultStress { n_queries: 120, jobs: 4, maps: 40, reduces: 10 }
+            },
+            iters: 2,
+            seed: 11,
+        },
+        CellSpec {
+            name: "admission_overload",
+            kind: if quick {
+                CellKind::AdmissionOverload {
+                    n_queries: 30,
+                    jobs: 3,
+                    maps: 10,
+                    reduces: 4,
+                    queue_cap: 4,
+                    deadline: 200.0,
+                }
+            } else {
+                CellKind::AdmissionOverload {
+                    n_queries: 150,
+                    jobs: 3,
+                    maps: 30,
+                    reduces: 8,
+                    queue_cap: 12,
+                    deadline: 400.0,
+                }
+            },
+            iters: 2,
+            seed: 13,
+        },
+    ]
+}
+
+/// The pipeline suite: end-to-end staged lifecycle wall time, plain and
+/// traced (with the telemetry drift pass).
+pub fn pipeline_suite(quick: bool) -> Vec<CellSpec> {
+    let kind = |traced| {
+        if quick {
+            CellKind::PipelineEndToEnd { scale_gb: 0.5, train_queries: 24, traced }
+        } else {
+            CellKind::PipelineEndToEnd { scale_gb: 2.0, train_queries: 60, traced }
+        }
+    };
+    vec![
+        CellSpec { name: "pipeline_end_to_end", kind: kind(false), iters: 2, seed: 7 },
+        CellSpec { name: "pipeline_traced", kind: kind(true), iters: 2, seed: 7 },
+    ]
+}
+
+/// Run a suite's cells across `threads` workers (each cell runs whole on
+/// one worker; cells are claimed from a shared index). Results come back
+/// in suite order regardless of completion order.
+pub fn run_suite(specs: &[CellSpec], threads: usize) -> Vec<CellResult> {
+    let workers = threads.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(specs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let cell = run_cell(&specs[i]);
+                results.lock().expect("bench worker poisoned the result lock").push((i, cell));
+            });
+        }
+    });
+    let mut indexed = results.into_inner().expect("bench worker poisoned the result lock");
+    indexed.sort_by_key(|entry: &(usize, CellResult)| entry.0);
+    indexed.into_iter().map(|(_, cell)| cell).collect()
+}

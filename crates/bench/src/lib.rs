@@ -3,6 +3,9 @@
 //! printing the reproduced rows during setup, then times a representative
 //! kernel under Criterion.
 
+pub mod harness;
+pub mod report;
+
 use sapred_cluster::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred_core::framework::{Framework, Predictor};
 use sapred_core::training::{fit_models, run_population, split_train_test, QueryRun};

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `sapred bench` harness: deterministic cells,
+//! schema-valid reports, and the compare classifier (clean / skipped /
+//! drift / regression).
+
+use sapred_bench::harness::{dispatch_suite, run_cell, run_suite, CellKind, CellSpec};
+use sapred_bench::report::{compare, suite_json, validate_schema, SCHEMA};
+use sapred_cluster::sim::DispatchMode;
+
+/// A tiny dispatch cell that runs in milliseconds even in debug builds.
+fn tiny_cell() -> CellSpec {
+    CellSpec {
+        name: "dispatch_incremental",
+        kind: CellKind::Dispatch {
+            mode: DispatchMode::Incremental,
+            n_queries: 6,
+            jobs: 2,
+            maps: 4,
+            reduces: 2,
+            traced: false,
+        },
+        iters: 2,
+        seed: 7,
+    }
+}
+
+#[test]
+fn quick_dispatch_suite_is_deterministic_and_schema_valid() {
+    let specs = dispatch_suite(true);
+    let first = run_suite(&specs, 2);
+    let second = run_suite(&specs, 1);
+    assert_eq!(first.len(), specs.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert!(a.deterministic, "cell {} not deterministic across iters", a.name);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.config, b.config, "cell {} config not reproducible", a.name);
+        assert_eq!(a.counters, b.counters, "cell {} counters not reproducible", a.name);
+        assert_eq!(a.seed, b.seed);
+        assert!(!a.metrics.is_empty());
+    }
+    // The admission cell exposes decision-latency percentiles.
+    let admission = first.iter().find(|c| c.name == "admission_overload").unwrap();
+    assert!(admission.metrics.contains_key("admission_p50_s"));
+    assert!(admission.metrics.contains_key("admission_p99_s"));
+
+    let doc_text = suite_json("dispatch", true, &first);
+    let doc = validate_schema(&doc_text).expect("fresh report validates");
+    assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), SCHEMA);
+
+    // Self-comparison is clean: no skips, no drift, no regressions.
+    let again = validate_schema(&suite_json("dispatch", true, &second)).unwrap();
+    let cmp = compare(&doc, &again, 1e9);
+    assert_eq!(cmp.skipped, 0, "{:?}", cmp.lines);
+    assert_eq!(cmp.drifts, 0, "{:?}", cmp.lines);
+    assert_eq!(cmp.regressions, 0, "{:?}", cmp.lines);
+}
+
+#[test]
+fn compare_classifies_regression_drift_and_config_mismatch() {
+    let base = run_cell(&tiny_cell());
+    let baseline =
+        validate_schema(&suite_json("dispatch", true, std::slice::from_ref(&base))).unwrap();
+
+    // Timing regression: wall percentile doubled, throughput halved.
+    let mut slow = base.clone();
+    for (metric, value) in slow.metrics.iter_mut() {
+        if metric.ends_with("_per_s") {
+            *value /= 4.0;
+        } else {
+            *value *= 4.0;
+        }
+    }
+    let slow_doc = validate_schema(&suite_json("dispatch", true, &[slow])).unwrap();
+    let cmp = compare(&baseline, &slow_doc, 0.25);
+    assert!(cmp.regressions > 0, "{:?}", cmp.lines);
+    assert_eq!(cmp.drifts, 0);
+    assert!(cmp.gate_failed());
+    // The same movement in the good direction is an improvement, not a
+    // regression (direction depends on the metric's name).
+    let cmp_back = compare(&slow_doc, &baseline, 0.25);
+    assert_eq!(cmp_back.regressions, 0, "{:?}", cmp_back.lines);
+    assert!(cmp_back.improvements > 0);
+
+    // Counter mismatch is determinism drift regardless of threshold.
+    let mut drifted = base.clone();
+    *drifted.counters.get_mut("events_processed").unwrap() += 1;
+    let drift_doc = validate_schema(&suite_json("dispatch", true, &[drifted])).unwrap();
+    let cmp = compare(&baseline, &drift_doc, 1e9);
+    assert_eq!(cmp.drifts, 1, "{:?}", cmp.lines);
+    assert!(cmp.gate_failed());
+
+    // Config mismatch (e.g. quick vs. full shapes) is skipped, not judged.
+    let mut respec = tiny_cell();
+    respec.kind = CellKind::Dispatch {
+        mode: DispatchMode::Incremental,
+        n_queries: 4,
+        jobs: 2,
+        maps: 4,
+        reduces: 2,
+        traced: false,
+    };
+    let other = run_cell(&respec);
+    let other_doc = validate_schema(&suite_json("dispatch", true, &[other])).unwrap();
+    let cmp = compare(&baseline, &other_doc, 1e9);
+    assert_eq!(cmp.skipped, 1, "{:?}", cmp.lines);
+    assert!(!cmp.gate_failed());
+}
+
+#[test]
+fn malformed_reports_are_rejected() {
+    assert!(validate_schema("not json").is_err());
+    assert!(validate_schema("{}").is_err());
+    // Wrong schema tag.
+    let err = validate_schema(
+        r#"{"schema":"sapred-bench/v0","suite":"x","quick":false,"env":{},"cells":[]}"#,
+    )
+    .unwrap_err();
+    assert!(err.contains("unsupported schema"), "{err}");
+    // Cell with a non-integer counter.
+    let err = validate_schema(concat!(
+        r#"{"schema":"sapred-bench/v1","suite":"x","quick":false,"#,
+        r#""env":{"rustc":"r","commit":"c","cores":1,"os":"linux","arch":"x","profile":"release"},"#,
+        r#""cells":[{"name":"a","seed":1,"iters":1,"deterministic":true,"config":{},"#,
+        r#""counters":{"events_processed":1.5},"wall_s":[0.1],"metrics":{}}]}"#
+    ))
+    .unwrap_err();
+    assert!(err.contains("non-negative int"), "{err}");
+}

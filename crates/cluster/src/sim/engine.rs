@@ -8,12 +8,14 @@ use crate::job::{JobPrediction, SimQuery, TaskKind, TaskSpec};
 use crate::sched::{Fifo, RunnableJob, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sapred_obs::profile::{Counter, NullProfiler, Profiler};
 use sapred_obs::{Candidate, DownReason, Event as ObsEvent, EventSink, NullSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use super::admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 use super::dispatch::{collect_runnable, query_demand, DispatchMode, DispatchState};
+use super::emit;
 use super::oracle::{DemandOracle, FrozenOracle};
 use super::recovery::{fail_query, Attempt, FaultState};
 use super::report::{assemble_report, SimReport};
@@ -34,25 +36,52 @@ fn surface_guard_activity<K: EventSink>(
     degraded: &mut bool,
     fallback: &'static str,
 ) {
+    // The drain is side-effecting (it clears the oracle's quarantine log),
+    // so it must run even when the sink is disabled and only the emission
+    // is skipped.
     for r in oracle.take_quarantines() {
-        sink.emit(&ObsEvent::PredictionQuarantined {
-            t: now,
-            query: r.query,
-            job: r.job,
-            category: r.category,
-            quantity: r.quantity,
-            predicted: r.predicted,
-            substituted: r.substituted,
-        });
+        emit!(
+            sink,
+            ObsEvent::PredictionQuarantined {
+                t: now,
+                query: r.query,
+                job: r.job,
+                category: r.category,
+                quantity: r.quantity,
+                predicted: r.predicted,
+                substituted: r.substituted,
+            }
+        );
     }
     let d = oracle.degraded();
     if d != *degraded {
         *degraded = d;
         if d {
-            sink.emit(&ObsEvent::DegradedModeEnter { t: now, trust: oracle.trust(), fallback });
+            emit!(sink, ObsEvent::DegradedModeEnter { t: now, trust: oracle.trust(), fallback });
         } else {
-            sink.emit(&ObsEvent::DegradedModeExit { t: now, trust: oracle.trust() });
+            emit!(sink, ObsEvent::DegradedModeExit { t: now, trust: oracle.trust() });
         }
+    }
+}
+
+/// Wraps the caller's sink to count events actually delivered
+/// ([`Counter::SinkEventsEmitted`]). With a disabled sink no emit sites
+/// fire, so the counter correctly reads zero.
+struct CountingSink<'a, K, P> {
+    inner: &'a mut K,
+    prof: &'a P,
+}
+
+impl<K: EventSink, P: Profiler> EventSink for CountingSink<'_, K, P> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: &ObsEvent) {
+        self.prof.inc(Counter::SinkEventsEmitted);
+        self.inner.emit(event);
     }
 }
 
@@ -150,6 +179,30 @@ impl<S: Scheduler> Simulator<S> {
         sink: &mut K,
         oracle: &mut dyn DemandOracle,
     ) -> SimReport {
+        self.run_profiled(queries, sink, oracle, &NullProfiler)
+    }
+
+    /// Run all queries to completion with an oracle *and* a [`Profiler`]
+    /// collecting event-loop counters (events processed, dispatch decisions,
+    /// scheduler-view updates, sink-emitted events, tasks launched, peak
+    /// heap depth) plus an `"admission_decision"` span per arrival.
+    ///
+    /// With the default [`NullProfiler`] every instrumentation site is an
+    /// inlined empty body, so [`Simulator::run_with_oracle`] — and
+    /// everything above it — is bit-identical to the un-instrumented
+    /// engine (the golden fixtures pin this).
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run_profiled<K: EventSink, P: Profiler>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+    ) -> SimReport {
+        let mut counting = CountingSink { inner: sink, prof };
+        let sink = &mut counting;
         for q in queries {
             if let Err(e) = q.validate() {
                 panic!("invalid query {}: {e}", q.name);
@@ -225,21 +278,31 @@ impl<S: Scheduler> Simulator<S> {
         if incremental {
             for qi in 0..queries.len() {
                 state.refresh_query(queries, &jobs, &preds, qi);
+                prof.inc(Counter::SchedulerViewUpdates);
             }
         }
 
         while let Some(Reverse((Time(t), _, event))) = heap.pop() {
             debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
             now = t;
+            prof.inc(Counter::EventsProcessed);
+            prof.record_max(Counter::QueuePeakDepth, heap.len() as u64 + 1);
             match event {
                 Event::Arrival { q } | Event::Resubmit { q } => {
+                    // Admission-decision latency: everything from arrival to
+                    // the admit/shed/backoff verdict, including the WRD
+                    // scans the shed policies do.
+                    let _admission_span = prof.span("admission_decision");
                     let first = matches!(event, Event::Arrival { .. });
                     if first {
-                        sink.emit(&ObsEvent::QueryArrive {
-                            t: now,
-                            query: QueryId(q),
-                            name: queries[q].name.clone(),
-                        });
+                        emit!(
+                            sink,
+                            ObsEvent::QueryArrive {
+                                t: now,
+                                query: QueryId(q),
+                                name: queries[q].name.clone(),
+                            }
+                        );
                         if self.admission.deadline.is_finite() {
                             // The deadline anchors at the *original*
                             // arrival: backoff waits eat into the budget.
@@ -311,6 +374,7 @@ impl<S: Scheduler> Simulator<S> {
                             active -= 1;
                             if incremental {
                                 state.resync_query(queries, &jobs, &preds, v);
+                                prof.inc(Counter::SchedulerViewUpdates);
                             }
                         }
                         qstate[q].admitted = true;
@@ -340,29 +404,35 @@ impl<S: Scheduler> Simulator<S> {
                             qstate[v].resubmits += 1;
                             let delay = self.admission.resubmit_backoff(qstate[v].resubmits);
                             admission_stats.resubmissions += 1;
-                            sink.emit(&ObsEvent::QueryShed {
-                                t: now,
-                                query: QueryId(v),
-                                policy: self.admission.shed_policy.label(),
-                                wrd,
-                                will_resubmit: true,
-                                resubmit_at: now + delay,
-                            });
+                            emit!(
+                                sink,
+                                ObsEvent::QueryShed {
+                                    t: now,
+                                    query: QueryId(v),
+                                    policy: self.admission.shed_policy.label(),
+                                    wrd,
+                                    will_resubmit: true,
+                                    resubmit_at: now + delay,
+                                }
+                            );
                             push(&mut heap, now + delay, Event::Resubmit { q: v }, &mut seq);
                         } else {
-                            sink.emit(&ObsEvent::QueryShed {
-                                t: now,
-                                query: QueryId(v),
-                                policy: self.admission.shed_policy.label(),
-                                wrd,
-                                will_resubmit: false,
-                                resubmit_at: now,
-                            });
+                            emit!(
+                                sink,
+                                ObsEvent::QueryShed {
+                                    t: now,
+                                    query: QueryId(v),
+                                    policy: self.admission.shed_policy.label(),
+                                    wrd,
+                                    will_resubmit: false,
+                                    resubmit_at: now,
+                                }
+                            );
                             qstate[v].failed = true;
                             qstate[v].finished = Some(now);
                             admission_stats.queries_rejected.push(QueryId(v));
                             done_queries += 1;
-                            sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(v) });
+                            emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(v) });
                         }
                     }
                 }
@@ -371,11 +441,14 @@ impl<S: Scheduler> Simulator<S> {
                         // Met its deadline (or already terminated).
                         continue;
                     }
-                    sink.emit(&ObsEvent::DeadlineMissed {
-                        t: now,
-                        query: QueryId(q),
-                        deadline: self.admission.deadline,
-                    });
+                    emit!(
+                        sink,
+                        ObsEvent::DeadlineMissed {
+                            t: now,
+                            query: QueryId(q),
+                            deadline: self.admission.deadline,
+                        }
+                    );
                     if qstate[q].admitted {
                         qstate[q].admitted = false;
                         active -= 1;
@@ -393,12 +466,13 @@ impl<S: Scheduler> Simulator<S> {
                         );
                         if incremental {
                             state.remove_query(q);
+                            prof.inc(Counter::SchedulerViewUpdates);
                         }
                     } else {
                         // Waiting out a shed backoff: nothing is running.
                         qstate[q].failed = true;
                         qstate[q].finished = Some(now);
-                        sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                        emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
                     }
                     done_queries += 1;
                     admission_stats.deadline_misses.push(QueryId(q));
@@ -425,14 +499,18 @@ impl<S: Scheduler> Simulator<S> {
                     // Submit-time consultation: a live oracle may have
                     // sharpened its estimate since the run started.
                     preds[q][j] = oracle.predict(QueryId(q), job);
-                    sink.emit(&ObsEvent::JobSubmit {
-                        t: now,
-                        query: QueryId(q),
-                        job: JobId(j),
-                        category: job.category,
-                    });
+                    emit!(
+                        sink,
+                        ObsEvent::JobSubmit {
+                            t: now,
+                            query: QueryId(q),
+                            job: JobId(j),
+                            category: job.category,
+                        }
+                    );
                     if incremental {
                         state.insert_job(queries, &jobs, q, j);
+                        prof.inc(Counter::SchedulerViewUpdates);
                     }
                 }
                 Event::TaskDone { attempt } => {
@@ -467,15 +545,18 @@ impl<S: Scheduler> Simulator<S> {
                     }
                     debug_assert!(counted, "a finishing task must hold the running count");
                     let duration = f64::from_bits(a.duration_bits);
-                    sink.emit(&ObsEvent::TaskFinish {
-                        t: now,
-                        query: QueryId(a.q),
-                        job: JobId(a.j),
-                        phase: phase_of(a.kind),
-                        node: NodeId(self.config.node_of(a.slot)),
-                        slot: self.config.slot_of(a.slot),
-                        duration,
-                    });
+                    emit!(
+                        sink,
+                        ObsEvent::TaskFinish {
+                            t: now,
+                            query: QueryId(a.q),
+                            job: JobId(a.j),
+                            phase: phase_of(a.kind),
+                            node: NodeId(self.config.node_of(a.slot)),
+                            slot: self.config.slot_of(a.slot),
+                            duration,
+                        }
+                    );
                     let (q, j) = (a.q, a.j);
                     let job = &queries[q].jobs[j];
                     let js = &mut jobs[q][j];
@@ -531,12 +612,15 @@ impl<S: Scheduler> Simulator<S> {
                                 0.0
                             },
                         };
-                        sink.emit(&ObsEvent::JobFinish {
-                            t: now,
-                            query: QueryId(q),
-                            job: JobId(j),
-                            category: job.category,
-                        });
+                        emit!(
+                            sink,
+                            ObsEvent::JobFinish {
+                                t: now,
+                                query: QueryId(q),
+                                job: JobId(j),
+                                category: job.category,
+                            }
+                        );
                         // Submit dependents whose parents are all finished.
                         for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&JobId(j))) {
                             let ready = dep.deps.iter().all(|&p| jobs[q][p.0].finished.is_some());
@@ -556,7 +640,7 @@ impl<S: Scheduler> Simulator<S> {
                                 active -= 1;
                             }
                             done_queries += 1;
-                            sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                            emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
                         }
                         if oracle.observe_job_done(QueryId(q), job, actual, now) {
                             for (qi2, q2) in queries.iter().enumerate() {
@@ -578,12 +662,14 @@ impl<S: Scheduler> Simulator<S> {
                                 // below; others resync here.
                                 if changed && incremental && qi2 != q {
                                     state.resync_query(queries, &jobs, &preds, qi2);
+                                    prof.inc(Counter::SchedulerViewUpdates);
                                 }
                             }
                         }
                     }
                     if incremental {
                         state.on_task_done(queries, &jobs, &preds, q, j);
+                        prof.inc(Counter::SchedulerViewUpdates);
                     }
                 }
                 Event::TaskFailed { attempt } => {
@@ -626,18 +712,21 @@ impl<S: Scheduler> Simulator<S> {
                             FaultState::start_recovery_clock(&mut jobs, &a, now);
                         }
                     }
-                    sink.emit(&ObsEvent::TaskFailed {
-                        t: now,
-                        query: QueryId(a.q),
-                        job: JobId(a.j),
-                        phase: phase_of(a.kind),
-                        node: NodeId(node),
-                        slot: self.config.slot_of(a.slot),
-                        attempt: a.attempt_no,
-                        ran_for: now - a.start,
-                        will_retry,
-                        retry_at,
-                    });
+                    emit!(
+                        sink,
+                        ObsEvent::TaskFailed {
+                            t: now,
+                            query: QueryId(a.q),
+                            job: JobId(a.j),
+                            phase: phase_of(a.kind),
+                            node: NodeId(node),
+                            slot: self.config.slot_of(a.slot),
+                            attempt: a.attempt_no,
+                            ran_for: now - a.start,
+                            will_retry,
+                            retry_at,
+                        }
+                    );
                     if will_retry {
                         push(
                             &mut heap,
@@ -669,6 +758,7 @@ impl<S: Scheduler> Simulator<S> {
                         done_queries += 1;
                         if incremental {
                             state.remove_query(a.q);
+                            prof.inc(Counter::SchedulerViewUpdates);
                         }
                     }
                     // Blacklist a node that keeps failing tasks — but never
@@ -682,12 +772,15 @@ impl<S: Scheduler> Simulator<S> {
                         if fr.usable_nodes() > 1 {
                             fr.blacklisted[node] = true;
                             fr.stats.nodes_blacklisted += 1;
-                            sink.emit(&ObsEvent::NodeDown {
-                                t: now,
-                                node: NodeId(node),
-                                reason: DownReason::Blacklist,
-                                lost_maps: 0,
-                            });
+                            emit!(
+                                sink,
+                                ObsEvent::NodeDown {
+                                    t: now,
+                                    node: NodeId(node),
+                                    reason: DownReason::Blacklist,
+                                    lost_maps: 0,
+                                }
+                            );
                             affected.extend(fr.kill_node_attempts(
                                 node,
                                 true,
@@ -708,6 +801,7 @@ impl<S: Scheduler> Simulator<S> {
                         for &qi in &affected {
                             if !qstate[qi].failed {
                                 state.resync_query(queries, &jobs, &preds, qi);
+                                prof.inc(Counter::SchedulerViewUpdates);
                             }
                         }
                     }
@@ -730,6 +824,7 @@ impl<S: Scheduler> Simulator<S> {
                     }
                     if incremental {
                         state.resync_query(queries, &jobs, &preds, q);
+                        prof.inc(Counter::SchedulerViewUpdates);
                     }
                 }
                 Event::NodeDown { crash } => {
@@ -783,20 +878,26 @@ impl<S: Scheduler> Simulator<S> {
                         }
                     }
                     let lost_total: usize = lost_per_job.iter().map(|&(_, _, n)| n).sum();
-                    sink.emit(&ObsEvent::NodeDown {
-                        t: now,
-                        node,
-                        reason: DownReason::Crash,
-                        lost_maps: lost_total,
-                    });
-                    for (qi, j, n) in lost_per_job {
-                        sink.emit(&ObsEvent::MapOutputLost {
+                    emit!(
+                        sink,
+                        ObsEvent::NodeDown {
                             t: now,
-                            query: QueryId(qi),
-                            job: JobId(j),
                             node,
-                            maps_lost: n,
-                        });
+                            reason: DownReason::Crash,
+                            lost_maps: lost_total,
+                        }
+                    );
+                    for (qi, j, n) in lost_per_job {
+                        emit!(
+                            sink,
+                            ObsEvent::MapOutputLost {
+                                t: now,
+                                query: QueryId(qi),
+                                job: JobId(j),
+                                node,
+                                maps_lost: n,
+                            }
+                        );
                     }
                     affected.extend(fr.kill_node_attempts(
                         node.into(),
@@ -821,6 +922,7 @@ impl<S: Scheduler> Simulator<S> {
                         affected.dedup();
                         for &qi in &affected {
                             state.resync_query(queries, &jobs, &preds, qi);
+                            prof.inc(Counter::SchedulerViewUpdates);
                         }
                     }
                 }
@@ -831,7 +933,7 @@ impl<S: Scheduler> Simulator<S> {
                     }
                     fr.crashed[node] = false;
                     if !fr.blacklisted[node] {
-                        sink.emit(&ObsEvent::NodeUp { t: now, node: NodeId(node) });
+                        emit!(sink, ObsEvent::NodeUp { t: now, node: NodeId(node) });
                         let base = node * self.config.containers_per_node;
                         for slot in base..base + self.config.containers_per_node {
                             if fr.slot_attempt[slot].is_none() {
@@ -876,6 +978,7 @@ impl<S: Scheduler> Simulator<S> {
                 // trust recovers past the exit threshold.
                 let picked =
                     if degraded { fallback.pick(runnable) } else { self.scheduler.pick(runnable) };
+                prof.inc(Counter::DispatchDecisions);
                 let Some(c) = picked else {
                     // No runnable work for this container. With speculative
                     // execution on, clone the worst straggler of a
@@ -919,22 +1022,28 @@ impl<S: Scheduler> Simulator<S> {
                         TaskKind::Map => job.maps[orig.spec_idx],
                         TaskKind::Reduce => job.reduces[orig.spec_idx],
                     };
-                    sink.emit(&ObsEvent::SpeculativeLaunch {
-                        t: now,
-                        query: QueryId(orig.q),
-                        job: JobId(orig.j),
-                        phase: phase_of(orig.kind),
-                        node: NodeId(self.config.node_of(slot)),
-                        slot: self.config.slot_of(slot),
-                    });
-                    sink.emit(&ObsEvent::TaskStart {
-                        t: now,
-                        query: QueryId(orig.q),
-                        job: JobId(orig.j),
-                        phase: phase_of(orig.kind),
-                        node: NodeId(self.config.node_of(slot)),
-                        slot: self.config.slot_of(slot),
-                    });
+                    emit!(
+                        sink,
+                        ObsEvent::SpeculativeLaunch {
+                            t: now,
+                            query: QueryId(orig.q),
+                            job: JobId(orig.j),
+                            phase: phase_of(orig.kind),
+                            node: NodeId(self.config.node_of(slot)),
+                            slot: self.config.slot_of(slot),
+                        }
+                    );
+                    emit!(
+                        sink,
+                        ObsEvent::TaskStart {
+                            t: now,
+                            query: QueryId(orig.q),
+                            job: JobId(orig.j),
+                            phase: phase_of(orig.kind),
+                            node: NodeId(self.config.node_of(slot)),
+                            slot: self.config.slot_of(slot),
+                        }
+                    );
                     let load =
                         1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
                     let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
@@ -962,6 +1071,7 @@ impl<S: Scheduler> Simulator<S> {
                         TaskKind::Reduce => jobs[orig.q][orig.j].reduce_attempts_total += 1,
                     }
                     fr.stats.speculative_launches += 1;
+                    prof.inc(Counter::TasksLaunched);
                     match fail {
                         Some(frac) => push(
                             &mut heap,
@@ -1043,21 +1153,24 @@ impl<S: Scheduler> Simulator<S> {
                 };
                 if js.started.is_none() {
                     js.started = Some(now);
-                    sink.emit(&ObsEvent::JobStart { t: now, query: c.query, job: c.job });
+                    emit!(sink, ObsEvent::JobStart { t: now, query: c.query, job: c.job });
                 }
                 if qstate[c.query.0].started.is_none() {
                     qstate[c.query.0].started = Some(now);
-                    sink.emit(&ObsEvent::QueryStart { t: now, query: c.query });
+                    emit!(sink, ObsEvent::QueryStart { t: now, query: c.query });
                 }
                 let Reverse(slot) = free_slots.pop().expect("checked non-empty");
-                sink.emit(&ObsEvent::TaskStart {
-                    t: now,
-                    query: c.query,
-                    job: c.job,
-                    phase: phase_of(c.kind),
-                    node: NodeId(self.config.node_of(slot)),
-                    slot: self.config.slot_of(slot),
-                });
+                emit!(
+                    sink,
+                    ObsEvent::TaskStart {
+                        t: now,
+                        query: c.query,
+                        job: c.job,
+                        phase: phase_of(c.kind),
+                        node: NodeId(self.config.node_of(slot)),
+                        slot: self.config.slot_of(slot),
+                    }
+                );
                 let load = 1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
                 let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
                 // Fault sampling draws from its own stream so a zero-prob
@@ -1081,6 +1194,7 @@ impl<S: Scheduler> Simulator<S> {
                     alive: true,
                 });
                 fr.slot_attempt[slot] = Some(id);
+                prof.inc(Counter::TasksLaunched);
                 match fail {
                     Some(frac) => push(
                         &mut heap,
@@ -1094,6 +1208,7 @@ impl<S: Scheduler> Simulator<S> {
                 }
                 if incremental {
                     state.on_dispatch(&jobs, c.query.into(), c.job.into());
+                    prof.inc(Counter::SchedulerViewUpdates);
                 }
             }
             if done_queries == queries.len() {

@@ -26,6 +26,19 @@ mod state;
 #[cfg(test)]
 mod tests;
 
+/// Emit an event only when the sink is enabled. The event expression is
+/// inside the branch, so a disabled sink skips its construction entirely
+/// (no clones, no candidate lists) — and for [`sapred_obs::NullSink`],
+/// whose `enabled()` is a const `false`, the whole site compiles away.
+macro_rules! emit {
+    ($sink:expr, $ev:expr) => {
+        if $sink.enabled() {
+            $sink.emit(&$ev);
+        }
+    };
+}
+pub(crate) use emit;
+
 pub use admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 pub use dispatch::DispatchMode;
 pub use engine::Simulator;

@@ -7,6 +7,7 @@ use sapred_obs::{Event as ObsEvent, EventSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use super::emit;
 use super::state::{phase_of, JobState, QueryState};
 use super::ClusterConfig;
 use sapred_obs::{JobId, NodeId, QueryId};
@@ -160,16 +161,19 @@ impl FaultState {
                 Self::start_recovery_clock(jobs, &a, now);
             }
         }
-        sink.emit(&ObsEvent::TaskKilled {
-            t: now,
-            query: QueryId(a.q),
-            job: JobId(a.j),
-            phase: phase_of(a.kind),
-            node: NodeId(cfg.node_of(a.slot)),
-            slot: cfg.slot_of(a.slot),
-            speculative: a.speculative,
-            requeued,
-        });
+        emit!(
+            sink,
+            ObsEvent::TaskKilled {
+                t: now,
+                query: QueryId(a.q),
+                job: JobId(a.j),
+                phase: phase_of(a.kind),
+                node: NodeId(cfg.node_of(a.slot)),
+                slot: cfg.slot_of(a.slot),
+                speculative: a.speculative,
+                requeued,
+            }
+        );
         a
     }
 
@@ -241,5 +245,5 @@ pub(super) fn fail_query<K: EventSink>(
         js.retry_maps.clear();
         js.retry_reduces.clear();
     }
-    sink.emit(&ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+    emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
 }

@@ -1150,3 +1150,70 @@ fn degraded_mode_recovery_is_surfaced_and_restores_the_scheduler() {
     assert!(policies.contains(&"FIFO(degraded)"));
     assert!(policies.contains(&"SWRD"));
 }
+
+#[test]
+fn profiled_run_is_report_identical_and_counts_hot_paths() {
+    use sapred_obs::profile::{Counter, SpanProfiler};
+    use sapred_obs::{NullSink, RecordingSink};
+
+    let queries = mixed_workload();
+    let baseline = sim(Swrd).run(&queries);
+
+    let prof = SpanProfiler::new();
+    let profiled =
+        sim(Swrd).run_profiled(&queries, &mut NullSink, &mut super::oracle::FrozenOracle, &prof);
+    assert_eq!(format!("{baseline:?}"), format!("{profiled:?}"));
+
+    let total_tasks: usize =
+        queries.iter().flat_map(|q| &q.jobs).map(|j| j.maps.len() + j.reduces.len()).sum();
+    assert_eq!(prof.counter(Counter::TasksLaunched), total_tasks as u64);
+    assert!(prof.counter(Counter::EventsProcessed) > total_tasks as u64);
+    assert!(prof.counter(Counter::DispatchDecisions) >= total_tasks as u64);
+    assert!(prof.counter(Counter::SchedulerViewUpdates) > 0);
+    assert!(prof.counter(Counter::QueuePeakDepth) > 0);
+    // Disabled sink: no events delivered, and the emit sites never ran.
+    assert_eq!(prof.counter(Counter::SinkEventsEmitted), 0);
+    // One admission_decision span per arrival.
+    let adm = prof.span_stat("admission_decision").expect("arrival spans recorded");
+    assert_eq!(adm.count, queries.len() as u64);
+    assert!(prof.balanced());
+
+    // With an enabled sink the emitted-event counter matches exactly.
+    let prof2 = SpanProfiler::new();
+    let mut rec = RecordingSink::new();
+    let with_sink =
+        sim(Swrd).run_profiled(&queries, &mut rec, &mut super::oracle::FrozenOracle, &prof2);
+    assert_eq!(format!("{baseline:?}"), format!("{with_sink:?}"));
+    assert_eq!(prof2.counter(Counter::SinkEventsEmitted), rec.events.len() as u64);
+
+    // Counters are deterministic: a rerun reproduces them bit-for-bit.
+    let prof3 = SpanProfiler::new();
+    sim(Swrd).run_profiled(&queries, &mut NullSink, &mut super::oracle::FrozenOracle, &prof3);
+    for c in Counter::ALL {
+        assert_eq!(prof.counter(c), prof3.counter(c), "{}", c.label());
+    }
+}
+
+#[test]
+fn profiled_run_counts_faulted_paths() {
+    use sapred_obs::profile::{Counter, SpanProfiler};
+    use sapred_obs::NullSink;
+
+    let queries = mixed_workload();
+    let prof = SpanProfiler::new();
+    let mut s = Simulator {
+        config: small_config(),
+        cost: CostModel::default(),
+        scheduler: Swrd,
+        dispatch: DispatchMode::Incremental,
+        faults: stress_plan(),
+        admission: AdmissionConfig::disabled(),
+    };
+    let report = s.run_profiled(&queries, &mut NullSink, &mut super::oracle::FrozenOracle, &prof);
+    // Retries/clones mean more launches than the task count.
+    let total_tasks: usize =
+        queries.iter().flat_map(|q| &q.jobs).map(|j| j.maps.len() + j.reduces.len()).sum();
+    assert!(prof.counter(Counter::TasksLaunched) > total_tasks as u64);
+    assert!(report.faults.task_failures > 0);
+    assert!(prof.balanced());
+}

@@ -26,12 +26,14 @@ use sapred_cluster::cost::CostModel;
 use sapred_cluster::job::{JobPrediction, SimQuery};
 use sapred_cluster::sched::Scheduler;
 use sapred_cluster::{AdmissionConfig, DemandOracle, FaultPlan, SimReport, Simulator};
+use sapred_obs::profile::{Profiler, SpanProfiler};
 use sapred_obs::EventSink;
 use sapred_plan::ground_truth::execute_dag;
 use sapred_query::pig::PigScript;
 use sapred_relation::gen::Database;
 use sapred_workload::pool::DbPool;
 use sapred_workload::population::{generate_population, PopulationConfig};
+use std::rc::Rc;
 
 /// A completed training round: the measured runs and the fitted models.
 #[derive(Debug, Clone)]
@@ -56,6 +58,10 @@ pub struct Pipeline {
     pool: DbPool,
     training: Option<Training>,
     predictor: Option<Predictor>,
+    /// Stage profiler: when attached, every lifecycle stage records a span
+    /// (`"percolate"`, `"train"`, `"predict"`, `"simulate"`). `Rc` so stage
+    /// guards can borrow the profiler without pinning `self`.
+    profiler: Option<Rc<SpanProfiler>>,
 }
 
 impl Default for Pipeline {
@@ -78,7 +84,33 @@ impl Pipeline {
             pool: DbPool::new(seed),
             training: None,
             predictor: None,
+            profiler: None,
         }
+    }
+
+    /// Attach a stage profiler: lifecycle stages record spans on it
+    /// (`"percolate"`, `"train"`, `"predict"`, `"simulate"`). Keep a clone
+    /// of the `Rc` to read the timings afterwards.
+    pub fn with_profiler(mut self, profiler: Rc<SpanProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attach (or replace) the stage profiler on an existing pipeline.
+    pub fn set_profiler(&mut self, profiler: Rc<SpanProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached stage profiler, if any.
+    pub fn profiler(&self) -> Option<&Rc<SpanProfiler>> {
+        self.profiler.as_ref()
+    }
+
+    // Stage-span helper: returns a clone of the profiler handle so the
+    // caller's RAII guard borrows a local, not `self` (stage methods go on
+    // to take `&mut self.pool`).
+    fn stage_profiler(&self) -> Option<Rc<SpanProfiler>> {
+        self.profiler.clone()
     }
 
     /// Replace the framework configuration (cluster topology, estimator
@@ -122,6 +154,8 @@ impl Pipeline {
         sql: &str,
         scale_gb: f64,
     ) -> Result<QuerySemantics, Error> {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("percolate"));
         let db = self.pool.get(scale_gb);
         Ok(self.framework.percolate_sql(name, sql, db)?)
     }
@@ -133,6 +167,8 @@ impl Pipeline {
         script: &PigScript,
         scale_gb: f64,
     ) -> Result<QuerySemantics, Error> {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("percolate"));
         let db = self.pool.get(scale_gb);
         Ok(self.framework.percolate_pig(name, script, db.catalog())?)
     }
@@ -143,6 +179,8 @@ impl Pipeline {
     /// resulting [`Predictor`]. Returns the training round (runs + models);
     /// it stays available through [`Pipeline::training`].
     pub fn train(&mut self, config: &PopulationConfig) -> Result<&Training, Error> {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("train"));
         let pop = generate_population(config, &mut self.pool);
         let runs = run_population(&pop, &mut self.pool, &self.framework)?;
         let (train, _) = split_train_test(&runs);
@@ -209,6 +247,8 @@ impl Pipeline {
         semantics: &QuerySemantics,
         scale_gb: f64,
     ) -> SimQuery {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("predict"));
         let db = self.pool.get(scale_gb);
         let actuals = execute_dag(&semantics.dag, db, self.framework.est_config.block_size);
         let predictions = self.predictions(semantics);
@@ -230,6 +270,8 @@ impl Pipeline {
 
     /// Run queries to completion under `scheduler`.
     pub fn simulate<S: Scheduler>(&self, scheduler: S, queries: &[SimQuery]) -> SimReport {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         self.simulator(scheduler).run(queries)
     }
 
@@ -240,6 +282,8 @@ impl Pipeline {
         queries: &[SimQuery],
         sink: &mut K,
     ) -> SimReport {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         self.simulator(scheduler).run_with(queries, sink)
     }
 
@@ -254,7 +298,26 @@ impl Pipeline {
         sink: &mut K,
         oracle: &mut dyn DemandOracle,
     ) -> SimReport {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         self.simulator(scheduler).run_with_oracle(queries, sink, oracle)
+    }
+
+    /// Like [`Pipeline::simulate_online`], but with a [`Profiler`]
+    /// collecting the event-loop hot-path counters and spans (see
+    /// [`Simulator::run_profiled`]). Records a `"simulate"` stage span on
+    /// the pipeline profiler as well, when one is attached.
+    pub fn simulate_profiled<S: Scheduler, K: EventSink, P: Profiler>(
+        &self,
+        scheduler: S,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+    ) -> SimReport {
+        let stage_prof = self.stage_profiler();
+        let _stage = stage_prof.as_ref().map(|p| p.span("simulate"));
+        self.simulator(scheduler).run_profiled(queries, sink, oracle, prof)
     }
 
     /// Run queries under `scheduler` with injected faults.
@@ -264,6 +327,8 @@ impl Pipeline {
         plan: FaultPlan,
         queries: &[SimQuery],
     ) -> SimReport {
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         self.simulator(scheduler).with_faults(plan).run(queries)
     }
 
@@ -277,6 +342,8 @@ impl Pipeline {
         queries: &[SimQuery],
     ) -> Result<SimReport, Error> {
         plan.validate(self.framework.cluster.nodes).map_err(Error::invalid)?;
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         Ok(self.simulator(scheduler).with_faults(plan).run(queries))
     }
 
@@ -297,11 +364,38 @@ impl Pipeline {
     ) -> Result<SimReport, Error> {
         plan.validate(self.framework.cluster.nodes).map_err(Error::invalid)?;
         admission.validate().map_err(Error::invalid)?;
+        let prof = self.stage_profiler();
+        let _stage = prof.as_ref().map(|p| p.span("simulate"));
         Ok(self
             .simulator(scheduler)
             .with_faults(plan)
             .with_admission(admission)
             .run_with_oracle(queries, sink, oracle))
+    }
+
+    /// Like [`Pipeline::simulate_admitted`], but with a [`Profiler`]
+    /// collecting event-loop counters and admission-decision spans (see
+    /// [`Simulator::run_profiled`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_admitted_profiled<S: Scheduler, K: EventSink, P: Profiler>(
+        &self,
+        scheduler: S,
+        plan: FaultPlan,
+        admission: AdmissionConfig,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+    ) -> Result<SimReport, Error> {
+        plan.validate(self.framework.cluster.nodes).map_err(Error::invalid)?;
+        admission.validate().map_err(Error::invalid)?;
+        let stage_prof = self.stage_profiler();
+        let _stage = stage_prof.as_ref().map(|p| p.span("simulate"));
+        Ok(self
+            .simulator(scheduler)
+            .with_faults(plan)
+            .with_admission(admission)
+            .run_profiled(queries, sink, oracle, prof))
     }
 
     /// The ground-truth cost model (for bespoke simulator setups).
@@ -354,6 +448,41 @@ mod tests {
             ),
             Err(Error::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn attached_profiler_records_stage_spans() {
+        use sapred_cluster::FrozenOracle;
+        use sapred_obs::profile::Counter;
+        use sapred_obs::NullSink;
+
+        let prof = Rc::new(SpanProfiler::new());
+        let mut p = Pipeline::with_seed(7).with_profiler(Rc::clone(&prof));
+        let semantics =
+            p.percolate_sql("t", "SELECT count(*) FROM orders", 0.5).expect("valid query");
+        let q = p.sim_query("t", 0.0, &semantics, 0.5);
+
+        // Plain simulate records the stage span but no engine counters...
+        p.simulate(Fifo, std::slice::from_ref(&q));
+        assert_eq!(prof.counter(Counter::EventsProcessed), 0);
+        // ...while simulate_profiled feeds the same profiler both.
+        p.simulate_profiled(
+            Fifo,
+            std::slice::from_ref(&q),
+            &mut NullSink,
+            &mut FrozenOracle,
+            &*prof,
+        );
+        assert_eq!(prof.span_stat("percolate").unwrap().count, 1);
+        assert_eq!(prof.span_stat("predict").unwrap().count, 1);
+        assert_eq!(prof.span_stat("simulate").unwrap().count, 2);
+        assert!(prof.counter(Counter::EventsProcessed) > 0);
+        assert!(prof.counter(Counter::TasksLaunched) > 0);
+        assert!(prof.balanced());
+        // An unprofiled pipeline records nothing, and stays usable.
+        let mut bare = Pipeline::with_seed(7);
+        assert!(bare.profiler().is_none());
+        bare.percolate_sql("t", "SELECT count(*) FROM orders", 0.5).unwrap();
     }
 
     #[test]

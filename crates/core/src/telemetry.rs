@@ -13,6 +13,7 @@ use crate::framework::{Predictor, QuerySemantics};
 use crate::training::{job_samples, map_task_samples, reduce_task_samples, QueryRun};
 use sapred_cluster::job::SimQuery;
 use sapred_cluster::sim::{ClusterConfig, SimReport};
+use sapred_obs::profile::Profiler;
 use sapred_obs::{Event, EventSink, Quantity};
 use sapred_plan::dag::JobCategory;
 use sapred_predict::wrd::{job_time_waves, JobResource};
@@ -130,6 +131,20 @@ pub fn record_sim_outcomes<K: EventSink>(
     config: &ClusterConfig,
     sink: &mut K,
 ) -> usize {
+    record_sim_outcomes_profiled(queries, report, config, sink, &sapred_obs::NullProfiler)
+}
+
+/// [`record_sim_outcomes`] with the whole drift pass timed under a
+/// `"drift_pass"` span on `prof`. The unprofiled entry point delegates here
+/// with a [`sapred_obs::NullProfiler`], so the off-path costs nothing.
+pub fn record_sim_outcomes_profiled<K: EventSink, P: Profiler>(
+    queries: &[SimQuery],
+    report: &SimReport,
+    config: &ClusterConfig,
+    sink: &mut K,
+    prof: &P,
+) -> usize {
+    let _pass = prof.span("drift_pass");
     let containers = config.total_containers();
     let mut emitted = 0usize;
     for js in &report.jobs {
@@ -318,6 +333,20 @@ mod tests {
         let job_mare = drift.aggregate(Quantity::Job).mare();
         assert!(job_mare < 2.0, "job MARE {job_mare}");
         assert!(drift.aggregate(Quantity::Query).n > 0);
+
+        // The profiled variant emits the same stream and times the pass.
+        let prof = sapred_obs::SpanProfiler::new();
+        let mut drift2 = DriftTracker::new();
+        let again = record_sim_outcomes_profiled(
+            &prepared.queries,
+            &report,
+            &fw.cluster,
+            &mut drift2,
+            &prof,
+        );
+        assert_eq!(again, emitted);
+        assert_eq!(prof.span_stat("drift_pass").unwrap().count, 1);
+        assert!(prof.balanced());
     }
 
     #[test]

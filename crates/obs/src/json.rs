@@ -135,6 +135,85 @@ pub fn validate(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON document.
+///
+/// Object keys keep insertion order is not needed for our fixed schemas, so
+/// a `BTreeMap` gives deterministic iteration instead. Numbers are `f64`
+/// (all values we emit fit without precision loss that matters for
+/// comparison; integer counters up to 2^53 round-trip exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with deterministically ordered keys.
+    Obj(std::collections::BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Field lookup on an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_obj(&self) -> Option<&std::collections::BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document into a [`Value`] tree.
+///
+/// # Errors
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.parse_value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
@@ -265,6 +344,124 @@ impl Parser<'_> {
         Err(self.err("unterminated string"))
     }
 
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => self.parse_string().map(Value::Str),
+            b't' => self.literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.literal("false").map(|()| Value::Bool(false)),
+            b'n' => self.literal("null").map(|()| Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        let mut map = std::collections::BTreeMap::new();
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.parse_string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        let mut items = Vec::new();
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.parse_value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        let start = self.i;
+        self.string()?;
+        // The validated span includes both quotes; unescape the interior.
+        let raw = &self.b[start + 1..self.i - 1];
+        let mut out = String::with_capacity(raw.len());
+        let mut j = 0;
+        while j < raw.len() {
+            if raw[j] == b'\\' {
+                j += 1;
+                match raw[j] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&raw[j + 1..j + 5])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        // Surrogates never appear in our own output; map
+                        // unpaired ones to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        j += 4;
+                    }
+                    _ => unreachable!("string() validated escapes"),
+                }
+                j += 1;
+            } else {
+                // Copy a full UTF-8 sequence (input was a valid &str).
+                let len = match raw[j] {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                out.push_str(std::str::from_utf8(&raw[j..j + len]).expect("valid utf8"));
+                j += len;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        self.number()?;
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        text.parse::<f64>().map(Value::Num).map_err(|_| self.err("number out of range"))
+    }
+
     fn number(&mut self) -> Result<(), String> {
         if self.peek() == Some(b'-') {
             self.i += 1;
@@ -349,6 +546,41 @@ mod tests {
             "{\"a\":1,}",
         ] {
             assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let doc = Obj::new()
+            .str("s", "a\"b\\c\nd\te — ünïcode")
+            .num("f", -2.25)
+            .int("i", 42)
+            .bool("b", true)
+            .raw("arr", &array(vec![num(1.5), "null".into()]))
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd\te — ünïcode"));
+        assert_eq!(v.get("f").unwrap().as_num(), Some(-2.25));
+        assert_eq!(v.get("i").unwrap().as_num(), Some(42.0));
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        let arr = v.get("arr").unwrap().as_arr().unwrap();
+        assert_eq!(arr, &[Value::Num(1.5), Value::Null]);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_structure() {
+        let v = parse("{\"k\": [\"\\u00e9\\u0041\", {\"n\": -3e-2}], \"e\": {}}").unwrap();
+        let arr = v.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_str(), Some("éA"));
+        assert_eq!(arr[1].get("n").unwrap().as_num(), Some(-0.03));
+        assert!(v.get("e").unwrap().as_obj().unwrap().is_empty());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "{} x"] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
         }
     }
 

@@ -17,6 +17,10 @@
 //! 3. **Exporters** ([`JsonlSink`], [`ChromeTraceSink`]): JSONL event logs
 //!    and Chrome `trace_event` JSON (one track per container slot, one per
 //!    query) viewable in `chrome://tracing` or Perfetto.
+//! 4. **Profiling** ([`Profiler`], [`SpanProfiler`]): RAII span timers and
+//!    hot-path counters for self-measuring runs, with a [`NullProfiler`]
+//!    that compiles away exactly like `NullSink` does for events. The
+//!    `sapred bench` harness is built on this layer.
 //!
 //! Sinks compose with [`Tee`]; everything here is dependency-free
 //! (hand-rolled JSON in [`json`]).
@@ -36,6 +40,7 @@ pub mod event;
 pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod trace;
 
@@ -43,5 +48,6 @@ pub use drift::{DriftStat, DriftTracker};
 pub use event::{Candidate, DownReason, Event, Quantity, TaskPhase};
 pub use ids::{JobId, NodeId, QueryId};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSink};
+pub use profile::{Counter, NullProfiler, Profiler, SpanProfiler};
 pub use sink::{EventSink, JsonlSink, NullSink, RecordingSink, Tee};
 pub use trace::ChromeTraceSink;

@@ -160,9 +160,13 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Set gauge `name` to `value`.
+    /// Set gauge `name` to `value`. Non-finite values (NaN, ±∞) are
+    /// rejected — JSON cannot express them, and a poisoned gauge would
+    /// silently render as `null` — so the previous value is kept.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if value.is_finite() {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Current value of gauge `name`, if set.
@@ -413,6 +417,47 @@ mod tests {
         assert_eq!(r.counter("missing"), 0);
         assert_eq!(r.gauge("g"), Some(1.5));
         assert_eq!(r.histogram("h").unwrap().count(), 1);
+        validate(&r.to_json()).unwrap();
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_valid() {
+        let r = MetricsRegistry::new();
+        let json = r.to_json();
+        validate(&json).unwrap();
+        assert_eq!(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+
+    #[test]
+    fn single_sample_histogram_percentiles() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(3.0);
+        // With one sample every quantile collapses onto it (within the
+        // containing bucket, clamped to the observed min/max).
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.0, "q={q}");
+        }
+        assert_eq!(h.mean(), 3.0);
+        validate(&h.to_json()).unwrap();
+    }
+
+    #[test]
+    fn non_finite_updates_are_rejected() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("g", 1.0);
+        r.set_gauge("g", f64::NAN);
+        r.set_gauge("g", f64::INFINITY);
+        assert_eq!(r.gauge("g"), Some(1.0), "non-finite set_gauge must keep the old value");
+        r.set_gauge("fresh", f64::NEG_INFINITY);
+        assert_eq!(r.gauge("fresh"), None);
+        r.observe("h", f64::NAN);
+        assert_eq!(r.histogram("h").unwrap().count(), 0);
         validate(&r.to_json()).unwrap();
     }
 

@@ -77,18 +77,33 @@ impl EventSink for RecordingSink {
 /// Streams each event as one JSON object per line (JSONL) to a writer.
 ///
 /// IO errors are latched rather than panicking mid-simulation; check
-/// [`JsonlSink::finish`].
+/// [`JsonlSink::finish`]. Dropping the sink without calling `finish`
+/// flushes the writer (errors at that point are swallowed — call `finish`
+/// to observe them), so buffered lines are never silently lost.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    writer: W,
+    writer: Option<W>,
     lines: u64,
     error: Option<std::io::Error>,
 }
 
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create a file-backed sink buffered with `BufWriter`, so traced runs
+    /// pay one syscall per buffer instead of one per event.
+    ///
+    /// # Errors
+    /// Returns the error from creating the file.
+    pub fn create<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
 impl<W: Write> JsonlSink<W> {
-    /// Wrap a writer. Consider `BufWriter` for file targets.
+    /// Wrap a writer. Consider `BufWriter` for file targets (or use
+    /// [`JsonlSink::create`]).
     pub fn new(writer: W) -> Self {
-        Self { writer, lines: 0, error: None }
+        Self { writer: Some(writer), lines: 0, error: None }
     }
 
     /// Number of lines successfully written so far.
@@ -101,11 +116,12 @@ impl<W: Write> JsonlSink<W> {
     /// # Errors
     /// Returns the latched write error, or the flush error, if any.
     pub fn finish(mut self) -> std::io::Result<W> {
-        if let Some(e) = self.error {
+        if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self.writer.take().expect("writer only taken by finish/drop");
+        writer.flush()?;
+        Ok(writer)
     }
 }
 
@@ -116,9 +132,18 @@ impl<W: Write> EventSink for JsonlSink<W> {
         }
         let mut line = event.to_json();
         line.push('\n');
-        match self.writer.write_all(line.as_bytes()) {
+        let writer = self.writer.as_mut().expect("writer only taken by finish/drop");
+        match writer.write_all(line.as_bytes()) {
             Ok(()) => self.lines += 1,
             Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
         }
     }
 }
@@ -196,6 +221,62 @@ mod tests {
         for line in lines {
             validate(line).unwrap();
         }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        use std::cell::RefCell;
+        use std::io::BufWriter;
+        use std::rc::Rc;
+
+        /// Writer that only publishes to the shared buffer on `flush`, and
+        /// deliberately does NOT flush on drop — so the data can only reach
+        /// the target through `JsonlSink`'s explicit flush-on-drop.
+        struct FlushOnly {
+            pending: Vec<u8>,
+            target: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Write for FlushOnly {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.pending.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.target.borrow_mut().extend_from_slice(&self.pending);
+                self.pending.clear();
+                Ok(())
+            }
+        }
+
+        let target = Rc::new(RefCell::new(Vec::new()));
+        {
+            let writer = FlushOnly { pending: Vec::new(), target: Rc::clone(&target) };
+            let mut sink = JsonlSink::new(BufWriter::new(writer));
+            sink.emit(&ev(1.0));
+            sink.emit(&ev(2.0));
+            // Buffered: nothing has reached the target yet.
+            assert_eq!(target.borrow().len(), 0);
+            // Dropped without finish(): flush-on-drop must push the lines out.
+        }
+        let text = String::from_utf8(target.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            validate(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_create_writes_buffered_file() {
+        let path =
+            std::env::temp_dir().join(format!("sapred_jsonl_test_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&ev(1.0));
+            let _ = sink.finish().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

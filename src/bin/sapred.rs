@@ -10,6 +10,7 @@
 //! sapred predict    --sql "SELECT ..." [--scale GB]        # train + predict one query
 //! sapred simulate   --mix bing|facebook [--gap S] [--divisor D]   # Fig. 8
 //! sapred trace      bing|facebook [--out trace.json] [--events events.jsonl] [--metrics metrics.json]
+//! sapred bench      [--suite dispatch|pipeline|all] [--quick] [--compare BENCH.json] [--gate]
 //! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
 //! ```
 
@@ -20,13 +21,15 @@ use sapred::cluster::{
 use sapred::core::experiments::accuracy::{job_accuracy, map_task_accuracy, reduce_task_accuracy};
 use sapred::core::experiments::motivation::motivation;
 use sapred::core::experiments::scheduling::{run_schedulers, PreparedWorkload};
-use sapred::core::telemetry::record_sim_outcomes;
+use sapred::core::telemetry::record_sim_outcomes_profiled;
 use sapred::core::{Error, Pipeline, RecalibratingOracle};
-use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, Tee};
+use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, SpanProfiler, Tee};
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::persist::save_catalog;
 use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
 use sapred::workload::population::PopulationConfig;
+use sapred_bench::harness::{dispatch_suite, pipeline_suite, run_suite, CellResult};
+use sapred_bench::report::{compare, suite_json, validate_schema, Comparison};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -36,9 +39,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `trace` takes its workload positionally, so it parses its own args.
+    // `trace` takes its workload positionally and `bench` has boolean
+    // flags, so both parse their own args.
     let result = if command == "trace" {
         cmd_trace(&args[1..])
+    } else if command == "bench" {
+        cmd_bench(&args[1..])
     } else {
         match parse_flags(&args[1..]) {
             Ok(flags) => match command.as_str() {
@@ -79,6 +85,10 @@ USAGE:
                     [--gap <SECONDS>] [--divisor <D>] [--queries <N>] [--seed <N>]
                     [--queue-cap <N>] [--deadline <SECONDS>]
                     [--shed-policy <reject-newest|largest-wrd>] [--guard <on|off>]
+                    [--profile <profile.json>]
+  sapred bench      [--suite <dispatch|pipeline|all>] [--quick] [--iters <N>] [--threads <N>]
+                    [--out <DIR>] [--compare <BENCH.json>] [--threshold <FRACTION>] [--gate]
+                    [--validate <BENCH.json>]... [--compare-files <OLD.json> <NEW.json>]
   sapred motivation [--small <GB>] [--big <GB>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Error> {
@@ -270,6 +280,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     let trace_path = flags.get("out").map(String::as_str).unwrap_or("trace.json");
     let events_path = flags.get("events").map(String::as_str).unwrap_or("events.jsonl");
     let metrics_path = flags.get("metrics").map(String::as_str).unwrap_or("metrics.json");
+    let profile_path = flags.get("profile").map(String::as_str);
 
     // Overload knobs: a bounded admission queue with a shed policy, per-query
     // deadlines, and the prediction guardrails. All default to off, in which
@@ -298,6 +309,10 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
 
     println!("training on {n} queries...");
     let mut pipe = trained_pipeline(n, seed)?;
+    // The run is self-profiled (stage spans + event-loop counters); the
+    // result is only written out when `--profile` asks for it.
+    let prof = std::rc::Rc::new(SpanProfiler::new());
+    pipe.set_profiler(std::rc::Rc::clone(&prof));
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
     let prepared = pipe.prepare_mix(&mix, gap, divisor, seed);
 
@@ -334,6 +349,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
         (true, false) => &mut recal,
         (true, true) => &mut guarded_recal,
     };
+    #[allow(clippy::too_many_arguments)]
     fn run_one<S: Scheduler, K: EventSink>(
         pipe: &Pipeline,
         sched: S,
@@ -341,16 +357,25 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
         sink: &mut K,
         admission: AdmissionConfig,
         oracle: &mut dyn DemandOracle,
+        prof: &SpanProfiler,
     ) -> Result<SimReport, Error> {
-        pipe.simulate_admitted(sched, FaultPlan::none(), admission, &prepared.queries, sink, oracle)
+        pipe.simulate_admitted_profiled(
+            sched,
+            FaultPlan::none(),
+            admission,
+            &prepared.queries,
+            sink,
+            oracle,
+            prof,
+        )
     }
     println!("tracing {} queries under {}...", prepared.queries.len(), sched_name.to_uppercase());
     let report = match sched_name {
-        "swrd" => run_one(&pipe, Swrd, &prepared, &mut sink, admission, &mut *oracle)?,
-        "hcs" => run_one(&pipe, Hcs, &prepared, &mut sink, admission, &mut *oracle)?,
-        "hfs" => run_one(&pipe, Hfs, &prepared, &mut sink, admission, &mut *oracle)?,
-        "fifo" => run_one(&pipe, Fifo, &prepared, &mut sink, admission, &mut *oracle)?,
-        "srt" => run_one(&pipe, Srt, &prepared, &mut sink, admission, &mut *oracle)?,
+        "swrd" => run_one(&pipe, Swrd, &prepared, &mut sink, admission, &mut *oracle, &prof)?,
+        "hcs" => run_one(&pipe, Hcs, &prepared, &mut sink, admission, &mut *oracle, &prof)?,
+        "hfs" => run_one(&pipe, Hfs, &prepared, &mut sink, admission, &mut *oracle, &prof)?,
+        "fifo" => run_one(&pipe, Fifo, &prepared, &mut sink, admission, &mut *oracle, &prof)?,
+        "srt" => run_one(&pipe, Srt, &prepared, &mut sink, admission, &mut *oracle, &prof)?,
         other => {
             return Err(Error::invalid(format!(
                 "unknown scheduler `{other}` (expected swrd|hcs|hfs|fifo|srt)"
@@ -359,7 +384,13 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     };
     let (trust, degraded) = (oracle.trust(), oracle.degraded());
     // Post-hoc prediction-drift telemetry against the simulated truth.
-    record_sim_outcomes(&prepared.queries, &report, &pipe.framework().cluster, &mut sink);
+    record_sim_outcomes_profiled(
+        &prepared.queries,
+        &report,
+        &pipe.framework().cluster,
+        &mut sink,
+        &*prof,
+    );
 
     let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
     let lines = jsonl.lines();
@@ -403,7 +434,179 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
         chrome.span_count()
     );
     println!("wrote metrics to {metrics_path}");
+    if let Some(path) = profile_path {
+        std::fs::write(path, prof.to_json()).map_err(|e| Error::io(format!("write {path}"), e))?;
+        println!("wrote span profile to {path}");
+        println!("\n{}", prof.summary());
+    }
     Ok(())
+}
+
+/// `sapred bench`: run the deterministic suite(s), write
+/// `BENCH_<suite>.json`, and optionally compare against a baseline.
+/// Parses its own arguments because `--quick`/`--gate` take no value.
+fn cmd_bench(args: &[String]) -> Result<(), Error> {
+    let mut suite = "all".to_string();
+    let mut quick = false;
+    let mut gate = false;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out_dir = ".".to_string();
+    let mut iters_override: Option<usize> = None;
+    let mut compare_path: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut validate_paths: Vec<String> = Vec::new();
+    let mut compare_files: Option<(String, String)> = None;
+
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| Error::invalid(format!("--{name} needs a value")))
+        };
+        match key.as_str() {
+            "--suite" => suite = value("suite")?,
+            "--quick" => quick = true,
+            "--gate" => gate = true,
+            "--threads" => {
+                let v = value("threads")?;
+                threads = v.parse().map_err(|_| {
+                    Error::invalid(format!("--threads expects an integer, got `{v}`"))
+                })?;
+            }
+            "--out" => out_dir = value("out")?,
+            "--iters" => {
+                let v = value("iters")?;
+                let n: usize = v.parse().map_err(|_| {
+                    Error::invalid(format!("--iters expects an integer, got `{v}`"))
+                })?;
+                if n == 0 {
+                    return Err(Error::invalid("--iters must be at least 1"));
+                }
+                iters_override = Some(n);
+            }
+            "--compare" => compare_path = Some(value("compare")?),
+            "--threshold" => {
+                let v = value("threshold")?;
+                threshold = v.parse().map_err(|_| {
+                    Error::invalid(format!("--threshold expects a number, got `{v}`"))
+                })?;
+            }
+            "--validate" => validate_paths.push(value("validate")?),
+            "--compare-files" => {
+                let old = value("compare-files")?;
+                let new = value("compare-files")?;
+                compare_files = Some((old, new));
+            }
+            other => return Err(Error::invalid(format!("unknown bench flag `{other}`"))),
+        }
+    }
+
+    let load = |path: &str| -> Result<sapred::obs::json::Value, Error> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| Error::io(format!("read {path}"), e))?;
+        validate_schema(&text).map_err(|e| Error::invalid(format!("{path}: {e}")))
+    };
+
+    // Validation-only mode: check the given reports and stop.
+    if !validate_paths.is_empty() {
+        for path in &validate_paths {
+            let doc = load(path)?;
+            let cells = doc.get("cells").and_then(|c| c.as_arr()).map(<[_]>::len).unwrap_or(0);
+            println!("{path}: valid {} report, {cells} cell(s)", sapred_bench::report::SCHEMA);
+        }
+        return Ok(());
+    }
+
+    let finish_compare = |cmp: &Comparison| -> Result<(), Error> {
+        for line in &cmp.lines {
+            println!("  {line}");
+        }
+        println!(
+            "compare: {} regression(s), {} improvement(s), {} drift(s), {} skipped \
+             (threshold {:.0}%)",
+            cmp.regressions,
+            cmp.improvements,
+            cmp.drifts,
+            cmp.skipped,
+            threshold * 100.0
+        );
+        if gate && cmp.gate_failed() {
+            // The gate is a deliberate local/manual switch; CI runs
+            // report-only (no --gate), so a noisy runner can't block it.
+            eprintln!("bench gate FAILED");
+            std::process::exit(2);
+        }
+        Ok(())
+    };
+
+    // File-vs-file comparison mode: no suite run at all.
+    if let Some((old_path, new_path)) = compare_files {
+        let (old_doc, new_doc) = (load(&old_path)?, load(&new_path)?);
+        println!("comparing {new_path} against baseline {old_path}:");
+        return finish_compare(&compare(&old_doc, &new_doc, threshold));
+    }
+
+    let suites: Vec<(&str, Vec<sapred_bench::harness::CellSpec>)> = match suite.as_str() {
+        "dispatch" => vec![("dispatch", dispatch_suite(quick))],
+        "pipeline" => vec![("pipeline", pipeline_suite(quick))],
+        "all" => vec![("dispatch", dispatch_suite(quick)), ("pipeline", pipeline_suite(quick))],
+        other => {
+            return Err(Error::invalid(format!(
+                "unknown suite `{other}` (expected dispatch|pipeline|all)"
+            )))
+        }
+    };
+    if compare_path.is_some() && suites.len() > 1 {
+        return Err(Error::invalid(
+            "--compare needs a single suite (add --suite dispatch or --suite pipeline)",
+        ));
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| Error::io(format!("create {out_dir}"), e))?;
+    for (name, mut specs) in suites {
+        if let Some(n) = iters_override {
+            for spec in &mut specs {
+                spec.iters = n;
+            }
+        }
+        // Load the baseline *before* the run writes anything: the fresh
+        // report may land on the very path being compared against.
+        let baseline = match &compare_path {
+            Some(path) => Some((path.clone(), load(path)?)),
+            None => None,
+        };
+        println!(
+            "running {name} suite ({} cells{}, {threads} worker thread(s))...",
+            specs.len(),
+            if quick { ", quick" } else { "" }
+        );
+        let cells = run_suite(&specs, threads);
+        print_cells(&cells);
+        let text = suite_json(name, quick, &cells);
+        let fresh =
+            validate_schema(&text).map_err(|e| Error::invalid(format!("emitted report: {e}")))?;
+        let path = format!("{out_dir}/BENCH_{name}.json");
+        std::fs::write(&path, &text).map_err(|e| Error::io(format!("write {path}"), e))?;
+        println!("wrote {path}");
+        if let Some((baseline_path, baseline)) = baseline {
+            println!("comparing against baseline {baseline_path}:");
+            finish_compare(&compare(&baseline, &fresh, threshold))?;
+        }
+    }
+    Ok(())
+}
+
+fn print_cells(cells: &[CellResult]) {
+    for cell in cells {
+        let wall = cell.metrics.get("wall_p50_s").copied().unwrap_or(0.0);
+        let events = cell.metrics.get("events_per_s").copied().unwrap_or(0.0);
+        println!(
+            "  {:<22} wall p50 {:>9.4}s | {:>12.0} events/s | {}",
+            cell.name,
+            wall,
+            events,
+            if cell.deterministic { "deterministic" } else { "NON-DETERMINISTIC" }
+        );
+    }
 }
 
 fn cmd_motivation(flags: &HashMap<String, String>) -> Result<(), Error> {
