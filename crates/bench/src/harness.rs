@@ -23,9 +23,10 @@
 //! (config mismatch) rather than producing nonsense deltas.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use sapred_cluster::sched::Swrd;
@@ -39,6 +40,7 @@ use sapred_obs::{MetricsSink, NullSink, SpanProfiler};
 use sapred_workload::population::PopulationConfig;
 
 use crate::dispatch_workload;
+use crate::fleet::{self, WorkloadSpec};
 
 /// What one benchmark cell runs. All variants are deterministic at a fixed
 /// seed: the dispatch workload is RNG-free, fault injection draws from the
@@ -104,6 +106,34 @@ pub enum CellKind {
         /// Trace the simulation and run the drift pass.
         traced: bool,
     },
+    /// A whole fleet sweep ([`fleet::run_fleet`]) over the bench grid
+    /// ([`fleet::bench_grid`]): `schedulers × fault_levels × admissions ×
+    /// seeds` simulations of the synthetic workload, executed across
+    /// `threads` workers (`0` = all cores). The headline metric is
+    /// sims/sec; the aggregated engine counters (summed across cells in
+    /// grid order, so they are thread-count-independent) pin determinism.
+    Fleet {
+        /// Schedulers swept (first N of the fixed roster).
+        schedulers: usize,
+        /// Fault levels swept (first N of the fixed severity ramp).
+        fault_levels: usize,
+        /// Admission configs swept (1 = off only, 2 = off + tight cap).
+        admissions: usize,
+        /// Seed replicas per configuration.
+        seeds: usize,
+        /// Queries per cell workload.
+        n_queries: usize,
+        /// Jobs per query.
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
+        /// Fleet worker threads (`0` = all cores). Part of the config so a
+        /// single-thread cell never gets force-compared against a
+        /// parallel one.
+        threads: usize,
+    },
 }
 
 /// One benchmark cell: a name (stable across suite shapes — baselines
@@ -140,6 +170,28 @@ pub struct CellResult {
     /// Derived metrics (name → value). Names ending in `_per_s` are
     /// higher-is-better; all others are lower-is-better seconds.
     pub metrics: BTreeMap<String, f64>,
+    /// Panic message, when the cell blew up instead of finishing. A failed
+    /// cell keeps its name and config (so baseline comparison reports it as
+    /// a determinism drift, not a silently missing cell) but carries no
+    /// counters, walls, or metrics, and is never `deterministic`.
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// The result recorded for a cell whose run panicked.
+    pub fn failed(spec: &CellSpec, error: String) -> Self {
+        Self {
+            name: spec.name.to_string(),
+            seed: spec.seed,
+            iters: spec.iters,
+            deterministic: false,
+            config: config_json(&spec.kind),
+            counters: BTreeMap::new(),
+            wall_s: Vec::new(),
+            metrics: BTreeMap::new(),
+            error: Some(error),
+        }
+    }
 }
 
 fn mode_label(mode: DispatchMode) -> &'static str {
@@ -185,6 +237,28 @@ pub fn config_json(kind: &CellKind) -> String {
             .num("scale_gb", scale_gb)
             .int("train_queries", train_queries as u64)
             .bool("traced", traced)
+            .finish(),
+        CellKind::Fleet {
+            schedulers,
+            fault_levels,
+            admissions,
+            seeds,
+            n_queries,
+            jobs,
+            maps,
+            reduces,
+            threads,
+        } => Obj::new()
+            .str("kind", "fleet")
+            .int("schedulers", schedulers as u64)
+            .int("fault_levels", fault_levels as u64)
+            .int("admissions", admissions as u64)
+            .int("seeds", seeds as u64)
+            .int("n_queries", n_queries as u64)
+            .int("jobs", jobs as u64)
+            .int("maps", maps as u64)
+            .int("reduces", reduces as u64)
+            .int("threads", threads as u64)
             .finish(),
     }
 }
@@ -268,11 +342,28 @@ fn run_once(spec: &CellSpec, prof: &Rc<SpanProfiler>) {
                 pipe.simulate_profiled(Swrd, queries, &mut NullSink, &mut FrozenOracle, &**prof);
             }
         }
+        CellKind::Fleet {
+            schedulers,
+            fault_levels,
+            admissions,
+            seeds,
+            n_queries,
+            jobs,
+            maps,
+            reduces,
+            threads,
+        } => {
+            let workload = WorkloadSpec { n_queries, jobs, maps, reduces };
+            let grid =
+                fleet::bench_grid(schedulers, fault_levels, admissions, seeds, workload, spec.seed);
+            let report = fleet::run_fleet(&grid, threads).expect("bench fleet grid is valid");
+            fleet::record_fleet(&report, &**prof);
+        }
     }
 }
 
 /// Nearest-rank quantile of a small sample (q in `[0, 1]`).
-fn quantile(samples: &[f64], q: f64) -> f64 {
+pub(crate) fn quantile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
@@ -296,8 +387,12 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         let start = Instant::now();
         run_once(spec, &prof);
         walls.push(start.elapsed().as_secs_f64());
-        let snapshot: BTreeMap<String, u64> =
+        let mut snapshot: BTreeMap<String, u64> =
             Counter::ALL.iter().map(|&c| (c.label().to_string(), prof.counter(c))).collect();
+        // Samples dropped past the span sample cap: deterministic for a
+        // deterministic cell, so it participates in the identity check and
+        // surfaces percentile truncation in the baseline comparison.
+        snapshot.insert("span_samples_dropped".to_string(), prof.total_samples_dropped());
         match &first_counters {
             None => first_counters = Some(snapshot),
             Some(first) => deterministic &= *first == snapshot,
@@ -336,6 +431,11 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
                 }
             }
         }
+        CellKind::Fleet { .. } => {
+            let run = counters.get(Counter::FleetCellsRun.label()).copied().unwrap_or(0);
+            let failed = counters.get(Counter::FleetCellsFailed.label()).copied().unwrap_or(0);
+            metrics.insert("sims_per_s".into(), (run + failed) as f64 / best);
+        }
     }
 
     CellResult {
@@ -347,6 +447,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         counters,
         wall_s: walls,
         metrics,
+        error: None,
     }
 }
 
@@ -436,26 +537,103 @@ pub fn pipeline_suite(quick: bool) -> Vec<CellSpec> {
     ]
 }
 
-/// Run a suite's cells across `threads` workers (each cell runs whole on
-/// one worker; cells are claimed from a shared index). Results come back
-/// in suite order regardless of completion order.
-pub fn run_suite(specs: &[CellSpec], threads: usize) -> Vec<CellResult> {
-    let workers = threads.clamp(1, specs.len().max(1));
+/// The fleet suite: the same fleet sweep run in parallel (threads = all
+/// cores) and pinned to one thread, so the baseline comparison catches both
+/// a throughput regression and any parallel/serial counter divergence. The
+/// headline metric is sims/sec.
+pub fn fleet_suite(quick: bool) -> Vec<CellSpec> {
+    let kind = |threads| {
+        if quick {
+            CellKind::Fleet {
+                schedulers: 2,
+                fault_levels: 2,
+                admissions: 2,
+                seeds: 2,
+                n_queries: 10,
+                jobs: 2,
+                maps: 6,
+                reduces: 2,
+                threads,
+            }
+        } else {
+            CellKind::Fleet {
+                schedulers: 3,
+                fault_levels: 3,
+                admissions: 2,
+                seeds: 3,
+                n_queries: 30,
+                jobs: 3,
+                maps: 12,
+                reduces: 4,
+                threads,
+            }
+        }
+    };
+    vec![
+        CellSpec { name: "fleet_parallel", kind: kind(0), iters: 2, seed: 17 },
+        CellSpec { name: "fleet_single_thread", kind: kind(1), iters: 2, seed: 17 },
+    ]
+}
+
+/// Best-effort panic payload extraction (`panic!` with a `&str` or a
+/// formatted `String` covers every panic in this workspace).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked".to_string()
+    }
+}
+
+/// The shared claiming loop behind [`run_suite`] and the fleet runner: `n`
+/// work items claimed from an atomic index by `threads` scoped workers, each
+/// item run panic-isolated, results returned **in item order** regardless of
+/// completion order.
+///
+/// Two properties make one exploding item survivable:
+///
+/// * each worker pushes `(index, outcome)` *before* claiming its next item,
+///   so a later panic can never lose an earlier finished result,
+/// * the item body runs under [`catch_unwind`], so a panic becomes an
+///   `Err(message)` for that index while every other item still runs; lock
+///   poisoning from a panic elsewhere is ignored (the protected `Vec` is
+///   only ever pushed to, never left half-written).
+pub fn run_claiming<T, F>(n: usize, threads: usize, run: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
-    let results = Mutex::new(Vec::with_capacity(specs.len()));
+    let results = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
+                if i >= n {
                     break;
                 }
-                let cell = run_cell(&specs[i]);
-                results.lock().expect("bench worker poisoned the result lock").push((i, cell));
+                let outcome = catch_unwind(AssertUnwindSafe(|| run(i))).map_err(panic_message);
+                results.lock().unwrap_or_else(PoisonError::into_inner).push((i, outcome));
             });
         }
     });
-    let mut indexed = results.into_inner().expect("bench worker poisoned the result lock");
-    indexed.sort_by_key(|entry: &(usize, CellResult)| entry.0);
-    indexed.into_iter().map(|(_, cell)| cell).collect()
+    let mut indexed = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    indexed.sort_by_key(|entry: &(usize, Result<T, String>)| entry.0);
+    debug_assert_eq!(indexed.len(), n, "every claimed index must report an outcome");
+    indexed.into_iter().map(|(_, outcome)| outcome).collect()
+}
+
+/// Run a suite's cells across `threads` workers (each cell runs whole on
+/// one worker; cells are claimed from a shared index). Results come back
+/// in suite order regardless of completion order; a panicking cell is
+/// recorded as failed ([`CellResult::failed`]) without aborting the suite.
+pub fn run_suite(specs: &[CellSpec], threads: usize) -> Vec<CellResult> {
+    run_claiming(specs.len(), threads, |i| run_cell(&specs[i]))
+        .into_iter()
+        .zip(specs)
+        .map(|(outcome, spec)| outcome.unwrap_or_else(|msg| CellResult::failed(spec, msg)))
+        .collect()
 }

@@ -3,6 +3,7 @@
 //! printing the reproduced rows during setup, then times a representative
 //! kernel under Criterion.
 
+pub mod fleet;
 pub mod harness;
 pub mod report;
 

@@ -75,7 +75,7 @@ fn cell_json(cell: &CellResult) -> String {
         cell.counters.iter().fold(Obj::new(), |obj, (name, &value)| obj.int(name, value)).finish();
     let metrics =
         cell.metrics.iter().fold(Obj::new(), |obj, (name, &value)| obj.num(name, value)).finish();
-    Obj::new()
+    let obj = Obj::new()
         .str("name", &cell.name)
         .int("seed", cell.seed)
         .int("iters", cell.iters as u64)
@@ -83,8 +83,11 @@ fn cell_json(cell: &CellResult) -> String {
         .raw("config", &cell.config)
         .raw("counters", &counters)
         .raw("wall_s", &array(cell.wall_s.iter().map(|&w| num(w))))
-        .raw("metrics", &metrics)
-        .finish()
+        .raw("metrics", &metrics);
+    match &cell.error {
+        Some(e) => obj.str("error", e).finish(),
+        None => obj.finish(),
+    }
 }
 
 /// Serialize a suite run to the `sapred-bench/v1` report document.

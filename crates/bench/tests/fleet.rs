@@ -1,0 +1,174 @@
+//! Fleet-simulation tests: the golden single-sim fixture, double-run
+//! determinism, coordinate-derived seeding, and the aggregation layer.
+
+use sapred_bench::dispatch_workload;
+use sapred_bench::fleet::{
+    bench_grid, fnv1a, run_fleet, AdmissionLevel, FaultLevel, FleetGrid, SchedKind, WorkloadSpec,
+};
+use sapred_cluster::sched::Swrd;
+use sapred_cluster::sim::{ShedPolicy, Simulator};
+
+fn tiny_workload() -> WorkloadSpec {
+    WorkloadSpec { n_queries: 5, jobs: 2, maps: 4, reduces: 2 }
+}
+
+fn tiny_grid() -> FleetGrid {
+    FleetGrid {
+        workloads: vec![tiny_workload()],
+        schedulers: vec![SchedKind::Swrd, SchedKind::Hcs],
+        faults: vec![FaultLevel { task_fail_prob: 0.0 }, FaultLevel { task_fail_prob: 0.08 }],
+        admissions: vec![
+            AdmissionLevel::off(),
+            AdmissionLevel {
+                queue_cap: 3,
+                deadline: 250.0,
+                shed_policy: ShedPolicy::ShedLargestWrd,
+            },
+        ],
+        seeds: vec![42, 43],
+    }
+}
+
+/// The golden fixture: a 1-cell fleet must reproduce, bit-for-bit, the
+/// summary of a [`Simulator`] run assembled by hand from the same grid
+/// accessors. Any hidden dependence on the fleet host (worker threads,
+/// profiler plumbing, claim order) would break this.
+#[test]
+fn one_cell_fleet_reproduces_the_single_sim_report() {
+    let w = tiny_workload();
+    let grid = FleetGrid {
+        workloads: vec![w],
+        schedulers: vec![SchedKind::Swrd],
+        faults: vec![FaultLevel { task_fail_prob: 0.05 }],
+        admissions: vec![AdmissionLevel {
+            queue_cap: 4,
+            deadline: 300.0,
+            shed_policy: ShedPolicy::RejectNewest,
+        }],
+        seeds: vec![99],
+    };
+    let report = run_fleet(&grid, 4).expect("valid grid");
+    assert_eq!(report.cells.len(), 1);
+    let fleet_summary = report.cells[0].outcome.as_ref().expect("cell completed");
+
+    let coord = grid.coords()[0];
+    let queries = dispatch_workload(w.n_queries, w.jobs, w.maps, w.reduces);
+    let fw = sapred_core::Framework::new();
+    let mut cluster = fw.cluster;
+    cluster.seed = grid.cell_seed(&coord);
+    let mut sim = Simulator::new(cluster, fw.cost, Swrd)
+        .with_faults(grid.cell_fault_plan(&coord))
+        .with_admission(grid.cell_admission(&coord));
+    let solo = sim.run(&queries).cell_summary();
+
+    assert_eq!(*fleet_summary, solo, "fleet cell diverged from a standalone simulation");
+    // Sanity: the fixture actually exercises faults and admission.
+    assert!(solo.task_failures > 0, "fixture ran fault-free; raise task_fail_prob");
+    assert_eq!(solo.n_queries, w.n_queries);
+}
+
+/// Same grid, two runs ⇒ identical aggregate JSON bytes (the ISSUE's
+/// determinism pin). Runs at different thread counts to double as an
+/// order-independence check.
+#[test]
+fn double_run_aggregate_json_is_bit_identical() {
+    let grid = tiny_grid();
+    let first = run_fleet(&grid, 2).expect("valid grid").to_json();
+    let second = run_fleet(&grid, 3).expect("valid grid").to_json();
+    assert_eq!(first, second, "fleet aggregate JSON is not reproducible");
+    sapred_obs::json::validate(&first).expect("aggregate report is well-formed JSON");
+}
+
+/// Cell seeds derive from coordinates, not indices: appending a value to
+/// one axis must not reseed any pre-existing cell.
+#[test]
+fn appending_an_axis_value_never_reseeds_existing_cells() {
+    let base = tiny_grid();
+    let mut extended = base.clone();
+    extended.seeds.push(77);
+    extended.schedulers.push(SchedKind::Fifo);
+
+    let seeds_of = |grid: &FleetGrid| -> Vec<(String, u64)> {
+        grid.coords().iter().map(|c| (grid.coord_label(c), grid.cell_seed(c))).collect()
+    };
+    let before: std::collections::BTreeMap<_, _> = seeds_of(&base).into_iter().collect();
+    let after: std::collections::BTreeMap<_, _> = seeds_of(&extended).into_iter().collect();
+    for (label, seed) in &before {
+        assert_eq!(after.get(label), Some(seed), "cell {label} was reseeded by an axis append");
+    }
+    assert!(after.len() > before.len());
+}
+
+/// The FNV-1a implementation matches the published 64-bit test vectors, so
+/// cell seeds are stable across platforms and releases.
+#[test]
+fn fnv1a_matches_the_reference_vectors() {
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+}
+
+/// The aggregation layer covers every (axis × axis) combination that has
+/// completed cells, and rates stay within sane bounds.
+#[test]
+fn aggregation_layer_covers_the_grid() {
+    let grid = tiny_grid();
+    let report = run_fleet(&grid, 0).expect("valid grid");
+    assert_eq!(report.completed(), grid.n_cells());
+    assert_eq!(report.failed(), 0);
+
+    let surfaces = report.surfaces();
+    assert_eq!(surfaces.len(), grid.schedulers.len() * grid.faults.len());
+    for p in &surfaces {
+        assert_eq!(p.n_cells, grid.workloads.len() * grid.admissions.len() * grid.seeds.len());
+        assert!(p.makespan_mean > 0.0 && p.makespan_mean.is_finite());
+        assert!(p.makespan_p50 <= p.makespan_p95 && p.makespan_p95 <= p.makespan_p99);
+        assert!(p.response_p50 <= p.response_p95 && p.response_p95 <= p.response_p99);
+    }
+
+    let frontiers = report.frontiers();
+    assert_eq!(frontiers.len(), grid.admissions.len() * grid.faults.len());
+    for f in &frontiers {
+        for rate in [f.reject_rate, f.miss_rate] {
+            assert!((0.0..=1.0).contains(&rate), "per-query rate out of range: {rate}");
+        }
+        assert!(f.shed_rate >= 0.0 && f.resubmit_rate >= 0.0);
+    }
+
+    // The off admission rows shed nothing.
+    for f in frontiers.iter().filter(|f| f.admission == "off") {
+        assert_eq!((f.shed_rate, f.reject_rate, f.miss_rate), (0.0, 0.0, 0.0));
+    }
+}
+
+/// An invalid grid is rejected up front, before any cell runs.
+#[test]
+fn invalid_grids_are_rejected() {
+    let mut grid = tiny_grid();
+    grid.schedulers.clear();
+    assert!(run_fleet(&grid, 1).unwrap_err().contains("scheduler"));
+
+    let mut grid = tiny_grid();
+    grid.workloads[0].n_queries = 0;
+    assert!(run_fleet(&grid, 1).is_err());
+
+    let mut grid = tiny_grid();
+    grid.faults.push(FaultLevel { task_fail_prob: 1.5 });
+    assert!(run_fleet(&grid, 1).is_err());
+}
+
+/// The bench grid helper clamps its axis counts and stays deterministic.
+#[test]
+fn bench_grid_shape_and_seeds() {
+    let grid = bench_grid(2, 2, 2, 3, tiny_workload(), 17);
+    assert_eq!(grid.schedulers, vec![SchedKind::Swrd, SchedKind::Hcs]);
+    assert_eq!(grid.faults.len(), 2);
+    assert_eq!(grid.admissions.len(), 2);
+    assert_eq!(grid.seeds, vec![17, 18, 19]);
+    assert_eq!(grid.n_cells(), 2 * 2 * 2 * 3);
+    // Oversized axis requests clamp to the rosters.
+    let big = bench_grid(99, 99, 99, 1, tiny_workload(), 1);
+    assert_eq!(big.schedulers.len(), SchedKind::ALL.len());
+    assert_eq!(big.faults.len(), 4);
+    assert_eq!(big.admissions.len(), 2);
+}

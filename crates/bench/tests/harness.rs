@@ -2,7 +2,9 @@
 //! schema-valid reports, and the compare classifier (clean / skipped /
 //! drift / regression).
 
-use sapred_bench::harness::{dispatch_suite, run_cell, run_suite, CellKind, CellSpec};
+use sapred_bench::harness::{
+    dispatch_suite, fleet_suite, run_cell, run_claiming, run_suite, CellKind, CellSpec,
+};
 use sapred_bench::report::{compare, suite_json, validate_schema, SCHEMA};
 use sapred_cluster::sim::DispatchMode;
 
@@ -103,6 +105,99 @@ fn compare_classifies_regression_drift_and_config_mismatch() {
     let cmp = compare(&baseline, &other_doc, 1e9);
     assert_eq!(cmp.skipped, 1, "{:?}", cmp.lines);
     assert!(!cmp.gate_failed());
+}
+
+/// One panicking cell must not take down the suite: the survivors finish,
+/// the explosion is recorded on its own cell with its panic message, and
+/// the report (with the failed cell in it) still validates.
+#[test]
+fn run_suite_survives_a_panicking_cell() {
+    // `iters: 0` trips `run_cell`'s assertion — a deterministic panic
+    // injected through the public spec surface, no test-only hooks.
+    let exploder = CellSpec { name: "exploder", iters: 0, ..tiny_cell() };
+    let specs = [tiny_cell(), exploder, tiny_cell()];
+    let cells = run_suite(&specs, 2);
+    assert_eq!(cells.len(), specs.len(), "a panicking cell lost results");
+
+    let failed = &cells[1];
+    assert_eq!(failed.name, "exploder");
+    let msg = failed.error.as_ref().expect("panic recorded as an error");
+    assert!(msg.contains("zero iterations"), "panic message lost: {msg}");
+    assert!(!failed.deterministic);
+    assert!(failed.counters.is_empty() && failed.wall_s.is_empty() && failed.metrics.is_empty());
+
+    for survivor in [&cells[0], &cells[2]] {
+        assert!(survivor.error.is_none());
+        assert!(survivor.deterministic, "survivor {} was corrupted", survivor.name);
+        assert!(!survivor.counters.is_empty());
+    }
+
+    // The failed cell still serializes into a schema-valid report, and a
+    // baseline comparison flags it as drift (its counters vanished) rather
+    // than silently dropping it.
+    let text = suite_json("dispatch", true, &cells);
+    let doc = validate_schema(&text).expect("report with a failed cell validates");
+    let healthy = run_suite(&[specs[0], specs[2]], 1);
+    let mut baseline_cells = vec![healthy[0].clone(), cells[1].clone(), healthy[1].clone()];
+    baseline_cells[1] = run_cell(&specs[0]); // stand-in healthy baseline for the exploder
+    baseline_cells[1].name = "exploder".to_string();
+    let baseline = validate_schema(&suite_json("dispatch", true, &baseline_cells)).unwrap();
+    let cmp = compare(&baseline, &doc, 1e9);
+    assert!(cmp.drifts > 0, "failed cell did not surface as drift: {:?}", cmp.lines);
+}
+
+/// The claiming loop isolates panics per item and returns outcomes in item
+/// order at any worker count.
+#[test]
+fn run_claiming_is_panic_isolated_and_ordered() {
+    for threads in [1, 2, 8] {
+        let outcomes = run_claiming(7, threads, |i| {
+            if i % 3 == 1 {
+                panic!("boom at {i}");
+            }
+            i * 10
+        });
+        assert_eq!(outcomes.len(), 7);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                Ok(v) => {
+                    assert!(i % 3 != 1);
+                    assert_eq!(*v, i * 10, "outcome out of order at {threads} threads");
+                }
+                Err(msg) => {
+                    assert_eq!(i % 3, 1);
+                    assert_eq!(msg, &format!("boom at {i}"));
+                }
+            }
+        }
+    }
+}
+
+/// The quick fleet suite runs deterministically, reports sims/sec, and its
+/// parallel and single-thread cells agree on every engine counter.
+#[test]
+fn quick_fleet_suite_is_deterministic_and_reports_sims_per_s() {
+    let specs = fleet_suite(true);
+    let cells = run_suite(&specs, 2);
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        assert!(cell.error.is_none());
+        assert!(cell.deterministic, "fleet cell {} not deterministic", cell.name);
+        let sims = cell.metrics.get("sims_per_s").copied().unwrap_or(0.0);
+        assert!(sims > 0.0, "cell {} reported no throughput", cell.name);
+        assert_eq!(cell.counters.get("fleet_cells_run"), Some(&16u64), "{}", cell.name);
+        assert_eq!(cell.counters.get("fleet_cells_failed"), Some(&0u64), "{}", cell.name);
+    }
+    // Same grid at different thread counts ⇒ identical aggregated counters.
+    let (par, single) = (&cells[0], &cells[1]);
+    for (counter, value) in &par.counters {
+        assert_eq!(
+            single.counters.get(counter),
+            Some(value),
+            "counter {counter} diverges between parallel and single-thread fleets"
+        );
+    }
+    validate_schema(&suite_json("fleet", true, &cells)).expect("fleet report validates");
 }
 
 #[test]

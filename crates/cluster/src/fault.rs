@@ -34,6 +34,26 @@
 
 use sapred_obs::{NodeId, QueryId};
 
+/// Largest exponent fed to `2^exp` when computing capped-exponential
+/// backoff. `2^52` is exactly representable in an `f64` and already far past
+/// any realistic retry budget; clamping here (rather than casting a raw
+/// `usize` attempt count to `i32`) keeps huge attempt counts from wrapping
+/// the exponent negative and producing a sub-`base` — or outright
+/// non-monotone — delay before the cap is applied.
+pub(crate) const BACKOFF_EXP_CLAMP: usize = 52;
+
+/// Shared capped-exponential backoff shape: `base * 2^(attempts_used - 1)`,
+/// clamped to `cap`. Used by both [`FaultPlan::backoff`] (task retries) and
+/// `AdmissionConfig::resubmit_backoff` (shed-query resubmission) so the two
+/// paths can never drift apart. For any finite non-negative `base` the
+/// result is finite, non-negative, and non-decreasing in `attempts_used`
+/// until it saturates at `cap` (or at `base * 2^52` when `cap` is
+/// infinite).
+pub(crate) fn capped_exponential(base: f64, attempts_used: usize, cap: f64) -> f64 {
+    let exp = attempts_used.saturating_sub(1).min(BACKOFF_EXP_CLAMP) as i32;
+    (base * 2f64.powi(exp)).min(cap)
+}
+
 /// One scheduled node outage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeCrash {
@@ -115,10 +135,11 @@ impl FaultPlan {
     }
 
     /// Retry delay before attempt `n + 1`, given `n` attempts already used:
-    /// capped exponential `backoff_base * 2^(n-1)`.
+    /// capped exponential `backoff_base * 2^(n-1)`. The exponent is clamped
+    /// (see [`capped_exponential`]) so arbitrarily large attempt counts stay
+    /// finite, non-negative, and monotone until the cap.
     pub fn backoff(&self, attempts_used: usize) -> f64 {
-        let exp = attempts_used.saturating_sub(1).min(52) as i32;
-        (self.backoff_base * 2f64.powi(exp)).min(self.backoff_cap)
+        capped_exponential(self.backoff_base, attempts_used, self.backoff_cap)
     }
 
     /// Validate the plan against a cluster of `nodes` nodes.
@@ -252,6 +273,40 @@ mod tests {
         assert_eq!(p.backoff(3), 2.0);
         assert_eq!(p.backoff(4), 3.0, "capped");
         assert_eq!(p.backoff(60), 3.0, "huge attempt counts do not overflow");
+    }
+
+    #[test]
+    fn backoff_near_and_past_the_exponent_clamp() {
+        // An uncapped plan exposes the raw exponential: the clamp — not the
+        // cap — must be what stops the growth, and the delay must never go
+        // negative, non-finite, or non-monotone on the way there.
+        let p = FaultPlan { backoff_base: 0.5, backoff_cap: f64::INFINITY, ..Default::default() };
+        let mut prev = 0.0;
+        for attempts in 1..=80 {
+            let d = p.backoff(attempts);
+            assert!(d.is_finite(), "backoff({attempts}) = {d} must be finite");
+            assert!(d >= 0.0, "backoff({attempts}) = {d} must be non-negative");
+            assert!(d >= prev, "backoff({attempts}) = {d} dropped below {prev}");
+            prev = d;
+        }
+        // Exact values at the clamp boundary: 2^(n-1) grows until the
+        // exponent saturates at BACKOFF_EXP_CLAMP, then stays flat.
+        assert_eq!(p.backoff(52), 0.5 * 2f64.powi(51));
+        assert_eq!(p.backoff(53), 0.5 * 2f64.powi(52), "at the clamp");
+        assert_eq!(p.backoff(54), p.backoff(53), "past the clamp: saturated");
+        assert_eq!(p.backoff(usize::MAX), p.backoff(53), "usize::MAX cannot wrap the exponent");
+    }
+
+    #[test]
+    fn backoff_monotone_until_cap_then_flat() {
+        let p = FaultPlan { backoff_base: 0.5, backoff_cap: 6.0, ..Default::default() };
+        let delays: Vec<f64> = (1..=60).map(|n| p.backoff(n)).collect();
+        for w in delays.windows(2) {
+            assert!(w[1] >= w[0], "delays must be non-decreasing: {} then {}", w[0], w[1]);
+        }
+        assert_eq!(p.backoff(1), 0.5);
+        assert_eq!(p.backoff(5), 6.0, "capped from attempt 5 on");
+        assert!(delays.iter().all(|d| *d <= 6.0), "no delay may exceed the cap");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! The default config is fully disabled and leaves the simulation
 //! byte-for-byte identical to one without admission control.
 
+use crate::fault::capped_exponential;
 use sapred_obs::QueryId;
 
 /// Which query a full pending queue sheds.
@@ -94,11 +95,12 @@ impl AdmissionConfig {
     }
 
     /// Backoff delay before resubmission attempt `n` (1-based):
-    /// `min(resubmit_base * 2^(n-1), resubmit_cap)` — the same capped
-    /// exponential shape as `FaultPlan::backoff`.
+    /// `min(resubmit_base * 2^(n-1), resubmit_cap)` — literally the same
+    /// clamped capped-exponential helper as `FaultPlan::backoff`, so the two
+    /// retry paths can never diverge. The exponent clamp keeps huge attempt
+    /// counts finite, non-negative, and monotone until the cap.
     pub fn resubmit_backoff(&self, n: usize) -> f64 {
-        let exp = n.saturating_sub(1).min(52) as i32;
-        (self.resubmit_base * f64::powi(2.0, exp)).min(self.resubmit_cap)
+        capped_exponential(self.resubmit_base, n, self.resubmit_cap)
     }
 
     /// Check the configuration, returning a description of the first
@@ -179,6 +181,37 @@ mod tests {
         assert_eq!(c.resubmit_backoff(3), 8.0);
         assert_eq!(c.resubmit_backoff(5), 30.0, "capped");
         assert_eq!(c.resubmit_backoff(500), 30.0, "huge attempt counts cannot overflow");
+    }
+
+    #[test]
+    fn resubmit_backoff_near_and_past_the_exponent_clamp() {
+        // Uncapped, so only the exponent clamp bounds the growth. Delays
+        // must stay finite, non-negative, and non-decreasing throughout.
+        let c = AdmissionConfig {
+            resubmit_base: 2.0,
+            resubmit_cap: f64::INFINITY,
+            ..Default::default()
+        };
+        let mut prev = 0.0;
+        for n in 1..=80 {
+            let d = c.resubmit_backoff(n);
+            assert!(d.is_finite(), "resubmit_backoff({n}) = {d} must be finite");
+            assert!(d >= 0.0, "resubmit_backoff({n}) = {d} must be non-negative");
+            assert!(d >= prev, "resubmit_backoff({n}) = {d} dropped below {prev}");
+            prev = d;
+        }
+        assert_eq!(c.resubmit_backoff(53), 2.0 * 2f64.powi(52), "at the clamp");
+        assert_eq!(c.resubmit_backoff(54), c.resubmit_backoff(53), "saturated past the clamp");
+        assert_eq!(c.resubmit_backoff(usize::MAX), c.resubmit_backoff(53), "no usize→i32 wrap");
+        // Matches FaultPlan::backoff bit-for-bit at the same parameters.
+        let p = crate::FaultPlan {
+            backoff_base: 2.0,
+            backoff_cap: f64::INFINITY,
+            ..Default::default()
+        };
+        for n in [1, 2, 7, 51, 52, 53, 54, 500] {
+            assert_eq!(c.resubmit_backoff(n).to_bits(), p.backoff(n).to_bits());
+        }
     }
 
     #[test]

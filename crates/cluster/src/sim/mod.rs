@@ -43,7 +43,7 @@ pub use admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 pub use dispatch::DispatchMode;
 pub use engine::Simulator;
 pub use oracle::{DemandOracle, FrozenOracle, GuardConfig, GuardedOracle, QuarantineRecord};
-pub use report::{JobStat, QueryStat, SimReport};
+pub use report::{CellSummary, JobStat, QueryStat, SimReport};
 
 /// Cluster configuration (defaults mirror the paper's testbed: 9 nodes ×
 /// 12 containers, 1 GB per reducer, small job-submission overhead).

@@ -34,17 +34,24 @@ pub enum Counter {
     TasksLaunched,
     /// Peak simulator event-heap depth (high-water mark).
     QueuePeakDepth,
+    /// Fleet cells (whole simulations) run to completion by the fleet host.
+    FleetCellsRun,
+    /// Fleet cells that panicked or otherwise failed; their coordinates are
+    /// recorded in the fleet report instead of a summary.
+    FleetCellsFailed,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 8] = [
         Counter::EventsProcessed,
         Counter::DispatchDecisions,
         Counter::SchedulerViewUpdates,
         Counter::SinkEventsEmitted,
         Counter::TasksLaunched,
         Counter::QueuePeakDepth,
+        Counter::FleetCellsRun,
+        Counter::FleetCellsFailed,
     ];
 
     /// Stable snake_case label used in JSON reports.
@@ -56,6 +63,8 @@ impl Counter {
             Counter::SinkEventsEmitted => "sink_events_emitted",
             Counter::TasksLaunched => "tasks_launched",
             Counter::QueuePeakDepth => "queue_peak_depth",
+            Counter::FleetCellsRun => "fleet_cells_run",
+            Counter::FleetCellsFailed => "fleet_cells_failed",
         }
     }
 }
@@ -118,8 +127,11 @@ impl Profiler for NullProfiler {
 
 /// Cap on raw per-span samples kept for exact percentiles. Past the cap the
 /// aggregate stats (count/total/min/max) stay exact but percentiles are
-/// computed from the first `SAMPLE_CAP` samples.
-const SAMPLE_CAP: usize = 1 << 16;
+/// computed from the first `SAMPLE_CAP` samples — a truncation the summary
+/// reports explicitly ([`SpanStat::samples_dropped`] /
+/// [`SpanStat::truncated`]) rather than letting a fleet-scale p99 silently
+/// describe only the retained prefix.
+pub const SAMPLE_CAP: usize = 1 << 16;
 
 /// Aggregated timings for one span name.
 #[derive(Debug, Clone, Default)]
@@ -160,7 +172,27 @@ impl SpanStat {
         }
     }
 
-    /// Nearest-rank quantile over the retained samples; `q` in `[0, 1]`.
+    /// Raw samples retained for percentile computation (≤ [`SAMPLE_CAP`]).
+    pub fn samples_retained(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Samples past the cap that percentiles can no longer see. Non-zero
+    /// means [`SpanStat::quantile_ns`] describes only the first
+    /// [`SAMPLE_CAP`] spans, not the whole run.
+    pub fn samples_dropped(&self) -> u64 {
+        self.count.saturating_sub(self.samples_ns.len() as u64)
+    }
+
+    /// Whether percentiles are computed over a truncated prefix of the run.
+    pub fn truncated(&self) -> bool {
+        self.samples_dropped() > 0
+    }
+
+    /// Nearest-rank quantile over the *retained* samples (the first
+    /// [`SAMPLE_CAP`] recorded); `q` in `[0, 1]`. Check
+    /// [`SpanStat::truncated`] before trusting tail quantiles of very long
+    /// runs.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.samples_ns.is_empty() {
             return 0;
@@ -222,6 +254,12 @@ impl SpanProfiler {
         self.open.get() == 0
     }
 
+    /// Total samples dropped past the per-span cap, across all spans. Zero
+    /// means every reported percentile saw the whole run.
+    pub fn total_samples_dropped(&self) -> u64 {
+        self.spans.borrow().values().map(SpanStat::samples_dropped).sum()
+    }
+
     fn close(&self, name: &'static str, elapsed_ns: u64) {
         self.depth.set(self.depth.get().saturating_sub(1));
         self.open.set(self.open.get().saturating_sub(1));
@@ -231,8 +269,10 @@ impl SpanProfiler {
     /// Render counters and per-span summaries as one JSON object.
     ///
     /// Schema: `{"counters": {label: int, ...}, "spans": [{"name", "count",
-    /// "total_s", "mean_s", "min_s", "max_s", "p50_s", "p95_s", "p99_s"},
-    /// ...], "max_depth": int, "open_spans": int}`.
+    /// "total_s", "mean_s", "min_s", "max_s", "p50_s", "p95_s", "p99_s",
+    /// "samples_retained", "samples_dropped", "truncated"}, ...],
+    /// "max_depth": int, "open_spans": int}`. `truncated: true` flags spans
+    /// whose percentiles describe only the first [`SAMPLE_CAP`] samples.
     pub fn to_json(&self) -> String {
         let mut counters = Obj::new();
         for c in Counter::ALL {
@@ -251,6 +291,9 @@ impl SpanProfiler {
                 .num("p50_s", s(st.quantile_ns(0.50)))
                 .num("p95_s", s(st.quantile_ns(0.95)))
                 .num("p99_s", s(st.quantile_ns(0.99)))
+                .int("samples_retained", st.samples_retained() as u64)
+                .int("samples_dropped", st.samples_dropped())
+                .bool("truncated", st.truncated())
                 .finish()
         });
         Obj::new()
@@ -273,12 +316,20 @@ impl SpanProfiler {
             out.push_str("spans (name count total mean p95):\n");
             for (name, st) in spans.iter() {
                 out.push_str(&format!(
-                    "  {:<24} {:>8} {:>10.4}s {:>10.1}us {:>10.1}us\n",
+                    "  {:<24} {:>8} {:>10.4}s {:>10.1}us {:>10.1}us{}\n",
                     name,
                     st.count,
                     st.total_ns as f64 / 1e9,
                     st.mean_ns() / 1e3,
                     st.quantile_ns(0.95) as f64 / 1e3,
+                    if st.truncated() {
+                        format!(
+                            "  (percentiles truncated: {} samples dropped)",
+                            st.samples_dropped()
+                        )
+                    } else {
+                        String::new()
+                    },
                 ));
             }
         }
@@ -411,6 +462,41 @@ mod tests {
         assert_eq!(many.quantile_ns(1.0), 100);
         assert_eq!(many.quantile_ns(0.0), 1);
         assert_eq!(many.count, 100);
+    }
+
+    #[test]
+    fn over_cap_samples_are_reported_as_truncation() {
+        let mut st = SpanStat::default();
+        for v in 0..(SAMPLE_CAP as u64 + 10) {
+            st.record(v);
+        }
+        assert_eq!(st.count, SAMPLE_CAP as u64 + 10);
+        assert_eq!(st.samples_retained(), SAMPLE_CAP);
+        assert_eq!(st.samples_dropped(), 10);
+        assert!(st.truncated());
+        // Aggregates stay exact past the cap; percentiles see only the
+        // retained prefix (here 0..SAMPLE_CAP).
+        assert_eq!(st.max_ns, SAMPLE_CAP as u64 + 9);
+        assert_eq!(st.quantile_ns(1.0), SAMPLE_CAP as u64 - 1);
+        // An under-cap stat reports no truncation.
+        let mut small = SpanStat::default();
+        small.record(7);
+        assert!(!small.truncated());
+        assert_eq!(small.samples_dropped(), 0);
+        assert_eq!(small.samples_retained(), 1);
+    }
+
+    #[test]
+    fn truncation_flags_reach_the_json_and_summary() {
+        let p = SpanProfiler::new();
+        drop(p.span("tiny"));
+        assert_eq!(p.total_samples_dropped(), 0);
+        let doc = p.to_json();
+        validate(&doc).unwrap();
+        assert!(doc.contains("\"samples_retained\":1"));
+        assert!(doc.contains("\"samples_dropped\":0"));
+        assert!(doc.contains("\"truncated\":false"));
+        assert!(!p.summary().contains("truncated"));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! sapred predict    --sql "SELECT ..." [--scale GB]        # train + predict one query
 //! sapred simulate   --mix bing|facebook [--gap S] [--divisor D]   # Fig. 8
 //! sapred trace      bing|facebook [--out trace.json] [--events events.jsonl] [--metrics metrics.json]
-//! sapred bench      [--suite dispatch|pipeline|all] [--quick] [--compare BENCH.json] [--gate]
+//! sapred fleet      [--schedulers CSV] [--fail-probs CSV] [--seeds N] [--out fleet.json]   # grid sweep
+//! sapred bench      [--suite dispatch|pipeline|fleet|all] [--quick] [--compare BENCH.json] [--gate]
 //! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
 //! ```
 
@@ -28,7 +29,10 @@ use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::persist::save_catalog;
 use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
 use sapred::workload::population::PopulationConfig;
-use sapred_bench::harness::{dispatch_suite, pipeline_suite, run_suite, CellResult};
+use sapred_bench::fleet::{
+    run_fleet, AdmissionLevel, FaultLevel, FleetGrid, SchedKind, WorkloadSpec,
+};
+use sapred_bench::harness::{dispatch_suite, fleet_suite, pipeline_suite, run_suite, CellResult};
 use sapred_bench::report::{compare, suite_json, validate_schema, Comparison};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
                 "train" => cmd_train(&flags),
                 "predict" => cmd_predict(&flags),
                 "simulate" => cmd_simulate(&flags),
+                "fleet" => cmd_fleet(&flags),
                 "motivation" => cmd_motivation(&flags),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
@@ -86,7 +91,12 @@ USAGE:
                     [--queue-cap <N>] [--deadline <SECONDS>]
                     [--shed-policy <reject-newest|largest-wrd>] [--guard <on|off>]
                     [--profile <profile.json>]
-  sapred bench      [--suite <dispatch|pipeline|all>] [--quick] [--iters <N>] [--threads <N>]
+  sapred fleet      [--grid <GRID.json>] [--schedulers <CSV of swrd|hcs|hfs|fifo|srt>]
+                    [--fail-probs <CSV>] [--queue-caps <CSV>] [--deadline <SECONDS>]
+                    [--shed-policy <reject-newest|largest-wrd>] [--seeds <N>] [--seed <BASE>]
+                    [--queries <N>] [--jobs <N>] [--maps <N>] [--reduces <N>]
+                    [--threads <N>] [--out <fleet.json>]
+  sapred bench      [--suite <dispatch|pipeline|fleet|all>] [--quick] [--iters <N>] [--threads <N>]
                     [--out <DIR>] [--compare <BENCH.json>] [--threshold <FRACTION>] [--gate]
                     [--validate <BENCH.json>]... [--compare-files <OLD.json> <NEW.json>]
   sapred motivation [--small <GB>] [--big <GB>]";
@@ -442,6 +452,227 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+fn parse_shed_policy(name: &str) -> Result<ShedPolicy, Error> {
+    match name {
+        "reject-newest" | "reject_newest" => Ok(ShedPolicy::RejectNewest),
+        "largest-wrd" | "largest_wrd" => Ok(ShedPolicy::ShedLargestWrd),
+        other => Err(Error::invalid(format!(
+            "unknown shed policy `{other}` (expected reject-newest|largest-wrd)"
+        ))),
+    }
+}
+
+/// Load a declarative fleet grid from a JSON file. The format is exactly
+/// the `grid` object a fleet report echoes, so a previous run's output can
+/// be replayed: `workloads` (objects with `n_queries`/`jobs`/`maps`/
+/// `reduces`), `schedulers` (names), `fault_levels` (failure
+/// probabilities), `admissions` (objects with `queue_cap`, `deadline` —
+/// `null`/absent means none — and `shed_policy`), and `seeds`.
+fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
+    use sapred::obs::json::Value;
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(format!("read {path}"), e))?;
+    let doc =
+        sapred::obs::json::parse(&text).map_err(|e| Error::invalid(format!("{path}: {e}")))?;
+    let arr = |key: &str| -> Result<&[Value], Error> {
+        doc.get(key)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| Error::invalid(format!("{path}: missing array field {key:?}")))
+    };
+    let field_usize = |v: &Value, key: &str, at: &str| -> Result<usize, Error> {
+        v.get(key)
+            .and_then(Value::as_num)
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .map(|n| n as usize)
+            .ok_or_else(|| Error::invalid(format!("{path}: {at}: {key:?} must be a whole number")))
+    };
+
+    let mut workloads = Vec::new();
+    for (i, w) in arr("workloads")?.iter().enumerate() {
+        let at = format!("workloads[{i}]");
+        workloads.push(WorkloadSpec {
+            n_queries: field_usize(w, "n_queries", &at)?,
+            jobs: field_usize(w, "jobs", &at)?,
+            maps: field_usize(w, "maps", &at)?,
+            reduces: field_usize(w, "reduces", &at)?,
+        });
+    }
+    let mut schedulers = Vec::new();
+    for (i, s) in arr("schedulers")?.iter().enumerate() {
+        let name = s
+            .as_str()
+            .ok_or_else(|| Error::invalid(format!("{path}: schedulers[{i}] must be a string")))?;
+        schedulers.push(SchedKind::parse(name).map_err(Error::invalid)?);
+    }
+    let mut faults = Vec::new();
+    for (i, f) in arr("fault_levels")?.iter().enumerate() {
+        let p = f
+            .as_num()
+            .ok_or_else(|| Error::invalid(format!("{path}: fault_levels[{i}] must be a number")))?;
+        faults.push(FaultLevel { task_fail_prob: p });
+    }
+    let mut admissions = Vec::new();
+    for (i, a) in arr("admissions")?.iter().enumerate() {
+        let at = format!("admissions[{i}]");
+        let deadline = match a.get("deadline") {
+            None | Some(Value::Null) => f64::INFINITY,
+            Some(v) => v.as_num().ok_or_else(|| {
+                Error::invalid(format!("{path}: {at}: \"deadline\" must be a number or null"))
+            })?,
+        };
+        let shed_policy = match a.get("shed_policy") {
+            None => ShedPolicy::default(),
+            Some(v) => parse_shed_policy(v.as_str().ok_or_else(|| {
+                Error::invalid(format!("{path}: {at}: \"shed_policy\" must be a string"))
+            })?)?,
+        };
+        admissions.push(AdmissionLevel {
+            queue_cap: field_usize(a, "queue_cap", &at)?,
+            deadline,
+            shed_policy,
+        });
+    }
+    let mut seeds = Vec::new();
+    for (i, s) in arr("seeds")?.iter().enumerate() {
+        let seed = match s {
+            // Seeds may exceed f64's integer range, so strings are accepted.
+            Value::Str(text) => text.parse::<u64>().ok(),
+            v => v.as_num().filter(|n| n.fract() == 0.0 && *n >= 0.0).map(|n| n as u64),
+        }
+        .ok_or_else(|| Error::invalid(format!("{path}: seeds[{i}] must be a u64")))?;
+        seeds.push(seed);
+    }
+    Ok(FleetGrid { workloads, schedulers, faults, admissions, seeds })
+}
+
+/// `sapred fleet`: expand a declarative (workload × scheduler × fault ×
+/// admission × seed) grid, run every cell across worker threads, print the
+/// aggregation layer, and write the aggregate JSON report — bit-identical
+/// for the same grid at any `--threads` value.
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Error> {
+    fn parse_csv(raw: &str) -> impl Iterator<Item = &str> {
+        raw.split(',').map(str::trim).filter(|s| !s.is_empty())
+    }
+    let threads = flag_usize(flags, "threads", 0)?;
+    let out = flags.get("out").map(String::as_str).unwrap_or("fleet.json");
+
+    let grid = if let Some(path) = flags.get("grid") {
+        load_grid_file(path)?
+    } else {
+        let scheds = flags.get("schedulers").map(String::as_str).unwrap_or("swrd,hcs");
+        let schedulers = parse_csv(scheds)
+            .map(|s| SchedKind::parse(s).map_err(Error::invalid))
+            .collect::<Result<Vec<_>, _>>()?;
+        let probs = flags.get("fail-probs").map(String::as_str).unwrap_or("0,0.08");
+        let faults = parse_csv(probs)
+            .map(|s| {
+                s.parse::<f64>()
+                    .map(|task_fail_prob| FaultLevel { task_fail_prob })
+                    .map_err(|_| Error::invalid(format!("--fail-probs: `{s}` is not a number")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let deadline = flag_f64(flags, "deadline", f64::INFINITY)?;
+        let shed_policy = parse_shed_policy(
+            flags.get("shed-policy").map(String::as_str).unwrap_or("largest-wrd"),
+        )?;
+        let caps = flags.get("queue-caps").map(String::as_str).unwrap_or("0");
+        let admissions = parse_csv(caps)
+            .map(|s| {
+                let cap: usize = s.parse().map_err(|_| {
+                    Error::invalid(format!("--queue-caps: `{s}` is not an integer"))
+                })?;
+                // Cap 0 is the inert config; --deadline/--shed-policy only
+                // shape the capped levels.
+                Ok(if cap == 0 {
+                    AdmissionLevel::off()
+                } else {
+                    AdmissionLevel { queue_cap: cap, deadline, shed_policy }
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        let n_seeds = flag_usize(flags, "seeds", 2)?;
+        let base = flag_usize(flags, "seed", 42)? as u64;
+        FleetGrid {
+            workloads: vec![WorkloadSpec {
+                n_queries: flag_usize(flags, "queries", 10)?,
+                jobs: flag_usize(flags, "jobs", 2)?,
+                maps: flag_usize(flags, "maps", 6)?,
+                reduces: flag_usize(flags, "reduces", 2)?,
+            }],
+            schedulers,
+            faults,
+            admissions,
+            seeds: (0..n_seeds.max(1) as u64).map(|i| base.wrapping_add(i)).collect(),
+        }
+    };
+
+    println!(
+        "running fleet: {} cell(s) = {} workload(s) x {} scheduler(s) x {} fault level(s) \
+         x {} admission config(s) x {} seed(s)...",
+        grid.n_cells(),
+        grid.workloads.len(),
+        grid.schedulers.len(),
+        grid.faults.len(),
+        grid.admissions.len(),
+        grid.seeds.len()
+    );
+    let report = run_fleet(&grid, threads).map_err(Error::invalid)?;
+    println!("completed {} cell(s), {} failed", report.completed(), report.failed());
+    for cell in &report.cells {
+        if let Err(e) = &cell.outcome {
+            println!("  FAILED {}: {e}", cell.label);
+        }
+    }
+
+    println!("\nper-(scheduler x fault) surface (makespan / mean response, seconds):");
+    for p in report.surfaces() {
+        println!(
+            "  {:<5} @ {:<6} ({:>3} cells) | makespan mean {:>8.1} p95 {:>8.1} | \
+             response mean {:>8.1} p95 {:>8.1}",
+            p.sched,
+            p.fault,
+            p.n_cells,
+            p.makespan_mean,
+            p.makespan_p95,
+            p.response_mean,
+            p.response_p95
+        );
+    }
+    let crossovers = report.crossovers();
+    if crossovers.is_empty() {
+        println!("\nno scheduler crossovers detected");
+    } else {
+        for x in &crossovers {
+            println!(
+                "\ncrossover: {} vs {} flips at fault level {} \
+                 (mean response {:.1}s vs {:.1}s)",
+                x.reference, x.other, x.fault, x.reference_mean, x.other_mean
+            );
+        }
+    }
+    let frontiers: Vec<_> =
+        report.frontiers().into_iter().filter(|f| f.admission != "off").collect();
+    if !frontiers.is_empty() {
+        println!("\nshed/deadline frontier (per submitted query):");
+        for f in &frontiers {
+            println!(
+                "  {:<16} @ {:<6} ({:>3} cells) | shed {:.3} | reject {:.3} | \
+                 resubmit {:.3} | miss {:.3}",
+                f.admission,
+                f.fault,
+                f.n_cells,
+                f.shed_rate,
+                f.reject_rate,
+                f.resubmit_rate,
+                f.miss_rate
+            );
+        }
+    }
+
+    std::fs::write(out, report.to_json()).map_err(|e| Error::io(format!("write {out}"), e))?;
+    println!("\nwrote aggregate fleet report to {out}");
+    Ok(())
+}
+
 /// `sapred bench`: run the deterministic suite(s), write
 /// `BENCH_<suite>.json`, and optionally compare against a baseline.
 /// Parses its own arguments because `--quick`/`--gate` take no value.
@@ -548,16 +779,21 @@ fn cmd_bench(args: &[String]) -> Result<(), Error> {
     let suites: Vec<(&str, Vec<sapred_bench::harness::CellSpec>)> = match suite.as_str() {
         "dispatch" => vec![("dispatch", dispatch_suite(quick))],
         "pipeline" => vec![("pipeline", pipeline_suite(quick))],
-        "all" => vec![("dispatch", dispatch_suite(quick)), ("pipeline", pipeline_suite(quick))],
+        "fleet" => vec![("fleet", fleet_suite(quick))],
+        "all" => vec![
+            ("dispatch", dispatch_suite(quick)),
+            ("pipeline", pipeline_suite(quick)),
+            ("fleet", fleet_suite(quick)),
+        ],
         other => {
             return Err(Error::invalid(format!(
-                "unknown suite `{other}` (expected dispatch|pipeline|all)"
+                "unknown suite `{other}` (expected dispatch|pipeline|fleet|all)"
             )))
         }
     };
     if compare_path.is_some() && suites.len() > 1 {
         return Err(Error::invalid(
-            "--compare needs a single suite (add --suite dispatch or --suite pipeline)",
+            "--compare needs a single suite (add --suite dispatch, pipeline, or fleet)",
         ));
     }
 
@@ -597,14 +833,30 @@ fn cmd_bench(args: &[String]) -> Result<(), Error> {
 
 fn print_cells(cells: &[CellResult]) {
     for cell in cells {
+        if let Some(err) = &cell.error {
+            println!("  {:<22} FAILED: {err}", cell.name);
+            continue;
+        }
         let wall = cell.metrics.get("wall_p50_s").copied().unwrap_or(0.0);
-        let events = cell.metrics.get("events_per_s").copied().unwrap_or(0.0);
+        // Fleet cells headline sims/s; everything else events/s.
+        let rate = match cell.metrics.get("sims_per_s") {
+            Some(&sims) => format!("{sims:>12.2} sims/s  "),
+            None => {
+                let events = cell.metrics.get("events_per_s").copied().unwrap_or(0.0);
+                format!("{events:>12.0} events/s")
+            }
+        };
+        let dropped = cell.counters.get("span_samples_dropped").copied().unwrap_or(0);
         println!(
-            "  {:<22} wall p50 {:>9.4}s | {:>12.0} events/s | {}",
+            "  {:<22} wall p50 {:>9.4}s | {rate} | {}{}",
             cell.name,
             wall,
-            events,
-            if cell.deterministic { "deterministic" } else { "NON-DETERMINISTIC" }
+            if cell.deterministic { "deterministic" } else { "NON-DETERMINISTIC" },
+            if dropped > 0 {
+                format!(" | {dropped} span sample(s) dropped past the cap")
+            } else {
+                String::new()
+            }
         );
     }
 }
