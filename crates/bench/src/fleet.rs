@@ -1,7 +1,7 @@
 //! Fleet simulation: a declarative grid of (workload × scheduler × fault
-//! plan × admission config × seed) simulations executed across all cores,
-//! with deterministic per-cell seeding and a cross-simulation aggregation
-//! layer.
+//! plan × admission config × estimator × seed) simulations executed across
+//! all cores, with deterministic per-cell seeding and a cross-simulation
+//! aggregation layer.
 //!
 //! The paper's evaluation (Fig. 8, Tables 3–5) is exactly this shape of
 //! study: the same workload swept across scheduler families and
@@ -41,6 +41,7 @@
 //!   shed, rejection, resubmission, and deadline-miss rates from the
 //!   admission stats ([`FleetReport::frontiers`]).
 
+use sapred_cluster::job::SimQuery;
 use sapred_cluster::sched::{Fifo, Hcs, Hfs, Scheduler, Srt, Swrd};
 use sapred_cluster::sim::{
     AdmissionConfig, CellSummary, FrozenOracle, ShedPolicy, SimReport, Simulator,
@@ -49,6 +50,9 @@ use sapred_cluster::FaultPlan;
 use sapred_obs::json::{array, num, quoted, Obj};
 use sapred_obs::profile::{Counter, Profiler};
 use sapred_obs::{NullSink, SpanProfiler};
+use sapred_plan::ground_truth::execute_dag;
+use sapred_relation::gen::{generate, GenConfig, KeyDist};
+use sapred_selectivity::EstimatorKind;
 
 use crate::dispatch_workload;
 use crate::harness::{quantile, run_claiming};
@@ -105,9 +109,14 @@ impl SchedKind {
     }
 }
 
-/// One workload shape: the RNG-free chained-DAG stress workload of
-/// [`dispatch_workload`] at these dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One workload shape. At `skew == 0.0` (the default) this is the RNG-free
+/// chained-DAG stress workload of [`dispatch_workload`] at these dimensions.
+/// With `skew > 0.0` — or whenever a cell's estimator is not the default
+/// histogram path — the fleet instead *percolates* a join-heavy SQL workload
+/// over a small generated database whose join keys follow a Zipf(`skew`)
+/// distribution, so estimator quality feeds the schedule (see
+/// [`percolated_workload`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of queries.
     pub n_queries: usize,
@@ -117,12 +126,26 @@ pub struct WorkloadSpec {
     pub maps: usize,
     /// Reduce tasks per job.
     pub reduces: usize,
+    /// Zipf exponent of the generated join keys (`0.0` = uniform and keeps
+    /// the legacy dispatch workload; only the percolated path reads it).
+    pub skew: f64,
 }
 
 impl WorkloadSpec {
-    /// Stable coordinate label, e.g. `q20x3x10x4`.
+    /// The legacy uniform shape (dispatch workload, no skew).
+    pub fn uniform(n_queries: usize, jobs: usize, maps: usize, reduces: usize) -> Self {
+        Self { n_queries, jobs, maps, reduces, skew: 0.0 }
+    }
+
+    /// Stable coordinate label, e.g. `q20x3x10x4` (and `q20x3x10x4z1.1` when
+    /// skewed — the suffix is omitted at `0.0` so legacy grids keep their
+    /// historical labels, hence their cell seeds).
     pub fn label(&self) -> String {
-        format!("q{}x{}x{}x{}", self.n_queries, self.jobs, self.maps, self.reduces)
+        let mut label = format!("q{}x{}x{}x{}", self.n_queries, self.jobs, self.maps, self.reduces);
+        if self.skew > 0.0 {
+            label.push_str(&format!("z{}", self.skew));
+        }
+        label
     }
 }
 
@@ -198,6 +221,10 @@ pub struct FleetGrid {
     pub faults: Vec<FaultLevel>,
     /// Admission configurations.
     pub admissions: Vec<AdmissionLevel>,
+    /// Cardinality estimators feeding the percolated predictions. The
+    /// default-histogram-only axis keeps the legacy dispatch workload; any
+    /// other entry switches its cells to the percolated SQL workload.
+    pub estimators: Vec<EstimatorKind>,
     /// Seed replicas. Each seed value feeds the coordinate hash, so
     /// identical values produce identical cells.
     pub seeds: Vec<u64>,
@@ -214,6 +241,8 @@ pub struct FleetCoord {
     pub fault: usize,
     /// Index into [`FleetGrid::admissions`].
     pub admission: usize,
+    /// Index into [`FleetGrid::estimators`].
+    pub estimator: usize,
     /// Index into [`FleetGrid::seeds`].
     pub seed: usize,
 }
@@ -237,6 +266,7 @@ impl FleetGrid {
             * self.schedulers.len()
             * self.faults.len()
             * self.admissions.len()
+            * self.estimators.len()
             * self.seeds.len()
     }
 
@@ -249,8 +279,17 @@ impl FleetGrid {
             for sched in 0..self.schedulers.len() {
                 for fault in 0..self.faults.len() {
                     for admission in 0..self.admissions.len() {
-                        for seed in 0..self.seeds.len() {
-                            out.push(FleetCoord { workload, sched, fault, admission, seed });
+                        for estimator in 0..self.estimators.len() {
+                            for seed in 0..self.seeds.len() {
+                                out.push(FleetCoord {
+                                    workload,
+                                    sched,
+                                    fault,
+                                    admission,
+                                    estimator,
+                                    seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -262,8 +301,14 @@ impl FleetGrid {
     /// Human-readable coordinate label; also the FNV-1a preimage of the
     /// cell's seed, so it must be a pure function of the coordinate.
     pub fn coord_label(&self, c: &FleetCoord) -> String {
+        // The default histogram estimator leaves no trace in the label so
+        // legacy single-estimator grids hash to their historical seeds.
+        let est = match self.estimators[c.estimator] {
+            EstimatorKind::Histogram => String::new(),
+            other => format!("|est={}", other.label()),
+        };
         format!(
-            "wl={}|sched={}|fault={}|adm={}|seed={}",
+            "wl={}|sched={}|fault={}|adm={}{est}|seed={}",
             self.workloads[c.workload].label(),
             self.schedulers[c.sched].label(),
             self.faults[c.fault].label(),
@@ -295,6 +340,23 @@ impl FleetGrid {
         self.admissions[c.admission].config()
     }
 
+    /// The cell's cardinality estimator.
+    pub fn cell_estimator(&self, c: &FleetCoord) -> EstimatorKind {
+        self.estimators[c.estimator]
+    }
+
+    /// Seed of the cell's generated *database* (percolated workloads only):
+    /// derived from the workload shape and seed replica alone, so every
+    /// scheduler / fault / admission / estimator cell of the same
+    /// (workload, seed) pair sees the same data and their results stay
+    /// comparable.
+    pub fn cell_db_seed(&self, c: &FleetCoord) -> u64 {
+        fnv1a(
+            format!("wl={}|seed={}", self.workloads[c.workload].label(), self.seeds[c.seed])
+                .as_bytes(),
+        )
+    }
+
     /// Check the grid before running it: every axis non-empty, every
     /// workload dimension non-zero, every fault and admission level valid
     /// for the engine.
@@ -311,12 +373,18 @@ impl FleetGrid {
         if self.admissions.is_empty() {
             return Err("fleet grid needs at least one admission config".into());
         }
+        if self.estimators.is_empty() {
+            return Err("fleet grid needs at least one estimator".into());
+        }
         if self.seeds.is_empty() {
             return Err("fleet grid needs at least one seed".into());
         }
         for w in &self.workloads {
             if w.n_queries == 0 || w.jobs == 0 || w.maps == 0 {
                 return Err(format!("workload {} needs queries, jobs, and maps > 0", w.label()));
+            }
+            if !w.skew.is_finite() || w.skew < 0.0 {
+                return Err(format!("workload {} needs a finite skew >= 0", w.label()));
             }
         }
         let nodes = sapred_core::Framework::new().cluster.nodes;
@@ -582,6 +650,7 @@ impl FleetReport {
                 .int("jobs", w.jobs as u64)
                 .int("maps", w.maps as u64)
                 .int("reduces", w.reduces as u64)
+                .num("skew", w.skew)
                 .finish()
         }));
         let admissions = array(grid.admissions.iter().map(|a| {
@@ -596,6 +665,7 @@ impl FleetReport {
             .raw("schedulers", &array(grid.schedulers.iter().map(|s| quoted(s.label()))))
             .raw("fault_levels", &array(grid.faults.iter().map(|f| num(f.task_fail_prob))))
             .raw("admissions", &admissions)
+            .raw("estimators", &array(grid.estimators.iter().map(|e| quoted(e.label()))))
             .raw("seeds", &array(grid.seeds.iter().map(|s| format!("{s}"))))
             .finish();
 
@@ -682,6 +752,63 @@ impl FleetReport {
     }
 }
 
+/// The SQL templates the percolated workload rotates through. The first is
+/// the skew-critical one: lineitem ⋈ partsupp on `partkey`, where *both*
+/// sides follow the generator's Zipf key distribution, so equi-width
+/// histograms smear the hot keys while the sampling and path-statistics
+/// estimators see them.
+const PERCOLATED_QUERIES: &[&str] = &[
+    "SELECT l_quantity, ps_availqty FROM lineitem l \
+     JOIN partsupp ps ON l.l_partkey = ps.ps_partkey",
+    "SELECT l_quantity, p_size FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey \
+     WHERE p_size < 10 AND l_shipdate < 1200",
+    "SELECT o_totalprice, p_size FROM lineitem l \
+     JOIN orders o ON l.l_orderkey = o.o_orderkey \
+     JOIN part p ON l.l_partkey = p.p_partkey \
+     WHERE o_orderdate < 1500",
+    "SELECT l_partkey, sum(l_extendedprice) FROM lineitem \
+     WHERE l_shipdate < 1200 GROUP BY l_partkey",
+];
+
+/// Scale (GB) of the per-cell generated database on the percolated path.
+/// Small on purpose: the generator's row floors keep the joins non-trivial
+/// while one cell's generation + percolation stays well under a second.
+const PERCOLATED_SCALE_GB: f64 = 0.05;
+
+/// Arrival cadence of the percolated queries (same as [`dispatch_workload`]).
+const PERCOLATED_ARRIVAL_STEP: f64 = 0.37;
+
+/// The percolated SQL workload of a cell: generate a Zipf(`skew`) database
+/// seeded by [`FleetGrid::cell_db_seed`], percolate the rotating
+/// [`PERCOLATED_QUERIES`] through the cell's estimator, execute each DAG
+/// for ground-truth sizes, and build simulator queries whose task structure
+/// (split and reducer provisioning) and predictions both come from the
+/// estimates ([`sapred_core::Framework::sim_query_estimated`]) — so a worse
+/// estimator yields a measurably worse schedule. Deterministic: the
+/// database seed depends only on (workload, seed replica), so every
+/// scheduler / fault / admission / estimator cell of that pair sees the
+/// same data and differs only through its estimator.
+fn percolated_workload(grid: &FleetGrid, coord: &FleetCoord) -> Vec<SimQuery> {
+    let w = &grid.workloads[coord.workload];
+    let mut fw = sapred_core::Framework::new();
+    fw.est_config.kind = grid.cell_estimator(coord);
+    let dist = if w.skew > 0.0 { KeyDist::Zipf(w.skew) } else { KeyDist::Uniform };
+    let db = generate(
+        GenConfig::new(PERCOLATED_SCALE_GB).with_seed(grid.cell_db_seed(coord)).with_key_dist(dist),
+    );
+    (0..w.n_queries)
+        .map(|qi| {
+            let sql = PERCOLATED_QUERIES[qi % PERCOLATED_QUERIES.len()];
+            let name = format!("pq{qi}");
+            let semantics = fw
+                .percolate_sql(&name, sql, &db)
+                .unwrap_or_else(|e| panic!("percolated query {name} failed: {e}"));
+            let actuals = execute_dag(&semantics.dag, &db, fw.est_config.block_size);
+            fw.sim_query_estimated(name, qi as f64 * PERCOLATED_ARRIVAL_STEP, &semantics, &actuals)
+        })
+        .collect()
+}
+
 fn simulate<S: Scheduler>(
     sched: S,
     grid: &FleetGrid,
@@ -689,7 +816,15 @@ fn simulate<S: Scheduler>(
     prof: &SpanProfiler,
 ) -> SimReport {
     let w = &grid.workloads[coord.workload];
-    let queries = dispatch_workload(w.n_queries, w.jobs, w.maps, w.reduces);
+    // Default estimator on uniform data keeps the legacy RNG-free dispatch
+    // workload (bit-identical to pre-estimator-axis fleets); skew or a
+    // non-default estimator switches to the percolated SQL workload where
+    // estimator quality feeds the schedule.
+    let queries = if grid.cell_estimator(coord) == EstimatorKind::Histogram && w.skew == 0.0 {
+        dispatch_workload(w.n_queries, w.jobs, w.maps, w.reduces)
+    } else {
+        percolated_workload(grid, coord)
+    };
     let fw = sapred_core::Framework::new();
     let mut cluster = fw.cluster;
     cluster.seed = grid.cell_seed(coord);
@@ -800,6 +935,7 @@ pub fn bench_grid(
             .map(|&task_fail_prob| FaultLevel { task_fail_prob })
             .collect(),
         admissions: adm,
+        estimators: vec![EstimatorKind::Histogram],
         seeds: (0..seeds.max(1) as u64).map(|i| base_seed.wrapping_add(i)).collect(),
     }
 }

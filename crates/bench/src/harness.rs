@@ -353,7 +353,7 @@ fn run_once(spec: &CellSpec, prof: &Rc<SpanProfiler>) {
             reduces,
             threads,
         } => {
-            let workload = WorkloadSpec { n_queries, jobs, maps, reduces };
+            let workload = WorkloadSpec::uniform(n_queries, jobs, maps, reduces);
             let grid =
                 fleet::bench_grid(schedulers, fault_levels, admissions, seeds, workload, spec.seed);
             let report = fleet::run_fleet(&grid, threads).expect("bench fleet grid is valid");

@@ -7,9 +7,10 @@ use sapred_bench::fleet::{
 };
 use sapred_cluster::sched::Swrd;
 use sapred_cluster::sim::{ShedPolicy, Simulator};
+use sapred_selectivity::EstimatorKind;
 
 fn tiny_workload() -> WorkloadSpec {
-    WorkloadSpec { n_queries: 5, jobs: 2, maps: 4, reduces: 2 }
+    WorkloadSpec::uniform(5, 2, 4, 2)
 }
 
 fn tiny_grid() -> FleetGrid {
@@ -25,6 +26,7 @@ fn tiny_grid() -> FleetGrid {
                 shed_policy: ShedPolicy::ShedLargestWrd,
             },
         ],
+        estimators: vec![EstimatorKind::Histogram],
         seeds: vec![42, 43],
     }
 }
@@ -45,6 +47,7 @@ fn one_cell_fleet_reproduces_the_single_sim_report() {
             deadline: 300.0,
             shed_policy: ShedPolicy::RejectNewest,
         }],
+        estimators: vec![EstimatorKind::Histogram],
         seeds: vec![99],
     };
     let report = run_fleet(&grid, 4).expect("valid grid");
@@ -171,4 +174,70 @@ fn bench_grid_shape_and_seeds() {
     assert_eq!(big.schedulers.len(), SchedKind::ALL.len());
     assert_eq!(big.faults.len(), 4);
     assert_eq!(big.admissions.len(), 2);
+}
+
+/// The estimator axis: the default histogram entry leaves every legacy
+/// label (hence cell seed) untouched, non-default entries tag their cells,
+/// and the percolated path is double-run deterministic.
+#[test]
+fn estimator_axis_extends_the_grid_without_reseeding_it() {
+    let base = tiny_grid();
+    let mut extended = base.clone();
+    extended.estimators.push(EstimatorKind::Sample);
+    extended.workloads.push(WorkloadSpec { skew: 1.1, ..tiny_workload() });
+
+    let seeds_of = |grid: &FleetGrid| -> Vec<(String, u64)> {
+        grid.coords().iter().map(|c| (grid.coord_label(c), grid.cell_seed(c))).collect()
+    };
+    let before: std::collections::BTreeMap<_, _> = seeds_of(&base).into_iter().collect();
+    let after: std::collections::BTreeMap<_, _> = seeds_of(&extended).into_iter().collect();
+    for (label, seed) in &before {
+        assert_eq!(after.get(label), Some(seed), "cell {label} was reseeded by the estimator axis");
+    }
+    // The new cells are tagged: skewed workloads by `z`, non-default
+    // estimators by `est=`.
+    assert!(after.keys().any(|l| l.contains("z1.1")));
+    assert!(after.keys().any(|l| l.contains("|est=sample|")));
+    assert!(!before.keys().any(|l| l.contains("est=")));
+}
+
+/// The percolated workload (skew > 0 or a non-default estimator) is as
+/// deterministic as the dispatch one: same grid, different thread counts,
+/// bit-identical aggregate JSON.
+#[test]
+fn percolated_cells_are_deterministic_and_estimator_sensitive() {
+    let grid = FleetGrid {
+        workloads: vec![WorkloadSpec { n_queries: 3, jobs: 2, maps: 4, reduces: 2, skew: 1.2 }],
+        schedulers: vec![SchedKind::Swrd],
+        faults: vec![FaultLevel { task_fail_prob: 0.0 }],
+        admissions: vec![AdmissionLevel::off()],
+        estimators: vec![EstimatorKind::Histogram, EstimatorKind::Sample, EstimatorKind::Catalog],
+        seeds: vec![7],
+    };
+    let first = run_fleet(&grid, 1).expect("valid grid");
+    let second = run_fleet(&grid, 3).expect("valid grid");
+    assert_eq!(first.to_json(), second.to_json(), "percolated fleet is not reproducible");
+    assert_eq!(first.failed(), 0, "percolated cells failed");
+
+    // Estimator choice must reach the schedule: with skewed join keys the
+    // three estimators' predictions differ, so the per-cell summaries do.
+    let summaries: Vec<_> =
+        first.cells.iter().map(|c| *c.outcome.as_ref().expect("completed")).collect();
+    assert_eq!(summaries.len(), 3);
+    assert!(
+        summaries.windows(2).any(|w| w[0] != w[1]),
+        "all estimators produced identical schedules on a skewed workload"
+    );
+}
+
+/// An empty estimator axis is a validation error, like any other axis.
+#[test]
+fn empty_estimator_axis_is_rejected() {
+    let mut grid = tiny_grid();
+    grid.estimators.clear();
+    assert!(run_fleet(&grid, 1).unwrap_err().contains("estimator"));
+
+    let mut grid = tiny_grid();
+    grid.workloads[0].skew = f64::NAN;
+    assert!(run_fleet(&grid, 1).unwrap_err().contains("skew"));
 }

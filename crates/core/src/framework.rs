@@ -3,16 +3,18 @@
 
 use crate::training::TrainedModels;
 use sapred_cluster::cost::CostModel;
-use sapred_cluster::job::JobPrediction;
+use sapred_cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 use sapred_cluster::sim::ClusterConfig;
 use sapred_plan::compile::compile;
 use sapred_plan::dag::QueryDag;
+use sapred_plan::ground_truth::JobActual;
 use sapred_predict::features::{JobFeatures, TaskFeatures};
 use sapred_predict::wrd::{job_time_waves, query_wrd, JobResource};
 use sapred_query::{analyze, parse, QueryError};
 use sapred_relation::gen::Database;
 use sapred_relation::stats::Catalog;
 use sapred_selectivity::estimate::{estimate_dag, EstimatorConfig, JobEstimate};
+use sapred_selectivity::estimator::estimate_dag_with;
 
 /// The percolation payload: everything the scheduler-side of the stack
 /// knows about a query — its DAG of jobs with per-job operator semantics,
@@ -57,7 +59,10 @@ impl Framework {
 
     /// Full percolation from query text: parse → analyze → compile →
     /// estimate. The returned semantics object is what a real deployment
-    /// would ship alongside job submissions.
+    /// would ship alongside job submissions. The materialized database is
+    /// in hand here, so non-histogram estimators
+    /// ([`EstimatorConfig::kind`]) get table access for sampling walks and
+    /// path-statistics builds.
     pub fn percolate_sql(
         &self,
         name: &str,
@@ -66,7 +71,8 @@ impl Framework {
     ) -> Result<QuerySemantics, QueryError> {
         let analyzed = analyze(&parse(sql)?, db.catalog(), db)?;
         let dag = compile(name, &analyzed);
-        Ok(self.percolate_dag(dag, db.catalog()))
+        let estimates = estimate_dag_with(&dag, db.catalog(), Some(db), &self.est_config);
+        Ok(QuerySemantics { dag, estimates })
     }
 
     /// Full percolation from a Pig Latin-style dataflow script: the other
@@ -83,6 +89,10 @@ impl Framework {
     }
 
     /// Percolation for an already-compiled DAG (e.g. built via DagBuilder).
+    ///
+    /// Only catalog statistics are available here, so estimators that need
+    /// materialized tables (sample/catalog) fall back to the histogram
+    /// path; use [`Framework::percolate_sql`] when the database is in hand.
     pub fn percolate_dag(&self, dag: QueryDag, catalog: &Catalog) -> QuerySemantics {
         let estimates = estimate_dag(&dag, catalog, &self.est_config);
         QuerySemantics { dag, estimates }
@@ -96,6 +106,104 @@ impl Framework {
         }
         ((est.d_med / self.cluster.bytes_per_reducer).ceil() as usize)
             .clamp(1, self.cluster.max_reducers.max(1))
+    }
+
+    /// Model-free task-time prediction: build the task shape the estimates
+    /// describe and price it with the ground-truth [`CostModel`]. The
+    /// prediction error is then exactly the estimate error, which makes
+    /// this the right baseline for comparing cardinality estimators
+    /// downstream (trained models add their own fitting error on top).
+    pub fn prediction_from_cost(&self, est: &JobEstimate, has_reduce: bool) -> JobPrediction {
+        let n_maps = est.n_maps.max(1) as f64;
+        let p = est.p_ratio.unwrap_or(0.5);
+        let map_task_time = self.cost.mean_duration(&TaskSpec {
+            bytes_in: est.d_in / n_maps,
+            bytes_out: est.d_med / n_maps,
+            category: est.category,
+            kind: TaskKind::Map,
+            p,
+        });
+        let reduce_task_time = if has_reduce {
+            let n = self.estimated_reducers(est, true).max(1) as f64;
+            self.cost.mean_duration(&TaskSpec {
+                bytes_in: est.d_med / n,
+                bytes_out: est.d_out / n,
+                category: est.category,
+                kind: TaskKind::Reduce,
+                p,
+            })
+        } else {
+            0.0
+        };
+        JobPrediction { map_task_time, reduce_task_time }
+    }
+
+    /// Build a simulator query whose task *structure* — map splits and
+    /// reduce counts — comes from the percolated estimates while the bytes
+    /// flowing through those tasks come from ground-truth `actuals`.
+    ///
+    /// This models the semantic configuration decision the paper motivates:
+    /// split and reducer provisioning happen *before* execution, from
+    /// whatever the estimator believed. An estimator that misjudges a
+    /// join's output provisions the downstream job with the wrong
+    /// parallelism and pays for it in simulated time, so schedules become
+    /// sensitive to estimator quality (contrast
+    /// [`sapred_cluster::build_sim_query`], which provisions from actuals
+    /// and lets estimates reach only the prediction side).
+    pub fn sim_query_estimated(
+        &self,
+        name: impl Into<String>,
+        arrival: f64,
+        semantics: &QuerySemantics,
+        actuals: &[JobActual],
+    ) -> SimQuery {
+        assert_eq!(semantics.dag.len(), actuals.len(), "one JobActual per job");
+        assert_eq!(semantics.dag.len(), semantics.estimates.len(), "one JobEstimate per job");
+        let jobs = semantics
+            .dag
+            .jobs()
+            .iter()
+            .zip(semantics.estimates.iter().zip(actuals))
+            .map(|(job, (est, act))| {
+                let category = job.category();
+                let has_reduce = job.kind.has_reduce();
+                let n_maps = est.n_maps.max(1);
+                let maps = vec![
+                    TaskSpec {
+                        bytes_in: act.d_in / n_maps as f64,
+                        bytes_out: act.d_med / n_maps as f64,
+                        category,
+                        kind: TaskKind::Map,
+                        p: act.p_actual,
+                    };
+                    n_maps
+                ];
+                let reduces = if has_reduce {
+                    let n = self.estimated_reducers(est, true).max(1);
+                    vec![
+                        TaskSpec {
+                            bytes_in: act.d_med / n as f64,
+                            bytes_out: act.d_out / n as f64,
+                            category,
+                            kind: TaskKind::Reduce,
+                            p: act.p_actual,
+                        };
+                        n
+                    ]
+                } else {
+                    Vec::new()
+                };
+                SimJob {
+                    id: sapred_obs::JobId(job.id),
+                    deps: job.deps().into_iter().map(sapred_obs::JobId).collect(),
+                    category,
+                    maps,
+                    reduces,
+                    prediction: self.prediction_from_cost(est, has_reduce),
+                }
+            })
+            .collect();
+        SimQuery { name: name.into(), arrival, jobs }
     }
 }
 

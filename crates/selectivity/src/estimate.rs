@@ -9,20 +9,44 @@ use sapred_relation::expr::Predicate;
 use sapred_relation::stats::Catalog;
 use sapred_relation::{modeled_bytes, SCALE_DOWN};
 
+/// The paper testbed's HDFS block size (256 MB) in modeled bytes: the
+/// default for [`EstimatorConfig::block_size`], which determines estimated
+/// map counts.
+pub const DEFAULT_BLOCK_SIZE: f64 = 256.0 * 1024.0 * 1024.0;
+
 /// Estimator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EstimatorConfig {
     /// HDFS block size in modeled bytes; determines estimated map counts
-    /// (paper testbed: 256 MB).
+    /// ([`DEFAULT_BLOCK_SIZE`] = the paper testbed's 256 MB).
     pub block_size: f64,
     /// Metastore layout hint: whether group-by keys are clustered in file
     /// order (selects between the two `S_comb` cases of Eq. 2).
     pub clustered_keys: bool,
+    /// Which [`CardinalityEstimator`](crate::estimator::CardinalityEstimator)
+    /// refines join sizes. The default (histogram) is the paper's Eq. 5 path
+    /// and changes nothing relative to [`estimate_dag`].
+    pub kind: crate::estimator::EstimatorKind,
+    /// Random walks per join for the sampling estimator.
+    pub sample_walks: usize,
+    /// Base RNG seed for the sampling estimator (mixed per job and per walk,
+    /// so estimates are bit-reproducible and walk-schedule-independent).
+    pub sample_seed: u64,
+    /// Heavy-hitter keys tracked per join-path step by the catalog
+    /// estimator.
+    pub path_top_k: usize,
 }
 
 impl Default for EstimatorConfig {
     fn default() -> Self {
-        Self { block_size: 256.0 * 1024.0 * 1024.0, clustered_keys: false }
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+            clustered_keys: false,
+            kind: crate::estimator::EstimatorKind::Histogram,
+            sample_walks: 512,
+            sample_seed: 0x5eed,
+            path_top_k: 64,
+        }
     }
 }
 
@@ -56,16 +80,43 @@ pub struct JobEstimate {
 }
 
 /// Estimate every job of `dag` against `catalog` statistics, in job order.
+///
+/// This is the paper's pure-histogram path (§3, Eqs. 1–6). To route join
+/// sizes through a different
+/// [`CardinalityEstimator`](crate::estimator::CardinalityEstimator), use
+/// [`estimate_dag_with`](crate::estimator::estimate_dag_with).
 pub fn estimate_dag(
     dag: &QueryDag,
     catalog: &Catalog,
     config: &EstimatorConfig,
 ) -> Vec<JobEstimate> {
+    estimate_dag_sized(dag, catalog, config, &mut |_| None)
+}
+
+/// [`estimate_dag`] with a join-size override hook: `join_sizer(job_id)`
+/// may return a refined output tuple count for a join job, computed by a
+/// non-histogram estimator. The refined count replaces Eq. 5's and the
+/// propagated output profile is rescaled to it, so the refinement flows to
+/// every downstream job exactly like a histogram estimate would.
+pub(crate) fn estimate_dag_sized(
+    dag: &QueryDag,
+    catalog: &Catalog,
+    config: &EstimatorConfig,
+    join_sizer: &mut dyn FnMut(usize) -> Option<f64>,
+) -> Vec<JobEstimate> {
     let mut profiles: Vec<RelProfile> = Vec::with_capacity(dag.len());
     let mut estimates: Vec<JobEstimate> = Vec::with_capacity(dag.len());
     for job in dag.jobs() {
-        let (est, prof) =
-            estimate_job(&job.kind, &job.broadcasts, catalog, &profiles, &estimates, config);
+        let refined = join_sizer(job.id);
+        let (est, prof) = estimate_job(
+            &job.kind,
+            &job.broadcasts,
+            catalog,
+            &profiles,
+            &estimates,
+            config,
+            refined,
+        );
         profiles.push(prof);
         estimates.push(est);
     }
@@ -246,6 +297,7 @@ fn estimate_job(
     profiles: &[RelProfile],
     estimates: &[JobEstimate],
     config: &EstimatorConfig,
+    join_override: Option<f64>,
 ) -> (JobEstimate, RelProfile) {
     match kind {
         JobKind::Join { left, right, left_key, right_key } => {
@@ -266,8 +318,18 @@ fn estimate_job(
 
             // Rename collisions, estimate the join size (Eq. 5) and build
             // the propagated output profile.
-            let (tuples_out, out) =
+            let (mut tuples_out, mut out) =
                 join_profiles(&l.profile, &r.profile, left_key, right_key, "__r");
+            // A non-histogram estimator may refine the join size; rescale
+            // the propagated profile so downstream jobs see the refinement.
+            if let Some(refined) = join_override {
+                let cap = (l.profile.tuples * r.profile.tuples).max(0.0);
+                let refined = refined.clamp(0.0, cap);
+                if tuples_out > 0.0 && refined.is_finite() {
+                    out = rescale_profile(&out, refined / tuples_out, refined);
+                    tuples_out = refined;
+                }
+            }
             let p = p_ratio(l.profile.tuples, r.profile.tuples);
             let d_out = out.bytes();
             let est = JobEstimate {
@@ -422,6 +484,25 @@ fn estimate_job(
             (est, profile)
         }
     }
+}
+
+/// Rescale a join output profile to a refined tuple count: every column
+/// histogram scales by `factor` and distinct counts re-cap at the new
+/// cardinality. Keeps the *shape* of the histogram propagation while
+/// adopting the refined total.
+fn rescale_profile(prof: &RelProfile, factor: f64, tuples: f64) -> RelProfile {
+    let mut out = RelProfile::new(tuples);
+    for (name, col) in prof.columns() {
+        out.push(
+            name.to_string(),
+            ColProfile {
+                width: col.width,
+                distinct: col.distinct.min(tuples.max(1.0)),
+                histogram: col.histogram.as_ref().map(|h| h.scaled(factor)),
+            },
+        );
+    }
+    out
 }
 
 fn propagate_col(

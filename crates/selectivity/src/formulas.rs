@@ -149,6 +149,66 @@ mod tests {
     }
 
     #[test]
+    fn join_empty_histogram_yields_zero() {
+        let l = Histogram::build(&Column::Int(vec![]), 0.0, 100.0, 8);
+        let r = Histogram::build(&Column::Int((0..100).collect()), 0.0, 100.0, 8);
+        let (est, joint) = join_size_bucketed(&l, &r);
+        assert_eq!(est, 0.0);
+        assert_eq!(joint.total(), 0.0);
+        // The empty side annihilates regardless of argument order.
+        let (flipped, _) = join_size_bucketed(&r, &l);
+        assert_eq!(flipped, 0.0);
+        let (both, _) = join_size_bucketed(&l, &l);
+        assert_eq!(both, 0.0);
+    }
+
+    #[test]
+    fn join_single_bucket_profiles_match_closed_form() {
+        // One bucket per side: Eq. 5 degenerates to |T1|·|T2| / max(d1, d2).
+        let l = Histogram::build(&Column::Int((0..60).map(|i| i % 6).collect()), 0.0, 6.0, 1);
+        let r = Histogram::build(&Column::Int((0..30).map(|i| i % 3).collect()), 0.0, 6.0, 1);
+        let (est, joint) = join_size_bucketed(&l, &r);
+        assert!((est - 60.0 * 30.0 / 6.0).abs() < 1e-9, "est {est}");
+        // Propagated distinct = min(6, 3).
+        assert!((joint.distinct_total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_ratio_zero_row_relations() {
+        // Zero-row inputs clamp at ε: P stays finite and inside (0, 1].
+        assert_eq!(p_ratio(0.0, 0.0), 0.5);
+        let p = p_ratio(0.0, 100.0);
+        assert!(p.is_finite() && p > 0.999 && p <= 1.0, "P = {p}");
+        assert_eq!(p_ratio(0.0, 100.0), p_ratio(100.0, 0.0));
+    }
+
+    #[test]
+    fn s_comb_branches_coincide_at_one_map() {
+        // A single map task sees the whole file, so the random-layout
+        // branch reduces to the clustered one.
+        for d_keys in [1.0, 10.0, 500.0] {
+            assert_eq!(s_comb(1.0, d_keys, 1000.0, 1, true), s_comb(1.0, d_keys, 1000.0, 1, false));
+        }
+    }
+
+    #[test]
+    fn s_comb_random_branch_grows_with_maps() {
+        // More maps ⇒ each sees fewer rows per key ⇒ less combining; the
+        // clustered branch is the floor.
+        let c = s_comb(1.0, 50.0, 1000.0, 16, true);
+        let r4 = s_comb(1.0, 50.0, 1000.0, 4, false);
+        let r16 = s_comb(1.0, 50.0, 1000.0, 16, false);
+        assert!(c <= r4 && r4 <= r16, "c {c} r4 {r4} r16 {r16}");
+        // Zero maps is treated as one, not a division by zero.
+        assert_eq!(s_comb(1.0, 50.0, 1000.0, 0, false), s_comb(1.0, 50.0, 1000.0, 1, false));
+    }
+
+    #[test]
+    fn natural_chain_single_relation() {
+        assert_eq!(natural_chain_size(&[0.25], &[400.0]), 100.0);
+    }
+
+    #[test]
     fn p_ratio_bounds() {
         let p = p_ratio(100.0, 300.0);
         assert!((p - 0.75).abs() < 1e-12);

@@ -19,11 +19,16 @@
 //! histograms) that downstream jobs consume exactly like base-table stats.
 
 pub mod estimate;
+pub mod estimator;
 pub mod formulas;
 pub mod pred;
 pub mod profile;
 
-pub use estimate::{estimate_dag, EstimatorConfig, JobEstimate};
+pub use estimate::{estimate_dag, EstimatorConfig, JobEstimate, DEFAULT_BLOCK_SIZE};
+pub use estimator::{
+    estimate_dag_with, join_walk_estimates, CardinalityEstimator, CatalogEstimator, EstimatorKind,
+    HistogramEstimator, SamplingEstimator, TableAccess,
+};
 pub use formulas::{join_size_bucketed, natural_chain_size, p_ratio, s_comb};
 pub use pred::pred_selectivity;
 pub use profile::{ColProfile, RelProfile};

@@ -1,0 +1,103 @@
+//! Estimator-vs-skew study: how the three cardinality estimators degrade
+//! as join-key skew rises, and how that error reaches the scheduler.
+//!
+//! ```text
+//! cargo run --release --example estimator_skew
+//! ```
+//!
+//! For each Zipf exponent the example generates a database, percolates a
+//! join-heavy workload through the histogram, sampling, and
+//! path-statistics estimators, and compares the estimated join output
+//! tuples against exact ground-truth execution (mean absolute relative
+//! error, MARE). It then provisions and predicts the same workload from
+//! each estimator's numbers ([`Framework::sim_query_estimated`]) and runs
+//! SWRD on a contended single-node cluster: a misjudged join output means
+//! mis-provisioned downstream parallelism and a measurably different
+//! schedule.
+
+use sapred::cluster::sched::Swrd;
+use sapred::cluster::{SimQuery, Simulator};
+use sapred::core::Framework;
+use sapred::plan::ground_truth::execute_dag;
+use sapred::relation::gen::{generate, Database, GenConfig, KeyDist};
+use sapred::selectivity::EstimatorKind;
+
+/// The join-heavy workload. The first query is the skew-critical one:
+/// lineitem ⋈ partsupp on `partkey`, where *both* sides follow the Zipf
+/// key distribution, so equi-width histograms smear the hot keys; its
+/// group-by tail is provisioned from the estimated join output.
+const QUERIES: &[&str] = &[
+    "SELECT l_partkey, sum(l_quantity) FROM lineitem l \
+     JOIN partsupp ps ON l.l_partkey = ps.ps_partkey GROUP BY l_partkey",
+    "SELECT l_quantity, p_size FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey \
+     WHERE p_size < 10 AND l_shipdate < 1200",
+    "SELECT o_totalprice, p_size FROM lineitem l \
+     JOIN orders o ON l.l_orderkey = o.o_orderkey \
+     JOIN part p ON l.l_partkey = p.p_partkey \
+     WHERE o_orderdate < 1500",
+];
+
+fn db_for(skew: f64) -> Database {
+    let dist = if skew > 0.0 { KeyDist::Zipf(skew) } else { KeyDist::Uniform };
+    generate(GenConfig::new(0.05).with_seed(0xfeed).with_key_dist(dist))
+}
+
+/// Mean absolute relative error of estimated vs. actual output tuples over
+/// every job of every query, plus the SimQueries provisioned and predicted
+/// from this estimator's numbers.
+fn evaluate(kind: EstimatorKind, db: &Database) -> (f64, Vec<SimQuery>) {
+    let mut fw = Framework::new();
+    fw.est_config.kind = kind;
+    let mut errs = Vec::new();
+    let mut sims = Vec::new();
+    for (qi, sql) in QUERIES.iter().enumerate() {
+        let name = format!("q{qi}");
+        let semantics = fw.percolate_sql(&name, sql, db).expect("valid query");
+        let actuals = execute_dag(&semantics.dag, db, fw.est_config.block_size);
+        for (est, act) in semantics.estimates.iter().zip(&actuals) {
+            errs.push((est.tuples_out - act.tuples_out).abs() / act.tuples_out.max(1.0));
+        }
+        sims.push(fw.sim_query_estimated(name, qi as f64 * 0.37, &semantics, &actuals));
+    }
+    (errs.iter().sum::<f64>() / errs.len() as f64, sims)
+}
+
+fn main() {
+    println!("estimator MARE on join output tuples, by Zipf skew:\n");
+    println!("{:>6} {:>12} {:>12} {:>12}", "skew", "histogram", "sample", "catalog");
+    for &skew in &[0.0, 0.6, 1.1, 1.4] {
+        let db = db_for(skew);
+        let mut row = format!("{skew:>6}");
+        let mut sims = Vec::new();
+        for kind in EstimatorKind::ALL {
+            let (mare, sim) = evaluate(kind, &db);
+            row.push_str(&format!(" {mare:>12.4}"));
+            sims.push((kind, sim));
+        }
+        println!("{row}");
+
+        // Same data, same ground-truth bytes, same noise seed — only the
+        // estimator-provisioned task structure and predictions differ.
+        // Replicate the queries into a contended burst on one node so
+        // provisioning and ordering decisions show up in response time.
+        let fw = Framework::new();
+        let mut responses = Vec::new();
+        for (kind, queries) in &sims {
+            let burst: Vec<SimQuery> = (0..6)
+                .flat_map(|rep| {
+                    queries.iter().enumerate().map(move |(qi, q)| SimQuery {
+                        name: format!("{}r{rep}", q.name),
+                        arrival: (rep * queries.len() + qi) as f64 * 0.37,
+                        jobs: q.jobs.clone(),
+                    })
+                })
+                .collect();
+            let mut cluster = fw.cluster;
+            cluster.nodes = 1;
+            cluster.seed = 1234;
+            let report = Simulator::new(cluster, fw.cost, Swrd).run(&burst);
+            responses.push(format!("{kind}: {:.2}s", report.mean_response()));
+        }
+        println!("       SWRD mean response — {}\n", responses.join(", "));
+    }
+}

@@ -27,6 +27,7 @@ use sapred::core::{Error, Pipeline, RecalibratingOracle};
 use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, SpanProfiler, Tee};
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::persist::save_catalog;
+use sapred::selectivity::EstimatorKind;
 use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
 use sapred::workload::population::PopulationConfig;
 use sapred_bench::fleet::{
@@ -80,10 +81,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "sapred — semantics-aware query prediction for MapReduce
 
 USAGE:
-  sapred explain    --sql <QUERY> [--scale <GB>] [--seed <N>]
+  sapred explain    --sql <QUERY> [--scale <GB>] [--seed <N>] [--estimator <histogram|sample|catalog>]
   sapred gather     --scale <GB> --out <FILE> [--seed <N>]
   sapred train      [--queries <N>] [--seed <N>]
-  sapred predict    --sql <QUERY> [--scale <GB>] [--queries <N>]
+  sapred predict    --sql <QUERY> [--scale <GB>] [--queries <N>] [--estimator <histogram|sample|catalog>]
   sapred simulate   --mix <bing|facebook> [--gap <SECONDS>] [--divisor <D>] [--queries <N>]
   sapred trace      <bing|facebook> [--sched <swrd|hcs|hfs|fifo|srt>] [--out <trace.json>]
                     [--events <events.jsonl>] [--metrics <metrics.json>] [--oracle <frozen|recalibrating>]
@@ -95,6 +96,7 @@ USAGE:
                     [--fail-probs <CSV>] [--queue-caps <CSV>] [--deadline <SECONDS>]
                     [--shed-policy <reject-newest|largest-wrd>] [--seeds <N>] [--seed <BASE>]
                     [--queries <N>] [--jobs <N>] [--maps <N>] [--reduces <N>]
+                    [--estimators <CSV of histogram|sample|catalog>] [--skews <CSV>]
                     [--threads <N>] [--out <fleet.json>]
   sapred bench      [--suite <dispatch|pipeline|fleet|all>] [--quick] [--iters <N>] [--threads <N>]
                     [--out <DIR>] [--compare <BENCH.json>] [--threshold <FRACTION>] [--gate]
@@ -139,12 +141,28 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
         .ok_or_else(|| Error::invalid(format!("--{name} is required")))
 }
 
+/// Parse an optional `--estimator histogram|sample|catalog` flag.
+fn flag_estimator(flags: &HashMap<String, String>) -> Result<EstimatorKind, Error> {
+    match flags.get("estimator") {
+        None => Ok(EstimatorKind::default()),
+        Some(v) => parse_estimator(v),
+    }
+}
+
+fn parse_estimator(name: &str) -> Result<EstimatorKind, Error> {
+    EstimatorKind::parse(name).ok_or_else(|| {
+        Error::invalid(format!("unknown estimator `{name}` (expected histogram|sample|catalog)"))
+    })
+}
+
 fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), Error> {
     let sql = required(flags, "sql")?;
     let scale = flag_f64(flags, "scale", 10.0)?;
     let seed = flag_usize(flags, "seed", 42)? as u64;
+    let estimator = flag_estimator(flags)?;
     let mut pipe = Pipeline::with_seed(seed);
-    println!("generating a {scale} GB TPC-H instance (seed {seed})...");
+    pipe.framework_mut().est_config.kind = estimator;
+    println!("generating a {scale} GB TPC-H instance (seed {seed}, {estimator} estimator)...");
     let semantics = pipe.percolate_sql("cli", sql, scale)?;
     let block_size = pipe.framework().est_config.block_size;
     let actuals = execute_dag(&semantics.dag, pipe.database(scale), block_size);
@@ -230,6 +248,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), Error> {
     let n = flag_usize(flags, "queries", 150)?;
     println!("training on {n} queries...");
     let mut pipe = trained_pipeline(n, 7)?;
+    pipe.framework_mut().est_config.kind = flag_estimator(flags)?;
     let semantics = pipe.percolate_sql("cli", sql, scale)?;
     let predictor = pipe.predictor()?;
     for (job, est) in semantics.dag.jobs().iter().zip(&semantics.estimates) {
@@ -465,9 +484,10 @@ fn parse_shed_policy(name: &str) -> Result<ShedPolicy, Error> {
 /// Load a declarative fleet grid from a JSON file. The format is exactly
 /// the `grid` object a fleet report echoes, so a previous run's output can
 /// be replayed: `workloads` (objects with `n_queries`/`jobs`/`maps`/
-/// `reduces`), `schedulers` (names), `fault_levels` (failure
-/// probabilities), `admissions` (objects with `queue_cap`, `deadline` —
-/// `null`/absent means none — and `shed_policy`), and `seeds`.
+/// `reduces` and optional `skew`), `schedulers` (names), `fault_levels`
+/// (failure probabilities), `admissions` (objects with `queue_cap`,
+/// `deadline` — `null`/absent means none — and `shed_policy`), optional
+/// `estimators` (names; defaults to `["histogram"]`), and `seeds`.
 fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
     use sapred::obs::json::Value;
     let text = std::fs::read_to_string(path).map_err(|e| Error::io(format!("read {path}"), e))?;
@@ -489,11 +509,18 @@ fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
     let mut workloads = Vec::new();
     for (i, w) in arr("workloads")?.iter().enumerate() {
         let at = format!("workloads[{i}]");
+        let skew = match w.get("skew") {
+            None | Some(Value::Null) => 0.0,
+            Some(v) => v.as_num().ok_or_else(|| {
+                Error::invalid(format!("{path}: {at}: \"skew\" must be a number or null"))
+            })?,
+        };
         workloads.push(WorkloadSpec {
             n_queries: field_usize(w, "n_queries", &at)?,
             jobs: field_usize(w, "jobs", &at)?,
             maps: field_usize(w, "maps", &at)?,
             reduces: field_usize(w, "reduces", &at)?,
+            skew,
         });
     }
     let mut schedulers = Vec::new();
@@ -531,6 +558,18 @@ fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
             shed_policy,
         });
     }
+    let mut estimators = Vec::new();
+    if let Some(list) = doc.get("estimators").and_then(Value::as_arr) {
+        for (i, e) in list.iter().enumerate() {
+            let name = e.as_str().ok_or_else(|| {
+                Error::invalid(format!("{path}: estimators[{i}] must be a string"))
+            })?;
+            estimators.push(parse_estimator(name)?);
+        }
+    }
+    if estimators.is_empty() {
+        estimators.push(EstimatorKind::Histogram);
+    }
     let mut seeds = Vec::new();
     for (i, s) in arr("seeds")?.iter().enumerate() {
         let seed = match s {
@@ -541,7 +580,7 @@ fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
         .ok_or_else(|| Error::invalid(format!("{path}: seeds[{i}] must be a u64")))?;
         seeds.push(seed);
     }
-    Ok(FleetGrid { workloads, schedulers, faults, admissions, seeds })
+    Ok(FleetGrid { workloads, schedulers, faults, admissions, estimators, seeds })
 }
 
 /// `sapred fleet`: expand a declarative (workload × scheduler × fault ×
@@ -589,30 +628,46 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Error> {
                 })
             })
             .collect::<Result<Vec<_>, Error>>()?;
+        let estimators =
+            parse_csv(flags.get("estimators").map(String::as_str).unwrap_or("histogram"))
+                .map(parse_estimator)
+                .collect::<Result<Vec<_>, _>>()?;
+        // One workload per requested skew level; `0` keeps the legacy
+        // uniform dispatch workload.
+        let skews = parse_csv(flags.get("skews").map(String::as_str).unwrap_or("0"))
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| Error::invalid(format!("--skews: `{s}` is not a number")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         let n_seeds = flag_usize(flags, "seeds", 2)?;
         let base = flag_usize(flags, "seed", 42)? as u64;
+        let n_queries = flag_usize(flags, "queries", 10)?;
+        let jobs = flag_usize(flags, "jobs", 2)?;
+        let maps = flag_usize(flags, "maps", 6)?;
+        let reduces = flag_usize(flags, "reduces", 2)?;
         FleetGrid {
-            workloads: vec![WorkloadSpec {
-                n_queries: flag_usize(flags, "queries", 10)?,
-                jobs: flag_usize(flags, "jobs", 2)?,
-                maps: flag_usize(flags, "maps", 6)?,
-                reduces: flag_usize(flags, "reduces", 2)?,
-            }],
+            workloads: skews
+                .iter()
+                .map(|&skew| WorkloadSpec { n_queries, jobs, maps, reduces, skew })
+                .collect(),
             schedulers,
             faults,
             admissions,
+            estimators,
             seeds: (0..n_seeds.max(1) as u64).map(|i| base.wrapping_add(i)).collect(),
         }
     };
 
     println!(
         "running fleet: {} cell(s) = {} workload(s) x {} scheduler(s) x {} fault level(s) \
-         x {} admission config(s) x {} seed(s)...",
+         x {} admission config(s) x {} estimator(s) x {} seed(s)...",
         grid.n_cells(),
         grid.workloads.len(),
         grid.schedulers.len(),
         grid.faults.len(),
         grid.admissions.len(),
+        grid.estimators.len(),
         grid.seeds.len()
     );
     let report = run_fleet(&grid, threads).map_err(Error::invalid)?;

@@ -16,7 +16,7 @@ fn small_grid() -> impl Strategy<Value = FleetGrid> {
                 faults,
                 admissions,
                 seeds,
-                WorkloadSpec { n_queries, jobs: 2, maps: 3, reduces: 1 },
+                WorkloadSpec::uniform(n_queries, 2, 3, 1),
                 base_seed,
             )
         },
