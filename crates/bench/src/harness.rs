@@ -29,8 +29,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
-use sapred_cluster::sched::Swrd;
-use sapred_cluster::sim::{AdmissionConfig, DispatchMode, FrozenOracle, Simulator};
+use sapred_cluster::sched::{Fifo, Swrd};
+use sapred_cluster::sim::{AdmissionConfig, DispatchMode, FrozenOracle, QueueMode, Simulator};
 use sapred_cluster::{FaultPlan, NodeCrash};
 use sapred_core::telemetry::record_sim_outcomes_profiled;
 use sapred_core::Pipeline;
@@ -105,6 +105,23 @@ pub enum CellKind {
         train_queries: usize,
         /// Trace the simulation and run the drift pass.
         traced: bool,
+    },
+    /// Event-core scale cell: the dispatch workload grown to 10⁶–10⁷
+    /// tasks, FIFO-scheduled so the cost is dominated by the event queue
+    /// and state columns rather than scheduler policy. `queue` selects
+    /// the arena queue, the reference `BinaryHeap`, or the lockstep
+    /// crosscheck, so the suite carries its own before/after pair.
+    Scale {
+        /// Event-queue implementation under test.
+        queue: QueueMode,
+        /// Queries in the synthetic workload.
+        n_queries: usize,
+        /// Jobs per query (chained DAG).
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
     },
     /// A whole fleet sweep ([`fleet::run_fleet`]) over the bench grid
     /// ([`fleet::bench_grid`]): `schedulers × fault_levels × admissions ×
@@ -202,6 +219,14 @@ fn mode_label(mode: DispatchMode) -> &'static str {
     }
 }
 
+fn queue_label(queue: QueueMode) -> &'static str {
+    match queue {
+        QueueMode::Arena => "arena",
+        QueueMode::Reference => "reference",
+        QueueMode::Crosscheck => "crosscheck",
+    }
+}
+
 /// Canonical config JSON for a cell (the comparison join key, after name).
 pub fn config_json(kind: &CellKind) -> String {
     match *kind {
@@ -237,6 +262,14 @@ pub fn config_json(kind: &CellKind) -> String {
             .num("scale_gb", scale_gb)
             .int("train_queries", train_queries as u64)
             .bool("traced", traced)
+            .finish(),
+        CellKind::Scale { queue, n_queries, jobs, maps, reduces } => Obj::new()
+            .str("kind", "scale")
+            .str("queue", queue_label(queue))
+            .int("n_queries", n_queries as u64)
+            .int("jobs", jobs as u64)
+            .int("maps", maps as u64)
+            .int("reduces", reduces as u64)
             .finish(),
         CellKind::Fleet {
             schedulers,
@@ -342,6 +375,15 @@ fn run_once(spec: &CellSpec, prof: &Rc<SpanProfiler>) {
                 pipe.simulate_profiled(Swrd, queries, &mut NullSink, &mut FrozenOracle, &**prof);
             }
         }
+        CellKind::Scale { queue, n_queries, jobs, maps, reduces } => {
+            let queries = dispatch_workload(n_queries, jobs, maps, reduces);
+            let mut cluster = fw.cluster;
+            cluster.seed = spec.seed;
+            // FIFO keeps scheduler policy out of the measurement: at this
+            // scale the cost is the event queue and the state columns.
+            let mut sim = Simulator::new(cluster, fw.cost, Fifo).with_queue(queue);
+            sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
+        }
         CellKind::Fleet {
             schedulers,
             fault_levels,
@@ -415,6 +457,10 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         CellKind::Dispatch { .. } | CellKind::FaultStress { .. } => {
             let decisions = counters.get(Counter::DispatchDecisions.label()).copied().unwrap_or(0);
             metrics.insert("dispatch_decisions_per_s".into(), decisions as f64 / best);
+        }
+        CellKind::Scale { .. } => {
+            let tasks = counters.get(Counter::TasksLaunched.label()).copied().unwrap_or(0);
+            metrics.insert("tasks_per_s".into(), tasks as f64 / best);
         }
         CellKind::AdmissionOverload { .. } => {
             if let Some(stat) = prof.span_stat("admission_decision") {
@@ -534,6 +580,45 @@ pub fn pipeline_suite(quick: bool) -> Vec<CellSpec> {
     vec![
         CellSpec { name: "pipeline_end_to_end", kind: kind(false), iters: 2, seed: 7 },
         CellSpec { name: "pipeline_traced", kind: kind(true), iters: 2, seed: 7 },
+    ]
+}
+
+/// The scale suite: the event core pushed to 10⁶ and 10⁷ tasks. The
+/// 10⁶ shape runs twice — arena queue and the reference `BinaryHeap` —
+/// so every report carries its own before/after pair; the 10⁷ cell runs
+/// the arena once (a single iteration is minutes of heap churn for the
+/// reference queue and the crosscheck, so only the arena goes that far).
+/// Quick shapes keep the names with ~10³× smaller workloads.
+pub fn scale_suite(quick: bool) -> Vec<CellSpec> {
+    let small = |queue| {
+        if quick {
+            CellKind::Scale { queue, n_queries: 60, jobs: 3, maps: 20, reduces: 8 }
+        } else {
+            // 2000 × 5 × (80 + 20) = 1e6 tasks.
+            CellKind::Scale { queue, n_queries: 2000, jobs: 5, maps: 80, reduces: 20 }
+        }
+    };
+    let large = if quick {
+        CellKind::Scale { queue: QueueMode::Arena, n_queries: 60, jobs: 3, maps: 40, reduces: 16 }
+    } else {
+        // 2000 × 5 × (800 + 200) = 1e7 tasks.
+        CellKind::Scale {
+            queue: QueueMode::Arena,
+            n_queries: 2000,
+            jobs: 5,
+            maps: 800,
+            reduces: 200,
+        }
+    };
+    vec![
+        CellSpec { name: "scale_1e6", kind: small(QueueMode::Arena), iters: 2, seed: 7 },
+        CellSpec {
+            name: "scale_1e6_reference",
+            kind: small(QueueMode::Reference),
+            iters: 2,
+            seed: 7,
+        },
+        CellSpec { name: "scale_1e7", kind: large, iters: 1, seed: 7 },
     ]
 }
 

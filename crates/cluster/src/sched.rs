@@ -206,6 +206,13 @@ impl Scheduler for Swrd {
 #[derive(Debug, Clone)]
 pub struct HcsQueues {
     capacities: Vec<f64>,
+    /// Reusable per-queue running-count scratch, one slot per queue.
+    running: Vec<usize>,
+    /// Generation stamp per query id: a query was counted this pick iff
+    /// its stamp equals `gen`. "Clearing" between picks is the O(1) `gen`
+    /// bump below — no per-dispatch buffer wipe, no hash-set allocation.
+    seen_gen: Vec<u64>,
+    gen: u64,
 }
 
 impl HcsQueues {
@@ -216,7 +223,8 @@ impl HcsQueues {
     pub fn new(capacities: Vec<f64>) -> Self {
         assert!(!capacities.is_empty(), "need at least one queue");
         assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
-        Self { capacities }
+        let running = vec![0; capacities.len()];
+        Self { capacities, running, seen_gen: Vec::new(), gen: 0 }
     }
 
     fn queue_of(&self, query: usize) -> usize {
@@ -232,28 +240,36 @@ impl Scheduler for HcsQueues {
     fn pick(&mut self, runnable: &[RunnableJob]) -> Option<TaskChoice> {
         // Running tasks per queue (each query counted once). The engine
         // hands us the runnable view sorted by (query, job), so queries are
-        // contiguous; a last-seen check dedupes in O(n) — the set-membership
-        // scan this replaces was O(n²) in the candidate count. A HashSet
-        // guards the (unsorted-caller) general case.
+        // contiguous; a last-seen check dedupes in O(n). The
+        // (unsorted-caller) general case is guarded by generation stamps:
+        // a query counts only when its stamp trails the pick's generation,
+        // replacing the per-call HashSet allocation with a reusable buffer
+        // that clears by bumping `gen`.
         let n = self.capacities.len();
-        let mut running = vec![0usize; n];
+        self.gen += 1;
+        self.running.iter_mut().for_each(|r| *r = 0);
         let mut last: Option<usize> = None;
-        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for r in runnable {
-            if last == Some(r.query.into()) {
+            let q: usize = r.query.into();
+            if last == Some(q) {
                 continue;
             }
-            last = Some(r.query.into());
-            if seen.insert(r.query.into()) {
-                running[self.queue_of(r.query.into())] += r.query_running;
+            last = Some(q);
+            if q >= self.seen_gen.len() {
+                self.seen_gen.resize(q + 1, 0);
+            }
+            if self.seen_gen[q] != self.gen {
+                self.seen_gen[q] = self.gen;
+                let qi = self.queue_of(q);
+                self.running[qi] += r.query_running;
             }
         }
         // Most under-served queue that has pending work.
         let best_queue = (0..n)
             .filter(|&q| runnable.iter().any(|r| self.queue_of(r.query.into()) == q))
             .min_by(|&a, &b| {
-                let ra = running[a] as f64 / self.capacities[a];
-                let rb = running[b] as f64 / self.capacities[b];
+                let ra = self.running[a] as f64 / self.capacities[a];
+                let rb = self.running[b] as f64 / self.capacities[b];
                 ra.total_cmp(&rb).then(a.cmp(&b))
             })?;
         runnable
@@ -377,6 +393,66 @@ mod tests {
         b.query_running = 1;
         let c = s.pick(&[a, b]).unwrap();
         assert_eq!(c.query, QueryId(0));
+    }
+
+    #[test]
+    fn hcs_queues_generation_scratch_matches_hashset_reference() {
+        // The generation-stamped scratch must reproduce the retired
+        // HashSet dedup exactly — same counting, same pick — including on
+        // unsorted views where a query's entries are not contiguous, and
+        // across repeated picks (stale stamps from earlier generations
+        // must not leak into later ones).
+        fn reference_pick(capacities: &[f64], runnable: &[RunnableJob]) -> Option<TaskChoice> {
+            let n = capacities.len();
+            let queue_of = |query: usize| query % n;
+            let mut running = vec![0usize; n];
+            let mut last: Option<usize> = None;
+            let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            for r in runnable {
+                if last == Some(r.query.into()) {
+                    continue;
+                }
+                last = Some(r.query.into());
+                if seen.insert(r.query.into()) {
+                    running[queue_of(r.query.into())] += r.query_running;
+                }
+            }
+            let best_queue = (0..n)
+                .filter(|&q| runnable.iter().any(|r| queue_of(r.query.into()) == q))
+                .min_by(|&a, &b| {
+                    let ra = running[a] as f64 / capacities[a];
+                    let rb = running[b] as f64 / capacities[b];
+                    ra.total_cmp(&rb).then(a.cmp(&b))
+                })?;
+            runnable
+                .iter()
+                .filter(|r| queue_of(r.query.into()) == best_queue)
+                .min_by(|a, b| submit_order(a, b))
+                .map(choice)
+        }
+
+        let capacities = vec![3.0, 1.0, 2.0];
+        let mut s = HcsQueues::new(capacities.clone());
+        // Deterministic pseudo-random views: query ids deliberately
+        // repeated and non-contiguous, varying running counts.
+        let mut x = 11u64;
+        for round in 0..50 {
+            let mut r = Vec::new();
+            for k in 0..(1 + round % 7) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let q = (x >> 33) as usize % 9;
+                let mut j = job(q, k, (x % 97) as f64, 0.0);
+                j.query_running = (x % 13) as usize;
+                r.push(j);
+            }
+            let got = s.pick(&r);
+            let want = reference_pick(&capacities, &r);
+            assert_eq!(
+                got.map(|c| (c.query, c.job, c.kind)),
+                want.map(|c| (c.query, c.job, c.kind)),
+                "round {round}: scratch dedup diverged from HashSet reference"
+            );
+        }
     }
 
     #[test]

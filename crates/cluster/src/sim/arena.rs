@@ -1,0 +1,524 @@
+//! The arena-backed event core: packed event records in a slab with an
+//! index-based priority queue, plus the [`QueueMode`] seam proving it
+//! bit-identical to the reference `BinaryHeap`.
+//!
+//! The engine's original event queue was a
+//! `BinaryHeap<Reverse<(Time, u64, Event)>>`: every push moved a 40-plus
+//! byte enum through the heap's sift path, and popped events were dropped
+//! on the floor. The arena queue replaces that with:
+//!
+//! * a **slab** of packed 32-byte [`EventRecord`]s addressed by `u32`
+//!   handles, with an intrusive freelist so a popped event's slot is
+//!   recycled by a later push (the next-free handle is stored in the dead
+//!   record's `a` field — no side allocation),
+//! * an **index heap** (`Vec<u32>` of handles) ordered by the same
+//!   `(time, seq)` key the reference heap used. `seq` is unique per push,
+//!   so the key is a strict total order and *any* correct priority queue
+//!   pops the identical stream — which makes every downstream RNG draw,
+//!   emitted event, and report bit-identical by construction. The golden
+//!   fixtures and [`QueueMode::Crosscheck`] pin this.
+//!
+//! Handle/freelist invariants:
+//!
+//! * a handle is either *live* (reachable from exactly one `heap` entry)
+//!   or *free* (reachable from exactly one freelist link, starting at
+//!   `free_head`); never both, never neither,
+//! * `heap.len() + free_len == slab.len()` at every quiescent point,
+//! * the slab never shrinks: its high-water mark is the maximum number of
+//!   simultaneously pending events, not the event total (~2 per task
+//!   attempt over a run, but only ~queries + in-flight tasks at once).
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::state::{Event, Time};
+use crate::job::TaskKind;
+
+/// How the engine queues its discrete events. Mirrors
+/// [`DispatchMode`](super::DispatchMode): a fast default, the executable
+/// reference specification, and a crosscheck mode proving them identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueMode {
+    /// The arena queue: slab of packed records + index heap. The default;
+    /// allocation-free at steady state (slots recycle through the
+    /// freelist) and proven pop-identical to [`Reference`] by
+    /// [`Crosscheck`] runs and the golden fixtures.
+    ///
+    /// [`Reference`]: QueueMode::Reference
+    /// [`Crosscheck`]: QueueMode::Crosscheck
+    #[default]
+    Arena,
+    /// The pre-arena `BinaryHeap<Reverse<(Time, u64, Event)>>`, kept as
+    /// the executable specification and benchmark baseline.
+    Reference,
+    /// Drive both queues in lockstep and panic on the first divergence in
+    /// popped `(time, seq, event)` — which also exercises the record
+    /// encode/decode round-trip on every event.
+    Crosscheck,
+}
+
+/// One queued event, packed to 32 bytes. `a`/`b`/`c` carry the event's
+/// payload fields (see [`EventRecord::encode`]); `tag` selects the
+/// variant and `kind` carries a [`TaskKind`] discriminant for `Retry`.
+/// When the record is on the freelist, `a` holds the next free handle.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct EventRecord {
+    time: f64,
+    seq: u64,
+    a: u32,
+    b: u32,
+    c: u32,
+    tag: u8,
+    kind: u8,
+    _pad: [u8; 2],
+}
+
+const TAG_ARRIVAL: u8 = 0;
+const TAG_SUBMIT: u8 = 1;
+const TAG_TASK_DONE: u8 = 2;
+const TAG_TASK_FAILED: u8 = 3;
+const TAG_RETRY: u8 = 4;
+const TAG_NODE_DOWN: u8 = 5;
+const TAG_NODE_UP: u8 = 6;
+const TAG_DEADLINE_CHECK: u8 = 7;
+const TAG_RESUBMIT: u8 = 8;
+/// Tag of a record sitting on the freelist (debug-only tripwire).
+const TAG_FREE: u8 = 0xFF;
+
+/// Freelist terminator / "no handle" sentinel (also used by the attempt
+/// table's `partner` column).
+pub(super) const NIL: u32 = u32::MAX;
+
+#[inline]
+fn narrow(x: usize) -> u32 {
+    debug_assert!(x < NIL as usize, "event field {x} exceeds u32 handle space");
+    x as u32
+}
+
+impl EventRecord {
+    fn encode(time: f64, seq: u64, event: &Event) -> Self {
+        let (tag, a, b, c, kind) = match *event {
+            Event::Arrival { q } => (TAG_ARRIVAL, narrow(q), 0, 0, 0),
+            Event::Submit { q, j } => (TAG_SUBMIT, narrow(q), narrow(j), 0, 0),
+            Event::TaskDone { attempt } => (TAG_TASK_DONE, narrow(attempt), 0, 0, 0),
+            Event::TaskFailed { attempt } => (TAG_TASK_FAILED, narrow(attempt), 0, 0, 0),
+            Event::Retry { q, j, kind, spec_idx } => {
+                let k = match kind {
+                    TaskKind::Map => 0,
+                    TaskKind::Reduce => 1,
+                };
+                (TAG_RETRY, narrow(q), narrow(j), narrow(spec_idx), k)
+            }
+            Event::NodeDown { crash } => (TAG_NODE_DOWN, narrow(crash), 0, 0, 0),
+            // The 64-bit crash epoch rides in the two spare u32 lanes.
+            Event::NodeUp { node, epoch } => {
+                (TAG_NODE_UP, narrow(node), epoch as u32, (epoch >> 32) as u32, 0)
+            }
+            Event::DeadlineCheck { q } => (TAG_DEADLINE_CHECK, narrow(q), 0, 0, 0),
+            Event::Resubmit { q } => (TAG_RESUBMIT, narrow(q), 0, 0, 0),
+        };
+        Self { time, seq, a, b, c, tag, kind, _pad: [0; 2] }
+    }
+
+    fn decode(&self) -> Event {
+        let (a, b, c) = (self.a as usize, self.b as usize, self.c as usize);
+        match self.tag {
+            TAG_ARRIVAL => Event::Arrival { q: a },
+            TAG_SUBMIT => Event::Submit { q: a, j: b },
+            TAG_TASK_DONE => Event::TaskDone { attempt: a },
+            TAG_TASK_FAILED => Event::TaskFailed { attempt: a },
+            TAG_RETRY => Event::Retry {
+                q: a,
+                j: b,
+                kind: if self.kind == 0 { TaskKind::Map } else { TaskKind::Reduce },
+                spec_idx: c,
+            },
+            TAG_NODE_DOWN => Event::NodeDown { crash: a },
+            TAG_NODE_UP => {
+                Event::NodeUp { node: a, epoch: u64::from(self.b) | (u64::from(self.c) << 32) }
+            }
+            TAG_DEADLINE_CHECK => Event::DeadlineCheck { q: a },
+            TAG_RESUBMIT => Event::Resubmit { q: a },
+            tag => unreachable!("decoding a non-live event record (tag {tag})"),
+        }
+    }
+}
+
+/// Deterministic queue telemetry surfaced through the profiler at the end
+/// of a run (every field is a pure function of the workload, never of
+/// wall-clock or capacity growth policy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(super) struct QueueStats {
+    /// Pushes + pops over the run (identical across queue modes).
+    pub(super) ops: u64,
+    /// Peak bytes of live queue state: slab records + index-heap entries
+    /// (by element count, not reserved capacity, so the number is
+    /// bit-reproducible across allocator behaviors). Zero for the
+    /// reference queue, which has no arena.
+    pub(super) bytes_peak: u64,
+    /// Pushes served by recycling a freed slab slot instead of growing
+    /// the slab.
+    pub(super) recycled: u64,
+}
+
+/// The arena queue: slab + freelist + index min-heap over `(time, seq)`.
+pub(super) struct ArenaQueue {
+    slab: Vec<EventRecord>,
+    /// Head of the intrusive freelist threaded through dead records'
+    /// `a` fields ([`NIL`] = empty).
+    free_head: u32,
+    /// Binary min-heap of live handles, ordered by the records'
+    /// `(time, seq)` — `seq` unique makes the order strict.
+    heap: Vec<u32>,
+    stats: QueueStats,
+}
+
+impl ArenaQueue {
+    pub(super) fn new() -> Self {
+        Self { slab: Vec::new(), free_head: NIL, heap: Vec::new(), stats: QueueStats::default() }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(super) fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    #[inline]
+    fn key(&self, h: u32) -> (f64, u64) {
+        let r = &self.slab[h as usize];
+        (r.time, r.seq)
+    }
+
+    #[inline]
+    fn less(&self, x: u32, y: u32) -> bool {
+        let (tx, sx) = self.key(x);
+        let (ty, sy) = self.key(y);
+        match tx.total_cmp(&ty) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => sx < sy,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut best = l;
+            if r < n && self.less(self.heap[r], self.heap[l]) {
+                best = r;
+            }
+            if self.less(self.heap[best], self.heap[i]) {
+                self.heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Queue `event` at `time` with sequence number `seq` (assigned by the
+    /// caller so crosscheck mode can feed both queues the same number).
+    pub(super) fn push(&mut self, time: f64, seq: u64, event: &Event) {
+        let record = EventRecord::encode(time, seq, event);
+        let h = if self.free_head != NIL {
+            // Recycle the most recently freed slot.
+            let h = self.free_head;
+            self.free_head = self.slab[h as usize].a;
+            self.slab[h as usize] = record;
+            self.stats.recycled += 1;
+            h
+        } else {
+            let h = narrow(self.slab.len());
+            self.slab.push(record);
+            h
+        };
+        self.heap.push(h);
+        let at = self.heap.len() - 1;
+        self.sift_up(at);
+        self.stats.ops += 1;
+        let live = (self.slab.len() * std::mem::size_of::<EventRecord>()
+            + self.heap.len() * std::mem::size_of::<u32>()) as u64;
+        self.stats.bytes_peak = self.stats.bytes_peak.max(live);
+    }
+
+    /// Pop the minimum-`(time, seq)` event, freeing its slab slot.
+    pub(super) fn pop(&mut self) -> Option<(f64, u64, Event)> {
+        let h = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let r = self.slab[h as usize];
+        debug_assert_ne!(r.tag, TAG_FREE, "popped a freed record");
+        let event = r.decode();
+        // Thread the slot onto the freelist; poison the tag so a stale
+        // handle read trips the debug assertion above.
+        self.slab[h as usize].a = self.free_head;
+        self.slab[h as usize].tag = TAG_FREE;
+        self.free_head = h;
+        self.stats.ops += 1;
+        Some((r.time, r.seq, event))
+    }
+
+    /// Bytes of live queue state right now (see [`QueueStats::bytes_peak`]).
+    #[cfg(test)]
+    pub(super) fn live_bytes(&self) -> u64 {
+        (self.slab.len() * std::mem::size_of::<EventRecord>()
+            + self.heap.len() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Freelist length, walked (test-only invariant check).
+    #[cfg(test)]
+    pub(super) fn free_len(&self) -> usize {
+        let mut n = 0;
+        let mut h = self.free_head;
+        while h != NIL {
+            n += 1;
+            h = self.slab[h as usize].a;
+        }
+        n
+    }
+
+    #[cfg(test)]
+    pub(super) fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+/// The reference queue: the engine's original
+/// `BinaryHeap<Reverse<(Time, u64, Event)>>`, verbatim.
+pub(super) struct RefQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, Event)>>,
+    stats: QueueStats,
+}
+
+impl RefQueue {
+    pub(super) fn new() -> Self {
+        Self { heap: BinaryHeap::new(), stats: QueueStats::default() }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(super) fn push(&mut self, time: f64, seq: u64, event: Event) {
+        self.heap.push(Reverse((Time(time), seq, event)));
+        self.stats.ops += 1;
+    }
+
+    pub(super) fn pop(&mut self) -> Option<(f64, u64, Event)> {
+        let Reverse((Time(t), seq, event)) = self.heap.pop()?;
+        self.stats.ops += 1;
+        Some((t, seq, event))
+    }
+}
+
+/// The engine's event queue behind the [`QueueMode`] seam. Owns the `seq`
+/// counter (one unique number per push, shared by both queues under
+/// crosscheck) so the engine can't desynchronize the two.
+pub(super) struct EventQueue {
+    imp: QueueImpl,
+    seq: u64,
+}
+
+enum QueueImpl {
+    Arena(ArenaQueue),
+    Reference(RefQueue),
+    Crosscheck { arena: ArenaQueue, reference: RefQueue },
+}
+
+impl EventQueue {
+    pub(super) fn new(mode: QueueMode) -> Self {
+        let imp = match mode {
+            QueueMode::Arena => QueueImpl::Arena(ArenaQueue::new()),
+            QueueMode::Reference => QueueImpl::Reference(RefQueue::new()),
+            QueueMode::Crosscheck => {
+                QueueImpl::Crosscheck { arena: ArenaQueue::new(), reference: RefQueue::new() }
+            }
+        };
+        Self { imp, seq: 0 }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        match &self.imp {
+            QueueImpl::Arena(a) => a.len(),
+            QueueImpl::Reference(r) => r.len(),
+            QueueImpl::Crosscheck { arena, .. } => arena.len(),
+        }
+    }
+
+    pub(super) fn push(&mut self, time: f64, event: Event) {
+        let s = self.seq;
+        self.seq += 1;
+        match &mut self.imp {
+            QueueImpl::Arena(a) => a.push(time, s, &event),
+            QueueImpl::Reference(r) => r.push(time, s, event),
+            QueueImpl::Crosscheck { arena, reference } => {
+                arena.push(time, s, &event);
+                reference.push(time, s, event);
+            }
+        }
+    }
+
+    pub(super) fn pop(&mut self) -> Option<(f64, Event)> {
+        match &mut self.imp {
+            QueueImpl::Arena(a) => a.pop().map(|(t, _, e)| (t, e)),
+            QueueImpl::Reference(r) => r.pop().map(|(t, _, e)| (t, e)),
+            QueueImpl::Crosscheck { arena, reference } => {
+                let got = arena.pop();
+                let want = reference.pop();
+                match (got, want) {
+                    (None, None) => None,
+                    (Some((ta, sa, ea)), Some((tr, sr, er))) => {
+                        assert!(
+                            ta.to_bits() == tr.to_bits() && sa == sr && ea == er,
+                            "arena queue diverged from reference heap: \
+                             popped ({ta}, {sa}, {ea:?}), expected ({tr}, {sr}, {er:?})"
+                        );
+                        Some((ta, ea))
+                    }
+                    (a, r) => panic!(
+                        "arena queue diverged from reference heap: \
+                         one side empty (arena: {a:?}, reference: {r:?})"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Deterministic queue telemetry for the profiler. Under crosscheck the
+    /// arena's stats are reported (ops match the reference by definition).
+    pub(super) fn stats(&self) -> QueueStats {
+        match &self.imp {
+            QueueImpl::Arena(a) => a.stats(),
+            QueueImpl::Reference(r) => r.stats,
+            QueueImpl::Crosscheck { arena, .. } => arena.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<EventRecord>(), 32);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        let events = [
+            Event::Arrival { q: 3 },
+            Event::Submit { q: 1, j: 2 },
+            Event::TaskDone { attempt: 123_456 },
+            Event::TaskFailed { attempt: 0 },
+            Event::Retry { q: 9, j: 4, kind: TaskKind::Map, spec_idx: 77 },
+            Event::Retry { q: 9, j: 4, kind: TaskKind::Reduce, spec_idx: 0 },
+            Event::NodeDown { crash: 2 },
+            Event::NodeUp { node: 8, epoch: u64::from(u32::MAX) + 17 },
+            Event::DeadlineCheck { q: 5 },
+            Event::Resubmit { q: 6 },
+        ];
+        for e in &events {
+            let r = EventRecord::encode(1.5, 42, e);
+            assert_eq!(&r.decode(), e, "round-trip of {e:?}");
+            assert_eq!(r.time, 1.5);
+            assert_eq!(r.seq, 42);
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = ArenaQueue::new();
+        q.push(2.0, 0, &Event::Arrival { q: 0 });
+        q.push(1.0, 1, &Event::Arrival { q: 1 });
+        q.push(1.0, 2, &Event::Arrival { q: 2 });
+        q.push(0.5, 3, &Event::Arrival { q: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, s, _)| s).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn slots_recycle_through_the_freelist() {
+        let mut q = ArenaQueue::new();
+        q.push(1.0, 0, &Event::Arrival { q: 0 });
+        q.push(2.0, 1, &Event::Arrival { q: 1 });
+        assert_eq!(q.slab_len(), 2);
+        q.pop();
+        assert_eq!(q.free_len(), 1);
+        // The freed slot is reused: slab does not grow.
+        q.push(3.0, 2, &Event::Arrival { q: 2 });
+        assert_eq!(q.slab_len(), 2);
+        assert_eq!(q.free_len(), 0);
+        assert_eq!(q.stats().recycled, 1);
+        // Invariant: live handles + free slots == slab size.
+        assert_eq!(q.len() + q.free_len(), q.slab_len());
+        while q.pop().is_some() {}
+        assert_eq!(q.len() + q.free_len(), q.slab_len());
+        assert_eq!(q.free_len(), 2);
+    }
+
+    #[test]
+    fn bytes_peak_tracks_live_state_not_total_throughput() {
+        let mut q = ArenaQueue::new();
+        // Steady-state push/pop: peak stays at the high-water mark of
+        // *simultaneous* events, not the total pushed.
+        for i in 0..1000u64 {
+            q.push(i as f64, i, &Event::Arrival { q: 0 });
+            q.pop();
+        }
+        // One live record at a time: slab of 1 record + 1 handle at peak.
+        assert_eq!(q.stats().bytes_peak, 32 + 4);
+        assert_eq!(q.stats().recycled, 999);
+        assert_eq!(q.live_bytes(), 32); // slab slot retained, heap empty
+    }
+
+    #[test]
+    fn crosscheck_mode_pops_both_queues_in_lockstep() {
+        let mut q = EventQueue::new(QueueMode::Crosscheck);
+        q.push(2.0, Event::Arrival { q: 0 });
+        q.push(1.0, Event::Submit { q: 1, j: 0 });
+        q.push(1.0, Event::TaskDone { attempt: 7 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, Event::Submit { q: 1, j: 0 })));
+        assert_eq!(q.pop(), Some((1.0, Event::TaskDone { attempt: 7 })));
+        assert_eq!(q.pop(), Some((2.0, Event::Arrival { q: 0 })));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stats_ops_count_pushes_and_pops_identically_across_modes() {
+        for mode in [QueueMode::Arena, QueueMode::Reference, QueueMode::Crosscheck] {
+            let mut q = EventQueue::new(mode);
+            for i in 0..5 {
+                q.push(i as f64, Event::Arrival { q: i });
+            }
+            while q.pop().is_some() {}
+            assert_eq!(q.stats().ops, 10, "mode {mode:?}");
+        }
+    }
+}

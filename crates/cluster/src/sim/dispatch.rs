@@ -6,7 +6,7 @@
 use crate::job::{JobPrediction, SimQuery};
 use crate::sched::RunnableJob;
 
-use super::state::JobState;
+use super::state::JobTable;
 use sapred_obs::{JobId, QueryId};
 
 /// How the engine derives the scheduler's runnable view on each dispatch.
@@ -77,7 +77,7 @@ impl DispatchState {
     pub(super) fn refresh_query(
         &mut self,
         queries: &[SimQuery],
-        jobs: &[Vec<JobState>],
+        jobs: &JobTable,
         preds: &[Vec<JobPrediction>],
         qi: usize,
     ) {
@@ -85,8 +85,7 @@ impl DispatchState {
         if self.scratch.len() < q.jobs.len() {
             self.scratch.resize(q.jobs.len(), 0.0);
         }
-        let (wrd, crit) =
-            query_demand(q, &jobs[qi], &preds[qi], self.containers, &mut self.scratch);
+        let (wrd, crit) = query_demand(q, qi, jobs, &preds[qi], self.containers, &mut self.scratch);
         self.aggs[qi].wrd = wrd;
         self.aggs[qi].crit = crit;
         self.sync_entries(qi);
@@ -108,23 +107,24 @@ impl DispatchState {
     pub(super) fn insert_job(
         &mut self,
         queries: &[SimQuery],
-        jobs: &[Vec<JobState>],
+        jobs: &JobTable,
         qi: usize,
         j: usize,
     ) {
-        let js = &jobs[qi][j];
-        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
-        if js.pending_maps == 0 && pending_reduces == 0 {
+        let i = jobs.idx(qi, j);
+        let pending_reduces =
+            if jobs.reduces_unlocked[i] { jobs.counts[i].pending_reduces } else { 0 };
+        if jobs.counts[i].pending_maps == 0 && pending_reduces == 0 {
             return;
         }
         let entry = RunnableJob {
             query: QueryId(qi),
             job: JobId(j),
-            submit_time: js.submit_time,
+            submit_time: jobs.submit_time[i],
             arrival: queries[qi].arrival,
-            pending_maps: js.pending_maps,
+            pending_maps: jobs.counts[i].pending_maps,
             pending_reduces,
-            running: js.running_maps + js.running_reduces,
+            running: jobs.counts[i].running_maps + jobs.counts[i].running_reduces,
             query_wrd: self.aggs[qi].wrd,
             query_time: self.aggs[qi].crit,
             query_running: self.aggs[qi].running,
@@ -137,19 +137,20 @@ impl DispatchState {
 
     /// A task of `(qi, j)` was dispatched: bump running counts and drop the
     /// job from the set once nothing is left to launch.
-    pub(super) fn on_dispatch(&mut self, jobs: &[Vec<JobState>], qi: usize, j: usize) {
+    pub(super) fn on_dispatch(&mut self, jobs: &JobTable, qi: usize, j: usize) {
         self.aggs[qi].running += 1;
         self.sync_entries(qi);
         let at = self.position(qi, j).expect("dispatched job is runnable");
-        let js = &jobs[qi][j];
-        let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
-        if js.pending_maps == 0 && pending_reduces == 0 {
+        let i = jobs.idx(qi, j);
+        let pending_reduces =
+            if jobs.reduces_unlocked[i] { jobs.counts[i].pending_reduces } else { 0 };
+        if jobs.counts[i].pending_maps == 0 && pending_reduces == 0 {
             self.runnable.remove(at);
         } else {
             let r = &mut self.runnable[at];
-            r.pending_maps = js.pending_maps;
+            r.pending_maps = jobs.counts[i].pending_maps;
             r.pending_reduces = pending_reduces;
-            r.running = js.running_maps + js.running_reduces;
+            r.running = jobs.counts[i].running_maps + jobs.counts[i].running_reduces;
         }
     }
 
@@ -158,20 +159,24 @@ impl DispatchState {
     pub(super) fn on_task_done(
         &mut self,
         queries: &[SimQuery],
-        jobs: &[Vec<JobState>],
+        jobs: &JobTable,
         preds: &[Vec<JobPrediction>],
         qi: usize,
         j: usize,
     ) {
         self.aggs[qi].running -= 1;
-        let js = &jobs[qi][j];
+        let i = jobs.idx(qi, j);
         if let Ok(at) = self.position(qi, j) {
             // Still runnable (more tasks of the same phase pending).
             let r = &mut self.runnable[at];
-            r.pending_maps = js.pending_maps;
-            r.pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
-            r.running = js.running_maps + js.running_reduces;
-        } else if js.reduces_unlocked && js.pending_reduces > 0 && js.finished.is_none() {
+            r.pending_maps = jobs.counts[i].pending_maps;
+            r.pending_reduces =
+                if jobs.reduces_unlocked[i] { jobs.counts[i].pending_reduces } else { 0 };
+            r.running = jobs.counts[i].running_maps + jobs.counts[i].running_reduces;
+        } else if jobs.reduces_unlocked[i]
+            && jobs.counts[i].pending_reduces > 0
+            && jobs.finished[i].is_none()
+        {
             // This completion was the last map: the reduce wave unlocks.
             self.insert_job(queries, jobs, qi, j);
         }
@@ -188,7 +193,7 @@ impl DispatchState {
     pub(super) fn resync_query(
         &mut self,
         queries: &[SimQuery],
-        jobs: &[Vec<JobState>],
+        jobs: &JobTable,
         preds: &[Vec<JobPrediction>],
         qi: usize,
     ) {
@@ -196,12 +201,14 @@ impl DispatchState {
         if self.scratch.len() < q.jobs.len() {
             self.scratch.resize(q.jobs.len(), 0.0);
         }
-        let (wrd, crit) =
-            query_demand(q, &jobs[qi], &preds[qi], self.containers, &mut self.scratch);
+        let (wrd, crit) = query_demand(q, qi, jobs, &preds[qi], self.containers, &mut self.scratch);
+        let base = jobs.query_range(qi).start;
         let running = q
             .jobs
             .iter()
-            .map(|j| jobs[qi][j.id.0].running_maps + jobs[qi][j.id.0].running_reduces)
+            .map(|j| {
+                jobs.counts[base + j.id.0].running_maps + jobs.counts[base + j.id.0].running_reduces
+            })
             .sum();
         self.aggs[qi] = QueryAgg { wrd, crit, running };
         let agg = self.aggs[qi];
@@ -210,22 +217,23 @@ impl DispatchState {
             start + self.runnable[start..].iter().take_while(|r| r.query == QueryId(qi)).count();
         let mut entries = Vec::new();
         for j in &q.jobs {
-            let js = &jobs[qi][j.id.0];
-            if !js.submitted || js.finished.is_some() {
+            let i = base + j.id.0;
+            if !jobs.submitted[i] || jobs.finished[i].is_some() {
                 continue;
             }
-            let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
-            if js.pending_maps == 0 && pending_reduces == 0 {
+            let pending_reduces =
+                if jobs.reduces_unlocked[i] { jobs.counts[i].pending_reduces } else { 0 };
+            if jobs.counts[i].pending_maps == 0 && pending_reduces == 0 {
                 continue;
             }
             entries.push(RunnableJob {
                 query: QueryId(qi),
                 job: j.id,
-                submit_time: js.submit_time,
+                submit_time: jobs.submit_time[i],
                 arrival: q.arrival,
-                pending_maps: js.pending_maps,
+                pending_maps: jobs.counts[i].pending_maps,
                 pending_reduces,
-                running: js.running_maps + js.running_reduces,
+                running: jobs.counts[i].running_maps + jobs.counts[i].running_reduces,
                 query_wrd: agg.wrd,
                 query_time: agg.crit,
                 query_running: agg.running,
@@ -249,7 +257,7 @@ impl DispatchState {
     pub(super) fn crosscheck(
         &self,
         queries: &[SimQuery],
-        jobs: &[Vec<JobState>],
+        jobs: &JobTable,
         preds: &[Vec<JobPrediction>],
         when: &str,
     ) {
@@ -274,40 +282,40 @@ impl DispatchState {
 /// backward deps), so it needs no clearing between calls.
 pub(super) fn query_demand(
     q: &SimQuery,
-    qjobs: &[JobState],
+    qi: usize,
+    jobs: &JobTable,
     preds: &[JobPrediction],
     containers: usize,
     acc: &mut [f64],
 ) -> (f64, f64) {
+    let range = jobs.query_range(qi);
+    // Per-query column windows: one bounds check each here instead of one
+    // per element access below (this is the hottest loop of the SWRD
+    // dispatch path — it runs once per event over every job of the query).
+    let finished = &jobs.finished[range.clone()];
+    let counts = &jobs.counts[range];
     let c = containers.max(1) as f64;
-    // Remaining WRD over all unfinished jobs (Eq. 10), from percolated
-    // per-task time predictions.
-    let wrd: f64 = q
-        .jobs
-        .iter()
-        .filter(|j| qjobs[j.id.0].finished.is_none())
-        .map(|j| {
-            let js = &qjobs[j.id.0];
-            preds[j.id.0].map_task_time * (j.maps.len() - js.done_maps) as f64
-                + preds[j.id.0].reduce_task_time * (j.reduces.len() - js.done_reduces) as f64
-        })
-        .sum();
-    // Remaining critical-path time (jobs are topologically ordered, so
-    // one forward pass suffices): each unfinished job contributes its
-    // predicted remaining processing time spread over the containers.
+    // One fused forward pass (jobs are topologically ordered, so the
+    // critical path needs no second sweep): each unfinished job's
+    // remaining predicted processing time feeds the WRD sum (Eq. 10)
+    // as-is and the critical path spread over the containers. `rem` is
+    // the exact expression both aggregates historically computed
+    // separately, so reusing it keeps the f64 bits identical.
+    let mut wrd = 0.0f64;
     let mut crit = 0.0f64;
     for j in &q.jobs {
-        let js = &qjobs[j.id.0];
-        let own = if js.finished.is_some() {
+        let i = j.id.0;
+        let own = if finished[i].is_some() {
             0.0
         } else {
-            (preds[j.id.0].map_task_time * (j.maps.len() - js.done_maps) as f64
-                + preds[j.id.0].reduce_task_time * (j.reduces.len() - js.done_reduces) as f64)
-                / c
+            let rem = preds[i].map_task_time * (j.maps.len() - counts[i].done_maps) as f64
+                + preds[i].reduce_task_time * (j.reduces.len() - counts[i].done_reduces) as f64;
+            wrd += rem;
+            rem / c
         };
         let dep_max = j.deps.iter().map(|&d| acc[d.0]).fold(0.0, f64::max);
-        acc[j.id.0] = dep_max + own;
-        crit = crit.max(acc[j.id.0]);
+        acc[i] = dep_max + own;
+        crit = crit.max(acc[i]);
     }
     (wrd, crit)
 }
@@ -319,37 +327,41 @@ pub(super) fn query_demand(
 /// aggregate bits) without the rebuild.
 pub(super) fn collect_runnable(
     queries: &[SimQuery],
-    jobs: &[Vec<JobState>],
+    jobs: &JobTable,
     preds: &[Vec<JobPrediction>],
     containers: usize,
 ) -> Vec<RunnableJob> {
     let mut out = Vec::new();
     for (qi, q) in queries.iter().enumerate() {
         let mut acc = vec![0.0f64; q.jobs.len()];
-        let (wrd, crit) = query_demand(q, &jobs[qi], &preds[qi], containers, &mut acc);
+        let (wrd, crit) = query_demand(q, qi, jobs, &preds[qi], containers, &mut acc);
+        let base = jobs.query_range(qi).start;
         // Total running tasks of this query (for queue-share accounting).
         let query_running: usize = q
             .jobs
             .iter()
-            .map(|j| jobs[qi][j.id.0].running_maps + jobs[qi][j.id.0].running_reduces)
+            .map(|j| {
+                jobs.counts[base + j.id.0].running_maps + jobs.counts[base + j.id.0].running_reduces
+            })
             .sum();
         for j in &q.jobs {
-            let js = &jobs[qi][j.id.0];
-            if !js.submitted || js.finished.is_some() {
+            let i = base + j.id.0;
+            if !jobs.submitted[i] || jobs.finished[i].is_some() {
                 continue;
             }
-            let pending_reduces = if js.reduces_unlocked { js.pending_reduces } else { 0 };
-            if js.pending_maps == 0 && pending_reduces == 0 {
+            let pending_reduces =
+                if jobs.reduces_unlocked[i] { jobs.counts[i].pending_reduces } else { 0 };
+            if jobs.counts[i].pending_maps == 0 && pending_reduces == 0 {
                 continue;
             }
             out.push(RunnableJob {
                 query: QueryId(qi),
                 job: j.id,
-                submit_time: js.submit_time,
+                submit_time: jobs.submit_time[i],
                 arrival: q.arrival,
-                pending_maps: js.pending_maps,
+                pending_maps: jobs.counts[i].pending_maps,
                 pending_reduces,
-                running: js.running_maps + js.running_reduces,
+                running: jobs.counts[i].running_maps + jobs.counts[i].running_reduces,
                 query_wrd: wrd,
                 query_time: crit,
                 query_running,

@@ -14,12 +14,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use super::admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
+use super::arena::{EventQueue, QueueMode, NIL};
 use super::dispatch::{collect_runnable, query_demand, DispatchMode, DispatchState};
 use super::emit;
 use super::oracle::{DemandOracle, FrozenOracle};
 use super::recovery::{fail_query, Attempt, FaultState};
 use super::report::{assemble_report, SimReport};
-use super::state::{phase_of, Event, JobState, QueryState, Time};
+use super::state::{phase_of, Event, JobTable, QueryState};
 use super::ClusterConfig;
 use sapred_obs::{JobId, NodeId, QueryId};
 
@@ -95,6 +96,9 @@ pub struct Simulator<S: Scheduler> {
     pub scheduler: S,
     /// How the runnable view is derived (incremental by default).
     pub dispatch: DispatchMode,
+    /// How the event queue is implemented (arena by default; see
+    /// [`QueueMode`]).
+    pub queue: QueueMode,
     /// The failure schedule to inject ([`FaultPlan::none`] by default —
     /// bit-identical to a fault-free run).
     pub faults: FaultPlan,
@@ -112,6 +116,7 @@ impl<S: Scheduler> Simulator<S> {
             cost,
             scheduler,
             dispatch: DispatchMode::default(),
+            queue: QueueMode::default(),
             faults: FaultPlan::none(),
             admission: AdmissionConfig::disabled(),
         }
@@ -120,6 +125,12 @@ impl<S: Scheduler> Simulator<S> {
     /// Same simulator with an explicit [`DispatchMode`].
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Same simulator with an explicit [`QueueMode`].
+    pub fn with_queue(mut self, queue: QueueMode) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -219,15 +230,14 @@ impl<S: Scheduler> Simulator<S> {
         // nothing from it, leaving the duration stream — and therefore the
         // whole simulation — bit-identical to a fault-free run.
         let mut fault_rng = StdRng::seed_from_u64(self.faults.seed);
-        let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<_>, t: f64, e: Event, seq: &mut u64| {
-            heap.push(Reverse((Time(t), *seq, e)));
-            *seq += 1;
-        };
+        let mut queue = EventQueue::new(self.queue);
 
-        let mut jobs: Vec<Vec<JobState>> =
-            queries.iter().map(|q| vec![JobState::default(); q.jobs.len()]).collect();
+        let mut jobs = JobTable::new(queries.iter().map(|q| q.jobs.len()));
+        // Query names, interned once: the per-arrival QueryArrive emission
+        // clones an `Arc<str>` (a refcount bump) instead of allocating a
+        // fresh `String` inside the event hot loop.
+        let names: Vec<std::sync::Arc<str>> =
+            queries.iter().map(|q| std::sync::Arc::from(q.name.as_str())).collect();
         let mut qstate: Vec<QueryState> = vec![QueryState::default(); queries.len()];
         // The live prediction matrix: consulted from the oracle, never read
         // from the frozen `SimJob` fields. Seeded up front for every job so
@@ -238,11 +248,11 @@ impl<S: Scheduler> Simulator<S> {
             .map(|(qi, q)| q.jobs.iter().map(|j| oracle.predict(QueryId(qi), j)).collect())
             .collect();
         for (i, q) in queries.iter().enumerate() {
-            push(&mut heap, q.arrival, Event::Arrival { q: i }, &mut seq);
+            queue.push(q.arrival, Event::Arrival { q: i });
         }
         let mut fr = FaultState::new(self.config.nodes, self.config.total_containers());
         for (ci, crash) in self.faults.node_crashes.iter().enumerate() {
-            push(&mut heap, crash.at, Event::NodeDown { crash: ci }, &mut seq);
+            queue.push(crash.at, Event::NodeDown { crash: ci });
         }
 
         // Min-heap of free container-slot ids: tasks land on the
@@ -282,11 +292,11 @@ impl<S: Scheduler> Simulator<S> {
             }
         }
 
-        while let Some(Reverse((Time(t), _, event))) = heap.pop() {
+        while let Some((t, event)) = queue.pop() {
             debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
             now = t;
             prof.inc(Counter::EventsProcessed);
-            prof.record_max(Counter::QueuePeakDepth, heap.len() as u64 + 1);
+            prof.record_max(Counter::QueuePeakDepth, queue.len() as u64 + 1);
             match event {
                 Event::Arrival { q } | Event::Resubmit { q } => {
                     // Admission-decision latency: everything from arrival to
@@ -300,17 +310,15 @@ impl<S: Scheduler> Simulator<S> {
                             ObsEvent::QueryArrive {
                                 t: now,
                                 query: QueryId(q),
-                                name: queries[q].name.clone(),
+                                name: names[q].clone(),
                             }
                         );
                         if self.admission.deadline.is_finite() {
                             // The deadline anchors at the *original*
                             // arrival: backoff waits eat into the budget.
-                            push(
-                                &mut heap,
+                            queue.push(
                                 queries[q].arrival + self.admission.deadline,
                                 Event::DeadlineCheck { q },
-                                &mut seq,
                             );
                         }
                     } else if qstate[q].failed || qstate[q].finished.is_some() {
@@ -325,7 +333,7 @@ impl<S: Scheduler> Simulator<S> {
                     // Reference dispatch.
                     let containers = self.config.total_containers();
                     let wrd_of = |vi: usize,
-                                  jobs: &[Vec<JobState>],
+                                  jobs: &JobTable,
                                   preds: &[Vec<JobPrediction>],
                                   state: &DispatchState|
                      -> f64 {
@@ -333,8 +341,7 @@ impl<S: Scheduler> Simulator<S> {
                             state.aggs[vi].wrd
                         } else {
                             let mut acc = vec![0.0f64; queries[vi].jobs.len()];
-                            query_demand(&queries[vi], &jobs[vi], &preds[vi], containers, &mut acc)
-                                .0
+                            query_demand(&queries[vi], vi, jobs, &preds[vi], containers, &mut acc).0
                         }
                     };
                     // Admission decision: `victim` is whoever a full queue
@@ -367,8 +374,8 @@ impl<S: Scheduler> Simulator<S> {
                             // resetting its jobs erases it from the
                             // scheduler's world; its in-flight `Submit`
                             // events die on the `admitted` guard.
-                            for js in jobs[v].iter_mut() {
-                                *js = JobState::default();
+                            for i in jobs.query_range(v) {
+                                jobs.reset_job(i);
                             }
                             qstate[v].admitted = false;
                             active -= 1;
@@ -384,12 +391,7 @@ impl<S: Scheduler> Simulator<S> {
                         }
                         for job in &queries[q].jobs {
                             if job.deps.is_empty() {
-                                push(
-                                    &mut heap,
-                                    now,
-                                    Event::Submit { q, j: job.id.into() },
-                                    &mut seq,
-                                );
+                                queue.push(now, Event::Submit { q, j: job.id.into() });
                             }
                         }
                     }
@@ -415,7 +417,7 @@ impl<S: Scheduler> Simulator<S> {
                                     resubmit_at: now + delay,
                                 }
                             );
-                            push(&mut heap, now + delay, Event::Resubmit { q: v }, &mut seq);
+                            queue.push(now + delay, Event::Resubmit { q: v });
                         } else {
                             emit!(
                                 sink,
@@ -485,17 +487,18 @@ impl<S: Scheduler> Simulator<S> {
                         continue;
                     }
                     let job = &queries[q].jobs[j];
-                    let js = &mut jobs[q][j];
-                    js.submitted = true;
-                    js.submit_time = now;
-                    js.pending_maps = job.maps.len();
-                    js.reduces_unlocked = job.reduces.is_empty();
-                    js.reduces_initialized = job.reduces.is_empty();
-                    js.map_attempt_no = vec![0; job.maps.len()];
-                    js.reduce_attempt_no = vec![0; job.reduces.len()];
-                    js.map_fail_since = vec![None; job.maps.len()];
-                    js.reduce_fail_since = vec![None; job.reduces.len()];
-                    js.map_node = vec![None; job.maps.len()];
+                    let i = jobs.idx(q, j);
+                    jobs.submitted[i] = true;
+                    jobs.submit_time[i] = now;
+                    jobs.counts[i].pending_maps = job.maps.len();
+                    jobs.reduces_unlocked[i] = job.reduces.is_empty();
+                    jobs.reduces_initialized[i] = job.reduces.is_empty();
+                    let lists = &mut jobs.lists[i];
+                    lists.map_attempt_no = vec![0; job.maps.len()];
+                    lists.reduce_attempt_no = vec![0; job.reduces.len()];
+                    lists.map_fail_since = vec![None; job.maps.len()];
+                    lists.reduce_fail_since = vec![None; job.reduces.len()];
+                    lists.map_node = vec![None; job.maps.len()];
                     // Submit-time consultation: a live oracle may have
                     // sharpened its estimate since the run started.
                     preds[q][j] = oracle.predict(QueryId(q), job);
@@ -514,13 +517,13 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
                 Event::TaskDone { attempt } => {
-                    if !fr.attempts[attempt].alive {
+                    if !fr.attempts.alive[attempt] {
                         // Stale completion of an attempt killed in the
-                        // meantime (lazy heap invalidation).
+                        // meantime (lazy queue invalidation).
                         continue;
                     }
-                    let a = fr.attempts[attempt];
-                    fr.attempts[attempt].alive = false;
+                    let a = fr.attempts.get(attempt);
+                    fr.attempts.alive[attempt] = false;
                     fr.release_slot(a.slot, &self.config, &mut free_slots);
                     let mut counted = a.counted;
                     if fr.partner_alive(attempt) {
@@ -528,8 +531,8 @@ impl<S: Scheduler> Simulator<S> {
                         // loser and inherit the running-count
                         // representation if the loser held it.
                         let p = a.partner.expect("partner_alive implies partner");
-                        counted |= fr.attempts[p].counted;
-                        fr.attempts[p].counted = false;
+                        counted |= fr.attempts.counted[p];
+                        fr.attempts.counted[p] = false;
                         fr.kill_attempt(
                             p,
                             false,
@@ -559,29 +562,30 @@ impl<S: Scheduler> Simulator<S> {
                     );
                     let (q, j) = (a.q, a.j);
                     let job = &queries[q].jobs[j];
-                    let js = &mut jobs[q][j];
+                    let i = jobs.idx(q, j);
                     let recovered_since = match a.kind {
                         TaskKind::Map => {
-                            js.running_maps -= 1;
-                            js.done_maps += 1;
-                            js.map_time_sum += duration;
-                            js.map_completions += 1;
-                            js.map_node[a.spec_idx] = Some(self.config.node_of(a.slot));
-                            if js.done_maps == job.maps.len() && !job.reduces.is_empty() {
-                                if !js.reduces_initialized {
-                                    js.pending_reduces = job.reduces.len();
-                                    js.reduces_initialized = true;
+                            jobs.counts[i].running_maps -= 1;
+                            jobs.counts[i].done_maps += 1;
+                            jobs.stats[i].map_time_sum += duration;
+                            jobs.stats[i].map_completions += 1;
+                            jobs.lists[i].map_node[a.spec_idx] = Some(self.config.node_of(a.slot));
+                            if jobs.counts[i].done_maps == job.maps.len() && !job.reduces.is_empty()
+                            {
+                                if !jobs.reduces_initialized[i] {
+                                    jobs.counts[i].pending_reduces = job.reduces.len();
+                                    jobs.reduces_initialized[i] = true;
                                 }
-                                js.reduces_unlocked = true;
+                                jobs.reduces_unlocked[i] = true;
                             }
-                            js.map_fail_since[a.spec_idx].take()
+                            jobs.lists[i].map_fail_since[a.spec_idx].take()
                         }
                         TaskKind::Reduce => {
-                            js.running_reduces -= 1;
-                            js.done_reduces += 1;
-                            js.reduce_time_sum += duration;
-                            js.reduce_completions += 1;
-                            js.reduce_fail_since[a.spec_idx].take()
+                            jobs.counts[i].running_reduces -= 1;
+                            jobs.counts[i].done_reduces += 1;
+                            jobs.stats[i].reduce_time_sum += duration;
+                            jobs.stats[i].reduce_completions += 1;
+                            jobs.lists[i].reduce_fail_since[a.spec_idx].take()
                         }
                     };
                     if let Some(since) = recovered_since {
@@ -590,10 +594,10 @@ impl<S: Scheduler> Simulator<S> {
                         fr.stats.recovery_latency_sum += lat;
                         fr.stats.recovery_latency_max = fr.stats.recovery_latency_max.max(lat);
                     }
-                    let job_done =
-                        js.done_maps == job.maps.len() && js.done_reduces == job.reduces.len();
-                    if job_done && js.finished.is_none() {
-                        js.finished = Some(now);
+                    let job_done = jobs.counts[i].done_maps == job.maps.len()
+                        && jobs.counts[i].done_reduces == job.reduces.len();
+                    if job_done && jobs.finished[i].is_none() {
+                        jobs.finished[i] = Some(now);
                         qstate[q].jobs_done += 1;
                         // Feed the completed job's measured task-time means
                         // back to the oracle. A recalibrating oracle then
@@ -601,13 +605,14 @@ impl<S: Scheduler> Simulator<S> {
                         // queries' demand aggregates are refreshed, so WRD
                         // and critical-path scores adapt mid-run.
                         let actual = JobPrediction {
-                            map_task_time: if js.map_completions > 0 {
-                                js.map_time_sum / js.map_completions as f64
+                            map_task_time: if jobs.stats[i].map_completions > 0 {
+                                jobs.stats[i].map_time_sum / jobs.stats[i].map_completions as f64
                             } else {
                                 0.0
                             },
-                            reduce_task_time: if js.reduce_completions > 0 {
-                                js.reduce_time_sum / js.reduce_completions as f64
+                            reduce_task_time: if jobs.stats[i].reduce_completions > 0 {
+                                jobs.stats[i].reduce_time_sum
+                                    / jobs.stats[i].reduce_completions as f64
                             } else {
                                 0.0
                             },
@@ -623,13 +628,12 @@ impl<S: Scheduler> Simulator<S> {
                         );
                         // Submit dependents whose parents are all finished.
                         for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&JobId(j))) {
-                            let ready = dep.deps.iter().all(|&p| jobs[q][p.0].finished.is_some());
-                            if ready && !jobs[q][dep.id.0].submitted {
-                                push(
-                                    &mut heap,
+                            let ready =
+                                dep.deps.iter().all(|&p| jobs.finished[jobs.idx(q, p.0)].is_some());
+                            if ready && !jobs.submitted[jobs.idx(q, dep.id.0)] {
+                                queue.push(
                                     now + self.config.submit_overhead,
                                     Event::Submit { q, j: dep.id.into() },
-                                    &mut seq,
                                 );
                             }
                         }
@@ -649,7 +653,7 @@ impl<S: Scheduler> Simulator<S> {
                                 }
                                 let mut changed = false;
                                 for j2 in &q2.jobs {
-                                    if jobs[qi2][j2.id.0].finished.is_some() {
+                                    if jobs.finished[jobs.idx(qi2, j2.id.0)].is_some() {
                                         continue;
                                     }
                                     let p = oracle.predict(QueryId(qi2), j2);
@@ -673,11 +677,11 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
                 Event::TaskFailed { attempt } => {
-                    if !fr.attempts[attempt].alive {
+                    if !fr.attempts.alive[attempt] {
                         continue;
                     }
-                    let a = fr.attempts[attempt];
-                    fr.attempts[attempt].alive = false;
+                    let a = fr.attempts.get(attempt);
+                    fr.attempts.alive[attempt] = false;
                     fr.release_slot(a.slot, &self.config, &mut free_slots);
                     let node = self.config.node_of(a.slot);
                     fr.stats.task_failures += 1;
@@ -690,18 +694,18 @@ impl<S: Scheduler> Simulator<S> {
                         // running count; no retry needed.
                         if a.counted {
                             let p = a.partner.expect("partner_alive implies partner");
-                            fr.attempts[p].counted = true;
+                            fr.attempts.counted[p] = true;
                         }
                     } else {
                         debug_assert!(a.counted);
-                        let js = &mut jobs[a.q][a.j];
+                        let i = jobs.idx(a.q, a.j);
                         match a.kind {
-                            TaskKind::Map => js.running_maps -= 1,
-                            TaskKind::Reduce => js.running_reduces -= 1,
+                            TaskKind::Map => jobs.counts[i].running_maps -= 1,
+                            TaskKind::Reduce => jobs.counts[i].running_reduces -= 1,
                         }
                         let used = match a.kind {
-                            TaskKind::Map => js.map_attempt_no[a.spec_idx],
-                            TaskKind::Reduce => js.reduce_attempt_no[a.spec_idx],
+                            TaskKind::Map => jobs.lists[i].map_attempt_no[a.spec_idx],
+                            TaskKind::Reduce => jobs.lists[i].reduce_attempt_no[a.spec_idx],
                         };
                         if used >= self.faults.max_attempts {
                             query_failed = true;
@@ -728,11 +732,9 @@ impl<S: Scheduler> Simulator<S> {
                         }
                     );
                     if will_retry {
-                        push(
-                            &mut heap,
+                        queue.push(
                             retry_at,
                             Event::Retry { q: a.q, j: a.j, kind: a.kind, spec_idx: a.spec_idx },
-                            &mut seq,
                         );
                     }
                     let mut affected = vec![a.q];
@@ -811,15 +813,15 @@ impl<S: Scheduler> Simulator<S> {
                         // Backoff elapsed after the query was abandoned.
                         continue;
                     }
-                    let js = &mut jobs[q][j];
+                    let i = jobs.idx(q, j);
                     match kind {
                         TaskKind::Map => {
-                            js.pending_maps += 1;
-                            js.retry_maps.push(spec_idx);
+                            jobs.counts[i].pending_maps += 1;
+                            jobs.lists[i].retry_maps.push(spec_idx);
                         }
                         TaskKind::Reduce => {
-                            js.pending_reduces += 1;
-                            js.retry_reduces.push(spec_idx);
+                            jobs.counts[i].pending_reduces += 1;
+                            jobs.lists[i].retry_reduces.push(spec_idx);
                         }
                     }
                     if incremental {
@@ -849,28 +851,31 @@ impl<S: Scheduler> Simulator<S> {
                             continue;
                         }
                         for job in &q.jobs {
-                            let js = &mut jobs[qi][job.id.0];
-                            if !js.submitted || js.finished.is_some() || job.reduces.is_empty() {
+                            let i = jobs.idx(qi, job.id.0);
+                            if !jobs.submitted[i]
+                                || jobs.finished[i].is_some()
+                                || job.reduces.is_empty()
+                            {
                                 continue;
                             }
                             let lost: Vec<usize> = (0..job.maps.len())
-                                .filter(|&m| js.map_node[m] == Some(node.into()))
+                                .filter(|&m| jobs.lists[i].map_node[m] == Some(node.into()))
                                 .collect();
                             if lost.is_empty() {
                                 continue;
                             }
-                            js.done_maps -= lost.len();
-                            js.pending_maps += lost.len();
+                            jobs.counts[i].done_maps -= lost.len();
+                            jobs.counts[i].pending_maps += lost.len();
                             for &m in &lost {
-                                js.map_node[m] = None;
-                                js.retry_maps.push(m);
-                                js.map_fail_since[m].get_or_insert(now);
+                                jobs.lists[i].map_node[m] = None;
+                                jobs.lists[i].retry_maps.push(m);
+                                jobs.lists[i].map_fail_since[m].get_or_insert(now);
                             }
-                            if js.reduces_unlocked {
+                            if jobs.reduces_unlocked[i] {
                                 // The reduce wave re-locks until the map
                                 // wave is whole again (running reduces are
                                 // allowed to finish).
-                                js.reduces_unlocked = false;
+                                jobs.reduces_unlocked[i] = false;
                             }
                             fr.stats.lost_maps += lost.len();
                             lost_per_job.push((qi, job.id.into(), lost.len()));
@@ -910,11 +915,9 @@ impl<S: Scheduler> Simulator<S> {
                     ));
                     free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node.into());
                     if nc.down_for.is_finite() {
-                        push(
-                            &mut heap,
+                        queue.push(
                             now + nc.down_for,
                             Event::NodeUp { node: node.into(), epoch: fr.node_epoch[node.0] },
-                            &mut seq,
                         );
                     }
                     if incremental {
@@ -988,23 +991,32 @@ impl<S: Scheduler> Simulator<S> {
                         break;
                     }
                     let mut best: Option<usize> = None;
-                    for (id, a) in fr.attempts.iter().enumerate() {
-                        if !a.alive || a.partner.is_some() || qstate[a.q].failed {
+                    // Straggler scan over the SoA columns: `alive`,
+                    // `partner`, `q`/`j`, and `sched_end` stream as flat
+                    // arrays; the full 13-field record is only gathered for
+                    // the single winner below.
+                    for id in 0..fr.attempts.len() {
+                        if !fr.attempts.alive[id]
+                            || fr.attempts.partner[id] != NIL
+                            || qstate[fr.attempts.q[id]].failed
+                        {
                             continue;
                         }
-                        let job = &queries[a.q].jobs[a.j];
-                        let js = &jobs[a.q][a.j];
+                        let (aq, aj) = (fr.attempts.q[id], fr.attempts.info[id].j);
+                        let job = &queries[aq].jobs[aj];
+                        let i = jobs.idx(aq, aj);
                         let total = (job.maps.len() + job.reduces.len()) as f64;
-                        let done = (js.done_maps + js.done_reduces) as f64;
+                        let done = (jobs.counts[i].done_maps + jobs.counts[i].done_reduces) as f64;
                         if done / total < self.faults.spec_fraction {
                             continue;
                         }
-                        if best.is_none_or(|b| a.sched_end > fr.attempts[b].sched_end) {
+                        if best.is_none_or(|b| fr.attempts.sched_end[id] > fr.attempts.sched_end[b])
+                        {
                             best = Some(id);
                         }
                     }
                     let Some(orig_id) = best else { break };
-                    let orig = fr.attempts[orig_id];
+                    let orig = fr.attempts.get(orig_id);
                     // Place the clone off the straggler's node if any other
                     // node has a free slot (lowest slot id wins for
                     // determinism), else share the node.
@@ -1064,27 +1076,20 @@ impl<S: Scheduler> Simulator<S> {
                         partner: Some(orig_id),
                         alive: true,
                     });
-                    fr.attempts[orig_id].partner = Some(id);
+                    fr.attempts.partner[orig_id] = id as u32;
                     fr.slot_attempt[slot] = Some(id);
+                    let oi = jobs.idx(orig.q, orig.j);
                     match orig.kind {
-                        TaskKind::Map => jobs[orig.q][orig.j].map_attempts_total += 1,
-                        TaskKind::Reduce => jobs[orig.q][orig.j].reduce_attempts_total += 1,
+                        TaskKind::Map => jobs.stats[oi].map_attempts_total += 1,
+                        TaskKind::Reduce => jobs.stats[oi].reduce_attempts_total += 1,
                     }
                     fr.stats.speculative_launches += 1;
                     prof.inc(Counter::TasksLaunched);
                     match fail {
-                        Some(frac) => push(
-                            &mut heap,
-                            now + duration * frac,
-                            Event::TaskFailed { attempt: id },
-                            &mut seq,
-                        ),
-                        None => push(
-                            &mut heap,
-                            now + duration,
-                            Event::TaskDone { attempt: id },
-                            &mut seq,
-                        ),
+                        Some(frac) => {
+                            queue.push(now + duration * frac, Event::TaskFailed { attempt: id })
+                        }
+                        None => queue.push(now + duration, Event::TaskDone { attempt: id }),
                     }
                     // Clones are uncounted: the scheduler's view (pending /
                     // running / demand) is unchanged, so no state update.
@@ -1116,43 +1121,55 @@ impl<S: Scheduler> Simulator<S> {
                         free_containers: free_slots.len(),
                     });
                 }
-                let js = &mut jobs[c.query.0][c.job.0];
+                let ji = jobs.idx(c.query.0, c.job.0);
                 // Retried tasks (failed or clawed back by a crash) relaunch
                 // before fresh spec indices are handed out.
                 let (spec, spec_idx, attempt_no): (TaskSpec, usize, usize) = match c.kind {
                     TaskKind::Map => {
-                        debug_assert!(js.pending_maps > 0);
-                        js.pending_maps -= 1;
-                        js.running_maps += 1;
-                        let idx = js.retry_maps.pop().unwrap_or_else(|| {
-                            let i = js.next_map;
-                            js.next_map += 1;
-                            i
-                        });
-                        js.map_attempt_no[idx] += 1;
-                        js.map_attempts_total += 1;
-                        (queries[c.query.0].jobs[c.job.0].maps[idx], idx, js.map_attempt_no[idx])
+                        debug_assert!(jobs.counts[ji].pending_maps > 0);
+                        jobs.counts[ji].pending_maps -= 1;
+                        jobs.counts[ji].running_maps += 1;
+                        let idx = match jobs.lists[ji].retry_maps.pop() {
+                            Some(m) => m,
+                            None => {
+                                let m = jobs.counts[ji].next_map;
+                                jobs.counts[ji].next_map += 1;
+                                m
+                            }
+                        };
+                        jobs.lists[ji].map_attempt_no[idx] += 1;
+                        jobs.stats[ji].map_attempts_total += 1;
+                        (
+                            queries[c.query.0].jobs[c.job.0].maps[idx],
+                            idx,
+                            jobs.lists[ji].map_attempt_no[idx],
+                        )
                     }
                     TaskKind::Reduce => {
-                        debug_assert!(js.pending_reduces > 0 && js.reduces_unlocked);
-                        js.pending_reduces -= 1;
-                        js.running_reduces += 1;
-                        let idx = js.retry_reduces.pop().unwrap_or_else(|| {
-                            let i = js.next_reduce;
-                            js.next_reduce += 1;
-                            i
-                        });
-                        js.reduce_attempt_no[idx] += 1;
-                        js.reduce_attempts_total += 1;
+                        debug_assert!(
+                            jobs.counts[ji].pending_reduces > 0 && jobs.reduces_unlocked[ji]
+                        );
+                        jobs.counts[ji].pending_reduces -= 1;
+                        jobs.counts[ji].running_reduces += 1;
+                        let idx = match jobs.lists[ji].retry_reduces.pop() {
+                            Some(m) => m,
+                            None => {
+                                let m = jobs.counts[ji].next_reduce;
+                                jobs.counts[ji].next_reduce += 1;
+                                m
+                            }
+                        };
+                        jobs.lists[ji].reduce_attempt_no[idx] += 1;
+                        jobs.stats[ji].reduce_attempts_total += 1;
                         (
                             queries[c.query.0].jobs[c.job.0].reduces[idx],
                             idx,
-                            js.reduce_attempt_no[idx],
+                            jobs.lists[ji].reduce_attempt_no[idx],
                         )
                     }
                 };
-                if js.started.is_none() {
-                    js.started = Some(now);
+                if jobs.started[ji].is_none() {
+                    jobs.started[ji] = Some(now);
                     emit!(sink, ObsEvent::JobStart { t: now, query: c.query, job: c.job });
                 }
                 if qstate[c.query.0].started.is_none() {
@@ -1196,15 +1213,10 @@ impl<S: Scheduler> Simulator<S> {
                 fr.slot_attempt[slot] = Some(id);
                 prof.inc(Counter::TasksLaunched);
                 match fail {
-                    Some(frac) => push(
-                        &mut heap,
-                        now + duration * frac,
-                        Event::TaskFailed { attempt: id },
-                        &mut seq,
-                    ),
-                    None => {
-                        push(&mut heap, now + duration, Event::TaskDone { attempt: id }, &mut seq)
+                    Some(frac) => {
+                        queue.push(now + duration * frac, Event::TaskFailed { attempt: id })
                     }
+                    None => queue.push(now + duration, Event::TaskDone { attempt: id }),
                 }
                 if incremental {
                     state.on_dispatch(&jobs, c.query.into(), c.job.into());
@@ -1229,7 +1241,15 @@ impl<S: Scheduler> Simulator<S> {
         let usable_slots = (0..self.config.nodes).filter(|&n| fr.node_usable(n)).count()
             * self.config.containers_per_node;
         assert_eq!(free_slots.len(), usable_slots, "containers leaked");
-        debug_assert!(fr.attempts.iter().all(|a| !a.alive), "attempts leaked");
+        debug_assert!(fr.attempts.alive.iter().all(|&a| !a), "attempts leaked");
+
+        // Deterministic queue telemetry: ops and recycled are exact event
+        // counts and bytes-peak is a pure function of element counts, so
+        // all three reproduce bit-for-bit across runs and machines.
+        let qstats = queue.stats();
+        prof.add(Counter::EventQueueOps, qstats.ops);
+        prof.record_max(Counter::ArenaBytesPeak, qstats.bytes_peak);
+        prof.add(Counter::ArenaSlotsRecycled, qstats.recycled);
 
         assemble_report(queries, &qstate, &jobs, &fr.stats, admission_stats, now)
     }

@@ -3,8 +3,10 @@
 //! * [`engine`](self) — the event loop ([`Simulator`]),
 //! * `admission` — the bounded pending queue, shed policies, per-query
 //!   deadlines, and resubmission backoff ([`AdmissionConfig`]),
-//! * `state` — the event heap's ordered time/event types and the
-//!   per-query/per-job simulation state the other modules operate on,
+//! * `arena` — the arena-backed event queue (packed records, `u32`
+//!   handles, slab freelist) behind the [`QueueMode`] seam,
+//! * `state` — the event types and the struct-of-arrays per-query /
+//!   per-job simulation state the other modules operate on,
 //! * `dispatch` — the materialized runnable set and per-query demand
 //!   aggregates the scheduler consumes ([`DispatchMode`]),
 //! * `oracle` — the [`DemandOracle`] seam: live per-job demand
@@ -17,6 +19,7 @@
 //! paths are unchanged by the decomposition.
 
 mod admission;
+mod arena;
 mod dispatch;
 mod engine;
 mod oracle;
@@ -40,6 +43,7 @@ macro_rules! emit {
 pub(crate) use emit;
 
 pub use admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
+pub use arena::QueueMode;
 pub use dispatch::DispatchMode;
 pub use engine::Simulator;
 pub use oracle::{DemandOracle, FrozenOracle, GuardConfig, GuardedOracle, QuarantineRecord};

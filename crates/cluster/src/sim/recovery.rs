@@ -7,14 +7,17 @@ use sapred_obs::{Event as ObsEvent, EventSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use super::arena::NIL;
 use super::emit;
-use super::state::{phase_of, JobState, QueryState};
+use super::state::{phase_of, JobTable, QueryState};
 use super::ClusterConfig;
 use sapred_obs::{JobId, NodeId, QueryId};
 
-/// One task attempt in flight (or finished/killed). The registry grows
-/// monotonically; heap events reference attempts by index and check
-/// `alive` at pop, so killing an attempt never touches the event heap.
+/// One task attempt in flight (or finished/killed), as a by-value view.
+/// The registry itself is the struct-of-arrays [`AttemptTable`]; this
+/// struct is the shape [`AttemptTable::push`] takes in and
+/// [`AttemptTable::get`] hands back, so call sites still read
+/// `a.sched_end` etc. after a single gather.
 #[derive(Debug, Clone, Copy)]
 pub(super) struct Attempt {
     pub(super) q: usize,
@@ -26,6 +29,8 @@ pub(super) struct Attempt {
     pub(super) slot: usize,
     pub(super) start: f64,
     /// Exact scheduled duration (bit pattern; see [`Event::TaskDone`]).
+    ///
+    /// [`Event::TaskDone`]: super::state::Event::TaskDone
     pub(super) duration_bits: u64,
     /// When the attempt would finish if it neither fails nor is killed —
     /// the straggler criterion for speculative execution.
@@ -35,20 +40,101 @@ pub(super) struct Attempt {
     pub(super) attempt_no: usize,
     /// Whether this is a speculative clone.
     pub(super) speculative: bool,
-    /// Whether this attempt is the one represented in `JobState`'s
+    /// Whether this attempt is the one represented in the job table's
     /// running counts. Originals start counted, clones uncounted; when a
     /// counted attempt dies while its partner lives, the partner inherits
-    /// the count (so `JobState` sees the task as continuously running).
+    /// the count (so the job table sees the task as continuously running).
     pub(super) counted: bool,
     /// The other attempt racing for the same task, if any.
     pub(super) partner: Option<usize>,
     pub(super) alive: bool,
 }
 
+/// The per-attempt fields that are only read together (at completion,
+/// failure, or kill), packed into one record so pushing and gathering an
+/// attempt touches one cache line instead of eight scattered columns.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct AttemptInfo {
+    pub(super) j: usize,
+    pub(super) kind: TaskKind,
+    pub(super) spec_idx: usize,
+    pub(super) slot: usize,
+    pub(super) start: f64,
+    pub(super) duration_bits: u64,
+    pub(super) attempt_no: usize,
+    pub(super) speculative: bool,
+}
+
+/// The attempt registry as a struct-of-arrays. It grows monotonically;
+/// heap events reference attempts by index and check `alive` at pop, so
+/// killing an attempt never touches the event queue. The columns the
+/// speculative-straggler scan streams (`alive`, `partner`, `q`,
+/// `sched_end`) and the independently-mutated flags (`counted`) are each
+/// flat and contiguous; everything an attempt only reads together lives
+/// packed in the [`AttemptInfo`] column.
+#[derive(Debug, Default)]
+pub(super) struct AttemptTable {
+    pub(super) q: Vec<usize>,
+    pub(super) sched_end: Vec<f64>,
+    pub(super) counted: Vec<bool>,
+    /// Racing-partner attempt id, [`NIL`] for none.
+    pub(super) partner: Vec<u32>,
+    pub(super) alive: Vec<bool>,
+    pub(super) info: Vec<AttemptInfo>,
+}
+
+impl AttemptTable {
+    #[inline]
+    pub(super) fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Append a new attempt, returning its id.
+    pub(super) fn push(&mut self, a: Attempt) -> usize {
+        let id = self.len();
+        self.q.push(a.q);
+        self.sched_end.push(a.sched_end);
+        self.counted.push(a.counted);
+        self.partner.push(a.partner.map_or(NIL, |p| p as u32));
+        self.alive.push(a.alive);
+        self.info.push(AttemptInfo {
+            j: a.j,
+            kind: a.kind,
+            spec_idx: a.spec_idx,
+            slot: a.slot,
+            start: a.start,
+            duration_bits: a.duration_bits,
+            attempt_no: a.attempt_no,
+            speculative: a.speculative,
+        });
+        id
+    }
+
+    /// Gather attempt `id` back into a by-value [`Attempt`].
+    pub(super) fn get(&self, id: usize) -> Attempt {
+        let info = self.info[id];
+        Attempt {
+            q: self.q[id],
+            j: info.j,
+            kind: info.kind,
+            spec_idx: info.spec_idx,
+            slot: info.slot,
+            start: info.start,
+            duration_bits: info.duration_bits,
+            sched_end: self.sched_end[id],
+            attempt_no: info.attempt_no,
+            speculative: info.speculative,
+            counted: self.counted[id],
+            partner: (self.partner[id] != NIL).then(|| self.partner[id] as usize),
+            alive: self.alive[id],
+        }
+    }
+}
+
 /// Mutable fault-and-recovery state for one run: the attempt registry,
 /// per-node health, and the stats that end up in the report.
 pub(super) struct FaultState {
-    pub(super) attempts: Vec<Attempt>,
+    pub(super) attempts: AttemptTable,
     /// Which attempt occupies each flat slot (None = free or parked).
     pub(super) slot_attempt: Vec<Option<usize>>,
     pub(super) crashed: Vec<bool>,
@@ -63,7 +149,7 @@ pub(super) struct FaultState {
 impl FaultState {
     pub(super) fn new(nodes: usize, slots: usize) -> Self {
         Self {
-            attempts: Vec::new(),
+            attempts: AttemptTable::default(),
             slot_attempt: vec![None; slots],
             crashed: vec![false; nodes],
             blacklisted: vec![false; nodes],
@@ -83,7 +169,8 @@ impl FaultState {
 
     /// Whether `attempt`'s racing partner is still alive.
     pub(super) fn partner_alive(&self, attempt: usize) -> bool {
-        self.attempts[attempt].partner.is_some_and(|p| self.attempts[p].alive)
+        let p = self.attempts.partner[attempt];
+        p != NIL && self.attempts.alive[p as usize]
     }
 
     /// Free `slot`, returning it to the pool only if its node is usable
@@ -102,11 +189,12 @@ impl FaultState {
 
     /// Record that the task of (dead) attempt `a` was disrupted now, for
     /// recovery-latency accounting (first disruption starts the clock).
-    pub(super) fn start_recovery_clock(jobs: &mut [Vec<JobState>], a: &Attempt, now: f64) {
-        let js = &mut jobs[a.q][a.j];
+    pub(super) fn start_recovery_clock(jobs: &mut JobTable, a: &Attempt, now: f64) {
+        let i = jobs.idx(a.q, a.j);
+        let lists = &mut jobs.lists[i];
         let since = match a.kind {
-            TaskKind::Map => &mut js.map_fail_since[a.spec_idx],
-            TaskKind::Reduce => &mut js.reduce_fail_since[a.spec_idx],
+            TaskKind::Map => &mut lists.map_fail_since[a.spec_idx],
+            TaskKind::Reduce => &mut lists.reduce_fail_since[a.spec_idx],
         };
         since.get_or_insert(now);
     }
@@ -123,13 +211,13 @@ impl FaultState {
         requeue: bool,
         now: f64,
         cfg: &ClusterConfig,
-        jobs: &mut [Vec<JobState>],
+        jobs: &mut JobTable,
         free_slots: &mut BinaryHeap<Reverse<usize>>,
         sink: &mut K,
     ) -> Attempt {
-        let a = self.attempts[id];
+        let a = self.attempts.get(id);
         debug_assert!(a.alive, "killing a dead attempt");
-        self.attempts[id].alive = false;
+        self.attempts.alive[id] = false;
         self.release_slot(a.slot, cfg, free_slots);
         self.stats.tasks_killed += 1;
         let mut requeued = false;
@@ -138,24 +226,24 @@ impl FaultState {
             // representation if this attempt held it.
             if a.counted {
                 let p = a.partner.expect("partner_alive implies partner");
-                self.attempts[p].counted = true;
+                self.attempts.counted[p] = true;
             }
         } else if a.counted {
-            let js = &mut jobs[a.q][a.j];
+            let i = jobs.idx(a.q, a.j);
             match a.kind {
-                TaskKind::Map => js.running_maps -= 1,
-                TaskKind::Reduce => js.running_reduces -= 1,
+                TaskKind::Map => jobs.counts[i].running_maps -= 1,
+                TaskKind::Reduce => jobs.counts[i].running_reduces -= 1,
             }
             if requeue {
                 requeued = true;
                 match a.kind {
                     TaskKind::Map => {
-                        js.pending_maps += 1;
-                        js.retry_maps.push(a.spec_idx);
+                        jobs.counts[i].pending_maps += 1;
+                        jobs.lists[i].retry_maps.push(a.spec_idx);
                     }
                     TaskKind::Reduce => {
-                        js.pending_reduces += 1;
-                        js.retry_reduces.push(a.spec_idx);
+                        jobs.counts[i].pending_reduces += 1;
+                        jobs.lists[i].retry_reduces.push(a.spec_idx);
                     }
                 }
                 Self::start_recovery_clock(jobs, &a, now);
@@ -187,7 +275,7 @@ impl FaultState {
         requeue: bool,
         now: f64,
         cfg: &ClusterConfig,
-        jobs: &mut [Vec<JobState>],
+        jobs: &mut JobTable,
         free_slots: &mut BinaryHeap<Reverse<usize>>,
         sink: &mut K,
     ) -> Vec<usize> {
@@ -195,7 +283,7 @@ impl FaultState {
         let mut affected = Vec::new();
         for slot in node * cfg.containers_per_node..(node + 1) * cfg.containers_per_node {
             if let Some(id) = self.slot_attempt[slot] {
-                if self.attempts[id].alive {
+                if self.attempts.alive[id] {
                     let a = self.kill_attempt(id, requeue, now, cfg, jobs, free_slots, sink);
                     affected.push(a.q);
                 }
@@ -216,6 +304,7 @@ impl FaultState {
 /// in admission stats instead). The caller bumps `done_queries` and drops
 /// the query from the dispatch state.
 ///
+/// [`QueryStat::failed`]: super::report::QueryStat::failed
 /// [`FaultStats::failed_queries`]: crate::fault::FaultStats::failed_queries
 #[allow(clippy::too_many_arguments)]
 pub(super) fn fail_query<K: EventSink>(
@@ -223,7 +312,7 @@ pub(super) fn fail_query<K: EventSink>(
     now: f64,
     cfg: &ClusterConfig,
     fr: &mut FaultState,
-    jobs: &mut [Vec<JobState>],
+    jobs: &mut JobTable,
     qstate: &mut [QueryState],
     free_slots: &mut BinaryHeap<Reverse<usize>>,
     sink: &mut K,
@@ -231,19 +320,19 @@ pub(super) fn fail_query<K: EventSink>(
     qstate[q].failed = true;
     qstate[q].finished = Some(now);
     let ids: Vec<usize> =
-        (0..fr.attempts.len()).filter(|&i| fr.attempts[i].alive && fr.attempts[i].q == q).collect();
+        (0..fr.attempts.len()).filter(|&i| fr.attempts.alive[i] && fr.attempts.q[i] == q).collect();
     for id in ids {
-        if fr.attempts[id].alive {
+        if fr.attempts.alive[id] {
             fr.kill_attempt(id, false, now, cfg, jobs, free_slots, sink);
         }
     }
-    for js in jobs[q].iter_mut() {
-        js.pending_maps = 0;
-        js.running_maps = 0;
-        js.pending_reduces = 0;
-        js.running_reduces = 0;
-        js.retry_maps.clear();
-        js.retry_reduces.clear();
+    for i in jobs.query_range(q) {
+        jobs.counts[i].pending_maps = 0;
+        jobs.counts[i].running_maps = 0;
+        jobs.counts[i].pending_reduces = 0;
+        jobs.counts[i].running_reduces = 0;
+        jobs.lists[i].retry_maps.clear();
+        jobs.lists[i].retry_reduces.clear();
     }
     emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
 }

@@ -7,7 +7,7 @@ use sapred_obs::{JobId, QueryId};
 use sapred_plan::dag::JobCategory;
 
 use super::admission::AdmissionStats;
-use super::state::{JobState, QueryState};
+use super::state::{JobTable, QueryState};
 
 /// Per-query outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,7 +218,7 @@ pub struct CellSummary {
 pub(super) fn assemble_report(
     queries: &[SimQuery],
     qstate: &[QueryState],
-    jobs: &[Vec<JobState>],
+    jobs: &JobTable,
     faults: &FaultStats,
     admission: AdmissionStats,
     now: f64,
@@ -239,7 +239,7 @@ pub(super) fn assemble_report(
             failed: qs.failed,
         });
         for job in &q.jobs {
-            let js = &jobs[qi][job.id.0];
+            let i = jobs.idx(qi, job.id.0);
             let n_maps = job.maps.len();
             let n_reduces = job.reduces.len();
             // Task averages divide by *winning-attempt* counts, not task
@@ -251,22 +251,22 @@ pub(super) fn assemble_report(
                 query: QueryId(qi),
                 job: job.id,
                 category: job.category,
-                submit: js.submit_time,
-                start: js.started.unwrap_or(finish),
-                finish: js.finished.unwrap_or(finish),
+                submit: jobs.submit_time[i],
+                start: jobs.started[i].unwrap_or(finish),
+                finish: jobs.finished[i].unwrap_or(finish),
                 n_maps,
                 n_reduces,
-                map_attempts: js.map_attempts_total,
-                reduce_attempts: js.reduce_attempts_total,
-                map_completions: js.map_completions,
-                reduce_completions: js.reduce_completions,
-                map_task_avg: if js.map_completions > 0 {
-                    js.map_time_sum / js.map_completions as f64
+                map_attempts: jobs.stats[i].map_attempts_total,
+                reduce_attempts: jobs.stats[i].reduce_attempts_total,
+                map_completions: jobs.stats[i].map_completions,
+                reduce_completions: jobs.stats[i].reduce_completions,
+                map_task_avg: if jobs.stats[i].map_completions > 0 {
+                    jobs.stats[i].map_time_sum / jobs.stats[i].map_completions as f64
                 } else {
                     0.0
                 },
-                reduce_task_avg: if js.reduce_completions > 0 {
-                    js.reduce_time_sum / js.reduce_completions as f64
+                reduce_task_avg: if jobs.stats[i].reduce_completions > 0 {
+                    jobs.stats[i].reduce_time_sum / jobs.stats[i].reduce_completions as f64
                 } else {
                     0.0
                 },

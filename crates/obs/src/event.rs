@@ -102,8 +102,10 @@ pub enum Event {
         t: f64,
         /// Query index within the workload.
         query: QueryId,
-        /// Human-readable query name.
-        name: String,
+        /// Human-readable query name. Interned (`Arc<str>`) so emitting an
+        /// arrival is a refcount bump, not a heap allocation — the engine
+        /// builds its name table once at sim start.
+        name: std::sync::Arc<str>,
     },
     /// First task of a query started running.
     QueryStart {

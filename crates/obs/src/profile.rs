@@ -39,11 +39,23 @@ pub enum Counter {
     /// Fleet cells that panicked or otherwise failed; their coordinates are
     /// recorded in the fleet report instead of a summary.
     FleetCellsFailed,
+    /// Event-queue operations (pushes + pops) across the run — identical
+    /// in every [`QueueMode`], so drift here is a behavior change.
+    ///
+    /// [`QueueMode`]: https://docs.rs/sapred-cluster
+    EventQueueOps,
+    /// Arena event-queue bytes high-water mark (slab records + index heap;
+    /// high-water mark via [`Profiler::record_max`]). Zero under the
+    /// reference `BinaryHeap` queue.
+    ArenaBytesPeak,
+    /// Event-arena slots recycled through the slab freelist (pushes served
+    /// from a previously freed slot rather than slab growth).
+    ArenaSlotsRecycled,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::EventsProcessed,
         Counter::DispatchDecisions,
         Counter::SchedulerViewUpdates,
@@ -52,6 +64,9 @@ impl Counter {
         Counter::QueuePeakDepth,
         Counter::FleetCellsRun,
         Counter::FleetCellsFailed,
+        Counter::EventQueueOps,
+        Counter::ArenaBytesPeak,
+        Counter::ArenaSlotsRecycled,
     ];
 
     /// Stable snake_case label used in JSON reports.
@@ -65,6 +80,9 @@ impl Counter {
             Counter::QueuePeakDepth => "queue_peak_depth",
             Counter::FleetCellsRun => "fleet_cells_run",
             Counter::FleetCellsFailed => "fleet_cells_failed",
+            Counter::EventQueueOps => "event_queue_ops",
+            Counter::ArenaBytesPeak => "arena_bytes_peak",
+            Counter::ArenaSlotsRecycled => "arena_slots_recycled",
         }
     }
 }

@@ -34,7 +34,7 @@ pub struct ChromeTraceSink {
     // (node, slot) slots that appeared, for thread metadata.
     slots_seen: HashMap<(NodeId, usize), ()>,
     // query index -> (name, arrival time)
-    query_open: HashMap<QueryId, (String, f64)>,
+    query_open: HashMap<QueryId, (std::sync::Arc<str>, f64)>,
     // (query, job) -> first task start time
     job_open: HashMap<(QueryId, JobId), f64>,
     // (node, slot) -> start time of the attempt currently occupying it;

@@ -11,7 +11,7 @@
 //! sapred simulate   --mix bing|facebook [--gap S] [--divisor D]   # Fig. 8
 //! sapred trace      bing|facebook [--out trace.json] [--events events.jsonl] [--metrics metrics.json]
 //! sapred fleet      [--schedulers CSV] [--fail-probs CSV] [--seeds N] [--out fleet.json]   # grid sweep
-//! sapred bench      [--suite dispatch|pipeline|fleet|all] [--quick] [--compare BENCH.json] [--gate]
+//! sapred bench      [--suite dispatch|pipeline|fleet|scale|all] [--quick] [--compare BENCH.json] [--gate]
 //! sapred motivation [--small GB] [--big GB]                # Figs. 1-2
 //! ```
 
@@ -33,7 +33,9 @@ use sapred::workload::population::PopulationConfig;
 use sapred_bench::fleet::{
     run_fleet, AdmissionLevel, FaultLevel, FleetGrid, SchedKind, WorkloadSpec,
 };
-use sapred_bench::harness::{dispatch_suite, fleet_suite, pipeline_suite, run_suite, CellResult};
+use sapred_bench::harness::{
+    dispatch_suite, fleet_suite, pipeline_suite, run_suite, scale_suite, CellResult,
+};
 use sapred_bench::report::{compare, suite_json, validate_schema, Comparison};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -98,7 +100,7 @@ USAGE:
                     [--queries <N>] [--jobs <N>] [--maps <N>] [--reduces <N>]
                     [--estimators <CSV of histogram|sample|catalog>] [--skews <CSV>]
                     [--threads <N>] [--out <fleet.json>]
-  sapred bench      [--suite <dispatch|pipeline|fleet|all>] [--quick] [--iters <N>] [--threads <N>]
+  sapred bench      [--suite <dispatch|pipeline|fleet|scale|all>] [--quick] [--iters <N>] [--threads <N>]
                     [--out <DIR>] [--compare <BENCH.json>] [--threshold <FRACTION>] [--gate]
                     [--validate <BENCH.json>]... [--compare-files <OLD.json> <NEW.json>]
   sapred motivation [--small <GB>] [--big <GB>]";
@@ -835,20 +837,22 @@ fn cmd_bench(args: &[String]) -> Result<(), Error> {
         "dispatch" => vec![("dispatch", dispatch_suite(quick))],
         "pipeline" => vec![("pipeline", pipeline_suite(quick))],
         "fleet" => vec![("fleet", fleet_suite(quick))],
+        "scale" => vec![("scale", scale_suite(quick))],
         "all" => vec![
             ("dispatch", dispatch_suite(quick)),
             ("pipeline", pipeline_suite(quick)),
             ("fleet", fleet_suite(quick)),
+            ("scale", scale_suite(quick)),
         ],
         other => {
             return Err(Error::invalid(format!(
-                "unknown suite `{other}` (expected dispatch|pipeline|fleet|all)"
+                "unknown suite `{other}` (expected dispatch|pipeline|fleet|scale|all)"
             )))
         }
     };
     if compare_path.is_some() && suites.len() > 1 {
         return Err(Error::invalid(
-            "--compare needs a single suite (add --suite dispatch, pipeline, or fleet)",
+            "--compare needs a single suite (add --suite dispatch, pipeline, fleet, or scale)",
         ));
     }
 
