@@ -54,8 +54,11 @@ use sapred_plan::ground_truth::execute_dag;
 use sapred_relation::gen::{generate, GenConfig, KeyDist};
 use sapred_selectivity::EstimatorKind;
 
+use std::sync::{Mutex, PoisonError};
+
 use crate::dispatch_workload;
 use crate::harness::{quantile, run_claiming};
+use crate::journal::{Journal, JournaledCell};
 
 /// Schema tag of the aggregate fleet report.
 pub const FLEET_SCHEMA: &str = "sapred-fleet/v1";
@@ -357,6 +360,43 @@ impl FleetGrid {
         )
     }
 
+    /// Canonical JSON of the grid. This is the `grid` object embedded in
+    /// the fleet report *and* the preimage of the resume journal's
+    /// compatibility fingerprint, so it must stay a pure function of the
+    /// grid's axes.
+    pub fn to_json(&self) -> String {
+        let workloads = array(self.workloads.iter().map(|w| {
+            Obj::new()
+                .int("n_queries", w.n_queries as u64)
+                .int("jobs", w.jobs as u64)
+                .int("maps", w.maps as u64)
+                .int("reduces", w.reduces as u64)
+                .num("skew", w.skew)
+                .finish()
+        }));
+        let admissions = array(self.admissions.iter().map(|a| {
+            Obj::new()
+                .int("queue_cap", a.queue_cap as u64)
+                .num("deadline", a.deadline)
+                .str("shed_policy", a.shed_policy.label())
+                .finish()
+        }));
+        Obj::new()
+            .raw("workloads", &workloads)
+            .raw("schedulers", &array(self.schedulers.iter().map(|s| quoted(s.label()))))
+            .raw("fault_levels", &array(self.faults.iter().map(|f| num(f.task_fail_prob))))
+            .raw("admissions", &admissions)
+            .raw("estimators", &array(self.estimators.iter().map(|e| quoted(e.label()))))
+            .raw("seeds", &array(self.seeds.iter().map(|s| format!("{s}"))))
+            .finish()
+    }
+
+    /// FNV-1a fingerprint of the canonical grid JSON; the resume journal
+    /// refuses to load against a grid with a different fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.to_json().as_bytes())
+    }
+
     /// Check the grid before running it: every axis non-empty, every
     /// workload dimension non-zero, every fault and admission level valid
     /// for the engine.
@@ -643,31 +683,7 @@ impl FleetReport {
     /// any thread count: simulated time and counts only, iterated in grid
     /// order (see the module docs for the full contract).
     pub fn to_json(&self) -> String {
-        let grid = &self.grid;
-        let workloads = array(grid.workloads.iter().map(|w| {
-            Obj::new()
-                .int("n_queries", w.n_queries as u64)
-                .int("jobs", w.jobs as u64)
-                .int("maps", w.maps as u64)
-                .int("reduces", w.reduces as u64)
-                .num("skew", w.skew)
-                .finish()
-        }));
-        let admissions = array(grid.admissions.iter().map(|a| {
-            Obj::new()
-                .int("queue_cap", a.queue_cap as u64)
-                .num("deadline", a.deadline)
-                .str("shed_policy", a.shed_policy.label())
-                .finish()
-        }));
-        let grid_json = Obj::new()
-            .raw("workloads", &workloads)
-            .raw("schedulers", &array(grid.schedulers.iter().map(|s| quoted(s.label()))))
-            .raw("fault_levels", &array(grid.faults.iter().map(|f| num(f.task_fail_prob))))
-            .raw("admissions", &admissions)
-            .raw("estimators", &array(grid.estimators.iter().map(|e| quoted(e.label()))))
-            .raw("seeds", &array(grid.seeds.iter().map(|s| format!("{s}"))))
-            .finish();
+        let grid_json = self.grid.to_json();
 
         let counters = Counter::ALL
             .iter()
@@ -883,6 +899,121 @@ pub fn run_fleet(grid: &FleetGrid, threads: usize) -> Result<FleetReport, String
                 outcome,
                 counters,
             }
+        })
+        .collect();
+    Ok(FleetReport { grid: grid.clone(), cells })
+}
+
+/// [`run_fleet`] with a crash-safe resume journal: every completed cell is
+/// persisted (bit-exactly) to `journal_path` as it finishes, and with
+/// `resume` an existing journal's cells are adopted instead of re-run.
+///
+/// The assembled report is **byte-identical** to an uninterrupted
+/// [`run_fleet`] of the same grid at any thread count: journaled summaries
+/// round-trip f64s by bit pattern, cells are assembled in grid order, and
+/// per-cell seeds come from coordinate labels, never from which sweep ran
+/// the cell. The count of adopted cells lands on
+/// [`Counter::CellsResumed`].
+///
+/// # Errors
+/// Grid validation problems, a journal written for a different grid
+/// (fingerprint mismatch), corruption anywhere but the journal's final
+/// line, and journal write failures all abort the sweep with a message
+/// naming the journal path.
+pub fn run_fleet_journaled<P: Profiler>(
+    grid: &FleetGrid,
+    threads: usize,
+    journal_path: &std::path::Path,
+    resume: bool,
+    prof: &P,
+) -> Result<FleetReport, String> {
+    grid.validate()?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let coords = grid.coords();
+    let labels: Vec<String> = coords.iter().map(|c| grid.coord_label(c)).collect();
+    let journal = if resume {
+        Journal::load_or_create(journal_path, grid)?
+    } else {
+        Journal::create(journal_path, grid)?
+    };
+
+    // Adopt journaled outcomes onto their grid slots.
+    type CellOutcome = (Result<CellSummary, String>, [u64; Counter::ALL.len()]);
+    let mut outcomes: Vec<Option<CellOutcome>> = vec![None; coords.len()];
+    let index_of: std::collections::HashMap<&str, usize> =
+        labels.iter().enumerate().map(|(i, l)| (l.as_str(), i)).collect();
+    for (label, cell) in journal.entries() {
+        let Some(&i) = index_of.get(label.as_str()) else {
+            return Err(format!(
+                "journal {} contains cell `{label}` that is not in this grid",
+                journal_path.display()
+            ));
+        };
+        if cell.cell_seed != grid.cell_seed(&coords[i]) {
+            return Err(format!(
+                "journal {} cell `{label}` was run with seed {} but this grid derives {}",
+                journal_path.display(),
+                cell.cell_seed,
+                grid.cell_seed(&coords[i])
+            ));
+        }
+        outcomes[i] = Some((cell.outcome.clone(), cell.counters));
+    }
+    let resumed = outcomes.iter().flatten().count();
+    prof.add(Counter::CellsResumed, resumed as u64);
+
+    // Run the missing cells, journaling each as it completes. Panics are
+    // caught *inside* the closure so a failed cell is still journaled (as
+    // an error) rather than re-run forever on every resume.
+    let missing: Vec<usize> = (0..coords.len()).filter(|&i| outcomes[i].is_none()).collect();
+    let journal = Mutex::new(journal);
+    let journal_err: Mutex<Option<String>> = Mutex::new(None);
+    let fresh = run_claiming(missing.len(), threads, |k| {
+        let i = missing[k];
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_cell(grid, &coords[i])
+        }));
+        let (result, counters) = match outcome {
+            Ok((summary, counters)) => (Ok(summary), counters),
+            Err(payload) => {
+                (Err(crate::harness::panic_message(payload)), [0u64; Counter::ALL.len()])
+            }
+        };
+        let cell = JournaledCell {
+            cell_seed: grid.cell_seed(&coords[i]),
+            outcome: result.clone(),
+            counters,
+        };
+        let recorded =
+            journal.lock().unwrap_or_else(PoisonError::into_inner).record(&labels[i], cell);
+        if let Err(e) = recorded {
+            journal_err.lock().unwrap_or_else(PoisonError::into_inner).get_or_insert(e);
+        }
+        (result, counters)
+    });
+    if let Some(e) = journal_err.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(e);
+    }
+    for (k, outcome) in fresh.into_iter().enumerate() {
+        outcomes[missing[k]] = Some(match outcome {
+            Ok(cell) => cell,
+            // Unreachable in practice: the closure never panics (the cell
+            // body is already caught); keep the claim-loop error anyway.
+            Err(msg) => (Err(msg), [0u64; Counter::ALL.len()]),
+        });
+    }
+
+    let cells = coords
+        .iter()
+        .zip(labels)
+        .zip(outcomes)
+        .map(|((coord, label), outcome)| {
+            let (outcome, counters) = outcome.expect("every cell is journaled or freshly run");
+            FleetCell { coord: *coord, label, cell_seed: grid.cell_seed(coord), outcome, counters }
         })
         .collect();
     Ok(FleetReport { grid: grid.clone(), cells })

@@ -123,6 +123,27 @@ pub enum CellKind {
         /// Reduce tasks per job.
         reduces: usize,
     },
+    /// The scale cell with crash tolerance on: identical workload and
+    /// queue, plus a periodic `sapred-ckpt/v1` checkpoint of the full
+    /// simulator state every `every` processed events, written atomically
+    /// to a scratch path. Compared against `scale_1e6` it prices the
+    /// engine's checkpoint overhead (serialize + fingerprint + staged
+    /// write); the `checkpoint_bytes` counter pins the cadence and blob
+    /// sizes as part of the determinism check.
+    ScaleCheckpoint {
+        /// Event-queue implementation under test.
+        queue: QueueMode,
+        /// Queries in the synthetic workload.
+        n_queries: usize,
+        /// Jobs per query (chained DAG).
+        jobs: usize,
+        /// Map tasks per job.
+        maps: usize,
+        /// Reduce tasks per job.
+        reduces: usize,
+        /// Checkpoint cadence in processed events.
+        every: u64,
+    },
     /// A whole fleet sweep ([`fleet::run_fleet`]) over the bench grid
     /// ([`fleet::bench_grid`]): `schedulers × fault_levels × admissions ×
     /// seeds` simulations of the synthetic workload, executed across
@@ -271,6 +292,15 @@ pub fn config_json(kind: &CellKind) -> String {
             .int("maps", maps as u64)
             .int("reduces", reduces as u64)
             .finish(),
+        CellKind::ScaleCheckpoint { queue, n_queries, jobs, maps, reduces, every } => Obj::new()
+            .str("kind", "scale_checkpoint")
+            .str("queue", queue_label(queue))
+            .int("n_queries", n_queries as u64)
+            .int("jobs", jobs as u64)
+            .int("maps", maps as u64)
+            .int("reduces", reduces as u64)
+            .int("checkpoint_every", every)
+            .finish(),
         CellKind::Fleet {
             schedulers,
             fault_levels,
@@ -384,6 +414,21 @@ fn run_once(spec: &CellSpec, prof: &Rc<SpanProfiler>) {
             let mut sim = Simulator::new(cluster, fw.cost, Fifo).with_queue(queue);
             sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
         }
+        CellKind::ScaleCheckpoint { queue, n_queries, jobs, maps, reduces, every } => {
+            let queries = dispatch_workload(n_queries, jobs, maps, reduces);
+            let mut cluster = fw.cluster;
+            cluster.seed = spec.seed;
+            let path = std::env::temp_dir().join(format!(
+                "sapred-bench-ckpt-{}-{}.bin",
+                std::process::id(),
+                spec.seed
+            ));
+            let mut sim = Simulator::new(cluster, fw.cost, Fifo)
+                .with_queue(queue)
+                .checkpoint_every_events(every, &path);
+            sim.run_profiled(&queries, &mut NullSink, &mut FrozenOracle, &**prof);
+            let _ = std::fs::remove_file(&path);
+        }
         CellKind::Fleet {
             schedulers,
             fault_levels,
@@ -458,7 +503,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
             let decisions = counters.get(Counter::DispatchDecisions.label()).copied().unwrap_or(0);
             metrics.insert("dispatch_decisions_per_s".into(), decisions as f64 / best);
         }
-        CellKind::Scale { .. } => {
+        CellKind::Scale { .. } | CellKind::ScaleCheckpoint { .. } => {
             let tasks = counters.get(Counter::TasksLaunched.label()).copied().unwrap_or(0);
             metrics.insert("tasks_per_s".into(), tasks as f64 / best);
         }
@@ -610,6 +655,28 @@ pub fn scale_suite(quick: bool) -> Vec<CellSpec> {
             reduces: 200,
         }
     };
+    // The crash-tolerance overhead pair of `scale_1e6`: same workload and
+    // queue, checkpointing the full engine state on a fixed event cadence
+    // (two checkpoints over the ~1e6-event full run).
+    let ckpt = if quick {
+        CellKind::ScaleCheckpoint {
+            queue: QueueMode::Arena,
+            n_queries: 60,
+            jobs: 3,
+            maps: 20,
+            reduces: 8,
+            every: 5_000,
+        }
+    } else {
+        CellKind::ScaleCheckpoint {
+            queue: QueueMode::Arena,
+            n_queries: 2000,
+            jobs: 5,
+            maps: 80,
+            reduces: 20,
+            every: 500_000,
+        }
+    };
     vec![
         CellSpec { name: "scale_1e6", kind: small(QueueMode::Arena), iters: 2, seed: 7 },
         CellSpec {
@@ -618,6 +685,7 @@ pub fn scale_suite(quick: bool) -> Vec<CellSpec> {
             iters: 2,
             seed: 7,
         },
+        CellSpec { name: "scale_1e6_ckpt", kind: ckpt, iters: 2, seed: 7 },
         CellSpec { name: "scale_1e7", kind: large, iters: 1, seed: 7 },
     ]
 }
@@ -662,7 +730,7 @@ pub fn fleet_suite(quick: bool) -> Vec<CellSpec> {
 
 /// Best-effort panic payload extraction (`panic!` with a `&str` or a
 /// formatted `String` covers every panic in this workspace).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -5,6 +5,7 @@
 
 pub mod fleet;
 pub mod harness;
+pub mod journal;
 pub mod report;
 
 use sapred_cluster::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};

@@ -165,6 +165,25 @@ pub fn validate_schema(text: &str) -> Result<Value, String> {
     Ok(doc)
 }
 
+/// Read and validate a [`SCHEMA`] report from disk. Every failure names
+/// the offending path — the two classic `--compare` footguns are a
+/// baseline that was never generated (missing file) and one damaged by a
+/// crashed or interrupted run (unparseable JSON), and both must say *which
+/// file* rather than surface a bare IO/parse error.
+pub fn load_report(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            format!(
+                "baseline {path} does not exist — generate it first \
+                 (e.g. `sapred bench --suite <name> --out <dir>`)"
+            )
+        } else {
+            format!("read {path}: {e}")
+        }
+    })?;
+    validate_schema(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 /// The outcome of comparing a fresh report against a baseline.
 #[derive(Debug, Default)]
 pub struct Comparison {

@@ -5,7 +5,7 @@
 use sapred_bench::harness::{
     dispatch_suite, fleet_suite, run_cell, run_claiming, run_suite, CellKind, CellSpec,
 };
-use sapred_bench::report::{compare, suite_json, validate_schema, SCHEMA};
+use sapred_bench::report::{compare, load_report, suite_json, validate_schema, SCHEMA};
 use sapred_cluster::sim::DispatchMode;
 
 /// A tiny dispatch cell that runs in milliseconds even in debug builds.
@@ -219,4 +219,45 @@ fn malformed_reports_are_rejected() {
     ))
     .unwrap_err();
     assert!(err.contains("non-negative int"), "{err}");
+}
+
+/// `--compare` against a baseline that was never generated must say which
+/// file is missing and how to create it, not surface a bare IO error.
+#[test]
+fn load_report_names_a_missing_baseline() {
+    let path = std::env::temp_dir()
+        .join(format!("sapred-load-missing-{}", std::process::id()))
+        .join("BENCH_nope.json");
+    let err = load_report(path.to_str().unwrap()).unwrap_err();
+    assert!(err.contains("BENCH_nope.json"), "error must name the path: {err}");
+    assert!(err.contains("does not exist"), "error must say what's wrong: {err}");
+    assert!(err.contains("sapred bench"), "error must say how to fix it: {err}");
+}
+
+/// An unparseable or wrong-schema baseline must also name its path.
+#[test]
+fn load_report_names_an_unparseable_baseline() {
+    let dir = std::env::temp_dir().join(format!("sapred-load-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_bad.json");
+    std::fs::write(&path, "{\"schema\": \"sapred-bench/v1\", truncated").unwrap();
+    let err = load_report(path.to_str().unwrap()).unwrap_err();
+    assert!(err.contains("BENCH_bad.json"), "error must name the path: {err}");
+
+    std::fs::write(&path, "{\"schema\": \"something-else/v9\"}").unwrap();
+    let err = load_report(path.to_str().unwrap()).unwrap_err();
+    assert!(err.contains("BENCH_bad.json"), "error must name the path: {err}");
+    assert!(err.contains("something-else/v9"), "error must show the bad schema: {err}");
+}
+
+/// A valid report loads and returns the parsed document.
+#[test]
+fn load_report_round_trips_a_valid_report() {
+    let dir = std::env::temp_dir().join(format!("sapred-load-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_ok.json");
+    let cells = run_suite(&dispatch_suite(true)[..1], 1);
+    std::fs::write(&path, suite_json("dispatch", true, &cells)).unwrap();
+    let doc = load_report(path.to_str().unwrap()).expect("valid report loads");
+    assert_eq!(doc.get("suite").and_then(|v| v.as_str()), Some("dispatch"));
 }

@@ -38,7 +38,7 @@ pub use job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
 pub use sapred_obs::{JobId, NodeId, QueryId};
 pub use sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
 pub use sim::{
-    AdmissionConfig, AdmissionStats, CellSummary, ClusterConfig, DemandOracle, DispatchMode,
-    FrozenOracle, GuardConfig, GuardedOracle, JobStat, QuarantineRecord, QueryStat, QueueMode,
-    ShedPolicy, SimReport, Simulator,
+    AdmissionConfig, AdmissionStats, CellSummary, CheckpointError, ClusterConfig, DemandOracle,
+    DispatchMode, FrozenOracle, GuardConfig, GuardedOracle, JobStat, QuarantineRecord, QueryStat,
+    QueueMode, RunOutcome, ShedPolicy, SimError, SimReport, Simulator,
 };

@@ -32,6 +32,7 @@ use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use super::checkpoint::{CheckpointError, Reader, Writer};
 use super::state::{Event, Time};
 use crate::job::TaskKind;
 
@@ -283,6 +284,127 @@ impl ArenaQueue {
         Some((r.time, r.seq, event))
     }
 
+    /// Serialize the full arena — slab records (live *and* freed), the
+    /// freelist head, the index heap, and the stats — so a restored queue
+    /// is structurally identical, not just pop-equivalent: slot recycling
+    /// order and `bytes_peak` continue exactly as they would have.
+    pub(super) fn checkpoint(&self, w: &mut Writer) {
+        w.usize(self.slab.len());
+        for r in &self.slab {
+            w.f64(r.time);
+            w.u64(r.seq);
+            w.u32(r.a);
+            w.u32(r.b);
+            w.u32(r.c);
+            w.u8(r.tag);
+            w.u8(r.kind);
+        }
+        w.u32(self.free_head);
+        w.usize(self.heap.len());
+        for &h in &self.heap {
+            w.u32(h);
+        }
+        w.u64(self.stats.ops);
+        w.u64(self.stats.bytes_peak);
+        w.u64(self.stats.recycled);
+    }
+
+    /// Rebuild an arena from checkpoint bytes, enforcing every handle and
+    /// freelist invariant: a corrupted blob (even one whose frame checksum
+    /// was recomputed after tampering) fails with a typed
+    /// [`CheckpointError`] instead of poisoning the run.
+    pub(super) fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let corrupt = |msg: String| Err(CheckpointError::Corrupt(msg));
+        let n = r.vec_len(30)?;
+        let mut slab = Vec::with_capacity(n);
+        for i in 0..n {
+            let rec = EventRecord {
+                time: r.f64()?,
+                seq: r.u64()?,
+                a: r.u32()?,
+                b: r.u32()?,
+                c: r.u32()?,
+                tag: r.u8()?,
+                kind: r.u8()?,
+                _pad: [0; 2],
+            };
+            if rec.tag > TAG_RESUBMIT && rec.tag != TAG_FREE {
+                return corrupt(format!("slab record {i}: unknown event tag {}", rec.tag));
+            }
+            if rec.kind > 1 {
+                return corrupt(format!("slab record {i}: task-kind discriminant {}", rec.kind));
+            }
+            slab.push(rec);
+        }
+        let free_head = r.u32()?;
+        let heap_len = r.vec_len(4)?;
+        let mut heap = Vec::with_capacity(heap_len);
+        let mut on_heap = vec![false; n];
+        for _ in 0..heap_len {
+            let h = r.u32()?;
+            let hi = h as usize;
+            if hi >= n {
+                return corrupt(format!("index heap holds handle {h} but the slab has {n} slots"));
+            }
+            if slab[hi].tag == TAG_FREE {
+                return corrupt(format!("index heap holds handle {h}, a freed (poisoned) record"));
+            }
+            if on_heap[hi] {
+                return corrupt(format!("handle {h} appears twice in the index heap"));
+            }
+            on_heap[hi] = true;
+            heap.push(h);
+        }
+        // Walk the freelist: every link must stay in range, point at a
+        // poisoned record, and terminate without revisiting a slot.
+        let mut free_len = 0usize;
+        let mut on_freelist = vec![false; n];
+        let mut h = free_head;
+        while h != NIL {
+            let hi = h as usize;
+            if hi >= n {
+                return corrupt(format!("freelist links to handle {h} outside the slab"));
+            }
+            if on_freelist[hi] {
+                return corrupt(format!("freelist cycles back to handle {h}"));
+            }
+            if slab[hi].tag != TAG_FREE {
+                return corrupt(format!("freelist links to handle {h}, a live record"));
+            }
+            on_freelist[hi] = true;
+            free_len += 1;
+            h = slab[hi].a;
+        }
+        if heap_len + free_len != n {
+            return corrupt(format!(
+                "slab slots unaccounted for: {n} records but {heap_len} live + {free_len} free"
+            ));
+        }
+        let stats = QueueStats { ops: r.u64()?, bytes_peak: r.u64()?, recycled: r.u64()? };
+        let q = Self { slab, free_head, heap, stats };
+        // The index heap must satisfy the (time, seq) heap order; a
+        // permuted heap would pop events in the wrong order.
+        for i in 1..q.heap.len() {
+            let parent = (i - 1) / 2;
+            if q.less(q.heap[i], q.heap[parent]) {
+                return corrupt(format!("index heap order violated at position {i}"));
+            }
+        }
+        Ok(q)
+    }
+
+    /// The live (queued, un-popped) events, in heap order — for restore
+    /// validation and for rebuilding the crosscheck reference queue.
+    pub(super) fn live_events(&self) -> Vec<(f64, u64, Event)> {
+        self.heap
+            .iter()
+            .map(|&h| {
+                let r = &self.slab[h as usize];
+                (r.time, r.seq, r.decode())
+            })
+            .collect()
+    }
+
     /// Bytes of live queue state right now (see [`QueueStats::bytes_peak`]).
     #[cfg(test)]
     pub(super) fn live_bytes(&self) -> u64 {
@@ -333,6 +455,70 @@ impl RefQueue {
         let Reverse((Time(t), seq, event)) = self.heap.pop()?;
         self.stats.ops += 1;
         Some((t, seq, event))
+    }
+
+    /// Serialize the live events sorted ascending by `(time, seq)` (the
+    /// `BinaryHeap`'s internal layout is unobservable, so sorted order is
+    /// the canonical representation) plus the stats.
+    pub(super) fn checkpoint(&self, w: &mut Writer) {
+        let mut live = self.live_events();
+        live.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        w.usize(live.len());
+        for (t, s, e) in &live {
+            let rec = EventRecord::encode(*t, *s, e);
+            w.f64(rec.time);
+            w.u64(rec.seq);
+            w.u32(rec.a);
+            w.u32(rec.b);
+            w.u32(rec.c);
+            w.u8(rec.tag);
+            w.u8(rec.kind);
+        }
+        w.u64(self.stats.ops);
+        w.u64(self.stats.bytes_peak);
+        w.u64(self.stats.recycled);
+    }
+
+    /// Rebuild the reference queue from checkpoint bytes. Events go
+    /// straight into the `BinaryHeap` (not through [`RefQueue::push`],
+    /// which would double-count `ops`); pop order depends only on the
+    /// strict `(time, seq)` total order, so heap layout is immaterial.
+    pub(super) fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let n = r.vec_len(30)?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for i in 0..n {
+            let rec = EventRecord {
+                time: r.f64()?,
+                seq: r.u64()?,
+                a: r.u32()?,
+                b: r.u32()?,
+                c: r.u32()?,
+                tag: r.u8()?,
+                kind: r.u8()?,
+                _pad: [0; 2],
+            };
+            if rec.tag > TAG_RESUBMIT {
+                return Err(CheckpointError::Corrupt(format!(
+                    "reference record {i}: unknown event tag {}",
+                    rec.tag
+                )));
+            }
+            if rec.kind > 1 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "reference record {i}: task-kind discriminant {}",
+                    rec.kind
+                )));
+            }
+            heap.push(Reverse((Time(rec.time), rec.seq, rec.decode())));
+        }
+        let stats = QueueStats { ops: r.u64()?, bytes_peak: r.u64()?, recycled: r.u64()? };
+        Ok(Self { heap, stats })
+    }
+
+    /// The live events (arbitrary order), mirroring
+    /// [`ArenaQueue::live_events`].
+    pub(super) fn live_events(&self) -> Vec<(f64, u64, Event)> {
+        self.heap.iter().map(|Reverse((Time(t), s, e))| (*t, *s, *e)).collect()
     }
 }
 
@@ -416,6 +602,55 @@ impl EventQueue {
             QueueImpl::Arena(a) => a.stats(),
             QueueImpl::Reference(r) => r.stats,
             QueueImpl::Crosscheck { arena, .. } => arena.stats(),
+        }
+    }
+
+    /// The sequence counter (next seq to be assigned).
+    pub(super) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Serialize the queue: the sequence counter, then the mode-specific
+    /// representation. Under crosscheck only the arena side is written —
+    /// the reference queue is rebuilt from the arena's live events on
+    /// restore.
+    pub(super) fn checkpoint(&self, w: &mut Writer) {
+        w.u64(self.seq);
+        match &self.imp {
+            QueueImpl::Arena(a) => a.checkpoint(w),
+            QueueImpl::Reference(r) => r.checkpoint(w),
+            QueueImpl::Crosscheck { arena, .. } => arena.checkpoint(w),
+        }
+    }
+
+    /// Restore a queue serialized by [`EventQueue::checkpoint`] under the
+    /// same [`QueueMode`] (the engine's context fingerprint guarantees the
+    /// mode matches).
+    pub(super) fn restore(mode: QueueMode, r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let seq = r.u64()?;
+        let imp = match mode {
+            QueueMode::Arena => QueueImpl::Arena(ArenaQueue::restore(r)?),
+            QueueMode::Reference => QueueImpl::Reference(RefQueue::restore(r)?),
+            QueueMode::Crosscheck => {
+                let arena = ArenaQueue::restore(r)?;
+                let mut reference = RefQueue::new();
+                for (t, s, e) in arena.live_events() {
+                    reference.heap.push(Reverse((Time(t), s, e)));
+                }
+                reference.stats = arena.stats();
+                QueueImpl::Crosscheck { arena, reference }
+            }
+        };
+        Ok(Self { imp, seq })
+    }
+
+    /// The live (queued, un-popped) events, for restore-time validation
+    /// that every queued event references state that exists.
+    pub(super) fn live_events(&self) -> Vec<(f64, u64, Event)> {
+        match &self.imp {
+            QueueImpl::Arena(a) => a.live_events(),
+            QueueImpl::Reference(r) => r.live_events(),
+            QueueImpl::Crosscheck { arena, .. } => arena.live_events(),
         }
     }
 }
@@ -519,6 +754,166 @@ mod tests {
             }
             while q.pop().is_some() {}
             assert_eq!(q.stats().ops, 10, "mode {mode:?}");
+        }
+    }
+
+    /// A queue with a non-trivial freelist (slots 0 and 1 freed, 1 at the
+    /// head) serialized to checkpoint bytes. On-wire layout: slab len u64,
+    /// then 30-byte records (time 8, seq 8, a/b/c 4 each, tag 1, kind 1),
+    /// then free_head u32, heap len u64, heap handles u32 each, stats.
+    fn checkpointed_arena() -> (ArenaQueue, Vec<u8>) {
+        let mut q = ArenaQueue::new();
+        q.push(1.0, 0, &Event::Arrival { q: 0 });
+        q.push(2.0, 1, &Event::Submit { q: 0, j: 0 });
+        q.push(3.0, 2, &Event::TaskDone { attempt: 5 });
+        q.push(4.0, 3, &Event::Resubmit { q: 1 });
+        q.pop();
+        q.pop();
+        assert_eq!(q.free_len(), 2);
+        let mut w = Writer::new();
+        q.checkpoint(&mut w);
+        (q, w.finish())
+    }
+
+    const REC: usize = 30;
+    fn tag_off(i: usize) -> usize {
+        8 + REC * i + 28
+    }
+    fn a_off(i: usize) -> usize {
+        8 + REC * i + 16
+    }
+
+    fn restore_err(bytes: &[u8]) -> CheckpointError {
+        ArenaQueue::restore(&mut Reader::new(bytes)).err().expect("corrupt blob must be rejected")
+    }
+
+    #[test]
+    fn arena_checkpoint_round_trips_structurally() {
+        let (mut q, bytes) = checkpointed_arena();
+        let mut r = Reader::new(&bytes);
+        let mut restored = ArenaQueue::restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.free_len(), q.free_len());
+        assert_eq!(restored.slab_len(), q.slab_len());
+        assert_eq!(restored.stats(), q.stats());
+        // Identical pop stream and identical slot-recycling behavior.
+        for push_seq in 4u64..7 {
+            assert_eq!(restored.pop(), q.pop());
+            restored.push(9.0, push_seq, &Event::Arrival { q: 2 });
+            q.push(9.0, push_seq, &Event::Arrival { q: 2 });
+        }
+        assert_eq!(restored.stats(), q.stats());
+    }
+
+    #[test]
+    fn restore_rejects_freelist_pointing_at_live_record() {
+        let (_, mut bytes) = checkpointed_arena();
+        // free_head = 1 (freed). Repoint it at handle 2, which is live.
+        let fh = 8 + REC * 4;
+        bytes[fh..fh + 4].copy_from_slice(&2u32.to_le_bytes());
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("live record"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_freelist_cycle() {
+        let (_, mut bytes) = checkpointed_arena();
+        // Slot 1 is the freelist head; make its next-link point back at 1.
+        bytes[a_off(1)..a_off(1) + 4].copy_from_slice(&1u32.to_le_bytes());
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_freelist_link() {
+        let (_, mut bytes) = checkpointed_arena();
+        bytes[a_off(1)..a_off(1) + 4].copy_from_slice(&77u32.to_le_bytes());
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("outside the slab"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_heap_handle_at_poisoned_record() {
+        let (_, mut bytes) = checkpointed_arena();
+        // Poison live record 2's tag; the heap still points at it.
+        bytes[tag_off(2)] = TAG_FREE;
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("freed (poisoned) record"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_event_tag() {
+        let (_, mut bytes) = checkpointed_arena();
+        bytes[tag_off(2)] = 0x7f;
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("unknown event tag"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_unbalanced_slot_accounting() {
+        let (_, mut bytes) = checkpointed_arena();
+        // Detach the freelist entirely: two freed slots become orphans.
+        let fh = 8 + REC * 4;
+        bytes[fh..fh + 4].copy_from_slice(&NIL.to_le_bytes());
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("unaccounted"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_heap_order_violation() {
+        let (_, mut bytes) = checkpointed_arena();
+        // Swap the two heap entries: child (time 3) above parent (time 4).
+        let heap_base = 8 + REC * 4 + 4 + 8;
+        let (h0, h1) = (heap_base, heap_base + 4);
+        let a: [u8; 4] = bytes[h0..h0 + 4].try_into().unwrap();
+        let b: [u8; 4] = bytes[h1..h1 + 4].try_into().unwrap();
+        bytes[h0..h0 + 4].copy_from_slice(&b);
+        bytes[h1..h1 + 4].copy_from_slice(&a);
+        let e = restore_err(&bytes);
+        assert!(e.to_string().contains("heap order"), "{e}");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_arena_bytes() {
+        let (_, bytes) = checkpointed_arena();
+        for cut in [0, 5, 8, 8 + REC, bytes.len() - 1] {
+            assert_eq!(
+                restore_err(&bytes[..cut]),
+                CheckpointError::Truncated,
+                "truncation at {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn event_queue_checkpoint_round_trips_in_every_mode() {
+        for mode in [QueueMode::Arena, QueueMode::Reference, QueueMode::Crosscheck] {
+            let mut q = EventQueue::new(mode);
+            for i in 0..6 {
+                q.push((10 - i) as f64, Event::Arrival { q: i });
+            }
+            q.pop();
+            q.pop();
+            let mut w = Writer::new();
+            q.checkpoint(&mut w);
+            let bytes = w.finish();
+            let mut r = Reader::new(&bytes);
+            let mut restored = EventQueue::restore(mode, &mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(restored.seq(), q.seq(), "mode {mode:?}");
+            assert_eq!(restored.len(), q.len(), "mode {mode:?}");
+            // Future pushes get the same seq numbers, and the merged pop
+            // stream is identical.
+            restored.push(0.5, Event::Resubmit { q: 9 });
+            q.push(0.5, Event::Resubmit { q: 9 });
+            loop {
+                let (a, b) = (restored.pop(), q.pop());
+                assert_eq!(a, b, "mode {mode:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

@@ -1,6 +1,28 @@
-//! The event loop: the [`Simulator`] itself, its event heap, and the
-//! per-query / per-job simulation state the other `sim` submodules operate
-//! on.
+//! The event loop: the [`Simulator`] itself, the [`RunState`] holding
+//! everything that changes while it runs, and the run/suspend/resume entry
+//! points layered on the same drive loop.
+//!
+//! The engine is split into four phases so a run can be suspended
+//! mid-flight and resumed bit-identically:
+//!
+//! * `check_inputs` — the validation panics, unchanged from the original
+//!   monolithic loop;
+//! * `init_run` — builds a fresh [`RunState`] (event queue seeded with
+//!   arrivals and crashes, SoA job table, prediction matrix, dispatch
+//!   aggregates, both RNG streams);
+//! * `drive` — the event loop proper. Between events it checks, in order:
+//!   run finished → optional suspension point (for
+//!   [`Simulator::run_snapshot_after`]) → optional periodic checkpoint
+//!   write ([`Simulator::checkpoint_every_events`]) → optional event-budget
+//!   watchdog ([`Simulator::with_max_events`]);
+//! * `finalize` — the end-of-run invariant asserts, queue telemetry, and
+//!   report assembly.
+//!
+//! Resume decodes a [`super::checkpoint`] blob back into a [`RunState`]
+//! and re-enters `drive`; the golden fixtures plus the kill-and-resume
+//! differential harness pin that the stitched run (prefix events before
+//! the snapshot + suffix events after restore) is bit-identical to a
+//! straight-through run.
 
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
@@ -12,9 +34,12 @@ use sapred_obs::profile::{Counter, NullProfiler, Profiler};
 use sapred_obs::{Candidate, DownReason, Event as ObsEvent, EventSink, NullSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::path::PathBuf;
 
 use super::admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 use super::arena::{EventQueue, QueueMode, NIL};
+use super::checkpoint::{self, CheckpointError};
 use super::dispatch::{collect_runnable, query_demand, DispatchMode, DispatchState};
 use super::emit;
 use super::oracle::{DemandOracle, FrozenOracle};
@@ -86,6 +111,101 @@ impl<K: EventSink, P: Profiler> EventSink for CountingSink<'_, K, P> {
     }
 }
 
+/// Typed failure from the fallible engine entry points (`try_run*`,
+/// `run_snapshot_after`, `resume_*`). The infallible entry points
+/// ([`Simulator::run`] and friends) panic with this error's message
+/// instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The [`Simulator::with_max_events`] watchdog tripped: the run
+    /// processed its whole event budget without finishing. Typical cause:
+    /// a fault plan whose retry schedule can never exhaust (every task
+    /// fails, attempts never run out), which would otherwise spin forever.
+    EventBudgetExceeded {
+        /// The configured budget that was exhausted.
+        limit: u64,
+    },
+    /// A checkpoint blob could not be restored (bad magic, truncation,
+    /// checksum or context mismatch, or structural corruption).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExceeded { limit } => write!(
+                f,
+                "event budget exceeded: {limit} events processed without finishing \
+                 (is the fault plan's retry schedule unbounded?)"
+            ),
+            SimError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+/// What [`Simulator::run_snapshot_after`] produced.
+///
+/// One value exists per `run_snapshot_after` call, so the size skew
+/// between the finished-report and checkpoint-blob arms is irrelevant.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum RunOutcome {
+    /// The run finished before reaching the requested snapshot point.
+    Done(SimReport),
+    /// The run was suspended after processing the requested number of
+    /// events; the blob is a framed `sapred-ckpt/v1` checkpoint that
+    /// [`Simulator::resume_with_oracle`] turns back into a finished run.
+    Snapshot(Vec<u8>),
+}
+
+/// How one `drive` call ended (internal).
+enum Drive {
+    /// Every query is accounted for; `finalize` may assemble the report.
+    Finished,
+    /// The requested suspension point was reached; the [`RunState`] is
+    /// quiescent (the current event and the dispatch it triggered are
+    /// fully processed) and ready to serialize.
+    Suspended,
+}
+
+/// Everything that changes while a run executes, split from the
+/// [`Simulator`] configuration so a run can be suspended, serialized, and
+/// resumed. The checkpoint layer writes exactly these fields (plus the
+/// oracle's opaque state blob); `dstate` and `names` are derived —
+/// rebuilt on restore, never serialized.
+pub(super) struct RunState {
+    pub(super) queue: EventQueue,
+    pub(super) jobs: JobTable,
+    pub(super) qstate: Vec<QueryState>,
+    pub(super) preds: Vec<Vec<JobPrediction>>,
+    pub(super) fr: FaultState,
+    pub(super) free_slots: BinaryHeap<Reverse<usize>>,
+    pub(super) now: f64,
+    pub(super) done_queries: usize,
+    pub(super) active: usize,
+    pub(super) degraded: bool,
+    pub(super) admission_stats: AdmissionStats,
+    pub(super) rng: StdRng,
+    pub(super) fault_rng: StdRng,
+    /// Materialized scheduling state — rebuilt deterministically on
+    /// restore via `resync_query`, never serialized.
+    pub(super) dstate: DispatchState,
+    /// Interned query names — derived from the workload, never serialized.
+    pub(super) names: Vec<std::sync::Arc<str>>,
+    /// Events processed so far (mirrors [`Counter::EventsProcessed`]); the
+    /// snapshot boundary, periodic checkpoint trigger, and watchdog budget
+    /// all count this.
+    pub(super) events_processed: u64,
+}
+
 /// The simulator: owns the cluster config, cost model and scheduler.
 pub struct Simulator<S: Scheduler> {
     /// Cluster topology and Hadoop-parameter configuration.
@@ -106,6 +226,12 @@ pub struct Simulator<S: Scheduler> {
     /// deadlines, and resubmission backoff
     /// ([`AdmissionConfig::disabled`] by default — provably inert).
     pub admission: AdmissionConfig,
+    // Event-budget watchdog (None = unlimited).
+    max_events: Option<u64>,
+    // Periodic checkpointing: every `ckpt_every` processed events, the
+    // engine snapshot is written atomically to `ckpt_path`.
+    ckpt_every: Option<u64>,
+    ckpt_path: Option<PathBuf>,
 }
 
 impl<S: Scheduler> Simulator<S> {
@@ -119,6 +245,9 @@ impl<S: Scheduler> Simulator<S> {
             queue: QueueMode::default(),
             faults: FaultPlan::none(),
             admission: AdmissionConfig::disabled(),
+            max_events: None,
+            ckpt_every: None,
+            ckpt_path: None,
         }
     }
 
@@ -143,6 +272,42 @@ impl<S: Scheduler> Simulator<S> {
     /// Same simulator with admission control configured.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Same simulator with an event-budget watchdog: a run that processes
+    /// `limit` events without finishing stops with
+    /// [`SimError::EventBudgetExceeded`] from the `try_*` entry points
+    /// (the infallible ones panic with the same message). This turns a
+    /// non-terminating schedule — e.g. a fault plan whose retries can
+    /// never exhaust — into a typed error instead of a hang.
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero.
+    pub fn with_max_events(mut self, limit: u64) -> Self {
+        assert!(limit > 0, "event budget must be positive");
+        self.max_events = Some(limit);
+        self
+    }
+
+    /// Same simulator with periodic checkpointing: after every `every`
+    /// processed events, serialize the full engine state and write it
+    /// atomically (temp file + rename, see [`sapred_obs::write_atomic`])
+    /// to `path`, emitting [`CheckpointWritten`] and counting the bytes
+    /// under [`Counter::CheckpointBytes`]. A process killed at any instant
+    /// leaves either the previous complete checkpoint or the new one —
+    /// never a torn file; the surviving blob restores via
+    /// [`Simulator::resume_with_oracle`].
+    ///
+    /// [`CheckpointWritten`]: sapred_obs::Event::CheckpointWritten
+    ///
+    /// # Panics
+    /// Panics if `every` is zero, and at run time if a checkpoint cannot
+    /// be written.
+    pub fn checkpoint_every_events(mut self, every: u64, path: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.ckpt_every = Some(every);
+        self.ckpt_path = Some(path.into());
         self
     }
 
@@ -204,7 +369,9 @@ impl<S: Scheduler> Simulator<S> {
     /// engine (the golden fixtures pin this).
     ///
     /// # Panics
-    /// Panics if any query fails validation.
+    /// Panics if any query fails validation, or if the
+    /// [`with_max_events`](Simulator::with_max_events) watchdog trips
+    /// (use [`Simulator::try_run_profiled`] for a typed error instead).
     pub fn run_profiled<K: EventSink, P: Profiler>(
         &mut self,
         queries: &[SimQuery],
@@ -212,8 +379,127 @@ impl<S: Scheduler> Simulator<S> {
         oracle: &mut dyn DemandOracle,
         prof: &P,
     ) -> SimReport {
+        match self.try_run_profiled(queries, sink, oracle, prof) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Simulator::run`]: identical behavior, but a tripped
+    /// [`with_max_events`](Simulator::with_max_events) watchdog returns
+    /// [`SimError::EventBudgetExceeded`] instead of panicking.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation (invalid inputs are caller
+    /// bugs, not run outcomes).
+    pub fn try_run(&mut self, queries: &[SimQuery]) -> Result<SimReport, SimError> {
+        self.try_run_profiled(queries, &mut NullSink, &mut FrozenOracle, &NullProfiler)
+    }
+
+    /// Fallible [`Simulator::run_profiled`]: identical behavior, but a
+    /// tripped [`with_max_events`](Simulator::with_max_events) watchdog
+    /// returns [`SimError::EventBudgetExceeded`] instead of panicking.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn try_run_profiled<K: EventSink, P: Profiler>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+    ) -> Result<SimReport, SimError> {
+        self.check_inputs(queries);
         let mut counting = CountingSink { inner: sink, prof };
         let sink = &mut counting;
+        let mut rs = self.init_run(queries, sink, oracle, prof);
+        match self.drive(queries, &mut rs, sink, oracle, prof, None)? {
+            Drive::Finished => Ok(self.finalize(queries, rs, prof)),
+            Drive::Suspended => unreachable!("no suspension point was requested"),
+        }
+    }
+
+    /// Run until `events` events have been processed, then suspend and
+    /// serialize the complete engine state into a framed `sapred-ckpt/v1`
+    /// blob ([`RunOutcome::Snapshot`]). The suspension point sits at the
+    /// event-loop boundary: the `events`-th event and every dispatch it
+    /// triggered are fully processed, and the next event has not popped.
+    /// Restoring the blob with [`Simulator::resume_with_oracle`] (same
+    /// config, workload, and oracle state) and finishing produces a report
+    /// and event stream bit-identical to an uninterrupted run.
+    ///
+    /// Returns [`RunOutcome::Done`] with the finished report if the run
+    /// completes before reaching `events`.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn run_snapshot_after<K: EventSink>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        events: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let prof = &NullProfiler;
+        self.check_inputs(queries);
+        let mut counting = CountingSink { inner: sink, prof };
+        let sink = &mut counting;
+        let mut rs = self.init_run(queries, sink, oracle, prof);
+        match self.drive(queries, &mut rs, sink, oracle, prof, Some(events))? {
+            Drive::Finished => Ok(RunOutcome::Done(self.finalize(queries, rs, prof))),
+            Drive::Suspended => {
+                Ok(RunOutcome::Snapshot(checkpoint::encode(self, queries, &rs, &*oracle)))
+            }
+        }
+    }
+
+    /// Restore a run from `sapred-ckpt/v1` checkpoint bytes and drive it
+    /// to completion. `queries` and the simulator configuration must match
+    /// the snapshotting run (enforced by the blob's context fingerprint),
+    /// and `oracle` must be the same oracle type — its mutable state is
+    /// restored from the blob. Emits
+    /// [`RunResumed`](sapred_obs::Event::RunResumed) before the first
+    /// replayed event.
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn resume_with_oracle<K: EventSink>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        bytes: &[u8],
+    ) -> Result<SimReport, SimError> {
+        self.resume_profiled(queries, sink, oracle, &NullProfiler, bytes)
+    }
+
+    /// [`Simulator::resume_with_oracle`] with a [`Profiler`] attached,
+    /// mirroring [`Simulator::run_profiled`].
+    ///
+    /// # Panics
+    /// Panics if any query fails validation.
+    pub fn resume_profiled<K: EventSink, P: Profiler>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+        bytes: &[u8],
+    ) -> Result<SimReport, SimError> {
+        self.check_inputs(queries);
+        let mut counting = CountingSink { inner: sink, prof };
+        let sink = &mut counting;
+        let mut rs = checkpoint::decode(self, queries, bytes, oracle)?;
+        emit!(sink, ObsEvent::RunResumed { t: rs.now, events: rs.events_processed });
+        match self.drive(queries, &mut rs, sink, oracle, prof, None)? {
+            Drive::Finished => Ok(self.finalize(queries, rs, prof)),
+            Drive::Suspended => unreachable!("no suspension point was requested"),
+        }
+    }
+
+    /// The validation panics, shared by every entry point. Invalid inputs
+    /// are caller bugs and stay panics even on the fallible paths.
+    fn check_inputs(&self, queries: &[SimQuery]) {
         for q in queries {
             if let Err(e) = q.validate() {
                 panic!("invalid query {}: {e}", q.name);
@@ -225,24 +511,37 @@ impl<S: Scheduler> Simulator<S> {
         if let Err(e) = self.admission.validate() {
             panic!("invalid admission config: {e}");
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+    }
+
+    /// Build the [`RunState`] for a fresh run: both RNG streams seeded,
+    /// the event queue loaded with arrivals and scheduled crashes, the SoA
+    /// job table and prediction matrix allocated, and the incremental
+    /// dispatch view seeded.
+    fn init_run<K: EventSink, P: Profiler>(
+        &mut self,
+        queries: &[SimQuery],
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+    ) -> RunState {
+        let rng = StdRng::seed_from_u64(self.config.seed);
         // Separate stream for fault sampling: a zero-probability plan draws
         // nothing from it, leaving the duration stream — and therefore the
         // whole simulation — bit-identical to a fault-free run.
-        let mut fault_rng = StdRng::seed_from_u64(self.faults.seed);
+        let fault_rng = StdRng::seed_from_u64(self.faults.seed);
         let mut queue = EventQueue::new(self.queue);
 
-        let mut jobs = JobTable::new(queries.iter().map(|q| q.jobs.len()));
+        let jobs = JobTable::new(queries.iter().map(|q| q.jobs.len()));
         // Query names, interned once: the per-arrival QueryArrive emission
         // clones an `Arc<str>` (a refcount bump) instead of allocating a
         // fresh `String` inside the event hot loop.
         let names: Vec<std::sync::Arc<str>> =
             queries.iter().map(|q| std::sync::Arc::from(q.name.as_str())).collect();
-        let mut qstate: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        let qstate: Vec<QueryState> = vec![QueryState::default(); queries.len()];
         // The live prediction matrix: consulted from the oracle, never read
         // from the frozen `SimJob` fields. Seeded up front for every job so
         // the demand aggregates below start from a complete view.
-        let mut preds: Vec<Vec<JobPrediction>> = queries
+        let preds: Vec<Vec<JobPrediction>> = queries
             .iter()
             .enumerate()
             .map(|(qi, q)| q.jobs.iter().map(|j| oracle.predict(QueryId(qi), j)).collect())
@@ -250,7 +549,7 @@ impl<S: Scheduler> Simulator<S> {
         for (i, q) in queries.iter().enumerate() {
             queue.push(q.arrival, Event::Arrival { q: i });
         }
-        let mut fr = FaultState::new(self.config.nodes, self.config.total_containers());
+        let fr = FaultState::new(self.config.nodes, self.config.total_containers());
         for (ci, crash) in self.faults.node_crashes.iter().enumerate() {
             queue.push(crash.at, Event::NodeDown { crash: ci });
         }
@@ -258,999 +557,1105 @@ impl<S: Scheduler> Simulator<S> {
         // Min-heap of free container-slot ids: tasks land on the
         // lowest-numbered free slot, giving stable node/slot placement for
         // the trace exporters.
-        let mut free_slots: BinaryHeap<Reverse<usize>> =
+        let free_slots: BinaryHeap<Reverse<usize>> =
             (0..self.config.total_containers()).map(Reverse).collect();
-        let mut now = 0.0f64;
-        let mut done_queries = 0usize;
 
-        // Admission bookkeeping. `active` counts currently-admitted queries
-        // in every mode (the flag discipline is uniform); the stats only
-        // move when admission is actually configured, so a disabled config
-        // reports all-default stats.
-        let admission_on = self.admission.is_active();
-        let mut admission_stats = AdmissionStats::default();
-        let mut active = 0usize;
         // Degraded-mode scheduling: when a guarded oracle loses trust in
-        // its predictions, picks come from this semantics-blind fallback
-        // instead of the configured policy, until trust recovers.
-        let mut fallback = Fifo;
+        // its predictions, picks come from the semantics-blind FIFO
+        // fallback instead of the configured policy, until trust recovers.
         let mut degraded = false;
         // The up-front prediction seeding above may already have tripped
         // the guardrails (e.g. an oracle emitting NaNs from the start).
-        surface_guard_activity(oracle, sink, 0.0, &mut degraded, fallback.name());
+        surface_guard_activity(oracle, sink, 0.0, &mut degraded, Fifo.name());
 
         // Materialized scheduling state for the incremental dispatch path.
         // Seed every query's demand aggregates up front (WRD and critical
         // path depend only on done-task counts, which start at zero, not on
         // submission) so `Submit` handling stays O(1) per job.
         let incremental = self.dispatch != DispatchMode::Reference;
-        let mut state = DispatchState::new(queries.len(), self.config.total_containers());
+        let mut dstate = DispatchState::new(queries.len(), self.config.total_containers());
         if incremental {
             for qi in 0..queries.len() {
-                state.refresh_query(queries, &jobs, &preds, qi);
+                dstate.refresh_query(queries, &jobs, &preds, qi);
                 prof.inc(Counter::SchedulerViewUpdates);
             }
         }
 
-        while let Some((t, event)) = queue.pop() {
-            debug_assert!(t >= now - 1e-9, "clock went backwards: {t} < {now}");
-            now = t;
+        RunState {
+            queue,
+            jobs,
+            qstate,
+            preds,
+            fr,
+            free_slots,
+            now: 0.0,
+            done_queries: 0,
+            active: 0,
+            degraded,
+            admission_stats: AdmissionStats::default(),
+            rng,
+            fault_rng,
+            dstate,
+            names,
+            events_processed: 0,
+        }
+    }
+
+    /// The event loop: pop events, mutate `rs`, dispatch free containers,
+    /// and between events check (in order) run completion, the optional
+    /// suspension point, the periodic checkpoint trigger, and the event
+    /// watchdog. Works identically for fresh and restored [`RunState`]s.
+    #[allow(clippy::too_many_lines)]
+    fn drive<K: EventSink, P: Profiler>(
+        &mut self,
+        queries: &[SimQuery],
+        rs: &mut RunState,
+        sink: &mut K,
+        oracle: &mut dyn DemandOracle,
+        prof: &P,
+        suspend_after: Option<u64>,
+    ) -> Result<Drive, SimError> {
+        let admission_on = self.admission.is_active();
+        let incremental = self.dispatch != DispatchMode::Reference;
+        let mut fallback = Fifo;
+
+        while let Some((t, event)) = rs.queue.pop() {
+            debug_assert!(t >= rs.now - 1e-9, "clock went backwards: {t} < {}", rs.now);
+            rs.now = t;
+            let now = t;
+            rs.events_processed += 1;
             prof.inc(Counter::EventsProcessed);
-            prof.record_max(Counter::QueuePeakDepth, queue.len() as u64 + 1);
-            match event {
-                Event::Arrival { q } | Event::Resubmit { q } => {
-                    // Admission-decision latency: everything from arrival to
-                    // the admit/shed/backoff verdict, including the WRD
-                    // scans the shed policies do.
-                    let _admission_span = prof.span("admission_decision");
-                    let first = matches!(event, Event::Arrival { .. });
-                    if first {
-                        emit!(
-                            sink,
-                            ObsEvent::QueryArrive {
-                                t: now,
-                                query: QueryId(q),
-                                name: names[q].clone(),
-                            }
-                        );
-                        if self.admission.deadline.is_finite() {
-                            // The deadline anchors at the *original*
-                            // arrival: backoff waits eat into the budget.
-                            queue.push(
-                                queries[q].arrival + self.admission.deadline,
-                                Event::DeadlineCheck { q },
+            prof.record_max(Counter::QueuePeakDepth, rs.queue.len() as u64 + 1);
+            // Event handling plus the dispatch it triggers, as a labeled
+            // block: stale-event arms skip the rest of the handling with
+            // `break 'event` instead of `continue`, so the loop-bottom
+            // completion / suspension / checkpoint / watchdog checks run
+            // after *every* event. (A `continue` here would silently skip
+            // a requested snapshot boundary whenever it landed on a
+            // lazily-invalidated event.)
+            'event: {
+                match event {
+                    Event::Arrival { q } | Event::Resubmit { q } => {
+                        // Admission-decision latency: everything from arrival to
+                        // the admit/shed/backoff verdict, including the WRD
+                        // scans the shed policies do.
+                        let _admission_span = prof.span("admission_decision");
+                        let first = matches!(event, Event::Arrival { .. });
+                        if first {
+                            emit!(
+                                sink,
+                                ObsEvent::QueryArrive {
+                                    t: now,
+                                    query: QueryId(q),
+                                    name: rs.names[q].clone(),
+                                }
                             );
+                            if self.admission.deadline.is_finite() {
+                                // The deadline anchors at the *original*
+                                // arrival: backoff waits eat into the budget.
+                                rs.queue.push(
+                                    queries[q].arrival + self.admission.deadline,
+                                    Event::DeadlineCheck { q },
+                                );
+                            }
+                        } else if rs.qstate[q].failed || rs.qstate[q].finished.is_some() {
+                            // The deadline killed this query while it waited
+                            // out its resubmission backoff.
+                            break 'event;
                         }
-                    } else if qstate[q].failed || qstate[q].finished.is_some() {
-                        // The deadline killed this query while it waited
-                        // out its resubmission backoff.
-                        continue;
-                    }
-                    // A query's remaining WRD, bitwise identical across
-                    // dispatch modes: the incrementally-maintained aggregate
-                    // where one exists, the from-scratch computation (which
-                    // the aggregate mirrors by construction) under
-                    // Reference dispatch.
-                    let containers = self.config.total_containers();
-                    let wrd_of = |vi: usize,
-                                  jobs: &JobTable,
-                                  preds: &[Vec<JobPrediction>],
-                                  state: &DispatchState|
-                     -> f64 {
-                        if incremental {
-                            state.aggs[vi].wrd
-                        } else {
-                            let mut acc = vec![0.0f64; queries[vi].jobs.len()];
-                            query_demand(&queries[vi], vi, jobs, &preds[vi], containers, &mut acc).0
-                        }
-                    };
-                    // Admission decision: `victim` is whoever a full queue
-                    // sheds — the newcomer under RejectNewest, or (under
-                    // ShedLargestWrd) the waiting admitted query with the
-                    // largest remaining WRD if that strictly exceeds the
-                    // newcomer's. First maximum wins; ties keep incumbents.
-                    let mut victim: Option<usize> = None;
-                    if self.admission.queue_cap > 0 && active >= self.admission.queue_cap {
-                        victim = Some(q);
-                        if self.admission.shed_policy == ShedPolicy::ShedLargestWrd {
-                            let mut best = wrd_of(q, &jobs, &preds, &state);
-                            for (vi, vs) in qstate.iter().enumerate() {
-                                // Only waiting queries are evictable: once a
-                                // task has launched, sunk work is protected.
-                                if vs.admitted && vs.started.is_none() {
-                                    let w = wrd_of(vi, &jobs, &preds, &state);
-                                    if w > best {
-                                        best = w;
-                                        victim = Some(vi);
+                        // A query's remaining WRD, bitwise identical across
+                        // dispatch modes: the incrementally-maintained aggregate
+                        // where one exists, the from-scratch computation (which
+                        // the aggregate mirrors by construction) under
+                        // Reference dispatch.
+                        let containers = self.config.total_containers();
+                        let wrd_of = |vi: usize,
+                                      jobs: &JobTable,
+                                      preds: &[Vec<JobPrediction>],
+                                      state: &DispatchState|
+                         -> f64 {
+                            if incremental {
+                                state.aggs[vi].wrd
+                            } else {
+                                let mut acc = vec![0.0f64; queries[vi].jobs.len()];
+                                query_demand(
+                                    &queries[vi],
+                                    vi,
+                                    jobs,
+                                    &preds[vi],
+                                    containers,
+                                    &mut acc,
+                                )
+                                .0
+                            }
+                        };
+                        // Admission decision: `victim` is whoever a full queue
+                        // sheds — the newcomer under RejectNewest, or (under
+                        // ShedLargestWrd) the waiting admitted query with the
+                        // largest remaining WRD if that strictly exceeds the
+                        // newcomer's. First maximum wins; ties keep incumbents.
+                        let mut victim: Option<usize> = None;
+                        if self.admission.queue_cap > 0 && rs.active >= self.admission.queue_cap {
+                            victim = Some(q);
+                            if self.admission.shed_policy == ShedPolicy::ShedLargestWrd {
+                                let mut best = wrd_of(q, &rs.jobs, &rs.preds, &rs.dstate);
+                                for (vi, vs) in rs.qstate.iter().enumerate() {
+                                    // Only waiting queries are evictable: once a
+                                    // task has launched, sunk work is protected.
+                                    if vs.admitted && vs.started.is_none() {
+                                        let w = wrd_of(vi, &rs.jobs, &rs.preds, &rs.dstate);
+                                        if w > best {
+                                            best = w;
+                                            victim = Some(vi);
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    let shed_wrd = victim.map(|v| wrd_of(v, &jobs, &preds, &state));
-                    if victim != Some(q) {
+                        let shed_wrd = victim.map(|v| wrd_of(v, &rs.jobs, &rs.preds, &rs.dstate));
+                        if victim != Some(q) {
+                            if let Some(v) = victim {
+                                // Evict the incumbent: it launched nothing, so
+                                // resetting its jobs erases it from the
+                                // scheduler's world; its in-flight `Submit`
+                                // events die on the `admitted` guard.
+                                for i in rs.jobs.query_range(v) {
+                                    rs.jobs.reset_job(i);
+                                }
+                                rs.qstate[v].admitted = false;
+                                rs.active -= 1;
+                                if incremental {
+                                    rs.dstate.resync_query(queries, &rs.jobs, &rs.preds, v);
+                                    prof.inc(Counter::SchedulerViewUpdates);
+                                }
+                            }
+                            rs.qstate[q].admitted = true;
+                            rs.active += 1;
+                            if admission_on {
+                                rs.admission_stats.max_active =
+                                    rs.admission_stats.max_active.max(rs.active);
+                            }
+                            for job in &queries[q].jobs {
+                                if job.deps.is_empty() {
+                                    rs.queue.push(now, Event::Submit { q, j: job.id.into() });
+                                }
+                            }
+                        }
                         if let Some(v) = victim {
-                            // Evict the incumbent: it launched nothing, so
-                            // resetting its jobs erases it from the
-                            // scheduler's world; its in-flight `Submit`
-                            // events die on the `admitted` guard.
-                            for i in jobs.query_range(v) {
-                                jobs.reset_job(i);
-                            }
-                            qstate[v].admitted = false;
-                            active -= 1;
-                            if incremental {
-                                state.resync_query(queries, &jobs, &preds, v);
-                                prof.inc(Counter::SchedulerViewUpdates);
-                            }
-                        }
-                        qstate[q].admitted = true;
-                        active += 1;
-                        if admission_on {
-                            admission_stats.max_active = admission_stats.max_active.max(active);
-                        }
-                        for job in &queries[q].jobs {
-                            if job.deps.is_empty() {
-                                queue.push(now, Event::Submit { q, j: job.id.into() });
-                            }
-                        }
-                    }
-                    if let Some(v) = victim {
-                        let wrd = shed_wrd.expect("victim implies a shed WRD");
-                        admission_stats.queries_shed += 1;
-                        if qstate[v].resubmits < self.admission.max_resubmits {
-                            // Capped exponential backoff, then retry
-                            // admission. The budget is per query lifetime:
-                            // resubmit counts never reset, so a query
-                            // repeatedly caught in overload terminates.
-                            qstate[v].resubmits += 1;
-                            let delay = self.admission.resubmit_backoff(qstate[v].resubmits);
-                            admission_stats.resubmissions += 1;
-                            emit!(
-                                sink,
-                                ObsEvent::QueryShed {
-                                    t: now,
-                                    query: QueryId(v),
-                                    policy: self.admission.shed_policy.label(),
-                                    wrd,
-                                    will_resubmit: true,
-                                    resubmit_at: now + delay,
-                                }
-                            );
-                            queue.push(now + delay, Event::Resubmit { q: v });
-                        } else {
-                            emit!(
-                                sink,
-                                ObsEvent::QueryShed {
-                                    t: now,
-                                    query: QueryId(v),
-                                    policy: self.admission.shed_policy.label(),
-                                    wrd,
-                                    will_resubmit: false,
-                                    resubmit_at: now,
-                                }
-                            );
-                            qstate[v].failed = true;
-                            qstate[v].finished = Some(now);
-                            admission_stats.queries_rejected.push(QueryId(v));
-                            done_queries += 1;
-                            emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(v) });
-                        }
-                    }
-                }
-                Event::DeadlineCheck { q } => {
-                    if qstate[q].failed || qstate[q].finished.is_some() {
-                        // Met its deadline (or already terminated).
-                        continue;
-                    }
-                    emit!(
-                        sink,
-                        ObsEvent::DeadlineMissed {
-                            t: now,
-                            query: QueryId(q),
-                            deadline: self.admission.deadline,
-                        }
-                    );
-                    if qstate[q].admitted {
-                        qstate[q].admitted = false;
-                        active -= 1;
-                        // Kill everything in flight; `fail_query` marks the
-                        // terminal state and emits `QueryFinish`.
-                        fail_query(
-                            q,
-                            now,
-                            &self.config,
-                            &mut fr,
-                            &mut jobs,
-                            &mut qstate,
-                            &mut free_slots,
-                            sink,
-                        );
-                        if incremental {
-                            state.remove_query(q);
-                            prof.inc(Counter::SchedulerViewUpdates);
-                        }
-                    } else {
-                        // Waiting out a shed backoff: nothing is running.
-                        qstate[q].failed = true;
-                        qstate[q].finished = Some(now);
-                        emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
-                    }
-                    done_queries += 1;
-                    admission_stats.deadline_misses.push(QueryId(q));
-                }
-                Event::Submit { q, j } => {
-                    if qstate[q].failed || !qstate[q].admitted {
-                        // The query was abandoned — or shed from the
-                        // admission queue — while this submit was in
-                        // flight; nothing of it may enter the runnable set.
-                        continue;
-                    }
-                    let job = &queries[q].jobs[j];
-                    let i = jobs.idx(q, j);
-                    jobs.submitted[i] = true;
-                    jobs.submit_time[i] = now;
-                    jobs.counts[i].pending_maps = job.maps.len();
-                    jobs.reduces_unlocked[i] = job.reduces.is_empty();
-                    jobs.reduces_initialized[i] = job.reduces.is_empty();
-                    let lists = &mut jobs.lists[i];
-                    lists.map_attempt_no = vec![0; job.maps.len()];
-                    lists.reduce_attempt_no = vec![0; job.reduces.len()];
-                    lists.map_fail_since = vec![None; job.maps.len()];
-                    lists.reduce_fail_since = vec![None; job.reduces.len()];
-                    lists.map_node = vec![None; job.maps.len()];
-                    // Submit-time consultation: a live oracle may have
-                    // sharpened its estimate since the run started.
-                    preds[q][j] = oracle.predict(QueryId(q), job);
-                    emit!(
-                        sink,
-                        ObsEvent::JobSubmit {
-                            t: now,
-                            query: QueryId(q),
-                            job: JobId(j),
-                            category: job.category,
-                        }
-                    );
-                    if incremental {
-                        state.insert_job(queries, &jobs, q, j);
-                        prof.inc(Counter::SchedulerViewUpdates);
-                    }
-                }
-                Event::TaskDone { attempt } => {
-                    if !fr.attempts.alive[attempt] {
-                        // Stale completion of an attempt killed in the
-                        // meantime (lazy queue invalidation).
-                        continue;
-                    }
-                    let a = fr.attempts.get(attempt);
-                    fr.attempts.alive[attempt] = false;
-                    fr.release_slot(a.slot, &self.config, &mut free_slots);
-                    let mut counted = a.counted;
-                    if fr.partner_alive(attempt) {
-                        // This attempt won the speculative race: kill the
-                        // loser and inherit the running-count
-                        // representation if the loser held it.
-                        let p = a.partner.expect("partner_alive implies partner");
-                        counted |= fr.attempts.counted[p];
-                        fr.attempts.counted[p] = false;
-                        fr.kill_attempt(
-                            p,
-                            false,
-                            now,
-                            &self.config,
-                            &mut jobs,
-                            &mut free_slots,
-                            sink,
-                        );
-                        if a.speculative {
-                            fr.stats.speculative_wins += 1;
-                        }
-                    }
-                    debug_assert!(counted, "a finishing task must hold the running count");
-                    let duration = f64::from_bits(a.duration_bits);
-                    emit!(
-                        sink,
-                        ObsEvent::TaskFinish {
-                            t: now,
-                            query: QueryId(a.q),
-                            job: JobId(a.j),
-                            phase: phase_of(a.kind),
-                            node: NodeId(self.config.node_of(a.slot)),
-                            slot: self.config.slot_of(a.slot),
-                            duration,
-                        }
-                    );
-                    let (q, j) = (a.q, a.j);
-                    let job = &queries[q].jobs[j];
-                    let i = jobs.idx(q, j);
-                    let recovered_since = match a.kind {
-                        TaskKind::Map => {
-                            jobs.counts[i].running_maps -= 1;
-                            jobs.counts[i].done_maps += 1;
-                            jobs.stats[i].map_time_sum += duration;
-                            jobs.stats[i].map_completions += 1;
-                            jobs.lists[i].map_node[a.spec_idx] = Some(self.config.node_of(a.slot));
-                            if jobs.counts[i].done_maps == job.maps.len() && !job.reduces.is_empty()
-                            {
-                                if !jobs.reduces_initialized[i] {
-                                    jobs.counts[i].pending_reduces = job.reduces.len();
-                                    jobs.reduces_initialized[i] = true;
-                                }
-                                jobs.reduces_unlocked[i] = true;
-                            }
-                            jobs.lists[i].map_fail_since[a.spec_idx].take()
-                        }
-                        TaskKind::Reduce => {
-                            jobs.counts[i].running_reduces -= 1;
-                            jobs.counts[i].done_reduces += 1;
-                            jobs.stats[i].reduce_time_sum += duration;
-                            jobs.stats[i].reduce_completions += 1;
-                            jobs.lists[i].reduce_fail_since[a.spec_idx].take()
-                        }
-                    };
-                    if let Some(since) = recovered_since {
-                        fr.stats.recovery_count += 1;
-                        let lat = now - since;
-                        fr.stats.recovery_latency_sum += lat;
-                        fr.stats.recovery_latency_max = fr.stats.recovery_latency_max.max(lat);
-                    }
-                    let job_done = jobs.counts[i].done_maps == job.maps.len()
-                        && jobs.counts[i].done_reduces == job.reduces.len();
-                    if job_done && jobs.finished[i].is_none() {
-                        jobs.finished[i] = Some(now);
-                        qstate[q].jobs_done += 1;
-                        // Feed the completed job's measured task-time means
-                        // back to the oracle. A recalibrating oracle then
-                        // re-prices every unfinished job and the touched
-                        // queries' demand aggregates are refreshed, so WRD
-                        // and critical-path scores adapt mid-run.
-                        let actual = JobPrediction {
-                            map_task_time: if jobs.stats[i].map_completions > 0 {
-                                jobs.stats[i].map_time_sum / jobs.stats[i].map_completions as f64
+                            let wrd = shed_wrd.expect("victim implies a shed WRD");
+                            rs.admission_stats.queries_shed += 1;
+                            if rs.qstate[v].resubmits < self.admission.max_resubmits {
+                                // Capped exponential backoff, then retry
+                                // admission. The budget is per query lifetime:
+                                // resubmit counts never reset, so a query
+                                // repeatedly caught in overload terminates.
+                                rs.qstate[v].resubmits += 1;
+                                let delay = self.admission.resubmit_backoff(rs.qstate[v].resubmits);
+                                rs.admission_stats.resubmissions += 1;
+                                emit!(
+                                    sink,
+                                    ObsEvent::QueryShed {
+                                        t: now,
+                                        query: QueryId(v),
+                                        policy: self.admission.shed_policy.label(),
+                                        wrd,
+                                        will_resubmit: true,
+                                        resubmit_at: now + delay,
+                                    }
+                                );
+                                rs.queue.push(now + delay, Event::Resubmit { q: v });
                             } else {
-                                0.0
-                            },
-                            reduce_task_time: if jobs.stats[i].reduce_completions > 0 {
-                                jobs.stats[i].reduce_time_sum
-                                    / jobs.stats[i].reduce_completions as f64
-                            } else {
-                                0.0
-                            },
-                        };
+                                emit!(
+                                    sink,
+                                    ObsEvent::QueryShed {
+                                        t: now,
+                                        query: QueryId(v),
+                                        policy: self.admission.shed_policy.label(),
+                                        wrd,
+                                        will_resubmit: false,
+                                        resubmit_at: now,
+                                    }
+                                );
+                                rs.qstate[v].failed = true;
+                                rs.qstate[v].finished = Some(now);
+                                rs.admission_stats.queries_rejected.push(QueryId(v));
+                                rs.done_queries += 1;
+                                emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(v) });
+                            }
+                        }
+                    }
+                    Event::DeadlineCheck { q } => {
+                        if rs.qstate[q].failed || rs.qstate[q].finished.is_some() {
+                            // Met its deadline (or already terminated).
+                            break 'event;
+                        }
                         emit!(
                             sink,
-                            ObsEvent::JobFinish {
+                            ObsEvent::DeadlineMissed {
+                                t: now,
+                                query: QueryId(q),
+                                deadline: self.admission.deadline,
+                            }
+                        );
+                        if rs.qstate[q].admitted {
+                            rs.qstate[q].admitted = false;
+                            rs.active -= 1;
+                            // Kill everything in flight; `fail_query` marks the
+                            // terminal state and emits `QueryFinish`.
+                            fail_query(
+                                q,
+                                now,
+                                &self.config,
+                                &mut rs.fr,
+                                &mut rs.jobs,
+                                &mut rs.qstate,
+                                &mut rs.free_slots,
+                                sink,
+                            );
+                            if incremental {
+                                rs.dstate.remove_query(q);
+                                prof.inc(Counter::SchedulerViewUpdates);
+                            }
+                        } else {
+                            // Waiting out a shed backoff: nothing is running.
+                            rs.qstate[q].failed = true;
+                            rs.qstate[q].finished = Some(now);
+                            emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                        }
+                        rs.done_queries += 1;
+                        rs.admission_stats.deadline_misses.push(QueryId(q));
+                    }
+                    Event::Submit { q, j } => {
+                        if rs.qstate[q].failed || !rs.qstate[q].admitted {
+                            // The query was abandoned — or shed from the
+                            // admission queue — while this submit was in
+                            // flight; nothing of it may enter the runnable set.
+                            break 'event;
+                        }
+                        let job = &queries[q].jobs[j];
+                        let i = rs.jobs.idx(q, j);
+                        rs.jobs.submitted[i] = true;
+                        rs.jobs.submit_time[i] = now;
+                        rs.jobs.counts[i].pending_maps = job.maps.len();
+                        rs.jobs.reduces_unlocked[i] = job.reduces.is_empty();
+                        rs.jobs.reduces_initialized[i] = job.reduces.is_empty();
+                        let lists = &mut rs.jobs.lists[i];
+                        lists.map_attempt_no = vec![0; job.maps.len()];
+                        lists.reduce_attempt_no = vec![0; job.reduces.len()];
+                        lists.map_fail_since = vec![None; job.maps.len()];
+                        lists.reduce_fail_since = vec![None; job.reduces.len()];
+                        lists.map_node = vec![None; job.maps.len()];
+                        // Submit-time consultation: a live oracle may have
+                        // sharpened its estimate since the run started.
+                        rs.preds[q][j] = oracle.predict(QueryId(q), job);
+                        emit!(
+                            sink,
+                            ObsEvent::JobSubmit {
                                 t: now,
                                 query: QueryId(q),
                                 job: JobId(j),
                                 category: job.category,
                             }
                         );
-                        // Submit dependents whose parents are all finished.
-                        for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&JobId(j))) {
-                            let ready =
-                                dep.deps.iter().all(|&p| jobs.finished[jobs.idx(q, p.0)].is_some());
-                            if ready && !jobs.submitted[jobs.idx(q, dep.id.0)] {
-                                queue.push(
-                                    now + self.config.submit_overhead,
-                                    Event::Submit { q, j: dep.id.into() },
-                                );
+                        if incremental {
+                            rs.dstate.insert_job(queries, &rs.jobs, q, j);
+                            prof.inc(Counter::SchedulerViewUpdates);
+                        }
+                    }
+                    Event::TaskDone { attempt } => {
+                        if !rs.fr.attempts.alive[attempt] {
+                            // Stale completion of an attempt killed in the
+                            // meantime (lazy queue invalidation).
+                            break 'event;
+                        }
+                        let a = rs.fr.attempts.get(attempt);
+                        rs.fr.attempts.alive[attempt] = false;
+                        rs.fr.release_slot(a.slot, &self.config, &mut rs.free_slots);
+                        let mut counted = a.counted;
+                        if rs.fr.partner_alive(attempt) {
+                            // This attempt won the speculative race: kill the
+                            // loser and inherit the running-count
+                            // representation if the loser held it.
+                            let p = a.partner.expect("partner_alive implies partner");
+                            counted |= rs.fr.attempts.counted[p];
+                            rs.fr.attempts.counted[p] = false;
+                            rs.fr.kill_attempt(
+                                p,
+                                false,
+                                now,
+                                &self.config,
+                                &mut rs.jobs,
+                                &mut rs.free_slots,
+                                sink,
+                            );
+                            if a.speculative {
+                                rs.fr.stats.speculative_wins += 1;
                             }
                         }
-                        if qstate[q].jobs_done == queries[q].jobs.len() {
-                            qstate[q].finished = Some(now);
-                            if qstate[q].admitted {
-                                qstate[q].admitted = false;
-                                active -= 1;
+                        debug_assert!(counted, "a finishing task must hold the running count");
+                        let duration = f64::from_bits(a.duration_bits);
+                        emit!(
+                            sink,
+                            ObsEvent::TaskFinish {
+                                t: now,
+                                query: QueryId(a.q),
+                                job: JobId(a.j),
+                                phase: phase_of(a.kind),
+                                node: NodeId(self.config.node_of(a.slot)),
+                                slot: self.config.slot_of(a.slot),
+                                duration,
                             }
-                            done_queries += 1;
-                            emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
-                        }
-                        if oracle.observe_job_done(QueryId(q), job, actual, now) {
-                            for (qi2, q2) in queries.iter().enumerate() {
-                                if qstate[qi2].failed || qstate[qi2].finished.is_some() {
-                                    continue;
+                        );
+                        let (q, j) = (a.q, a.j);
+                        let job = &queries[q].jobs[j];
+                        let i = rs.jobs.idx(q, j);
+                        let recovered_since = match a.kind {
+                            TaskKind::Map => {
+                                rs.jobs.counts[i].running_maps -= 1;
+                                rs.jobs.counts[i].done_maps += 1;
+                                rs.jobs.stats[i].map_time_sum += duration;
+                                rs.jobs.stats[i].map_completions += 1;
+                                rs.jobs.lists[i].map_node[a.spec_idx] =
+                                    Some(self.config.node_of(a.slot));
+                                if rs.jobs.counts[i].done_maps == job.maps.len()
+                                    && !job.reduces.is_empty()
+                                {
+                                    if !rs.jobs.reduces_initialized[i] {
+                                        rs.jobs.counts[i].pending_reduces = job.reduces.len();
+                                        rs.jobs.reduces_initialized[i] = true;
+                                    }
+                                    rs.jobs.reduces_unlocked[i] = true;
                                 }
-                                let mut changed = false;
-                                for j2 in &q2.jobs {
-                                    if jobs.finished[jobs.idx(qi2, j2.id.0)].is_some() {
+                                rs.jobs.lists[i].map_fail_since[a.spec_idx].take()
+                            }
+                            TaskKind::Reduce => {
+                                rs.jobs.counts[i].running_reduces -= 1;
+                                rs.jobs.counts[i].done_reduces += 1;
+                                rs.jobs.stats[i].reduce_time_sum += duration;
+                                rs.jobs.stats[i].reduce_completions += 1;
+                                rs.jobs.lists[i].reduce_fail_since[a.spec_idx].take()
+                            }
+                        };
+                        if let Some(since) = recovered_since {
+                            rs.fr.stats.recovery_count += 1;
+                            let lat = now - since;
+                            rs.fr.stats.recovery_latency_sum += lat;
+                            rs.fr.stats.recovery_latency_max =
+                                rs.fr.stats.recovery_latency_max.max(lat);
+                        }
+                        let job_done = rs.jobs.counts[i].done_maps == job.maps.len()
+                            && rs.jobs.counts[i].done_reduces == job.reduces.len();
+                        if job_done && rs.jobs.finished[i].is_none() {
+                            rs.jobs.finished[i] = Some(now);
+                            rs.qstate[q].jobs_done += 1;
+                            // Feed the completed job's measured task-time means
+                            // back to the oracle. A recalibrating oracle then
+                            // re-prices every unfinished job and the touched
+                            // queries' demand aggregates are refreshed, so WRD
+                            // and critical-path scores adapt mid-run.
+                            let actual = JobPrediction {
+                                map_task_time: if rs.jobs.stats[i].map_completions > 0 {
+                                    rs.jobs.stats[i].map_time_sum
+                                        / rs.jobs.stats[i].map_completions as f64
+                                } else {
+                                    0.0
+                                },
+                                reduce_task_time: if rs.jobs.stats[i].reduce_completions > 0 {
+                                    rs.jobs.stats[i].reduce_time_sum
+                                        / rs.jobs.stats[i].reduce_completions as f64
+                                } else {
+                                    0.0
+                                },
+                            };
+                            emit!(
+                                sink,
+                                ObsEvent::JobFinish {
+                                    t: now,
+                                    query: QueryId(q),
+                                    job: JobId(j),
+                                    category: job.category,
+                                }
+                            );
+                            // Submit dependents whose parents are all finished.
+                            for dep in queries[q].jobs.iter().filter(|d| d.deps.contains(&JobId(j)))
+                            {
+                                let ready = dep
+                                    .deps
+                                    .iter()
+                                    .all(|&p| rs.jobs.finished[rs.jobs.idx(q, p.0)].is_some());
+                                if ready && !rs.jobs.submitted[rs.jobs.idx(q, dep.id.0)] {
+                                    rs.queue.push(
+                                        now + self.config.submit_overhead,
+                                        Event::Submit { q, j: dep.id.into() },
+                                    );
+                                }
+                            }
+                            if rs.qstate[q].jobs_done == queries[q].jobs.len() {
+                                rs.qstate[q].finished = Some(now);
+                                if rs.qstate[q].admitted {
+                                    rs.qstate[q].admitted = false;
+                                    rs.active -= 1;
+                                }
+                                rs.done_queries += 1;
+                                emit!(sink, ObsEvent::QueryFinish { t: now, query: QueryId(q) });
+                            }
+                            if oracle.observe_job_done(QueryId(q), job, actual, now) {
+                                for (qi2, q2) in queries.iter().enumerate() {
+                                    if rs.qstate[qi2].failed || rs.qstate[qi2].finished.is_some() {
                                         continue;
                                     }
-                                    let p = oracle.predict(QueryId(qi2), j2);
-                                    if p != preds[qi2][j2.id.0] {
-                                        preds[qi2][j2.id.0] = p;
-                                        changed = true;
+                                    let mut changed = false;
+                                    for j2 in &q2.jobs {
+                                        if rs.jobs.finished[rs.jobs.idx(qi2, j2.id.0)].is_some() {
+                                            continue;
+                                        }
+                                        let p = oracle.predict(QueryId(qi2), j2);
+                                        if p != rs.preds[qi2][j2.id.0] {
+                                            rs.preds[qi2][j2.id.0] = p;
+                                            changed = true;
+                                        }
+                                    }
+                                    // Query `q` refreshes in `on_task_done`
+                                    // below; others resync here.
+                                    if changed && incremental && qi2 != q {
+                                        rs.dstate.resync_query(queries, &rs.jobs, &rs.preds, qi2);
+                                        prof.inc(Counter::SchedulerViewUpdates);
                                     }
                                 }
-                                // Query `q` refreshes in `on_task_done`
-                                // below; others resync here.
-                                if changed && incremental && qi2 != q {
-                                    state.resync_query(queries, &jobs, &preds, qi2);
+                            }
+                        }
+                        if incremental {
+                            rs.dstate.on_task_done(queries, &rs.jobs, &rs.preds, q, j);
+                            prof.inc(Counter::SchedulerViewUpdates);
+                        }
+                    }
+                    Event::TaskFailed { attempt } => {
+                        if !rs.fr.attempts.alive[attempt] {
+                            break 'event;
+                        }
+                        let a = rs.fr.attempts.get(attempt);
+                        rs.fr.attempts.alive[attempt] = false;
+                        rs.fr.release_slot(a.slot, &self.config, &mut rs.free_slots);
+                        let node = self.config.node_of(a.slot);
+                        rs.fr.stats.task_failures += 1;
+                        rs.fr.node_failures[node] += 1;
+                        let mut will_retry = false;
+                        let mut retry_at = now;
+                        let mut query_failed = false;
+                        if rs.fr.partner_alive(attempt) {
+                            // A live clone still covers the task: hand it the
+                            // running count; no retry needed.
+                            if a.counted {
+                                let p = a.partner.expect("partner_alive implies partner");
+                                rs.fr.attempts.counted[p] = true;
+                            }
+                        } else {
+                            debug_assert!(a.counted);
+                            let i = rs.jobs.idx(a.q, a.j);
+                            match a.kind {
+                                TaskKind::Map => rs.jobs.counts[i].running_maps -= 1,
+                                TaskKind::Reduce => rs.jobs.counts[i].running_reduces -= 1,
+                            }
+                            let used = match a.kind {
+                                TaskKind::Map => rs.jobs.lists[i].map_attempt_no[a.spec_idx],
+                                TaskKind::Reduce => rs.jobs.lists[i].reduce_attempt_no[a.spec_idx],
+                            };
+                            if used >= self.faults.max_attempts {
+                                query_failed = true;
+                            } else {
+                                will_retry = true;
+                                retry_at = now + self.faults.backoff(used);
+                                rs.fr.stats.retries_scheduled += 1;
+                                FaultState::start_recovery_clock(&mut rs.jobs, &a, now);
+                            }
+                        }
+                        emit!(
+                            sink,
+                            ObsEvent::TaskFailed {
+                                t: now,
+                                query: QueryId(a.q),
+                                job: JobId(a.j),
+                                phase: phase_of(a.kind),
+                                node: NodeId(node),
+                                slot: self.config.slot_of(a.slot),
+                                attempt: a.attempt_no,
+                                ran_for: now - a.start,
+                                will_retry,
+                                retry_at,
+                            }
+                        );
+                        if will_retry {
+                            rs.queue.push(
+                                retry_at,
+                                Event::Retry { q: a.q, j: a.j, kind: a.kind, spec_idx: a.spec_idx },
+                            );
+                        }
+                        let mut affected = vec![a.q];
+                        if query_failed {
+                            fail_query(
+                                a.q,
+                                now,
+                                &self.config,
+                                &mut rs.fr,
+                                &mut rs.jobs,
+                                &mut rs.qstate,
+                                &mut rs.free_slots,
+                                sink,
+                            );
+                            // Attempt-budget exhaustion is a *fault* outcome;
+                            // `fail_query` itself is also used for deadline
+                            // kills, which land in admission stats instead.
+                            rs.fr.stats.failed_queries.push(QueryId(a.q));
+                            if rs.qstate[a.q].admitted {
+                                rs.qstate[a.q].admitted = false;
+                                rs.active -= 1;
+                            }
+                            rs.done_queries += 1;
+                            if incremental {
+                                rs.dstate.remove_query(a.q);
+                                prof.inc(Counter::SchedulerViewUpdates);
+                            }
+                        }
+                        // Blacklist a node that keeps failing tasks — but never
+                        // the last usable one (a flaky node beats no node;
+                        // reset its strike counter instead, mirroring Hadoop's
+                        // cap on simultaneously-blacklisted trackers).
+                        if self.faults.blacklist_after > 0
+                            && rs.fr.node_usable(node)
+                            && rs.fr.node_failures[node] >= self.faults.blacklist_after
+                        {
+                            if rs.fr.usable_nodes() > 1 {
+                                rs.fr.blacklisted[node] = true;
+                                rs.fr.stats.nodes_blacklisted += 1;
+                                emit!(
+                                    sink,
+                                    ObsEvent::NodeDown {
+                                        t: now,
+                                        node: NodeId(node),
+                                        reason: DownReason::Blacklist,
+                                        lost_maps: 0,
+                                    }
+                                );
+                                affected.extend(rs.fr.kill_node_attempts(
+                                    node,
+                                    true,
+                                    now,
+                                    &self.config,
+                                    &mut rs.jobs,
+                                    &mut rs.free_slots,
+                                    sink,
+                                ));
+                                rs.free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node);
+                            } else {
+                                rs.fr.node_failures[node] = 0;
+                            }
+                        }
+                        if incremental {
+                            affected.sort_unstable();
+                            affected.dedup();
+                            for &qi in &affected {
+                                if !rs.qstate[qi].failed {
+                                    rs.dstate.resync_query(queries, &rs.jobs, &rs.preds, qi);
                                     prof.inc(Counter::SchedulerViewUpdates);
                                 }
                             }
                         }
                     }
-                    if incremental {
-                        state.on_task_done(queries, &jobs, &preds, q, j);
-                        prof.inc(Counter::SchedulerViewUpdates);
-                    }
-                }
-                Event::TaskFailed { attempt } => {
-                    if !fr.attempts.alive[attempt] {
-                        continue;
-                    }
-                    let a = fr.attempts.get(attempt);
-                    fr.attempts.alive[attempt] = false;
-                    fr.release_slot(a.slot, &self.config, &mut free_slots);
-                    let node = self.config.node_of(a.slot);
-                    fr.stats.task_failures += 1;
-                    fr.node_failures[node] += 1;
-                    let mut will_retry = false;
-                    let mut retry_at = now;
-                    let mut query_failed = false;
-                    if fr.partner_alive(attempt) {
-                        // A live clone still covers the task: hand it the
-                        // running count; no retry needed.
-                        if a.counted {
-                            let p = a.partner.expect("partner_alive implies partner");
-                            fr.attempts.counted[p] = true;
+                    Event::Retry { q, j, kind, spec_idx } => {
+                        if rs.qstate[q].failed {
+                            // Backoff elapsed after the query was abandoned.
+                            break 'event;
                         }
-                    } else {
-                        debug_assert!(a.counted);
-                        let i = jobs.idx(a.q, a.j);
-                        match a.kind {
-                            TaskKind::Map => jobs.counts[i].running_maps -= 1,
-                            TaskKind::Reduce => jobs.counts[i].running_reduces -= 1,
+                        let i = rs.jobs.idx(q, j);
+                        match kind {
+                            TaskKind::Map => {
+                                rs.jobs.counts[i].pending_maps += 1;
+                                rs.jobs.lists[i].retry_maps.push(spec_idx);
+                            }
+                            TaskKind::Reduce => {
+                                rs.jobs.counts[i].pending_reduces += 1;
+                                rs.jobs.lists[i].retry_reduces.push(spec_idx);
+                            }
                         }
-                        let used = match a.kind {
-                            TaskKind::Map => jobs.lists[i].map_attempt_no[a.spec_idx],
-                            TaskKind::Reduce => jobs.lists[i].reduce_attempt_no[a.spec_idx],
-                        };
-                        if used >= self.faults.max_attempts {
-                            query_failed = true;
-                        } else {
-                            will_retry = true;
-                            retry_at = now + self.faults.backoff(used);
-                            fr.stats.retries_scheduled += 1;
-                            FaultState::start_recovery_clock(&mut jobs, &a, now);
-                        }
-                    }
-                    emit!(
-                        sink,
-                        ObsEvent::TaskFailed {
-                            t: now,
-                            query: QueryId(a.q),
-                            job: JobId(a.j),
-                            phase: phase_of(a.kind),
-                            node: NodeId(node),
-                            slot: self.config.slot_of(a.slot),
-                            attempt: a.attempt_no,
-                            ran_for: now - a.start,
-                            will_retry,
-                            retry_at,
-                        }
-                    );
-                    if will_retry {
-                        queue.push(
-                            retry_at,
-                            Event::Retry { q: a.q, j: a.j, kind: a.kind, spec_idx: a.spec_idx },
-                        );
-                    }
-                    let mut affected = vec![a.q];
-                    if query_failed {
-                        fail_query(
-                            a.q,
-                            now,
-                            &self.config,
-                            &mut fr,
-                            &mut jobs,
-                            &mut qstate,
-                            &mut free_slots,
-                            sink,
-                        );
-                        // Attempt-budget exhaustion is a *fault* outcome;
-                        // `fail_query` itself is also used for deadline
-                        // kills, which land in admission stats instead.
-                        fr.stats.failed_queries.push(QueryId(a.q));
-                        if qstate[a.q].admitted {
-                            qstate[a.q].admitted = false;
-                            active -= 1;
-                        }
-                        done_queries += 1;
                         if incremental {
-                            state.remove_query(a.q);
+                            rs.dstate.resync_query(queries, &rs.jobs, &rs.preds, q);
                             prof.inc(Counter::SchedulerViewUpdates);
                         }
                     }
-                    // Blacklist a node that keeps failing tasks — but never
-                    // the last usable one (a flaky node beats no node;
-                    // reset its strike counter instead, mirroring Hadoop's
-                    // cap on simultaneously-blacklisted trackers).
-                    if self.faults.blacklist_after > 0
-                        && fr.node_usable(node)
-                        && fr.node_failures[node] >= self.faults.blacklist_after
-                    {
-                        if fr.usable_nodes() > 1 {
-                            fr.blacklisted[node] = true;
-                            fr.stats.nodes_blacklisted += 1;
+                    Event::NodeDown { crash } => {
+                        let nc = self.faults.node_crashes[crash];
+                        let node = nc.node;
+                        // (A crash while the node is already down is idempotent
+                        // here; validate rejects overlapping windows, but
+                        // exactly-adjacent ones pop the second NodeDown before
+                        // the first NodeUp, and the epoch guard sorts that out.)
+                        rs.fr.crashed[node.0] = true;
+                        rs.fr.node_epoch[node.0] += 1;
+                        rs.fr.stats.node_crashes += 1;
+                        // The classic re-execution rule: completed map output
+                        // lives on the node's local disk, so unfinished jobs
+                        // whose reduces still need it must re-run the maps
+                        // that ran here. (Reduce output and map-only job
+                        // output live on replicated HDFS — safe.)
+                        let mut lost_per_job: Vec<(usize, usize, usize)> = Vec::new();
+                        let mut affected: Vec<usize> = Vec::new();
+                        for (qi, q) in queries.iter().enumerate() {
+                            if rs.qstate[qi].failed {
+                                continue;
+                            }
+                            for job in &q.jobs {
+                                let i = rs.jobs.idx(qi, job.id.0);
+                                if !rs.jobs.submitted[i]
+                                    || rs.jobs.finished[i].is_some()
+                                    || job.reduces.is_empty()
+                                {
+                                    continue;
+                                }
+                                let lost: Vec<usize> = (0..job.maps.len())
+                                    .filter(|&m| rs.jobs.lists[i].map_node[m] == Some(node.into()))
+                                    .collect();
+                                if lost.is_empty() {
+                                    continue;
+                                }
+                                rs.jobs.counts[i].done_maps -= lost.len();
+                                rs.jobs.counts[i].pending_maps += lost.len();
+                                for &m in &lost {
+                                    rs.jobs.lists[i].map_node[m] = None;
+                                    rs.jobs.lists[i].retry_maps.push(m);
+                                    rs.jobs.lists[i].map_fail_since[m].get_or_insert(now);
+                                }
+                                if rs.jobs.reduces_unlocked[i] {
+                                    // The reduce wave re-locks until the map
+                                    // wave is whole again (running reduces are
+                                    // allowed to finish).
+                                    rs.jobs.reduces_unlocked[i] = false;
+                                }
+                                rs.fr.stats.lost_maps += lost.len();
+                                lost_per_job.push((qi, job.id.into(), lost.len()));
+                                affected.push(qi);
+                            }
+                        }
+                        let lost_total: usize = lost_per_job.iter().map(|&(_, _, n)| n).sum();
+                        emit!(
+                            sink,
+                            ObsEvent::NodeDown {
+                                t: now,
+                                node,
+                                reason: DownReason::Crash,
+                                lost_maps: lost_total,
+                            }
+                        );
+                        for (qi, j, n) in lost_per_job {
                             emit!(
                                 sink,
-                                ObsEvent::NodeDown {
+                                ObsEvent::MapOutputLost {
                                     t: now,
-                                    node: NodeId(node),
-                                    reason: DownReason::Blacklist,
-                                    lost_maps: 0,
+                                    query: QueryId(qi),
+                                    job: JobId(j),
+                                    node,
+                                    maps_lost: n,
                                 }
                             );
-                            affected.extend(fr.kill_node_attempts(
-                                node,
-                                true,
-                                now,
-                                &self.config,
-                                &mut jobs,
-                                &mut free_slots,
-                                sink,
-                            ));
-                            free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node);
-                        } else {
-                            fr.node_failures[node] = 0;
                         }
-                    }
-                    if incremental {
-                        affected.sort_unstable();
-                        affected.dedup();
-                        for &qi in &affected {
-                            if !qstate[qi].failed {
-                                state.resync_query(queries, &jobs, &preds, qi);
+                        affected.extend(rs.fr.kill_node_attempts(
+                            node.into(),
+                            true,
+                            now,
+                            &self.config,
+                            &mut rs.jobs,
+                            &mut rs.free_slots,
+                            sink,
+                        ));
+                        rs.free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node.into());
+                        if nc.down_for.is_finite() {
+                            rs.queue.push(
+                                now + nc.down_for,
+                                Event::NodeUp {
+                                    node: node.into(),
+                                    epoch: rs.fr.node_epoch[node.0],
+                                },
+                            );
+                        }
+                        if incremental {
+                            affected.sort_unstable();
+                            affected.dedup();
+                            for &qi in &affected {
+                                rs.dstate.resync_query(queries, &rs.jobs, &rs.preds, qi);
                                 prof.inc(Counter::SchedulerViewUpdates);
                             }
                         }
                     }
-                }
-                Event::Retry { q, j, kind, spec_idx } => {
-                    if qstate[q].failed {
-                        // Backoff elapsed after the query was abandoned.
-                        continue;
-                    }
-                    let i = jobs.idx(q, j);
-                    match kind {
-                        TaskKind::Map => {
-                            jobs.counts[i].pending_maps += 1;
-                            jobs.lists[i].retry_maps.push(spec_idx);
+                    Event::NodeUp { node, epoch } => {
+                        if rs.fr.node_epoch[node] != epoch || !rs.fr.crashed[node] {
+                            // A newer crash superseded this recovery.
+                            break 'event;
                         }
-                        TaskKind::Reduce => {
-                            jobs.counts[i].pending_reduces += 1;
-                            jobs.lists[i].retry_reduces.push(spec_idx);
+                        rs.fr.crashed[node] = false;
+                        if !rs.fr.blacklisted[node] {
+                            emit!(sink, ObsEvent::NodeUp { t: now, node: NodeId(node) });
+                            let base = node * self.config.containers_per_node;
+                            for slot in base..base + self.config.containers_per_node {
+                                if rs.fr.slot_attempt[slot].is_none() {
+                                    rs.free_slots.push(Reverse(slot));
+                                }
+                            }
                         }
-                    }
-                    if incremental {
-                        state.resync_query(queries, &jobs, &preds, q);
-                        prof.inc(Counter::SchedulerViewUpdates);
                     }
                 }
-                Event::NodeDown { crash } => {
-                    let nc = self.faults.node_crashes[crash];
-                    let node = nc.node;
-                    // (A crash while the node is already down is idempotent
-                    // here; validate rejects overlapping windows, but
-                    // exactly-adjacent ones pop the second NodeDown before
-                    // the first NodeUp, and the epoch guard sorts that out.)
-                    fr.crashed[node.0] = true;
-                    fr.node_epoch[node.0] += 1;
-                    fr.stats.node_crashes += 1;
-                    // The classic re-execution rule: completed map output
-                    // lives on the node's local disk, so unfinished jobs
-                    // whose reduces still need it must re-run the maps
-                    // that ran here. (Reduce output and map-only job
-                    // output live on replicated HDFS — safe.)
-                    let mut lost_per_job: Vec<(usize, usize, usize)> = Vec::new();
-                    let mut affected: Vec<usize> = Vec::new();
-                    for (qi, q) in queries.iter().enumerate() {
-                        if qstate[qi].failed {
-                            continue;
+                // Any oracle consultation this event triggered may have
+                // quarantined predictions or moved the trust score across a
+                // hysteresis threshold; surface that before dispatching.
+                surface_guard_activity(oracle, sink, now, &mut rs.degraded, fallback.name());
+                if self.dispatch == DispatchMode::Crosscheck {
+                    rs.dstate.crosscheck(queries, &rs.jobs, &rs.preds, "after event");
+                }
+
+                // Dispatch free containers. Incremental modes read the
+                // maintained runnable view; Reference rebuilds it from scratch
+                // once per free container, exactly as the pre-incremental
+                // engine did.
+                while !rs.free_slots.is_empty() {
+                    let rebuilt;
+                    let runnable: &[RunnableJob] = match self.dispatch {
+                        DispatchMode::Incremental => &rs.dstate.runnable,
+                        DispatchMode::Crosscheck => {
+                            rs.dstate.crosscheck(queries, &rs.jobs, &rs.preds, "before pick");
+                            &rs.dstate.runnable
                         }
-                        for job in &q.jobs {
-                            let i = jobs.idx(qi, job.id.0);
-                            if !jobs.submitted[i]
-                                || jobs.finished[i].is_some()
-                                || job.reduces.is_empty()
+                        DispatchMode::Reference => {
+                            rebuilt = collect_runnable(
+                                queries,
+                                &rs.jobs,
+                                &rs.preds,
+                                self.config.total_containers(),
+                            );
+                            &rebuilt
+                        }
+                    };
+                    // In degraded mode (a guarded oracle's trust collapsed),
+                    // semantics-blind FIFO replaces the configured policy until
+                    // trust recovers past the exit threshold.
+                    let picked = if rs.degraded {
+                        fallback.pick(runnable)
+                    } else {
+                        self.scheduler.pick(runnable)
+                    };
+                    prof.inc(Counter::DispatchDecisions);
+                    let Some(c) = picked else {
+                        // No runnable work for this container. With speculative
+                        // execution on, clone the worst straggler of a
+                        // nearly-done job into the idle slot instead of letting
+                        // it sit; first finisher wins, loser is killed.
+                        if !self.faults.speculative {
+                            break;
+                        }
+                        let mut best: Option<usize> = None;
+                        // Straggler scan over the SoA columns: `alive`,
+                        // `partner`, `q`/`j`, and `sched_end` stream as flat
+                        // arrays; the full 13-field record is only gathered for
+                        // the single winner below.
+                        for id in 0..rs.fr.attempts.len() {
+                            if !rs.fr.attempts.alive[id]
+                                || rs.fr.attempts.partner[id] != NIL
+                                || rs.qstate[rs.fr.attempts.q[id]].failed
                             {
                                 continue;
                             }
-                            let lost: Vec<usize> = (0..job.maps.len())
-                                .filter(|&m| jobs.lists[i].map_node[m] == Some(node.into()))
-                                .collect();
-                            if lost.is_empty() {
+                            let (aq, aj) = (rs.fr.attempts.q[id], rs.fr.attempts.info[id].j);
+                            let job = &queries[aq].jobs[aj];
+                            let i = rs.jobs.idx(aq, aj);
+                            let total = (job.maps.len() + job.reduces.len()) as f64;
+                            let done = (rs.jobs.counts[i].done_maps
+                                + rs.jobs.counts[i].done_reduces)
+                                as f64;
+                            if done / total < self.faults.spec_fraction {
                                 continue;
                             }
-                            jobs.counts[i].done_maps -= lost.len();
-                            jobs.counts[i].pending_maps += lost.len();
-                            for &m in &lost {
-                                jobs.lists[i].map_node[m] = None;
-                                jobs.lists[i].retry_maps.push(m);
-                                jobs.lists[i].map_fail_since[m].get_or_insert(now);
+                            if best.is_none_or(|b| {
+                                rs.fr.attempts.sched_end[id] > rs.fr.attempts.sched_end[b]
+                            }) {
+                                best = Some(id);
                             }
-                            if jobs.reduces_unlocked[i] {
-                                // The reduce wave re-locks until the map
-                                // wave is whole again (running reduces are
-                                // allowed to finish).
-                                jobs.reduces_unlocked[i] = false;
-                            }
-                            fr.stats.lost_maps += lost.len();
-                            lost_per_job.push((qi, job.id.into(), lost.len()));
-                            affected.push(qi);
                         }
-                    }
-                    let lost_total: usize = lost_per_job.iter().map(|&(_, _, n)| n).sum();
-                    emit!(
-                        sink,
-                        ObsEvent::NodeDown {
-                            t: now,
-                            node,
-                            reason: DownReason::Crash,
-                            lost_maps: lost_total,
-                        }
-                    );
-                    for (qi, j, n) in lost_per_job {
+                        let Some(orig_id) = best else { break };
+                        let orig = rs.fr.attempts.get(orig_id);
+                        // Place the clone off the straggler's node if any other
+                        // node has a free slot (lowest slot id wins for
+                        // determinism), else share the node.
+                        let mut slots: Vec<usize> = rs.free_slots.iter().map(|r| r.0).collect();
+                        slots.sort_unstable();
+                        let orig_node = self.config.node_of(orig.slot);
+                        let slot = slots
+                            .iter()
+                            .copied()
+                            .find(|&s| self.config.node_of(s) != orig_node)
+                            .unwrap_or(slots[0]);
+                        rs.free_slots.retain(|&Reverse(s)| s != slot);
+                        let job = &queries[orig.q].jobs[orig.j];
+                        let spec = match orig.kind {
+                            TaskKind::Map => job.maps[orig.spec_idx],
+                            TaskKind::Reduce => job.reduces[orig.spec_idx],
+                        };
                         emit!(
                             sink,
-                            ObsEvent::MapOutputLost {
+                            ObsEvent::SpeculativeLaunch {
                                 t: now,
-                                query: QueryId(qi),
-                                job: JobId(j),
-                                node,
-                                maps_lost: n,
+                                query: QueryId(orig.q),
+                                job: JobId(orig.j),
+                                phase: phase_of(orig.kind),
+                                node: NodeId(self.config.node_of(slot)),
+                                slot: self.config.slot_of(slot),
                             }
                         );
-                    }
-                    affected.extend(fr.kill_node_attempts(
-                        node.into(),
-                        true,
-                        now,
-                        &self.config,
-                        &mut jobs,
-                        &mut free_slots,
-                        sink,
-                    ));
-                    free_slots.retain(|&Reverse(s)| self.config.node_of(s) != node.into());
-                    if nc.down_for.is_finite() {
-                        queue.push(
-                            now + nc.down_for,
-                            Event::NodeUp { node: node.into(), epoch: fr.node_epoch[node.0] },
+                        emit!(
+                            sink,
+                            ObsEvent::TaskStart {
+                                t: now,
+                                query: QueryId(orig.q),
+                                job: JobId(orig.j),
+                                phase: phase_of(orig.kind),
+                                node: NodeId(self.config.node_of(slot)),
+                                slot: self.config.slot_of(slot),
+                            }
                         );
-                    }
-                    if incremental {
-                        affected.sort_unstable();
-                        affected.dedup();
-                        for &qi in &affected {
-                            state.resync_query(queries, &jobs, &preds, qi);
-                            prof.inc(Counter::SchedulerViewUpdates);
+                        let load = 1.0
+                            - rs.free_slots.len() as f64 / self.config.total_containers() as f64;
+                        let duration =
+                            self.cost.duration_loaded(&spec, load, &mut rs.rng).max(1e-3);
+                        let fail =
+                            self.cost.sample_failure(self.faults.task_fail_prob, &mut rs.fault_rng);
+                        let id = rs.fr.attempts.len();
+                        rs.fr.attempts.push(Attempt {
+                            q: orig.q,
+                            j: orig.j,
+                            kind: orig.kind,
+                            spec_idx: orig.spec_idx,
+                            slot,
+                            start: now,
+                            duration_bits: duration.to_bits(),
+                            sched_end: now + duration,
+                            attempt_no: orig.attempt_no,
+                            speculative: true,
+                            counted: false,
+                            partner: Some(orig_id),
+                            alive: true,
+                        });
+                        rs.fr.attempts.partner[orig_id] = id as u32;
+                        rs.fr.slot_attempt[slot] = Some(id);
+                        let oi = rs.jobs.idx(orig.q, orig.j);
+                        match orig.kind {
+                            TaskKind::Map => rs.jobs.stats[oi].map_attempts_total += 1,
+                            TaskKind::Reduce => rs.jobs.stats[oi].reduce_attempts_total += 1,
                         }
-                    }
-                }
-                Event::NodeUp { node, epoch } => {
-                    if fr.node_epoch[node] != epoch || !fr.crashed[node] {
-                        // A newer crash superseded this recovery.
+                        rs.fr.stats.speculative_launches += 1;
+                        prof.inc(Counter::TasksLaunched);
+                        match fail {
+                            Some(frac) => rs
+                                .queue
+                                .push(now + duration * frac, Event::TaskFailed { attempt: id }),
+                            None => rs.queue.push(now + duration, Event::TaskDone { attempt: id }),
+                        }
+                        // Clones are uncounted: the scheduler's view (pending /
+                        // running / demand) is unchanged, so no state update.
                         continue;
-                    }
-                    fr.crashed[node] = false;
-                    if !fr.blacklisted[node] {
-                        emit!(sink, ObsEvent::NodeUp { t: now, node: NodeId(node) });
-                        let base = node * self.config.containers_per_node;
-                        for slot in base..base + self.config.containers_per_node {
-                            if fr.slot_attempt[slot].is_none() {
-                                free_slots.push(Reverse(slot));
-                            }
-                        }
-                    }
-                }
-            }
-            // Any oracle consultation this event triggered may have
-            // quarantined predictions or moved the trust score across a
-            // hysteresis threshold; surface that before dispatching.
-            surface_guard_activity(oracle, sink, now, &mut degraded, fallback.name());
-            if self.dispatch == DispatchMode::Crosscheck {
-                state.crosscheck(queries, &jobs, &preds, "after event");
-            }
-
-            // Dispatch free containers. Incremental modes read the
-            // maintained runnable view; Reference rebuilds it from scratch
-            // once per free container, exactly as the pre-incremental
-            // engine did.
-            while !free_slots.is_empty() {
-                let rebuilt;
-                let runnable: &[RunnableJob] = match self.dispatch {
-                    DispatchMode::Incremental => &state.runnable,
-                    DispatchMode::Crosscheck => {
-                        state.crosscheck(queries, &jobs, &preds, "before pick");
-                        &state.runnable
-                    }
-                    DispatchMode::Reference => {
-                        rebuilt = collect_runnable(
-                            queries,
-                            &jobs,
-                            &preds,
-                            self.config.total_containers(),
-                        );
-                        &rebuilt
-                    }
-                };
-                // In degraded mode (a guarded oracle's trust collapsed),
-                // semantics-blind FIFO replaces the configured policy until
-                // trust recovers past the exit threshold.
-                let picked =
-                    if degraded { fallback.pick(runnable) } else { self.scheduler.pick(runnable) };
-                prof.inc(Counter::DispatchDecisions);
-                let Some(c) = picked else {
-                    // No runnable work for this container. With speculative
-                    // execution on, clone the worst straggler of a
-                    // nearly-done job into the idle slot instead of letting
-                    // it sit; first finisher wins, loser is killed.
-                    if !self.faults.speculative {
-                        break;
-                    }
-                    let mut best: Option<usize> = None;
-                    // Straggler scan over the SoA columns: `alive`,
-                    // `partner`, `q`/`j`, and `sched_end` stream as flat
-                    // arrays; the full 13-field record is only gathered for
-                    // the single winner below.
-                    for id in 0..fr.attempts.len() {
-                        if !fr.attempts.alive[id]
-                            || fr.attempts.partner[id] != NIL
-                            || qstate[fr.attempts.q[id]].failed
-                        {
-                            continue;
-                        }
-                        let (aq, aj) = (fr.attempts.q[id], fr.attempts.info[id].j);
-                        let job = &queries[aq].jobs[aj];
-                        let i = jobs.idx(aq, aj);
-                        let total = (job.maps.len() + job.reduces.len()) as f64;
-                        let done = (jobs.counts[i].done_maps + jobs.counts[i].done_reduces) as f64;
-                        if done / total < self.faults.spec_fraction {
-                            continue;
-                        }
-                        if best.is_none_or(|b| fr.attempts.sched_end[id] > fr.attempts.sched_end[b])
-                        {
-                            best = Some(id);
-                        }
-                    }
-                    let Some(orig_id) = best else { break };
-                    let orig = fr.attempts.get(orig_id);
-                    // Place the clone off the straggler's node if any other
-                    // node has a free slot (lowest slot id wins for
-                    // determinism), else share the node.
-                    let mut slots: Vec<usize> = free_slots.iter().map(|r| r.0).collect();
-                    slots.sort_unstable();
-                    let orig_node = self.config.node_of(orig.slot);
-                    let slot = slots
-                        .iter()
-                        .copied()
-                        .find(|&s| self.config.node_of(s) != orig_node)
-                        .unwrap_or(slots[0]);
-                    free_slots.retain(|&Reverse(s)| s != slot);
-                    let job = &queries[orig.q].jobs[orig.j];
-                    let spec = match orig.kind {
-                        TaskKind::Map => job.maps[orig.spec_idx],
-                        TaskKind::Reduce => job.reduces[orig.spec_idx],
                     };
-                    emit!(
-                        sink,
-                        ObsEvent::SpeculativeLaunch {
+                    if sink.enabled() {
+                        // Decision-record construction (candidate scoring) is
+                        // skipped entirely for disabled sinks.
+                        let candidates = runnable
+                            .iter()
+                            .map(|r| Candidate {
+                                query: r.query,
+                                job: r.job,
+                                score: if rs.degraded {
+                                    fallback.score(r)
+                                } else {
+                                    self.scheduler.score(r)
+                                },
+                            })
+                            .collect();
+                        sink.emit(&ObsEvent::Decision {
                             t: now,
-                            query: QueryId(orig.q),
-                            job: JobId(orig.j),
-                            phase: phase_of(orig.kind),
-                            node: NodeId(self.config.node_of(slot)),
-                            slot: self.config.slot_of(slot),
+                            policy: if rs.degraded {
+                                "FIFO(degraded)"
+                            } else {
+                                self.scheduler.name()
+                            },
+                            candidates,
+                            chosen_query: c.query,
+                            chosen_job: c.job,
+                            phase: phase_of(c.kind),
+                            queue_depth: runnable.len(),
+                            free_containers: rs.free_slots.len(),
+                        });
+                    }
+                    let ji = rs.jobs.idx(c.query.0, c.job.0);
+                    // Retried tasks (failed or clawed back by a crash) relaunch
+                    // before fresh spec indices are handed out.
+                    let (spec, spec_idx, attempt_no): (TaskSpec, usize, usize) = match c.kind {
+                        TaskKind::Map => {
+                            debug_assert!(rs.jobs.counts[ji].pending_maps > 0);
+                            rs.jobs.counts[ji].pending_maps -= 1;
+                            rs.jobs.counts[ji].running_maps += 1;
+                            let idx = match rs.jobs.lists[ji].retry_maps.pop() {
+                                Some(m) => m,
+                                None => {
+                                    let m = rs.jobs.counts[ji].next_map;
+                                    rs.jobs.counts[ji].next_map += 1;
+                                    m
+                                }
+                            };
+                            rs.jobs.lists[ji].map_attempt_no[idx] += 1;
+                            rs.jobs.stats[ji].map_attempts_total += 1;
+                            (
+                                queries[c.query.0].jobs[c.job.0].maps[idx],
+                                idx,
+                                rs.jobs.lists[ji].map_attempt_no[idx],
+                            )
                         }
-                    );
+                        TaskKind::Reduce => {
+                            debug_assert!(
+                                rs.jobs.counts[ji].pending_reduces > 0
+                                    && rs.jobs.reduces_unlocked[ji]
+                            );
+                            rs.jobs.counts[ji].pending_reduces -= 1;
+                            rs.jobs.counts[ji].running_reduces += 1;
+                            let idx = match rs.jobs.lists[ji].retry_reduces.pop() {
+                                Some(m) => m,
+                                None => {
+                                    let m = rs.jobs.counts[ji].next_reduce;
+                                    rs.jobs.counts[ji].next_reduce += 1;
+                                    m
+                                }
+                            };
+                            rs.jobs.lists[ji].reduce_attempt_no[idx] += 1;
+                            rs.jobs.stats[ji].reduce_attempts_total += 1;
+                            (
+                                queries[c.query.0].jobs[c.job.0].reduces[idx],
+                                idx,
+                                rs.jobs.lists[ji].reduce_attempt_no[idx],
+                            )
+                        }
+                    };
+                    if rs.jobs.started[ji].is_none() {
+                        rs.jobs.started[ji] = Some(now);
+                        emit!(sink, ObsEvent::JobStart { t: now, query: c.query, job: c.job });
+                    }
+                    if rs.qstate[c.query.0].started.is_none() {
+                        rs.qstate[c.query.0].started = Some(now);
+                        emit!(sink, ObsEvent::QueryStart { t: now, query: c.query });
+                    }
+                    let Reverse(slot) = rs.free_slots.pop().expect("checked non-empty");
                     emit!(
                         sink,
                         ObsEvent::TaskStart {
                             t: now,
-                            query: QueryId(orig.q),
-                            job: JobId(orig.j),
-                            phase: phase_of(orig.kind),
+                            query: c.query,
+                            job: c.job,
+                            phase: phase_of(c.kind),
                             node: NodeId(self.config.node_of(slot)),
                             slot: self.config.slot_of(slot),
                         }
                     );
                     let load =
-                        1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
-                    let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
-                    let fail = self.cost.sample_failure(self.faults.task_fail_prob, &mut fault_rng);
-                    let id = fr.attempts.len();
-                    fr.attempts.push(Attempt {
-                        q: orig.q,
-                        j: orig.j,
-                        kind: orig.kind,
-                        spec_idx: orig.spec_idx,
+                        1.0 - rs.free_slots.len() as f64 / self.config.total_containers() as f64;
+                    let duration = self.cost.duration_loaded(&spec, load, &mut rs.rng).max(1e-3);
+                    // Fault sampling draws from its own stream so a zero-prob
+                    // plan consumes no randomness; a doomed attempt dies at a
+                    // sampled fraction of its would-be duration.
+                    let fail =
+                        self.cost.sample_failure(self.faults.task_fail_prob, &mut rs.fault_rng);
+                    let id = rs.fr.attempts.len();
+                    rs.fr.attempts.push(Attempt {
+                        q: c.query.into(),
+                        j: c.job.into(),
+                        kind: c.kind,
+                        spec_idx,
                         slot,
                         start: now,
                         duration_bits: duration.to_bits(),
                         sched_end: now + duration,
-                        attempt_no: orig.attempt_no,
-                        speculative: true,
-                        counted: false,
-                        partner: Some(orig_id),
+                        attempt_no,
+                        speculative: false,
+                        counted: true,
+                        partner: None,
                         alive: true,
                     });
-                    fr.attempts.partner[orig_id] = id as u32;
-                    fr.slot_attempt[slot] = Some(id);
-                    let oi = jobs.idx(orig.q, orig.j);
-                    match orig.kind {
-                        TaskKind::Map => jobs.stats[oi].map_attempts_total += 1,
-                        TaskKind::Reduce => jobs.stats[oi].reduce_attempts_total += 1,
-                    }
-                    fr.stats.speculative_launches += 1;
+                    rs.fr.slot_attempt[slot] = Some(id);
                     prof.inc(Counter::TasksLaunched);
                     match fail {
                         Some(frac) => {
-                            queue.push(now + duration * frac, Event::TaskFailed { attempt: id })
+                            rs.queue.push(now + duration * frac, Event::TaskFailed { attempt: id })
                         }
-                        None => queue.push(now + duration, Event::TaskDone { attempt: id }),
+                        None => rs.queue.push(now + duration, Event::TaskDone { attempt: id }),
                     }
-                    // Clones are uncounted: the scheduler's view (pending /
-                    // running / demand) is unchanged, so no state update.
-                    continue;
-                };
-                if sink.enabled() {
-                    // Decision-record construction (candidate scoring) is
-                    // skipped entirely for disabled sinks.
-                    let candidates = runnable
-                        .iter()
-                        .map(|r| Candidate {
-                            query: r.query,
-                            job: r.job,
-                            score: if degraded {
-                                fallback.score(r)
-                            } else {
-                                self.scheduler.score(r)
-                            },
-                        })
-                        .collect();
-                    sink.emit(&ObsEvent::Decision {
-                        t: now,
-                        policy: if degraded { "FIFO(degraded)" } else { self.scheduler.name() },
-                        candidates,
-                        chosen_query: c.query,
-                        chosen_job: c.job,
-                        phase: phase_of(c.kind),
-                        queue_depth: runnable.len(),
-                        free_containers: free_slots.len(),
-                    });
-                }
-                let ji = jobs.idx(c.query.0, c.job.0);
-                // Retried tasks (failed or clawed back by a crash) relaunch
-                // before fresh spec indices are handed out.
-                let (spec, spec_idx, attempt_no): (TaskSpec, usize, usize) = match c.kind {
-                    TaskKind::Map => {
-                        debug_assert!(jobs.counts[ji].pending_maps > 0);
-                        jobs.counts[ji].pending_maps -= 1;
-                        jobs.counts[ji].running_maps += 1;
-                        let idx = match jobs.lists[ji].retry_maps.pop() {
-                            Some(m) => m,
-                            None => {
-                                let m = jobs.counts[ji].next_map;
-                                jobs.counts[ji].next_map += 1;
-                                m
-                            }
-                        };
-                        jobs.lists[ji].map_attempt_no[idx] += 1;
-                        jobs.stats[ji].map_attempts_total += 1;
-                        (
-                            queries[c.query.0].jobs[c.job.0].maps[idx],
-                            idx,
-                            jobs.lists[ji].map_attempt_no[idx],
-                        )
+                    if incremental {
+                        rs.dstate.on_dispatch(&rs.jobs, c.query.into(), c.job.into());
+                        prof.inc(Counter::SchedulerViewUpdates);
                     }
-                    TaskKind::Reduce => {
-                        debug_assert!(
-                            jobs.counts[ji].pending_reduces > 0 && jobs.reduces_unlocked[ji]
-                        );
-                        jobs.counts[ji].pending_reduces -= 1;
-                        jobs.counts[ji].running_reduces += 1;
-                        let idx = match jobs.lists[ji].retry_reduces.pop() {
-                            Some(m) => m,
-                            None => {
-                                let m = jobs.counts[ji].next_reduce;
-                                jobs.counts[ji].next_reduce += 1;
-                                m
-                            }
-                        };
-                        jobs.lists[ji].reduce_attempt_no[idx] += 1;
-                        jobs.stats[ji].reduce_attempts_total += 1;
-                        (
-                            queries[c.query.0].jobs[c.job.0].reduces[idx],
-                            idx,
-                            jobs.lists[ji].reduce_attempt_no[idx],
-                        )
-                    }
-                };
-                if jobs.started[ji].is_none() {
-                    jobs.started[ji] = Some(now);
-                    emit!(sink, ObsEvent::JobStart { t: now, query: c.query, job: c.job });
-                }
-                if qstate[c.query.0].started.is_none() {
-                    qstate[c.query.0].started = Some(now);
-                    emit!(sink, ObsEvent::QueryStart { t: now, query: c.query });
-                }
-                let Reverse(slot) = free_slots.pop().expect("checked non-empty");
-                emit!(
-                    sink,
-                    ObsEvent::TaskStart {
-                        t: now,
-                        query: c.query,
-                        job: c.job,
-                        phase: phase_of(c.kind),
-                        node: NodeId(self.config.node_of(slot)),
-                        slot: self.config.slot_of(slot),
-                    }
-                );
-                let load = 1.0 - free_slots.len() as f64 / self.config.total_containers() as f64;
-                let duration = self.cost.duration_loaded(&spec, load, &mut rng).max(1e-3);
-                // Fault sampling draws from its own stream so a zero-prob
-                // plan consumes no randomness; a doomed attempt dies at a
-                // sampled fraction of its would-be duration.
-                let fail = self.cost.sample_failure(self.faults.task_fail_prob, &mut fault_rng);
-                let id = fr.attempts.len();
-                fr.attempts.push(Attempt {
-                    q: c.query.into(),
-                    j: c.job.into(),
-                    kind: c.kind,
-                    spec_idx,
-                    slot,
-                    start: now,
-                    duration_bits: duration.to_bits(),
-                    sched_end: now + duration,
-                    attempt_no,
-                    speculative: false,
-                    counted: true,
-                    partner: None,
-                    alive: true,
-                });
-                fr.slot_attempt[slot] = Some(id);
-                prof.inc(Counter::TasksLaunched);
-                match fail {
-                    Some(frac) => {
-                        queue.push(now + duration * frac, Event::TaskFailed { attempt: id })
-                    }
-                    None => queue.push(now + duration, Event::TaskDone { attempt: id }),
-                }
-                if incremental {
-                    state.on_dispatch(&jobs, c.query.into(), c.job.into());
-                    prof.inc(Counter::SchedulerViewUpdates);
                 }
             }
-            if done_queries == queries.len() {
+            if rs.done_queries == queries.len() {
                 // Every query is accounted for (finished or abandoned).
                 // Fault-free runs reach this point with an empty heap
                 // anyway; under faults it keeps pending NodeUp/Retry events
                 // from pointlessly extending the run.
-                break;
+                return Ok(Drive::Finished);
+            }
+            // The run is quiescent between events — the suspension point
+            // for snapshots (explicit and periodic) and the watchdog check.
+            if suspend_after.is_some_and(|n| rs.events_processed >= n) {
+                return Ok(Drive::Suspended);
+            }
+            if let Some(every) = self.ckpt_every {
+                if rs.events_processed.is_multiple_of(every) {
+                    let path = self.ckpt_path.as_ref().expect("interval implies a path");
+                    let blob = checkpoint::encode(self, queries, rs, &*oracle);
+                    if let Err(e) = sapred_obs::write_atomic(path, &blob) {
+                        panic!("failed to write checkpoint to {}: {e}", path.display());
+                    }
+                    prof.add(Counter::CheckpointBytes, blob.len() as u64);
+                    emit!(
+                        sink,
+                        ObsEvent::CheckpointWritten {
+                            t: rs.now,
+                            events: rs.events_processed,
+                            bytes: blob.len() as u64,
+                        }
+                    );
+                }
+            }
+            if let Some(limit) = self.max_events {
+                if rs.events_processed >= limit {
+                    return Err(SimError::EventBudgetExceeded { limit });
+                }
             }
         }
+        Ok(Drive::Finished)
+    }
 
+    /// End-of-run invariant asserts, deterministic queue telemetry, and
+    /// report assembly.
+    fn finalize<P: Profiler>(&self, queries: &[SimQuery], rs: RunState, prof: &P) -> SimReport {
         assert_eq!(
-            done_queries,
+            rs.done_queries,
             queries.len(),
             "simulation deadlocked with unfinished queries (does the fault \
              plan leave any node usable?)"
         );
-        let usable_slots = (0..self.config.nodes).filter(|&n| fr.node_usable(n)).count()
+        let usable_slots = (0..self.config.nodes).filter(|&n| rs.fr.node_usable(n)).count()
             * self.config.containers_per_node;
-        assert_eq!(free_slots.len(), usable_slots, "containers leaked");
-        debug_assert!(fr.attempts.alive.iter().all(|&a| !a), "attempts leaked");
+        assert_eq!(rs.free_slots.len(), usable_slots, "containers leaked");
+        debug_assert!(rs.fr.attempts.alive.iter().all(|&a| !a), "attempts leaked");
 
         // Deterministic queue telemetry: ops and recycled are exact event
         // counts and bytes-peak is a pure function of element counts, so
         // all three reproduce bit-for-bit across runs and machines.
-        let qstats = queue.stats();
+        let qstats = rs.queue.stats();
         prof.add(Counter::EventQueueOps, qstats.ops);
         prof.record_max(Counter::ArenaBytesPeak, qstats.bytes_peak);
         prof.add(Counter::ArenaSlotsRecycled, qstats.recycled);
 
-        assemble_report(queries, &qstate, &jobs, &fr.stats, admission_stats, now)
+        assemble_report(queries, &rs.qstate, &rs.jobs, &rs.fr.stats, rs.admission_stats, rs.now)
     }
 }

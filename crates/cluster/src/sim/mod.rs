@@ -5,6 +5,8 @@
 //!   deadlines, and resubmission backoff ([`AdmissionConfig`]),
 //! * `arena` — the arena-backed event queue (packed records, `u32`
 //!   handles, slab freelist) behind the [`QueueMode`] seam,
+//! * `checkpoint` — versioned, checksummed engine snapshots
+//!   (`sapred-ckpt/v1`) for suspend/resume ([`CheckpointError`]),
 //! * `state` — the event types and the struct-of-arrays per-query /
 //!   per-job simulation state the other modules operate on,
 //! * `dispatch` — the materialized runnable set and per-query demand
@@ -20,6 +22,7 @@
 
 mod admission;
 mod arena;
+mod checkpoint;
 mod dispatch;
 mod engine;
 mod oracle;
@@ -44,8 +47,9 @@ pub(crate) use emit;
 
 pub use admission::{AdmissionConfig, AdmissionStats, ShedPolicy};
 pub use arena::QueueMode;
+pub use checkpoint::CheckpointError;
 pub use dispatch::DispatchMode;
-pub use engine::Simulator;
+pub use engine::{RunOutcome, SimError, Simulator};
 pub use oracle::{DemandOracle, FrozenOracle, GuardConfig, GuardedOracle, QuarantineRecord};
 pub use report::{CellSummary, JobStat, QueryStat, SimReport};
 

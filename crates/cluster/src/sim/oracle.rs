@@ -15,8 +15,9 @@
 //! which the golden-bits fixtures pin: attaching the oracle seam costs
 //! nothing and changes nothing until a live oracle is plugged in.
 
+use super::checkpoint::{Reader, Writer};
 use crate::job::{JobPrediction, SimJob};
-use sapred_obs::{DriftTracker, JobId, Quantity, QueryId};
+use sapred_obs::{DriftStat, DriftTracker, JobId, Quantity, QueryId};
 use sapred_plan::JobCategory;
 
 /// A live source of per-job demand predictions, consulted by the engine at
@@ -78,6 +79,31 @@ pub trait DemandOracle {
     /// The default returns an empty vector (no allocation).
     fn take_quarantines(&mut self) -> Vec<QuarantineRecord> {
         Vec::new()
+    }
+
+    /// Serialize this oracle's mutable state for an engine checkpoint.
+    /// Stateless oracles (the default) return an empty blob; stateful ones
+    /// must capture everything [`predict`](DemandOracle::predict) and
+    /// [`observe_job_done`](DemandOracle::observe_job_done) depend on, so a
+    /// resumed run re-answers bit-identically.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state produced by
+    /// [`snapshot_state`](DemandOracle::snapshot_state) on the same oracle
+    /// type. The default accepts only an empty blob — a stateless oracle
+    /// handed bytes is a type mismatch between the snapshotting and
+    /// resuming runs, reported as an error rather than silently dropped.
+    ///
+    /// # Errors
+    /// A description of why the blob does not fit this oracle.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("stateless oracle cannot restore {} bytes of oracle state", state.len()))
+        }
     }
 }
 
@@ -170,6 +196,34 @@ fn cat_idx(c: JobCategory) -> usize {
         JobCategory::Extract => 0,
         JobCategory::Groupby => 1,
         JobCategory::Join => 2,
+    }
+}
+
+fn cat_of(v: u8) -> Result<JobCategory, String> {
+    match v {
+        0 => Ok(JobCategory::Extract),
+        1 => Ok(JobCategory::Groupby),
+        2 => Ok(JobCategory::Join),
+        _ => Err(format!("unknown job category tag {v}")),
+    }
+}
+
+fn quantity_u8(q: Quantity) -> u8 {
+    match q {
+        Quantity::MapTask => 0,
+        Quantity::ReduceTask => 1,
+        Quantity::Job => 2,
+        Quantity::Query => 3,
+    }
+}
+
+fn quantity_of(v: u8) -> Result<Quantity, String> {
+    match v {
+        0 => Ok(Quantity::MapTask),
+        1 => Ok(Quantity::ReduceTask),
+        2 => Ok(Quantity::Job),
+        3 => Ok(Quantity::Query),
+        _ => Err(format!("unknown quantity tag {v}")),
     }
 }
 
@@ -391,6 +445,75 @@ impl<O: DemandOracle> DemandOracle for GuardedOracle<O> {
 
     fn take_quarantines(&mut self) -> Vec<QuarantineRecord> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Serialize the guard's full mutable state — drift cells, trust EWMA,
+    /// degraded flag, quarantine counters, undrained quarantine records —
+    /// followed by the wrapped oracle's own blob, so guarded runs resume
+    /// bit-identically.
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        for row in self.drift.raw_cells() {
+            for cell in row {
+                w.u64(cell.n);
+                w.f64(cell.sum_signed);
+                w.f64(cell.sum_abs);
+            }
+        }
+        w.f64(self.clean_ewma);
+        w.bool(self.degraded);
+        for row in &self.quarantined {
+            for &n in row {
+                w.u64(n);
+            }
+        }
+        w.usize(self.pending.len());
+        for r in &self.pending {
+            w.usize(r.query.0);
+            w.usize(r.job.0);
+            w.u8(cat_idx(r.category) as u8);
+            w.u8(quantity_u8(r.quantity));
+            w.f64(r.predicted);
+            w.f64(r.substituted);
+        }
+        w.bytes(&self.inner.snapshot_state());
+        w.finish()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut r = Reader::new(state);
+        let mut cells = [[DriftStat::default(); 4]; 4];
+        for row in &mut cells {
+            for cell in row.iter_mut() {
+                cell.n = r.u64().map_err(|e| e.to_string())?;
+                cell.sum_signed = r.f64().map_err(|e| e.to_string())?;
+                cell.sum_abs = r.f64().map_err(|e| e.to_string())?;
+            }
+        }
+        self.drift = DriftTracker::from_raw_cells(cells);
+        self.clean_ewma = r.f64().map_err(|e| e.to_string())?;
+        self.degraded = r.bool().map_err(|e| e.to_string())?;
+        for row in &mut self.quarantined {
+            for n in row.iter_mut() {
+                *n = r.u64().map_err(|e| e.to_string())?;
+            }
+        }
+        let n = r.vec_len(34).map_err(|e| e.to_string())?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push(QuarantineRecord {
+                query: QueryId(r.usize().map_err(|e| e.to_string())?),
+                job: JobId(r.usize().map_err(|e| e.to_string())?),
+                category: cat_of(r.u8().map_err(|e| e.to_string())?)?,
+                quantity: quantity_of(r.u8().map_err(|e| e.to_string())?)?,
+                predicted: r.f64().map_err(|e| e.to_string())?,
+                substituted: r.f64().map_err(|e| e.to_string())?,
+            });
+        }
+        self.pending = pending;
+        let inner_blob = r.bytes().map_err(|e| e.to_string())?;
+        self.inner.restore_state(inner_blob)?;
+        r.expect_end().map_err(|e| e.to_string())
     }
 }
 

@@ -1201,15 +1201,9 @@ fn profiled_run_counts_faulted_paths() {
 
     let queries = mixed_workload();
     let prof = SpanProfiler::new();
-    let mut s = Simulator {
-        config: small_config(),
-        cost: CostModel::default(),
-        scheduler: Swrd,
-        dispatch: DispatchMode::Incremental,
-        queue: super::QueueMode::default(),
-        faults: stress_plan(),
-        admission: AdmissionConfig::disabled(),
-    };
+    let mut s = Simulator::new(small_config(), CostModel::default(), Swrd)
+        .with_dispatch(DispatchMode::Incremental)
+        .with_faults(stress_plan());
     let report = s.run_profiled(&queries, &mut NullSink, &mut super::oracle::FrozenOracle, &prof);
     // Retries/clones mean more launches than the task count.
     let total_tasks: usize =
@@ -1378,4 +1372,35 @@ fn chained_query_shaped(
             })
             .collect(),
     }
+}
+
+// ---------------------------------------------------------------------
+// Event-budget watchdog.
+
+/// A plan whose retry schedule can never exhaust: every attempt fails and
+/// the attempt budget is effectively unbounded. Without a watchdog this
+/// spins forever; `with_max_events` must turn it into a typed error.
+#[test]
+fn event_budget_watchdog_turns_a_stuck_plan_into_a_typed_error() {
+    let stuck = FaultPlan { task_fail_prob: 1.0, max_attempts: usize::MAX, ..FaultPlan::default() };
+    let mut sim = Simulator::new(small_config(), CostModel::default(), Fifo)
+        .with_faults(stuck)
+        .with_max_events(5_000);
+    let err = sim.try_run(&[simple_query("stuck", 0.0, 2, 0)]).unwrap_err();
+    assert_eq!(err, SimError::EventBudgetExceeded { limit: 5_000 });
+    let msg = err.to_string();
+    assert!(msg.contains("event budget") && msg.contains("5000"), "unhelpful message: {msg}");
+}
+
+/// The watchdog is inert when the budget is generous: same report as an
+/// unwatched run.
+#[test]
+fn event_budget_watchdog_is_inert_below_the_limit() {
+    let queries = mixed_workload();
+    let unwatched = Simulator::new(small_config(), CostModel::default(), Swrd).run(&queries);
+    let watched = Simulator::new(small_config(), CostModel::default(), Swrd)
+        .with_max_events(u64::MAX)
+        .try_run(&queries)
+        .expect("a finite run never trips a generous budget");
+    assert_eq!(unwatched, watched);
 }

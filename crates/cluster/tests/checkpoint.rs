@@ -1,0 +1,389 @@
+//! Kill-and-resume differential harness for engine checkpoints.
+//!
+//! The contract under test: for every golden fixture (six schedulers,
+//! fault-free and stress-faulted), running to a snapshot point, dropping
+//! the engine, restoring the `sapred-ckpt/v1` blob into a fresh engine,
+//! and finishing produces a report and an event stream **bit-identical**
+//! to the uninterrupted run — at deterministically chosen snapshot points
+//! and at proptest-chosen random ones. A second differential drives the
+//! full robustness stack (tight admission, stress faults, a guarded
+//! poisoned oracle in degraded mode) through the same cut, proving the
+//! oracle/admission state survives the round trip.
+//!
+//! The harness also fuzzes the blob itself: every single-byte flip and
+//! every truncation must surface a typed [`CheckpointError`] from resume —
+//! never a panic, never a silently-wrong run.
+
+use proptest::prelude::*;
+use sapred_cluster::fault::{FaultPlan, NodeCrash};
+use sapred_cluster::job::{JobPrediction, SimJob, SimQuery, TaskKind, TaskSpec};
+use sapred_cluster::sched::{Fifo, Hcs, HcsQueues, Hfs, Scheduler, Srt, Swrd};
+use sapred_cluster::sim::{
+    AdmissionConfig, ClusterConfig, DemandOracle, FrozenOracle, GuardedOracle, RunOutcome,
+    ShedPolicy, SimError, SimReport, Simulator,
+};
+use sapred_cluster::{CostModel, JobId, QueryId};
+use sapred_obs::profile::{Counter, SpanProfiler};
+use sapred_obs::{Event, RecordingSink};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+// ---------------------------------------------------------------------
+// The golden workload (same shape as tests/golden.rs).
+
+fn task(kind: TaskKind, bytes: f64) -> TaskSpec {
+    TaskSpec {
+        bytes_in: bytes,
+        bytes_out: bytes / 2.0,
+        category: sapred_plan::dag::JobCategory::Extract,
+        kind,
+        p: 0.5,
+    }
+}
+
+fn simple_query(name: &str, arrival: f64, n_maps: usize, n_reduces: usize) -> SimQuery {
+    SimQuery {
+        name: name.into(),
+        arrival,
+        jobs: vec![SimJob {
+            id: JobId(0),
+            deps: vec![],
+            category: sapred_plan::dag::JobCategory::Extract,
+            maps: vec![task(TaskKind::Map, 256.0 * MB); n_maps],
+            reduces: vec![task(TaskKind::Reduce, 128.0 * MB); n_reduces],
+            prediction: JobPrediction { map_task_time: 5.0, reduce_task_time: 5.0 },
+        }],
+    }
+}
+
+fn chained_query(name: &str, arrival: f64, jobs: usize, maps_per_job: usize) -> SimQuery {
+    SimQuery {
+        name: name.into(),
+        arrival,
+        jobs: (0..jobs)
+            .map(|i| SimJob {
+                id: JobId(i),
+                deps: if i == 0 { vec![] } else { vec![JobId(i - 1)] },
+                category: sapred_plan::dag::JobCategory::Extract,
+                maps: vec![task(TaskKind::Map, 256.0 * MB); maps_per_job],
+                reduces: vec![task(TaskKind::Reduce, 64.0 * MB); 2],
+                prediction: JobPrediction { map_task_time: 6.0, reduce_task_time: 3.0 },
+            })
+            .collect(),
+    }
+}
+
+fn workload() -> Vec<SimQuery> {
+    vec![
+        chained_query("a", 0.0, 3, 12),
+        simple_query("b", 1.5, 9, 4),
+        chained_query("c", 2.0, 2, 7),
+        simple_query("d", 4.0, 3, 0),
+        simple_query("e", 6.5, 5, 5),
+    ]
+}
+
+fn config() -> ClusterConfig {
+    ClusterConfig { nodes: 2, containers_per_node: 3, ..Default::default() }
+}
+
+fn stress_plan() -> FaultPlan {
+    FaultPlan {
+        task_fail_prob: 0.08,
+        max_attempts: 8,
+        node_crashes: vec![NodeCrash::transient(1, 40.0, 30.0)],
+        speculative: true,
+        spec_fraction: 0.6,
+        ..FaultPlan::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The differential: straight run vs. snapshot → drop → restore → finish.
+
+/// Render an event stream as its JSONL lines, dropping the resume marker —
+/// `run_resumed` announces the stitch point and is by design the one event
+/// an interrupted run has that a straight one does not.
+fn rendered(events: &[Event]) -> Vec<String> {
+    events.iter().filter(|e| !matches!(e, Event::RunResumed { .. })).map(|e| e.to_json()).collect()
+}
+
+/// The uninterrupted run: report, rendered event stream, and the total
+/// number of events the engine processed (the valid snapshot points are
+/// `1..total`).
+fn straight<S: Scheduler>(s: S, faults: Option<FaultPlan>) -> (SimReport, Vec<String>, u64) {
+    let mut sim = Simulator::new(config(), CostModel::default(), s);
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan);
+    }
+    let mut rec = RecordingSink::new();
+    let prof = SpanProfiler::new();
+    let report = sim.run_profiled(&workload(), &mut rec, &mut FrozenOracle, &prof);
+    (report, rendered(&rec.events), prof.counter(Counter::EventsProcessed))
+}
+
+/// The interrupted run: snapshot after `at` events, drop the engine,
+/// restore the blob into a fresh engine + oracle, finish. Returns the
+/// stitched report and event stream (prefix + suffix).
+fn snapshot_and_resume<S: Scheduler + Clone>(
+    s: S,
+    faults: Option<FaultPlan>,
+    at: u64,
+) -> (SimReport, Vec<String>) {
+    let build = |s: S, faults: Option<FaultPlan>| {
+        let mut sim = Simulator::new(config(), CostModel::default(), s);
+        if let Some(plan) = faults {
+            sim = sim.with_faults(plan);
+        }
+        sim
+    };
+    let mut sim = build(s.clone(), faults.clone());
+    let mut prefix = RecordingSink::new();
+    let blob = match sim
+        .run_snapshot_after(&workload(), &mut prefix, &mut FrozenOracle, at)
+        .expect("snapshot run failed")
+    {
+        RunOutcome::Snapshot(blob) => blob,
+        RunOutcome::Done(_) => panic!("snapshot point {at} was past the end of the run"),
+    };
+    // The "kill": the original engine, its queue, and its RNG streams are
+    // gone. Only the blob crosses the gap.
+    drop(sim);
+    let mut sim = build(s, faults);
+    let mut suffix = RecordingSink::new();
+    let report = sim
+        .resume_with_oracle(&workload(), &mut suffix, &mut FrozenOracle, &blob)
+        .expect("restore failed");
+    let mut events = rendered(&prefix.events);
+    events.extend(rendered(&suffix.events));
+    (report, events)
+}
+
+/// Snapshot points worth pinning deterministically: immediately after the
+/// first event, mid-run, and immediately before the last event.
+fn deterministic_cuts(total: u64) -> Vec<u64> {
+    let mut cuts = vec![1, total / 2, total - 1];
+    cuts.retain(|&c| c >= 1 && c < total);
+    cuts.dedup();
+    cuts
+}
+
+fn check_cell<S: Scheduler + Clone>(s: S, faults: Option<FaultPlan>, name: &str) {
+    let (want_report, want_events, total) = straight(s.clone(), faults.clone());
+    assert!(total > 2, "{name}: run too short to cut ({total} events)");
+    for at in deterministic_cuts(total) {
+        let (report, events) = snapshot_and_resume(s.clone(), faults.clone(), at);
+        assert_eq!(
+            report, want_report,
+            "{name}: report diverged after snapshot/restore at event {at}/{total}"
+        );
+        assert_eq!(
+            events, want_events,
+            "{name}: event stream diverged after snapshot/restore at event {at}/{total}"
+        );
+    }
+}
+
+#[test]
+fn fault_free_goldens_survive_snapshot_and_restore() {
+    check_cell(Fifo, None, "FIFO");
+    check_cell(Hcs, None, "HCS");
+    check_cell(Hfs, None, "HFS");
+    check_cell(Swrd, None, "SWRD");
+    check_cell(Srt, None, "SRT");
+    check_cell(HcsQueues::new(vec![0.5, 0.5]), None, "HCS-queues");
+}
+
+#[test]
+fn faulted_goldens_survive_snapshot_and_restore() {
+    check_cell(Fifo, Some(stress_plan()), "FIFO");
+    check_cell(Hcs, Some(stress_plan()), "HCS");
+    check_cell(Hfs, Some(stress_plan()), "HFS");
+    check_cell(Swrd, Some(stress_plan()), "SWRD");
+    check_cell(Srt, Some(stress_plan()), "SRT");
+    check_cell(HcsQueues::new(vec![0.5, 0.5]), Some(stress_plan()), "HCS-queues");
+}
+
+// ---------------------------------------------------------------------
+// Robustness stack through the cut: admission + faults + a guarded
+// poisoned oracle (degraded mode), exercising the oracle state blob.
+
+/// An oracle whose every prediction is garbage, pushing the guard into
+/// quarantines and degraded mode — deterministic by construction.
+struct BrokenOracle;
+
+impl DemandOracle for BrokenOracle {
+    fn predict(&mut self, _query: QueryId, _job: &SimJob) -> JobPrediction {
+        JobPrediction { map_task_time: f64::NAN, reduce_task_time: -3.0 }
+    }
+}
+
+fn lifecycle_sim() -> Simulator<Swrd> {
+    let admission = AdmissionConfig {
+        queue_cap: 1,
+        deadline: 15.0,
+        shed_policy: ShedPolicy::ShedLargestWrd,
+        max_resubmits: 1,
+        resubmit_base: 2.0,
+        resubmit_cap: 10.0,
+    };
+    Simulator::new(config(), CostModel::default(), Swrd)
+        .with_admission(admission)
+        .with_faults(stress_plan())
+}
+
+#[test]
+fn degraded_guarded_oracle_and_admission_state_survive_the_cut() {
+    let mut rec = RecordingSink::new();
+    let prof = SpanProfiler::new();
+    let mut oracle = GuardedOracle::new(BrokenOracle);
+    let want = lifecycle_sim().run_profiled(&workload(), &mut rec, &mut oracle, &prof);
+    let want_events = rendered(&rec.events);
+    let total = prof.counter(Counter::EventsProcessed);
+    assert!(
+        want_events.iter().any(|e| e.contains("degraded_mode_enter")),
+        "fixture must actually reach degraded mode"
+    );
+
+    for at in deterministic_cuts(total) {
+        let mut sim = lifecycle_sim();
+        let mut prefix = RecordingSink::new();
+        let mut oracle = GuardedOracle::new(BrokenOracle);
+        let blob = match sim
+            .run_snapshot_after(&workload(), &mut prefix, &mut oracle, at)
+            .expect("snapshot run failed")
+        {
+            RunOutcome::Snapshot(blob) => blob,
+            RunOutcome::Done(_) => panic!("cut {at} past end"),
+        };
+        drop(sim);
+        drop(oracle);
+        let mut sim = lifecycle_sim();
+        let mut suffix = RecordingSink::new();
+        // A *fresh* guard: trust EWMA, drift cells, degraded flag and
+        // quarantine counters all come back from the blob.
+        let mut oracle = GuardedOracle::new(BrokenOracle);
+        let report = sim
+            .resume_with_oracle(&workload(), &mut suffix, &mut oracle, &blob)
+            .expect("restore failed");
+        let mut events = rendered(&prefix.events);
+        events.extend(rendered(&suffix.events));
+        assert_eq!(report, want, "lifecycle report diverged at cut {at}/{total}");
+        assert_eq!(events, want_events, "lifecycle events diverged at cut {at}/{total}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corruption fuzzing: every flip/truncation is a typed error, never a
+// panic or a silently-wrong resumed run.
+
+fn sample_blob() -> Vec<u8> {
+    let mut sim = Simulator::new(config(), CostModel::default(), Swrd).with_faults(stress_plan());
+    let mut rec = RecordingSink::new();
+    // Mid-run cut: the faulted SWRD run processes ~128 events total, so 60
+    // lands with plenty of live state (running attempts, pending retries).
+    match sim.run_snapshot_after(&workload(), &mut rec, &mut FrozenOracle, 60).unwrap() {
+        RunOutcome::Snapshot(blob) => blob,
+        RunOutcome::Done(_) => panic!("fixture too short"),
+    }
+}
+
+fn try_restore(blob: &[u8]) -> Result<SimReport, SimError> {
+    let mut sim = Simulator::new(config(), CostModel::default(), Swrd).with_faults(stress_plan());
+    sim.resume_with_oracle(&workload(), &mut sapred_obs::NullSink, &mut FrozenOracle, blob)
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let blob = sample_blob();
+    assert!(try_restore(&blob).is_ok(), "the pristine blob must restore");
+    for i in 0..blob.len() {
+        let mut bad = blob.clone();
+        bad[i] ^= 0x01;
+        match try_restore(&bad) {
+            Err(SimError::Checkpoint(_)) => {}
+            Err(other) => panic!("flip at byte {i}: wrong error class {other}"),
+            Ok(_) => panic!("flip at byte {i} restored successfully"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_detected() {
+    let blob = sample_blob();
+    for len in 0..blob.len() {
+        match try_restore(&blob[..len]) {
+            Err(SimError::Checkpoint(_)) => {}
+            Err(other) => panic!("truncation to {len} bytes: wrong error class {other}"),
+            Ok(_) => panic!("truncation to {len} bytes restored successfully"),
+        }
+    }
+}
+
+#[test]
+fn context_mismatch_is_detected() {
+    let blob = sample_blob();
+    // Same workload, different seed: the context fingerprint must refuse
+    // to marry the blob to a differently-configured engine.
+    let mut sim =
+        Simulator::new(ClusterConfig { seed: 99, ..config() }, CostModel::default(), Swrd)
+            .with_faults(stress_plan());
+    let err = sim
+        .resume_with_oracle(&workload(), &mut sapred_obs::NullSink, &mut FrozenOracle, &blob)
+        .expect_err("mismatched config must not restore");
+    assert!(err.to_string().contains("context"), "unexpected error: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Proptest: random schedulers × fault plans × snapshot points, and random
+// multi-byte corruption.
+
+fn run_cell_by_index(idx: usize, faulted: bool, at_frac: f64) {
+    let faults = if faulted { Some(stress_plan()) } else { None };
+    fn one<S: Scheduler + Clone>(s: S, faults: Option<FaultPlan>, at_frac: f64, name: &str) {
+        let (want_report, want_events, total) = straight(s.clone(), faults.clone());
+        let at = ((total - 1) as f64 * at_frac).floor() as u64 + 1;
+        let at = at.min(total - 1).max(1);
+        let (report, events) = snapshot_and_resume(s, faults, at);
+        assert_eq!(report, want_report, "{name}: report diverged at cut {at}/{total}");
+        assert_eq!(events, want_events, "{name}: events diverged at cut {at}/{total}");
+    }
+    match idx % 6 {
+        0 => one(Fifo, faults, at_frac, "FIFO"),
+        1 => one(Hcs, faults, at_frac, "HCS"),
+        2 => one(Hfs, faults, at_frac, "HFS"),
+        3 => one(Swrd, faults, at_frac, "SWRD"),
+        4 => one(Srt, faults, at_frac, "SRT"),
+        _ => one(HcsQueues::new(vec![0.5, 0.5]), faults, at_frac, "HCS-queues"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_cut_points_restore_bit_identically(
+        idx in 0usize..6,
+        faulted in any::<bool>(),
+        at_frac in 0.0f64..1.0,
+    ) {
+        run_cell_by_index(idx, faulted, at_frac);
+    }
+
+    #[test]
+    fn random_multi_byte_corruption_is_detected(
+        flips in prop::collection::vec((0usize..100_000, 1u8..=255), 1..8),
+    ) {
+        let blob = sample_blob();
+        let mut bad = blob.clone();
+        for &(pos, x) in &flips {
+            bad[pos % blob.len()] ^= x;
+        }
+        if bad != blob {
+            prop_assert!(
+                matches!(try_restore(&bad), Err(SimError::Checkpoint(_))),
+                "corrupted blob must fail with a checkpoint error"
+            );
+        }
+    }
+}

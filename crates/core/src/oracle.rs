@@ -20,7 +20,7 @@
 use crate::framework::Predictor;
 use sapred_cluster::job::{JobPrediction, SimJob};
 use sapred_cluster::{DemandOracle, GuardConfig, GuardedOracle, QueryId};
-use sapred_obs::{DriftTracker, Quantity};
+use sapred_obs::{DriftStat, DriftTracker, Quantity};
 
 /// A drift-corrected oracle behind the simulator's prediction guardrails:
 /// sanitization, quarantine accounting, and the trust score that drives
@@ -136,6 +136,48 @@ impl DemandOracle for RecalibratingOracle {
         );
         // Recalibration can change answers as soon as any cell is warm.
         self.drift.total_samples() >= self.min_samples
+    }
+
+    /// Serialize the drift accumulator (the only mutable state): 16
+    /// (quantity × category) cells × 24 bytes, little-endian. `min_samples`
+    /// is construction-time configuration and travels with the resuming
+    /// run's oracle, not the blob.
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * 24);
+        for row in self.drift.raw_cells() {
+            for cell in row {
+                out.extend_from_slice(&cell.n.to_le_bytes());
+                out.extend_from_slice(&cell.sum_signed.to_bits().to_le_bytes());
+                out.extend_from_slice(&cell.sum_abs.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 16 * 24 {
+            return Err(format!(
+                "recalibrating-oracle state must be {} bytes of drift cells, got {}",
+                16 * 24,
+                state.len()
+            ));
+        }
+        let mut cells = [[DriftStat::default(); 4]; 4];
+        let mut at = 0;
+        let mut u64_at = |buf: &[u8]| -> u64 {
+            let v = u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"));
+            at += 8;
+            v
+        };
+        for row in &mut cells {
+            for cell in row.iter_mut() {
+                cell.n = u64_at(state);
+                cell.sum_signed = f64::from_bits(u64_at(state));
+                cell.sum_abs = f64::from_bits(u64_at(state));
+            }
+        }
+        self.drift = DriftTracker::from_raw_cells(cells);
+        Ok(())
     }
 }
 

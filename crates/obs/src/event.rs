@@ -374,6 +374,23 @@ pub enum Event {
         /// Oracle trust score in `[0, 1]` at the transition.
         trust: f64,
     },
+    /// The engine serialized a full checkpoint of its state (periodic
+    /// `checkpoint_every_events` trigger or an explicit snapshot request).
+    CheckpointWritten {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Events processed so far in this run (the snapshot boundary).
+        events: u64,
+        /// Size of the serialized `sapred-ckpt/v1` blob in bytes.
+        bytes: u64,
+    },
+    /// The engine was restored from a checkpoint and resumed execution.
+    RunResumed {
+        /// Simulated time in seconds (the restored clock).
+        t: f64,
+        /// Events the checkpointed run had already processed.
+        events: u64,
+    },
     /// A guarded oracle rejected one predicted value (non-finite, negative,
     /// or out of trained range) and substituted a safe fallback.
     PredictionQuarantined {
@@ -419,6 +436,8 @@ impl Event {
             | Event::DeadlineMissed { t, .. }
             | Event::DegradedModeEnter { t, .. }
             | Event::DegradedModeExit { t, .. }
+            | Event::CheckpointWritten { t, .. }
+            | Event::RunResumed { t, .. }
             | Event::PredictionQuarantined { t, .. } => *t,
         }
     }
@@ -447,6 +466,8 @@ impl Event {
             Event::DeadlineMissed { .. } => "deadline_missed",
             Event::DegradedModeEnter { .. } => "degraded_mode_enter",
             Event::DegradedModeExit { .. } => "degraded_mode_exit",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::RunResumed { .. } => "run_resumed",
             Event::PredictionQuarantined { .. } => "prediction_quarantined",
         }
     }
@@ -594,6 +615,10 @@ impl Event {
                 base.num("trust", *trust).str("fallback", fallback).finish()
             }
             Event::DegradedModeExit { trust, .. } => base.num("trust", *trust).finish(),
+            Event::CheckpointWritten { events, bytes, .. } => {
+                base.int("events", *events).int("bytes", *bytes).finish()
+            }
+            Event::RunResumed { events, .. } => base.int("events", *events).finish(),
             Event::PredictionQuarantined {
                 query,
                 job,
@@ -727,6 +752,8 @@ mod tests {
             Event::DeadlineMissed { t: 9.0, query: QueryId(1), deadline: 8.0 },
             Event::DegradedModeEnter { t: 5.5, trust: 0.25, fallback: "FIFO" },
             Event::DegradedModeExit { t: 7.5, trust: 0.65 },
+            Event::CheckpointWritten { t: 6.0, events: 4096, bytes: 18_000 },
+            Event::RunResumed { t: 6.0, events: 4096 },
             Event::PredictionQuarantined {
                 t: 5.0,
                 query: QueryId(2),
@@ -802,6 +829,10 @@ mod tests {
         assert!(enter.contains("\"trust\":0.25"));
         assert!(enter.contains("\"fallback\":\"FIFO\""));
         assert!(by_kind("degraded_mode_exit").contains("\"trust\":0.65"));
+        let ckpt = by_kind("checkpoint_written");
+        assert!(ckpt.contains("\"events\":4096"));
+        assert!(ckpt.contains("\"bytes\":18000"));
+        assert!(by_kind("run_resumed").contains("\"events\":4096"));
         let quarantined = by_kind("prediction_quarantined");
         // A NaN raw prediction must render as JSON null, not literal NaN.
         assert!(quarantined.contains("\"predicted\":null"));

@@ -37,6 +37,7 @@
 
 pub mod drift;
 pub mod event;
+pub mod fsutil;
 pub mod ids;
 pub mod json;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use drift::{DriftStat, DriftTracker};
 pub use event::{Candidate, DownReason, Event, Quantity, TaskPhase};
+pub use fsutil::write_atomic;
 pub use ids::{JobId, NodeId, QueryId};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSink};
 pub use profile::{Counter, NullProfiler, Profiler, SpanProfiler};

@@ -51,11 +51,18 @@ pub enum Counter {
     /// Event-arena slots recycled through the slab freelist (pushes served
     /// from a previously freed slot rather than slab growth).
     ArenaSlotsRecycled,
+    /// Total serialized checkpoint bytes written by the engine's
+    /// `checkpoint_every_events` trigger (and explicit snapshots taken
+    /// through a profiled run). Zero when checkpointing is off.
+    CheckpointBytes,
+    /// Fleet cells skipped on `--resume` because a journal already held
+    /// their completed results.
+    CellsResumed,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::EventsProcessed,
         Counter::DispatchDecisions,
         Counter::SchedulerViewUpdates,
@@ -67,6 +74,8 @@ impl Counter {
         Counter::EventQueueOps,
         Counter::ArenaBytesPeak,
         Counter::ArenaSlotsRecycled,
+        Counter::CheckpointBytes,
+        Counter::CellsResumed,
     ];
 
     /// Stable snake_case label used in JSON reports.
@@ -83,6 +92,8 @@ impl Counter {
             Counter::EventQueueOps => "event_queue_ops",
             Counter::ArenaBytesPeak => "arena_bytes_peak",
             Counter::ArenaSlotsRecycled => "arena_slots_recycled",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::CellsResumed => "cells_resumed",
         }
     }
 }

@@ -24,14 +24,16 @@ use sapred::core::experiments::motivation::motivation;
 use sapred::core::experiments::scheduling::{run_schedulers, PreparedWorkload};
 use sapred::core::telemetry::record_sim_outcomes_profiled;
 use sapred::core::{Error, Pipeline, RecalibratingOracle};
-use sapred::obs::{ChromeTraceSink, EventSink, JsonlSink, MetricsSink, SpanProfiler, Tee};
+use sapred::obs::{
+    write_atomic, ChromeTraceSink, Counter, EventSink, JsonlSink, MetricsSink, SpanProfiler, Tee,
+};
 use sapred::plan::ground_truth::execute_dag;
 use sapred::relation::persist::save_catalog;
 use sapred::selectivity::EstimatorKind;
 use sapred::workload::mixes::{bing_mix, facebook_mix, MixSpec};
 use sapred::workload::population::PopulationConfig;
 use sapred_bench::fleet::{
-    run_fleet, AdmissionLevel, FaultLevel, FleetGrid, SchedKind, WorkloadSpec,
+    run_fleet, run_fleet_journaled, AdmissionLevel, FaultLevel, FleetGrid, SchedKind, WorkloadSpec,
 };
 use sapred_bench::harness::{
     dispatch_suite, fleet_suite, pipeline_suite, run_suite, scale_suite, CellResult,
@@ -46,12 +48,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `trace` takes its workload positionally and `bench` has boolean
-    // flags, so both parse their own args.
+    // `trace` takes its workload positionally, `bench` has boolean flags,
+    // and `fleet` strips its boolean `--resume` before the value-taking
+    // flag parser runs — so all three parse their own args.
     let result = if command == "trace" {
         cmd_trace(&args[1..])
     } else if command == "bench" {
         cmd_bench(&args[1..])
+    } else if command == "fleet" {
+        let resume = args[1..].iter().any(|a| a == "--resume");
+        let rest: Vec<String> = args[1..].iter().filter(|a| *a != "--resume").cloned().collect();
+        parse_flags(&rest).and_then(|flags| cmd_fleet(&flags, resume))
     } else {
         match parse_flags(&args[1..]) {
             Ok(flags) => match command.as_str() {
@@ -60,7 +67,6 @@ fn main() -> ExitCode {
                 "train" => cmd_train(&flags),
                 "predict" => cmd_predict(&flags),
                 "simulate" => cmd_simulate(&flags),
-                "fleet" => cmd_fleet(&flags),
                 "motivation" => cmd_motivation(&flags),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
@@ -100,6 +106,7 @@ USAGE:
                     [--queries <N>] [--jobs <N>] [--maps <N>] [--reduces <N>]
                     [--estimators <CSV of histogram|sample|catalog>] [--skews <CSV>]
                     [--threads <N>] [--out <fleet.json>]
+                    [--journal <JOURNAL.jsonl>] [--resume]
   sapred bench      [--suite <dispatch|pipeline|fleet|scale|all>] [--quick] [--iters <N>] [--threads <N>]
                     [--out <DIR>] [--compare <BENCH.json>] [--threshold <FRACTION>] [--gate]
                     [--validate <BENCH.json>]... [--compare-files <OLD.json> <NEW.json>]
@@ -347,10 +354,11 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     println!("preparing the {} mix (gap {gap}s, scale /{divisor})...", mix.name);
     let prepared = pipe.prepare_mix(&mix, gap, divisor, seed);
 
-    let events_file = std::fs::File::create(events_path)
-        .map_err(|e| Error::io(format!("create {events_path}"), e))?;
+    // Every artifact is buffered in memory and committed through the
+    // atomic stage-and-rename helper, so a crash mid-run never leaves a
+    // torn events/trace/metrics file behind.
     let mut sink = Tee::new(
-        JsonlSink::new(std::io::BufWriter::new(events_file)),
+        JsonlSink::new(Vec::new()),
         Tee::new(
             ChromeTraceSink::new(),
             MetricsSink::new(pipe.framework().cluster.total_containers()),
@@ -425,13 +433,14 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
 
     let Tee { a: jsonl, b: Tee { a: chrome, b: mut metrics } } = sink;
     let lines = jsonl.lines();
-    jsonl.finish().map_err(|e| Error::io(format!("write {events_path}"), e))?;
-    let trace_file = std::fs::File::create(trace_path)
-        .map_err(|e| Error::io(format!("create {trace_path}"), e))?;
-    chrome
-        .write(std::io::BufWriter::new(trace_file))
+    let events_buf = jsonl.finish().map_err(|e| Error::io(format!("write {events_path}"), e))?;
+    write_atomic(events_path, &events_buf)
+        .map_err(|e| Error::io(format!("write {events_path}"), e))?;
+    let mut trace_buf = Vec::new();
+    chrome.write(&mut trace_buf).map_err(|e| Error::io(format!("write {trace_path}"), e))?;
+    write_atomic(trace_path, &trace_buf)
         .map_err(|e| Error::io(format!("write {trace_path}"), e))?;
-    std::fs::write(metrics_path, metrics.finish(report.makespan))
+    write_atomic(metrics_path, metrics.finish(report.makespan))
         .map_err(|e| Error::io(format!("write {metrics_path}"), e))?;
 
     println!("\nmakespan {:.1}s, mean response {:.1}s", report.makespan, report.mean_response());
@@ -466,7 +475,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Error> {
     );
     println!("wrote metrics to {metrics_path}");
     if let Some(path) = profile_path {
-        std::fs::write(path, prof.to_json()).map_err(|e| Error::io(format!("write {path}"), e))?;
+        write_atomic(path, prof.to_json()).map_err(|e| Error::io(format!("write {path}"), e))?;
         println!("wrote span profile to {path}");
         println!("\n{}", prof.summary());
     }
@@ -588,13 +597,19 @@ fn load_grid_file(path: &str) -> Result<FleetGrid, Error> {
 /// `sapred fleet`: expand a declarative (workload × scheduler × fault ×
 /// admission × seed) grid, run every cell across worker threads, print the
 /// aggregation layer, and write the aggregate JSON report — bit-identical
-/// for the same grid at any `--threads` value.
-fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Error> {
+/// for the same grid at any `--threads` value. With `--journal` every
+/// completed cell is persisted as it finishes, and `--resume` adopts a
+/// previous (possibly killed) sweep's cells instead of re-running them.
+fn cmd_fleet(flags: &HashMap<String, String>, resume: bool) -> Result<(), Error> {
     fn parse_csv(raw: &str) -> impl Iterator<Item = &str> {
         raw.split(',').map(str::trim).filter(|s| !s.is_empty())
     }
     let threads = flag_usize(flags, "threads", 0)?;
     let out = flags.get("out").map(String::as_str).unwrap_or("fleet.json");
+    let journal = flags.get("journal").map(String::as_str);
+    if resume && journal.is_none() {
+        return Err(Error::invalid("--resume requires --journal <path>"));
+    }
 
     let grid = if let Some(path) = flags.get("grid") {
         load_grid_file(path)?
@@ -672,7 +687,20 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Error> {
         grid.estimators.len(),
         grid.seeds.len()
     );
-    let report = run_fleet(&grid, threads).map_err(Error::invalid)?;
+    let report = match journal {
+        Some(path) => {
+            let prof = SpanProfiler::new();
+            let report =
+                run_fleet_journaled(&grid, threads, std::path::Path::new(path), resume, &prof)
+                    .map_err(Error::invalid)?;
+            let resumed = prof.counter(Counter::CellsResumed);
+            if resume {
+                println!("resumed {resumed} journaled cell(s) from {path}");
+            }
+            report
+        }
+        None => run_fleet(&grid, threads).map_err(Error::invalid)?,
+    };
     println!("completed {} cell(s), {} failed", report.completed(), report.failed());
     for cell in &report.cells {
         if let Err(e) = &cell.outcome {
@@ -725,7 +753,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), Error> {
         }
     }
 
-    std::fs::write(out, report.to_json()).map_err(|e| Error::io(format!("write {out}"), e))?;
+    write_atomic(out, report.to_json()).map_err(|e| Error::io(format!("write {out}"), e))?;
     println!("\nwrote aggregate fleet report to {out}");
     Ok(())
 }
@@ -788,10 +816,10 @@ fn cmd_bench(args: &[String]) -> Result<(), Error> {
         }
     }
 
+    // Missing/unparseable baselines are the classic `--compare` footguns;
+    // `load_report` turns both into errors that name the offending path.
     let load = |path: &str| -> Result<sapred::obs::json::Value, Error> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| Error::io(format!("read {path}"), e))?;
-        validate_schema(&text).map_err(|e| Error::invalid(format!("{path}: {e}")))
+        sapred_bench::report::load_report(path).map_err(Error::invalid)
     };
 
     // Validation-only mode: check the given reports and stop.
@@ -880,7 +908,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Error> {
         let fresh =
             validate_schema(&text).map_err(|e| Error::invalid(format!("emitted report: {e}")))?;
         let path = format!("{out_dir}/BENCH_{name}.json");
-        std::fs::write(&path, &text).map_err(|e| Error::io(format!("write {path}"), e))?;
+        write_atomic(&path, &text).map_err(|e| Error::io(format!("write {path}"), e))?;
         println!("wrote {path}");
         if let Some((baseline_path, baseline)) = baseline {
             println!("comparing against baseline {baseline_path}:");

@@ -1,0 +1,148 @@
+//! Kill-and-resume differential harness for `sapred fleet` (DESIGN.md §6l).
+//!
+//! The crash model under test: a sweep with `--journal` is SIGKILLed at an
+//! arbitrary instant — no destructors, no flush, no atexit — and a second
+//! invocation with `--resume` must converge to a `sapred-fleet/v1` report
+//! **byte-identical** to an uninterrupted sweep of the same grid. This is
+//! the end-to-end counterpart of the in-process truncated-journal tests in
+//! `crates/bench/tests/fleet.rs`: here the interruption is a real signal
+//! against the real binary, not a simulated tear.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The swept grid: 8 cells (2 schedulers × 2 fault levels × 2 seeds) sized
+/// so each cell takes long enough in a debug build (~hundreds of ms) that
+/// the kill below reliably lands mid-sweep.
+const GRID_FLAGS: &[&str] = &[
+    "--schedulers",
+    "swrd,hcs",
+    "--fail-probs",
+    "0,0.08",
+    "--seeds",
+    "2",
+    "--queries",
+    "150",
+    "--jobs",
+    "4",
+    "--maps",
+    "60",
+    "--reduces",
+    "20",
+    "--threads",
+    "1",
+];
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sapred")
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sapred-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn fleet(journal: &Path, out: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(bin());
+    cmd.arg("fleet")
+        .args(GRID_FLAGS)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--out")
+        .arg(out)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd
+}
+
+fn journal_entries(path: &Path) -> usize {
+    // Header line + one line per completed cell.
+    std::fs::read_to_string(path).map(|t| t.lines().count().saturating_sub(1)).unwrap_or(0)
+}
+
+#[test]
+fn sigkilled_fleet_resumes_to_a_byte_identical_report() {
+    let dir = scratch_dir("resume");
+
+    // Uninterrupted reference sweep.
+    let ref_journal = dir.join("reference-journal.jsonl");
+    let ref_out = dir.join("reference-fleet.json");
+    let output = fleet(&ref_journal, &ref_out, false).output().expect("spawn reference sweep");
+    assert!(
+        output.status.success(),
+        "reference sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let reference = std::fs::read(&ref_out).expect("reference report exists");
+
+    // Victim sweep: SIGKILL as soon as the journal shows progress but
+    // before it can possibly be complete (8 cells total).
+    let journal = dir.join("journal.jsonl");
+    let out = dir.join("fleet.json");
+    let mut child = fleet(&journal, &out, false).spawn().expect("spawn victim sweep");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let killed_midway = loop {
+        if child.try_wait().expect("poll victim").is_some() {
+            break false; // Finished before we could kill it.
+        }
+        let entries = journal_entries(&journal);
+        if (1..8).contains(&entries) {
+            child.kill().expect("SIGKILL the sweep");
+            let _ = child.wait();
+            break true;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("victim sweep wrote no journal entry within 120s");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let survivors = journal_entries(&journal);
+    if killed_midway {
+        assert!(
+            (1..8).contains(&survivors),
+            "kill should leave a partial journal, found {survivors} entries"
+        );
+    }
+
+    // Resume must adopt the survivors and converge to the reference bytes.
+    let output = fleet(&journal, &out, true).output().expect("spawn resume sweep");
+    assert!(output.status.success(), "resume failed: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains(&format!("resumed {survivors} journaled cell(s)")),
+        "resume should report adopting {survivors} cells:\n{stdout}"
+    );
+    let resumed = std::fs::read(&out).expect("resumed report exists");
+    assert_eq!(reference, resumed, "resumed fleet report differs from the uninterrupted sweep");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--resume` without `--journal` has nothing to resume from and must be
+/// rejected up front rather than silently re-running everything.
+#[test]
+fn resume_without_journal_is_rejected() {
+    let dir = scratch_dir("noresume");
+    let out = dir.join("fleet.json");
+    let output = Command::new(bin())
+        .args(["fleet", "--queries", "2", "--jobs", "1", "--maps", "2", "--reduces", "1"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--resume")
+        .output()
+        .expect("spawn fleet");
+    assert!(!output.status.success(), "--resume without --journal should fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--resume requires --journal"), "unexpected error:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

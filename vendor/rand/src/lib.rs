@@ -140,6 +140,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw internal state word, for persisting a stream mid-run.
+        /// Note this is the post-`seed_from_u64` state, not the seed.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator at an exact raw state (as returned by
+        /// [`StdRng::state`]), continuing the stream where it left off.
+        pub fn from_state(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             Self { state: state.wrapping_mul(0x2545F4914F6CDD1D) ^ 0x6A09E667F3BCC909 }
